@@ -1,0 +1,436 @@
+//! Off-line admission test and calendar construction for HRT
+//! reservations (§3.1).
+//!
+//! Hard real-time communication is organized in *rounds*; the data
+//! structure storing a round's schedule is the *calendar* (the paper's
+//! analogue of TTP's Round Descriptor List). Reservations are made
+//! off-line: each HRT channel requests one slot per period for a
+//! specific publisher node, and the admission test checks that all
+//! occurrences can be placed without temporal overlap — including each
+//! slot's `ΔT_wait` blocking allowance and `ΔG_min` gap — before any
+//! reservation is confirmed.
+//!
+//! The planner places each occurrence at the earliest free instant
+//! inside its period window (first-fit). That keeps the plan
+//! deterministic and lets infeasibility surface as a typed error rather
+//! than a runtime conflict.
+
+use crate::wctt::{slot_layout, SlotLayout};
+use rtec_can::bits::BitTiming;
+use rtec_can::NodeId;
+use rtec_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A request for periodic HRT slots for one (channel, publisher) pair.
+///
+/// If multiple publishers feed the same channel, each needs its own
+/// request — "the slot reservation has to be done according to a
+/// specific node" (§3.1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlotRequest {
+    /// Event tag of the channel.
+    pub etag: u16,
+    /// The node allowed to publish in these slots.
+    pub publisher: NodeId,
+    /// Payload length the channel transports.
+    pub dlc: u8,
+    /// Assumed omission degree `k` (time redundancy budget).
+    pub omission_degree: u32,
+    /// Period between slot occurrences; must divide the round length.
+    pub period: Duration,
+}
+
+/// One placed slot occurrence inside a round.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PlannedSlot {
+    /// Event tag of the channel.
+    pub etag: u16,
+    /// Publishing node.
+    pub publisher: NodeId,
+    /// Offset of the slot's *ready* instant from the round start.
+    pub start: Duration,
+    /// Internal layout (ready / LST / deadline / gap offsets).
+    pub layout: SlotLayout,
+    /// Which occurrence within the round (0-based).
+    pub occurrence: u32,
+}
+
+impl PlannedSlot {
+    /// Offset of the Latest Start Time from the round start.
+    pub fn lst(&self) -> Duration {
+        self.start + self.layout.lst_offset()
+    }
+    /// Offset of the delivery deadline from the round start.
+    pub fn deadline(&self) -> Duration {
+        self.start + self.layout.deadline_offset()
+    }
+    /// Offset of the end of the slot (including gap) from round start.
+    pub fn end(&self) -> Duration {
+        self.start + self.layout.total()
+    }
+}
+
+/// Why admission was refused.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionError {
+    /// A request's period does not divide the round length.
+    PeriodNotDividingRound {
+        /// The offending etag.
+        etag: u16,
+        /// The offending period (ns).
+        period_ns: u64,
+        /// The round length (ns).
+        round_ns: u64,
+    },
+    /// Aggregate demand exceeds the round even before placement.
+    Overload {
+        /// Total slot time demanded per round (ns).
+        demanded_ns: u64,
+        /// Round length (ns).
+        round_ns: u64,
+    },
+    /// An occurrence could not be placed inside its period window.
+    NoFit {
+        /// The etag whose occurrence failed to fit.
+        etag: u16,
+        /// Occurrence index within the round.
+        occurrence: u32,
+    },
+    /// A request was malformed (zero period, dlc > 8, ...).
+    BadRequest {
+        /// The offending etag.
+        etag: u16,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::PeriodNotDividingRound { etag, period_ns, round_ns } => write!(
+                f,
+                "etag {etag}: period {period_ns}ns does not divide round {round_ns}ns"
+            ),
+            AdmissionError::Overload { demanded_ns, round_ns } => write!(
+                f,
+                "reservation demand {demanded_ns}ns exceeds round {round_ns}ns"
+            ),
+            AdmissionError::NoFit { etag, occurrence } => write!(
+                f,
+                "etag {etag}: occurrence {occurrence} does not fit in its period window"
+            ),
+            AdmissionError::BadRequest { etag, reason } => {
+                write!(f, "etag {etag}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A confirmed calendar: the round schedule for all HRT channels.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CalendarPlan {
+    /// Length of the round (schedule repeats with this cycle).
+    pub round: Duration,
+    /// All placed slots, sorted by `start`.
+    pub slots: Vec<PlannedSlot>,
+    /// Bit timing the layouts were computed with.
+    pub timing: BitTiming,
+    /// Inter-slot gap used (`ΔG_min`).
+    pub gap: Duration,
+}
+
+impl CalendarPlan {
+    /// Build a calendar for `requests` over a round of length `round`.
+    pub fn plan(
+        round: Duration,
+        requests: &[SlotRequest],
+        timing: BitTiming,
+        gap: Duration,
+    ) -> Result<CalendarPlan, AdmissionError> {
+        // Validate requests.
+        for r in requests {
+            if r.period.is_zero() {
+                return Err(AdmissionError::BadRequest {
+                    etag: r.etag,
+                    reason: "zero period".into(),
+                });
+            }
+            if r.dlc > 8 {
+                return Err(AdmissionError::BadRequest {
+                    etag: r.etag,
+                    reason: format!("dlc {} > 8", r.dlc),
+                });
+            }
+            if !(round % r.period).is_zero() {
+                return Err(AdmissionError::PeriodNotDividingRound {
+                    etag: r.etag,
+                    period_ns: r.period.as_ns(),
+                    round_ns: round.as_ns(),
+                });
+            }
+        }
+        // Quick utilization bound.
+        let demanded: u64 = requests
+            .iter()
+            .map(|r| {
+                let occurrences = round / r.period;
+                slot_layout(r.dlc, r.omission_degree, timing, gap)
+                    .total()
+                    .as_ns()
+                    * occurrences
+            })
+            .sum();
+        if demanded > round.as_ns() {
+            return Err(AdmissionError::Overload {
+                demanded_ns: demanded,
+                round_ns: round.as_ns(),
+            });
+        }
+        // First-fit placement, shortest period (most constrained) first.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].period, requests[i].etag));
+        // Allocated intervals, sorted by start.
+        let mut allocated: Vec<(u64, u64)> = Vec::new();
+        let mut slots = Vec::new();
+        for &i in &order {
+            let r = &requests[i];
+            let layout = slot_layout(r.dlc, r.omission_degree, timing, gap);
+            let len = layout.total().as_ns();
+            let occurrences = round / r.period;
+            for occ in 0..occurrences {
+                let window_start = r.period.as_ns() * occ;
+                let window_end = r.period.as_ns() * (occ + 1);
+                let placed = find_first_fit(&allocated, window_start, window_end, len)
+                    .ok_or(AdmissionError::NoFit {
+                        etag: r.etag,
+                        occurrence: occ as u32,
+                    })?;
+                insert_interval(&mut allocated, (placed, placed + len));
+                slots.push(PlannedSlot {
+                    etag: r.etag,
+                    publisher: r.publisher,
+                    start: Duration::from_ns(placed),
+                    layout,
+                    occurrence: occ as u32,
+                });
+            }
+        }
+        slots.sort_by_key(|s| s.start);
+        Ok(CalendarPlan {
+            round,
+            slots,
+            timing,
+            gap,
+        })
+    }
+
+    /// Fraction of the round reserved for HRT slots (incl. ΔT_wait and
+    /// gaps) — the *reserved* bandwidth, much of which the protocol
+    /// reclaims at run time.
+    pub fn reserved_utilization(&self) -> f64 {
+        let reserved: u64 = self.slots.iter().map(|s| s.layout.total().as_ns()).sum();
+        reserved as f64 / self.round.as_ns() as f64
+    }
+
+    /// Check the structural invariants: slots sorted, non-overlapping,
+    /// all inside the round. Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_end = 0u64;
+        for s in &self.slots {
+            let start = s.start.as_ns();
+            let end = s.end().as_ns();
+            if start < prev_end {
+                return Err(format!(
+                    "slot etag={} occ={} starts at {} before previous end {}",
+                    s.etag, s.occurrence, start, prev_end
+                ));
+            }
+            if end > self.round.as_ns() {
+                return Err(format!(
+                    "slot etag={} occ={} ends at {} past round {}",
+                    s.etag,
+                    s.occurrence,
+                    end,
+                    self.round.as_ns()
+                ));
+            }
+            prev_end = end;
+        }
+        Ok(())
+    }
+}
+
+/// Earliest start `>= window_start` such that `[start, start+len)` fits
+/// before `window_end` without intersecting `allocated` (sorted,
+/// disjoint).
+fn find_first_fit(
+    allocated: &[(u64, u64)],
+    window_start: u64,
+    window_end: u64,
+    len: u64,
+) -> Option<u64> {
+    let mut candidate = window_start;
+    for &(a, b) in allocated {
+        if b <= candidate {
+            continue;
+        }
+        if a >= candidate + len {
+            break; // gap before this interval fits
+        }
+        candidate = b; // push past this interval
+    }
+    if candidate + len <= window_end {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+fn insert_interval(allocated: &mut Vec<(u64, u64)>, iv: (u64, u64)) {
+    let pos = allocated.partition_point(|&(a, _)| a < iv.0);
+    allocated.insert(pos, iv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: BitTiming = BitTiming::MBIT_1;
+    const GAP: Duration = Duration::from_us(40);
+
+    fn req(etag: u16, node: u8, period_ms: u64, k: u32) -> SlotRequest {
+        SlotRequest {
+            etag,
+            publisher: NodeId(node),
+            dlc: 8,
+            omission_degree: k,
+            period: Duration::from_ms(period_ms),
+        }
+    }
+
+    #[test]
+    fn single_channel_plans_one_slot_per_period() {
+        let plan =
+            CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 5, 2)], T, GAP).unwrap();
+        assert_eq!(plan.slots.len(), 2);
+        assert_eq!(plan.slots[0].occurrence, 0);
+        assert_eq!(plan.slots[1].occurrence, 1);
+        assert_eq!(plan.slots[0].start, Duration::ZERO);
+        assert_eq!(plan.slots[1].start, Duration::from_ms(5));
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn multiple_channels_do_not_overlap() {
+        let requests = [
+            req(1, 0, 5, 1),
+            req(2, 1, 5, 1),
+            req(3, 2, 10, 0),
+        ];
+        let plan =
+            CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
+        assert_eq!(plan.slots.len(), 2 + 2 + 1);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn period_must_divide_round() {
+        let err =
+            CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 3, 0)], T, GAP).unwrap_err();
+        assert!(matches!(err, AdmissionError::PeriodNotDividingRound { etag: 1, .. }));
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        // Each k=2 slot is ~720 µs; 20 channels at 1 ms period demand
+        // 14.4 ms per 1 ms round.
+        let requests: Vec<SlotRequest> =
+            (0..20).map(|i| req(i as u16 + 1, i as u8, 1, 2)).collect();
+        let err =
+            CalendarPlan::plan(Duration::from_ms(1), &requests, T, GAP).unwrap_err();
+        assert!(matches!(err, AdmissionError::Overload { .. }));
+    }
+
+    #[test]
+    fn tight_but_feasible_set_is_admitted() {
+        // One k=2 slot (~720 µs) per 1 ms period: utilization ~0.72.
+        let plan =
+            CalendarPlan::plan(Duration::from_ms(4), &[req(1, 0, 1, 2)], T, GAP).unwrap();
+        assert_eq!(plan.slots.len(), 4);
+        let u = plan.reserved_utilization();
+        assert!(u > 0.7 && u < 0.75, "u = {u}");
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn window_constraint_can_fail_even_without_overload() {
+        // Two channels with 1 ms periods, each slot ~720 µs: per-window
+        // demand 1.44 ms > 1 ms, though a longer-period mix would fit.
+        let err = CalendarPlan::plan(
+            Duration::from_ms(2),
+            &[req(1, 0, 1, 2), req(2, 1, 1, 2)],
+            T,
+            GAP,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::Overload { .. } | AdmissionError::NoFit { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let mut r = req(7, 0, 5, 0);
+        r.period = Duration::ZERO;
+        let err = CalendarPlan::plan(Duration::from_ms(10), &[r], T, GAP).unwrap_err();
+        assert!(matches!(err, AdmissionError::BadRequest { etag: 7, .. }));
+
+        let mut r2 = req(8, 0, 5, 0);
+        r2.dlc = 9;
+        let err2 = CalendarPlan::plan(Duration::from_ms(10), &[r2], T, GAP).unwrap_err();
+        assert!(matches!(err2, AdmissionError::BadRequest { etag: 8, .. }));
+    }
+
+    #[test]
+    fn same_channel_two_publishers_gets_two_slot_trains() {
+        // §3.1: multiple publishers of one subject need one reservation
+        // each.
+        let requests = [req(5, 0, 10, 1), req(5, 1, 10, 1)];
+        let plan =
+            CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
+        assert_eq!(plan.slots.len(), 2);
+        assert_ne!(plan.slots[0].publisher, plan.slots[1].publisher);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn slot_offsets_expose_fig3_structure() {
+        let plan =
+            CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 10, 1)], T, GAP).unwrap();
+        let s = &plan.slots[0];
+        assert!(s.start < s.lst());
+        assert!(s.lst() < s.deadline());
+        assert!(s.deadline() < s.end());
+        assert_eq!(s.lst() - s.start, Duration::from_us(154));
+    }
+
+    #[test]
+    fn first_fit_helper() {
+        // Gap between allocations is found.
+        let allocated = vec![(0, 100), (300, 400)];
+        assert_eq!(find_first_fit(&allocated, 0, 1_000, 150), Some(100));
+        assert_eq!(find_first_fit(&allocated, 0, 1_000, 250), Some(400));
+        assert_eq!(find_first_fit(&allocated, 0, 450, 250), None);
+        assert_eq!(find_first_fit(&[], 50, 200, 150), Some(50));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AdmissionError::NoFit { etag: 3, occurrence: 1 };
+        assert!(format!("{e}").contains("etag 3"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The deadline → priority-slot mapping of §3.4 and its trade-offs.
+//!
+//! CAN offers only static priorities per frame, so EDF is approximated
+//! by quantizing the *remaining time to deadline* into priority slots of
+//! length `Δt_p`: a message whose transmission deadline is `d` gets, at
+//! time `t`, the priority
+//!
+//! ```text
+//!   P(t) = P_min + ⌊(d − t) / Δt_p⌋        (clamped to [P_min, P_max])
+//! ```
+//!
+//! As `t` advances, `P(t)` decreases (numerically) — the middleware
+//! *promotes* the pending frame by rewriting its identifier, reaching
+//! the most urgent SRT priority `P_min` at (or just before) the
+//! deadline. Two effects trade off against each other (§3.4):
+//!
+//! * **ties** — deadlines closer together than `Δt_p` map to the same
+//!   slot and their order is resolved arbitrarily by the remaining
+//!   identifier bits (a bounded priority inversion);
+//! * **horizon** — deadlines further away than
+//!   `ΔH = (P_max − P_min + 1)·Δt_p` saturate at `P_max` and are not
+//!   distinguished at all.
+//!
+//! With 250 SRT levels and `Δt_p` of about one frame time, the horizon
+//! holds 250 outstanding transmissions — comfortably more than the
+//! 32–64 nodes of a typical CAN segment, which is the paper's argument
+//! that the trade-off is benign.
+
+use rtec_can::{PRIO_SRT_MAX, PRIO_SRT_MIN};
+use rtec_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the deadline → priority mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrioritySlotConfig {
+    /// Length of one priority slot (`Δt_p`).
+    pub slot: Duration,
+    /// Most urgent SRT priority (numerically smallest).
+    pub p_min: u8,
+    /// Least urgent SRT priority (numerically largest).
+    pub p_max: u8,
+}
+
+impl PrioritySlotConfig {
+    /// The paper's running example: 250 levels (1..=250) and a slot of
+    /// roughly one CAN frame time (154 µs ≈ 160 µs; we use 160 µs so a
+    /// slot holds exactly one worst-case frame).
+    pub fn paper_default() -> Self {
+        PrioritySlotConfig {
+            slot: Duration::from_us(160),
+            p_min: PRIO_SRT_MIN,
+            p_max: PRIO_SRT_MAX,
+        }
+    }
+
+    /// Number of distinct priority levels.
+    pub fn levels(&self) -> u32 {
+        u32::from(self.p_max) - u32::from(self.p_min) + 1
+    }
+}
+
+/// The scheduling horizon `ΔH`: deadlines further out than this are
+/// indistinguishable (all map to `p_max`).
+pub fn time_horizon(config: &PrioritySlotConfig) -> Duration {
+    config.slot * u64::from(config.levels())
+}
+
+/// Map a transmission deadline to a CAN priority at time `now`
+/// (equation of §3.4): priority level `p` is held while the remaining
+/// time lies in `((p−p_min)·Δt_p, (p−p_min+1)·Δt_p]`, so the message
+/// reaches the most urgent level `p_min` during its final slot and
+/// holds it at (and past) the deadline.
+pub fn priority_for_deadline(deadline: Time, now: Time, config: &PrioritySlotConfig) -> u8 {
+    let remaining = deadline.saturating_since(now);
+    if remaining.is_zero() {
+        return config.p_min;
+    }
+    let slots = remaining.as_ns().div_ceil(config.slot.as_ns()); // >= 1
+    let p = u64::from(config.p_min) + slots - 1;
+    p.min(u64::from(config.p_max)) as u8
+}
+
+/// The true instant at which the priority of a message with deadline
+/// `deadline` next decreases (crosses into the next-more-urgent slot),
+/// or `None` if it is already at `p_min`. Drives the middleware's
+/// promotion timers.
+pub fn next_promotion_time(
+    deadline: Time,
+    now: Time,
+    config: &PrioritySlotConfig,
+) -> Option<Time> {
+    let remaining = deadline.saturating_since(now);
+    if remaining <= config.slot {
+        return None; // already (or about to be) most urgent
+    }
+    // Priority changes when the remaining time reaches the next lower
+    // multiple of the slot length.
+    let k = remaining.as_ns().div_ceil(config.slot.as_ns()); // >= 2
+    Some(deadline.saturating_sub(config.slot * (k - 1)))
+}
+
+/// Expected fraction of message pairs that collide into the same
+/// priority slot when `n` deadlines are drawn uniformly over a window
+/// `w` — the analytical companion of experiment E4's measured ties.
+pub fn expected_tie_fraction(n: u64, window: Duration, config: &PrioritySlotConfig) -> f64 {
+    if n < 2 || window.is_zero() {
+        return 0.0;
+    }
+    // Probability two independent uniform deadlines fall in the same
+    // slot of length s over window w is ~ s/w (for s << w).
+    let s = config.slot.as_ns() as f64;
+    let w = window.as_ns() as f64;
+    (s / w).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(slot_us: u64) -> PrioritySlotConfig {
+        PrioritySlotConfig {
+            slot: Duration::from_us(slot_us),
+            p_min: 1,
+            p_max: 250,
+        }
+    }
+
+    #[test]
+    fn paper_horizon_is_250_slots() {
+        let c = PrioritySlotConfig::paper_default();
+        assert_eq!(c.levels(), 250);
+        assert_eq!(time_horizon(&c), Duration::from_us(160 * 250));
+        // = 40 ms: room for 250 message transfers, as §3.4 argues.
+        assert_eq!(time_horizon(&c), Duration::from_ms(40));
+    }
+
+    #[test]
+    fn closer_deadline_means_more_urgent_priority() {
+        let c = cfg(100);
+        let now = Time::from_ms(10);
+        let p_near = priority_for_deadline(now + Duration::from_us(150), now, &c);
+        let p_far = priority_for_deadline(now + Duration::from_us(950), now, &c);
+        assert!(p_near < p_far, "{p_near} !< {p_far}");
+        assert_eq!(p_near, 2);
+        assert_eq!(p_far, 10);
+    }
+
+    #[test]
+    fn priority_reaches_most_urgent_at_deadline() {
+        let c = cfg(100);
+        let d = Time::from_ms(5);
+        assert_eq!(priority_for_deadline(d, d, &c), 1);
+        // And stays clamped when the deadline is past.
+        assert_eq!(
+            priority_for_deadline(d, d + Duration::from_ms(1), &c),
+            1
+        );
+    }
+
+    #[test]
+    fn priority_saturates_beyond_horizon() {
+        let c = cfg(100);
+        let now = Time::ZERO;
+        let far = now + time_horizon(&c) + Duration::from_secs(1);
+        assert_eq!(priority_for_deadline(far, now, &c), 250);
+    }
+
+    #[test]
+    fn priority_decreases_monotonically_over_time() {
+        let c = cfg(100);
+        let deadline = Time::from_ms(30);
+        let mut last = u8::MAX;
+        let mut t = Time::ZERO;
+        while t < deadline {
+            let p = priority_for_deadline(deadline, t, &c);
+            assert!(p <= last, "priority must never regress");
+            last = p;
+            t += Duration::from_us(37); // awkward stride on purpose
+        }
+        assert_eq!(priority_for_deadline(deadline, deadline, &c), 1);
+    }
+
+    #[test]
+    fn promotion_times_walk_slot_boundaries() {
+        let c = cfg(100);
+        let deadline = Time::from_us(1_000);
+        let now = Time::from_us(250);
+        // remaining = 750 -> slots = 7 -> boundary at deadline - 700 = 300.
+        let next = next_promotion_time(deadline, now, &c).unwrap();
+        assert_eq!(next, Time::from_us(300));
+        // At the boundary itself, the next promotion is one slot later.
+        let next2 = next_promotion_time(deadline, next, &c).unwrap();
+        assert_eq!(next2, Time::from_us(400));
+        // Promotions applied at each returned instant drive the priority
+        // down one level at a time.
+        let p_before = priority_for_deadline(deadline, now, &c);
+        let p_after = priority_for_deadline(deadline, next, &c);
+        assert_eq!(p_before, 8);
+        assert_eq!(p_after, 7);
+    }
+
+    #[test]
+    fn no_promotion_when_already_most_urgent() {
+        let c = cfg(100);
+        let deadline = Time::from_us(500);
+        assert!(next_promotion_time(deadline, Time::from_us(450), &c).is_none());
+        assert!(next_promotion_time(deadline, deadline, &c).is_none());
+    }
+
+    #[test]
+    fn tie_fraction_shrinks_with_smaller_slots() {
+        let wide = cfg(1_000);
+        let narrow = cfg(10);
+        let w = Duration::from_ms(10);
+        assert!(
+            expected_tie_fraction(50, w, &narrow) < expected_tie_fraction(50, w, &wide)
+        );
+        assert_eq!(expected_tie_fraction(1, w, &wide), 0.0);
+    }
+}

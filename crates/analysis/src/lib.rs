@@ -1,0 +1,33 @@
+//! # rtec-analysis — schedulability and worst-case timing analysis
+//!
+//! The analytical companion of the event-channel middleware:
+//!
+//! * [`wctt`] — worst-case transmission times under omission-fault
+//!   assumptions (Livani & Kaiser, WPDRTS '99 — reference [16] of the
+//!   paper): how long an HRT slot must be to fit `k` retransmissions,
+//!   and where the Latest Start Time and delivery deadline fall inside
+//!   it (Fig. 3).
+//! * [`rta`] — Tindell–Burns response-time analysis for fixed-priority
+//!   CAN messages (reference [22]), used both by the deadline-monotonic
+//!   baseline and to bound SRT interference.
+//! * [`edf`] — the deadline→priority-slot mapping of §3.4 and its time
+//!   horizon / collision trade-off.
+//! * [`npedf`] — the processor-demand feasibility test for
+//!   non-preemptive EDF (the analytic companion of the SRT channels).
+//! * [`admission`] — the off-line admission test for HRT calendar
+//!   reservations (§3.1) and utilization accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod edf;
+pub mod npedf;
+pub mod rta;
+pub mod wctt;
+
+pub use admission::{AdmissionError, CalendarPlan, SlotRequest};
+pub use edf::{priority_for_deadline, time_horizon, PrioritySlotConfig};
+pub use npedf::{np_edf_breakdown, np_edf_feasible, NpEdfResult};
+pub use rta::{rta_feasible, MessageSpec, RtaResult};
+pub use wctt::{slot_layout, wctt, SlotLayout};

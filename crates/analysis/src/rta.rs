@@ -1,0 +1,215 @@
+//! Tindell–Burns response-time analysis for fixed-priority CAN traffic.
+//!
+//! "Guaranteeing message latencies on controller area network" [22] is
+//! the classical schedulability test for CAN under static priorities.
+//! For a periodic/sporadic message `m` with worst-case frame time `C_m`,
+//! queueing jitter `J_m`, period `T_m` and unique priority, the
+//! worst-case response time is
+//!
+//! ```text
+//!   R_m = J_m + w_m + C_m
+//!   w_m = B_m + Σ_{j ∈ hp(m)} ⌈(w_m + J_j + τ_bit) / T_j⌉ · C_j
+//! ```
+//!
+//! where `B_m` is the longest lower-priority frame (non-preemption
+//! blocking) and the fixed point is reached by iteration. The
+//! deadline-monotonic baseline uses this test off-line; the experiments
+//! compare its guarantees with the event channels' behaviour.
+
+use rtec_can::bits::{worst_case_frame_bits, BitTiming};
+use rtec_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one periodic/sporadic message stream.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Unique CAN priority (lower = more urgent).
+    pub priority: u32,
+    /// Payload length in bytes (0..=8).
+    pub dlc: u8,
+    /// Period (periodic) or minimum inter-arrival time (sporadic).
+    pub period: Duration,
+    /// Relative deadline (≤ period for this analysis).
+    pub deadline: Duration,
+    /// Release jitter.
+    pub jitter: Duration,
+}
+
+impl MessageSpec {
+    /// Worst-case single-transmission wire time at the given bit rate.
+    pub fn frame_time(&self, timing: BitTiming) -> Duration {
+        timing.duration_of(worst_case_frame_bits(self.dlc))
+    }
+
+    /// Wire utilization of this stream.
+    pub fn utilization(&self, timing: BitTiming) -> f64 {
+        self.frame_time(timing).as_ns() as f64 / self.period.as_ns() as f64
+    }
+}
+
+/// Result of the response-time analysis for one message.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RtaResult {
+    /// Worst-case response time (queueing + transmission), or `None`
+    /// when the iteration diverged past the deadline ceiling (the
+    /// message is unschedulable).
+    pub response: Option<Duration>,
+    /// Whether `response ≤ deadline`.
+    pub feasible: bool,
+}
+
+/// Run the analysis for every message in `set` (priorities must be
+/// unique). Returns per-message results in the order given.
+pub fn rta_feasible(set: &[MessageSpec], timing: BitTiming) -> Vec<RtaResult> {
+    let tau_bit = timing.bit_time;
+    set.iter()
+        .map(|m| {
+            let c_m = m.frame_time(timing);
+            // Blocking: the longest frame of any lower-priority message.
+            let b_m = set
+                .iter()
+                .filter(|j| j.priority > m.priority)
+                .map(|j| j.frame_time(timing))
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let hp: Vec<&MessageSpec> =
+                set.iter().filter(|j| j.priority < m.priority).collect();
+            // Fixed-point iteration for the queueing delay w.
+            let mut w = b_m;
+            let limit = m.deadline * 4 + Duration::from_ms(100); // divergence guard
+            let response = loop {
+                let mut w_next = b_m;
+                for j in &hp {
+                    let interval = w + j.jitter + tau_bit;
+                    let releases = interval.as_ns().div_ceil(j.period.as_ns());
+                    w_next += j.frame_time(timing) * releases;
+                }
+                if w_next == w {
+                    break Some(m.jitter + w + c_m);
+                }
+                if w_next > limit {
+                    break None;
+                }
+                w = w_next;
+            };
+            let feasible = response.is_some_and(|r| r <= m.deadline);
+            RtaResult { response, feasible }
+        })
+        .collect()
+}
+
+/// Assign deadline-monotonic priorities (shorter deadline = more
+/// urgent) to a set of streams, returning the set with `priority`
+/// fields rewritten to 0..n in deadline order (ties broken by input
+/// order).
+pub fn assign_deadline_monotonic(set: &[MessageSpec]) -> Vec<MessageSpec> {
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by_key(|&i| (set[i].deadline, i));
+    let mut out = set.to_vec();
+    for (rank, &i) in order.iter().enumerate() {
+        out[i].priority = rank as u32;
+    }
+    out
+}
+
+/// Total wire utilization of a message set.
+pub fn total_utilization(set: &[MessageSpec], timing: BitTiming) -> f64 {
+    set.iter().map(|m| m.utilization(timing)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: BitTiming = BitTiming::MBIT_1;
+
+    fn msg(priority: u32, dlc: u8, period_us: u64, deadline_us: u64) -> MessageSpec {
+        MessageSpec {
+            priority,
+            dlc,
+            period: Duration::from_us(period_us),
+            deadline: Duration::from_us(deadline_us),
+            jitter: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_message_response_is_blocking_free() {
+        let set = [msg(0, 8, 10_000, 10_000)];
+        let res = rta_feasible(&set, T);
+        assert_eq!(res[0].response, Some(Duration::from_us(160)));
+        assert!(res[0].feasible);
+    }
+
+    #[test]
+    fn lower_priority_suffers_interference() {
+        let set = [
+            msg(0, 8, 1_000, 1_000),
+            msg(1, 8, 1_000, 1_000),
+            msg(2, 8, 10_000, 10_000),
+        ];
+        let res = rta_feasible(&set, T);
+        let r0 = res[0].response.unwrap();
+        let r2 = res[2].response.unwrap();
+        assert!(r2 > r0, "lowest priority has the largest response");
+        assert!(res.iter().all(|r| r.feasible));
+        // Highest priority is blocked by at most one lower frame.
+        assert_eq!(r0, Duration::from_us(160 + 160));
+    }
+
+    #[test]
+    fn overload_is_detected_as_infeasible() {
+        // Three 160 µs frames every 300 µs: utilization 1.6 — the two
+        // lowest priorities cannot be schedulable.
+        let set = [
+            msg(0, 8, 300, 300),
+            msg(1, 8, 300, 300),
+            msg(2, 8, 300, 300),
+        ];
+        let res = rta_feasible(&set, T);
+        assert!(total_utilization(&set, T) > 1.0);
+        assert!(!res[2].feasible);
+    }
+
+    #[test]
+    fn tight_deadline_fails_even_at_low_utilization() {
+        let set = [
+            msg(0, 8, 100_000, 100_000),
+            // 100 µs deadline but one blocking frame alone is 160 µs.
+            msg(1, 8, 100_000, 100),
+        ];
+        let res = rta_feasible(&set, T);
+        assert!(res[0].feasible);
+        assert!(!res[1].feasible);
+    }
+
+    #[test]
+    fn jitter_extends_response() {
+        let base = [msg(0, 8, 1_000, 1_000), msg(1, 8, 1_000, 1_000)];
+        let mut jittered = base;
+        jittered[1].jitter = Duration::from_us(50);
+        let r_base = rta_feasible(&base, T)[1].response.unwrap();
+        let r_jit = rta_feasible(&jittered, T)[1].response.unwrap();
+        assert_eq!(r_jit, r_base + Duration::from_us(50));
+    }
+
+    #[test]
+    fn deadline_monotonic_assignment_orders_by_deadline() {
+        let set = [
+            msg(99, 8, 10_000, 5_000),
+            msg(99, 8, 10_000, 1_000),
+            msg(99, 8, 10_000, 2_000),
+        ];
+        let dm = assign_deadline_monotonic(&set);
+        assert_eq!(dm[0].priority, 2);
+        assert_eq!(dm[1].priority, 0);
+        assert_eq!(dm[2].priority, 1);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let set = [msg(0, 8, 1_600, 1_600), msg(1, 8, 1_600, 1_600)];
+        let u = total_utilization(&set, T);
+        assert!((u - 0.2).abs() < 1e-9, "u = {u}");
+    }
+}

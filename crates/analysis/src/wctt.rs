@@ -1,0 +1,142 @@
+//! Worst-case transmission time under omission-fault assumptions and the
+//! time-slot layout of Fig. 3.
+//!
+//! Following Livani & Kaiser [16], a hard real-time message with payload
+//! `dlc` and assumed omission degree `k` (up to `k` of its transmissions
+//! may be lost) needs wire time for `k + 1` transmissions, each costing
+//! the worst-case frame time `C`, plus the error-signalling overhead `E`
+//! for each failed attempt:
+//!
+//! ```text
+//!   WCTT(k) = (k + 1)·C + k·E
+//! ```
+//!
+//! The slot (Fig. 3) additionally absorbs the non-preemptible frame that
+//! may occupy the bus when the slot begins:
+//!
+//! ```text
+//!   ready          LST                         delivery deadline
+//!     |— ΔT_wait —-|———————— WCTT(k) ——————————|— ΔG_min —| next slot
+//! ```
+//!
+//! * at `ready = LST − ΔT_wait` the message must be queued;
+//! * at `LST` the middleware raises it to priority 0, guaranteeing it
+//!   wins the next arbitration;
+//! * the transmission(s) complete somewhere inside `[LST, deadline]`
+//!   depending on actual faults — the middleware delivers at `deadline`
+//!   regardless, which is what removes the jitter;
+//! * `ΔG_min` separates adjacent slots against clock-precision error.
+
+use rtec_can::bits::{worst_case_frame_bits, BitTiming, ERROR_FRAME_BITS, PAPER_LONGEST_FRAME_BITS};
+use rtec_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Worst-case wire time of a single transmission of a `dlc`-byte frame.
+pub fn wcct_single(dlc: u8, timing: BitTiming) -> Duration {
+    timing.duration_of(worst_case_frame_bits(dlc))
+}
+
+/// Worst-case transmission time of a message with omission degree `k`:
+/// `(k+1)` transmissions plus `k` error-signalling overheads.
+pub fn wctt(dlc: u8, k: u32, timing: BitTiming) -> Duration {
+    let c = wcct_single(dlc, timing);
+    let e = timing.duration_of(ERROR_FRAME_BITS);
+    c * u64::from(k + 1) + e * u64::from(k)
+}
+
+/// The complete layout of one HRT time slot (Fig. 3), all offsets
+/// relative to the slot's *ready* instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotLayout {
+    /// Blocking allowance for one non-preemptible lower-priority frame:
+    /// the ready instant precedes the LST by this much.
+    pub delta_t_wait: Duration,
+    /// Wire time reserved for the message under the fault assumption.
+    pub wctt: Duration,
+    /// Gap towards the next slot covering clock imprecision.
+    pub gap: Duration,
+}
+
+impl SlotLayout {
+    /// Offset of the Latest Start Time from the ready instant.
+    pub fn lst_offset(&self) -> Duration {
+        self.delta_t_wait
+    }
+
+    /// Offset of the delivery deadline from the ready instant.
+    pub fn deadline_offset(&self) -> Duration {
+        self.delta_t_wait + self.wctt
+    }
+
+    /// Total slot length including the trailing gap — the bandwidth the
+    /// calendar must reserve.
+    pub fn total(&self) -> Duration {
+        self.delta_t_wait + self.wctt + self.gap
+    }
+}
+
+/// Compute the slot layout for a `dlc`-byte HRT message with omission
+/// degree `k`, using the paper's `ΔT_wait` (154 bit times) and a given
+/// inter-slot gap (`ΔG_min`, 40 µs in the paper).
+pub fn slot_layout(dlc: u8, k: u32, timing: BitTiming, gap: Duration) -> SlotLayout {
+    SlotLayout {
+        delta_t_wait: timing.duration_of(PAPER_LONGEST_FRAME_BITS),
+        wctt: wctt(dlc, k, timing),
+        gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: BitTiming = BitTiming::MBIT_1;
+
+    #[test]
+    fn single_transmission_times() {
+        // 8-byte worst case: 160 bits -> 160 µs at 1 Mbit/s.
+        assert_eq!(wcct_single(8, T), Duration::from_us(160));
+        assert_eq!(wcct_single(0, T), Duration::from_us(80));
+    }
+
+    #[test]
+    fn wctt_grows_linearly_with_omission_degree() {
+        let c = wcct_single(8, T);
+        let e = T.duration_of(ERROR_FRAME_BITS);
+        assert_eq!(wctt(8, 0, T), c);
+        assert_eq!(wctt(8, 1, T), c * 2 + e);
+        assert_eq!(wctt(8, 3, T), c * 4 + e * 3);
+    }
+
+    #[test]
+    fn slot_layout_fig3_ordering() {
+        let layout = slot_layout(8, 2, T, Duration::from_us(40));
+        // ready < LST < deadline, and the slot covers all three parts.
+        assert!(layout.lst_offset() > Duration::ZERO);
+        assert!(layout.deadline_offset() > layout.lst_offset());
+        assert_eq!(
+            layout.total(),
+            layout.deadline_offset() + Duration::from_us(40)
+        );
+        // ΔT_wait is the paper's 154 µs at 1 Mbit/s.
+        assert_eq!(layout.delta_t_wait, Duration::from_us(154));
+    }
+
+    #[test]
+    fn slot_grows_with_k() {
+        let l0 = slot_layout(8, 0, T, Duration::from_us(40));
+        let l2 = slot_layout(8, 2, T, Duration::from_us(40));
+        assert!(l2.total() > l0.total());
+        assert_eq!(l2.lst_offset(), l0.lst_offset(), "LST offset is k-independent");
+    }
+
+    #[test]
+    fn conservative_slot_numbers_match_paper_scale() {
+        // With k = 2 and 8-byte payloads, one slot at 1 Mbit/s is
+        // roughly 154 + 3*160 + 2*23 + 40 ≈ 720 µs — the "large share
+        // of bandwidth" the paper argues is reclaimed when no faults
+        // occur.
+        let layout = slot_layout(8, 2, T, Duration::from_us(40));
+        assert_eq!(layout.total(), Duration::from_us(154 + 480 + 46 + 40));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the analytical models: the deadline →
+//! priority mapping, the slot arithmetic and the calendar planner.
+
+use proptest::prelude::*;
+use rtec_analysis::admission::{CalendarPlan, SlotRequest};
+use rtec_analysis::edf::{
+    next_promotion_time, priority_for_deadline, time_horizon, PrioritySlotConfig,
+};
+use rtec_analysis::rta::{rta_feasible, MessageSpec};
+use rtec_analysis::wctt::{slot_layout, wctt};
+use rtec_can::bits::BitTiming;
+use rtec_can::NodeId;
+use rtec_sim::{Duration, Time};
+
+fn arb_cfg() -> impl Strategy<Value = PrioritySlotConfig> {
+    (1u64..5_000, 1u8..100, 150u8..=250).prop_map(|(slot_us, p_min, p_max)| {
+        PrioritySlotConfig {
+            slot: Duration::from_us(slot_us),
+            p_min,
+            p_max,
+        }
+    })
+}
+
+proptest! {
+    /// The mapped priority always lies within the configured band.
+    #[test]
+    fn priority_in_band(
+        cfg in arb_cfg(),
+        now_us in 0u64..10_000_000,
+        deadline_us in 0u64..10_000_000,
+    ) {
+        let p = priority_for_deadline(
+            Time::from_us(deadline_us),
+            Time::from_us(now_us),
+            &cfg,
+        );
+        prop_assert!(p >= cfg.p_min && p <= cfg.p_max);
+    }
+
+    /// As time advances towards a fixed deadline, the priority value
+    /// never increases (urgency never decreases) — the invariant behind
+    /// dynamic promotion.
+    #[test]
+    fn priority_monotone_in_time(
+        cfg in arb_cfg(),
+        deadline_us in 1_000u64..5_000_000,
+        t1 in 0u64..5_000_000,
+        t2 in 0u64..5_000_000,
+    ) {
+        let (early, late) = (t1.min(t2), t1.max(t2));
+        let d = Time::from_us(deadline_us);
+        let p_early = priority_for_deadline(d, Time::from_us(early), &cfg);
+        let p_late = priority_for_deadline(d, Time::from_us(late), &cfg);
+        prop_assert!(p_late <= p_early);
+    }
+
+    /// For a fixed observation instant, an earlier deadline never maps
+    /// to a (numerically) larger priority — EDF order is preserved up
+    /// to quantization.
+    #[test]
+    fn priority_monotone_in_deadline(
+        cfg in arb_cfg(),
+        now_us in 0u64..1_000_000,
+        d1 in 0u64..5_000_000,
+        d2 in 0u64..5_000_000,
+    ) {
+        let (sooner, later) = (d1.min(d2), d1.max(d2));
+        let now = Time::from_us(now_us);
+        let p_soon = priority_for_deadline(Time::from_us(sooner), now, &cfg);
+        let p_late = priority_for_deadline(Time::from_us(later), now, &cfg);
+        prop_assert!(p_soon <= p_late);
+    }
+
+    /// The promotion timer walks forward and each step strictly lowers
+    /// the priority value until the most urgent level is reached.
+    #[test]
+    fn promotion_walk_terminates_at_p_min(
+        cfg in arb_cfg(),
+        start_us in 0u64..100_000,
+        horizon_slots in 1u64..300,
+    ) {
+        let now = Time::from_us(start_us);
+        let deadline = now + cfg.slot * horizon_slots;
+        let mut t = now;
+        let mut p = priority_for_deadline(deadline, t, &cfg);
+        let mut steps = 0u32;
+        while let Some(next) = next_promotion_time(deadline, t, &cfg) {
+            prop_assert!(next > t, "promotion time advances");
+            prop_assert!(next <= deadline, "never past the deadline");
+            let p_next = priority_for_deadline(deadline, next, &cfg);
+            prop_assert!(p_next <= p, "priority never regresses");
+            t = next;
+            p = p_next;
+            steps += 1;
+            // One step per slot boundary (saturated deadlines cross
+            // boundaries without changing priority, so the walk is
+            // bounded by the horizon, not the level count).
+            prop_assert!(
+                steps <= horizon_slots as u32 + 1,
+                "bounded by the slot count"
+            );
+        }
+        prop_assert_eq!(p, cfg.p_min);
+    }
+
+    /// Deadlines beyond the horizon all map to the same (least urgent)
+    /// priority.
+    #[test]
+    fn beyond_horizon_saturates(cfg in arb_cfg(), extra_us in 1u64..1_000_000) {
+        let now = Time::ZERO;
+        let beyond = now + time_horizon(&cfg) + Duration::from_us(extra_us);
+        prop_assert_eq!(priority_for_deadline(beyond, now, &cfg), cfg.p_max);
+    }
+
+    /// WCTT is monotone in both payload size and omission degree.
+    #[test]
+    fn wctt_monotone(dlc in 0u8..8, k in 0u32..6) {
+        let t = BitTiming::MBIT_1;
+        prop_assert!(wctt(dlc + 1, k, t) > wctt(dlc, k, t));
+        prop_assert!(wctt(dlc, k + 1, t) > wctt(dlc, k, t));
+        let layout = slot_layout(dlc, k, t, Duration::from_us(40));
+        prop_assert!(layout.total() > layout.wctt);
+    }
+
+    /// Whatever request set the planner admits, the resulting calendar
+    /// is structurally valid and every slot lies inside its period
+    /// window with the right owner.
+    #[test]
+    fn admitted_calendars_are_valid(
+        n in 1usize..10,
+        period_choices in prop::collection::vec(0usize..3, 1..10),
+        k in 0u32..3,
+    ) {
+        let periods = [Duration::from_ms(5), Duration::from_ms(10), Duration::from_ms(20)];
+        let round = Duration::from_ms(20);
+        let requests: Vec<SlotRequest> = period_choices
+            .iter()
+            .take(n.max(1))
+            .enumerate()
+            .map(|(i, &c)| SlotRequest {
+                etag: 16 + i as u16,
+                publisher: NodeId((i % 8) as u8),
+                dlc: 8,
+                omission_degree: k,
+                period: periods[c],
+            })
+            .collect();
+        match CalendarPlan::plan(round, &requests, BitTiming::MBIT_1, Duration::from_us(40)) {
+            Ok(plan) => {
+                plan.validate().unwrap();
+                for req in &requests {
+                    let occurrences = round / req.period;
+                    let slots: Vec<_> = plan
+                        .slots
+                        .iter()
+                        .filter(|s| s.etag == req.etag && s.publisher == req.publisher)
+                        .collect();
+                    prop_assert_eq!(slots.len() as u64, occurrences);
+                    for s in slots {
+                        let w_start = req.period * u64::from(s.occurrence);
+                        let w_end = req.period * (u64::from(s.occurrence) + 1);
+                        prop_assert!(s.start >= w_start);
+                        prop_assert!(s.end() <= w_end, "slot inside its period window");
+                    }
+                }
+            }
+            Err(_) => {
+                // Rejection is always allowed; over-demand must reject.
+                let demand: u64 = requests
+                    .iter()
+                    .map(|r| {
+                        slot_layout(r.dlc, r.omission_degree, BitTiming::MBIT_1, Duration::from_us(40))
+                            .total()
+                            .as_ns()
+                            * (round / r.period)
+                    })
+                    .sum();
+                prop_assert!(demand > 0);
+            }
+        }
+    }
+
+    /// RTA: adding interference never shortens a message's response.
+    #[test]
+    fn rta_interference_monotone(
+        base_period_us in 500u64..5_000,
+        extra_period_us in 500u64..5_000,
+    ) {
+        let t = BitTiming::MBIT_1;
+        let victim = MessageSpec {
+            priority: 10,
+            dlc: 8,
+            period: Duration::from_us(base_period_us * 10),
+            deadline: Duration::from_us(base_period_us * 10),
+            jitter: Duration::ZERO,
+        };
+        let alone = rta_feasible(&[victim], t)[0].response;
+        let interferer = MessageSpec {
+            priority: 1,
+            dlc: 8,
+            period: Duration::from_us(extra_period_us * 4),
+            deadline: Duration::from_us(extra_period_us * 4),
+            jitter: Duration::ZERO,
+        };
+        let together = rta_feasible(&[victim, interferer], t)[0].response;
+        match (alone, together) {
+            (Some(a), Some(b)) => prop_assert!(b >= a),
+            (Some(_), None) => {} // diverged: infinitely worse, fine
+            (None, _) => prop_assert!(false, "single message always converges"),
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! A TTP/A-style master-slave polled baseline (§4).
+//!
+//! In TTP/A "the master always initiates the communication with the
+//! slaves sending their own messages in a predefined manner": a round
+//! begins with the master's fireworks frame, then each slave transmits
+//! in its assigned slot, in order. Two consequences the event-channel
+//! model avoids:
+//!
+//! * the master is a single point of failure (a dead master silences
+//!   the whole bus), and
+//! * a sporadic event at a slave waits, on average, half a round before
+//!   its polling slot comes up — event-driven arbitration sends it
+//!   after at most one frame of blocking.
+//!
+//! The model runs the polling schedule on the same simulated bus and
+//! measures exactly that: sporadic-event latency from occurrence to
+//! wire completion.
+
+use rtec_can::bits::exact_frame_bits;
+use rtec_can::{
+    BusConfig, CanBus, CanEvent, CanId, FaultInjector, FilterMode, Frame,
+    MapScheduler, NodeId, Notification, TxRequest, PRIO_HRT,
+};
+use rtec_sim::{Ctx, Duration, Engine, Histogram, Model, Rng, RngStreams, Time};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a TTP/A-style polled bus.
+#[derive(Clone, Debug)]
+pub struct TtpaConfig {
+    /// Bus parameters.
+    pub bus: BusConfig,
+    /// The master node.
+    pub master: NodeId,
+    /// Polled slaves in slot order, each with its payload size.
+    pub slaves: Vec<(NodeId, u8)>,
+    /// Round period (must exceed the summed frame times).
+    pub round_period: Duration,
+    /// Mean gap of the sporadic events whose latency is measured
+    /// (events occur at random slaves).
+    pub sporadic_mean_gap: Duration,
+    /// Run seed.
+    pub seed: u64,
+    /// `true` = the master dies mid-run (single-point-of-failure demo).
+    pub kill_master_at: Option<Time>,
+}
+
+/// Measured outcome.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TtpaStats {
+    /// Completed polling rounds.
+    pub rounds: u64,
+    /// Slave data frames transmitted.
+    pub responses: u64,
+    /// Sporadic events generated.
+    pub sporadic_events: u64,
+    /// Sporadic events whose data reached the wire.
+    pub sporadic_served: u64,
+    /// Occurrence → wire completion latency of sporadic events (ns).
+    pub sporadic_latency_ns: Histogram,
+}
+
+/// World events.
+#[derive(Clone, Copy, Debug)]
+pub enum TtpaEvent {
+    /// Bus activity.
+    Can(CanEvent),
+    /// Master starts the next round.
+    RoundStart,
+    /// A sporadic event occurs at a slave.
+    Sporadic,
+    /// The master dies.
+    KillMaster,
+}
+
+const ETAG_POLL: u16 = 8;
+const ETAG_DATA_BASE: u16 = 32;
+
+/// The polled-bus world.
+pub struct TtpaWorld {
+    bus: CanBus,
+    config: TtpaConfig,
+    rng: Rng,
+    /// Pending sporadic event occurrence time per slave (the value the
+    /// slave will ship in its next slot).
+    pending_sporadic: Vec<Option<Time>>,
+    /// Index of the slave expected to answer next (None = between
+    /// rounds).
+    polling: Option<usize>,
+    master_alive: bool,
+    /// Measured outcome.
+    pub stats: TtpaStats,
+}
+
+fn wrap(ev: CanEvent) -> TtpaEvent {
+    TtpaEvent::Can(ev)
+}
+
+impl TtpaWorld {
+    /// Build the engine with the first round and sporadic generator
+    /// scheduled.
+    pub fn engine(config: TtpaConfig) -> Engine<TtpaWorld> {
+        let num_nodes = config
+            .slaves
+            .iter()
+            .map(|&(n, _)| n.index() + 1)
+            .chain([config.master.index() + 1])
+            .max()
+            .unwrap_or(1);
+        let streams = RngStreams::new(config.seed);
+        let mut bus = CanBus::new(config.bus, num_nodes, FaultInjector::none());
+        for i in 0..num_nodes {
+            bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+        }
+        let n_slaves = config.slaves.len();
+        let kill = config.kill_master_at;
+        let world = TtpaWorld {
+            bus,
+            rng: streams.stream("sporadic"),
+            pending_sporadic: vec![None; n_slaves],
+            polling: None,
+            master_alive: true,
+            stats: TtpaStats::default(),
+            config,
+        };
+        let mut engine = Engine::new(world);
+        engine.schedule_at(Time::ZERO, TtpaEvent::RoundStart);
+        engine.schedule_at(Time::ZERO, TtpaEvent::Sporadic);
+        if let Some(t) = kill {
+            engine.schedule_at(t, TtpaEvent::KillMaster);
+        }
+        engine
+    }
+
+    fn on_round_start(&mut self, ctx: &mut Ctx<TtpaEvent>) {
+        ctx.after(self.config.round_period, TtpaEvent::RoundStart);
+        if !self.master_alive {
+            return; // silent bus: nobody may speak without the master
+        }
+        // Fireworks frame opens the round.
+        let frame = Frame::new(CanId::new(PRIO_HRT, self.config.master.0, ETAG_POLL), &[0]);
+        let mut sched = MapScheduler::new(ctx, wrap);
+        self.bus.submit(
+            &mut sched,
+            self.config.master,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag: u64::from(ETAG_POLL),
+            },
+        );
+    }
+
+    fn poll_next(&mut self, ctx: &mut Ctx<TtpaEvent>, idx: usize) {
+        if idx >= self.config.slaves.len() {
+            self.polling = None;
+            self.stats.rounds += 1;
+            return;
+        }
+        self.polling = Some(idx);
+        let (node, dlc) = self.config.slaves[idx];
+        let frame = Frame::new(
+            CanId::new(PRIO_HRT, node.0, ETAG_DATA_BASE + idx as u16),
+            &vec![idx as u8; usize::from(dlc)],
+        );
+        let mut sched = MapScheduler::new(ctx, wrap);
+        self.bus.submit(
+            &mut sched,
+            node,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag: u64::from(ETAG_DATA_BASE + idx as u16),
+            },
+        );
+    }
+
+    fn on_note(&mut self, ctx: &mut Ctx<TtpaEvent>, note: Notification) {
+        if let Notification::TxCompleted { tag, .. } = note {
+            if tag == u64::from(ETAG_POLL) {
+                // Round opened: first slave answers.
+                self.poll_next(ctx, 0);
+            } else if tag >= u64::from(ETAG_DATA_BASE) {
+                let idx = (tag - u64::from(ETAG_DATA_BASE)) as usize;
+                self.stats.responses += 1;
+                // The slot carried whatever sporadic data was pending.
+                if let Some(occurred) = self.pending_sporadic[idx].take() {
+                    self.stats.sporadic_served += 1;
+                    self.stats
+                        .sporadic_latency_ns
+                        .record(ctx.now().saturating_since(occurred).as_ns());
+                }
+                self.poll_next(ctx, idx + 1);
+            }
+        }
+    }
+
+    fn on_sporadic(&mut self, ctx: &mut Ctx<TtpaEvent>) {
+        let now = ctx.now();
+        let gap = Duration::from_ns(
+            self.rng
+                .gen_exp(self.config.sporadic_mean_gap.as_ns() as f64)
+                .max(1.0) as u64,
+        );
+        ctx.at(now + gap, TtpaEvent::Sporadic);
+        if self.config.slaves.is_empty() {
+            return;
+        }
+        let idx = self.rng.gen_range_u64(self.config.slaves.len() as u64) as usize;
+        self.stats.sporadic_events += 1;
+        // Latest-value semantics: a newer occurrence replaces an unsent
+        // older one (the old value's latency is never recorded — it was
+        // superseded, matching a sensor's "current value" register).
+        self.pending_sporadic[idx] = Some(now);
+    }
+}
+
+impl Model for TtpaWorld {
+    type Event = TtpaEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<TtpaEvent>, ev: TtpaEvent) {
+        match ev {
+            TtpaEvent::Can(can_ev) => {
+                let notes = {
+                    let mut sched = MapScheduler::new(ctx, wrap);
+                    self.bus.handle(&mut sched, can_ev)
+                };
+                for note in notes {
+                    self.on_note(ctx, note);
+                }
+            }
+            TtpaEvent::RoundStart => self.on_round_start(ctx),
+            TtpaEvent::Sporadic => self.on_sporadic(ctx),
+            TtpaEvent::KillMaster => {
+                self.master_alive = false;
+                let master = self.config.master;
+                self.bus.controller_mut(master).set_operational(false);
+            }
+        }
+    }
+}
+
+/// Run a TTP/A configuration for `horizon`.
+pub fn run_ttpa(config: TtpaConfig, horizon: Duration) -> (TtpaStats, rtec_can::BusStats) {
+    let mut engine = TtpaWorld::engine(config);
+    engine.run_until(Time::ZERO + horizon);
+    let stats = engine.model.stats.clone();
+    (stats, engine.model.bus.stats)
+}
+
+/// Wire time of one full polling round (fireworks + all slave frames).
+pub fn round_wire_time(config: &TtpaConfig) -> Duration {
+    let poll = Frame::new(CanId::new(PRIO_HRT, config.master.0, ETAG_POLL), &[0]);
+    let mut total = config.bus.timing.duration_of(exact_frame_bits(&poll));
+    for (i, &(node, dlc)) in config.slaves.iter().enumerate() {
+        let f = Frame::new(
+            CanId::new(PRIO_HRT, node.0, ETAG_DATA_BASE + i as u16),
+            &vec![0u8; usize::from(dlc)],
+        );
+        total += config.bus.timing.duration_of(exact_frame_bits(&f));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TtpaConfig {
+        TtpaConfig {
+            bus: BusConfig::default(),
+            master: NodeId(0),
+            slaves: vec![(NodeId(1), 8), (NodeId(2), 8), (NodeId(3), 4)],
+            round_period: Duration::from_ms(2),
+            sporadic_mean_gap: Duration::from_ms(5),
+            seed: 9,
+            kill_master_at: None,
+        }
+    }
+
+    #[test]
+    fn rounds_poll_all_slaves_in_order() {
+        let (stats, bus) = run_ttpa(config(), Duration::from_ms(100));
+        assert!(stats.rounds >= 49, "rounds {}", stats.rounds);
+        assert_eq!(stats.responses, stats.rounds * 3);
+        assert_eq!(bus.frames_corrupted, 0);
+    }
+
+    #[test]
+    fn sporadic_latency_is_about_half_a_round() {
+        let (stats, _) = run_ttpa(config(), Duration::from_secs(5));
+        assert!(stats.sporadic_served > 500);
+        let mut h = stats.sporadic_latency_ns.clone();
+        let mean = h.mean().unwrap();
+        // Uniform waiting for the next polling slot: mean ≈ half the
+        // round period (plus frame times).
+        assert!(
+            (0.3e6..1.6e6).contains(&mean),
+            "mean sporadic latency {mean}ns"
+        );
+        assert!(h.max().unwrap() > 1_500_000, "worst case near a full round");
+        let _ = h.percentile(99.0);
+    }
+
+    #[test]
+    fn dead_master_silences_the_bus() {
+        let mut cfg = config();
+        cfg.kill_master_at = Some(Time::from_ms(50));
+        let (stats, bus) = run_ttpa(cfg, Duration::from_ms(200));
+        // Rounds stop growing after the kill.
+        assert!(stats.rounds < 30, "rounds {}", stats.rounds);
+        // No traffic at all in the second half: the single point of
+        // failure takes everything down.
+        let frames_after = bus.frames_ok;
+        assert!(frames_after < 30 * 4 + 4);
+    }
+
+    #[test]
+    fn round_wire_time_is_consistent() {
+        let t = round_wire_time(&config());
+        // 1 poll (~70 µs) + two 8-byte (~135 µs) + one 4-byte (~100 µs).
+        assert!(t > Duration::from_us(300) && t < Duration::from_us(550), "{t}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Benchmarks of the analytical kernels: calendar planning, the
+//! response-time analysis, the NP-EDF demand test and the deadline →
+//! priority mapping (the per-message hot path of the SRT scheduler).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtec_analysis::admission::{CalendarPlan, SlotRequest};
+use rtec_analysis::edf::{next_promotion_time, priority_for_deadline, PrioritySlotConfig};
+use rtec_analysis::npedf::np_edf_feasible;
+use rtec_analysis::rta::{rta_feasible, MessageSpec};
+use rtec_can::bits::BitTiming;
+use rtec_can::NodeId;
+use rtec_sim::{Duration, Time};
+use std::hint::black_box;
+
+fn requests(n: usize) -> Vec<SlotRequest> {
+    (0..n)
+        .map(|i| SlotRequest {
+            etag: 16 + i as u16,
+            publisher: NodeId((i % 32) as u8),
+            dlc: 8,
+            omission_degree: 1,
+            period: if i % 3 == 0 {
+                Duration::from_ms(5)
+            } else {
+                Duration::from_ms(10)
+            },
+        })
+        .collect()
+}
+
+fn specs(n: usize) -> Vec<MessageSpec> {
+    (0..n)
+        .map(|i| MessageSpec {
+            priority: i as u32,
+            dlc: 8,
+            period: Duration::from_ms(2 + (i as u64 % 20)),
+            deadline: Duration::from_ms(2 + (i as u64 % 20)),
+            jitter: Duration::ZERO,
+        })
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let reqs = requests(8);
+    c.bench_function("admission/plan/8ch_10ms_round", |b| {
+        b.iter(|| {
+            black_box(
+                CalendarPlan::plan(
+                    Duration::from_ms(10),
+                    black_box(&reqs),
+                    BitTiming::MBIT_1,
+                    Duration::from_us(40),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let set20 = specs(20);
+    c.bench_function("rta/20msgs", |b| {
+        b.iter(|| black_box(rta_feasible(black_box(&set20), BitTiming::MBIT_1)))
+    });
+
+    c.bench_function("npedf/20msgs", |b| {
+        b.iter(|| black_box(np_edf_feasible(black_box(&set20), BitTiming::MBIT_1)))
+    });
+
+    let cfg = PrioritySlotConfig::paper_default();
+    c.bench_function("edf/priority_for_deadline", |b| {
+        let now = Time::from_ms(100);
+        let deadline = Time::from_ms(107);
+        b.iter(|| {
+            black_box(priority_for_deadline(
+                black_box(deadline),
+                black_box(now),
+                &cfg,
+            ))
+        })
+    });
+
+    c.bench_function("edf/next_promotion_time", |b| {
+        let now = Time::from_ms(100);
+        let deadline = Time::from_ms(107);
+        b.iter(|| {
+            black_box(next_promotion_time(
+                black_box(deadline),
+                black_box(now),
+                &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

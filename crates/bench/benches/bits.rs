@@ -1,0 +1,57 @@
+//! Microbenchmarks of the bit-level CAN codec: serialization, stuffing
+//! and CRC-15 — the inner loop of every simulated transmission.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtec_can::bits::{crc15, destuff, exact_frame_bits, stuff, unstuffed_bits};
+use rtec_can::{CanId, Frame};
+use std::hint::black_box;
+
+fn bench_bits(c: &mut Criterion) {
+    let frames: Vec<Frame> = (0..=8u8)
+        .map(|dlc| {
+            Frame::new(
+                CanId::new(dlc, 7, 0x1234),
+                &(0..dlc).collect::<Vec<u8>>(),
+            )
+        })
+        .collect();
+
+    c.bench_function("exact_frame_bits/dlc8", |b| {
+        b.iter(|| black_box(exact_frame_bits(black_box(&frames[8]))))
+    });
+
+    c.bench_function("unstuffed_bits/dlc8", |b| {
+        b.iter(|| black_box(unstuffed_bits(black_box(&frames[8]))))
+    });
+
+    let bits = unstuffed_bits(&frames[8]);
+    c.bench_function("crc15/118bits", |b| {
+        b.iter(|| black_box(crc15(black_box(&bits))))
+    });
+
+    c.bench_function("stuff/118bits", |b| {
+        b.iter(|| black_box(stuff(black_box(&bits))))
+    });
+
+    let stuffed = stuff(&bits);
+    c.bench_function("destuff/roundtrip", |b| {
+        b.iter_batched(
+            || stuffed.clone(),
+            |s| black_box(destuff(&s).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("exact_frame_bits/all_dlc", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for f in &frames {
+                total += exact_frame_bits(black_box(f));
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_bits);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Bus-simulation throughput: how much simulated saturated traffic the
+//! discrete-event CAN model processes per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtec_can::{
+    BusConfig, CanBus, CanEvent, CanId, FaultInjector, FilterMode, Frame, MapScheduler, NodeId,
+    Notification, TxRequest,
+};
+use rtec_sim::{Ctx, Engine, Model, Time};
+use std::hint::black_box;
+
+/// Minimal world that keeps `n` nodes saturated: whenever a node's
+/// frame completes, it immediately submits another.
+struct Saturator {
+    bus: CanBus,
+    nodes: usize,
+    completed: u64,
+}
+
+enum Ev {
+    Can(CanEvent),
+    Seed,
+}
+
+impl Model for Saturator {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        match ev {
+            Ev::Seed => {
+                for i in 0..self.nodes {
+                    submit(&mut self.bus, ctx, i as u8);
+                }
+            }
+            Ev::Can(can_ev) => {
+                let notes = {
+                    let mut sched = MapScheduler::new(ctx, Ev::Can);
+                    self.bus.handle(&mut sched, can_ev)
+                };
+                for note in notes {
+                    if let Notification::TxCompleted { node, .. } = note {
+                        self.completed += 1;
+                        submit(&mut self.bus, ctx, node.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn submit(bus: &mut CanBus, ctx: &mut Ctx<Ev>, node: u8) {
+    let frame = Frame::new(CanId::new(100 + node, node, 500 + u16::from(node)), &[node; 8]);
+    let mut sched = MapScheduler::new(ctx, Ev::Can);
+    bus.submit(
+        &mut sched,
+        NodeId(node),
+        TxRequest {
+            frame,
+            single_shot: false,
+            tag: u64::from(node),
+        },
+    );
+}
+
+fn run_saturated(nodes: usize, sim_ms: u64) -> u64 {
+    let mut bus = CanBus::new(BusConfig::default(), nodes, FaultInjector::none());
+    for i in 0..nodes {
+        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+    }
+    let mut engine = Engine::new(Saturator {
+        bus,
+        nodes,
+        completed: 0,
+    });
+    engine.schedule_at(Time::ZERO, Ev::Seed);
+    engine.run_until(Time::from_ms(sim_ms));
+    engine.model.completed
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_saturated");
+    // ~7 frames per simulated ms at 1 Mbit/s.
+    for nodes in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(7 * 10));
+        group.bench_function(format!("{nodes}nodes/10ms"), |b| {
+            b.iter(|| black_box(run_saturated(black_box(nodes), 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bus);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Full middleware-stack benchmark: a complete event-channel network
+//! (HRT calendar + SRT background + NRT bulk) simulated for a fixed
+//! span — the end-to-end cost of one experiment iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtec_core::channel::HrtSpec;
+use rtec_core::prelude::*;
+use std::hint::black_box;
+
+fn full_stack_run(ms: u64) -> u64 {
+    let mut net = Network::builder()
+        .nodes(6)
+        .round(Duration::from_ms(10))
+        .seed(9)
+        .build();
+    let sensor = Subject::new(0xB001);
+    let noise = Subject::new(0xB002);
+    let bulk = Subject::new(0xB003);
+    {
+        let mut api = net.api();
+        api.announce(
+            NodeId(0),
+            sensor,
+            ChannelSpec::hrt(HrtSpec {
+                period: Duration::from_ms(10),
+                dlc: 8,
+                omission_degree: 1,
+                sporadic: false,
+            }),
+        )
+        .unwrap();
+        api.announce(NodeId(1), noise, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+        api.announce(NodeId(4), bulk, ChannelSpec::nrt(NrtSpec::bulk()))
+            .unwrap();
+        api.subscribe(NodeId(2), sensor, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(3), noise, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(5), bulk, SubscribeSpec::default()).unwrap();
+        api.install_calendar().unwrap();
+    }
+    net.every(Duration::from_ms(10), Duration::from_us(100), move |api| {
+        let _ = api.publish(NodeId(0), sensor, Event::new(sensor, vec![1; 8]));
+    });
+    net.every(Duration::from_us(300), Duration::ZERO, move |api| {
+        let _ = api.publish(NodeId(1), noise, Event::new(noise, vec![2; 8]));
+    });
+    net.after(Duration::from_ms(1), move |api| {
+        let _ = api.publish(NodeId(4), bulk, Event::new(bulk, vec![3u8; 2048]));
+    });
+    net.run_for(Duration::from_ms(ms));
+    net.stats().total_delivered()
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network/full_stack/50ms", |b| {
+        b.iter(|| black_box(full_stack_run(black_box(50))))
+    });
+    c.bench_function("network/full_stack/200ms", |b| {
+        b.iter(|| black_box(full_stack_run(black_box(200))))
+    });
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

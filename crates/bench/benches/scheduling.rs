@@ -1,0 +1,83 @@
+//! Policy-testbed benchmarks: simulated scheduling runs per wall-clock
+//! second for each priority policy (E4/E5's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtec_baselines::{
+    run_testbed, DualPriorityPolicy, EdfPolicy, FixedPriorityPolicy, TestbedConfig,
+};
+use rtec_can::bits::BitTiming;
+use rtec_can::BusConfig;
+use rtec_sim::{Duration, Rng};
+use rtec_workloads::{scale_load, set_utilization, uniform_srt_set, StreamSpec};
+use std::hint::black_box;
+
+fn workload(load: f64) -> Vec<StreamSpec> {
+    let mut rng = Rng::seed_from_u64(5);
+    let base = uniform_srt_set(
+        12,
+        6,
+        Duration::from_ms(2),
+        Duration::from_ms(50),
+        &mut rng,
+    );
+    scale_load(&base, load / set_utilization(&base, BitTiming::MBIT_1))
+}
+
+fn config(set: Vec<StreamSpec>) -> TestbedConfig {
+    TestbedConfig {
+        bus: BusConfig::default(),
+        streams: set,
+        seed: 5,
+        drop_on_expiry: false,
+    }
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let set = workload(0.9);
+    let horizon = Duration::from_ms(200);
+
+    c.bench_function("testbed/edf/200ms@0.9", |b| {
+        b.iter(|| {
+            black_box(run_testbed(
+                EdfPolicy::default(),
+                config(set.clone()),
+                horizon,
+            ))
+        })
+    });
+
+    c.bench_function("testbed/fixed-dm/200ms@0.9", |b| {
+        b.iter(|| {
+            black_box(run_testbed(
+                FixedPriorityPolicy::deadline_monotonic(&set),
+                config(set.clone()),
+                horizon,
+            ))
+        })
+    });
+
+    c.bench_function("testbed/dual/200ms@0.9", |b| {
+        b.iter(|| {
+            black_box(run_testbed(
+                DualPriorityPolicy::new(&set, BitTiming::MBIT_1),
+                config(set.clone()),
+                horizon,
+            ))
+        })
+    });
+
+    // Overload case: denser event traffic, more queue churn.
+    let heavy = workload(1.4);
+    c.bench_function("testbed/edf/200ms@1.4-overload", |b| {
+        b.iter(|| {
+            black_box(run_testbed(
+                EdfPolicy::default(),
+                config(heavy.clone()),
+                horizon,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The experiment runner: regenerates every table of the evaluation.
+//!
+//! ```text
+//! experiments all              # run the full suite
+//! experiments e3 e5           # run selected experiments
+//! experiments all --quick     # shrunken horizons (smoke run)
+//! experiments all --seed 7    # different seed
+//! experiments --list          # show the index
+//! ```
+
+use rtec_bench::experiments::all;
+use rtec_bench::RunOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOpts::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut list_only = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = iter.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("--seed needs an integer");
+            }
+            "--list" => list_only = true,
+            "all" => selected.push("all".into()),
+            other => selected.push(other.to_lowercase()),
+        }
+    }
+    let registry = all();
+    if list_only || selected.is_empty() {
+        eprintln!("experiments (pass ids or 'all'; --quick for a smoke run):");
+        for e in &registry {
+            eprintln!("  {:>4}  {}", e.id, e.what);
+        }
+        if selected.is_empty() && !list_only {
+            std::process::exit(2);
+        }
+        return;
+    }
+    let run_all = selected.iter().any(|s| s == "all");
+    let mut ran = 0;
+    for e in &registry {
+        if run_all || selected.iter().any(|s| s == e.id) {
+            eprintln!("=== {} — {} ({}) ===", e.id, e.what, if opts.quick { "quick" } else { "full" });
+            for table in (e.run)(&opts) {
+                println!("{table}");
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no matching experiment; use --list");
+        std::process::exit(2);
+    }
+}

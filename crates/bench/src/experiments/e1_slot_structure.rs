@@ -1,0 +1,99 @@
+//! E1 / Fig. 3 — the time-slot structure in action.
+//!
+//! One periodic HRT channel under saturating SRT background. The wire
+//! completion of the HRT frame moves around inside its slot (pre-LST
+//! blocking by a non-preemptible frame varies), yet deliveries are
+//! perfectly periodic because the middleware delivers at the slot's
+//! delivery deadline. The ablation row disables deferred delivery to
+//! show the jitter the application would otherwise see.
+
+use super::common::{etag, hrt_sensor, srt_background, HRT_SUBJECT};
+use crate::table::{us, Table};
+use crate::{RunOpts, Table as T};
+use rtec_can::bits::BitTiming;
+use rtec_core::prelude::*;
+
+struct Outcome {
+    deliveries: usize,
+    period_jitter_p2p_ns: u64,
+    wire_offset_min_ns: u64,
+    wire_offset_max_ns: u64,
+    lst_blocking_max_ns: u64,
+    missing: u64,
+}
+
+fn run_one(opts: &RunOpts, deferred: bool) -> Outcome {
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .seed(opts.seed)
+        .hrt_deferred_delivery(deferred)
+        .build();
+    let q = hrt_sensor(&mut net, Duration::from_ms(10), 2, 1.0, opts.seed);
+    let _bg = srt_background(&mut net, NodeId(1), NodeId(3), Duration::from_us(137));
+    net.run_for(opts.horizon(Duration::from_secs(2)));
+    let deliveries = q.drain();
+    let mut p2p_min = u64::MAX;
+    let mut p2p_max = 0u64;
+    for w in deliveries.windows(2) {
+        let gap = w[1].delivered_at.saturating_since(w[0].delivered_at).as_ns();
+        p2p_min = p2p_min.min(gap);
+        p2p_max = p2p_max.max(gap);
+    }
+    let st = net.stats();
+    let ch = st.channel(etag(&net, HRT_SUBJECT));
+    Outcome {
+        deliveries: deliveries.len(),
+        period_jitter_p2p_ns: p2p_max.saturating_sub(p2p_min),
+        wire_offset_min_ns: st.hrt_wire_offset_ns.min().unwrap_or(0),
+        wire_offset_max_ns: st.hrt_wire_offset_ns.max().unwrap_or(0),
+        lst_blocking_max_ns: st.hrt_lst_blocking_ns.max().unwrap_or(0),
+        missing: ch.missing_events,
+    }
+}
+
+/// Run E1.
+pub fn run(opts: &RunOpts) -> Vec<T> {
+    let paper = run_one(opts, true);
+    let ablation = run_one(opts, false);
+    let mut t = Table::new(
+        "E1 (Fig. 3): slot structure — jitter removal and ΔT_wait bound",
+        &[
+            "delivery mode",
+            "deliveries",
+            "period jitter p2p (us)",
+            "wire offset in slot (us, min..max)",
+            "max LST blocking (us)",
+            "missing",
+        ],
+    );
+    for (name, o) in [("deliver-at-deadline (paper)", &paper), ("immediate (ablation)", &ablation)]
+    {
+        t.row(vec![
+            name.to_string(),
+            o.deliveries.to_string(),
+            us(o.period_jitter_p2p_ns),
+            format!("{}..{}", us(o.wire_offset_min_ns), us(o.wire_offset_max_ns)),
+            us(o.lst_blocking_max_ns),
+            o.missing.to_string(),
+        ]);
+    }
+    let bound = BitTiming::MBIT_1.delta_t_wait_tight().as_ns();
+    t.note(format!(
+        "ΔT_wait bound = {} us (160-bit worst frame; paper quotes 154 us) — max observed blocking {} us {}",
+        us(bound),
+        us(paper.lst_blocking_max_ns.max(ablation.lst_blocking_max_ns)),
+        if paper.lst_blocking_max_ns <= bound && ablation.lst_blocking_max_ns <= bound {
+            "=> bound holds"
+        } else {
+            "=> BOUND VIOLATED"
+        }
+    ));
+    t.note(format!(
+        "paper claim: application-visible jitter 0 with deferred delivery (measured {} us) while wire completion varies by {} us inside the slot",
+        us(paper.period_jitter_p2p_ns),
+        us(paper.wire_offset_max_ns.saturating_sub(paper.wire_offset_min_ns)),
+    ));
+    t.note(format!("seed={}", opts.seed));
+    vec![t]
+}

@@ -1,0 +1,136 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled table of string cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + what it shows).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "\n## {}\n", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = w[i] - cell.chars().count();
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.columns)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format nanoseconds as microseconds.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100000".into(), "x".into()]);
+        t.note("a note");
+        let s = format!("{t}");
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| a      | long-header |"));
+        assert!(s.contains("| 100000 | x           |"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(3.456), "3.46");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(us(154_000), "154.0");
+    }
+}

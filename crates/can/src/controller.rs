@@ -1,0 +1,476 @@
+//! The per-node CAN controller: transmit requests and acceptance
+//! filtering.
+//!
+//! A real CAN controller holds a small set of transmit mailboxes and
+//! always contends with the lowest-identifier pending frame; received
+//! frames pass a bank of mask/match acceptance filters before reaching
+//! the host. Two controller capabilities matter for the protocol:
+//!
+//! * **Abort & re-submit** — the middleware can withdraw a pending frame
+//!   that has not started transmitting and re-submit it with a modified
+//!   identifier. This implements both the LST priority raise of HRT
+//!   messages and the dynamic priority promotion of SRT messages
+//!   ([`Controller::update_id`]).
+//! * **Hardware subject filtering** — the dynamic binding scheme maps a
+//!   subject to an etag so that the controller's acceptance filters do
+//!   the subject filtering, putting no load on the host CPU (§2.1).
+
+use crate::frame::Frame;
+use crate::id::{CanId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Handle identifying a submitted transmit request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TxHandle(pub u64);
+
+/// A transmit request from the middleware.
+#[derive(Clone, Debug)]
+pub struct TxRequest {
+    /// Frame to transmit. The identifier may be rewritten later through
+    /// [`Controller::update_id`] while the request is still pending.
+    pub frame: Frame,
+    /// If `true`, a corrupted attempt is *not* automatically
+    /// retransmitted (TTCAN-style single-shot mode).
+    pub single_shot: bool,
+    /// Opaque middleware correlation tag, echoed in notifications.
+    pub tag: u64,
+}
+
+/// One mask/match acceptance filter: a frame is accepted when
+/// `(id & mask) == (pattern & mask)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptanceFilter {
+    /// Bits of the identifier that are compared.
+    pub mask: u32,
+    /// Required values of the compared bits.
+    pub pattern: u32,
+}
+
+impl AcceptanceFilter {
+    /// Filter matching exactly one identifier.
+    pub fn exact(id: CanId) -> Self {
+        AcceptanceFilter {
+            mask: (1 << 29) - 1,
+            pattern: id.raw(),
+        }
+    }
+
+    /// Filter matching every frame carrying the given etag, from any
+    /// sender at any priority — the filter shape the binding protocol
+    /// installs for a subscription (the subject is the etag; priority
+    /// and TxNode vary per message).
+    pub fn for_etag(etag: u16) -> Self {
+        AcceptanceFilter {
+            mask: 0x3FFF,
+            pattern: u32::from(etag),
+        }
+    }
+
+    /// `true` if `id` passes this filter.
+    #[inline]
+    pub fn accepts(&self, id: CanId) -> bool {
+        (id.raw() & self.mask) == (self.pattern & self.mask)
+    }
+}
+
+/// Whether a controller accepts everything or applies its filter bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterMode {
+    /// Deliver every frame to the host (monitoring / bridging).
+    AcceptAll,
+    /// Deliver only frames matching at least one acceptance filter.
+    Filtered,
+}
+
+/// CAN fault-confinement state, driven by the transmit/receive error
+/// counters (TEC/REC) per the Bosch specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ErrorState {
+    /// Normal operation (both counters ≤ 127).
+    #[default]
+    Active,
+    /// A counter exceeded 127: the node still communicates but must
+    /// insert a *suspend transmission* pause after sending and signals
+    /// errors passively.
+    Passive,
+    /// TEC exceeded 255: the node has removed itself from the bus.
+    BusOff,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Pending {
+    pub handle: TxHandle,
+    pub request: TxRequest,
+    pub attempts: u32,
+    /// Sequence for FIFO tie-breaking among equal identifiers within a
+    /// node (cannot happen on the wire across nodes, but a node may
+    /// queue several frames of the same channel).
+    pub seq: u64,
+}
+
+/// Per-controller statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Frames submitted by the host.
+    pub submitted: u64,
+    /// Frames successfully transmitted.
+    pub transmitted: u64,
+    /// Transmission attempts that ended in an error frame.
+    pub tx_errors: u64,
+    /// Requests aborted by the host before transmission.
+    pub aborted: u64,
+    /// Frames delivered to the host after filtering.
+    pub received: u64,
+    /// Frames dropped by acceptance filtering.
+    pub filtered_out: u64,
+}
+
+/// Simulated CAN controller state for one node.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    node: NodeId,
+    pending: Vec<Pending>,
+    filters: Vec<AcceptanceFilter>,
+    filter_mode: FilterMode,
+    operational: bool,
+    next_handle: u64,
+    next_seq: u64,
+    /// Transmit error counter (fault confinement).
+    tec: u32,
+    /// Receive error counter (fault confinement).
+    rec: u32,
+    error_state: ErrorState,
+    /// Statistics counters.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// Create an operational controller with an empty filter bank in
+    /// [`FilterMode::Filtered`] mode (accepts nothing until filters are
+    /// installed — the binding protocol installs them).
+    pub fn new(node: NodeId) -> Self {
+        Controller {
+            node,
+            pending: Vec::new(),
+            filters: Vec::new(),
+            filter_mode: FilterMode::Filtered,
+            operational: true,
+            next_handle: 0,
+            next_seq: 0,
+            tec: 0,
+            rec: 0,
+            error_state: ErrorState::Active,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Current fault-confinement state.
+    pub fn error_state(&self) -> ErrorState {
+        self.error_state
+    }
+
+    /// Transmit error counter.
+    pub fn tec(&self) -> u32 {
+        self.tec
+    }
+
+    /// Receive error counter.
+    pub fn rec(&self) -> u32 {
+        self.rec
+    }
+
+    /// `true` while the node may transmit (operational and not bus-off).
+    pub fn can_transmit(&self) -> bool {
+        self.operational && self.error_state != ErrorState::BusOff
+    }
+
+    fn update_error_state(&mut self) -> Option<ErrorState> {
+        let new_state = if self.tec > 255 {
+            ErrorState::BusOff
+        } else if self.tec > 127 || self.rec > 127 {
+            ErrorState::Passive
+        } else {
+            ErrorState::Active
+        };
+        if new_state != self.error_state {
+            self.error_state = new_state;
+            Some(new_state)
+        } else {
+            None
+        }
+    }
+
+    /// Fault confinement: a transmission by this node ended in an error
+    /// frame (TEC += 8). Returns the new state if it changed; entering
+    /// [`ErrorState::BusOff`] clears the transmit queue.
+    pub fn on_tx_error(&mut self) -> Option<ErrorState> {
+        self.tec += 8;
+        let change = self.update_error_state();
+        if self.error_state == ErrorState::BusOff {
+            self.pending.clear();
+        }
+        change
+    }
+
+    /// Fault confinement: successful transmission (TEC −= 1).
+    pub fn on_tx_success(&mut self) -> Option<ErrorState> {
+        self.tec = self.tec.saturating_sub(1);
+        self.update_error_state()
+    }
+
+    /// Fault confinement: this node observed an error frame as a
+    /// receiver (REC += 1).
+    pub fn on_rx_error(&mut self) -> Option<ErrorState> {
+        self.rec += 1;
+        self.update_error_state()
+    }
+
+    /// Fault confinement: successful reception (REC −= 1).
+    pub fn on_rx_success(&mut self) -> Option<ErrorState> {
+        self.rec = self.rec.saturating_sub(1);
+        self.update_error_state()
+    }
+
+    /// Bus-off recovery (after 128 × 11 recessive bits): counters reset,
+    /// node rejoins error-active.
+    pub fn recover_from_bus_off(&mut self) {
+        if self.error_state == ErrorState::BusOff {
+            self.tec = 0;
+            self.rec = 0;
+            self.error_state = ErrorState::Active;
+        }
+    }
+
+    /// The node this controller belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// `true` while the node participates in bus traffic.
+    pub fn is_operational(&self) -> bool {
+        self.operational
+    }
+
+    /// Crash or revive the node. A non-operational node neither
+    /// transmits nor receives nor counts towards the all-received check.
+    pub fn set_operational(&mut self, operational: bool) {
+        self.operational = operational;
+        if !operational {
+            self.pending.clear();
+        }
+    }
+
+    /// Queue a frame for transmission; returns the handle used in
+    /// completion notifications and for abort/update.
+    pub fn submit(&mut self, request: TxRequest) -> TxHandle {
+        let handle = TxHandle(self.next_handle);
+        self.next_handle += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.submitted += 1;
+        self.pending.push(Pending {
+            handle,
+            request,
+            attempts: 0,
+            seq,
+        });
+        handle
+    }
+
+    /// Withdraw a pending request. Returns `true` if it was still
+    /// queued (it may already have completed or be in flight — the bus
+    /// refuses aborts of the in-flight frame).
+    pub fn abort(&mut self, handle: TxHandle) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.handle != handle);
+        let removed = self.pending.len() != before;
+        if removed {
+            self.stats.aborted += 1;
+        }
+        removed
+    }
+
+    /// Rewrite the identifier of a pending request (dynamic priority
+    /// promotion). Returns `false` if the request is no longer queued.
+    pub fn update_id(&mut self, handle: TxHandle, new_id: CanId) -> bool {
+        for p in &mut self.pending {
+            if p.handle == handle {
+                p.request.frame.id = new_id;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The pending request this controller would contend with: lowest
+    /// identifier, FIFO among equals.
+    pub(crate) fn best_pending(&self) -> Option<&Pending> {
+        self.pending
+            .iter()
+            .min_by_key(|p| (p.request.frame.id, p.seq))
+    }
+
+    /// Identifier of the frame this controller would contend with.
+    pub fn contending_id(&self) -> Option<CanId> {
+        self.best_pending().map(|p| p.request.frame.id)
+    }
+
+    /// Number of queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Look up a pending request by handle.
+    pub(crate) fn pending_mut(&mut self, handle: TxHandle) -> Option<&mut Pending> {
+        self.pending.iter_mut().find(|p| p.handle == handle)
+    }
+
+    /// Remove a request by handle, returning it.
+    pub(crate) fn take(&mut self, handle: TxHandle) -> Option<Pending> {
+        let idx = self.pending.iter().position(|p| p.handle == handle)?;
+        Some(self.pending.swap_remove(idx))
+    }
+
+    /// Replace the filter bank.
+    pub fn set_filters(&mut self, filters: Vec<AcceptanceFilter>) {
+        self.filters = filters;
+    }
+
+    /// Add one acceptance filter.
+    pub fn add_filter(&mut self, filter: AcceptanceFilter) {
+        self.filters.push(filter);
+    }
+
+    /// Remove all filters matching a predicate.
+    pub fn remove_filters(&mut self, mut predicate: impl FnMut(&AcceptanceFilter) -> bool) {
+        self.filters.retain(|f| !predicate(f));
+    }
+
+    /// Set the filtering mode.
+    pub fn set_filter_mode(&mut self, mode: FilterMode) {
+        self.filter_mode = mode;
+    }
+
+    /// Acceptance check for an incoming frame (hardware filtering).
+    pub fn accepts(&self, id: CanId) -> bool {
+        match self.filter_mode {
+            FilterMode::AcceptAll => true,
+            FilterMode::Filtered => self.filters.iter().any(|f| f.accepts(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(prio: u8, etag: u16) -> TxRequest {
+        TxRequest {
+            frame: Frame::new(CanId::new(prio, 1, etag), &[1]),
+            single_shot: false,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn submit_and_best_pending_orders_by_id() {
+        let mut c = Controller::new(NodeId(1));
+        c.submit(req(50, 1));
+        c.submit(req(10, 2));
+        c.submit(req(90, 3));
+        assert_eq!(c.queue_len(), 3);
+        assert_eq!(c.contending_id().unwrap().priority(), 10);
+    }
+
+    #[test]
+    fn equal_ids_fifo() {
+        let mut c = Controller::new(NodeId(1));
+        let first = c.submit(req(10, 5));
+        let _second = c.submit(req(10, 5));
+        assert_eq!(c.best_pending().unwrap().handle, first);
+    }
+
+    #[test]
+    fn abort_removes_pending() {
+        let mut c = Controller::new(NodeId(1));
+        let h = c.submit(req(10, 1));
+        assert!(c.abort(h));
+        assert!(!c.abort(h));
+        assert_eq!(c.queue_len(), 0);
+        assert_eq!(c.stats.aborted, 1);
+    }
+
+    #[test]
+    fn update_id_promotes_priority() {
+        let mut c = Controller::new(NodeId(1));
+        c.submit(req(200, 1));
+        let h2 = c.submit(req(100, 2));
+        assert_eq!(c.contending_id().unwrap().priority(), 100);
+        assert!(c.update_id(h2, CanId::new(250, 1, 2)));
+        assert_eq!(c.contending_id().unwrap().priority(), 200);
+        assert!(!c.update_id(TxHandle(999), CanId::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn crash_clears_queue() {
+        let mut c = Controller::new(NodeId(1));
+        c.submit(req(10, 1));
+        c.set_operational(false);
+        assert_eq!(c.queue_len(), 0);
+        assert!(!c.is_operational());
+        c.set_operational(true);
+        assert!(c.is_operational());
+    }
+
+    #[test]
+    fn exact_filter() {
+        let id = CanId::new(7, 3, 99);
+        let f = AcceptanceFilter::exact(id);
+        assert!(f.accepts(id));
+        assert!(!f.accepts(CanId::new(7, 3, 98)));
+        assert!(!f.accepts(CanId::new(8, 3, 99)));
+    }
+
+    #[test]
+    fn etag_filter_ignores_priority_and_sender() {
+        let f = AcceptanceFilter::for_etag(1234);
+        assert!(f.accepts(CanId::new(0, 0, 1234)));
+        assert!(f.accepts(CanId::new(250, 127, 1234)));
+        assert!(!f.accepts(CanId::new(0, 0, 1235)));
+    }
+
+    #[test]
+    fn filter_modes() {
+        let mut c = Controller::new(NodeId(2));
+        let id = CanId::new(1, 1, 42);
+        // Filtered mode with empty bank accepts nothing.
+        assert!(!c.accepts(id));
+        c.add_filter(AcceptanceFilter::for_etag(42));
+        assert!(c.accepts(id));
+        assert!(!c.accepts(CanId::new(1, 1, 43)));
+        c.set_filter_mode(FilterMode::AcceptAll);
+        assert!(c.accepts(CanId::new(1, 1, 43)));
+    }
+
+    #[test]
+    fn remove_filters_by_predicate() {
+        let mut c = Controller::new(NodeId(2));
+        c.add_filter(AcceptanceFilter::for_etag(1));
+        c.add_filter(AcceptanceFilter::for_etag(2));
+        c.remove_filters(|f| f.pattern == 1);
+        assert!(!c.accepts(CanId::new(0, 0, 1)));
+        assert!(c.accepts(CanId::new(0, 0, 2)));
+    }
+
+    #[test]
+    fn take_removes_by_handle() {
+        let mut c = Controller::new(NodeId(1));
+        let h1 = c.submit(req(10, 1));
+        let h2 = c.submit(req(20, 2));
+        let taken = c.take(h1).unwrap();
+        assert_eq!(taken.handle, h1);
+        assert_eq!(c.queue_len(), 1);
+        assert!(c.take(h1).is_none());
+        assert!(c.take(h2).is_some());
+    }
+}

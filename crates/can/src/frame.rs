@@ -1,0 +1,128 @@
+//! CAN data frames: an identifier plus up to 8 payload bytes.
+//!
+//! The protocol only uses extended (29-bit identifier) data frames;
+//! remote frames are not used by the middleware (events always carry
+//! their content) and are not modelled.
+
+use crate::id::CanId;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Maximum CAN payload length in bytes.
+pub const MAX_PAYLOAD: usize = 8;
+
+/// A CAN 2.0B extended data frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// The 29-bit structured identifier.
+    pub id: CanId,
+    /// Data length code (0..=8): number of valid payload bytes.
+    dlc: u8,
+    /// Payload storage; only the first `dlc` bytes are meaningful.
+    data: [u8; MAX_PAYLOAD],
+}
+
+impl Frame {
+    /// Build a frame from an identifier and a payload slice.
+    ///
+    /// # Panics
+    /// If the payload exceeds 8 bytes.
+    pub fn new(id: CanId, payload: &[u8]) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "CAN payload limited to 8 bytes, got {}",
+            payload.len()
+        );
+        let mut data = [0u8; MAX_PAYLOAD];
+        data[..payload.len()].copy_from_slice(payload);
+        Frame {
+            id,
+            dlc: payload.len() as u8,
+            data,
+        }
+    }
+
+    /// An empty-payload frame (DLC 0) — used by signalling protocols.
+    pub fn empty(id: CanId) -> Self {
+        Frame::new(id, &[])
+    }
+
+    /// Data length code (number of payload bytes, 0..=8).
+    #[inline]
+    pub fn dlc(&self) -> u8 {
+        self.dlc
+    }
+
+    /// The valid payload bytes.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.data[..self.dlc as usize]
+    }
+
+    /// Copy of this frame with the identifier's priority field replaced.
+    #[inline]
+    pub fn with_priority(&self, priority: u8) -> Frame {
+        Frame {
+            id: self.id.with_priority(priority),
+            ..*self
+        }
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame({} dlc={} {:02x?})", self.id, self.dlc, self.payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_payload() {
+        let id = CanId::new(1, 2, 3);
+        let f = Frame::new(id, &[0xAA, 0xBB, 0xCC]);
+        assert_eq!(f.dlc(), 3);
+        assert_eq!(f.payload(), &[0xAA, 0xBB, 0xCC]);
+        assert_eq!(f.id, id);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = Frame::empty(CanId::new(0, 0, 0));
+        assert_eq!(f.dlc(), 0);
+        assert!(f.payload().is_empty());
+    }
+
+    #[test]
+    fn full_payload() {
+        let f = Frame::new(CanId::new(9, 9, 9), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(f.dlc(), 8);
+        assert_eq!(f.payload(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 bytes")]
+    fn oversized_payload_panics() {
+        let _ = Frame::new(CanId::new(0, 0, 0), &[0; 9]);
+    }
+
+    #[test]
+    fn with_priority_changes_only_priority() {
+        let f = Frame::new(CanId::new(200, 5, 6), &[1]);
+        let g = f.with_priority(0);
+        assert_eq!(g.id.priority(), 0);
+        assert_eq!(g.id.etag(), 6);
+        assert_eq!(g.payload(), f.payload());
+    }
+
+    #[test]
+    fn equality_ignores_slack_bytes() {
+        // Two frames with the same payload are equal even if built from
+        // differently-sized source buffers.
+        let a = Frame::new(CanId::new(1, 1, 1), &[7, 8]);
+        let b = Frame::new(CanId::new(1, 1, 1), &[7, 8]);
+        assert_eq!(a, b);
+    }
+}

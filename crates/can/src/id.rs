@@ -1,0 +1,279 @@
+//! 29-bit CAN 2.0B identifiers structured per the event-channel protocol.
+//!
+//! The paper (§3.5) partitions the 29-bit extended identifier into three
+//! fields:
+//!
+//! ```text
+//!   | priority (8 bits) | TxNode (7 bits) | etag (14 bits) |
+//!     bits 28..21         bits 20..14       bits 13..0
+//! ```
+//!
+//! * `priority` — the message priority. On CAN, the *lowest* binary
+//!   value wins arbitration, so priority 0 is the single highest
+//!   priority, reserved for hard real-time messages ([`PRIO_HRT`]).
+//! * `TxNode` — the sending node, making the full identifier unique
+//!   system-wide (the CAN specification requires that no two nodes ever
+//!   contend with the same identifier, because arbitration must resolve
+//!   to exactly one winner).
+//! * `etag` — the *event tag*: the short network-level name that the
+//!   binding protocol assigns to an event-channel subject.
+//!
+//! The priority band partition of §3.3 is exposed as constants:
+//! `0 = P_HRT < P_SRT (1..=250) < P_NRT (251..=255)`.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in the priority field.
+pub const PRIORITY_BITS: u32 = 8;
+/// Number of bits in the TxNode field.
+pub const TXNODE_BITS: u32 = 7;
+/// Number of bits in the etag field.
+pub const ETAG_BITS: u32 = 14;
+
+/// The single priority value reserved for hard real-time messages (§3.3).
+pub const PRIO_HRT: u8 = 0;
+/// Lowest-numbered (i.e. most urgent) soft real-time priority.
+pub const PRIO_SRT_MIN: u8 = 1;
+/// Highest-numbered (i.e. least urgent) soft real-time priority.
+/// 250 levels (1..=250) as in the paper's running example (§3.4).
+pub const PRIO_SRT_MAX: u8 = 250;
+/// Lowest-numbered non-real-time priority (§3.4: 5 NRT levels).
+pub const PRIO_NRT_MIN: u8 = 251;
+/// Highest-numbered non-real-time priority.
+pub const PRIO_NRT_MAX: u8 = 255;
+
+/// Maximum TxNode value (7-bit field).
+pub const TXNODE_MAX: u8 = (1 << TXNODE_BITS) as u8 - 1;
+/// Maximum etag value (14-bit field).
+pub const ETAG_MAX: u16 = (1 << ETAG_BITS) - 1;
+
+/// Identifier of a node on the bus. The low 7 bits double as the
+/// identifier's `TxNode` field once assigned by the configuration
+/// protocol.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A structured 29-bit CAN 2.0B extended identifier.
+///
+/// Ordering follows arbitration order: a *smaller* `CanId` wins the bus.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CanId(u32);
+
+impl CanId {
+    /// Construct from the three protocol fields.
+    ///
+    /// # Panics
+    /// If `txnode` or `etag` exceed their field widths.
+    pub fn new(priority: u8, txnode: u8, etag: u16) -> Self {
+        assert!(txnode <= TXNODE_MAX, "TxNode {txnode} exceeds 7 bits");
+        assert!(etag <= ETAG_MAX, "etag {etag} exceeds 14 bits");
+        CanId((u32::from(priority) << 21) | (u32::from(txnode) << 14) | u32::from(etag))
+    }
+
+    /// Construct from a raw 29-bit value.
+    ///
+    /// # Panics
+    /// If `raw` exceeds 29 bits.
+    pub fn from_raw(raw: u32) -> Self {
+        assert!(raw < (1 << 29), "identifier {raw:#x} exceeds 29 bits");
+        CanId(raw)
+    }
+
+    /// The raw 29-bit value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The 8-bit priority field (0 = highest priority on the bus).
+    #[inline]
+    pub fn priority(self) -> u8 {
+        (self.0 >> 21) as u8
+    }
+
+    /// The 7-bit sending-node field.
+    #[inline]
+    pub fn txnode(self) -> u8 {
+        ((self.0 >> 14) & 0x7F) as u8
+    }
+
+    /// The 14-bit event-tag (subject binding) field.
+    #[inline]
+    pub fn etag(self) -> u16 {
+        (self.0 & 0x3FFF) as u16
+    }
+
+    /// Copy of this identifier with the priority field replaced — the
+    /// mechanism behind both LST priority raising (HRT, §3.2) and the
+    /// dynamic priority promotion of SRT messages (§3.4).
+    #[inline]
+    pub fn with_priority(self, priority: u8) -> CanId {
+        CanId((self.0 & 0x001F_FFFF) | (u32::from(priority) << 21))
+    }
+
+    /// `true` if the priority lies in the HRT band.
+    #[inline]
+    pub fn is_hrt(self) -> bool {
+        self.priority() == PRIO_HRT
+    }
+
+    /// `true` if the priority lies in the SRT band (1..=250).
+    #[inline]
+    pub fn is_srt(self) -> bool {
+        (PRIO_SRT_MIN..=PRIO_SRT_MAX).contains(&self.priority())
+    }
+
+    /// `true` if the priority lies in the NRT band (251..=255).
+    #[inline]
+    pub fn is_nrt(self) -> bool {
+        self.priority() >= PRIO_NRT_MIN
+    }
+
+    /// `true` if this identifier beats `other` in arbitration
+    /// (lower binary value = dominant = wins).
+    #[inline]
+    pub fn wins_against(self, other: CanId) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Debug for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CanId(p={}, tx={}, etag={})",
+            self.priority(),
+            self.txnode(),
+            self.etag()
+        )
+    }
+}
+
+impl fmt::Display for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#09x}[p{}/tx{}/e{}]",
+            self.0,
+            self.priority(),
+            self.txnode(),
+            self.etag()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_packing_roundtrip() {
+        let id = CanId::new(17, 42, 0x1234);
+        assert_eq!(id.priority(), 17);
+        assert_eq!(id.txnode(), 42);
+        assert_eq!(id.etag(), 0x1234);
+    }
+
+    #[test]
+    fn field_extremes() {
+        let id = CanId::new(255, TXNODE_MAX, ETAG_MAX);
+        assert_eq!(id.priority(), 255);
+        assert_eq!(id.txnode(), 127);
+        assert_eq!(id.etag(), ETAG_MAX);
+        assert_eq!(id.raw(), (1 << 29) - 1);
+        let zero = CanId::new(0, 0, 0);
+        assert_eq!(zero.raw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TxNode")]
+    fn txnode_overflow_panics() {
+        let _ = CanId::new(0, 128, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "etag")]
+    fn etag_overflow_panics() {
+        let _ = CanId::new(0, 0, 1 << 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "29 bits")]
+    fn raw_overflow_panics() {
+        let _ = CanId::from_raw(1 << 29);
+    }
+
+    #[test]
+    fn priority_dominates_arbitration() {
+        // Any priority-0 id beats any id of priority >= 1 regardless of
+        // the other fields — the invariant the HRT reservation relies on.
+        let hrt = CanId::new(PRIO_HRT, TXNODE_MAX, ETAG_MAX);
+        let srt = CanId::new(PRIO_SRT_MIN, 0, 0);
+        assert!(hrt.wins_against(srt));
+        assert!(!srt.wins_against(hrt));
+    }
+
+    #[test]
+    fn band_relation_holds() {
+        // 0 = P_HRT < P_SRT < P_NRT (§3.3).
+        let hrt = CanId::new(PRIO_HRT, 1, 1);
+        let srt_hi = CanId::new(PRIO_SRT_MIN, 1, 1);
+        let srt_lo = CanId::new(PRIO_SRT_MAX, 1, 1);
+        let nrt = CanId::new(PRIO_NRT_MIN, 1, 1);
+        assert!(hrt.wins_against(srt_hi));
+        assert!(srt_hi.wins_against(srt_lo));
+        assert!(srt_lo.wins_against(nrt));
+        assert!(hrt.is_hrt() && !hrt.is_srt() && !hrt.is_nrt());
+        assert!(srt_hi.is_srt() && srt_lo.is_srt());
+        assert!(nrt.is_nrt());
+    }
+
+    #[test]
+    fn txnode_breaks_ties() {
+        // Same priority + same etag but different senders must still be
+        // distinct identifiers (CAN uniqueness requirement, §3.5).
+        let a = CanId::new(10, 3, 77);
+        let b = CanId::new(10, 4, 77);
+        assert_ne!(a, b);
+        assert!(a.wins_against(b));
+    }
+
+    #[test]
+    fn with_priority_preserves_other_fields() {
+        let id = CanId::new(200, 9, 1234);
+        let promoted = id.with_priority(PRIO_HRT);
+        assert_eq!(promoted.priority(), 0);
+        assert_eq!(promoted.txnode(), 9);
+        assert_eq!(promoted.etag(), 1234);
+        // Promotion is what makes a message win arbitration.
+        assert!(promoted.wins_against(id));
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let id = CanId::new(5, 6, 7);
+        let s = format!("{id}");
+        assert!(s.contains("p5"));
+        assert!(s.contains("tx6"));
+        assert!(s.contains("e7"));
+    }
+}

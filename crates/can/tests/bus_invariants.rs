@@ -1,0 +1,140 @@
+//! Bus-level invariants under randomized traffic: conservation (every
+//! submitted frame completes exactly once on a fault-free bus), busy
+//! time accounting, and arbitration order among simultaneous
+//! submissions.
+
+use proptest::prelude::*;
+use rtec_can::bits::exact_frame_bits;
+use rtec_can::{
+    BusConfig, CanBus, CanEvent, CanId, FaultInjector, FilterMode, Frame, MapScheduler, NodeId,
+    Notification, TxRequest,
+};
+use rtec_sim::{Ctx, Engine, Model, Time};
+
+enum Ev {
+    Can(CanEvent),
+    Submit(NodeId, TxRequest),
+}
+
+struct World {
+    bus: CanBus,
+    completions: Vec<(u64 /*tag*/, Time /*started*/, Time /*done*/)>,
+    rx_count: u64,
+}
+
+impl Model for World {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        let mut sched = MapScheduler::new(ctx, Ev::Can);
+        match ev {
+            Ev::Can(c) => {
+                for note in self.bus.handle(&mut sched, c) {
+                    match note {
+                        Notification::TxCompleted { tag, started, .. } => {
+                            self.completions.push((tag, started, ctx.now()));
+                        }
+                        Notification::Rx { .. } => self.rx_count += 1,
+                        _ => {}
+                    }
+                }
+            }
+            Ev::Submit(node, r) => {
+                self.bus.submit(&mut sched, node, r);
+            }
+        }
+    }
+}
+
+fn world(nodes: usize) -> Engine<World> {
+    let mut bus = CanBus::new(BusConfig::default(), nodes, FaultInjector::none());
+    for i in 0..nodes {
+        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+    }
+    Engine::new(World {
+        bus,
+        completions: vec![],
+        rx_count: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: on a fault-free bus every submission completes
+    /// exactly once, total busy time equals the sum of exact frame
+    /// durations, and transmissions never overlap.
+    #[test]
+    fn every_submission_completes_exactly_once(
+        submissions in prop::collection::vec(
+            (0u8..4, 0u8..=255, 0u16..100, 0u64..20_000, 0usize..=8),
+            1..60,
+        ),
+    ) {
+        let mut e = world(4);
+        let mut frames = vec![];
+        for (i, &(node, prio, etag_off, at_us, len)) in submissions.iter().enumerate() {
+            let frame = Frame::new(
+                CanId::new(prio, node, 200 + etag_off),
+                &vec![i as u8; len],
+            );
+            frames.push(frame);
+            e.schedule_at(
+                Time::from_us(at_us),
+                Ev::Submit(
+                    NodeId(node),
+                    TxRequest { frame, single_shot: false, tag: i as u64 },
+                ),
+            );
+        }
+        e.run();
+        let w = &e.model;
+        prop_assert_eq!(w.completions.len(), submissions.len());
+        // Exactly once, and each Rx fan-out = 3 other nodes.
+        let mut tags: Vec<u64> = w.completions.iter().map(|c| c.0).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), submissions.len());
+        prop_assert_eq!(w.rx_count, submissions.len() as u64 * 3);
+        // Busy-time accounting matches the exact frame bits.
+        let expected_busy: u64 = frames
+            .iter()
+            .map(|f| u64::from(exact_frame_bits(f)) * 1_000)
+            .sum();
+        prop_assert_eq!(w.bus.stats.busy.as_ns(), expected_busy);
+        // Transmissions never overlap.
+        let mut spans: Vec<(Time, Time)> =
+            w.completions.iter().map(|&(_, s, d)| (s, d)).collect();
+        spans.sort();
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlapping transmissions");
+        }
+    }
+
+    /// Arbitration: among frames submitted at the same instant on an
+    /// idle bus, the lowest identifier always transmits first.
+    #[test]
+    fn simultaneous_submissions_complete_in_id_order(
+        prios in prop::collection::vec(0u8..=255, 2..5),
+    ) {
+        let n = prios.len();
+        let mut e = world(n);
+        for (i, &p) in prios.iter().enumerate() {
+            let frame = Frame::new(CanId::new(p, i as u8, 300), &[i as u8]);
+            e.schedule_at(
+                Time::ZERO,
+                Ev::Submit(
+                    NodeId(i as u8),
+                    TxRequest { frame, single_shot: false, tag: i as u64 },
+                ),
+            );
+        }
+        e.run();
+        let w = &e.model;
+        prop_assert_eq!(w.completions.len(), n);
+        // Completion order must match (priority, node) order.
+        let mut expect: Vec<u64> = (0..n as u64).collect();
+        expect.sort_by_key(|&i| (prios[i as usize], i));
+        let got: Vec<u64> = w.completions.iter().map(|c| c.0).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

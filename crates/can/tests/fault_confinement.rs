@@ -1,0 +1,279 @@
+//! Fault-confinement (TEC/REC, error-passive, bus-off) behaviour of the
+//! simulated controllers under sustained corruption.
+
+use rtec_can::{
+    BusConfig, CanBus, CanEvent, CanId, ErrorState, FaultInjector, FaultModel, FilterMode, Frame,
+    MapScheduler, NodeId, Notification, OmissionScope, TxRequest,
+};
+use rtec_sim::{Ctx, Duration, Engine, Model, Rng, Time};
+
+enum Ev {
+    Can(CanEvent),
+    Submit(NodeId, TxRequest),
+}
+
+struct World {
+    bus: CanBus,
+    log: Vec<Notification>,
+}
+
+impl Model for World {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        let mut sched = MapScheduler::new(ctx, Ev::Can);
+        match ev {
+            Ev::Can(c) => {
+                let notes = self.bus.handle(&mut sched, c);
+                self.log.extend(notes);
+            }
+            Ev::Submit(node, r) => {
+                self.bus.submit(&mut sched, node, r);
+            }
+        }
+    }
+}
+
+fn world(nodes: usize, model: FaultModel, auto_recover: bool) -> Engine<World> {
+    let config = BusConfig {
+        bus_off_auto_recover: auto_recover,
+        ..BusConfig::default()
+    };
+    let mut bus = CanBus::new(config, nodes, FaultInjector::new(model, Rng::seed_from_u64(1)));
+    for i in 0..nodes {
+        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+    }
+    Engine::new(World { bus, log: vec![] })
+}
+
+fn req(prio: u8, tx: u8, etag: u16) -> TxRequest {
+    TxRequest {
+        frame: Frame::new(CanId::new(prio, tx, etag), &[1, 2, 3]),
+        single_shot: false,
+        tag: 0,
+    }
+}
+
+fn state_changes(log: &[Notification]) -> Vec<(NodeId, ErrorState)> {
+    log.iter()
+        .filter_map(|n| match n {
+            Notification::ErrorStateChanged { node, state } => Some((*node, *state)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn counters_move_with_errors_and_successes() {
+    // One corrupted attempt (TEC +8), then clean traffic (TEC −1 each).
+    let mut e = world(
+        2,
+        FaultModel::Window {
+            from_ns: 0,
+            to_ns: 1,
+            corruption_p: 1.0,
+        },
+        true,
+    );
+    e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+    e.run();
+    assert_eq!(e.model.bus.controller(NodeId(0)).tec(), 7, "8 - 1 after retry success");
+    // The receiver saw one error frame and one good frame: 1 - 1 = 0.
+    assert_eq!(e.model.bus.controller(NodeId(1)).rec(), 0);
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).error_state(),
+        ErrorState::Active
+    );
+}
+
+#[test]
+fn sustained_corruption_drives_node_to_bus_off_and_back() {
+    // Every attempt corrupted: TEC rises 8 per attempt, passive at
+    // >127 (16 attempts), bus-off at >255 (32 attempts).
+    let mut e = world(
+        2,
+        FaultModel::Iid {
+            corruption_p: 1.0,
+            omission_p: 0.0,
+            omission_scope: OmissionScope::AllReceivers,
+        },
+        true,
+    );
+    e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+    e.run_until(Time::from_ms(20));
+    let changes = state_changes(&e.model.log);
+    assert!(
+        changes.contains(&(NodeId(0), ErrorState::Passive)),
+        "{changes:?}"
+    );
+    assert!(
+        changes.contains(&(NodeId(0), ErrorState::BusOff)),
+        "{changes:?}"
+    );
+    // Auto-recovery brought it back (128*11 bit times later).
+    assert!(
+        changes.contains(&(NodeId(0), ErrorState::Active)),
+        "{changes:?}"
+    );
+    assert_eq!(e.model.bus.stats.bus_off_events, 1);
+    // The request died with the bus-off transition.
+    assert!(e
+        .model
+        .log
+        .iter()
+        .any(|n| matches!(n, Notification::TxFailed { .. })));
+    assert_eq!(e.model.bus.controller(NodeId(0)).queue_len(), 0);
+}
+
+#[test]
+fn bus_off_without_auto_recovery_is_permanent() {
+    let mut e = world(
+        2,
+        FaultModel::Iid {
+            corruption_p: 1.0,
+            omission_p: 0.0,
+            omission_scope: OmissionScope::AllReceivers,
+        },
+        false,
+    );
+    e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+    e.run_until(Time::from_ms(50));
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).error_state(),
+        ErrorState::BusOff
+    );
+    let changes = state_changes(&e.model.log);
+    assert!(!changes.contains(&(NodeId(0), ErrorState::Active)));
+}
+
+#[test]
+fn bus_off_node_neither_receives_nor_blocks_others() {
+    let mut e = world(
+        3,
+        FaultModel::Iid {
+            corruption_p: 1.0,
+            omission_p: 0.0,
+            omission_scope: OmissionScope::AllReceivers,
+        },
+        false,
+    );
+    // Node 0 corrupts itself into bus-off...
+    e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+    e.run_until(Time::from_ms(20));
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).error_state(),
+        ErrorState::BusOff
+    );
+    // ... then the fault burst ends and node 1 transmits cleanly.
+    e.model.bus.injector_mut().set_model(FaultModel::None);
+    e.model.log.clear();
+    e.schedule_at(Time::from_ms(21), Ev::Submit(NodeId(1), req(10, 1, 21)));
+    e.run_until(Time::from_ms(25));
+    let rx: Vec<NodeId> = e
+        .model
+        .log
+        .iter()
+        .filter_map(|n| match n {
+            Notification::Rx { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rx, vec![NodeId(2)], "bus-off node receives nothing");
+    // all_received is judged over connected nodes only.
+    assert!(e.model.log.iter().any(|n| matches!(
+        n,
+        Notification::TxCompleted { all_received: true, .. }
+    )));
+}
+
+#[test]
+fn error_passive_transmitter_pauses_but_still_communicates() {
+    // Drive node 0's TEC deterministically past the passive threshold
+    // (16 error-frame hits at +8 each = 128 > 127), then run clean
+    // traffic: the node communicates, pauses 8 bit times after each
+    // transmission, and its TEC decays back towards active.
+    let mut e = world(2, FaultModel::None, true);
+    for _ in 0..16 {
+        e.model.bus.controller_mut(NodeId(0)).on_tx_error();
+    }
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).error_state(),
+        ErrorState::Passive
+    );
+    for i in 0..10u64 {
+        e.schedule_at(
+            Time::from_us(200 * i),
+            Ev::Submit(NodeId(0), req(10, 0, 20)),
+        );
+    }
+    e.run_until(Time::from_ms(10));
+    // Passive node still delivered its frames.
+    let delivered = e
+        .model
+        .log
+        .iter()
+        .filter(|n| matches!(n, Notification::Rx { .. }))
+        .count();
+    assert_eq!(delivered, 10);
+    // TEC decayed one per success.
+    assert_eq!(e.model.bus.controller(NodeId(0)).tec(), 128 - 10);
+    // Once the counter sinks below the threshold the node goes active
+    // again (needs 1 more success after reaching 127).
+    for i in 0..2u64 {
+        e.schedule_at(
+            Time::from_ms(11) + Duration::from_us(200 * i),
+            Ev::Submit(NodeId(0), req(10, 0, 20)),
+        );
+    }
+    e.run_until(Time::from_ms(15));
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).error_state(),
+        ErrorState::Active
+    );
+    let changes = state_changes(&e.model.log);
+    assert!(changes.contains(&(NodeId(0), ErrorState::Active)), "{changes:?}");
+}
+
+#[test]
+fn suspend_pause_delays_passive_nodes_back_to_back_frames() {
+    // An error-passive node sending two frames back to back inserts an
+    // 8-bit suspend pause between them; an active node does not.
+    let run = |passive: bool| {
+        let mut e = world(2, FaultModel::None, true);
+        if passive {
+            // 20 hits (TEC = 160) keep the node passive across both
+            // transmissions (one success only decrements to 159).
+            for _ in 0..20 {
+                e.model.bus.controller_mut(NodeId(0)).on_tx_error();
+            }
+        }
+        e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+        e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(11, 0, 21)));
+        e.run();
+        e.now()
+    };
+    let active_end = run(false);
+    let passive_end = run(true);
+    assert_eq!(
+        passive_end.saturating_since(active_end),
+        Duration::from_us(8),
+        "exactly one 8-bit suspend pause"
+    );
+}
+
+#[test]
+fn receiver_counters_rise_during_foreign_error_storms() {
+    let mut e = world(
+        3,
+        FaultModel::Iid {
+            corruption_p: 0.8,
+            omission_p: 0.0,
+            omission_scope: OmissionScope::AllReceivers,
+        },
+        true,
+    );
+    e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
+    e.run_until(Time::from_ms(2));
+    // Receivers bumped REC on every error frame they observed.
+    assert!(e.model.bus.controller(NodeId(1)).rec() > 0);
+    assert!(e.model.bus.controller(NodeId(2)).rec() > 0);
+}

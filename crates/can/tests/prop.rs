@@ -1,0 +1,138 @@
+//! Property-based tests for the bit-level CAN model.
+
+use proptest::prelude::*;
+use rtec_can::bits::{
+    crc15, destuff, exact_frame_bits, stuff, unstuffed_bits, worst_case_frame_bits, TAIL_BITS,
+};
+use rtec_can::{CanId, Frame};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u8..=255,
+        0u8..128,
+        0u16..(1 << 14),
+        prop::collection::vec(any::<u8>(), 0..=8),
+    )
+        .prop_map(|(prio, tx, etag, payload)| {
+            Frame::new(CanId::new(prio, tx, etag), &payload)
+        })
+}
+
+proptest! {
+    /// Stuffing round-trips for arbitrary bit patterns.
+    #[test]
+    fn stuff_destuff_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        prop_assert_eq!(destuff(&stuff(&bits)).unwrap(), bits);
+    }
+
+    /// A stuffed stream never contains six equal consecutive bits.
+    #[test]
+    fn stuffed_stream_has_no_run_of_six(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let stuffed = stuff(&bits);
+        let mut run = 0u32;
+        let mut prev = None;
+        for &b in &stuffed {
+            if Some(b) == prev { run += 1; } else { prev = Some(b); run = 1; }
+            prop_assert!(run <= 5);
+        }
+    }
+
+    /// Stuffing adds at most one bit per four input bits after the
+    /// first five (the tight worst case).
+    #[test]
+    fn stuffing_overhead_bounded(bits in prop::collection::vec(any::<bool>(), 1..400)) {
+        let stuffed = stuff(&bits);
+        let max_stuff = (bits.len() - 1) / 4;
+        prop_assert!(stuffed.len() <= bits.len() + max_stuff);
+    }
+
+    /// Exact on-wire frame length is bracketed by the unstuffed length
+    /// and the published worst-case formula.
+    #[test]
+    fn exact_frame_bits_within_bounds(frame in arb_frame()) {
+        let exact = exact_frame_bits(&frame);
+        let unstuffed_len = unstuffed_bits(&frame).len() as u32 + TAIL_BITS;
+        prop_assert!(exact >= unstuffed_len);
+        prop_assert!(exact <= worst_case_frame_bits(frame.dlc()));
+    }
+
+    /// The serialized identifier bits survive a parse: two different
+    /// identifiers never serialize to the same stuffed-region prefix.
+    #[test]
+    fn distinct_ids_distinct_bits(a_raw in 0u32..(1 << 29), b_raw in 0u32..(1 << 29)) {
+        prop_assume!(a_raw != b_raw);
+        let a = Frame::new(CanId::from_raw(a_raw), &[]);
+        let b = Frame::new(CanId::from_raw(b_raw), &[]);
+        prop_assert_ne!(unstuffed_bits(&a), unstuffed_bits(&b));
+    }
+
+    /// CRC detects any single-bit error.
+    #[test]
+    fn crc_detects_single_bit_flips(
+        bits in prop::collection::vec(any::<bool>(), 1..120),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let mut corrupted = bits.clone();
+        let idx = flip.index(bits.len());
+        corrupted[idx] = !corrupted[idx];
+        prop_assert_ne!(crc15(&bits), crc15(&corrupted));
+    }
+
+    /// CRC detects burst errors up to 15 bits long (the guarantee of a
+    /// degree-15 generator polynomial).
+    #[test]
+    fn crc_detects_burst_errors(
+        bits in prop::collection::vec(any::<bool>(), 20..200),
+        start in any::<prop::sample::Index>(),
+        pattern in 1u16..(1 << 15),
+    ) {
+        let mut corrupted = bits.clone();
+        let start = start.index(bits.len().saturating_sub(15));
+        let mut changed = false;
+        for i in 0..15 {
+            if (pattern >> i) & 1 == 1 {
+                let idx = start + i;
+                if idx < corrupted.len() {
+                    corrupted[idx] = !corrupted[idx];
+                    changed = true;
+                }
+            }
+        }
+        prop_assume!(changed);
+        prop_assert_ne!(crc15(&bits), crc15(&corrupted));
+    }
+
+    /// Identifier field packing round-trips.
+    #[test]
+    fn id_roundtrip(prio in 0u8..=255, tx in 0u8..128, etag in 0u16..(1 << 14)) {
+        let id = CanId::new(prio, tx, etag);
+        prop_assert_eq!(id.priority(), prio);
+        prop_assert_eq!(id.txnode(), tx);
+        prop_assert_eq!(id.etag(), etag);
+        prop_assert_eq!(CanId::from_raw(id.raw()), id);
+    }
+
+    /// Priority ordering dominates the other identifier fields in
+    /// arbitration.
+    #[test]
+    fn priority_dominates(
+        pa in 0u8..=255, pb in 0u8..=255,
+        ta in 0u8..128, tb in 0u8..128,
+        ea in 0u16..(1 << 14), eb in 0u16..(1 << 14),
+    ) {
+        prop_assume!(pa < pb);
+        let a = CanId::new(pa, ta, ea);
+        let b = CanId::new(pb, tb, eb);
+        prop_assert!(a.wins_against(b));
+    }
+
+    /// with_priority never touches TxNode or etag.
+    #[test]
+    fn with_priority_preserves(id_raw in 0u32..(1 << 29), p in 0u8..=255) {
+        let id = CanId::from_raw(id_raw);
+        let q = id.with_priority(p);
+        prop_assert_eq!(q.priority(), p);
+        prop_assert_eq!(q.txnode(), id.txnode());
+        prop_assert_eq!(q.etag(), id.etag());
+    }
+}

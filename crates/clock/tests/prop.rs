@@ -1,0 +1,75 @@
+//! Property-based tests of the local clock model.
+
+use proptest::prelude::*;
+use rtec_clock::{ClockParams, LocalClock};
+use rtec_sim::{Duration, Time};
+
+fn arb_params() -> impl Strategy<Value = ClockParams> {
+    (-500.0f64..500.0, -1e6f64..1e6).prop_map(|(drift_ppm, initial_offset_ns)| ClockParams {
+        drift_ppm,
+        initial_offset_ns,
+    })
+}
+
+proptest! {
+    /// Readings are monotone in true time (a clock never runs
+    /// backwards, whatever its drift).
+    #[test]
+    fn readings_monotone(params in arb_params(), t1 in 0u64..u64::MAX / 4, dt in 0u64..1_000_000_000) {
+        let c = LocalClock::new(params);
+        let a = c.read(Time::from_ns(t1));
+        let b = c.read(Time::from_ns(t1 + dt));
+        prop_assert!(b >= a);
+    }
+
+    /// `true_time_when_reads` inverts `read` to within a nanosecond of
+    /// rounding.
+    #[test]
+    fn schedule_inverts_read(
+        params in arb_params(),
+        target_ms in 1u64..1_000_000,
+    ) {
+        let c = LocalClock::new(params);
+        let g = Time::from_ms(target_ms);
+        let t = c.true_time_when_reads(g);
+        let back = c.read(t);
+        let err = back.as_ns() as i64 - g.as_ns() as i64;
+        // Rounding of the two conversions can stack to ±1 ns plus one
+        // part in 10^6 of the magnitude for the float math.
+        let tol = 2 + (g.as_ns() / 1_000_000_000) as i64;
+        prop_assert!(err.abs() <= tol, "err {err}ns at {g}");
+    }
+
+    /// `set` forces the reading to the requested global time and
+    /// preserves the drift rate afterwards.
+    #[test]
+    fn set_aligns_and_keeps_rate(
+        params in arb_params(),
+        now_ms in 1u64..1_000_000,
+        target_ms in 1u64..1_000_000,
+        later_ms in 1u64..10_000,
+    ) {
+        let mut c = LocalClock::new(params);
+        let now = Time::from_ms(now_ms);
+        let target = Time::from_ms(target_ms);
+        c.set(now, target);
+        let err0 = c.read(now).as_ns() as i64 - target.as_ns() as i64;
+        prop_assert!(err0.abs() <= 2, "alignment err {err0}ns");
+        // After `later`, the deviation equals drift × elapsed.
+        let later = now + Duration::from_ms(later_ms);
+        let expect = target + Duration::from_ms(later_ms);
+        let dev = c.read(later).as_ns() as f64 - expect.as_ns() as f64;
+        let drift_expect = later_ms as f64 * 1e6 * params.drift_ppm * 1e-6;
+        prop_assert!((dev - drift_expect).abs() < 3.0 + drift_expect.abs() * 1e-6,
+            "dev {dev} vs {drift_expect}");
+    }
+
+    /// The error against true time grows linearly with drift.
+    #[test]
+    fn error_tracks_drift(drift in -500.0f64..500.0, secs in 1u64..1_000) {
+        let c = LocalClock::new(ClockParams { drift_ppm: drift, initial_offset_ns: 0.0 });
+        let t = Time::from_secs(secs);
+        let expected = secs as f64 * 1e9 * drift * 1e-6;
+        prop_assert!((c.error_ns(t) - expected).abs() < 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The application-programming interface of the event channels
+//! (Figs. 1–2 of the paper).
+//!
+//! The paper declares per-class C++ channel objects:
+//!
+//! ```c++
+//! class hrtec {
+//!   int announce(subject, attribute_list, exception_handler);
+//!   int publish(event);
+//!   int subscribe(subject, attribute_list, event_queue, not_handler,
+//!                 exception_handler);
+//!   int cancelSubscription(void);
+//! };
+//! ```
+//!
+//! [`NetApi`] is the Rust rendering: the same five operations (plus the
+//! SRTEC-only `cancelPublication`), with the channel class selected by
+//! the `attribute_list` ([`ChannelSpec`]) and the node made explicit
+//! because one simulation hosts every node of the distributed system.
+//! `event_queue`, `not_handler` and `exception_handler` appear exactly
+//! as in the paper: subscribing returns the queue the middleware fills,
+//! and the optional handlers are invoked asynchronously on delivery and
+//! on exceptions.
+
+use crate::channel::{ChannelError, ChannelException, ChannelSpec, SubscribeSpec};
+use crate::event::{Delivery, Event, EventQueue, Subject};
+use crate::network::{CalendarError, NetEvent, NetWorld};
+use crate::node::{ExcHandler, NotifyHandler};
+use crate::stats::NetStats;
+use rtec_can::NodeId;
+use rtec_sim::{Ctx, Time};
+
+/// Live access to the middleware of every node, valid at one simulated
+/// instant (inside a scheduled closure, or between runs via
+/// [`crate::network::Network::api`]).
+pub struct NetApi<'a> {
+    pub(crate) world: &'a mut NetWorld,
+    pub(crate) ctx: &'a mut Ctx<NetEvent>,
+}
+
+impl NetApi<'_> {
+    /// Current simulated (true) time.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// `node`'s current estimate of global time.
+    pub fn now_global(&self, node: NodeId) -> Time {
+        self.world.global_now(node, self.ctx.now())
+    }
+
+    /// `channel.announce(subject, attribute_list, exception_handler)` —
+    /// create the publisher-side channel data structures and bind the
+    /// subject to a network address.
+    pub fn announce(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+        spec: ChannelSpec,
+    ) -> Result<(), ChannelError> {
+        self.world.announce(self.ctx, node, subject, spec, None)
+    }
+
+    /// [`NetApi::announce`] with a local exception handler.
+    pub fn announce_with_handler(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+        spec: ChannelSpec,
+        handler: impl FnMut(&ChannelException) + 'static,
+    ) -> Result<(), ChannelError> {
+        let h: ExcHandler = Box::new(handler);
+        self.world.announce(self.ctx, node, subject, spec, Some(h))
+    }
+
+    /// `channel.publish(event)` — disseminate an event on the announced
+    /// channel. For an HRT channel the event is *staged* for the next
+    /// reserved slot; for SRT it enters the EDF queue; for NRT the FIFO
+    /// sender.
+    pub fn publish(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+        event: Event,
+    ) -> Result<(), ChannelError> {
+        self.world.publish(self.ctx, node, subject, event)
+    }
+
+    /// `channel.subscribe(subject, attribute_list, event_queue,
+    /// not_handler, exception_handler)` — returns the event queue the
+    /// middleware fills (the paper's `getEvent()` is
+    /// [`EventQueue::pop`]).
+    pub fn subscribe(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+        spec: SubscribeSpec,
+    ) -> Result<EventQueue, ChannelError> {
+        self.world
+            .subscribe(self.ctx, node, subject, spec, None, None)
+    }
+
+    /// [`NetApi::subscribe`] with notification and exception handlers.
+    pub fn subscribe_with(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+        spec: SubscribeSpec,
+        not_handler: impl FnMut(&Delivery) + 'static,
+        exception_handler: impl FnMut(&ChannelException) + 'static,
+    ) -> Result<EventQueue, ChannelError> {
+        let nh: NotifyHandler = Box::new(not_handler);
+        let eh: ExcHandler = Box::new(exception_handler);
+        self.world
+            .subscribe(self.ctx, node, subject, spec, Some(nh), Some(eh))
+    }
+
+    /// `channel.cancelSubscription()` — a strictly local operation
+    /// releasing the subscriber-side resources.
+    pub fn cancel_subscription(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+    ) -> Result<(), ChannelError> {
+        self.world.cancel_subscription(node, subject)
+    }
+
+    /// `channel.cancelPublication()` (SRTEC/NRTEC) — withdraw the
+    /// publisher endpoint. HRT publications cannot be cancelled while
+    /// the calendar is active (reservations are off-line, §3.1).
+    pub fn cancel_publication(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+    ) -> Result<(), ChannelError> {
+        self.world.cancel_publication(node, subject)
+    }
+
+    /// Run the off-line admission test over all announced HRT channels
+    /// and start the calendar (§3.1). Must be called after every HRT
+    /// `announce` and before HRT `publish`.
+    pub fn install_calendar(&mut self) -> Result<(), CalendarError> {
+        self.world.install_calendar(self.ctx)
+    }
+
+    /// Crash or revive a node's CAN controller. A crashed node neither
+    /// transmits nor receives nor counts towards the all-received check
+    /// — the temporary-node-fault case of the paper's fault assumption.
+    /// Subscribers of its periodic HRT channels detect the failure
+    /// through missing-event exceptions (§2.2.1).
+    pub fn set_node_operational(&mut self, node: NodeId, operational: bool) {
+        self.world
+            .bus
+            .controller_mut(node)
+            .set_operational(operational);
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.world.stats
+    }
+
+    /// The world (bus, calendar, registry) — read-only.
+    pub fn world(&self) -> &NetWorld {
+        self.world
+    }
+
+    /// Mutable world access (e.g. swapping the fault model mid-run).
+    pub fn world_mut(&mut self) -> &mut NetWorld {
+        self.world
+    }
+}

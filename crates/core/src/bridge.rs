@@ -1,0 +1,234 @@
+//! Multi-network event channels: a store-and-forward gateway between
+//! two bus segments.
+//!
+//! The paper assumes "publishers and subscribers are connected by a
+//! channel which spans multiple networks, e.g. a field bus, a wireless
+//! network and a wired wide area network" (§2.2.1) — that is why
+//! subscriptions carry origin filters ("receive events only from
+//! publishers in the same network"). This module provides the smallest
+//! faithful version of that architecture: two independent CAN segments
+//! joined by a gateway that re-publishes selected subjects across the
+//! boundary with a configurable store-and-forward latency.
+//!
+//! Each segment remains its own deterministic simulation; the bridge
+//! advances them in lockstep quanta and relays deliveries collected on
+//! one side into publications on the other (the way a real gateway
+//! node's middleware would). On the far segment a relayed frame
+//! carries the *gateway's* TxNode as its origin — so a subscriber that
+//! wants "events only from publishers in the same network" simply
+//! excludes the gateway node with an origin filter, exactly the
+//! paper's filtering example.
+//!
+//! Loops are impossible by construction: the gateway publishes and
+//! subscribes with the same node identity on each segment, and CAN
+//! controllers never receive their own frames.
+//!
+//! Timeliness: cross-network channels are soft real-time at best (the
+//! gateway cannot extend a segment's HRT reservation across the
+//! boundary), so the bridge republishes on SRT channels and the HRT
+//! guarantees stay segment-local — matching the paper's note that
+//! HRT filtering is segment-scoped.
+
+use crate::channel::{ChannelSpec, SrtSpec, SubscribeSpec};
+use crate::event::{Event, EventQueue, Subject};
+use crate::network::Network;
+use rtec_can::NodeId;
+use rtec_sim::{Duration, Time};
+
+/// Which side of the bridge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// The first segment.
+    A,
+    /// The second segment.
+    B,
+}
+
+impl Segment {
+    fn other(self) -> Segment {
+        match self {
+            Segment::A => Segment::B,
+            Segment::B => Segment::A,
+        }
+    }
+}
+
+/// A subject forwarded across the bridge.
+struct Route {
+    subject: Subject,
+    /// Direction: deliveries on `from` are republished on its opposite.
+    from: Segment,
+    /// Queue collecting the gateway's subscription on `from`.
+    queue: EventQueue,
+    /// Events published on the far side before this instant are drops
+    /// (the gateway republishes with its own node id; loop prevention).
+    forwarded: u64,
+}
+
+/// Two bus segments joined by a gateway node on each side.
+pub struct Bridge {
+    /// Segment A (e.g. the field bus).
+    pub a: Network,
+    /// Segment B (e.g. the backbone).
+    pub b: Network,
+    gateway_a: NodeId,
+    gateway_b: NodeId,
+    /// Store-and-forward latency of the gateway.
+    latency: Duration,
+    /// Lockstep quantum (must be ≤ latency so relays never go
+    /// backwards in time).
+    quantum: Duration,
+    routes: Vec<Route>,
+    /// Relay buffer: (due time, target segment, subject, event).
+    pending: Vec<(Time, Segment, Subject, Event)>,
+    now: Time,
+}
+
+impl Bridge {
+    /// Join two networks. `gateway_a`/`gateway_b` are the gateway's
+    /// node identities on each segment; `latency` is its
+    /// store-and-forward delay (≥ 100 µs).
+    pub fn new(
+        a: Network,
+        b: Network,
+        gateway_a: NodeId,
+        gateway_b: NodeId,
+        latency: Duration,
+    ) -> Self {
+        assert!(
+            latency >= Duration::from_us(100),
+            "gateway latency below the lockstep quantum"
+        );
+        Bridge {
+            a,
+            b,
+            gateway_a,
+            gateway_b,
+            latency,
+            quantum: Duration::from_us(100),
+            routes: Vec::new(),
+            pending: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current bridged time (both segments are at this instant).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    fn net(&mut self, seg: Segment) -> &mut Network {
+        match seg {
+            Segment::A => &mut self.a,
+            Segment::B => &mut self.b,
+        }
+    }
+
+    fn gateway(&self, seg: Segment) -> NodeId {
+        match seg {
+            Segment::A => self.gateway_a,
+            Segment::B => self.gateway_b,
+        }
+    }
+
+    /// Forward `subject` from one segment to the other: the gateway
+    /// subscribes on `from` and announces an SRT channel on the far
+    /// side. Call after the local publishers/subscribers exist.
+    pub fn forward(
+        &mut self,
+        subject: Subject,
+        from: Segment,
+        spec: SrtSpec,
+    ) -> Result<(), crate::channel::ChannelError> {
+        let gw_from = self.gateway(from);
+        let gw_to = self.gateway(from.other());
+        let queue = {
+            let net = self.net(from);
+            let mut api = net.api();
+            api.subscribe(gw_from, subject, SubscribeSpec::default())?
+        };
+        {
+            let net = self.net(from.other());
+            let mut api = net.api();
+            api.announce(gw_to, subject, ChannelSpec::srt(spec))?;
+        }
+        self.routes.push(Route {
+            subject,
+            from,
+            queue,
+            forwarded: 0,
+        });
+        Ok(())
+    }
+
+    /// Number of events forwarded on a route so far.
+    pub fn forwarded(&self, subject: Subject, from: Segment) -> u64 {
+        self.routes
+            .iter()
+            .filter(|r| r.subject == subject && r.from == from)
+            .map(|r| r.forwarded)
+            .sum()
+    }
+
+    fn collect_and_flush(&mut self) {
+        // Collect fresh deliveries at the gateways into the relay
+        // buffer.
+        let latency = self.latency;
+        let mut new_pending = Vec::new();
+        for route in &mut self.routes {
+            for delivery in route.queue.drain() {
+                new_pending.push((
+                    // Stamp with the wire completion plus gateway
+                    // latency (both segments share the time base).
+                    delivery.wire_completed_at + latency,
+                    route.from.other(),
+                    route.subject,
+                    delivery.event,
+                ));
+                route.forwarded += 1;
+            }
+        }
+        self.pending.extend(new_pending);
+        // Flush everything due by `now` into the target segments.
+        let now = self.now;
+        let mut due: Vec<(Time, Segment, Subject, Event)> = Vec::new();
+        self.pending.retain(|entry| {
+            if entry.0 <= now {
+                due.push(entry.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|e| e.0);
+        for (_, seg, subject, mut event) in due {
+            let gw = self.gateway(seg);
+            // Per-segment timing attributes do not survive the hop;
+            // publish() restamps the origin with the gateway's node id,
+            // which is what far-side origin filters key on.
+            event.attributes.deadline = None;
+            event.attributes.expiration = None;
+            let net = self.net(seg);
+            let mut api = net.api();
+            let _ = api.publish(gw, subject, event);
+        }
+    }
+
+    /// Advance both segments to `target` in lockstep quanta, relaying
+    /// at each boundary.
+    pub fn run_until(&mut self, target: Time) {
+        while self.now < target {
+            let step_end = (self.now + self.quantum).min(target);
+            self.a.run_until(step_end);
+            self.b.run_until(step_end);
+            self.now = step_end;
+            self.collect_and_flush();
+        }
+    }
+
+    /// Advance both segments by `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+}

@@ -1,0 +1,232 @@
+//! Events, subjects and delivery queues (§2).
+//!
+//! An event is an instance of an event type:
+//!
+//! ```text
+//!   event := <subject, attribute_list, content>
+//! ```
+//!
+//! The *subject* is the unique tag that content-based routing is
+//! reduced to (subject-based addressing); *attributes* carry context and
+//! quality parameters (origin, timestamp, deadline, expiration); the
+//! *content* is the functional payload.
+
+use rtec_can::NodeId;
+use rtec_sim::Time;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// A subject: the system-wide unique identifier of an event type.
+///
+/// Subjects are application-level names (here: 64-bit identifiers,
+/// standing in for the hierarchical names of [13]); the binding
+/// protocol maps each subject to a short network-level *etag*.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subject(pub u64);
+
+impl Subject {
+    /// Create a subject from its unique identifier.
+    pub const fn new(uid: u64) -> Self {
+        Subject(uid)
+    }
+    /// The raw unique identifier.
+    pub const fn uid(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subject({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Non-functional attributes of a single event occurrence (§2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventAttributes {
+    /// Transmission deadline (global time) — SRT events only: the
+    /// latest point at which the message should be transmitted.
+    pub deadline: Option<Time>,
+    /// Expiration (validity end, global time): after this instant the
+    /// event may be dropped entirely.
+    pub expiration: Option<Time>,
+    /// Creation timestamp (set by the publisher middleware).
+    pub timestamp: Option<Time>,
+    /// Originating node (set by the middleware; used by origin
+    /// filters).
+    pub origin: Option<NodeId>,
+    /// Application mode-of-operation tag.
+    pub mode: Option<u8>,
+}
+
+/// An event: subject + attributes + content.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// The subject this event belongs to.
+    pub subject: Subject,
+    /// Context and quality attributes.
+    pub attributes: EventAttributes,
+    /// Functional payload. HRT/SRT channels carry at most 8 bytes (one
+    /// CAN frame); NRT channels may carry arbitrary lengths, which the
+    /// middleware fragments.
+    pub content: Vec<u8>,
+}
+
+impl Event {
+    /// Create an event with default attributes.
+    pub fn new(subject: Subject, content: impl Into<Vec<u8>>) -> Self {
+        Event {
+            subject,
+            attributes: EventAttributes::default(),
+            content: content.into(),
+        }
+    }
+
+    /// Set the SRT transmission deadline.
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.attributes.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the expiration (validity end).
+    pub fn with_expiration(mut self, expiration: Time) -> Self {
+        self.attributes.expiration = Some(expiration);
+        self
+    }
+
+    /// Set the application mode tag.
+    pub fn with_mode(mut self, mode: u8) -> Self {
+        self.attributes.mode = Some(mode);
+        self
+    }
+}
+
+/// A delivered event with its delivery metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The event as reconstructed at the subscriber.
+    pub event: Event,
+    /// Instant the middleware delivered it (global time).
+    pub delivered_at: Time,
+    /// Instant the frame completed on the wire (for HRT this precedes
+    /// `delivered_at`: delivery is deferred to the slot deadline to
+    /// cancel jitter).
+    pub wire_completed_at: Time,
+}
+
+/// The subscriber-visible event queue (the `event_queue` argument of
+/// the paper's `subscribe()`): the middleware pushes deliveries, the
+/// application drains them. Cheap to clone — clones share the queue.
+#[derive(Clone, Default)]
+pub struct EventQueue {
+    inner: Rc<RefCell<VecDeque<Delivery>>>,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Push a delivery (middleware side).
+    pub fn push(&self, delivery: Delivery) {
+        self.inner.borrow_mut().push_back(delivery);
+    }
+
+    /// Pop the oldest delivery, if any (the paper's `getEvent()`).
+    pub fn pop(&self) -> Option<Delivery> {
+        self.inner.borrow_mut().pop_front()
+    }
+
+    /// Drain all pending deliveries.
+    pub fn drain(&self) -> Vec<Delivery> {
+        self.inner.borrow_mut().drain(..).collect()
+    }
+
+    /// Number of pending deliveries.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventQueue(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_identity() {
+        let a = Subject::new(0x1001);
+        let b = Subject::new(0x1001);
+        let c = Subject::new(0x1002);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.uid(), 0x1001);
+        assert_eq!(format!("{a}"), "0x1001");
+    }
+
+    #[test]
+    fn event_builders() {
+        let e = Event::new(Subject::new(1), vec![1u8, 2, 3])
+            .with_deadline(Time::from_ms(5))
+            .with_expiration(Time::from_ms(8))
+            .with_mode(2);
+        assert_eq!(e.content, vec![1, 2, 3]);
+        assert_eq!(e.attributes.deadline, Some(Time::from_ms(5)));
+        assert_eq!(e.attributes.expiration, Some(Time::from_ms(8)));
+        assert_eq!(e.attributes.mode, Some(2));
+        assert_eq!(e.attributes.origin, None);
+    }
+
+    #[test]
+    fn queue_fifo_order() {
+        let q = EventQueue::new();
+        assert!(q.is_empty());
+        for i in 0..3u8 {
+            q.push(Delivery {
+                event: Event::new(Subject::new(1), vec![i]),
+                delivered_at: Time::from_us(u64::from(i)),
+                wire_completed_at: Time::from_us(u64::from(i)),
+            });
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().event.content, vec![0]);
+        let rest = q.drain();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[1].event.content, vec![2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_clones_share_storage() {
+        let q = EventQueue::new();
+        let clone = q.clone();
+        q.push(Delivery {
+            event: Event::new(Subject::new(1), vec![]),
+            delivered_at: Time::ZERO,
+            wire_completed_at: Time::ZERO,
+        });
+        assert_eq!(clone.len(), 1);
+        assert!(clone.pop().is_some());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Fragmentation and reassembly for NRT bulk transfers (§2.2.3).
+//!
+//! CAN frames carry at most 8 payload bytes, so configuration and
+//! maintenance data (memory images, electronic data sheets, test
+//! patterns) must be chained over many frames. Fragmentation is an
+//! inherent attribute of an NRT channel, fixed at announcement.
+//!
+//! Wire format of one fragment (CAN payload):
+//!
+//! ```text
+//!   byte 0      flags: bit7 = FIRST, bit6 = LAST
+//!   bytes 1..3  fragment index (u16 LE)
+//!   FIRST:      bytes 3..5 = total message length (u16 LE), bytes 5.. data
+//!   otherwise:  bytes 3..  data
+//! ```
+//!
+//! A reassembler keyed by `(TxNode, etag)` rebuilds messages; because
+//! CAN delivers one sender's frames in order, a sequence gap means a
+//! frame was lost (possible on NRT channels, which have no redundancy)
+//! and the partial message is discarded with an error.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const FLAG_FIRST: u8 = 0x80;
+const FLAG_LAST: u8 = 0x40;
+/// Data bytes carried by a FIRST fragment.
+pub const FIRST_FRAGMENT_DATA: usize = 3;
+/// Data bytes carried by a non-first fragment.
+pub const LATER_FRAGMENT_DATA: usize = 5;
+/// Largest message the u16 length field can describe.
+pub const MAX_MESSAGE_LEN: usize = u16::MAX as usize;
+
+/// Split a message into CAN payloads.
+///
+/// # Panics
+/// If `data` exceeds [`MAX_MESSAGE_LEN`].
+pub fn fragment(data: &[u8]) -> Vec<Vec<u8>> {
+    assert!(
+        data.len() <= MAX_MESSAGE_LEN,
+        "NRT message of {} bytes exceeds the 64 KiB fragmentation limit",
+        data.len()
+    );
+    let mut out = Vec::new();
+    let total = data.len() as u16;
+    let first_take = data.len().min(FIRST_FRAGMENT_DATA);
+    let mut payload = Vec::with_capacity(8);
+    let last_in_first = first_take == data.len();
+    payload.push(FLAG_FIRST | if last_in_first { FLAG_LAST } else { 0 });
+    payload.extend_from_slice(&0u16.to_le_bytes());
+    payload.extend_from_slice(&total.to_le_bytes());
+    payload.extend_from_slice(&data[..first_take]);
+    out.push(payload);
+    let mut offset = first_take;
+    let mut index: u16 = 1;
+    while offset < data.len() {
+        let take = (data.len() - offset).min(LATER_FRAGMENT_DATA);
+        let last = offset + take == data.len();
+        let mut p = Vec::with_capacity(3 + take);
+        p.push(if last { FLAG_LAST } else { 0 });
+        p.extend_from_slice(&index.to_le_bytes());
+        p.extend_from_slice(&data[offset..offset + take]);
+        out.push(p);
+        offset += take;
+        index = index
+            .checked_add(1)
+            .expect("message length bound keeps the index in range");
+    }
+    out
+}
+
+/// Number of fragments a message of `len` bytes produces.
+pub fn fragment_count(len: usize) -> usize {
+    if len <= FIRST_FRAGMENT_DATA {
+        1
+    } else {
+        1 + (len - FIRST_FRAGMENT_DATA).div_ceil(LATER_FRAGMENT_DATA)
+    }
+}
+
+/// Reassembly failure.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FragError {
+    /// A non-first fragment arrived with no transfer in progress.
+    NoTransferInProgress,
+    /// Fragment index skipped — a frame was lost; the partial message
+    /// was discarded.
+    SequenceGap {
+        /// Index that was expected next.
+        expected: u16,
+        /// Index that arrived.
+        got: u16,
+    },
+    /// Payload malformed (too short, bad flags).
+    Malformed,
+    /// More data arrived than the announced total length.
+    Overflow,
+    /// The LAST fragment completed a message whose length disagrees
+    /// with the announced total.
+    LengthMismatch {
+        /// Announced total length.
+        announced: u16,
+        /// Actually received byte count.
+        received: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Partial {
+    total: u16,
+    next_index: u16,
+    data: Vec<u8>,
+}
+
+/// Stateful reassembler for concurrent transfers from many senders.
+#[derive(Clone, Debug, Default)]
+pub struct Reassembler<K: std::hash::Hash + Eq + Clone> {
+    partials: HashMap<K, Partial>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Reassembler {
+            partials: HashMap::new(),
+        }
+    }
+
+    /// Feed one fragment for stream `key`. Returns the completed
+    /// message when the LAST fragment arrives.
+    pub fn push(&mut self, key: K, payload: &[u8]) -> Result<Option<Vec<u8>>, FragError> {
+        if payload.len() < 3 {
+            return Err(FragError::Malformed);
+        }
+        let flags = payload[0];
+        let index = u16::from_le_bytes([payload[1], payload[2]]);
+        let first = flags & FLAG_FIRST != 0;
+        let last = flags & FLAG_LAST != 0;
+        if first {
+            if payload.len() < 5 {
+                return Err(FragError::Malformed);
+            }
+            let total = u16::from_le_bytes([payload[3], payload[4]]);
+            let data = payload[5..].to_vec();
+            if data.len() > total as usize {
+                return Err(FragError::Overflow);
+            }
+            if last {
+                if data.len() != total as usize {
+                    return Err(FragError::LengthMismatch {
+                        announced: total,
+                        received: data.len(),
+                    });
+                }
+                self.partials.remove(&key);
+                return Ok(Some(data));
+            }
+            // A new FIRST silently replaces any stale partial transfer
+            // (the sender restarted).
+            self.partials.insert(
+                key,
+                Partial {
+                    total,
+                    next_index: 1,
+                    data,
+                },
+            );
+            return Ok(None);
+        }
+        let Some(partial) = self.partials.get_mut(&key) else {
+            return Err(FragError::NoTransferInProgress);
+        };
+        if index != partial.next_index {
+            let expected = partial.next_index;
+            self.partials.remove(&key);
+            return Err(FragError::SequenceGap { expected, got: index });
+        }
+        partial.next_index += 1;
+        partial.data.extend_from_slice(&payload[3..]);
+        if partial.data.len() > partial.total as usize {
+            self.partials.remove(&key);
+            return Err(FragError::Overflow);
+        }
+        if last {
+            let partial = self.partials.remove(&key).expect("checked above");
+            if partial.data.len() != partial.total as usize {
+                return Err(FragError::LengthMismatch {
+                    announced: partial.total,
+                    received: partial.data.len(),
+                });
+            }
+            return Ok(Some(partial.data));
+        }
+        Ok(None)
+    }
+
+    /// Number of in-progress transfers.
+    pub fn in_progress(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Discard an in-progress transfer (e.g. the sender crashed).
+    pub fn reset(&mut self, key: &K) {
+        self.partials.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        let mut result = None;
+        for frag in fragment(data) {
+            result = r.push(0, &frag).unwrap();
+        }
+        assert_eq!(r.in_progress(), 0);
+        result.expect("last fragment completes the message")
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 9, 13, 100, 1000, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(roundtrip(&data), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn fragment_count_matches() {
+        for len in [0usize, 3, 4, 8, 9, 100, 65_535] {
+            let data: Vec<u8> = vec![0xA5; len];
+            assert_eq!(fragment(&data).len(), fragment_count(len), "len={len}");
+        }
+        assert_eq!(fragment_count(0), 1);
+        assert_eq!(fragment_count(3), 1);
+        assert_eq!(fragment_count(4), 2);
+        assert_eq!(fragment_count(8), 2);
+        assert_eq!(fragment_count(9), 3);
+    }
+
+    #[test]
+    fn payloads_fit_in_can_frames() {
+        let data = vec![7u8; 1234];
+        for p in fragment(&data) {
+            assert!(p.len() <= 8, "fragment of {} bytes", p.len());
+            assert!(p.len() >= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64 KiB")]
+    fn oversized_message_panics() {
+        let _ = fragment(&vec![0u8; MAX_MESSAGE_LEN + 1]);
+    }
+
+    #[test]
+    fn interleaved_senders_reassemble_independently() {
+        let a: Vec<u8> = (0..50).collect();
+        let b: Vec<u8> = (100..180).collect();
+        let fa = fragment(&a);
+        let fb = fragment(&b);
+        let mut r: Reassembler<u8> = Reassembler::new();
+        let mut done_a = None;
+        let mut done_b = None;
+        for i in 0..fa.len().max(fb.len()) {
+            if let Some(f) = fa.get(i) {
+                if let Some(msg) = r.push(1, f).unwrap() {
+                    done_a = Some(msg);
+                }
+            }
+            if let Some(f) = fb.get(i) {
+                if let Some(msg) = r.push(2, f).unwrap() {
+                    done_b = Some(msg);
+                }
+            }
+        }
+        assert_eq!(done_a.unwrap(), a);
+        assert_eq!(done_b.unwrap(), b);
+    }
+
+    #[test]
+    fn lost_fragment_is_detected() {
+        let data = vec![9u8; 40];
+        let frags = fragment(&data);
+        let mut r: Reassembler<u8> = Reassembler::new();
+        r.push(0, &frags[0]).unwrap();
+        r.push(0, &frags[1]).unwrap();
+        // Skip fragment 2.
+        let err = r.push(0, &frags[3]).unwrap_err();
+        assert_eq!(err, FragError::SequenceGap { expected: 2, got: 3 });
+        // Transfer was discarded.
+        assert_eq!(r.in_progress(), 0);
+        assert_eq!(
+            r.push(0, &frags[4]).unwrap_err(),
+            FragError::NoTransferInProgress
+        );
+    }
+
+    #[test]
+    fn restart_replaces_partial_transfer() {
+        let first = vec![1u8; 40];
+        let second = vec![2u8; 10];
+        let mut r: Reassembler<u8> = Reassembler::new();
+        let f1 = fragment(&first);
+        r.push(0, &f1[0]).unwrap();
+        r.push(0, &f1[1]).unwrap();
+        // Sender restarts with a new message.
+        let f2 = fragment(&second);
+        let mut done = None;
+        for f in &f2 {
+            done = r.push(0, f).unwrap();
+        }
+        assert_eq!(done.unwrap(), second);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        assert_eq!(r.push(0, &[0x80]).unwrap_err(), FragError::Malformed);
+        assert_eq!(
+            r.push(0, &[0x80, 0, 0, 5]).unwrap_err(),
+            FragError::Malformed
+        );
+        assert_eq!(
+            r.push(0, &[0x00, 0, 0, 1, 2]).unwrap_err(),
+            FragError::NoTransferInProgress
+        );
+    }
+
+    #[test]
+    fn reset_discards_partial() {
+        let data = vec![3u8; 40];
+        let frags = fragment(&data);
+        let mut r: Reassembler<u8> = Reassembler::new();
+        r.push(0, &frags[0]).unwrap();
+        assert_eq!(r.in_progress(), 1);
+        r.reset(&0);
+        assert_eq!(r.in_progress(), 0);
+    }
+
+    #[test]
+    fn single_fragment_message_has_both_flags() {
+        let frags = fragment(&[1, 2, 3]);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0][0] & FLAG_FIRST, FLAG_FIRST);
+        assert_eq!(frags[0][0] & FLAG_LAST, FLAG_LAST);
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        assert_eq!(roundtrip(&[]), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,1938 @@
+//! The network world: bus + clocks + per-node middleware, driven by the
+//! discrete-event engine.
+//!
+//! [`Network`] is the top-level object applications construct. It owns
+//! an [`Engine`] whose model, [`NetWorld`], implements all three channel
+//! classes:
+//!
+//! * **HRT** — [`NetWorld::install_calendar`] runs the off-line
+//!   admission test over every announced HRT channel and then replays
+//!   the calendar round by round: each slot raises `SlotReady` (stage
+//!   the published event), `SlotLst` (submit at the reserved priority
+//!   0 — the CAN arbitration now guarantees the next transmission), and
+//!   `SlotDeliver` per subscriber (deliver exactly at the slot's
+//!   delivery deadline, cancelling jitter). Redundant retransmissions
+//!   are issued only while the bus reports a receiver missed the frame
+//!   (`all_received == false`) and stop as soon as reception is
+//!   consistent — the bandwidth-reclaiming behaviour of §3.2.
+//! * **SRT** — per-node EDF queues; the head message is submitted with
+//!   a priority derived from its transmission deadline
+//!   ([`rtec_analysis::edf::priority_for_deadline`]) and promoted as
+//!   its laxity shrinks. Misses and expirations raise local exceptions.
+//! * **NRT** — fixed-priority FIFO senders with optional fragmentation.
+
+use crate::api::NetApi;
+use crate::binding::{
+    BindReply, BindRequest, BindStatus, SubjectRegistry, ETAG_BIND_REPLY, ETAG_BIND_REQUEST,
+    ETAG_FOLLOW_UP, ETAG_SYNC,
+};
+use crate::channel::{
+    validate_nrt_priority, ChannelClass, ChannelError, ChannelException, ChannelSpec,
+    SubscribeSpec,
+};
+use crate::event::{Delivery, Event, EventQueue, Subject};
+use crate::node::{
+    pack_tag, unpack_tag, ActiveSlot, ExcHandler, NodeState, NotifyHandler, NrtTransfer,
+    PublisherState, SrtMsg, SubscriptionState, TagKind,
+};
+use crate::stats::NetStats;
+use rtec_analysis::admission::{AdmissionError, CalendarPlan, SlotRequest};
+use rtec_analysis::edf::{next_promotion_time, priority_for_deadline, PrioritySlotConfig};
+use rtec_analysis::wctt::wcct_single;
+use rtec_can::{
+    AcceptanceFilter, BusConfig, CanBus, CanEvent, CanId, FaultInjector, FaultModel, Frame,
+    MapScheduler, NodeId, Notification, TxRequest, PRIO_HRT, PRIO_NRT_MIN,
+};
+use rtec_clock::{ClockParams, LocalClock};
+use rtec_sim::{Ctx, Duration, Engine, Model, RngStreams, Time, TraceSink};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum inline (single-frame) event content.
+pub const MAX_INLINE_CONTENT: usize = 8;
+
+/// Events of the network world.
+#[derive(Clone, Copy, Debug)]
+pub enum NetEvent {
+    /// Bus activity.
+    Can(CanEvent),
+    /// A calendar round begins.
+    RoundStart {
+        /// Round number (0-based).
+        round: u64,
+    },
+    /// A slot's ready instant (publisher side).
+    SlotReady {
+        /// Round number.
+        round: u64,
+        /// Slot index within the calendar.
+        slot: usize,
+    },
+    /// A slot's Latest Start Time (publisher side).
+    SlotLst {
+        /// Round number.
+        round: u64,
+        /// Slot index within the calendar.
+        slot: usize,
+    },
+    /// A slot's delivery deadline at one node.
+    SlotDeliver {
+        /// Round number.
+        round: u64,
+        /// Slot index within the calendar.
+        slot: usize,
+        /// Node performing delivery (subscriber) or cleanup (publisher).
+        node: NodeId,
+    },
+    /// Dynamic priority promotion check for an SRT message.
+    SrtPromote {
+        /// Owning node.
+        node: NodeId,
+        /// Message sequence number.
+        seq: u32,
+    },
+    /// Transmission-deadline check for an SRT message.
+    SrtDeadline {
+        /// Owning node.
+        node: NodeId,
+        /// Message sequence number.
+        seq: u32,
+    },
+    /// Expiration check for an SRT message.
+    SrtExpire {
+        /// Owning node.
+        node: NodeId,
+        /// Message sequence number.
+        seq: u32,
+    },
+    /// The sync master emits the next SYNC frame.
+    SyncTick,
+    /// A one-shot application closure.
+    App(usize),
+    /// A recurring application closure.
+    Recurring(usize),
+}
+
+/// Configuration of the in-network clock-synchronization service (the
+/// Gergeleit/Streich two-frame scheme the paper adopts as its time
+/// base, [9]).
+#[derive(Clone, Copy, Debug)]
+pub struct ClockSyncConfig {
+    /// Resynchronization period (master time).
+    pub period: Duration,
+    /// The node whose clock defines global time. Its own drift shifts
+    /// the whole time base; pick a good oscillator for it.
+    pub master: NodeId,
+    /// CAN priority of sync frames (top of the SRT band by default —
+    /// infrastructure traffic must not starve).
+    pub priority: u8,
+}
+
+impl Default for ClockSyncConfig {
+    fn default() -> Self {
+        ClockSyncConfig {
+            period: Duration::from_ms(50),
+            master: NodeId(0),
+            priority: rtec_can::PRIO_SRT_MIN,
+        }
+    }
+}
+
+/// Static configuration of a network world.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Number of nodes on the bus.
+    pub nodes: usize,
+    /// Bus parameters (bit rate).
+    pub bus: BusConfig,
+    /// Inter-slot gap `ΔG_min` (paper: 40 µs).
+    pub gap: Duration,
+    /// Deadline → priority mapping for SRT traffic.
+    pub priority_slots: PrioritySlotConfig,
+    /// Per-node oscillator parameters (`None` = perfect clocks).
+    pub clocks: Option<Vec<ClockParams>>,
+    /// Run the clock-synchronization protocol over the bus (`None` =
+    /// clocks free-run; fine for perfect clocks, required for drifting
+    /// clocks on long runs).
+    pub clock_sync: Option<ClockSyncConfig>,
+    /// Run the binding protocol over the bus instead of binding
+    /// instantaneously.
+    pub dynamic_binding: bool,
+    /// Node hosting the binding agent.
+    pub binding_agent: NodeId,
+    /// Calendar round length.
+    pub round: Duration,
+    /// Delay from `install_calendar` to the first round.
+    pub calendar_start_delay: Duration,
+    /// Fault model installed on the bus.
+    pub fault_model: FaultModel,
+    /// Seed for all randomness.
+    pub seed: u64,
+    /// Deliver HRT events at the slot deadline (paper behaviour). Set
+    /// `false` for the jitter ablation: deliver on wire completion.
+    pub hrt_deferred_delivery: bool,
+    /// Dynamically promote SRT priorities as deadlines near (paper
+    /// behaviour). Set `false` for the ablation: priority fixed at
+    /// enqueue time.
+    pub srt_dynamic_promotion: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nodes: 4,
+            bus: BusConfig::default(),
+            gap: Duration::from_us(40),
+            priority_slots: PrioritySlotConfig::paper_default(),
+            clocks: None,
+            clock_sync: None,
+            dynamic_binding: false,
+            binding_agent: NodeId(0),
+            round: Duration::from_ms(10),
+            calendar_start_delay: Duration::from_ms(1),
+            fault_model: FaultModel::None,
+            seed: 42,
+            hrt_deferred_delivery: true,
+            srt_dynamic_promotion: true,
+        }
+    }
+}
+
+/// Errors from [`NetWorld::install_calendar`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalendarError {
+    /// The admission test rejected the reservation set.
+    Admission(AdmissionError),
+    /// An HRT channel has no etag yet (dynamic binding still pending).
+    Unbound(Subject),
+    /// The calendar was already installed.
+    AlreadyInstalled,
+}
+
+impl std::fmt::Display for CalendarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalendarError::Admission(e) => write!(f, "admission refused: {e}"),
+            CalendarError::Unbound(s) => write!(f, "HRT channel {s} not bound yet"),
+            CalendarError::AlreadyInstalled => write!(f, "calendar already installed"),
+        }
+    }
+}
+impl std::error::Error for CalendarError {}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChannelMeta {
+    pub subject: Subject,
+    pub class: ChannelClass,
+    pub sporadic: bool,
+    pub fragmented: bool,
+}
+
+/// A boxed recurring application closure.
+type RecurringFn = Box<dyn FnMut(&mut NetApi<'_>)>;
+/// A boxed one-shot application closure.
+type OneShotFn = Box<dyn FnOnce(&mut NetApi<'_>)>;
+
+struct RecurringTask {
+    period: Duration,
+    f: Option<RecurringFn>,
+}
+
+/// The simulation model: everything on (and above) the bus.
+pub struct NetWorld {
+    /// The shared bus.
+    pub bus: CanBus,
+    /// Measurements.
+    pub stats: NetStats,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) registry: SubjectRegistry,
+    pub(crate) channel_table: HashMap<u16, ChannelMeta>,
+    pub(crate) subscribers: HashMap<u16, Vec<NodeId>>,
+    pub(crate) calendar: Option<CalendarPlan>,
+    pub(crate) calendar_start: Time,
+    pub(crate) config: NetworkConfig,
+    trace: TraceSink,
+    one_shots: Vec<Option<OneShotFn>>,
+    recurring: Vec<RecurringTask>,
+    /// Slots that went empty: (node, etag) → (ready, deadline) in true
+    /// time, for the NotReady exception.
+    empty_slots: HashMap<(u8, u16), (Time, Time)>,
+    /// Publish instants of staged HRT events, for latency accounting.
+    hrt_publish_times: HashMap<(u16, u64, usize), Time>,
+}
+
+fn wrap_can(ev: CanEvent) -> NetEvent {
+    NetEvent::Can(ev)
+}
+
+impl NetWorld {
+    fn new(config: NetworkConfig) -> Self {
+        let streams = RngStreams::new(config.seed);
+        let injector = FaultInjector::new(config.fault_model.clone(), streams.stream("bus-faults"));
+        let mut bus = CanBus::new(config.bus, config.nodes, injector);
+        if config.dynamic_binding {
+            // The agent listens for requests; everyone listens for the
+            // broadcast replies.
+            bus.controller_mut(config.binding_agent)
+                .add_filter(AcceptanceFilter::for_etag(ETAG_BIND_REQUEST));
+            for i in 0..config.nodes {
+                bus.controller_mut(NodeId(i as u8))
+                    .add_filter(AcceptanceFilter::for_etag(ETAG_BIND_REPLY));
+            }
+        }
+        if config.clock_sync.is_some() {
+            for i in 0..config.nodes {
+                let c = bus.controller_mut(NodeId(i as u8));
+                c.add_filter(AcceptanceFilter::for_etag(ETAG_SYNC));
+                c.add_filter(AcceptanceFilter::for_etag(ETAG_FOLLOW_UP));
+            }
+        }
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                let params = config
+                    .clocks
+                    .as_ref()
+                    .and_then(|c| c.get(i).copied())
+                    .unwrap_or(ClockParams::PERFECT);
+                NodeState::new(NodeId(i as u8), LocalClock::new(params))
+            })
+            .collect();
+        NetWorld {
+            bus,
+            stats: NetStats::default(),
+            nodes,
+            registry: SubjectRegistry::new(),
+            channel_table: HashMap::new(),
+            subscribers: HashMap::new(),
+            calendar: None,
+            calendar_start: Time::ZERO,
+            config,
+            trace: TraceSink::disabled(),
+            one_shots: Vec::new(),
+            recurring: Vec::new(),
+            empty_slots: HashMap::new(),
+            hrt_publish_times: HashMap::new(),
+        }
+    }
+
+    /// The installed calendar, if any.
+    pub fn calendar(&self) -> Option<&CalendarPlan> {
+        self.calendar.as_ref()
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The subject→etag registry.
+    pub fn registry(&self) -> &SubjectRegistry {
+        &self.registry
+    }
+
+    /// The subject a bound etag belongs to, if a channel exists for it.
+    pub fn channel_subject(&self, etag: u16) -> Option<Subject> {
+        self.channel_table.get(&etag).map(|m| m.subject)
+    }
+
+    /// Enumerate all bound channels: `(etag, subject, class)`, sorted by
+    /// etag — the directory a monitoring or configuration tool would
+    /// display.
+    pub fn channels(&self) -> Vec<(u16, Subject, ChannelClass)> {
+        let mut out: Vec<(u16, Subject, ChannelClass)> = self
+            .channel_table
+            .iter()
+            .map(|(&etag, m)| (etag, m.subject, m.class))
+            .collect();
+        out.sort_by_key(|&(etag, _, _)| etag);
+        out
+    }
+
+    /// All nodes currently subscribed to an etag.
+    pub fn subscribers_of(&self, etag: u16) -> Vec<NodeId> {
+        self.subscribers.get(&etag).cloned().unwrap_or_default()
+    }
+
+    /// Peak SRT queue length observed on a node.
+    pub fn srt_peak_queue(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].srt.peak_queue
+    }
+
+    /// Current SRT queue length on a node.
+    pub fn srt_queue_len(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].srt.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Time helpers
+    // ------------------------------------------------------------------
+
+    /// A node's current estimate of global time.
+    pub(crate) fn global_now(&self, node: NodeId, true_now: Time) -> Time {
+        self.nodes[node.index()].clock.read(true_now)
+    }
+
+    /// The true instant at which `node` acts for global instant `g`
+    /// (clamped so it is never in the past).
+    pub(crate) fn true_at(&self, node: NodeId, g: Time, true_now: Time) -> Time {
+        self.nodes[node.index()]
+            .clock
+            .true_time_when_reads(g)
+            .max(true_now)
+    }
+
+    // ------------------------------------------------------------------
+    // Channel API (called through NetApi)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn announce(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        subject: Subject,
+        spec: ChannelSpec,
+        exception: Option<ExcHandler>,
+    ) -> Result<(), ChannelError> {
+        if self.nodes[node.index()].publishers.contains_key(&subject.uid()) {
+            return Err(ChannelError::AlreadyAnnounced(subject));
+        }
+        match &spec {
+            ChannelSpec::Hrt(_) => {
+                if self.calendar.is_some() {
+                    return Err(ChannelError::CalendarState(
+                        "HRT channels must be announced before the calendar is installed",
+                    ));
+                }
+            }
+            ChannelSpec::Nrt(n) => validate_nrt_priority(n)?,
+            ChannelSpec::Srt(_) => {}
+        }
+        // Cross-publisher consistency: a subject has at most one channel
+        // class.
+        if let Some(etag) = self.registry.etag_of(subject) {
+            if let Some(meta) = self.channel_table.get(&etag) {
+                if meta.class != spec.class() {
+                    return Err(ChannelError::SpecMismatch(subject));
+                }
+            }
+        }
+        self.nodes[node.index()]
+            .publishers
+            .insert(subject.uid(), PublisherState::new(subject, spec, exception));
+        self.bind(ctx, node, subject)
+    }
+
+    pub(crate) fn subscribe(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        subject: Subject,
+        spec: SubscribeSpec,
+        notify: Option<NotifyHandler>,
+        exception: Option<ExcHandler>,
+    ) -> Result<EventQueue, ChannelError> {
+        if self.nodes[node.index()]
+            .subscriptions
+            .contains_key(&subject.uid())
+        {
+            return Err(ChannelError::AlreadySubscribed(subject));
+        }
+        let sub = SubscriptionState::new(subject, spec, notify, exception);
+        let queue = sub.queue.clone();
+        self.nodes[node.index()]
+            .subscriptions
+            .insert(subject.uid(), sub);
+        self.bind(ctx, node, subject)?;
+        Ok(queue)
+    }
+
+    pub(crate) fn cancel_subscription(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+    ) -> Result<(), ChannelError> {
+        let sub = self.nodes[node.index()]
+            .subscriptions
+            .remove(&subject.uid())
+            .ok_or(ChannelError::NotSubscribed(subject))?;
+        if let Some(etag) = sub.etag {
+            // Release the hardware filter and the dissemination entry —
+            // a strictly local operation (§2.2.1).
+            self.bus
+                .controller_mut(node)
+                .remove_filters(|f| *f == AcceptanceFilter::for_etag(etag));
+            if let Some(list) = self.subscribers.get_mut(&etag) {
+                list.retain(|&n| n != node);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn cancel_publication(
+        &mut self,
+        node: NodeId,
+        subject: Subject,
+    ) -> Result<(), ChannelError> {
+        let pub_state = self.nodes[node.index()]
+            .publishers
+            .get(&subject.uid())
+            .ok_or(ChannelError::NotAnnounced(subject))?;
+        if matches!(pub_state.spec, ChannelSpec::Hrt(_)) && self.calendar.is_some() {
+            return Err(ChannelError::CalendarState(
+                "HRT publications cannot be cancelled while the calendar is active",
+            ));
+        }
+        self.nodes[node.index()].publishers.remove(&subject.uid());
+        Ok(())
+    }
+
+    pub(crate) fn publish(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        subject: Subject,
+        mut event: Event,
+    ) -> Result<(), ChannelError> {
+        let n = node.index();
+        let now_true = ctx.now();
+        let now_global = self.global_now(node, now_true);
+        let pub_state = self.nodes[n]
+            .publishers
+            .get_mut(&subject.uid())
+            .ok_or(ChannelError::NotAnnounced(subject))?;
+        event.attributes.origin = Some(node);
+        if event.attributes.timestamp.is_none() {
+            event.attributes.timestamp = Some(now_global);
+        }
+        let Some(etag) = pub_state.etag else {
+            // Binding still in flight: queue the publication.
+            pub_state.pending_publishes.push_back(event);
+            return Ok(());
+        };
+        let spec = pub_state.spec;
+        match spec {
+            ChannelSpec::Hrt(h) => {
+                if event.content.len() > usize::from(h.dlc) {
+                    return Err(ChannelError::PayloadTooLong {
+                        len: event.content.len(),
+                        max: usize::from(h.dlc),
+                    });
+                }
+                if self.calendar.is_none() {
+                    return Err(ChannelError::CalendarState(
+                        "publish on an HRT channel requires an installed calendar",
+                    ));
+                }
+                self.stats.channel_mut(etag).published += 1;
+                let pub_state = self.nodes[n].publishers.get_mut(&subject.uid()).expect("exists");
+                pub_state.staged = Some(event);
+                // If the current slot just went empty and this publish
+                // missed it, tell the application (§2.2.1 awareness).
+                if let Some(&(ready, deadline)) = self.empty_slots.get(&(node.0, etag)) {
+                    if now_true > ready && now_true <= deadline {
+                        self.empty_slots.remove(&(node.0, etag));
+                        let exc = ChannelException::NotReady {
+                            subject,
+                            slot_ready_at: ready,
+                        };
+                        self.stats.exceptions += 1;
+                        self.nodes[n]
+                            .publishers
+                            .get_mut(&subject.uid())
+                            .expect("exists")
+                            .raise(&exc);
+                    }
+                }
+                Ok(())
+            }
+            ChannelSpec::Srt(s) => {
+                if event.content.len() > MAX_INLINE_CONTENT {
+                    return Err(ChannelError::PayloadTooLong {
+                        len: event.content.len(),
+                        max: MAX_INLINE_CONTENT,
+                    });
+                }
+                self.stats.channel_mut(etag).published += 1;
+                let deadline = event
+                    .attributes
+                    .deadline
+                    .unwrap_or(now_global + s.default_deadline);
+                let expiration = event.attributes.expiration.or_else(|| {
+                    s.default_expiration.map(|d| now_global + d)
+                });
+                let srt = &mut self.nodes[n].srt;
+                let seq = srt.next_seq;
+                srt.next_seq += 1;
+                srt.queue.push(SrtMsg {
+                    seq,
+                    etag,
+                    subject,
+                    event,
+                    deadline,
+                    expiration,
+                    missed: false,
+                    published_at: now_true,
+                });
+                srt.peak_queue = srt.peak_queue.max(srt.queue.len());
+                // Deadline and expiration supervision.
+                let t_deadline = self.true_at(node, deadline, now_true);
+                ctx.at(t_deadline, NetEvent::SrtDeadline { node, seq });
+                if let Some(exp) = expiration {
+                    let t_exp = self.true_at(node, exp, now_true);
+                    ctx.at(t_exp, NetEvent::SrtExpire { node, seq });
+                }
+                self.srt_reconsider(ctx, node);
+                Ok(())
+            }
+            ChannelSpec::Nrt(nrt) => {
+                let payloads = if nrt.fragmented {
+                    if event.content.len() > crate::frag::MAX_MESSAGE_LEN {
+                        return Err(ChannelError::PayloadTooLong {
+                            len: event.content.len(),
+                            max: crate::frag::MAX_MESSAGE_LEN,
+                        });
+                    }
+                    crate::frag::fragment(&event.content)
+                } else {
+                    if event.content.len() > MAX_INLINE_CONTENT {
+                        return Err(ChannelError::PayloadTooLong {
+                            len: event.content.len(),
+                            max: MAX_INLINE_CONTENT,
+                        });
+                    }
+                    vec![event.content.clone()]
+                };
+                self.stats.channel_mut(etag).published += 1;
+                let transfer = NrtTransfer {
+                    etag,
+                    subject,
+                    payloads,
+                    next: 0,
+                    priority: nrt.priority,
+                    handle: None,
+                    published_at: now_true,
+                };
+                self.nodes[n].nrt.queue.push_back(transfer);
+                self.nrt_dispatch(ctx, node);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Binding
+    // ------------------------------------------------------------------
+
+    fn bind(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        subject: Subject,
+    ) -> Result<(), ChannelError> {
+        if !self.config.dynamic_binding || node == self.config.binding_agent {
+            // Static binding (or the agent binding its own subjects):
+            // assign immediately.
+            let etag = self
+                .registry
+                .bind(subject)
+                .map_err(|_| ChannelError::EtagsExhausted)?;
+            self.complete_binding(ctx, node, subject, etag);
+            return Ok(());
+        }
+        // Dynamic: enqueue a BIND_REQUEST; one outstanding at a time.
+        let node_state = &mut self.nodes[node.index()];
+        let seq = node_state.bind_seq;
+        node_state.bind_seq = node_state.bind_seq.wrapping_add(1);
+        node_state
+            .bind_pending
+            .push_back(crate::node::PendingBind { seq, subject });
+        if node_state.bind_pending.len() == 1 {
+            self.send_bind_request(ctx, node);
+        }
+        Ok(())
+    }
+
+    fn send_bind_request(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId) {
+        let Some(pending) = self.nodes[node.index()].bind_pending.front().copied() else {
+            return;
+        };
+        let req = BindRequest::new(pending.seq, pending.subject);
+        let frame = Frame::new(
+            CanId::new(PRIO_NRT_MIN, node.0, ETAG_BIND_REQUEST),
+            &req.encode(),
+        );
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        self.bus.submit(
+            &mut sched,
+            node,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag: pack_tag(TagKind::Bind, ETAG_BIND_REQUEST, u32::from(pending.seq)),
+            },
+        );
+    }
+
+    fn complete_binding(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        subject: Subject,
+        etag: u16,
+    ) {
+        let n = node.index();
+        let mut flush: VecDeque<Event> = VecDeque::new();
+        if let Some(p) = self.nodes[n].publishers.get_mut(&subject.uid()) {
+            p.etag = Some(etag);
+            flush = std::mem::take(&mut p.pending_publishes);
+            let (class, sporadic, fragmented) = match p.spec {
+                ChannelSpec::Hrt(h) => (ChannelClass::Hrt, h.sporadic, false),
+                ChannelSpec::Srt(_) => (ChannelClass::Srt, false, false),
+                ChannelSpec::Nrt(nr) => (ChannelClass::Nrt, false, nr.fragmented),
+            };
+            let meta = ChannelMeta {
+                subject,
+                class,
+                sporadic,
+                fragmented,
+            };
+            let entry = self.channel_table.entry(etag).or_insert(meta);
+            if entry.class != meta.class {
+                let exc = ChannelException::Fault {
+                    subject,
+                    reason: "channel class conflicts with an existing publisher".into(),
+                };
+                self.stats.exceptions += 1;
+                self.nodes[n]
+                    .publishers
+                    .get_mut(&subject.uid())
+                    .expect("exists")
+                    .raise(&exc);
+            }
+        }
+        if let Some(s) = self.nodes[n].subscriptions.get_mut(&subject.uid()) {
+            s.etag = Some(etag);
+            // Dynamic binding delegates the subject filtering to the
+            // controller hardware (§2.1).
+            self.bus
+                .controller_mut(node)
+                .add_filter(AcceptanceFilter::for_etag(etag));
+            let subs = self.subscribers.entry(etag).or_default();
+            if !subs.contains(&node) {
+                subs.push(node);
+            }
+        }
+        self.stats.channels.entry(etag).or_default();
+        for event in flush {
+            // Re-enter publish now that the etag is known; errors
+            // surface as exceptions because the original call returned
+            // long ago.
+            if let Err(e) = self.publish(ctx, node, subject, event) {
+                let exc = ChannelException::Fault {
+                    subject,
+                    reason: format!("deferred publish failed: {e}"),
+                };
+                self.stats.exceptions += 1;
+                if let Some(p) = self.nodes[n].publishers.get_mut(&subject.uid()) {
+                    p.raise(&exc);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calendar / HRT
+    // ------------------------------------------------------------------
+
+    pub(crate) fn install_calendar(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+    ) -> Result<(), CalendarError> {
+        if self.calendar.is_some() {
+            return Err(CalendarError::AlreadyInstalled);
+        }
+        let mut requests = Vec::new();
+        for node in &self.nodes {
+            for p in node.publishers.values() {
+                if let ChannelSpec::Hrt(h) = p.spec {
+                    let etag = p.etag.ok_or(CalendarError::Unbound(p.subject))?;
+                    requests.push(SlotRequest {
+                        etag,
+                        publisher: node.id,
+                        dlc: h.dlc,
+                        omission_degree: h.omission_degree,
+                        period: h.period,
+                    });
+                }
+            }
+        }
+        let plan = CalendarPlan::plan(
+            self.config.round,
+            &requests,
+            self.config.bus.timing,
+            self.config.gap,
+        )
+        .map_err(CalendarError::Admission)?;
+        self.calendar_start = ctx.now() + self.config.calendar_start_delay;
+        ctx.at(self.calendar_start, NetEvent::RoundStart { round: 0 });
+        self.calendar = Some(plan);
+        Ok(())
+    }
+
+    fn on_round_start(&mut self, ctx: &mut Ctx<NetEvent>, round: u64) {
+        let now = ctx.now();
+        let plan = self.calendar.as_ref().expect("round without calendar");
+        let base = self.calendar_start + plan.round * round;
+        let mut to_schedule: Vec<(Time, NetEvent)> = Vec::new();
+        for (idx, slot) in plan.slots.iter().enumerate() {
+            let ready_g = base + slot.start;
+            let lst_g = base + slot.lst();
+            let deadline_g = base + slot.deadline();
+            let publisher = slot.publisher;
+            to_schedule.push((
+                self.true_at(publisher, ready_g, now),
+                NetEvent::SlotReady { round, slot: idx },
+            ));
+            to_schedule.push((
+                self.true_at(publisher, lst_g, now),
+                NetEvent::SlotLst { round, slot: idx },
+            ));
+            // Publisher-side cleanup at the deadline.
+            to_schedule.push((
+                self.true_at(publisher, deadline_g, now),
+                NetEvent::SlotDeliver {
+                    round,
+                    slot: idx,
+                    node: publisher,
+                },
+            ));
+            // Subscriber-side delivery at the deadline.
+            if let Some(subs) = self.subscribers.get(&slot.etag) {
+                for &sub_node in subs {
+                    if sub_node != publisher {
+                        to_schedule.push((
+                            self.true_at(sub_node, deadline_g, now),
+                            NetEvent::SlotDeliver {
+                                round,
+                                slot: idx,
+                                node: sub_node,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let next_round_at = base + plan.round;
+        for (t, ev) in to_schedule {
+            ctx.at(t, ev);
+        }
+        ctx.at(next_round_at, NetEvent::RoundStart { round: round + 1 });
+    }
+
+    fn slot_info(&self, slot: usize) -> (u16, NodeId, bool) {
+        let plan = self.calendar.as_ref().expect("calendar installed");
+        let s = &plan.slots[slot];
+        let sporadic = self
+            .channel_table
+            .get(&s.etag)
+            .map(|m| m.sporadic)
+            .unwrap_or(false);
+        (s.etag, s.publisher, sporadic)
+    }
+
+    fn on_slot_ready(&mut self, ctx: &mut Ctx<NetEvent>, round: u64, slot: usize) {
+        let now = ctx.now();
+        let (etag, publisher, _) = self.slot_info(slot);
+        let plan = self.calendar.as_ref().expect("calendar installed");
+        let s = &plan.slots[slot];
+        let base = self.calendar_start + plan.round * round;
+        let lst_true = self.true_at(publisher, base + s.lst(), now);
+        let deadline_true = self.true_at(publisher, base + s.deadline(), now);
+        let n = publisher.index();
+        let Some(p) = self.nodes[n].publisher_by_etag(etag) else {
+            return; // publication cancelled
+        };
+        if let Some(event) = p.staged.take() {
+            let publish_time = event
+                .attributes
+                .timestamp
+                .map(|_| now) // latency measured from staging consumption
+                .unwrap_or(now);
+            p.active = Some(ActiveSlot {
+                round,
+                slot_idx: slot,
+                event,
+                handle: None,
+                submitted: false,
+                succeeded: false,
+                middleware_retx: 0,
+                lst_true,
+                deadline_true,
+                first_completion: None,
+            });
+            self.hrt_publish_times
+                .insert((etag, round, slot), publish_time);
+            self.empty_slots.remove(&(publisher.0, etag));
+        } else {
+            // Slot goes unused: the reservation is simply reclaimed by
+            // lower-priority traffic (nothing is submitted).
+            self.empty_slots
+                .insert((publisher.0, etag), (now, deadline_true));
+        }
+        self.trace.emit(
+            now,
+            &format!("{publisher}.hrtec"),
+            "slot_ready",
+            format!("etag={etag} round={round} slot={slot}"),
+        );
+    }
+
+    fn on_slot_lst(&mut self, ctx: &mut Ctx<NetEvent>, round: u64, slot: usize) {
+        let (etag, publisher, _) = self.slot_info(slot);
+        let n = publisher.index();
+        let Some(p) = self.nodes[n].publisher_by_etag(etag) else {
+            return;
+        };
+        let Some(active) = p.active.as_mut() else {
+            return; // empty slot
+        };
+        if active.round != round || active.slot_idx != slot || active.submitted {
+            return;
+        }
+        active.submitted = true;
+        let frame = Frame::new(
+            CanId::new(PRIO_HRT, publisher.0, etag),
+            &active.event.content,
+        );
+        let tag = pack_tag(TagKind::Hrt, etag, slot as u32);
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        let handle = self.bus.submit(
+            &mut sched,
+            publisher,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag,
+            },
+        );
+        if let Some(p) = self.nodes[n].publisher_by_etag(etag) {
+            if let Some(active) = p.active.as_mut() {
+                active.handle = Some(handle);
+            }
+        }
+    }
+
+    fn on_slot_deliver(&mut self, ctx: &mut Ctx<NetEvent>, round: u64, slot: usize, node: NodeId) {
+        let now = ctx.now();
+        let (etag, publisher, sporadic) = self.slot_info(slot);
+        if node == publisher {
+            // Publisher-side slot cleanup.
+            let n = node.index();
+            let Some(p) = self.nodes[n].publisher_by_etag(etag) else {
+                return;
+            };
+            let Some(active) = p.active.take() else {
+                self.empty_slots.remove(&(node.0, etag));
+                return;
+            };
+            if active.round != round || active.slot_idx != slot {
+                p.active = Some(active); // belongs to a different slot
+                return;
+            }
+            let subject = p.subject;
+            if !active.succeeded {
+                if let Some(handle) = active.handle {
+                    // Withdraw whatever is still pending; the slot is
+                    // over.
+                    self.bus.abort(node, handle);
+                }
+                let exc = ChannelException::RedundancyExhausted {
+                    subject,
+                    attempts: active.middleware_retx + 1,
+                };
+                self.stats.exceptions += 1;
+                self.stats.channel_mut(etag).redundancy_exhausted += 1;
+                if let Some(p) = self.nodes[n].publisher_by_etag(etag) {
+                    p.raise(&exc);
+                }
+            }
+            return;
+        }
+        // Subscriber-side delivery at the deadline (jitter removal).
+        if !self.config.hrt_deferred_delivery {
+            // Immediate-delivery ablation: events were delivered on
+            // reception; there is no deferred buffer to check.
+            return;
+        }
+        let publish_time = self.hrt_publish_times.remove(&(etag, round, slot));
+        let global_deadline = self.global_now(node, now);
+        let n = node.index();
+        let Some(sub) = self.nodes[n].subscription_by_etag(etag) else {
+            return;
+        };
+        match sub.hrt_buffer.remove(&(round, slot)) {
+            Some((event, wire_t)) => {
+                let subject = sub.subject;
+                let origin = event.attributes.origin;
+                if !sub.spec.passes(origin) {
+                    self.stats.channel_mut(etag).filtered += 1;
+                    return;
+                }
+                let delivery = Delivery {
+                    event,
+                    delivered_at: global_deadline,
+                    wire_completed_at: wire_t,
+                };
+                sub.queue.push(delivery.clone());
+                if let Some(h) = sub.notify.as_mut() {
+                    h(&delivery);
+                }
+                let last = sub.last_delivery.replace(now);
+                let _ = subject;
+                let ch = self.stats.channel_mut(etag);
+                ch.delivered += 1;
+                if let Some(pt) = publish_time {
+                    ch.latency_ns.record(now.saturating_since(pt).as_ns());
+                }
+                if let Some(last) = last {
+                    ch.inter_delivery_ns
+                        .record(now.saturating_since(last).as_ns());
+                }
+            }
+            None => {
+                if !sporadic {
+                    let subject = sub.subject;
+                    let exc = ChannelException::MissingEvent {
+                        subject,
+                        expected_at: global_deadline,
+                    };
+                    self.stats.exceptions += 1;
+                    self.stats.channel_mut(etag).missing_events += 1;
+                    if let Some(sub) = self.nodes[n].subscription_by_etag(etag) {
+                        sub.raise(&exc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Which (round, slot) window an HRT frame with `etag` from
+    /// `publisher` completing at global time `g` belongs to.
+    fn hrt_window(&self, etag: u16, publisher: u8, g: Time) -> Option<(u64, usize)> {
+        let plan = self.calendar.as_ref()?;
+        if g < self.calendar_start {
+            return None;
+        }
+        let offset = g.saturating_since(self.calendar_start);
+        let round = offset / plan.round;
+        let in_round = offset % plan.round;
+        for (idx, s) in plan.slots.iter().enumerate() {
+            if s.etag == etag
+                && s.publisher.0 == publisher
+                && in_round >= s.start
+                && in_round <= s.deadline()
+            {
+                return Some((round, idx));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // SRT
+    // ------------------------------------------------------------------
+
+    /// Re-evaluate the EDF head after an enqueue: if a newly published
+    /// message is more urgent than the one currently submitted to the
+    /// controller, withdraw the submitted frame (possible while it has
+    /// not won arbitration) and dispatch the new head.
+    fn srt_reconsider(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId) {
+        let n = node.index();
+        if let Some((seq, handle, _)) = self.nodes[n].srt.inflight {
+            if let Some(h) = self.nodes[n].srt.head_index() {
+                if self.nodes[n].srt.queue[h].seq != seq && self.bus.abort(node, handle) {
+                    self.nodes[n].srt.inflight = None;
+                }
+            }
+        }
+        self.srt_dispatch(ctx, node);
+    }
+
+    fn srt_dispatch(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId) {
+        let n = node.index();
+        if self.nodes[n].srt.inflight.is_some() {
+            return;
+        }
+        let Some(head) = self.nodes[n].srt.head_index() else {
+            return;
+        };
+        let now_true = ctx.now();
+        let now_global = self.global_now(node, now_true);
+        let msg = &self.nodes[n].srt.queue[head];
+        let prio = priority_for_deadline(msg.deadline, now_global, &self.config.priority_slots);
+        let frame = Frame::new(CanId::new(prio, node.0, msg.etag), &msg.event.content);
+        let tag = pack_tag(TagKind::Srt, msg.etag, msg.seq);
+        let (seq, deadline) = (msg.seq, msg.deadline);
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        let handle = self.bus.submit(
+            &mut sched,
+            node,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag,
+            },
+        );
+        self.nodes[n].srt.inflight = Some((seq, handle, prio));
+        if self.config.srt_dynamic_promotion {
+            if let Some(t_g) = next_promotion_time(deadline, now_global, &self.config.priority_slots)
+            {
+                let t = self.true_at(node, t_g, now_true);
+                ctx.at(t, NetEvent::SrtPromote { node, seq });
+            }
+        }
+    }
+
+    fn on_srt_promote(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId, seq: u32) {
+        let n = node.index();
+        let Some((cur_seq, handle, cur_prio)) = self.nodes[n].srt.inflight else {
+            return;
+        };
+        if cur_seq != seq {
+            return;
+        }
+        let Some(idx) = self.nodes[n].srt.find(seq) else {
+            return;
+        };
+        let now_true = ctx.now();
+        let now_global = self.global_now(node, now_true);
+        let msg = &self.nodes[n].srt.queue[idx];
+        let (etag, deadline) = (msg.etag, msg.deadline);
+        let new_prio = priority_for_deadline(deadline, now_global, &self.config.priority_slots);
+        if new_prio != cur_prio {
+            // Rewrite the pending identifier; fails harmlessly if the
+            // frame is on the wire right now (it is about to complete).
+            if self
+                .bus
+                .update_id(node, handle, CanId::new(new_prio, node.0, etag))
+            {
+                self.nodes[n].srt.inflight = Some((seq, handle, new_prio));
+            }
+        }
+        if let Some(t_g) = next_promotion_time(deadline, now_global, &self.config.priority_slots) {
+            let t = self.true_at(node, t_g, now_true);
+            ctx.at(t, NetEvent::SrtPromote { node, seq });
+        }
+    }
+
+    fn on_srt_deadline(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId, seq: u32) {
+        let _ = ctx;
+        let n = node.index();
+        let Some(idx) = self.nodes[n].srt.find(seq) else {
+            return; // already transmitted
+        };
+        let msg = &mut self.nodes[n].srt.queue[idx];
+        if msg.missed {
+            return;
+        }
+        msg.missed = true;
+        let (etag, subject, deadline) = (msg.etag, msg.subject, msg.deadline);
+        let exc = ChannelException::DeadlineMissed { subject, deadline };
+        self.stats.exceptions += 1;
+        self.stats.channel_mut(etag).deadline_misses += 1;
+        if let Some(p) = self.nodes[n].publishers.get_mut(&subject.uid()) {
+            p.raise(&exc);
+        }
+    }
+
+    fn on_srt_expire(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId, seq: u32) {
+        let n = node.index();
+        let Some(idx) = self.nodes[n].srt.find(seq) else {
+            return; // already transmitted
+        };
+        if let Some((cur_seq, handle, _)) = self.nodes[n].srt.inflight {
+            if cur_seq == seq {
+                if !self.bus.abort(node, handle) {
+                    // On the wire right now: let it complete.
+                    return;
+                }
+                self.nodes[n].srt.inflight = None;
+            }
+        }
+        let msg = self.nodes[n].srt.queue.remove(idx);
+        let exc = ChannelException::Expired {
+            subject: msg.subject,
+            expiration: msg.expiration.unwrap_or(msg.deadline),
+        };
+        self.stats.exceptions += 1;
+        self.stats.channel_mut(msg.etag).expired_drops += 1;
+        if let Some(p) = self.nodes[n].publishers.get_mut(&msg.subject.uid()) {
+            p.raise(&exc);
+        }
+        self.srt_dispatch(ctx, node);
+    }
+
+    // ------------------------------------------------------------------
+    // NRT
+    // ------------------------------------------------------------------
+
+    fn nrt_dispatch(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId) {
+        let n = node.index();
+        if self.nodes[n]
+            .nrt
+            .active
+            .as_ref()
+            .is_some_and(|t| t.handle.is_some())
+        {
+            return;
+        }
+        if self.nodes[n].nrt.active.is_none() {
+            let Some(next) = self.nodes[n].nrt.queue.pop_front() else {
+                return;
+            };
+            self.nodes[n].nrt.active = Some(next);
+        }
+        let t = self.nodes[n].nrt.active.as_ref().expect("set above");
+        let frame = Frame::new(
+            CanId::new(t.priority, node.0, t.etag),
+            &t.payloads[t.next],
+        );
+        let tag = pack_tag(TagKind::Nrt, t.etag, t.next as u32);
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        let handle = self.bus.submit(
+            &mut sched,
+            node,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag,
+            },
+        );
+        self.nodes[n]
+            .nrt
+            .active
+            .as_mut()
+            .expect("set above")
+            .handle = Some(handle);
+    }
+
+    // ------------------------------------------------------------------
+    // Clock synchronization (in-network service)
+    // ------------------------------------------------------------------
+
+    fn on_sync_tick(&mut self, ctx: &mut Ctx<NetEvent>) {
+        let Some(sync) = self.config.clock_sync else {
+            return;
+        };
+        let frame = Frame::new(
+            CanId::new(sync.priority, sync.master.0, ETAG_SYNC),
+            &[0u8; 8],
+        );
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        self.bus.submit(
+            &mut sched,
+            sync.master,
+            TxRequest {
+                frame,
+                single_shot: false,
+                tag: pack_tag(TagKind::Sync, ETAG_SYNC, 0),
+            },
+        );
+        // Next tick by the master's own clock.
+        let now = ctx.now();
+        let next_global = self.global_now(sync.master, now) + sync.period;
+        let t = self.true_at(sync.master, next_global, now + Duration::from_ns(1));
+        ctx.at(t, NetEvent::SyncTick);
+    }
+
+    /// Largest disagreement between any two node clocks right now (ns).
+    pub fn clock_spread(&self, true_now: Time) -> u64 {
+        let readings: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|n| n.clock.read(true_now).as_ns())
+            .collect();
+        match (readings.iter().max(), readings.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bus notification routing
+    // ------------------------------------------------------------------
+
+    fn on_notification(&mut self, ctx: &mut Ctx<NetEvent>, note: Notification) {
+        match note {
+            Notification::Rx {
+                node,
+                frame,
+                completed_at,
+            } => self.on_rx(ctx, node, frame, completed_at),
+            Notification::TxCompleted {
+                node,
+                tag,
+                frame,
+                all_received,
+                started,
+                ..
+            } => self.on_tx_completed(ctx, node, tag, frame, all_received, started),
+            Notification::TxError { .. } => {
+                // Corruption: the controller retransmits automatically.
+            }
+            Notification::TxFailed { node, tag, .. } => {
+                // Single-shot loss (only baselines use single-shot).
+                let _ = (node, tag);
+            }
+            Notification::ErrorStateChanged { node, state } => {
+                // Fault confinement is below the middleware; surface it
+                // to every channel endpoint of the affected node so
+                // applications learn about degraded connectivity.
+                self.stats.exceptions += 1;
+                let n = node.index();
+                let subjects: Vec<Subject> = self.nodes[n]
+                    .publishers
+                    .values()
+                    .map(|p| p.subject)
+                    .collect();
+                for subject in subjects {
+                    let exc = ChannelException::Fault {
+                        subject,
+                        reason: format!("controller fault-confinement state: {state:?}"),
+                    };
+                    if let Some(p) = self.nodes[n].publishers.get_mut(&subject.uid()) {
+                        p.raise(&exc);
+                    }
+                }
+            }
+            Notification::DuplicateId { id, nodes } => {
+                panic!(
+                    "identifier {id} used by multiple nodes {nodes:?}: \
+                     TxNode uniqueness violated"
+                );
+            }
+        }
+    }
+
+    fn on_tx_completed(
+        &mut self,
+        ctx: &mut Ctx<NetEvent>,
+        node: NodeId,
+        tag: u64,
+        frame: Frame,
+        all_received: bool,
+        started: Time,
+    ) {
+        let now = ctx.now();
+        let Some((kind, etag, seq)) = unpack_tag(tag) else {
+            self.stats.unknown_frames += 1;
+            return;
+        };
+        let n = node.index();
+        match kind {
+            TagKind::Hrt => {
+                let Some(p) = self.nodes[n].publisher_by_etag(etag) else {
+                    return;
+                };
+                let Some(active) = p.active.as_mut() else {
+                    return;
+                };
+                let dlc = match p.spec {
+                    ChannelSpec::Hrt(h) => h.dlc,
+                    _ => 8,
+                };
+                let first_attempt = active.first_completion.is_none()
+                    && active.middleware_retx == 0;
+                let lst_true = active.lst_true;
+                let deadline_true = active.deadline_true;
+                let subject = p.subject;
+                let published_at = self
+                    .hrt_publish_times
+                    .get(&(etag, active.round, active.slot_idx))
+                    .copied();
+                if first_attempt {
+                    self.stats
+                        .hrt_lst_blocking_ns
+                        .record(started.saturating_since(lst_true).as_ns());
+                }
+                self.stats
+                    .hrt_wire_offset_ns
+                    .record(now.saturating_since(lst_true).as_ns());
+                let ch = self.stats.channel_mut(etag);
+                ch.wire_transmissions += 1;
+                let p = self.nodes[n].publisher_by_etag(etag).expect("exists");
+                let active = p.active.as_mut().expect("exists");
+                if all_received {
+                    active.succeeded = true;
+                    active.handle = None;
+                    if active.first_completion.is_none() {
+                        active.first_completion = Some(now);
+                        if let Some(pt) = published_at {
+                            self.stats
+                                .channel_mut(etag)
+                                .wire_latency_ns
+                                .record(now.saturating_since(pt).as_ns());
+                        }
+                    }
+                    // Early stop: no further redundant transmissions —
+                    // the remaining slot time is reclaimed by SRT/NRT
+                    // traffic through plain priority arbitration.
+                } else {
+                    // Spend a redundant transmission if the slot still
+                    // has room for a worst-case attempt.
+                    let k = match p.spec {
+                        ChannelSpec::Hrt(h) => h.omission_degree,
+                        _ => 0,
+                    };
+                    let c = wcct_single(dlc, self.config.bus.timing);
+                    if active.middleware_retx < k && now + c <= deadline_true {
+                        active.middleware_retx += 1;
+                        let content = active.event.content.clone();
+                        let retx_frame =
+                            Frame::new(CanId::new(PRIO_HRT, node.0, etag), &content);
+                        let mut sched = MapScheduler::new(ctx, wrap_can);
+                        let handle = self.bus.submit(
+                            &mut sched,
+                            node,
+                            TxRequest {
+                                frame: retx_frame,
+                                single_shot: false,
+                                tag,
+                            },
+                        );
+                        let p = self.nodes[n].publisher_by_etag(etag).expect("exists");
+                        if let Some(a) = p.active.as_mut() {
+                            a.handle = Some(handle);
+                        }
+                        self.stats.channel_mut(etag).redundant_transmissions += 1;
+                    } else {
+                        // Give up; the publisher-side cleanup at the
+                        // deadline raises RedundancyExhausted.
+                        let p = self.nodes[n].publisher_by_etag(etag).expect("exists");
+                        if let Some(a) = p.active.as_mut() {
+                            a.handle = None;
+                        }
+                        let _ = subject;
+                    }
+                }
+            }
+            TagKind::Srt => {
+                if let Some(msg) = self.nodes[n].srt.take(seq) {
+                    let ch = self.stats.channel_mut(etag);
+                    ch.wire_transmissions += 1;
+                    ch.wire_latency_ns
+                        .record(now.saturating_since(msg.published_at).as_ns());
+                }
+                if self.nodes[n].srt.inflight.is_some_and(|(s, _, _)| s == seq) {
+                    self.nodes[n].srt.inflight = None;
+                }
+                self.srt_dispatch(ctx, node);
+            }
+            TagKind::Nrt => {
+                let done = {
+                    let Some(t) = self.nodes[n].nrt.active.as_mut() else {
+                        return;
+                    };
+                    t.handle = None;
+                    t.next += 1;
+                    t.next >= t.payloads.len()
+                };
+                self.stats.channel_mut(etag).wire_transmissions += 1;
+                if done {
+                    let t = self.nodes[n].nrt.active.take().expect("checked");
+                    self.stats
+                        .channel_mut(etag)
+                        .wire_latency_ns
+                        .record(now.saturating_since(t.published_at).as_ns());
+                }
+                self.nrt_dispatch(ctx, node);
+            }
+            TagKind::Bind => {
+                // Request or reply left the wire; nothing to do — the
+                // requester acts on the reply's Rx.
+                let _ = frame;
+            }
+            TagKind::Sync => {
+                // The master latches its clock at the SYNC completion
+                // and distributes that timestamp in a FOLLOW-UP (the
+                // completion instant is the event all nodes observed
+                // simultaneously).
+                let Some(sync) = self.config.clock_sync else {
+                    return;
+                };
+                if node != sync.master || etag != ETAG_SYNC {
+                    return;
+                }
+                let stamp = self.global_now(sync.master, now);
+                let follow = Frame::new(
+                    CanId::new(sync.priority, sync.master.0, ETAG_FOLLOW_UP),
+                    &stamp.as_ns().to_le_bytes(),
+                );
+                let mut sched = MapScheduler::new(ctx, wrap_can);
+                self.bus.submit(
+                    &mut sched,
+                    sync.master,
+                    TxRequest {
+                        frame: follow,
+                        single_shot: false,
+                        tag: pack_tag(TagKind::Sync, ETAG_FOLLOW_UP, 0),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_rx(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId, frame: Frame, completed_at: Time) {
+        let etag = frame.id.etag();
+        // Clock-synchronization frames.
+        if etag == ETAG_SYNC {
+            let latch = self.global_now(node, completed_at);
+            self.nodes[node.index()].sync_latch = Some(latch);
+            return;
+        }
+        if etag == ETAG_FOLLOW_UP {
+            if frame.payload().len() == 8 {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(frame.payload());
+                let master_time = u64::from_le_bytes(bytes) as f64;
+                if let Some(latch) = self.nodes[node.index()].sync_latch.take() {
+                    let delta = master_time - latch.as_ns() as f64;
+                    self.nodes[node.index()].clock.slew(delta);
+                }
+            }
+            return;
+        }
+        // Binding protocol frames.
+        if etag == ETAG_BIND_REQUEST {
+            if node == self.config.binding_agent {
+                self.agent_handle_request(ctx, frame);
+            }
+            return;
+        }
+        if etag == ETAG_BIND_REPLY {
+            if let Some(reply) = BindReply::decode(frame.payload()) {
+                if reply.requester == node.0 {
+                    self.on_bind_reply(ctx, node, reply);
+                }
+            }
+            return;
+        }
+        // Channel traffic.
+        let meta = self.channel_table.get(&etag).copied();
+        let origin = NodeId(frame.id.txnode());
+        let n = node.index();
+        let Some(_) = self.nodes[n].subscription_by_etag(etag) else {
+            return; // e.g. the binding agent in AcceptAll mode
+        };
+        match meta.map(|m| m.class) {
+            Some(ChannelClass::Hrt) if self.config.hrt_deferred_delivery => {
+                let g = self.global_now(node, completed_at);
+                if let Some((round, slot)) = self.hrt_window(etag, origin.0, g) {
+                    let sub = self.nodes[n].subscription_by_etag(etag).expect("exists");
+                    let event = Event {
+                        subject: sub.subject,
+                        attributes: crate::event::EventAttributes {
+                            origin: Some(origin),
+                            timestamp: Some(g),
+                            ..Default::default()
+                        },
+                        content: frame.payload().to_vec(),
+                    };
+                    sub.hrt_buffer.insert((round, slot), (event, completed_at));
+                } else {
+                    // Outside any slot window (overrun past the fault
+                    // assumption): fall back to immediate delivery.
+                    self.deliver_immediate(node, etag, origin, frame.payload(), completed_at, None);
+                }
+            }
+            Some(ChannelClass::Nrt) if meta.is_some_and(|m| m.fragmented) => {
+                match self.nodes[n]
+                    .reassembler
+                    .push((origin.0, etag), frame.payload())
+                {
+                    Ok(Some(data)) => {
+                        let publish_time = self.nrt_publish_time(origin, etag);
+                        self.deliver_immediate(
+                            node,
+                            etag,
+                            origin,
+                            &data,
+                            completed_at,
+                            publish_time,
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        let sub = self.nodes[n].subscription_by_etag(etag).expect("exists");
+                        let subject = sub.subject;
+                        let exc = ChannelException::Fault {
+                            subject,
+                            reason: format!("fragment reassembly failed: {e:?}"),
+                        };
+                        self.stats.exceptions += 1;
+                        if let Some(sub) = self.nodes[n].subscription_by_etag(etag) {
+                            sub.raise(&exc);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // SRT, non-fragmented NRT, HRT in the immediate-delivery
+                // ablation, or unknown class: deliver now.
+                let publish_time = self.srt_publish_time(origin, etag);
+                self.deliver_immediate(
+                    node,
+                    etag,
+                    origin,
+                    frame.payload(),
+                    completed_at,
+                    publish_time,
+                );
+            }
+        }
+    }
+
+    /// Publish instant of the SRT message from `origin` currently on
+    /// the wire for `etag` (omniscient-stats helper).
+    fn srt_publish_time(&self, origin: NodeId, etag: u16) -> Option<Time> {
+        let sender = self.nodes.get(origin.index())?;
+        let (seq, _, _) = sender.srt.inflight?;
+        let idx = sender.srt.find(seq)?;
+        let msg = &sender.srt.queue[idx];
+        (msg.etag == etag).then_some(msg.published_at)
+    }
+
+    fn nrt_publish_time(&self, origin: NodeId, etag: u16) -> Option<Time> {
+        let sender = self.nodes.get(origin.index())?;
+        let t = sender.nrt.active.as_ref()?;
+        (t.etag == etag).then_some(t.published_at)
+    }
+
+    fn deliver_immediate(
+        &mut self,
+        node: NodeId,
+        etag: u16,
+        origin: NodeId,
+        content: &[u8],
+        completed_at: Time,
+        publish_time: Option<Time>,
+    ) {
+        let g = self.global_now(node, completed_at);
+        let n = node.index();
+        let Some(sub) = self.nodes[n].subscription_by_etag(etag) else {
+            return;
+        };
+        if !sub.spec.passes(Some(origin)) {
+            self.stats.channel_mut(etag).filtered += 1;
+            return;
+        }
+        let event = Event {
+            subject: sub.subject,
+            attributes: crate::event::EventAttributes {
+                origin: Some(origin),
+                timestamp: Some(g),
+                ..Default::default()
+            },
+            content: content.to_vec(),
+        };
+        let delivery = Delivery {
+            event,
+            delivered_at: g,
+            wire_completed_at: completed_at,
+        };
+        sub.queue.push(delivery.clone());
+        if let Some(h) = sub.notify.as_mut() {
+            h(&delivery);
+        }
+        let last = sub.last_delivery.replace(completed_at);
+        let ch = self.stats.channel_mut(etag);
+        ch.delivered += 1;
+        if let Some(pt) = publish_time {
+            ch.latency_ns
+                .record(completed_at.saturating_since(pt).as_ns());
+        }
+        if let Some(last) = last {
+            ch.inter_delivery_ns
+                .record(completed_at.saturating_since(last).as_ns());
+        }
+    }
+
+    fn agent_handle_request(&mut self, ctx: &mut Ctx<NetEvent>, frame: Frame) {
+        let Some(req) = BindRequest::decode(frame.payload()) else {
+            return;
+        };
+        let requester = frame.id.txnode();
+        let (etag, status) = match self.registry.bind(Subject::new(req.subject48)) {
+            Ok(etag) => (etag, BindStatus::Ok),
+            Err(_) => (0, BindStatus::Exhausted),
+        };
+        let reply = BindReply {
+            requester,
+            seq: req.seq,
+            etag,
+            status,
+        };
+        let agent = self.config.binding_agent;
+        let reply_frame = Frame::new(
+            CanId::new(PRIO_NRT_MIN, agent.0, ETAG_BIND_REPLY),
+            &reply.encode(),
+        );
+        let mut sched = MapScheduler::new(ctx, wrap_can);
+        self.bus.submit(
+            &mut sched,
+            agent,
+            TxRequest {
+                frame: reply_frame,
+                single_shot: false,
+                tag: pack_tag(TagKind::Bind, ETAG_BIND_REPLY, u32::from(req.seq)),
+            },
+        );
+    }
+
+    fn on_bind_reply(&mut self, ctx: &mut Ctx<NetEvent>, node: NodeId, reply: BindReply) {
+        let n = node.index();
+        let Some(head) = self.nodes[n].bind_pending.front().copied() else {
+            return;
+        };
+        if head.seq != reply.seq {
+            return;
+        }
+        self.nodes[n].bind_pending.pop_front();
+        if reply.status == BindStatus::Ok {
+            self.complete_binding(ctx, node, head.subject, reply.etag);
+        } else {
+            let exc = ChannelException::Fault {
+                subject: head.subject,
+                reason: "binding agent exhausted the etag space".into(),
+            };
+            self.stats.exceptions += 1;
+            if let Some(p) = self.nodes[n].publishers.get_mut(&head.subject.uid()) {
+                p.raise(&exc);
+            }
+            if let Some(s) = self.nodes[n].subscriptions.get_mut(&head.subject.uid()) {
+                s.raise(&exc);
+            }
+        }
+        if !self.nodes[n].bind_pending.is_empty() {
+            self.send_bind_request(ctx, node);
+        }
+    }
+}
+
+impl Model for NetWorld {
+    type Event = NetEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<NetEvent>, ev: NetEvent) {
+        match ev {
+            NetEvent::Can(can_ev) => {
+                let notes = {
+                    let mut sched = MapScheduler::new(ctx, wrap_can);
+                    self.bus.handle(&mut sched, can_ev)
+                };
+                for note in notes {
+                    self.on_notification(ctx, note);
+                }
+            }
+            NetEvent::RoundStart { round } => self.on_round_start(ctx, round),
+            NetEvent::SlotReady { round, slot } => self.on_slot_ready(ctx, round, slot),
+            NetEvent::SlotLst { round, slot } => self.on_slot_lst(ctx, round, slot),
+            NetEvent::SlotDeliver { round, slot, node } => {
+                self.on_slot_deliver(ctx, round, slot, node)
+            }
+            NetEvent::SrtPromote { node, seq } => self.on_srt_promote(ctx, node, seq),
+            NetEvent::SrtDeadline { node, seq } => self.on_srt_deadline(ctx, node, seq),
+            NetEvent::SrtExpire { node, seq } => self.on_srt_expire(ctx, node, seq),
+            NetEvent::SyncTick => self.on_sync_tick(ctx),
+            NetEvent::App(idx) => {
+                if let Some(f) = self.one_shots.get_mut(idx).and_then(Option::take) {
+                    let mut api = NetApi { world: self, ctx };
+                    f(&mut api);
+                }
+            }
+            NetEvent::Recurring(idx) => {
+                let mut f = self.recurring[idx].f.take();
+                let period = self.recurring[idx].period;
+                if let Some(func) = f.as_mut() {
+                    let mut api = NetApi { world: self, ctx };
+                    func(&mut api);
+                }
+                self.recurring[idx].f = f;
+                ctx.after(period, NetEvent::Recurring(idx));
+            }
+        }
+    }
+}
+
+/// Builder for [`Network`].
+#[derive(Clone, Debug, Default)]
+pub struct NetworkBuilder {
+    config: NetworkConfig,
+}
+
+impl NetworkBuilder {
+    /// Number of nodes on the bus.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.config.nodes = n;
+        self
+    }
+    /// Bus bit timing.
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.config.bus = bus;
+        self
+    }
+    /// Inter-slot gap `ΔG_min`.
+    pub fn gap(mut self, gap: Duration) -> Self {
+        self.config.gap = gap;
+        self
+    }
+    /// SRT priority-slot configuration.
+    pub fn priority_slots(mut self, cfg: PrioritySlotConfig) -> Self {
+        self.config.priority_slots = cfg;
+        self
+    }
+    /// Per-node clock parameters.
+    pub fn clocks(mut self, clocks: Vec<ClockParams>) -> Self {
+        self.config.clocks = Some(clocks);
+        self
+    }
+    /// Enable the in-network clock-synchronization service.
+    pub fn clock_sync(mut self, cfg: ClockSyncConfig) -> Self {
+        self.config.clock_sync = Some(cfg);
+        self
+    }
+    /// Enable the dynamic binding protocol.
+    pub fn dynamic_binding(mut self, on: bool) -> Self {
+        self.config.dynamic_binding = on;
+        self
+    }
+    /// Calendar round length.
+    pub fn round(mut self, round: Duration) -> Self {
+        self.config.round = round;
+        self
+    }
+    /// Fault model for the bus.
+    pub fn faults(mut self, model: FaultModel) -> Self {
+        self.config.fault_model = model;
+        self
+    }
+    /// Run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+    /// Toggle HRT deferred delivery (ablation).
+    pub fn hrt_deferred_delivery(mut self, on: bool) -> Self {
+        self.config.hrt_deferred_delivery = on;
+        self
+    }
+    /// Toggle SRT dynamic promotion (ablation).
+    pub fn srt_dynamic_promotion(mut self, on: bool) -> Self {
+        self.config.srt_dynamic_promotion = on;
+        self
+    }
+    /// Override the full configuration.
+    pub fn config(mut self, config: NetworkConfig) -> Self {
+        self.config = config;
+        self
+    }
+    /// Build the network.
+    pub fn build(self) -> Network {
+        Network::with_config(self.config)
+    }
+}
+
+/// The user-facing simulation handle: a [`NetWorld`] plus its engine.
+pub struct Network {
+    engine: Engine<NetWorld>,
+}
+
+impl Network {
+    /// Start building a network.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Build with an explicit configuration.
+    pub fn with_config(config: NetworkConfig) -> Self {
+        let sync_enabled = config.clock_sync.is_some();
+        let mut engine = Engine::new(NetWorld::new(config));
+        if sync_enabled {
+            engine.schedule_at(Time::ZERO, NetEvent::SyncTick);
+        }
+        Network { engine }
+    }
+
+    /// Current simulated (true) time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// Access the middleware API at the current instant.
+    pub fn api(&mut self) -> NetApi<'_> {
+        let (world, ctx) = self.engine.split();
+        NetApi { world, ctx }
+    }
+
+    /// The world model (stats, bus, calendar).
+    pub fn world(&self) -> &NetWorld {
+        &self.engine.model
+    }
+
+    /// Mutable world access (fault-model changes mid-run, etc.).
+    pub fn world_mut(&mut self) -> &mut NetWorld {
+        &mut self.engine.model
+    }
+
+    /// Enable structured tracing; the returned sink collects bus and
+    /// slot events (`tx_start`, `tx_end`, `slot_ready`, ...) for
+    /// inspection or printing.
+    pub fn enable_trace(&mut self) -> TraceSink {
+        let sink = TraceSink::enabled();
+        self.engine.model.trace = sink.clone();
+        self.engine.model.bus.set_trace(sink.clone());
+        sink
+    }
+
+    /// Network statistics collected so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.engine.model.stats
+    }
+
+    /// Run until an absolute simulated time.
+    pub fn run_until(&mut self, t: Time) {
+        self.engine.run_until(t);
+    }
+
+    /// Run for a span of simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.engine.run_for(d);
+    }
+
+    /// Schedule a one-shot application closure at an absolute time.
+    pub fn at(&mut self, t: Time, f: impl FnOnce(&mut NetApi<'_>) + 'static) {
+        let idx = self.engine.model.one_shots.len();
+        self.engine.model.one_shots.push(Some(Box::new(f)));
+        self.engine.schedule_at(t, NetEvent::App(idx));
+    }
+
+    /// Schedule a one-shot application closure after a delay.
+    pub fn after(&mut self, d: Duration, f: impl FnOnce(&mut NetApi<'_>) + 'static) {
+        let t = self.engine.now() + d;
+        self.at(t, f);
+    }
+
+    /// Schedule a recurring application closure with the given period,
+    /// first firing after `phase`.
+    pub fn every(
+        &mut self,
+        period: Duration,
+        phase: Duration,
+        f: impl FnMut(&mut NetApi<'_>) + 'static,
+    ) {
+        let idx = self.engine.model.recurring.len();
+        self.engine.model.recurring.push(RecurringTask {
+            period,
+            f: Some(Box::new(f)),
+        });
+        self.engine.schedule_after(phase, NetEvent::Recurring(idx));
+    }
+}

@@ -1,0 +1,441 @@
+//! Per-node middleware state.
+//!
+//! Each node on the bus runs one middleware instance holding its
+//! publisher/subscriber channel endpoints, its SRT send queue, its NRT
+//! bulk sender and its fragment reassembler. The scheduling logic that
+//! ties this state to the bus lives in [`crate::network`]; this module
+//! defines the state types and the transmit-tag encoding that routes
+//! bus completions back to the right state machine.
+
+use crate::channel::{ChannelException, ChannelSpec, SubscribeSpec};
+use crate::event::{Delivery, Event, EventQueue, Subject};
+use crate::frag::Reassembler;
+use rtec_can::{NodeId, TxHandle};
+use rtec_clock::LocalClock;
+use rtec_sim::Time;
+use std::collections::{HashMap, VecDeque};
+
+/// Callback invoked on event delivery (the paper's `not_handler`).
+pub type NotifyHandler = Box<dyn FnMut(&Delivery)>;
+/// Callback invoked on channel exceptions (the paper's
+/// `exception_handler`).
+pub type ExcHandler = Box<dyn FnMut(&ChannelException)>;
+
+/// What kind of middleware message a transmit request belonged to —
+/// packed into the controller's opaque tag so completions route back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagKind {
+    /// A hard real-time slot transmission.
+    Hrt,
+    /// A soft real-time queued message.
+    Srt,
+    /// A non real-time frame (possibly one fragment of a bulk message).
+    Nrt,
+    /// Binding protocol traffic.
+    Bind,
+    /// Clock-synchronization traffic.
+    Sync,
+}
+
+impl TagKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            TagKind::Hrt => 1,
+            TagKind::Srt => 2,
+            TagKind::Nrt => 3,
+            TagKind::Bind => 4,
+            TagKind::Sync => 5,
+        }
+    }
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(TagKind::Hrt),
+            2 => Some(TagKind::Srt),
+            3 => Some(TagKind::Nrt),
+            4 => Some(TagKind::Bind),
+            5 => Some(TagKind::Sync),
+            _ => None,
+        }
+    }
+}
+
+/// Pack `(kind, etag, seq)` into a 64-bit transmit tag.
+pub fn pack_tag(kind: TagKind, etag: u16, seq: u32) -> u64 {
+    (u64::from(kind.to_byte()) << 56) | (u64::from(etag) << 32) | u64::from(seq)
+}
+
+/// Inverse of [`pack_tag`].
+pub fn unpack_tag(tag: u64) -> Option<(TagKind, u16, u32)> {
+    let kind = TagKind::from_byte((tag >> 56) as u8)?;
+    let etag = ((tag >> 32) & 0x3FFF) as u16;
+    let seq = tag as u32;
+    Some((kind, etag, seq))
+}
+
+/// State of one HRT slot currently being served by a publisher.
+#[derive(Debug)]
+pub struct ActiveSlot {
+    /// Round the slot belongs to.
+    pub round: u64,
+    /// Index into the calendar's slot list.
+    pub slot_idx: usize,
+    /// The event being disseminated.
+    pub event: Event,
+    /// Controller handle while a transmission is pending.
+    pub handle: Option<TxHandle>,
+    /// `true` once the frame was first submitted (at the LST).
+    pub submitted: bool,
+    /// `true` once all operational nodes received the event.
+    pub succeeded: bool,
+    /// Middleware-initiated redundant retransmissions spent.
+    pub middleware_retx: u32,
+    /// True-time instant of the slot's LST (for blocking measurement).
+    pub lst_true: Time,
+    /// True-time instant of the slot's delivery deadline.
+    pub deadline_true: Time,
+    /// True-time instant of the first successful wire completion.
+    pub first_completion: Option<Time>,
+}
+
+/// A publisher endpoint of a channel on one node.
+pub struct PublisherState {
+    /// The channel's subject.
+    pub subject: Subject,
+    /// Announced attributes.
+    pub spec: ChannelSpec,
+    /// Bound etag (`None` while a dynamic binding is outstanding).
+    pub etag: Option<u16>,
+    /// Local exception handler.
+    pub exception: Option<ExcHandler>,
+    /// HRT: event staged for the next slot.
+    pub staged: Option<Event>,
+    /// HRT: the slot currently in progress.
+    pub active: Option<ActiveSlot>,
+    /// Events published before the binding completed (flushed on bind).
+    pub pending_publishes: VecDeque<Event>,
+}
+
+impl PublisherState {
+    /// Fresh endpoint for an announced channel.
+    pub fn new(subject: Subject, spec: ChannelSpec, exception: Option<ExcHandler>) -> Self {
+        PublisherState {
+            subject,
+            spec,
+            etag: None,
+            exception,
+            staged: None,
+            active: None,
+            pending_publishes: VecDeque::new(),
+        }
+    }
+
+    /// Raise an exception on this channel's handler (if installed).
+    pub fn raise(&mut self, exc: &ChannelException) {
+        if let Some(h) = &mut self.exception {
+            h(exc);
+        }
+    }
+}
+
+/// A subscription endpoint of a channel on one node.
+pub struct SubscriptionState {
+    /// The channel's subject.
+    pub subject: Subject,
+    /// Subscription attributes (filters).
+    pub spec: SubscribeSpec,
+    /// Bound etag (`None` while a dynamic binding is outstanding).
+    pub etag: Option<u16>,
+    /// Queue the application drains.
+    pub queue: EventQueue,
+    /// Asynchronous notification handler.
+    pub notify: Option<NotifyHandler>,
+    /// Local exception handler.
+    pub exception: Option<ExcHandler>,
+    /// Last delivery instant (true time) for inter-delivery jitter.
+    pub last_delivery: Option<Time>,
+    /// HRT: events received on the wire, held until the slot's delivery
+    /// deadline, keyed by `(round, slot_idx)`.
+    pub hrt_buffer: HashMap<(u64, usize), (Event, Time)>,
+}
+
+impl SubscriptionState {
+    /// Fresh endpoint for a subscription.
+    pub fn new(
+        subject: Subject,
+        spec: SubscribeSpec,
+        notify: Option<NotifyHandler>,
+        exception: Option<ExcHandler>,
+    ) -> Self {
+        SubscriptionState {
+            subject,
+            spec,
+            etag: None,
+            queue: EventQueue::new(),
+            notify,
+            exception,
+            last_delivery: None,
+            hrt_buffer: HashMap::new(),
+        }
+    }
+
+    /// Raise an exception on this subscription's handler.
+    pub fn raise(&mut self, exc: &ChannelException) {
+        if let Some(h) = &mut self.exception {
+            h(exc);
+        }
+    }
+}
+
+/// A queued soft real-time message.
+#[derive(Clone, Debug)]
+pub struct SrtMsg {
+    /// Node-local sequence number (routes completions).
+    pub seq: u32,
+    /// Channel etag.
+    pub etag: u16,
+    /// Channel subject.
+    pub subject: Subject,
+    /// The event (content goes on the wire).
+    pub event: Event,
+    /// Absolute transmission deadline (global time).
+    pub deadline: Time,
+    /// Absolute expiration (global time), if any.
+    pub expiration: Option<Time>,
+    /// Whether the deadline-miss exception already fired.
+    pub missed: bool,
+    /// Publication instant (true time, for latency stats).
+    pub published_at: Time,
+}
+
+/// The node's EDF send queue for soft real-time traffic.
+#[derive(Default)]
+pub struct SrtState {
+    /// Pending messages (the head — earliest deadline — is submitted to
+    /// the controller; the rest wait here).
+    pub queue: Vec<SrtMsg>,
+    /// The submitted head: `(seq, controller handle, current priority)`.
+    pub inflight: Option<(u32, TxHandle, u8)>,
+    /// Sequence counter.
+    pub next_seq: u32,
+    /// High-water mark of the queue length (observability).
+    pub peak_queue: usize,
+}
+
+impl SrtState {
+    /// Index of the earliest-deadline message, FIFO among equals.
+    pub fn head_index(&self) -> Option<usize> {
+        (0..self.queue.len()).min_by_key(|&i| (self.queue[i].deadline, self.queue[i].seq))
+    }
+
+    /// Find a message by sequence number.
+    pub fn find(&self, seq: u32) -> Option<usize> {
+        self.queue.iter().position(|m| m.seq == seq)
+    }
+
+    /// Remove and return a message by sequence number.
+    pub fn take(&mut self, seq: u32) -> Option<SrtMsg> {
+        self.find(seq).map(|i| self.queue.remove(i))
+    }
+}
+
+/// One (possibly multi-fragment) NRT transmission.
+#[derive(Clone, Debug)]
+pub struct NrtTransfer {
+    /// Channel etag.
+    pub etag: u16,
+    /// Channel subject.
+    pub subject: Subject,
+    /// CAN payloads to send, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Next payload index to submit.
+    pub next: usize,
+    /// Fixed NRT priority.
+    pub priority: u8,
+    /// Controller handle of the fragment in flight.
+    pub handle: Option<TxHandle>,
+    /// Publication instant (true time).
+    pub published_at: Time,
+}
+
+/// The node's NRT sender: one fragment outstanding at a time, transfers
+/// served FIFO.
+#[derive(Default)]
+pub struct NrtState {
+    /// Transfer currently being sent.
+    pub active: Option<NrtTransfer>,
+    /// Transfers waiting behind it.
+    pub queue: VecDeque<NrtTransfer>,
+}
+
+/// An outstanding dynamic-binding request.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingBind {
+    /// Request sequence number.
+    pub seq: u16,
+    /// Subject being bound.
+    pub subject: Subject,
+}
+
+/// All middleware state of one node.
+pub struct NodeState {
+    /// The node's bus identity (doubles as the TxNode field).
+    pub id: NodeId,
+    /// The node's view of global time.
+    pub clock: LocalClock,
+    /// Publisher endpoints by subject uid.
+    pub publishers: HashMap<u64, PublisherState>,
+    /// Subscription endpoints by subject uid.
+    pub subscriptions: HashMap<u64, SubscriptionState>,
+    /// Soft real-time send queue.
+    pub srt: SrtState,
+    /// Non real-time sender.
+    pub nrt: NrtState,
+    /// Reassembly of fragmented NRT messages, keyed by (TxNode, etag).
+    pub reassembler: Reassembler<(u8, u16)>,
+    /// Outstanding dynamic-binding requests (head is on the wire).
+    pub bind_pending: VecDeque<PendingBind>,
+    /// Binding request sequence counter.
+    pub bind_seq: u16,
+    /// Local clock reading latched at the completion of the last SYNC
+    /// frame (clock-synchronization protocol).
+    pub sync_latch: Option<Time>,
+}
+
+impl NodeState {
+    /// Fresh middleware state for a node.
+    pub fn new(id: NodeId, clock: LocalClock) -> Self {
+        NodeState {
+            id,
+            clock,
+            publishers: HashMap::new(),
+            subscriptions: HashMap::new(),
+            srt: SrtState::default(),
+            nrt: NrtState::default(),
+            reassembler: Reassembler::new(),
+            bind_pending: VecDeque::new(),
+            bind_seq: 0,
+            sync_latch: None,
+        }
+    }
+
+    /// The publisher endpoint bound to `etag`, if any.
+    pub fn publisher_by_etag(&mut self, etag: u16) -> Option<&mut PublisherState> {
+        self.publishers
+            .values_mut()
+            .find(|p| p.etag == Some(etag))
+    }
+
+    /// The subscription endpoint bound to `etag`, if any.
+    pub fn subscription_by_etag(&mut self, etag: u16) -> Option<&mut SubscriptionState> {
+        self.subscriptions
+            .values_mut()
+            .find(|s| s.etag == Some(etag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec_sim::Duration;
+
+    #[test]
+    fn tag_roundtrip() {
+        for kind in [
+            TagKind::Hrt,
+            TagKind::Srt,
+            TagKind::Nrt,
+            TagKind::Bind,
+            TagKind::Sync,
+        ] {
+            let tag = pack_tag(kind, 0x3FFF, u32::MAX);
+            assert_eq!(unpack_tag(tag), Some((kind, 0x3FFF, u32::MAX)));
+            let tag2 = pack_tag(kind, 0, 0);
+            assert_eq!(unpack_tag(tag2), Some((kind, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn tag_rejects_unknown_kind() {
+        assert_eq!(unpack_tag(0), None);
+        assert_eq!(unpack_tag(0xFF << 56), None);
+    }
+
+    #[test]
+    fn srt_head_is_earliest_deadline_fifo_on_ties() {
+        let mut s = SrtState::default();
+        let mk = |seq: u32, deadline_us: u64| SrtMsg {
+            seq,
+            etag: 5,
+            subject: Subject::new(1),
+            event: Event::new(Subject::new(1), vec![]),
+            deadline: Time::from_us(deadline_us),
+            expiration: None,
+            missed: false,
+            published_at: Time::ZERO,
+        };
+        s.queue.push(mk(0, 300));
+        s.queue.push(mk(1, 100));
+        s.queue.push(mk(2, 100));
+        assert_eq!(s.head_index(), Some(1), "earliest deadline, lowest seq");
+        let taken = s.take(1).unwrap();
+        assert_eq!(taken.seq, 1);
+        assert_eq!(s.head_index(), Some(1)); // now msg seq=2 at index 1
+        assert_eq!(s.find(0), Some(0));
+        assert_eq!(s.find(9), None);
+        assert!(s.take(9).is_none());
+    }
+
+    #[test]
+    fn node_lookup_by_etag() {
+        let mut n = NodeState::new(NodeId(3), LocalClock::perfect());
+        let subject = Subject::new(42);
+        let mut p = PublisherState::new(
+            subject,
+            ChannelSpec::srt(crate::channel::SrtSpec::default()),
+            None,
+        );
+        p.etag = Some(77);
+        n.publishers.insert(subject.uid(), p);
+        assert!(n.publisher_by_etag(77).is_some());
+        assert!(n.publisher_by_etag(78).is_none());
+        assert!(n.subscription_by_etag(77).is_none());
+
+        let mut sub = SubscriptionState::new(subject, SubscribeSpec::default(), None, None);
+        sub.etag = Some(99);
+        n.subscriptions.insert(subject.uid(), sub);
+        assert!(n.subscription_by_etag(99).is_some());
+    }
+
+    #[test]
+    fn exception_handlers_fire() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        let mut p = PublisherState::new(
+            Subject::new(1),
+            ChannelSpec::srt(crate::channel::SrtSpec::default()),
+            Some(Box::new(move |_exc| *h.borrow_mut() += 1)),
+        );
+        p.raise(&ChannelException::DeadlineMissed {
+            subject: Subject::new(1),
+            deadline: Time::ZERO + Duration::from_us(5),
+        });
+        p.raise(&ChannelException::Expired {
+            subject: Subject::new(1),
+            expiration: Time::ZERO,
+        });
+        assert_eq!(*hits.borrow(), 2);
+
+        // No handler installed: raise is a no-op.
+        let mut q = PublisherState::new(
+            Subject::new(2),
+            ChannelSpec::srt(crate::channel::SrtSpec::default()),
+            None,
+        );
+        q.raise(&ChannelException::Expired {
+            subject: Subject::new(2),
+            expiration: Time::ZERO,
+        });
+    }
+}

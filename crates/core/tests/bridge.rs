@@ -1,0 +1,147 @@
+//! Multi-network channels over the store-and-forward gateway (§2.2.1).
+
+use rtec_core::bridge::{Bridge, Segment};
+use rtec_core::channel::HrtSpec;
+use rtec_core::prelude::*;
+
+const TEMP: Subject = Subject::new(0x8001);
+const LOCAL_ONLY: Subject = Subject::new(0x8002);
+
+/// Segment A: field bus with 4 nodes (gateway = node 3).
+/// Segment B: backbone with 3 nodes (gateway = node 2).
+fn bridged() -> Bridge {
+    let a = Network::builder().nodes(4).build();
+    let b = Network::builder().nodes(3).build();
+    Bridge::new(a, b, NodeId(3), NodeId(2), Duration::from_ms(1))
+}
+
+#[test]
+fn events_cross_the_gateway_with_latency() {
+    let mut bridge = bridged();
+    // Publisher on the field bus, subscriber on the backbone.
+    {
+        let mut api = bridge.a.api();
+        api.announce(NodeId(0), TEMP, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+    }
+    let far_q = {
+        let mut api = bridge.b.api();
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+    };
+    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    bridge.a.at(Time::from_ms(2), |api| {
+        api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![21, 5]))
+            .unwrap();
+    });
+    bridge.run_until(Time::from_ms(20));
+    let deliveries = far_q.drain();
+    assert_eq!(deliveries.len(), 1, "event crossed the bridge");
+    let d = &deliveries[0];
+    assert_eq!(d.event.content, vec![21, 5]);
+    // Far-side origin is the gateway's node on segment B.
+    assert_eq!(d.event.attributes.origin, Some(NodeId(2)));
+    // Store-and-forward latency respected (publish at 2 ms + ~1 ms
+    // gateway + two wire hops).
+    assert!(d.delivered_at >= Time::from_ms(3));
+    assert!(d.delivered_at <= Time::from_ms(6));
+    assert_eq!(bridge.forwarded(TEMP, Segment::A), 1);
+}
+
+#[test]
+fn origin_filter_separates_local_from_remote_publishers() {
+    // The paper's example: a subscriber interested only in events from
+    // publishers in its own network filters on origin — remote events
+    // arrive with the gateway's TxNode and are dropped.
+    let a = Network::builder().nodes(4).build();
+    let b = Network::builder().nodes(5).build();
+    let mut bridge = Bridge::new(a, b, NodeId(3), NodeId(4), Duration::from_ms(1));
+    {
+        let mut api = bridge.a.api();
+        api.announce(NodeId(0), TEMP, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+    }
+    let (open_q, local_q) = {
+        let mut api = bridge.b.api();
+        api.announce(NodeId(0), TEMP, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+        let open = api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap();
+        let local = api
+            .subscribe(
+                NodeId(2),
+                TEMP,
+                SubscribeSpec::from_origins(vec![NodeId(0)]), // local pub only
+            )
+            .unwrap();
+        (open, local)
+    };
+    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    // One remote publication (on A) and one local publication (on B).
+    bridge.a.at(Time::from_ms(2), |api| {
+        api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![0xAA]))
+            .unwrap();
+    });
+    bridge.b.at(Time::from_ms(2), |api| {
+        api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![0xBB]))
+            .unwrap();
+    });
+    bridge.run_until(Time::from_ms(20));
+    let open = open_q.drain();
+    let local = local_q.drain();
+    assert_eq!(open.len(), 2, "open subscriber sees local + remote");
+    assert_eq!(local.len(), 1, "filtered subscriber sees only local");
+    assert_eq!(local[0].event.content, vec![0xBB]);
+}
+
+#[test]
+fn hrt_stays_segment_local_while_its_events_cross_as_srt() {
+    // A hard real-time sensor on the field bus keeps its guarantees
+    // locally; the backbone gets the values best-effort via the bridge.
+    let a = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let b = Network::builder().nodes(3).build();
+    let mut bridge = Bridge::new(a, b, NodeId(3), NodeId(2), Duration::from_ms(1));
+    let local_q = {
+        let mut api = bridge.a.api();
+        api.announce(
+            NodeId(0),
+            TEMP,
+            ChannelSpec::hrt(HrtSpec {
+                period: Duration::from_ms(10),
+                dlc: 8,
+                omission_degree: 1,
+                sporadic: false,
+            }),
+        )
+        .unwrap();
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+    };
+    let far_q = {
+        let mut api = bridge.b.api();
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+    };
+    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    {
+        let mut api = bridge.a.api();
+        api.install_calendar().unwrap();
+    }
+    bridge.a.every(Duration::from_ms(10), Duration::from_us(100), |api| {
+        let _ = api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![9; 8]));
+    });
+    bridge.run_until(Time::from_ms(205));
+    let local = local_q.drain();
+    assert!(local.len() >= 19);
+    // Segment-local HRT: perfectly periodic.
+    for w in local.windows(2) {
+        assert_eq!(
+            w[1].delivered_at - w[0].delivered_at,
+            Duration::from_ms(10)
+        );
+    }
+    // Backbone copies arrive best-effort (same count, no jitter bound).
+    let far = far_q.drain();
+    assert!(far.len() >= 18, "far side got {}", far.len());
+    assert_eq!(bridge.forwarded(TEMP, Segment::A), local.len() as u64);
+
+    // The second subscriber (LOCAL_ONLY unused here) keeps the compiler
+    // honest about unused consts.
+    let _ = LOCAL_ONLY;
+}

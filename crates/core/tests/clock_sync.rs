@@ -1,0 +1,107 @@
+//! In-network clock synchronization: drifting clocks + the sync service
+//! keep the HRT calendar valid over long runs; without it, the drift
+//! eventually defeats the slot structure.
+
+use rtec_clock::ClockParams;
+use rtec_core::channel::HrtSpec;
+use rtec_core::network::ClockSyncConfig;
+use rtec_core::prelude::*;
+
+const SENSOR: Subject = Subject::new(0x5001);
+
+/// ±200 ppm oscillators: fast publisher, slow subscriber — the
+/// combination that breaks the slot structure quickest.
+fn bad_clocks() -> Vec<ClockParams> {
+    vec![
+        ClockParams::PERFECT, // node 0: master
+        ClockParams { drift_ppm: -200.0, initial_offset_ns: 0.0 }, // publisher
+        ClockParams { drift_ppm: 200.0, initial_offset_ns: 0.0 },  // subscriber
+        ClockParams { drift_ppm: 120.0, initial_offset_ns: 0.0 },
+    ]
+}
+
+fn run(with_sync: bool, horizon: Duration) -> (u64 /*delivered*/, u64 /*missing*/, u64 /*spread*/) {
+    let mut builder = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .clocks(bad_clocks());
+    if with_sync {
+        builder = builder.clock_sync(ClockSyncConfig {
+            period: Duration::from_ms(50),
+            master: NodeId(0),
+            priority: 1,
+        });
+    }
+    let mut net = builder.build();
+    let q = {
+        let mut api = net.api();
+        api.announce(
+            NodeId(1),
+            SENSOR,
+            ChannelSpec::hrt(HrtSpec {
+                period: Duration::from_ms(10),
+                dlc: 8,
+                omission_degree: 1,
+                sporadic: false,
+            }),
+        )
+        .unwrap();
+        let q = api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default()).unwrap();
+        api.install_calendar().unwrap();
+        q
+    };
+    net.every(Duration::from_ms(10), Duration::from_us(100), |api| {
+        let _ = api.publish(NodeId(1), SENSOR, Event::new(SENSOR, vec![1; 8]));
+    });
+    net.run_for(horizon);
+    let etag = net.world().registry().etag_of(SENSOR).unwrap();
+    let missing = net.stats().channel(etag).missing_events;
+    let spread = net.world().clock_spread(net.now());
+    (q.drain().len() as u64, missing, spread)
+}
+
+#[test]
+fn unsynchronized_drift_eventually_breaks_the_calendar() {
+    // ±200 ppm diverge 400 µs/s; after ~2 s the subscriber's delivery
+    // deadline fires before the publisher's frame has arrived.
+    let (_delivered, missing, spread) = run(false, Duration::from_secs(3));
+    assert!(missing > 0, "expected missing events, spread {spread}ns");
+    assert!(spread > 1_000_000, "clocks far apart: {spread}ns");
+}
+
+#[test]
+fn sync_service_keeps_the_calendar_valid() {
+    let horizon = Duration::from_secs(3);
+    let (delivered, missing, spread) = run(true, horizon);
+    assert_eq!(missing, 0, "no missing events with sync running");
+    assert!(delivered >= 295, "delivered {delivered}");
+    // Residual spread bounded by 2·ρ·P ≈ 2·200ppm·50ms = 20 µs plus
+    // protocol granularity — far inside the 40 µs gap.
+    assert!(spread < 40_000, "spread {spread}ns within ΔG_min");
+}
+
+#[test]
+fn sync_traffic_overhead_is_small() {
+    let mut net = Network::builder()
+        .nodes(3)
+        .clocks(vec![
+            ClockParams::PERFECT,
+            ClockParams { drift_ppm: 100.0, initial_offset_ns: 0.0 },
+            ClockParams { drift_ppm: -100.0, initial_offset_ns: 0.0 },
+        ])
+        .clock_sync(ClockSyncConfig {
+            period: Duration::from_ms(50),
+            master: NodeId(0),
+            priority: 1,
+        })
+        .build();
+    let horizon = Duration::from_secs(1);
+    net.run_for(horizon);
+    // Two frames (SYNC + FOLLOW-UP) per 50 ms period.
+    let frames = net.world().bus.stats.frames_ok;
+    assert!((38..=42).contains(&frames), "sync frames: {frames}");
+    let util = net.world().bus.stats.utilization(horizon);
+    assert!(util < 0.01, "sync overhead {util} below 1%");
+    // And the slave clocks track the master.
+    assert!(net.world().clock_spread(net.now()) < 25_000);
+}

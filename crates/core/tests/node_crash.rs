@@ -1,0 +1,141 @@
+//! Temporary node faults: crash and recovery of publishers and
+//! subscribers, and how the channel classes surface them.
+
+use rtec_core::channel::HrtSpec;
+use rtec_core::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SENSOR: Subject = Subject::new(0x6001);
+
+fn hrt_net() -> (Network, EventQueue, Rc<RefCell<u32>>) {
+    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let missing: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
+    let m = missing.clone();
+    let q = {
+        let mut api = net.api();
+        api.announce(
+            NodeId(0),
+            SENSOR,
+            ChannelSpec::hrt(HrtSpec {
+                period: Duration::from_ms(10),
+                dlc: 8,
+                omission_degree: 1,
+                sporadic: false,
+            }),
+        )
+        .unwrap();
+        let q = api
+            .subscribe_with(
+                NodeId(2),
+                SENSOR,
+                SubscribeSpec::default(),
+                |_d| {},
+                move |exc| {
+                    if matches!(exc, rtec_core::ChannelException::MissingEvent { .. }) {
+                        *m.borrow_mut() += 1;
+                    }
+                },
+            )
+            .unwrap();
+        api.install_calendar().unwrap();
+        q
+    };
+    net.every(Duration::from_ms(10), Duration::from_us(100), |api| {
+        let _ = api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![7; 8]));
+    });
+    (net, q, missing)
+}
+
+#[test]
+fn publisher_crash_is_detected_and_recovery_resumes_delivery() {
+    let (mut net, q, missing) = hrt_net();
+    // Healthy phase.
+    net.run_for(Duration::from_ms(100));
+    let healthy = q.drain().len();
+    assert!((9..=10).contains(&healthy), "{healthy}");
+    assert_eq!(*missing.borrow(), 0);
+
+    // Crash the publisher's controller for ~5 rounds.
+    net.after(Duration::ZERO, |api| {
+        api.set_node_operational(NodeId(0), false);
+    });
+    net.run_for(Duration::from_ms(50));
+    let during_crash = q.drain().len();
+    let missing_during = *missing.borrow();
+    assert_eq!(during_crash, 0, "no deliveries while crashed");
+    assert!(
+        (4..=6).contains(&missing_during),
+        "subscriber detected ~5 empty slots: {missing_during}"
+    );
+
+    // Revive; deliveries resume.
+    net.after(Duration::ZERO, |api| {
+        api.set_node_operational(NodeId(0), true);
+    });
+    net.run_for(Duration::from_ms(100));
+    let after = q.drain().len();
+    assert!(after >= 9, "recovered: {after}");
+}
+
+#[test]
+fn crashed_subscriber_misses_frames_but_channel_keeps_working() {
+    let (mut net, q, _missing) = hrt_net();
+    // Second subscriber that stays healthy.
+    let q2 = net
+        .api()
+        .subscribe(NodeId(3), SENSOR, SubscribeSpec::default())
+        .unwrap();
+    net.after(Duration::from_ms(20), |api| {
+        api.set_node_operational(NodeId(2), false);
+    });
+    net.after(Duration::from_ms(70), |api| {
+        api.set_node_operational(NodeId(2), true);
+    });
+    net.run_for(Duration::from_ms(200));
+    let crashed_got = q.drain().len();
+    let healthy_got = q2.drain().len();
+    assert!(healthy_got >= 19, "healthy subscriber unaffected: {healthy_got}");
+    assert!(
+        crashed_got < healthy_got,
+        "crashed subscriber lost the frames sent while down"
+    );
+    // With one subscriber down, the sender's all-received check covers
+    // only operational nodes, so no redundancy was wasted.
+    let etag = net.world().registry().etag_of(SENSOR).unwrap();
+    assert_eq!(net.stats().channel(etag).redundancy_exhausted, 0);
+}
+
+#[test]
+fn srt_publisher_crash_is_invisible_to_subscribers() {
+    // SRT channels have no reservations, so to a *subscriber* a crashed
+    // publisher is indistinguishable from one with nothing to say — no
+    // subscriber-side exceptions, just absence (which is exactly why
+    // the paper gives HRT channels reservation-based missing-event
+    // detection). The crashed node itself still notices: its queued
+    // messages miss their deadlines locally.
+    let mut net = Network::builder().nodes(3).build();
+    let s = Subject::new(0x6002);
+    let q = {
+        let mut api = net.api();
+        api.announce(NodeId(0), s, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+        api.subscribe(NodeId(1), s, SubscribeSpec::default()).unwrap()
+    };
+    net.every(Duration::from_ms(5), Duration::ZERO, move |api| {
+        let _ = api.publish(NodeId(0), s, Event::new(s, vec![1]));
+    });
+    net.after(Duration::from_ms(50), |api| {
+        api.set_node_operational(NodeId(0), false);
+    });
+    net.run_for(Duration::from_ms(100));
+    let got = q.drain().len();
+    assert!((9..=11).contains(&got), "only pre-crash events: {got}");
+    let etag = net.world().registry().etag_of(s).unwrap();
+    let ch = net.stats().channel(etag);
+    // No subscriber-side detection possible...
+    assert_eq!(ch.missing_events, 0);
+    // ... but the crashed publisher is locally aware: every post-crash
+    // message missed its transmission deadline.
+    assert!(ch.deadline_misses >= 9, "{}", ch.deadline_misses);
+}

@@ -1,0 +1,385 @@
+//! The discrete-event engine: a priority queue of timestamped events and
+//! a dispatch loop.
+//!
+//! A simulation is a [`Model`]: a state type plus a typed event handler.
+//! Handlers receive a [`Ctx`] through which they schedule further events
+//! (absolute [`Ctx::at`] or relative [`Ctx::after`]) and cancel pending
+//! ones ([`Ctx::cancel`]). Cancellation is lazy: cancelled entries stay
+//! in the heap and are skipped on pop, which keeps both operations
+//! `O(log n)` amortized.
+//!
+//! Determinism: ties at the same instant are broken by the scheduling
+//! sequence number, so the delivery order of simultaneous events is the
+//! order in which they were scheduled.
+
+use crate::time::{Duration, Time};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle for a scheduled event, used to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// A handle that never corresponds to a scheduled event. Useful as a
+    /// placeholder in model state.
+    pub const NONE: TimerId = TimerId(u64::MAX);
+}
+
+/// A simulation model: state plus an event handler.
+pub trait Model {
+    /// The type of events this model exchanges with itself through the
+    /// engine's queue.
+    type Event;
+
+    /// Handle one event at the current simulated instant (`ctx.now()`).
+    fn handle(&mut self, ctx: &mut Ctx<Self::Event>, ev: Self::Event);
+}
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    id: TimerId,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Scheduling context handed to [`Model::handle`].
+///
+/// Owns the event queue and the simulation clock.
+pub struct Ctx<E> {
+    now: Time,
+    queue: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: HashSet<TimerId>,
+    dispatched: u64,
+}
+
+impl<E> Ctx<E> {
+    fn new() -> Self {
+        Ctx {
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    #[inline]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending (including lazily-cancelled ones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `ev` at absolute time `t`.
+    ///
+    /// `t` must not be in the past; scheduling *at* the current instant
+    /// is allowed (the event runs after all currently-queued events for
+    /// this instant).
+    pub fn at(&mut self, t: Time, ev: E) -> TimerId {
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past: {t} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = TimerId(seq);
+        self.queue.push(Entry { time: t, seq, id, ev });
+        id
+    }
+
+    /// Schedule `ev` after a relative delay.
+    #[inline]
+    pub fn after(&mut self, d: Duration, ev: E) -> TimerId {
+        self.at(self.now + d, ev)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        if id != TimerId::NONE {
+            self.cancelled.insert(id);
+        }
+    }
+
+    fn pop_due(&mut self, limit: Time) -> Option<Entry<E>> {
+        while let Some(head) = self.queue.peek() {
+            if head.time > limit {
+                return None;
+            }
+            let entry = self.queue.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some(entry);
+        }
+        None
+    }
+}
+
+/// The simulation engine: a [`Model`] plus its event queue.
+pub struct Engine<M: Model> {
+    /// The model under simulation. Public so tests and harnesses can
+    /// inspect state between [`Engine::run_until`] calls.
+    pub model: M,
+    ctx: Ctx<M::Event>,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around a model, at time zero with an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            ctx: Ctx::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.ctx.now
+    }
+
+    /// Total number of events dispatched so far.
+    #[inline]
+    pub fn dispatched(&self) -> u64 {
+        self.ctx.dispatched
+    }
+
+    /// Schedule an event from outside the model (initial stimulus).
+    pub fn schedule_at(&mut self, t: Time, ev: M::Event) -> TimerId {
+        self.ctx.at(t, ev)
+    }
+
+    /// Schedule an event after a delay, from outside the model.
+    pub fn schedule_after(&mut self, d: Duration, ev: M::Event) -> TimerId {
+        self.ctx.after(d, ev)
+    }
+
+    /// Direct access to the scheduling context (for harness helpers).
+    pub fn ctx(&mut self) -> &mut Ctx<M::Event> {
+        &mut self.ctx
+    }
+
+    /// Borrow the model and the scheduling context simultaneously —
+    /// needed when harness code outside the event loop drives model
+    /// operations that themselves schedule events.
+    pub fn split(&mut self) -> (&mut M, &mut Ctx<M::Event>) {
+        (&mut self.model, &mut self.ctx)
+    }
+
+    /// Dispatch a single event if one is pending. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.ctx.pop_due(Time::MAX) {
+            Some(entry) => {
+                self.ctx.now = entry.time;
+                self.ctx.dispatched += 1;
+                self.model.handle(&mut self.ctx, entry.ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time `limit` (inclusive: events *at* `limit`
+    /// are dispatched). Afterwards `now()` equals `limit` unless the
+    /// queue drained earlier, in which case `now()` is the last dispatch
+    /// time.
+    pub fn run_until(&mut self, limit: Time) {
+        while let Some(entry) = self.ctx.pop_due(limit) {
+            self.ctx.now = entry.time;
+            self.ctx.dispatched += 1;
+            self.model.handle(&mut self.ctx, entry.ev);
+        }
+        if self.ctx.now < limit {
+            self.ctx.now = limit;
+        }
+    }
+
+    /// Run for a span of simulated time from the current instant.
+    pub fn run_for(&mut self, d: Duration) {
+        let limit = self.ctx.now + d;
+        self.run_until(limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(Time, u32)>,
+        respawn: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            self.seen.push((ctx.now(), ev));
+            if self.respawn && ev < 5 {
+                ctx.after(Duration::from_us(1), ev + 1);
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: vec![],
+            respawn: false,
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(Time::from_us(30), 3);
+        e.schedule_at(Time::from_us(10), 1);
+        e.schedule_at(Time::from_us(20), 2);
+        e.run();
+        assert_eq!(
+            e.model.seen,
+            vec![
+                (Time::from_us(10), 1),
+                (Time::from_us(20), 2),
+                (Time::from_us(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut e = Engine::new(recorder());
+        let t = Time::from_us(5);
+        for i in 0..10 {
+            e.schedule_at(t, i);
+        }
+        e.run();
+        let order: Vec<u32> = e.model.seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut e = Engine::new(recorder());
+        let keep = e.schedule_at(Time::from_us(1), 1);
+        let drop1 = e.schedule_at(Time::from_us(2), 2);
+        let drop2 = e.schedule_at(Time::from_us(3), 3);
+        e.ctx().cancel(drop1);
+        e.ctx().cancel(drop2);
+        let _ = keep;
+        e.run();
+        let vals: Vec<u32> = e.model.seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e = Engine::new(recorder());
+        let id = e.schedule_at(Time::from_us(1), 7);
+        e.run();
+        e.ctx().cancel(id); // must not panic or corrupt the queue
+        e.schedule_at(Time::from_us(2), 8);
+        e.run();
+        assert_eq!(e.model.seen.len(), 2);
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut e = Engine::new(recorder());
+        e.ctx().cancel(TimerId::NONE);
+        assert_eq!(e.ctx().pending(), 0);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            respawn: true,
+        });
+        e.schedule_at(Time::ZERO, 0);
+        e.run();
+        assert_eq!(e.model.seen.len(), 6);
+        assert_eq!(e.now(), Time::from_us(5));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_advances_clock() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(Time::from_us(10), 1);
+        e.schedule_at(Time::from_us(20), 2);
+        e.schedule_at(Time::from_us(30), 3);
+        e.run_until(Time::from_us(20));
+        assert_eq!(e.model.seen.len(), 2);
+        assert_eq!(e.now(), Time::from_us(20));
+        e.run_until(Time::from_us(100));
+        assert_eq!(e.model.seen.len(), 3);
+        assert_eq!(e.now(), Time::from_us(100));
+    }
+
+    #[test]
+    fn run_for_advances_relative() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(Time::from_us(5), 1);
+        e.run_for(Duration::from_us(3));
+        assert_eq!(e.now(), Time::from_us(3));
+        assert!(e.model.seen.is_empty());
+        e.run_for(Duration::from_us(3));
+        assert_eq!(e.model.seen.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new(recorder());
+        e.schedule_at(Time::from_us(10), 1);
+        e.run();
+        e.schedule_at(Time::from_us(5), 2);
+    }
+
+    #[test]
+    fn dispatch_counter_counts_fired_only() {
+        let mut e = Engine::new(recorder());
+        let a = e.schedule_at(Time::from_us(1), 1);
+        e.schedule_at(Time::from_us(2), 2);
+        e.ctx().cancel(a);
+        e.run();
+        assert_eq!(e.dispatched(), 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Measurement collection: exact-percentile histograms and streaming
+//! moment estimators.
+//!
+//! Experiments record latencies and jitter as nanosecond counts. The
+//! [`Histogram`] keeps every sample (simulation runs are bounded, and
+//! exact percentiles matter when the claim under test is "jitter is
+//! zero"), sorting lazily on first query. [`OnlineStats`] is the
+//! constant-space Welford estimator for high-volume counters.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact-sample histogram over `u64` measurements (typically
+/// nanoseconds).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one measurement.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no measurements were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// `p`-th percentile using nearest-rank on the sorted samples;
+    /// `p` in `[0, 100]`. `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.max(1) - 1;
+        Some(self.samples[idx.min(self.samples.len() - 1)])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// Peak-to-peak spread (`max - min`) — the paper's definition of
+    /// jitter as the *variance of the latency* is reported both as this
+    /// spread and as [`Histogram::std_dev`].
+    pub fn spread(&self) -> Option<u64> {
+        Some(self.max()? - self.min()?)
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Iterate over the raw samples (insertion order not guaranteed once
+    /// a percentile has been queried).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// One-line summary for experiment output.
+    pub fn summary(&mut self) -> String {
+        if self.samples.is_empty() {
+            return "n=0".to_string();
+        }
+        let n = self.count();
+        let min = self.min().unwrap();
+        let max = self.max().unwrap();
+        let mean = self.mean().unwrap();
+        let p99 = self.percentile(99.0).unwrap();
+        format!("n={n} min={min} mean={mean:.1} p99={p99} max={max}")
+    }
+}
+
+/// Constant-space streaming mean/variance (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty estimator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A ratio counter for hit/miss style statistics (deadline misses,
+/// drops, retransmissions...).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Record one trial; `hit` marks the numerator event.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `hits / total` (0 when no trials).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(50));
+        assert_eq!(h.mean(), Some(30.0));
+        assert_eq!(h.spread(), Some(40));
+        let sd = h.std_dev().unwrap();
+        assert!((sd - 14.142).abs() < 0.01, "sd {sd}");
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.median(), Some(50));
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.percentile(0.0), Some(7));
+        assert_eq!(h.percentile(50.0), Some(7));
+        assert_eq!(h.percentile(100.0), Some(7));
+        assert_eq!(h.spread(), Some(0));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn histogram_record_after_query() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.median(), Some(5));
+        h.record(1);
+        assert_eq!(h.median(), Some(1));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(3));
+    }
+
+    #[test]
+    fn online_stats_matches_exact() {
+        let mut s = OnlineStats::new();
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for x in data {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_degenerate() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = OnlineStats::new();
+        s1.record(3.0);
+        assert_eq!(s1.variance(), 0.0);
+        assert_eq!(s1.mean(), 3.0);
+    }
+
+    #[test]
+    fn ratio_counter() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        r.record(true);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.total(), 4);
+        assert!((r.value() - 0.5).abs() < 1e-12);
+    }
+}

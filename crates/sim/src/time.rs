@@ -1,0 +1,370 @@
+//! Simulated time: absolute instants ([`Time`]) and spans ([`Duration`]),
+//! both counted in integer nanoseconds.
+//!
+//! Integer nanoseconds keep the simulation exactly reproducible (no
+//! floating-point drift) while still resolving 1/1000 of a CAN bit time
+//! at 1 Mbit/s.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant of simulated time, in nanoseconds since the start
+/// of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Value in microseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// Value in milliseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    /// Value in seconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration since an earlier instant; zero if `earlier` is later
+    /// (saturating, never panics).
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[inline]
+    pub fn checked_sub(self, d: Duration) -> Option<Time> {
+        self.0.checked_sub(d.0).map(Time)
+    }
+
+    /// Subtract a duration, clamping at zero.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+
+    /// Round this instant *up* to the next multiple of `granule`
+    /// (a granule of zero returns `self`).
+    #[inline]
+    pub fn round_up_to(self, granule: Duration) -> Time {
+        if granule.0 == 0 {
+            return self;
+        }
+        let rem = self.0 % granule.0;
+        if rem == 0 {
+            self
+        } else {
+            Time(self.0 + (granule.0 - rem))
+        }
+    }
+
+    /// Round this instant *down* to the previous multiple of `granule`.
+    #[inline]
+    pub fn round_down_to(self, granule: Duration) -> Time {
+        if granule.0 == 0 {
+            return self;
+        }
+        Time(self.0 - self.0 % granule.0)
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// Largest representable span; used as "infinite".
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Value in microseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// Value in milliseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    /// Value in seconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<Duration> {
+        self.0.checked_mul(k).map(Duration)
+    }
+
+    /// `true` if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, d: Duration) -> Time {
+        Time(self.0 - d.0)
+    }
+}
+impl SubAssign<Duration> for Time {
+    #[inline]
+    fn sub_assign(&mut self, d: Duration) {
+        self.0 -= d.0;
+    }
+}
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, earlier: Time) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, other: Duration) {
+        self.0 += other.0;
+    }
+}
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Duration) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, other: Duration) {
+        self.0 -= other.0;
+    }
+}
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, k: u64) -> Duration {
+        Duration(self.0 / k)
+    }
+}
+impl Div<Duration> for Duration {
+    type Output = u64;
+    #[inline]
+    fn div(self, other: Duration) -> u64 {
+        self.0 / other.0
+    }
+}
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn rem(self, other: Duration) -> Duration {
+        Duration(self.0 % other.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Render a nanosecond count with a human-friendly unit.
+fn format_ns(ns: u64) -> String {
+    if ns == u64::MAX {
+        "∞".to_string()
+    } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Time::from_us(5).as_ns(), 5_000);
+        assert_eq!(Time::from_ms(5).as_ns(), 5_000_000);
+        assert_eq!(Time::from_secs(5).as_ns(), 5_000_000_000);
+        assert_eq!(Duration::from_us(154).as_ns(), 154_000);
+        assert!((Duration::from_us(154).as_us_f64() - 154.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_us(100);
+        let d = Duration::from_us(40);
+        assert_eq!(t + d, Time::from_us(140));
+        assert_eq!(t - d, Time::from_us(60));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, Duration::from_us(120));
+        assert_eq!(d / 2, Duration::from_us(20));
+        assert_eq!(Duration::from_us(100) / Duration::from_us(30), 3);
+        assert_eq!(
+            Duration::from_us(100) % Duration::from_us(30),
+            Duration::from_us(10)
+        );
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let early = Time::from_us(10);
+        let late = Time::from_us(50);
+        assert_eq!(late.saturating_since(early), Duration::from_us(40));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(early.saturating_sub(Duration::from_us(100)), Time::ZERO);
+        assert_eq!(early.checked_sub(Duration::from_us(100)), None);
+        assert_eq!(
+            early.checked_sub(Duration::from_us(10)),
+            Some(Time::ZERO)
+        );
+    }
+
+    #[test]
+    fn rounding() {
+        let g = Duration::from_us(10);
+        assert_eq!(Time::from_us(25).round_up_to(g), Time::from_us(30));
+        assert_eq!(Time::from_us(30).round_up_to(g), Time::from_us(30));
+        assert_eq!(Time::from_us(25).round_down_to(g), Time::from_us(20));
+        assert_eq!(Time::from_us(25).round_up_to(Duration::ZERO), Time::from_us(25));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Duration::from_ns(5)), "5ns");
+        assert_eq!(format!("{}", Duration::from_us(154)), "154.000us");
+        assert_eq!(format!("{}", Duration::from_ms(12)), "12.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_us(1) < Time::from_us(2));
+        assert!(Duration::from_ns(999) < Duration::from_us(1));
+        assert_eq!(Time::ZERO.min(Time::MAX), Time::ZERO);
+    }
+}

@@ -1,0 +1,189 @@
+//! Lightweight structured tracing.
+//!
+//! Simulation components emit [`TraceEvent`]s into a shared [`TraceSink`].
+//! Tracing is off by default (a disabled sink drops events without
+//! allocating), so hot simulation loops pay one branch when tracing is
+//! disabled. Tests assert on recorded traces; the experiment harness
+//! prints them with `--trace`.
+
+use crate::time::Time;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant of the event.
+    pub time: Time,
+    /// Component that emitted it (e.g. `"bus"`, `"node3.srtec"`).
+    pub source: String,
+    /// Short machine-matchable kind tag (e.g. `"tx_start"`).
+    pub kind: &'static str,
+    /// Free-form detail for humans.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {:<14} {:<16} {}",
+            self.time, self.source, self.kind, self.detail
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+/// A cheaply-cloneable handle to a shared trace buffer.
+///
+/// Cloning shares the underlying buffer (single-threaded simulations use
+/// `Rc`; the engine itself is single-threaded by design — parallelism in
+/// experiments comes from running independent simulations on worker
+/// threads).
+#[derive(Clone, Debug, Default)]
+pub struct TraceSink {
+    inner: Rc<RefCell<SinkInner>>,
+}
+
+impl TraceSink {
+    /// A disabled sink: events are dropped.
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// An enabled sink that records every event.
+    pub fn enabled() -> Self {
+        let sink = TraceSink::default();
+        sink.inner.borrow_mut().enabled = true;
+        sink
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.borrow_mut().enabled = enabled;
+    }
+
+    /// Emit an event (dropped when disabled).
+    pub fn emit(&self, time: Time, source: &str, kind: &'static str, detail: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.enabled {
+            inner.events.push(TraceEvent {
+                time,
+                source: source.to_string(),
+                kind,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// `true` when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Snapshot of events matching a kind tag.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_drops_events() {
+        let sink = TraceSink::disabled();
+        sink.emit(Time::ZERO, "bus", "tx_start", "id=0x10");
+        assert!(sink.is_empty());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn enabled_sink_records_in_order() {
+        let sink = TraceSink::enabled();
+        sink.emit(Time::from_us(1), "bus", "tx_start", "a");
+        sink.emit(Time::from_us(2), "bus", "tx_end", "b");
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, "tx_start");
+        assert_eq!(evs[1].time, Time::from_us(2));
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let sink = TraceSink::enabled();
+        let clone = sink.clone();
+        clone.emit(Time::ZERO, "node0", "publish", "x");
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let sink = TraceSink::enabled();
+        sink.emit(Time::ZERO, "a", "x", "");
+        sink.emit(Time::ZERO, "b", "y", "");
+        sink.emit(Time::ZERO, "c", "x", "");
+        assert_eq!(sink.events_of_kind("x").len(), 2);
+        assert_eq!(sink.events_of_kind("z").len(), 0);
+    }
+
+    #[test]
+    fn toggle_and_clear() {
+        let sink = TraceSink::disabled();
+        sink.set_enabled(true);
+        sink.emit(Time::ZERO, "a", "x", "");
+        assert_eq!(sink.len(), 1);
+        sink.clear();
+        assert!(sink.is_empty());
+        sink.set_enabled(false);
+        sink.emit(Time::ZERO, "a", "x", "");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn display_format_contains_fields() {
+        let ev = TraceEvent {
+            time: Time::from_us(5),
+            source: "node1.hrtec".into(),
+            kind: "slot_start",
+            detail: "slot=3".into(),
+        };
+        let s = format!("{ev}");
+        assert!(s.contains("node1.hrtec"));
+        assert!(s.contains("slot_start"));
+        assert!(s.contains("slot=3"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the discrete-event engine and statistics.
+
+use proptest::prelude::*;
+use rtec_sim::{Ctx, Duration, Engine, Histogram, Model, OnlineStats, Time};
+
+/// A model that records the dispatch order of (time, id) events.
+struct Recorder {
+    seen: Vec<(Time, u32)>,
+}
+
+impl Model for Recorder {
+    type Event = (Time, u32);
+    fn handle(&mut self, ctx: &mut Ctx<(Time, u32)>, ev: (Time, u32)) {
+        assert_eq!(ctx.now(), ev.0, "event fires at its scheduled time");
+        self.seen.push(ev);
+    }
+}
+
+proptest! {
+    /// Events always dispatch in non-decreasing time order, and
+    /// same-time events dispatch in scheduling order.
+    #[test]
+    fn dispatch_order_is_total(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        for (i, &t_us) in times.iter().enumerate() {
+            let t = Time::from_us(t_us);
+            engine.schedule_at(t, (t, i as u32));
+        }
+        engine.run();
+        let seen = &engine.model.seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(1u64..5_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        let mut expect = vec![];
+        let mut ids = vec![];
+        for (i, &t_us) in times.iter().enumerate() {
+            let t = Time::from_us(t_us);
+            ids.push((engine.schedule_at(t, (t, i as u32)), i));
+        }
+        for (idx, &(timer, i)) in ids.iter().enumerate() {
+            if cancel_mask.get(idx).copied().unwrap_or(false) {
+                engine.ctx().cancel(timer);
+            } else {
+                expect.push(i as u32);
+            }
+        }
+        engine.run();
+        let mut got: Vec<u32> = engine.model.seen.iter().map(|&(_, i)| i).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// run_until never dispatches past the limit and leaves the clock at
+    /// exactly the limit.
+    #[test]
+    fn run_until_respects_limit(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        limit_us in 0u64..10_000,
+    ) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        for (i, &t_us) in times.iter().enumerate() {
+            engine.schedule_at(Time::from_us(t_us), (Time::from_us(t_us), i as u32));
+        }
+        let limit = Time::from_us(limit_us);
+        engine.run_until(limit);
+        prop_assert_eq!(engine.now(), limit);
+        let expected = times.iter().filter(|&&t| t <= limit_us).count();
+        prop_assert_eq!(engine.model.seen.len(), expected);
+        prop_assert!(engine.model.seen.iter().all(|&(t, _)| t <= limit));
+    }
+
+    /// Histogram percentiles are order statistics: p0 = min, p100 = max,
+    /// and percentiles are monotone in p.
+    #[test]
+    fn histogram_percentiles_are_order_statistics(
+        samples in prop::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.percentile(0.0), Some(min));
+        prop_assert_eq!(h.percentile(100.0), Some(max));
+        let mut last = min;
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= last, "monotone percentiles");
+            prop_assert!(v <= max);
+            last = v;
+        }
+    }
+
+    /// Welford's streaming moments agree with the exact two-pass
+    /// computation.
+    #[test]
+    fn online_stats_match_two_pass(samples in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &samples {
+            s.record(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Time arithmetic: round_up/round_down bracket the value on the
+    /// granule lattice.
+    #[test]
+    fn rounding_brackets(value_ns in 0u64..u64::MAX / 4, granule_ns in 1u64..1_000_000) {
+        let t = Time::from_ns(value_ns);
+        let g = Duration::from_ns(granule_ns);
+        let up = t.round_up_to(g);
+        let down = t.round_down_to(g);
+        prop_assert!(down <= t && t <= up);
+        prop_assert_eq!(up.as_ns() % granule_ns, 0);
+        prop_assert_eq!(down.as_ns() % granule_ns, 0);
+        prop_assert!(up.as_ns() - down.as_ns() <= granule_ns);
+    }
+}

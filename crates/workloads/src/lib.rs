@@ -1,0 +1,25 @@
+//! # rtec-workloads — traffic generators and scenario sets
+//!
+//! Deterministic, seedable workload generation for the experiments:
+//!
+//! * [`arrival`] — release-time generators for periodic (with phase and
+//!   bounded release jitter), sporadic (minimum inter-arrival plus a
+//!   random extra gap) and Poisson arrival processes;
+//! * [`streams`] — message-stream specifications
+//!   ([`streams::StreamSpec`]) and synthetic set constructors with a
+//!   load-scaling knob for the overload sweeps;
+//! * [`sae`] — an SAE-class automotive control message set in the
+//!   spirit of the classic SAE benchmark used by Tindell & Burns: a mix
+//!   of short-period control signals, sporadic driver inputs and slow
+//!   status traffic, with per-message timeliness classes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod sae;
+pub mod streams;
+
+pub use arrival::{ArrivalGen, ArrivalPattern};
+pub use sae::{sae_class_set, SaeMessage, TimelinessClass};
+pub use streams::{scale_load, set_utilization, uniform_srt_set, StreamSpec};

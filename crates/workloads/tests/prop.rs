@@ -1,0 +1,114 @@
+//! Property-based tests of the arrival generators and stream sets.
+
+use proptest::prelude::*;
+use rtec_can::bits::BitTiming;
+use rtec_sim::{Duration, Rng, Time};
+use rtec_workloads::{
+    scale_load, set_utilization, uniform_srt_set, ArrivalGen, ArrivalPattern,
+};
+
+proptest! {
+    /// Sporadic releases always honour the minimum inter-arrival time.
+    #[test]
+    fn sporadic_respects_mit(
+        seed in any::<u64>(),
+        min_gap_us in 1u64..10_000,
+        mean_extra_us in 0u64..10_000,
+    ) {
+        let mut gen = ArrivalGen::new(
+            ArrivalPattern::Sporadic {
+                min_gap: Duration::from_us(min_gap_us),
+                mean_extra: Duration::from_us(mean_extra_us),
+            },
+            Rng::seed_from_u64(seed),
+        );
+        let mut last: Option<Time> = None;
+        for _ in 0..100 {
+            let t = gen.next_release();
+            if let Some(prev) = last {
+                prop_assert!(
+                    t.saturating_since(prev) >= Duration::from_us(min_gap_us)
+                );
+            }
+            last = Some(t);
+        }
+    }
+
+    /// Periodic releases stay within [nominal, nominal + jitter].
+    #[test]
+    fn periodic_jitter_bounded(
+        seed in any::<u64>(),
+        period_us in 1u64..10_000,
+        phase_us in 0u64..5_000,
+        jitter_us in 0u64..1_000,
+    ) {
+        let mut gen = ArrivalGen::new(
+            ArrivalPattern::Periodic {
+                period: Duration::from_us(period_us),
+                phase: Duration::from_us(phase_us),
+                jitter: Duration::from_us(jitter_us),
+            },
+            Rng::seed_from_u64(seed),
+        );
+        for i in 0..100u64 {
+            let t = gen.next_release();
+            let nominal = Time::from_us(phase_us + period_us * i);
+            prop_assert!(t >= nominal);
+            prop_assert!(t <= nominal + Duration::from_us(jitter_us));
+        }
+    }
+
+    /// Releases are non-decreasing for every pattern, and identical
+    /// seeds replay identically.
+    #[test]
+    fn releases_monotone_and_deterministic(seed in any::<u64>(), which in 0u8..3) {
+        let pattern = match which {
+            0 => ArrivalPattern::periodic(Duration::from_us(500)),
+            1 => ArrivalPattern::Sporadic {
+                min_gap: Duration::from_us(100),
+                mean_extra: Duration::from_us(300),
+            },
+            _ => ArrivalPattern::Poisson {
+                mean_gap: Duration::from_us(400),
+            },
+        };
+        let mut a = ArrivalGen::new(pattern, Rng::seed_from_u64(seed));
+        let mut b = ArrivalGen::new(pattern, Rng::seed_from_u64(seed));
+        let mut last = Time::ZERO;
+        for _ in 0..200 {
+            let ta = a.next_release();
+            prop_assert_eq!(ta, b.next_release());
+            prop_assert!(ta >= last);
+            last = ta;
+        }
+    }
+
+    /// Load scaling hits the requested utilization (within rounding)
+    /// and never changes deadlines or stream count.
+    #[test]
+    fn scale_load_is_proportional(
+        n in 1usize..30,
+        seed in any::<u64>(),
+        factor in 0.1f64..5.0,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let set = uniform_srt_set(
+            n,
+            4,
+            Duration::from_ms(2),
+            Duration::from_ms(100),
+            &mut rng,
+        );
+        let before = set_utilization(&set, BitTiming::MBIT_1);
+        let scaled = scale_load(&set, factor);
+        let after = set_utilization(&scaled, BitTiming::MBIT_1);
+        prop_assert_eq!(scaled.len(), set.len());
+        prop_assert!((after / before - factor).abs() / factor < 0.02,
+            "scaling {factor}: {before} -> {after}");
+        for (a, b) in set.iter().zip(&scaled) {
+            prop_assert_eq!(a.rel_deadline, b.rel_deadline);
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.node, b.node);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Dynamic binding and bus monitoring: watch the middleware bind
+//! subjects to etags over the wire (the protocol of [13]) and trace the
+//! resulting bus traffic frame by frame.
+//!
+//! ```text
+//! cargo run --release --example dynamic_binding
+//! ```
+
+use rtec::prelude::*;
+
+const PRESSURE: Subject = Subject::new(0xCAFE_0001);
+const FLOW: Subject = Subject::new(0xCAFE_0002);
+
+fn main() {
+    // Node 0 hosts the binding agent (default); tracing on.
+    let mut net = Network::builder().nodes(4).dynamic_binding(true).build();
+    let trace = net.enable_trace();
+
+    let (pressure_q, flow_q) = {
+        let mut api = net.api();
+        // Announcements and subscriptions from non-agent nodes trigger
+        // BIND_REQUEST / BIND_REPLY exchanges on the bus.
+        api.announce(NodeId(1), PRESSURE, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+        api.announce(NodeId(2), FLOW, ChannelSpec::srt(SrtSpec::default()))
+            .unwrap();
+        let p = api.subscribe(NodeId(3), PRESSURE, SubscribeSpec::default()).unwrap();
+        let f = api.subscribe(NodeId(3), FLOW, SubscribeSpec::default()).unwrap();
+        (p, f)
+    };
+
+    // Publish immediately — the middleware queues these until the
+    // *publisher's* binding completes, then flushes. Note the P/S
+    // semantics: the flushed event may hit the wire before the
+    // subscriber's own binding (and hardware filter) is in place, in
+    // which case it is simply not seen — publish/subscribe makes no
+    // delivery promises to not-yet-active subscriptions.
+    net.after(Duration::from_us(1), |api| {
+        api.publish(NodeId(1), PRESSURE, Event::new(PRESSURE, vec![42]))
+            .unwrap();
+        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![17])).unwrap();
+    });
+    // A second publication once all bindings have settled.
+    net.at(Time::from_ms(5), |api| {
+        api.publish(NodeId(1), PRESSURE, Event::new(PRESSURE, vec![43]))
+            .unwrap();
+        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![18])).unwrap();
+    });
+    net.run_for(Duration::from_ms(10));
+
+    println!("bindings after 10 ms:");
+    for s in [PRESSURE, FLOW] {
+        println!(
+            "  subject {s} -> etag {:?}",
+            net.world().registry().etag_of(s)
+        );
+    }
+    let p = pressure_q.drain();
+    let f = flow_q.drain();
+    println!(
+        "deliveries: pressure={} flow={} (the t≈0 publications raced the \n\
+         subscriber's binding; the 5 ms ones arrived)",
+        p.len(),
+        f.len()
+    );
+    assert_eq!(p.last().unwrap().event.content, vec![43]);
+    assert_eq!(f.last().unwrap().event.content, vec![18]);
+
+    println!("\nfirst 20 bus trace events:");
+    for ev in trace.events().iter().take(20) {
+        println!("  {ev}");
+    }
+    println!(
+        "\n{} frames on the wire total ({} trace events)",
+        net.world().bus.stats.frames_ok,
+        trace.len()
+    );
+}

@@ -1,0 +1,62 @@
+//! # rtec — real-time event channels for the CAN bus
+//!
+//! A reproduction of *"A Real-Time Event Channel Model for the CAN-Bus"*
+//! (Kaiser, Brudna, Mitidieri — IPPS/WPDRTS 2003): a
+//! publisher/subscriber middleware with **hard real-time**, **soft
+//! real-time** and **non real-time** event channels mapped onto the CAN
+//! bus priority mechanism, together with the substrates needed to run
+//! and evaluate it:
+//!
+//! * [`sim`] — deterministic discrete-event engine;
+//! * [`can`] — bit-level CAN 2.0B bus simulator (arbitration, bit
+//!   stuffing, CRC-15, error signalling, fault injection);
+//! * [`clock`] — drifting clocks and master-based CAN clock sync;
+//! * [`core`] — the event-channel middleware itself (HRTEC / SRTEC /
+//!   NRTEC, binding protocol, calendar, EDF priority promotion,
+//!   fragmentation);
+//! * [`analysis`] — worst-case transmission times, Tindell–Burns
+//!   response-time analysis, the admission test;
+//! * [`baselines`] — TTCAN-style TDMA, fixed-priority (deadline
+//!   monotonic) and dual-priority comparators;
+//! * [`workloads`] — seedable traffic generators and an SAE-class
+//!   automotive message set.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ```
+//! use rtec::prelude::*;
+//!
+//! let mut net = Network::builder().nodes(3).build();
+//! let temperature = Subject::new(0x1001);
+//! let queue = {
+//!     let mut api = net.api();
+//!     api.announce(NodeId(0), temperature, ChannelSpec::srt(SrtSpec::default()))
+//!         .unwrap();
+//!     api.subscribe(NodeId(1), temperature, SubscribeSpec::default())
+//!         .unwrap()
+//! };
+//! net.after(Duration::from_us(10), move |api| {
+//!     api.publish(NodeId(0), temperature, Event::new(temperature, vec![21]))
+//!         .unwrap();
+//! });
+//! net.run_for(Duration::from_ms(1));
+//! assert_eq!(queue.drain().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rtec_analysis as analysis;
+pub use rtec_baselines as baselines;
+pub use rtec_can as can;
+pub use rtec_clock as clock;
+pub use rtec_core as core;
+pub use rtec_sim as sim;
+pub use rtec_workloads as workloads;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use rtec_core::channel::{HrtSpec, NrtSpec, SrtSpec};
+    pub use rtec_core::prelude::*;
+}
