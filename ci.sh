@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, the full test suite, and the
+# conformance fault-injection suite. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+# The vendor/ stand-ins for crates.io deps are excluded: they mirror
+# external code and are not held to the workspace lint bar.
+cargo clippy --workspace \
+    --exclude proptest --exclude criterion --exclude serde --exclude serde_derive \
+    --all-targets -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "== conformance fault-injection suite"
+cargo test -p rtec-conformance --test fault_injection -q
+cargo test -p rtec-conformance --test end_to_end -q
+
+echo "== experiments smoke run (auditor enabled)"
+cargo run -p rtec-bench --bin experiments --release -- all --quick >/dev/null
+
+echo "ci: all gates passed"

@@ -108,11 +108,18 @@ pub enum AdmissionError {
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::PeriodNotDividingRound { etag, period_ns, round_ns } => write!(
+            AdmissionError::PeriodNotDividingRound {
+                etag,
+                period_ns,
+                round_ns,
+            } => write!(
                 f,
                 "etag {etag}: period {period_ns}ns does not divide round {round_ns}ns"
             ),
-            AdmissionError::Overload { demanded_ns, round_ns } => write!(
+            AdmissionError::Overload {
+                demanded_ns,
+                round_ns,
+            } => write!(
                 f,
                 "reservation demand {demanded_ns}ns exceeds round {round_ns}ns"
             ),
@@ -203,11 +210,12 @@ impl CalendarPlan {
             for occ in 0..occurrences {
                 let window_start = r.period.as_ns() * occ;
                 let window_end = r.period.as_ns() * (occ + 1);
-                let placed = find_first_fit(&allocated, window_start, window_end, len)
-                    .ok_or(AdmissionError::NoFit {
+                let placed = find_first_fit(&allocated, window_start, window_end, len).ok_or(
+                    AdmissionError::NoFit {
                         etag: r.etag,
                         occurrence: occ as u32,
-                    })?;
+                    },
+                )?;
                 insert_interval(&mut allocated, (placed, placed + len));
                 slots.push(PlannedSlot {
                     etag: r.etag,
@@ -313,8 +321,7 @@ mod tests {
 
     #[test]
     fn single_channel_plans_one_slot_per_period() {
-        let plan =
-            CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 5, 2)], T, GAP).unwrap();
+        let plan = CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 5, 2)], T, GAP).unwrap();
         assert_eq!(plan.slots.len(), 2);
         assert_eq!(plan.slots[0].occurrence, 0);
         assert_eq!(plan.slots[1].occurrence, 1);
@@ -325,13 +332,8 @@ mod tests {
 
     #[test]
     fn multiple_channels_do_not_overlap() {
-        let requests = [
-            req(1, 0, 5, 1),
-            req(2, 1, 5, 1),
-            req(3, 2, 10, 0),
-        ];
-        let plan =
-            CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
+        let requests = [req(1, 0, 5, 1), req(2, 1, 5, 1), req(3, 2, 10, 0)];
+        let plan = CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
         assert_eq!(plan.slots.len(), 2 + 2 + 1);
         plan.validate().unwrap();
     }
@@ -340,7 +342,10 @@ mod tests {
     fn period_must_divide_round() {
         let err =
             CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 3, 0)], T, GAP).unwrap_err();
-        assert!(matches!(err, AdmissionError::PeriodNotDividingRound { etag: 1, .. }));
+        assert!(matches!(
+            err,
+            AdmissionError::PeriodNotDividingRound { etag: 1, .. }
+        ));
     }
 
     #[test]
@@ -349,16 +354,14 @@ mod tests {
         // 14.4 ms per 1 ms round.
         let requests: Vec<SlotRequest> =
             (0..20).map(|i| req(i as u16 + 1, i as u8, 1, 2)).collect();
-        let err =
-            CalendarPlan::plan(Duration::from_ms(1), &requests, T, GAP).unwrap_err();
+        let err = CalendarPlan::plan(Duration::from_ms(1), &requests, T, GAP).unwrap_err();
         assert!(matches!(err, AdmissionError::Overload { .. }));
     }
 
     #[test]
     fn tight_but_feasible_set_is_admitted() {
         // One k=2 slot (~720 µs) per 1 ms period: utilization ~0.72.
-        let plan =
-            CalendarPlan::plan(Duration::from_ms(4), &[req(1, 0, 1, 2)], T, GAP).unwrap();
+        let plan = CalendarPlan::plan(Duration::from_ms(4), &[req(1, 0, 1, 2)], T, GAP).unwrap();
         assert_eq!(plan.slots.len(), 4);
         let u = plan.reserved_utilization();
         assert!(u > 0.7 && u < 0.75, "u = {u}");
@@ -377,7 +380,10 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, AdmissionError::Overload { .. } | AdmissionError::NoFit { .. }),
+            matches!(
+                err,
+                AdmissionError::Overload { .. } | AdmissionError::NoFit { .. }
+            ),
             "{err:?}"
         );
     }
@@ -400,8 +406,7 @@ mod tests {
         // §3.1: multiple publishers of one subject need one reservation
         // each.
         let requests = [req(5, 0, 10, 1), req(5, 1, 10, 1)];
-        let plan =
-            CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
+        let plan = CalendarPlan::plan(Duration::from_ms(10), &requests, T, GAP).unwrap();
         assert_eq!(plan.slots.len(), 2);
         assert_ne!(plan.slots[0].publisher, plan.slots[1].publisher);
         plan.validate().unwrap();
@@ -409,8 +414,7 @@ mod tests {
 
     #[test]
     fn slot_offsets_expose_fig3_structure() {
-        let plan =
-            CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 10, 1)], T, GAP).unwrap();
+        let plan = CalendarPlan::plan(Duration::from_ms(10), &[req(1, 0, 10, 1)], T, GAP).unwrap();
         let s = &plan.slots[0];
         assert!(s.start < s.lst());
         assert!(s.lst() < s.deadline());
@@ -430,7 +434,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = AdmissionError::NoFit { etag: 3, occurrence: 1 };
+        let e = AdmissionError::NoFit {
+            etag: 3,
+            occurrence: 1,
+        };
         assert!(format!("{e}").contains("etag 3"));
     }
 }

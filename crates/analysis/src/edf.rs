@@ -84,11 +84,7 @@ pub fn priority_for_deadline(deadline: Time, now: Time, config: &PrioritySlotCon
 /// `deadline` next decreases (crosses into the next-more-urgent slot),
 /// or `None` if it is already at `p_min`. Drives the middleware's
 /// promotion timers.
-pub fn next_promotion_time(
-    deadline: Time,
-    now: Time,
-    config: &PrioritySlotConfig,
-) -> Option<Time> {
+pub fn next_promotion_time(deadline: Time, now: Time, config: &PrioritySlotConfig) -> Option<Time> {
     let remaining = deadline.saturating_since(now);
     if remaining <= config.slot {
         return None; // already (or about to be) most urgent
@@ -151,10 +147,7 @@ mod tests {
         let d = Time::from_ms(5);
         assert_eq!(priority_for_deadline(d, d, &c), 1);
         // And stays clamped when the deadline is past.
-        assert_eq!(
-            priority_for_deadline(d, d + Duration::from_ms(1), &c),
-            1
-        );
+        assert_eq!(priority_for_deadline(d, d + Duration::from_ms(1), &c), 1);
     }
 
     #[test]
@@ -212,9 +205,7 @@ mod tests {
         let wide = cfg(1_000);
         let narrow = cfg(10);
         let w = Duration::from_ms(10);
-        assert!(
-            expected_tie_fraction(50, w, &narrow) < expected_tie_fraction(50, w, &wide)
-        );
+        assert!(expected_tie_fraction(50, w, &narrow) < expected_tie_fraction(50, w, &wide));
         assert_eq!(expected_tie_fraction(1, w, &wide), 0.0);
     }
 }

@@ -226,11 +226,7 @@ mod tests {
         // NP-EDF reaches very high utilization when deadlines are loose
         // relative to frame times — the paper's motivation for EDF over
         // static priorities.
-        let set = [
-            msg(8, 400, 400),
-            msg(8, 800, 800),
-            msg(8, 1_600, 1_600),
-        ];
+        let set = [msg(8, 400, 400), msg(8, 800, 800), msg(8, 1_600, 1_600)];
         let r = np_edf_feasible(&set, T);
         assert!(r.utilization > 0.69, "u = {}", r.utilization);
         assert!(r.feasible, "{r:?}");

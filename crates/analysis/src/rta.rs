@@ -72,8 +72,7 @@ pub fn rta_feasible(set: &[MessageSpec], timing: BitTiming) -> Vec<RtaResult> {
                 .map(|j| j.frame_time(timing))
                 .max()
                 .unwrap_or(Duration::ZERO);
-            let hp: Vec<&MessageSpec> =
-                set.iter().filter(|j| j.priority < m.priority).collect();
+            let hp: Vec<&MessageSpec> = set.iter().filter(|j| j.priority < m.priority).collect();
             // Fixed-point iteration for the queueing delay w.
             let mut w = b_m;
             let limit = m.deadline * 4 + Duration::from_ms(100); // divergence guard

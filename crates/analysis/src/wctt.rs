@@ -27,7 +27,9 @@
 //!   regardless, which is what removes the jitter;
 //! * `ΔG_min` separates adjacent slots against clock-precision error.
 
-use rtec_can::bits::{worst_case_frame_bits, BitTiming, ERROR_FRAME_BITS, PAPER_LONGEST_FRAME_BITS};
+use rtec_can::bits::{
+    worst_case_frame_bits, BitTiming, ERROR_FRAME_BITS, PAPER_LONGEST_FRAME_BITS,
+};
 use rtec_sim::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +129,11 @@ mod tests {
         let l0 = slot_layout(8, 0, T, Duration::from_us(40));
         let l2 = slot_layout(8, 2, T, Duration::from_us(40));
         assert!(l2.total() > l0.total());
-        assert_eq!(l2.lst_offset(), l0.lst_offset(), "LST offset is k-independent");
+        assert_eq!(
+            l2.lst_offset(),
+            l0.lst_offset(),
+            "LST offset is k-independent"
+        );
     }
 
     #[test]

@@ -13,12 +13,10 @@ use rtec_can::NodeId;
 use rtec_sim::{Duration, Time};
 
 fn arb_cfg() -> impl Strategy<Value = PrioritySlotConfig> {
-    (1u64..5_000, 1u8..100, 150u8..=250).prop_map(|(slot_us, p_min, p_max)| {
-        PrioritySlotConfig {
-            slot: Duration::from_us(slot_us),
-            p_min,
-            p_max,
-        }
+    (1u64..5_000, 1u8..100, 150u8..=250).prop_map(|(slot_us, p_min, p_max)| PrioritySlotConfig {
+        slot: Duration::from_us(slot_us),
+        p_min,
+        p_max,
     })
 }
 

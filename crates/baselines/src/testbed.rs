@@ -259,7 +259,10 @@ impl<P: TxPolicy> SchedWorld<P> {
         let s = self.streams[stream_idx];
         // Schedule the stream's next release.
         let next = self.gens[stream_idx].next_release();
-        ctx.at(next.max(now + Duration::from_ns(1)), TbEvent::Release(stream_idx));
+        ctx.at(
+            next.max(now + Duration::from_ns(1)),
+            TbEvent::Release(stream_idx),
+        );
         // Enqueue this message.
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -308,7 +311,10 @@ impl<P: TxPolicy> SchedWorld<P> {
             .policy
             .next_change(&self.streams[stream_idx], deadline, now)
         {
-            ctx.at(t.max(now + Duration::from_ns(1)), TbEvent::Promote { node, seq });
+            ctx.at(
+                t.max(now + Duration::from_ns(1)),
+                TbEvent::Promote { node, seq },
+            );
         }
     }
 
@@ -457,13 +463,7 @@ mod tests {
     #[test]
     fn identical_workload_across_policies() {
         let mut rng = Rng::seed_from_u64(2);
-        let set = uniform_srt_set(
-            6,
-            3,
-            Duration::from_ms(5),
-            Duration::from_ms(50),
-            &mut rng,
-        );
+        let set = uniform_srt_set(6, 3, Duration::from_ms(5), Duration::from_ms(50), &mut rng);
         let horizon = Duration::from_secs(1);
         let a = run_testbed(EdfPolicy::default(), config(set.clone()), horizon);
         let b = run_testbed(
@@ -487,11 +487,7 @@ mod tests {
                 rel_expiration: None,
             })
             .collect();
-        let stats = run_testbed(
-            EdfPolicy::default(),
-            config(set),
-            Duration::from_ms(100),
-        );
+        let stats = run_testbed(EdfPolicy::default(), config(set), Duration::from_ms(100));
         assert!(stats.missed > 0, "overload must miss deadlines");
         assert!(stats.backlog > 0, "overload builds a backlog");
         assert!(stats.miss_ratio() > 0.5);
@@ -526,17 +522,9 @@ mod tests {
         // releases bursts that under DM always lose to shorter-deadline
         // streams even when its absolute deadline is imminent.
         let mut rng = Rng::seed_from_u64(5);
-        let base = uniform_srt_set(
-            12,
-            6,
-            Duration::from_ms(2),
-            Duration::from_ms(40),
-            &mut rng,
-        );
-        let set = rtec_workloads::scale_load(
-            &base,
-            0.92 / set_utilization(&base, BitTiming::MBIT_1),
-        );
+        let base = uniform_srt_set(12, 6, Duration::from_ms(2), Duration::from_ms(40), &mut rng);
+        let set =
+            rtec_workloads::scale_load(&base, 0.92 / set_utilization(&base, BitTiming::MBIT_1));
         let horizon = Duration::from_secs(2);
         let edf = run_testbed(EdfPolicy::default(), config(set.clone()), horizon);
         let dm = run_testbed(

@@ -78,7 +78,10 @@ pub struct TtcanConfig {
 impl TtcanConfig {
     /// Total length of the basic cycle.
     pub fn cycle_len(&self) -> Duration {
-        self.cycle.iter().map(|w| w.len).fold(Duration::ZERO, |a, b| a + b)
+        self.cycle
+            .iter()
+            .map(|w| w.len)
+            .fold(Duration::ZERO, |a, b| a + b)
     }
 }
 
@@ -203,10 +206,7 @@ impl TtcanWorld {
                     // transmitted, no early stop.
                     let copies = self.config.redundancy_k + 1;
                     for c in 0..copies {
-                        let frame = Frame::new(
-                            CanId::new(PRIO_HRT, owner.0, etag),
-                            &[c as u8; 8],
-                        );
+                        let frame = Frame::new(CanId::new(PRIO_HRT, owner.0, etag), &[c as u8; 8]);
                         let mut sched = MapScheduler::new(ctx, wrap);
                         self.bus.submit(
                             &mut sched,
@@ -400,7 +400,10 @@ mod tests {
         // Background only ran inside arbitrating windows: utilization is
         // capped well below the offered load.
         let util = bus.utilization(Duration::from_ms(100));
-        assert!(util < 0.35, "background confined to arbitrating windows: {util}");
+        assert!(
+            util < 0.35,
+            "background confined to arbitrating windows: {util}"
+        );
         assert!(stats.background_completed > 0);
         assert!(
             stats.background_completed < stats.background_released,
@@ -416,7 +419,11 @@ mod tests {
         let mut cfg = base_config();
         cfg.background_mean_gap = Some(Duration::from_us(100)); // heavy
         let (stats, _) = run_ttcan(cfg, Duration::from_ms(50));
-        assert!(stats.exclusive_tx >= 50 * 2 * 2 - 4, "{}", stats.exclusive_tx);
+        assert!(
+            stats.exclusive_tx >= 50 * 2 * 2 - 4,
+            "{}",
+            stats.exclusive_tx
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@
 
 use rtec_can::bits::exact_frame_bits;
 use rtec_can::{
-    BusConfig, CanBus, CanEvent, CanId, FaultInjector, FilterMode, Frame,
-    MapScheduler, NodeId, Notification, TxRequest, PRIO_HRT,
+    BusConfig, CanBus, CanEvent, CanId, FaultInjector, FilterMode, Frame, MapScheduler, NodeId,
+    Notification, TxRequest, PRIO_HRT,
 };
 use rtec_sim::{Ctx, Duration, Engine, Histogram, Model, Rng, RngStreams, Time};
 use serde::{Deserialize, Serialize};
@@ -109,7 +109,8 @@ impl TtpaWorld {
         let streams = RngStreams::new(config.seed);
         let mut bus = CanBus::new(config.bus, num_nodes, FaultInjector::none());
         for i in 0..num_nodes {
-            bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+            bus.controller_mut(NodeId(i as u8))
+                .set_filter_mode(FilterMode::AcceptAll);
         }
         let n_slaves = config.slaves.len();
         let kill = config.kill_master_at;
@@ -318,6 +319,9 @@ mod tests {
     fn round_wire_time_is_consistent() {
         let t = round_wire_time(&config());
         // 1 poll (~70 µs) + two 8-byte (~135 µs) + one 4-byte (~100 µs).
-        assert!(t > Duration::from_us(300) && t < Duration::from_us(550), "{t}");
+        assert!(
+            t > Duration::from_us(300) && t < Duration::from_us(550),
+            "{t}"
+        );
     }
 }

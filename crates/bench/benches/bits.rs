@@ -8,12 +8,7 @@ use std::hint::black_box;
 
 fn bench_bits(c: &mut Criterion) {
     let frames: Vec<Frame> = (0..=8u8)
-        .map(|dlc| {
-            Frame::new(
-                CanId::new(dlc, 7, 0x1234),
-                &(0..dlc).collect::<Vec<u8>>(),
-            )
-        })
+        .map(|dlc| Frame::new(CanId::new(dlc, 7, 0x1234), &(0..dlc).collect::<Vec<u8>>()))
         .collect();
 
     c.bench_function("exact_frame_bits/dlc8", |b| {

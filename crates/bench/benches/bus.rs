@@ -48,7 +48,10 @@ impl Model for Saturator {
 }
 
 fn submit(bus: &mut CanBus, ctx: &mut Ctx<Ev>, node: u8) {
-    let frame = Frame::new(CanId::new(100 + node, node, 500 + u16::from(node)), &[node; 8]);
+    let frame = Frame::new(
+        CanId::new(100 + node, node, 500 + u16::from(node)),
+        &[node; 8],
+    );
     let mut sched = MapScheduler::new(ctx, Ev::Can);
     bus.submit(
         &mut sched,
@@ -64,7 +67,8 @@ fn submit(bus: &mut CanBus, ctx: &mut Ctx<Ev>, node: u8) {
 fn run_saturated(nodes: usize, sim_ms: u64) -> u64 {
     let mut bus = CanBus::new(BusConfig::default(), nodes, FaultInjector::none());
     for i in 0..nodes {
-        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+        bus.controller_mut(NodeId(i as u8))
+            .set_filter_mode(FilterMode::AcceptAll);
     }
     let mut engine = Engine::new(Saturator {
         bus,

@@ -33,9 +33,12 @@ fn full_stack_run(ms: u64) -> u64 {
             .unwrap();
         api.announce(NodeId(4), bulk, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        api.subscribe(NodeId(2), sensor, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(3), noise, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(5), bulk, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(2), sensor, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(3), noise, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(5), bulk, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
     }
     net.every(Duration::from_ms(10), Duration::from_us(100), move |api| {

@@ -13,13 +13,7 @@ use std::hint::black_box;
 
 fn workload(load: f64) -> Vec<StreamSpec> {
     let mut rng = Rng::seed_from_u64(5);
-    let base = uniform_srt_set(
-        12,
-        6,
-        Duration::from_ms(2),
-        Duration::from_ms(50),
-        &mut rng,
-    );
+    let base = uniform_srt_set(12, 6, Duration::from_ms(2), Duration::from_ms(50), &mut rng);
     scale_load(&base, load / set_utilization(&base, BitTiming::MBIT_1))
 }
 

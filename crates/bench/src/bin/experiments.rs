@@ -5,6 +5,7 @@
 //! experiments e3 e5           # run selected experiments
 //! experiments all --quick     # shrunken horizons (smoke run)
 //! experiments all --seed 7    # different seed
+//! experiments all --no-conformance  # skip the conformance linter/auditor
 //! experiments --list          # show the index
 //! ```
 
@@ -20,6 +21,7 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--no-conformance" => opts.conformance = false,
             "--seed" => {
                 let v = iter.next().expect("--seed needs a value");
                 opts.seed = v.parse().expect("--seed needs an integer");
@@ -44,7 +46,12 @@ fn main() {
     let mut ran = 0;
     for e in &registry {
         if run_all || selected.iter().any(|s| s == e.id) {
-            eprintln!("=== {} — {} ({}) ===", e.id, e.what, if opts.quick { "quick" } else { "full" });
+            eprintln!(
+                "=== {} — {} ({}) ===",
+                e.id,
+                e.what,
+                if opts.quick { "quick" } else { "full" }
+            );
             for table in (e.run)(&opts) {
                 println!("{table}");
             }

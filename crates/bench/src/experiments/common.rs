@@ -47,7 +47,11 @@ pub fn hrt_sensor(
     net.every(period, Duration::from_us(100), move |api| {
         if rng.borrow_mut().gen_bool(publish_prob) {
             let stamp = api.now().as_ns().to_le_bytes();
-            let _ = api.publish(NodeId(0), HRT_SUBJECT, Event::new(HRT_SUBJECT, stamp.to_vec()));
+            let _ = api.publish(
+                NodeId(0),
+                HRT_SUBJECT,
+                Event::new(HRT_SUBJECT, stamp.to_vec()),
+            );
         }
     });
     q
@@ -68,7 +72,8 @@ pub fn srt_background(net: &mut Network, from: NodeId, to: NodeId, gap: Duration
             }),
         )
         .unwrap();
-        api.subscribe(to, SRT_SUBJECT, SubscribeSpec::default()).unwrap()
+        api.subscribe(to, SRT_SUBJECT, SubscribeSpec::default())
+            .unwrap()
     };
     net.every(gap, Duration::from_us(7), move |api| {
         let _ = api.publish(from, SRT_SUBJECT, Event::new(SRT_SUBJECT, vec![0x5A; 8]));
@@ -79,4 +84,20 @@ pub fn srt_background(net: &mut Network, from: NodeId, to: NodeId, gap: Duration
 /// Etag of a subject after binding.
 pub fn etag(net: &Network, s: Subject) -> u16 {
     net.world().registry().etag_of(s).expect("subject bound")
+}
+
+/// Arm conformance checking on a freshly built network: when the run
+/// options ask for it, enable tracing so [`conformance_check`] has a
+/// trace to audit after the run.
+pub fn conformance_arm(opts: &crate::RunOpts, net: &mut Network) -> Option<rtec_sim::TraceSink> {
+    opts.conformance.then(|| net.enable_trace())
+}
+
+/// Lint the network's configuration and audit the recorded trace;
+/// abort the experiment on any error-severity finding. Warnings are
+/// tolerated (sweeps deliberately visit stressed configurations).
+pub fn conformance_check(net: &Network, sink: &Option<rtec_sim::TraceSink>, what: &str) {
+    let Some(sink) = sink else { return };
+    let report = rtec_conformance::check_network(net, sink);
+    assert!(report.passes(), "conformance failure in {what}:\n{report}");
 }

@@ -65,6 +65,29 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         match CalendarPlan::plan(Duration::from_ms(10), &requests, timing, gap) {
             Ok(plan) => {
                 plan.validate().expect("planned calendar is consistent");
+                if opts.conformance {
+                    // Every admitted plan must also pass the static linter.
+                    let mut li =
+                        rtec_conformance::LintInput::new(64, timing, Duration::from_ms(10));
+                    li.calendar = Some(plan.clone());
+                    li.channels = requests
+                        .iter()
+                        .map(|r| rtec_conformance::ChannelDecl {
+                            etag: r.etag,
+                            publisher: r.publisher,
+                            spec: rtec_core::channel::ChannelSpec::hrt(
+                                rtec_core::channel::HrtSpec {
+                                    period: r.period,
+                                    dlc: r.dlc,
+                                    omission_degree: r.omission_degree,
+                                    sporadic: false,
+                                },
+                            ),
+                        })
+                        .collect();
+                    let report = rtec_conformance::lint(&li);
+                    assert!(report.passes(), "e10 lint (n = {n}):\n{report}");
+                }
                 adm.row(vec![
                     n.to_string(),
                     "admitted".to_string(),
@@ -75,7 +98,11 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
                 if first_reject.is_none() {
                     first_reject = Some(n);
                 }
-                adm.row(vec![n.to_string(), format!("rejected ({e})"), "-".to_string()]);
+                adm.row(vec![
+                    n.to_string(),
+                    format!("rejected ({e})"),
+                    "-".to_string(),
+                ]);
             }
         }
     }

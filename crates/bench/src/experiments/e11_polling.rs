@@ -6,7 +6,7 @@
 //! silences the bus entirely. The same sporadic traffic on an SRT event
 //! channel arbitrates onto the bus immediately.
 
-use super::common::SRT_SUBJECT;
+use super::common::{conformance_arm, conformance_check, SRT_SUBJECT};
 use crate::table::{us, Table};
 use crate::RunOpts;
 use rtec_baselines::{round_wire_time, run_ttpa, TtpaConfig};
@@ -18,13 +18,15 @@ use std::rc::Rc;
 
 fn rtec_sporadic_latency(opts: &RunOpts, mean_gap: Duration) -> (u64, f64, u64, u64) {
     let mut net = Network::builder().nodes(5).seed(opts.seed).build();
+    let sink = conformance_arm(opts, &mut net);
     {
         let mut api = net.api();
         for n in 1..=3u8 {
             let s = Subject::new(0xE110 + u64::from(n));
             api.announce(NodeId(n), s, ChannelSpec::srt(SrtSpec::default()))
                 .unwrap();
-            api.subscribe(NodeId(0), s, SubscribeSpec::default()).unwrap();
+            api.subscribe(NodeId(0), s, SubscribeSpec::default())
+                .unwrap();
         }
     }
     // Poisson sporadic events at random slaves (same process as the
@@ -43,6 +45,7 @@ fn rtec_sporadic_latency(opts: &RunOpts, mean_gap: Duration) -> (u64, f64, u64, 
         }
     });
     net.run_for(opts.horizon(Duration::from_secs(5)));
+    conformance_check(&net, &sink, "e11");
     let mut latencies = rtec_sim::Histogram::new();
     for n in 1..=3u8 {
         let etag = net

@@ -7,7 +7,9 @@
 //! delivery deadline. The ablation row disables deferred delivery to
 //! show the jitter the application would otherwise see.
 
-use super::common::{etag, hrt_sensor, srt_background, HRT_SUBJECT};
+use super::common::{
+    conformance_arm, conformance_check, etag, hrt_sensor, srt_background, HRT_SUBJECT,
+};
 use crate::table::{us, Table};
 use crate::{RunOpts, Table as T};
 use rtec_can::bits::BitTiming;
@@ -29,14 +31,19 @@ fn run_one(opts: &RunOpts, deferred: bool) -> Outcome {
         .seed(opts.seed)
         .hrt_deferred_delivery(deferred)
         .build();
+    let sink = conformance_arm(opts, &mut net);
     let q = hrt_sensor(&mut net, Duration::from_ms(10), 2, 1.0, opts.seed);
     let _bg = srt_background(&mut net, NodeId(1), NodeId(3), Duration::from_us(137));
     net.run_for(opts.horizon(Duration::from_secs(2)));
+    conformance_check(&net, &sink, "e1");
     let deliveries = q.drain();
     let mut p2p_min = u64::MAX;
     let mut p2p_max = 0u64;
     for w in deliveries.windows(2) {
-        let gap = w[1].delivered_at.saturating_since(w[0].delivered_at).as_ns();
+        let gap = w[1]
+            .delivered_at
+            .saturating_since(w[0].delivered_at)
+            .as_ns();
         p2p_min = p2p_min.min(gap);
         p2p_max = p2p_max.max(gap);
     }
@@ -67,8 +74,10 @@ pub fn run(opts: &RunOpts) -> Vec<T> {
             "missing",
         ],
     );
-    for (name, o) in [("deliver-at-deadline (paper)", &paper), ("immediate (ablation)", &ablation)]
-    {
+    for (name, o) in [
+        ("deliver-at-deadline (paper)", &paper),
+        ("immediate (ablation)", &ablation),
+    ] {
         t.row(vec![
             name.to_string(),
             o.deliveries.to_string(),

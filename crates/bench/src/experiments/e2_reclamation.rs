@@ -7,7 +7,7 @@
 //! Sweeping the fraction of slots actually used, we measure the
 //! background throughput each scheme sustains.
 
-use super::common::{srt_background, SRT_SUBJECT};
+use super::common::{conformance_arm, conformance_check, srt_background, SRT_SUBJECT};
 use crate::table::{f, Table};
 use crate::RunOpts;
 use rtec_baselines::{run_ttcan, TtcanConfig, Window, WindowKind};
@@ -26,6 +26,7 @@ fn rtec_run(opts: &RunOpts, use_prob: f64) -> (f64, f64) {
         .round(Duration::from_ms(5))
         .seed(opts.seed)
         .build();
+    let sink = conformance_arm(opts, &mut net);
     {
         let mut api = net.api();
         for i in 0..N_HRT {
@@ -41,7 +42,8 @@ fn rtec_run(opts: &RunOpts, use_prob: f64) -> (f64, f64) {
                 }),
             )
             .unwrap();
-            api.subscribe(NodeId(6), s, SubscribeSpec::default()).unwrap();
+            api.subscribe(NodeId(6), s, SubscribeSpec::default())
+                .unwrap();
         }
     }
     let bg_q = srt_background(&mut net, NodeId(5), NodeId(7), Duration::from_us(120));
@@ -61,6 +63,7 @@ fn rtec_run(opts: &RunOpts, use_prob: f64) -> (f64, f64) {
     });
     let horizon = opts.horizon(Duration::from_secs(2));
     net.run_for(horizon);
+    conformance_check(&net, &sink, "e2");
     let srt_tput = bg_q.len() as f64 / horizon.as_secs_f64();
     let util = net.world().bus.stats.utilization(horizon);
     let _ = SRT_SUBJECT;

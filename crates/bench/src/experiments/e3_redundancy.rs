@@ -8,7 +8,7 @@
 //! copies. This is why "very conservative fault assumptions are
 //! possible because the penalty is low in the average" (§3.2).
 
-use super::common::{etag, hrt_sensor, HRT_SUBJECT};
+use super::common::{conformance_arm, conformance_check, etag, hrt_sensor, HRT_SUBJECT};
 use crate::table::{f, Table};
 use crate::RunOpts;
 use rtec_can::{FaultModel, OmissionScope};
@@ -25,8 +25,10 @@ fn rtec_extra_tx(opts: &RunOpts, omission_p: f64, k: u32) -> (f64, u64, u64) {
             omission_scope: OmissionScope::AllReceivers,
         })
         .build();
+    let sink = conformance_arm(opts, &mut net);
     let _q = hrt_sensor(&mut net, Duration::from_ms(10), k, 1.0, opts.seed);
     net.run_for(opts.horizon(Duration::from_secs(5)));
+    conformance_check(&net, &sink, "e3");
     let ch = net.stats().channel(etag(&net, HRT_SUBJECT));
     let extra = if ch.published == 0 {
         0.0

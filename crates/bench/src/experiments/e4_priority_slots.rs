@@ -49,12 +49,18 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
             p_min: 1,
             p_max: 250,
         };
+        if opts.conformance {
+            // The swept Δt_p values must at least be statically sane
+            // (S3/S5); extreme points may warn but never error.
+            let mut li =
+                rtec_conformance::LintInput::new(64, BitTiming::MBIT_1, Duration::from_ms(10));
+            li.priority_slots = cfg;
+            let report = rtec_conformance::lint(&li);
+            assert!(report.passes(), "e4 lint (Δt_p = {slot_us} us):\n{report}");
+        }
         let dh = time_horizon(&cfg);
         let ties = expected_tie_fraction(set.len() as u64, deadline_window, &cfg);
-        let beyond = set
-            .iter()
-            .filter(|s| s.rel_deadline > dh)
-            .count();
+        let beyond = set.iter().filter(|s| s.rel_deadline > dh).count();
         let stats = run_testbed(
             EdfPolicy { cfg },
             TestbedConfig {

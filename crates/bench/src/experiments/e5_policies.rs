@@ -20,15 +20,28 @@ use rtec_workloads::{scale_load, set_utilization, uniform_srt_set};
 /// Run E5.
 pub fn run(opts: &RunOpts) -> Vec<Table> {
     let mut rng = Rng::seed_from_u64(opts.seed);
-    let base = uniform_srt_set(
-        12,
-        6,
-        Duration::from_ms(2),
-        Duration::from_ms(50),
-        &mut rng,
-    );
+    let base = uniform_srt_set(12, 6, Duration::from_ms(2), Duration::from_ms(50), &mut rng);
     let base_util = set_utilization(&base, BitTiming::MBIT_1);
     let horizon = opts.horizon(Duration::from_secs(4));
+
+    if opts.conformance {
+        // Lint the workload as SRT channel declarations: deadlines vs
+        // the ΔH horizon, expirations vs deadlines, band partition.
+        let mut li = rtec_conformance::LintInput::new(64, BitTiming::MBIT_1, Duration::from_ms(10));
+        li.channels = base
+            .iter()
+            .map(|s| rtec_conformance::ChannelDecl {
+                etag: 16 + s.id,
+                publisher: s.node,
+                spec: rtec_core::channel::ChannelSpec::srt(rtec_core::channel::SrtSpec {
+                    default_deadline: s.rel_deadline,
+                    default_expiration: s.rel_expiration,
+                }),
+            })
+            .collect();
+        let report = rtec_conformance::lint(&li);
+        assert!(report.passes(), "e5 lint:\n{report}");
+    }
 
     let mut t = Table::new(
         "E5: deadline-miss ratio vs offered load (identical workloads)",
@@ -65,11 +78,7 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
             horizon,
         );
         let edf_exp = run_testbed(EdfPolicy::default(), cfg(true), horizon);
-        let edf_static = run_testbed(
-            NoPromotion(EdfPolicy::default()),
-            cfg(false),
-            horizon,
-        );
+        let edf_static = run_testbed(NoPromotion(EdfPolicy::default()), cfg(false), horizon);
         t.row(vec![
             f(load),
             f(edf.miss_ratio()),
@@ -95,6 +104,9 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
          only under transient overload, and the expiration attribute sheds stale \
          events instead of letting queues grow without bound (§2.2.2).",
     );
-    t.note(format!("seed={}, base utilization {:.3}", opts.seed, base_util));
+    t.note(format!(
+        "seed={}, base utilization {:.3}",
+        opts.seed, base_util
+    ));
     vec![t]
 }

@@ -7,7 +7,7 @@
 //! sides (RedundancyExhausted at the publisher, MissingEvent at the
 //! subscriber) rather than silently degrading.
 
-use super::common::{etag, HRT_SUBJECT};
+use super::common::{conformance_arm, conformance_check, etag, HRT_SUBJECT};
 use crate::table::Table;
 use crate::RunOpts;
 use rtec_analysis::wctt::wctt;
@@ -33,6 +33,7 @@ fn run_one(opts: &RunOpts, inject: u32) -> Outcome {
         .round(Duration::from_ms(10))
         .seed(opts.seed)
         .build();
+    let sink = conformance_arm(opts, &mut net);
     let q = {
         let mut api = net.api();
         api.announce(
@@ -46,7 +47,9 @@ fn run_one(opts: &RunOpts, inject: u32) -> Outcome {
             }),
         )
         .unwrap();
-        let q = api.subscribe(NodeId(2), HRT_SUBJECT, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(2), HRT_SUBJECT, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
@@ -63,6 +66,7 @@ fn run_one(opts: &RunOpts, inject: u32) -> Outcome {
         let _ = api.publish(NodeId(0), HRT_SUBJECT, Event::new(HRT_SUBJECT, vec![7; 8]));
     });
     net.run_for(opts.horizon(Duration::from_secs(2)));
+    conformance_check(&net, &sink, "e6");
     let delivered = q.drain().len() as u64;
     let st = net.stats();
     let ch = st.channel(tag);

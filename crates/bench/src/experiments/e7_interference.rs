@@ -6,7 +6,9 @@
 //! Four background scenarios of increasing hostility are thrown at the
 //! same HRT channel.
 
-use super::common::{etag, hrt_sensor, srt_background, HRT_SUBJECT, NRT_SUBJECT};
+use super::common::{
+    conformance_arm, conformance_check, etag, hrt_sensor, srt_background, HRT_SUBJECT, NRT_SUBJECT,
+};
 use crate::table::{us, Table};
 use crate::RunOpts;
 use rtec_can::bits::BitTiming;
@@ -26,6 +28,7 @@ fn run_one(opts: &RunOpts, srt_storm: bool, nrt_bulk: bool) -> Outcome {
         .round(Duration::from_ms(10))
         .seed(opts.seed)
         .build();
+    let sink = conformance_arm(opts, &mut net);
     let q = hrt_sensor(&mut net, Duration::from_ms(10), 1, 1.0, opts.seed);
     if srt_storm {
         let _ = srt_background(&mut net, NodeId(1), NodeId(3), Duration::from_us(125));
@@ -49,11 +52,15 @@ fn run_one(opts: &RunOpts, srt_storm: bool, nrt_bulk: bool) -> Outcome {
     }
     let horizon = opts.horizon(Duration::from_secs(2));
     net.run_for(horizon);
+    conformance_check(&net, &sink, "e7");
     let deliveries = q.drain();
     let mut gmin = u64::MAX;
     let mut gmax = 0u64;
     for w in deliveries.windows(2) {
-        let g = w[1].delivered_at.saturating_since(w[0].delivered_at).as_ns();
+        let g = w[1]
+            .delivered_at
+            .saturating_since(w[0].delivered_at)
+            .as_ns();
         gmin = gmin.min(g);
         gmax = gmax.max(g);
     }
@@ -94,7 +101,12 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
             o.delivered.to_string(),
             o.missing.to_string(),
             us(o.max_blocking_ns),
-            if o.max_blocking_ns <= bound { "yes" } else { "NO" }.to_string(),
+            if o.max_blocking_ns <= bound {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             us(o.jitter_ns),
             format!("{:.2}", o.bus_util),
         ]);

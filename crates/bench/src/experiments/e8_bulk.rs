@@ -5,7 +5,9 @@
 //! transfer soaks up whatever bandwidth is left (including reclaimed
 //! HRT slot time) without ever disturbing the real-time classes.
 
-use super::common::{etag, hrt_sensor, srt_background, HRT_SUBJECT, NRT_SUBJECT};
+use super::common::{
+    conformance_arm, conformance_check, etag, hrt_sensor, srt_background, HRT_SUBJECT, NRT_SUBJECT,
+};
 use crate::table::{f, Table};
 use crate::RunOpts;
 use rtec_core::frag::fragment_count;
@@ -30,8 +32,15 @@ fn run_one(opts: &RunOpts, n_hrt: bool, srt: bool) -> Outcome {
         .round(Duration::from_ms(10))
         .seed(opts.seed)
         .build();
+    let sink = conformance_arm(opts, &mut net);
     let hrt_q = if n_hrt {
-        Some(hrt_sensor(&mut net, Duration::from_ms(10), 2, 1.0, opts.seed))
+        Some(hrt_sensor(
+            &mut net,
+            Duration::from_ms(10),
+            2,
+            1.0,
+            opts.seed,
+        ))
     } else {
         None
     };
@@ -68,6 +77,7 @@ fn run_one(opts: &RunOpts, n_hrt: bool, srt: bool) -> Outcome {
     // bus; give head-room for loaded runs. Not shortened in quick mode
     // (the transfer must complete), but the claim sweep stays feasible.
     net.run_for(Duration::from_secs(12));
+    conformance_check(&net, &sink, "e8");
     let transfer = match (*started_at.borrow(), *done_at.borrow()) {
         (Some(s), Some(d)) => Some(d.saturating_since(s)),
         _ => None,
@@ -78,7 +88,10 @@ fn run_one(opts: &RunOpts, n_hrt: bool, srt: bool) -> Outcome {
             let mut lo = u64::MAX;
             let mut hi = 0u64;
             for w in deliveries.windows(2) {
-                let g = w[1].delivered_at.saturating_since(w[0].delivered_at).as_ns();
+                let g = w[1]
+                    .delivered_at
+                    .saturating_since(w[0].delivered_at)
+                    .as_ns();
                 lo = lo.min(g);
                 hi = hi.max(g);
             }
@@ -92,8 +105,7 @@ fn run_one(opts: &RunOpts, n_hrt: bool, srt: bool) -> Outcome {
     };
     Outcome {
         transfer_ms: transfer.map(|t| t.as_ms_f64()),
-        throughput_kbps: transfer
-            .map(|t| (IMAGE_LEN as f64 * 8.0 / 1000.0) / t.as_secs_f64()),
+        throughput_kbps: transfer.map(|t| (IMAGE_LEN as f64 * 8.0 / 1000.0) / t.as_secs_f64()),
         hrt_jitter_ns: hrt_jitter,
         hrt_missing,
     }

@@ -23,6 +23,16 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
         ],
     );
     let horizon = opts.horizon(Duration::from_secs(5));
+    if opts.conformance {
+        // The sync sweep uses the paper-default network parameters; they
+        // must at least be statically conformant.
+        let report = rtec_conformance::lint(&rtec_conformance::LintInput::new(
+            8,
+            rtec_can::bits::BitTiming::MBIT_1,
+            Duration::from_ms(10),
+        ));
+        assert!(report.passes(), "e9 lint:\n{report}");
+    }
     for drift in [10.0, 50.0, 100.0, 200.0] {
         for period_ms in [10u64, 50, 200] {
             let cfg = SyncConfig::typical(8, drift, Duration::from_ms(period_ms));
@@ -34,7 +44,12 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
                 format!("{period_ms} ms"),
                 format!("{:.1}", precision.as_us_f64()),
                 format!("{:.1}", gap.as_us_f64()),
-                if gap <= Duration::from_us(40) { "yes" } else { "no" }.to_string(),
+                if gap <= Duration::from_us(40) {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
         }
     }
@@ -44,6 +59,9 @@ pub fn run(opts: &RunOpts) -> Vec<Table> {
          (drift, resync) combinations honour it — e.g. ±100 ppm needs a resync \
          period of ~50 ms or better.",
     );
-    t.note(format!("seed={} (sync protocol itself is deterministic)", opts.seed));
+    t.note(format!(
+        "seed={} (sync protocol itself is deterministic)",
+        opts.seed
+    ));
     vec![t]
 }

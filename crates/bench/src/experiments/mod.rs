@@ -2,6 +2,8 @@
 //! experiment index.
 
 pub mod common;
+pub mod e10_admission;
+pub mod e11_polling;
 pub mod e1_slot_structure;
 pub mod e2_reclamation;
 pub mod e3_redundancy;
@@ -11,8 +13,6 @@ pub mod e6_fault_guarantees;
 pub mod e7_interference;
 pub mod e8_bulk;
 pub mod e9_clock_sync;
-pub mod e10_admission;
-pub mod e11_polling;
 
 use crate::{RunOpts, Table};
 

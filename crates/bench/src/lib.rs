@@ -27,6 +27,9 @@ pub struct RunOpts {
     pub quick: bool,
     /// Base seed for all experiments.
     pub seed: u64,
+    /// Record traces and run the conformance linter + auditor over every
+    /// simulation; any error-severity finding aborts the experiment.
+    pub conformance: bool,
 }
 
 impl Default for RunOpts {
@@ -34,6 +37,7 @@ impl Default for RunOpts {
         RunOpts {
             quick: false,
             seed: 42,
+            conformance: true,
         }
     }
 }

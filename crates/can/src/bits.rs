@@ -349,14 +349,8 @@ mod tests {
     #[test]
     fn bit_timing_rates() {
         assert_eq!(BitTiming::from_kbps(1000), BitTiming::MBIT_1);
-        assert_eq!(
-            BitTiming::from_kbps(125).bit_time,
-            Duration::from_ns(8_000)
-        );
-        assert_eq!(
-            BitTiming::MBIT_1.duration_of(100),
-            Duration::from_us(100)
-        );
+        assert_eq!(BitTiming::from_kbps(125).bit_time, Duration::from_ns(8_000));
+        assert_eq!(BitTiming::MBIT_1.duration_of(100), Duration::from_us(100));
     }
 
     #[test]
@@ -371,10 +365,7 @@ mod tests {
     #[test]
     fn bits_between() {
         let t = BitTiming::MBIT_1;
-        assert_eq!(
-            t.bits_between(Time::from_us(10), Time::from_us(25)),
-            15
-        );
+        assert_eq!(t.bits_between(Time::from_us(10), Time::from_us(25)), 15);
         assert_eq!(t.bits_between(Time::from_us(25), Time::from_us(10)), 0);
     }
 }

@@ -402,8 +402,7 @@ impl CanBus {
             .filter(|&(_, node)| {
                 let until = self.suspend_until[node.index()];
                 if now < until {
-                    suspended_min =
-                        Some(suspended_min.map_or(until, |m: Time| m.min(until)));
+                    suspended_min = Some(suspended_min.map_or(until, |m: Time| m.min(until)));
                     false
                 } else {
                     true
@@ -433,6 +432,22 @@ impl CanBus {
         }
         let (winner_id, winner_node) = candidates[0];
         self.stats.arbitrations += 1;
+        if self.trace.is_enabled() {
+            // One "cand" entry per contender: node in the high half,
+            // raw 29-bit identifier in the low half.
+            let mut fields: Vec<(&'static str, u64)> = candidates
+                .iter()
+                .map(|&(id, node)| ("cand", (u64::from(node.0) << 32) | u64::from(id.raw())))
+                .collect();
+            fields.push(("win", u64::from(winner_id.raw())));
+            self.trace.emit_kv(
+                now,
+                "bus",
+                "arb",
+                format!("{} contenders, winner {}", candidates.len(), winner_id),
+                fields,
+            );
+        }
 
         let controller = &mut self.controllers[winner_node.index()];
         let pending = controller
@@ -465,13 +480,12 @@ impl CanBus {
             FaultDecision::Corrupt { fraction } => {
                 // Bits on the wire before the error, then the error
                 // frame sequence.
-                let sent = ((f64::from(full_bits) * fraction).ceil() as u32)
-                    .clamp(1, full_bits);
+                let sent = ((f64::from(full_bits) * fraction).ceil() as u32).clamp(1, full_bits);
                 self.config.timing.duration_of(sent + ERROR_FRAME_BITS)
             }
             _ => self.config.timing.duration_of(full_bits),
         };
-        self.trace.emit(
+        self.trace.emit_kv(
             now,
             "bus",
             match decision {
@@ -480,6 +494,12 @@ impl CanBus {
                 FaultDecision::Ok => "tx_start",
             },
             format!("{} node={} attempt={}", frame.id, winner_node, attempts),
+            vec![
+                ("id", u64::from(frame.id.raw())),
+                ("node", u64::from(winner_node.0)),
+                ("attempt", u64::from(attempts)),
+                ("tag", tag),
+            ],
         );
         let ev = if matches!(decision, FaultDecision::Corrupt { .. }) {
             CanEvent::TxError
@@ -568,17 +588,22 @@ impl CanBus {
         }
         // Error-passive transmitters must insert a suspend pause before
         // contending again (8 bit times).
-        if self.controllers[fl.node.index()].error_state()
-            == crate::controller::ErrorState::Passive
+        if self.controllers[fl.node.index()].error_state() == crate::controller::ErrorState::Passive
         {
-            self.suspend_until[fl.node.index()] =
-                now + self.config.timing.duration_of(8);
+            self.suspend_until[fl.node.index()] = now + self.config.timing.duration_of(8);
         }
-        self.trace.emit(
+        self.trace.emit_kv(
             now,
             "bus",
             "tx_end",
             format!("{} all_received={}", fl.frame.id, all_received),
+            vec![
+                ("id", u64::from(fl.frame.id.raw())),
+                ("node", u64::from(fl.node.0)),
+                ("attempt", u64::from(fl.attempts)),
+                ("tag", fl.tag),
+                ("all", u64::from(all_received)),
+            ],
         );
         notes.push(Notification::TxCompleted {
             node: fl.node,
@@ -623,11 +648,17 @@ impl CanBus {
         sender.stats.tx_errors += 1;
         let sender_transition = sender.on_tx_error();
         let sender_bus_off = sender.error_state() == crate::controller::ErrorState::BusOff;
-        self.trace.emit(
+        self.trace.emit_kv(
             now,
             "bus",
             "tx_error",
             format!("{} attempt={}", fl.frame.id, fl.attempts),
+            vec![
+                ("id", u64::from(fl.frame.id.raw())),
+                ("node", u64::from(fl.node.0)),
+                ("attempt", u64::from(fl.attempts)),
+                ("tag", fl.tag),
+            ],
         );
         if sender_bus_off {
             // Entering bus-off cleared the queue: the request is gone.
@@ -671,11 +702,9 @@ impl CanBus {
             });
         }
         // Error-passive transmitters pause before re-contending.
-        if self.controllers[fl.node.index()].error_state()
-            == crate::controller::ErrorState::Passive
+        if self.controllers[fl.node.index()].error_state() == crate::controller::ErrorState::Passive
         {
-            self.suspend_until[fl.node.index()] =
-                now + self.config.timing.duration_of(8);
+            self.suspend_until[fl.node.index()] = now + self.config.timing.duration_of(8);
         }
         self.kick(sched);
         notes
@@ -771,9 +800,7 @@ mod tests {
     fn completed(log: &[Notification]) -> Vec<(CanId, Time)> {
         log.iter()
             .filter_map(|n| match n {
-                Notification::TxCompleted { frame, started, .. } => {
-                    Some((frame.id, *started))
-                }
+                Notification::TxCompleted { frame, started, .. } => Some((frame.id, *started)),
                 _ => None,
             })
             .collect()
@@ -782,7 +809,10 @@ mod tests {
     #[test]
     fn single_frame_is_delivered_to_all_others() {
         let mut e = driven(4, FaultInjector::none());
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req(10, 1, &[1, 2, 3])));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(0), req(10, 1, &[1, 2, 3])),
+        );
         e.run();
         let rx: Vec<NodeId> = e
             .model
@@ -800,7 +830,10 @@ mod tests {
         // all_received must be true on a fault-free bus.
         assert!(e.model.log.iter().any(|n| matches!(
             n,
-            Notification::TxCompleted { all_received: true, .. }
+            Notification::TxCompleted {
+                all_received: true,
+                ..
+            }
         )));
     }
 
@@ -808,8 +841,14 @@ mod tests {
     fn lowest_id_wins_arbitration() {
         let mut e = driven(3, FaultInjector::none());
         // Both submitted at t=0; node 1's priority 5 must beat node 2's 50.
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(2), req_from(50, 2, 7)));
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(1), req_from(5, 1, 8)));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(2), req_from(50, 2, 7)),
+        );
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(1), req_from(5, 1, 8)),
+        );
         e.run();
         let done = completed(&e.model.log);
         assert_eq!(done.len(), 2);
@@ -822,7 +861,10 @@ mod tests {
         let mut e = driven(3, FaultInjector::none());
         // Node 2 starts a low-priority frame; node 1 submits priority 0
         // mid-flight. The HRT frame must wait for TxEnd, then win.
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(2), req_from(200, 2, 7)));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(2), req_from(200, 2, 7)),
+        );
         e.schedule_at(
             Time::from_us(20),
             DrivenEvent::Submit(NodeId(1), req_from(0, 1, 8)),
@@ -837,8 +879,7 @@ mod tests {
         assert!(first_end > Time::from_us(20));
         // Blocking is bounded by one maximal frame.
         assert!(
-            first_end.saturating_since(Time::from_us(20))
-                <= BitTiming::MBIT_1.delta_t_wait_tight()
+            first_end.saturating_since(Time::from_us(20)) <= BitTiming::MBIT_1.delta_t_wait_tight()
         );
     }
 
@@ -878,7 +919,10 @@ mod tests {
             .bus
             .controller_mut(NodeId(2))
             .set_filters(vec![AcceptanceFilter::for_etag(43)]);
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req(10, 42, &[1])));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(0), req(10, 42, &[1])),
+        );
         e.run();
         let rx: Vec<NodeId> = e
             .model
@@ -894,21 +938,27 @@ mod tests {
         // Filtering is host-side only: all_received still true.
         assert!(e.model.log.iter().any(|n| matches!(
             n,
-            Notification::TxCompleted { all_received: true, .. }
+            Notification::TxCompleted {
+                all_received: true,
+                ..
+            }
         )));
     }
 
     #[test]
     fn corruption_triggers_automatic_retransmission() {
         // Corrupt exactly the first attempt via the window model.
-        let mut e = driven(2, FaultInjector::new(
-            FaultModel::Window {
-                from_ns: 0,
-                to_ns: 1, // only the attempt starting at t=0
-                corruption_p: 1.0,
-            },
-            Rng::seed_from_u64(1),
-        ));
+        let mut e = driven(
+            2,
+            FaultInjector::new(
+                FaultModel::Window {
+                    from_ns: 0,
+                    to_ns: 1, // only the attempt starting at t=0
+                    corruption_p: 1.0,
+                },
+                Rng::seed_from_u64(1),
+            ),
+        );
         e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req(10, 1, &[9])));
         e.run();
         let errors = e
@@ -942,14 +992,17 @@ mod tests {
 
     #[test]
     fn single_shot_corruption_drops_request() {
-        let mut e = driven(2, FaultInjector::new(
-            FaultModel::Window {
-                from_ns: 0,
-                to_ns: 1,
-                corruption_p: 1.0,
-            },
-            Rng::seed_from_u64(2),
-        ));
+        let mut e = driven(
+            2,
+            FaultInjector::new(
+                FaultModel::Window {
+                    from_ns: 0,
+                    to_ns: 1,
+                    corruption_p: 1.0,
+                },
+                Rng::seed_from_u64(2),
+            ),
+        );
         let mut r = req(10, 1, &[9]);
         r.single_shot = true;
         e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), r));
@@ -965,14 +1018,17 @@ mod tests {
 
     #[test]
     fn omission_withholds_frame_from_victims_and_flags_sender() {
-        let mut e = driven(4, FaultInjector::new(
-            FaultModel::Iid {
-                corruption_p: 0.0,
-                omission_p: 1.0,
-                omission_scope: OmissionScope::OneRandomReceiver,
-            },
-            Rng::seed_from_u64(3),
-        ));
+        let mut e = driven(
+            4,
+            FaultInjector::new(
+                FaultModel::Iid {
+                    corruption_p: 0.0,
+                    omission_p: 1.0,
+                    omission_scope: OmissionScope::OneRandomReceiver,
+                },
+                Rng::seed_from_u64(3),
+            ),
+        );
         e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req(10, 1, &[1])));
         e.run();
         let rx = e
@@ -984,7 +1040,10 @@ mod tests {
         assert_eq!(rx, 2, "one of three receivers omitted");
         assert!(e.model.log.iter().any(|n| matches!(
             n,
-            Notification::TxCompleted { all_received: false, .. }
+            Notification::TxCompleted {
+                all_received: false,
+                ..
+            }
         )));
         assert_eq!(e.model.bus.stats.frames_with_omission, 1);
     }
@@ -1008,7 +1067,10 @@ mod tests {
         // all_received considers only operational nodes.
         assert!(e.model.log.iter().any(|n| matches!(
             n,
-            Notification::TxCompleted { all_received: true, .. }
+            Notification::TxCompleted {
+                all_received: true,
+                ..
+            }
         )));
     }
 
@@ -1023,7 +1085,10 @@ mod tests {
         assert!(e.model.bus.is_busy());
         let h_inflight = e.model.handles[0];
         let h_queued = e.model.handles[1];
-        assert!(!e.model.bus.abort(NodeId(0), h_inflight), "inflight refuses abort");
+        assert!(
+            !e.model.bus.abort(NodeId(0), h_inflight),
+            "inflight refuses abort"
+        );
         assert!(e.model.bus.abort(NodeId(0), h_queued));
         e.run();
         let done = completed(&e.model.log);
@@ -1033,16 +1098,22 @@ mod tests {
     #[test]
     fn update_id_promotes_queued_frame_to_win_next_arbitration() {
         let mut e = driven(3, FaultInjector::none());
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req_from(100, 0, 1)));
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(1), req_from(150, 1, 2)));
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(2), req_from(140, 2, 3)));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(0), req_from(100, 0, 1)),
+        );
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(1), req_from(150, 1, 2)),
+        );
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(2), req_from(140, 2, 3)),
+        );
         e.run_until(Time::from_us(10));
         // Frame p=100 is in flight; promote node1's p=150 to p=0.
         let h1 = e.model.handles[1];
-        assert!(e
-            .model
-            .bus
-            .update_id(NodeId(1), h1, CanId::new(0, 1, 2)));
+        assert!(e.model.bus.update_id(NodeId(1), h1, CanId::new(0, 1, 2)));
         e.run();
         let done = completed(&e.model.log);
         let prios: Vec<u8> = done.iter().map(|(id, _)| id.priority()).collect();
@@ -1053,8 +1124,14 @@ mod tests {
     fn duplicate_id_detected() {
         let mut e = driven(3, FaultInjector::none());
         // Two nodes misconfigured with the same TxNode field.
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req_from(10, 5, 1)));
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(1), req_from(10, 5, 1)));
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(0), req_from(10, 5, 1)),
+        );
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(1), req_from(10, 5, 1)),
+        );
         e.run();
         assert!(e
             .model
@@ -1069,17 +1146,20 @@ mod tests {
         let r = req(0, 1, &[0x12; 8]); // HRT band
         let bits = exact_frame_bits(&r.frame);
         e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), r));
-        e.schedule_at(Time::ZERO, DrivenEvent::Submit(NodeId(0), req(255, 2, &[1]))); // NRT band
+        e.schedule_at(
+            Time::ZERO,
+            DrivenEvent::Submit(NodeId(0), req(255, 2, &[1])),
+        ); // NRT band
         e.run();
         let stats = &e.model.bus.stats;
-        assert_eq!(
-            stats.busy_by_band[0],
-            BitTiming::MBIT_1.duration_of(bits)
-        );
+        assert_eq!(stats.busy_by_band[0], BitTiming::MBIT_1.duration_of(bits));
         assert!(stats.busy_by_band[2] > Duration::ZERO);
         assert_eq!(stats.busy_by_band[1], Duration::ZERO);
         assert_eq!(stats.busy, stats.busy_by_band[0] + stats.busy_by_band[2]);
         let window = e.now().saturating_since(Time::ZERO);
-        assert!((stats.utilization(window) - 1.0).abs() < 1e-9, "bus was saturated");
+        assert!(
+            (stats.utilization(window) - 1.0).abs() < 1e-9,
+            "bus was saturated"
+        );
     }
 }

@@ -170,8 +170,7 @@ impl FaultInjector {
                     let victims = match omission_scope {
                         OmissionScope::AllReceivers => receivers.to_vec(),
                         OmissionScope::OneRandomReceiver => {
-                            let idx =
-                                self.rng.gen_range_u64(receivers.len() as u64) as usize;
+                            let idx = self.rng.gen_range_u64(receivers.len() as u64) as usize;
                             vec![receivers[idx]]
                         }
                     };

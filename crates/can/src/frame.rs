@@ -22,23 +22,50 @@ pub struct Frame {
     data: [u8; MAX_PAYLOAD],
 }
 
+/// A frame could not be constructed from the given payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// A CAN frame carries at most 8 data bytes.
+    PayloadTooLong(usize),
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::PayloadTooLong(len) => {
+                write!(f, "CAN payload limited to {MAX_PAYLOAD} bytes, got {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 impl Frame {
-    /// Build a frame from an identifier and a payload slice.
-    ///
-    /// # Panics
-    /// If the payload exceeds 8 bytes.
-    pub fn new(id: CanId, payload: &[u8]) -> Self {
-        assert!(
-            payload.len() <= MAX_PAYLOAD,
-            "CAN payload limited to 8 bytes, got {}",
-            payload.len()
-        );
+    /// Build a frame from an identifier and a payload slice, rejecting
+    /// payloads that do not fit one CAN frame.
+    pub fn try_new(id: CanId, payload: &[u8]) -> Result<Self, FrameError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(FrameError::PayloadTooLong(payload.len()));
+        }
         let mut data = [0u8; MAX_PAYLOAD];
         data[..payload.len()].copy_from_slice(payload);
-        Frame {
+        Ok(Frame {
             id,
             dlc: payload.len() as u8,
             data,
+        })
+    }
+
+    /// Build a frame from an identifier and a payload slice.
+    ///
+    /// # Panics
+    /// If the payload exceeds 8 bytes; use [`Frame::try_new`] for a
+    /// fallible variant.
+    pub fn new(id: CanId, payload: &[u8]) -> Self {
+        match Self::try_new(id, payload) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -71,7 +98,13 @@ impl Frame {
 
 impl fmt::Debug for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Frame({} dlc={} {:02x?})", self.id, self.dlc, self.payload())
+        write!(
+            f,
+            "Frame({} dlc={} {:02x?})",
+            self.id,
+            self.dlc,
+            self.payload()
+        )
     }
 }
 

@@ -73,29 +73,76 @@ impl fmt::Display for NodeId {
 /// A structured 29-bit CAN 2.0B extended identifier.
 ///
 /// Ordering follows arbitration order: a *smaller* `CanId` wins the bus.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct CanId(u32);
 
+/// A field of a structured identifier exceeded its bit width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdError {
+    /// The TxNode field is limited to 7 bits.
+    TxNodeTooLarge(u8),
+    /// The etag field is limited to 14 bits.
+    EtagTooLarge(u16),
+    /// A raw identifier is limited to 29 bits.
+    RawTooLarge(u32),
+}
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::TxNodeTooLarge(n) => write!(f, "TxNode {n} exceeds 7 bits"),
+            IdError::EtagTooLarge(e) => write!(f, "etag {e} exceeds 14 bits"),
+            IdError::RawTooLarge(r) => write!(f, "identifier {r:#x} exceeds 29 bits"),
+        }
+    }
+}
+
+impl std::error::Error for IdError {}
+
 impl CanId {
+    /// Construct from the three protocol fields, validating field widths.
+    pub fn try_new(priority: u8, txnode: u8, etag: u16) -> Result<Self, IdError> {
+        if txnode > TXNODE_MAX {
+            return Err(IdError::TxNodeTooLarge(txnode));
+        }
+        if etag > ETAG_MAX {
+            return Err(IdError::EtagTooLarge(etag));
+        }
+        Ok(CanId(
+            (u32::from(priority) << 21) | (u32::from(txnode) << 14) | u32::from(etag),
+        ))
+    }
+
     /// Construct from the three protocol fields.
     ///
     /// # Panics
-    /// If `txnode` or `etag` exceed their field widths.
+    /// If `txnode` or `etag` exceed their field widths; use
+    /// [`CanId::try_new`] for a fallible variant.
     pub fn new(priority: u8, txnode: u8, etag: u16) -> Self {
-        assert!(txnode <= TXNODE_MAX, "TxNode {txnode} exceeds 7 bits");
-        assert!(etag <= ETAG_MAX, "etag {etag} exceeds 14 bits");
-        CanId((u32::from(priority) << 21) | (u32::from(txnode) << 14) | u32::from(etag))
+        match Self::try_new(priority, txnode, etag) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Construct from a raw 29-bit value, validating the width.
+    pub fn try_from_raw(raw: u32) -> Result<Self, IdError> {
+        if raw >= (1 << 29) {
+            return Err(IdError::RawTooLarge(raw));
+        }
+        Ok(CanId(raw))
     }
 
     /// Construct from a raw 29-bit value.
     ///
     /// # Panics
-    /// If `raw` exceeds 29 bits.
+    /// If `raw` exceeds 29 bits; use [`CanId::try_from_raw`] for a
+    /// fallible variant.
     pub fn from_raw(raw: u32) -> Self {
-        assert!(raw < (1 << 29), "identifier {raw:#x} exceeds 29 bits");
-        CanId(raw)
+        match Self::try_from_raw(raw) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The raw 29-bit value.

@@ -44,5 +44,7 @@ pub use bits::{exact_frame_bits, worst_case_frame_bits, BitTiming};
 pub use bus::{BusConfig, BusStats, CanBus, CanEvent, CanScheduler, MapScheduler, Notification};
 pub use controller::{AcceptanceFilter, Controller, ErrorState, FilterMode, TxHandle, TxRequest};
 pub use fault::{FaultDecision, FaultInjector, FaultModel, OmissionScope};
-pub use frame::Frame;
-pub use id::{CanId, NodeId, PRIO_HRT, PRIO_NRT_MAX, PRIO_NRT_MIN, PRIO_SRT_MAX, PRIO_SRT_MIN};
+pub use frame::{Frame, FrameError};
+pub use id::{
+    CanId, IdError, NodeId, PRIO_HRT, PRIO_NRT_MAX, PRIO_NRT_MIN, PRIO_SRT_MAX, PRIO_SRT_MIN,
+};

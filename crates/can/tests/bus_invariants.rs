@@ -48,7 +48,8 @@ impl Model for World {
 fn world(nodes: usize) -> Engine<World> {
     let mut bus = CanBus::new(BusConfig::default(), nodes, FaultInjector::none());
     for i in 0..nodes {
-        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+        bus.controller_mut(NodeId(i as u8))
+            .set_filter_mode(FilterMode::AcceptAll);
     }
     Engine::new(World {
         bus,

@@ -38,9 +38,14 @@ fn world(nodes: usize, model: FaultModel, auto_recover: bool) -> Engine<World> {
         bus_off_auto_recover: auto_recover,
         ..BusConfig::default()
     };
-    let mut bus = CanBus::new(config, nodes, FaultInjector::new(model, Rng::seed_from_u64(1)));
+    let mut bus = CanBus::new(
+        config,
+        nodes,
+        FaultInjector::new(model, Rng::seed_from_u64(1)),
+    );
     for i in 0..nodes {
-        bus.controller_mut(NodeId(i as u8)).set_filter_mode(FilterMode::AcceptAll);
+        bus.controller_mut(NodeId(i as u8))
+            .set_filter_mode(FilterMode::AcceptAll);
     }
     Engine::new(World { bus, log: vec![] })
 }
@@ -76,7 +81,11 @@ fn counters_move_with_errors_and_successes() {
     );
     e.schedule_at(Time::ZERO, Ev::Submit(NodeId(0), req(10, 0, 20)));
     e.run();
-    assert_eq!(e.model.bus.controller(NodeId(0)).tec(), 7, "8 - 1 after retry success");
+    assert_eq!(
+        e.model.bus.controller(NodeId(0)).tec(),
+        7,
+        "8 - 1 after retry success"
+    );
     // The receiver saw one error frame and one good frame: 1 - 1 = 0.
     assert_eq!(e.model.bus.controller(NodeId(1)).rec(), 0);
     assert_eq!(
@@ -181,7 +190,10 @@ fn bus_off_node_neither_receives_nor_blocks_others() {
     // all_received is judged over connected nodes only.
     assert!(e.model.log.iter().any(|n| matches!(
         n,
-        Notification::TxCompleted { all_received: true, .. }
+        Notification::TxCompleted {
+            all_received: true,
+            ..
+        }
     )));
 }
 
@@ -230,7 +242,10 @@ fn error_passive_transmitter_pauses_but_still_communicates() {
         ErrorState::Active
     );
     let changes = state_changes(&e.model.log);
-    assert!(changes.contains(&(NodeId(0), ErrorState::Active)), "{changes:?}");
+    assert!(
+        changes.contains(&(NodeId(0), ErrorState::Active)),
+        "{changes:?}"
+    );
 }
 
 #[test]

@@ -13,9 +13,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         0u16..(1 << 14),
         prop::collection::vec(any::<u8>(), 0..=8),
     )
-        .prop_map(|(prio, tx, etag, payload)| {
-            Frame::new(CanId::new(prio, tx, etag), &payload)
-        })
+        .prop_map(|(prio, tx, etag, payload)| Frame::new(CanId::new(prio, tx, etag), &payload))
 }
 
 proptest! {
@@ -134,5 +132,76 @@ proptest! {
         prop_assert_eq!(q.priority(), p);
         prop_assert_eq!(q.txnode(), id.txnode());
         prop_assert_eq!(q.etag(), id.etag());
+    }
+}
+
+proptest! {
+    /// 29-bit packing round-trip: the three protocol fields survive
+    /// encode → decode exactly (§3.5).
+    #[test]
+    fn id_pack_unpack_identity(p in 0u8..=255, t in 0u8..128, e in 0u16..(1 << 14)) {
+        let id = CanId::new(p, t, e);
+        prop_assert_eq!(id.priority(), p);
+        prop_assert_eq!(id.txnode(), t);
+        prop_assert_eq!(id.etag(), e);
+        // The raw value round-trips too, through both constructors.
+        prop_assert_eq!(CanId::from_raw(id.raw()), id);
+        prop_assert_eq!(CanId::try_new(p, t, e), Ok(id));
+        prop_assert_eq!(CanId::try_from_raw(id.raw()), Ok(id));
+        prop_assert!(id.raw() < (1 << 29));
+    }
+
+    /// Field-width violations are rejected by the fallible
+    /// constructors instead of panicking.
+    #[test]
+    fn id_try_new_rejects_oversized_fields(
+        p in 0u8..=255,
+        bad_t in 128u8..=255,
+        bad_e in (1u16 << 14)..=u16::MAX,
+        raw_hi in (1u32 << 29)..=u32::MAX,
+    ) {
+        prop_assert!(CanId::try_new(p, bad_t, 0).is_err());
+        prop_assert!(CanId::try_new(p, 0, bad_e).is_err());
+        prop_assert!(CanId::try_from_raw(raw_hi).is_err());
+    }
+
+    /// The priority field alone decides band membership: exactly one
+    /// of HRT / SRT / NRT, matching the §3.3 partition.
+    #[test]
+    fn id_band_membership_partition(p in 0u8..=255, t in 0u8..128, e in 0u16..(1 << 14)) {
+        let id = CanId::new(p, t, e);
+        let bands = [id.is_hrt(), id.is_srt(), id.is_nrt()];
+        prop_assert_eq!(bands.iter().filter(|&&b| b).count(), 1);
+        prop_assert_eq!(id.is_hrt(), p == rtec_can::PRIO_HRT);
+        prop_assert_eq!(
+            id.is_srt(),
+            (rtec_can::PRIO_SRT_MIN..=rtec_can::PRIO_SRT_MAX).contains(&p)
+        );
+        prop_assert_eq!(id.is_nrt(), p >= rtec_can::PRIO_NRT_MIN);
+    }
+
+    /// Cross-node uniqueness: two nodes encoding the same (priority,
+    /// etag) still produce distinct identifiers — the TxNode field
+    /// makes encodings system-wide unique (§3.5).
+    #[test]
+    fn id_cross_node_uniqueness(
+        p in 0u8..=255,
+        e in 0u16..(1 << 14),
+        ta in 0u8..128,
+        tb in 0u8..128,
+    ) {
+        prop_assume!(ta != tb);
+        prop_assert_ne!(CanId::new(p, ta, e), CanId::new(p, tb, e));
+    }
+
+    /// Packing is injective over the full field product: distinct
+    /// field triples never collide.
+    #[test]
+    fn id_packing_injective(
+        pa in 0u8..=255, ta in 0u8..128, ea in 0u16..(1 << 14),
+        pb in 0u8..=255, tb in 0u8..128, eb in 0u16..(1 << 14),
+    ) {
+        prop_assume!((pa, ta, ea) != (pb, tb, eb));
+        prop_assert_ne!(CanId::new(pa, ta, ea), CanId::new(pb, tb, eb));
     }
 }

@@ -91,8 +91,7 @@ impl LocalClock {
     /// primitive the sync protocol uses (rate is not disciplined — the
     /// residual drift between syncs is what bounds precision).
     pub fn set(&mut self, true_now: Time, global: Time) {
-        self.offset_ns =
-            global.as_ns() as f64 - true_now.as_ns() as f64 * (1.0 + self.rate);
+        self.offset_ns = global.as_ns() as f64 - true_now.as_ns() as f64 * (1.0 + self.rate);
         self.adjustments += 1;
     }
 
@@ -180,7 +179,8 @@ mod tests {
         assert_eq!(c.adjustments(), 1);
         // Drift resumes after the adjustment.
         let later = now + Duration::from_secs(1);
-        let err = c.read(later).as_ns() as f64 - (Time::from_ms(600) + Duration::from_secs(1)).as_ns() as f64;
+        let err = c.read(later).as_ns() as f64
+            - (Time::from_ms(600) + Duration::from_secs(1)).as_ns() as f64;
         assert!((err - 80_000.0).abs() < 1.0, "err {err}");
     }
 
@@ -222,6 +222,9 @@ mod tests {
         assert!(t < g, "fast clock acts early");
         let early_by = g.saturating_since(t);
         // ≈ 100 µs early after 1 s of drift.
-        assert!((early_by.as_ns() as f64 - 99_990.0).abs() < 100.0, "{early_by}");
+        assert!(
+            (early_by.as_ns() as f64 - 99_990.0).abs() < 100.0,
+            "{early_by}"
+        );
     }
 }

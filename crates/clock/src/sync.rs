@@ -56,7 +56,10 @@ impl SyncConfig {
     /// A typical setup: `n` nodes with drifts spread over ±`drift_ppm`,
     /// 50 ms resync, 1 Mbit/s.
     pub fn typical(n: usize, drift_ppm: f64, sync_period: Duration) -> Self {
-        assert!(n >= 2, "synchronization needs a master and at least one slave");
+        assert!(
+            n >= 2,
+            "synchronization needs a master and at least one slave"
+        );
         let clocks = (0..n)
             .map(|i| {
                 if i == 0 {
@@ -179,13 +182,18 @@ impl SyncWorld {
 
     fn on_notification(&mut self, note: Notification, now: Time) {
         match note {
-            Notification::TxCompleted { node, frame, .. } if node == NodeId(0)
-                && frame.id.etag() == ETAG_SYNC => {
-                    // Master latches its own (reference) clock at the
-                    // completion instant.
-                    self.master_latch = Some(self.clocks[0].read(now));
-                }
-            Notification::Rx { node, frame, completed_at } => {
+            Notification::TxCompleted { node, frame, .. }
+                if node == NodeId(0) && frame.id.etag() == ETAG_SYNC =>
+            {
+                // Master latches its own (reference) clock at the
+                // completion instant.
+                self.master_latch = Some(self.clocks[0].read(now));
+            }
+            Notification::Rx {
+                node,
+                frame,
+                completed_at,
+            } => {
                 match frame.id.etag() {
                     ETAG_SYNC => {
                         self.slave_latch[node.index()] =
@@ -197,8 +205,7 @@ impl SyncWorld {
                         let master_time = Time::from_ns(u64::from_le_bytes(bytes));
                         if let Some(latch) = self.slave_latch[node.index()].take() {
                             // Correct by the latched difference.
-                            let delta =
-                                master_time.as_ns() as f64 - latch.as_ns() as f64;
+                            let delta = master_time.as_ns() as f64 - latch.as_ns() as f64;
                             self.clocks[node.index()].slew(delta);
                         }
                     }
@@ -259,10 +266,7 @@ impl Model for SyncWorld {
                 }
             }
             SyncEvent::MasterTick => {
-                let frame = Frame::new(
-                    CanId::new(self.config.priority, 0, ETAG_SYNC),
-                    &[0u8; 8],
-                );
+                let frame = Frame::new(CanId::new(self.config.priority, 0, ETAG_SYNC), &[0u8; 8]);
                 {
                     let mut sched = MapScheduler::new(ctx, SyncEvent::Can);
                     self.bus.submit(

@@ -1,0 +1,454 @@
+//! Trace-invariant auditing (rules `T1`..`T8`).
+//!
+//! The auditor consumes the structured [`TraceEvent`] stream a
+//! simulation recorded and checks, post-hoc, that the protocol behaved
+//! as the paper specifies: arbitration honoured identifier order, HRT
+//! frames stayed inside their reserved slots, deferred delivery removed
+//! jitter, expired SRT events were dropped rather than sent, and NRT
+//! fragment streams reassembled completely.
+
+use crate::diag::{Report, RuleId};
+use rtec_analysis::admission::CalendarPlan;
+use rtec_can::PRIO_HRT;
+use rtec_core::binding::ETAG_FIRST_DYNAMIC;
+use rtec_core::channel::ChannelClass;
+use rtec_core::node::{unpack_tag, TagKind};
+use rtec_sim::{Duration, Time, TraceEvent};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifier bit layout (mirrors `rtec_can::id`; the auditor decodes
+/// raw 29-bit values recorded in the trace).
+const ETAG_BITS: u32 = 14;
+const TXNODE_BITS: u32 = 7;
+
+fn id_priority(raw: u64) -> u8 {
+    (raw >> (ETAG_BITS + TXNODE_BITS)) as u8
+}
+fn id_txnode(raw: u64) -> u8 {
+    ((raw >> ETAG_BITS) & ((1 << TXNODE_BITS) - 1)) as u8
+}
+fn id_etag(raw: u64) -> u16 {
+    (raw & ((1 << ETAG_BITS) - 1)) as u16
+}
+
+/// Static context the auditor interprets a trace against.
+#[derive(Clone, Debug, Default)]
+pub struct AuditContext {
+    /// The installed HRT calendar, if any (enables `T2`).
+    pub calendar: Option<CalendarPlan>,
+    /// True-time instant of the first round start.
+    pub calendar_start: Option<Time>,
+    /// Timeliness class of each bound etag (enables `T7`).
+    pub channels: HashMap<u16, ChannelClass>,
+    /// Declared period of each *periodic* (non-sporadic) HRT etag
+    /// (enables the cadence half of `T3`).
+    pub hrt_periods: HashMap<u16, Duration>,
+    /// Whether deferred HRT delivery (jitter removal) was on.
+    pub hrt_deferred_delivery: bool,
+    /// Slack added to every time-window comparison, to absorb clock
+    /// drift between node-local and bus time. Zero for perfect clocks.
+    pub tolerance: Duration,
+}
+
+impl AuditContext {
+    /// A context with no calendar and no channels — only the
+    /// context-free rules (`T1`, `T4`..`T6`, `T8`) can fire.
+    pub fn bare() -> Self {
+        AuditContext::default()
+    }
+}
+
+/// Run all trace rules over `events`.
+pub fn audit(ctx: &AuditContext, events: &[TraceEvent]) -> Report {
+    let mut rep = Report::new();
+    audit_arbitration(events, &mut rep);
+    audit_hrt_slot_window(ctx, events, &mut rep);
+    audit_deferred_delivery(ctx, events, &mut rep);
+    audit_expired_never_sent(events, &mut rep);
+    audit_frag_contiguity(events, &mut rep);
+    audit_priority_bands(ctx, events, &mut rep);
+    audit_txnode(events, &mut rep);
+    rep
+}
+
+fn is_tx_start(kind: &str) -> bool {
+    matches!(kind, "tx_start" | "tx_start_corrupt" | "tx_start_omit")
+}
+
+/// T1 + T6: every `arb` record's winner must be the minimum contending
+/// identifier (§2.1), and no identifier may be contended by two nodes at
+/// once (§3.5).
+fn audit_arbitration(events: &[TraceEvent], rep: &mut Report) {
+    for ev in events.iter().filter(|e| e.kind == "arb") {
+        let cands = ev.fields_named("cand");
+        let Some(win) = ev.field("win") else { continue };
+        let ids: Vec<u64> = cands.iter().map(|c| c & 0xFFFF_FFFF).collect();
+        if let Some(&min) = ids.iter().min() {
+            if win != min {
+                rep.error_at(
+                    RuleId::ArbWinnerOrder,
+                    ev.time,
+                    format!(
+                        "arbitration winner has identifier {win:#x} while {min:#x} \
+                         was contending (lower wins)"
+                    ),
+                    "the bus model violated CAN arbitration; check controller state",
+                );
+            }
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                let nodes: Vec<u64> = cands
+                    .iter()
+                    .filter(|c| (*c & 0xFFFF_FFFF) == w[0])
+                    .map(|c| c >> 32)
+                    .collect();
+                rep.error_at(
+                    RuleId::DuplicateContender,
+                    ev.time,
+                    format!(
+                        "identifier {:#x} contended simultaneously from nodes {nodes:?}; \
+                         CAN requires system-wide unique identifiers",
+                        w[0]
+                    ),
+                    "fix the etag/TxNode assignment so encodings cannot collide",
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// T2: every HRT-priority frame must start on the wire inside a reserved
+/// slot window `[ready, deadline]` of its (etag, publisher) — between
+/// the slot's ready instant and its delivery deadline (§3.2).
+fn audit_hrt_slot_window(ctx: &AuditContext, events: &[TraceEvent], rep: &mut Report) {
+    let (Some(plan), Some(start)) = (&ctx.calendar, ctx.calendar_start) else {
+        return;
+    };
+    let round_ns = plan.round.as_ns();
+    if round_ns == 0 {
+        return;
+    }
+    let tol = ctx.tolerance.as_ns() as i128;
+    for ev in events.iter().filter(|e| is_tx_start(e.kind)) {
+        let Some(raw) = ev.field("id") else { continue };
+        if id_priority(raw) != PRIO_HRT {
+            continue;
+        }
+        let (etag, txnode) = (id_etag(raw), id_txnode(raw));
+        let offset = ev.time.as_ns() as i128 - start.as_ns() as i128;
+        if offset + tol < 0 {
+            rep.error_at(
+                RuleId::HrtSlotWindow,
+                ev.time,
+                format!("HRT frame (etag {etag}) transmitted before the first round start"),
+                "do not raise a frame to P_HRT outside the calendar",
+            );
+            continue;
+        }
+        let in_round = offset.rem_euclid(round_ns as i128);
+        let in_window = plan
+            .slots
+            .iter()
+            .filter(|s| s.etag == etag && s.publisher.0 == txnode)
+            .any(|s| {
+                let lo = s.start.as_ns() as i128 - tol;
+                let hi = s.deadline().as_ns() as i128 + tol;
+                // The offset is taken modulo the round, so a window
+                // starting near the round's end may wrap.
+                (lo..=hi).contains(&in_round)
+                    || (lo..=hi).contains(&(in_round + round_ns as i128))
+                    || (lo..=hi).contains(&(in_round - round_ns as i128))
+            });
+        if !in_window {
+            rep.error_at(
+                RuleId::HrtSlotWindow,
+                ev.time,
+                format!(
+                    "HRT frame (etag {etag}, node {txnode}) started {in_round} ns into \
+                     the round, outside every slot reserved for it"
+                ),
+                "HRT transmissions must stay within their calendar reservation",
+            );
+        }
+    }
+}
+
+/// T3: with deferred delivery on, no HRT event is delivered before its
+/// frame completed on the wire, and per (etag, subscriber) the delivery
+/// cadence is an integer multiple of the channel period — the jitter
+/// removal of §3.2.
+fn audit_deferred_delivery(ctx: &AuditContext, events: &[TraceEvent], rep: &mut Report) {
+    if !ctx.hrt_deferred_delivery {
+        return;
+    }
+    let mut per_sub: BTreeMap<(u16, u64), Vec<u64>> = BTreeMap::new();
+    for ev in events.iter().filter(|e| e.kind == "hrt_deliver") {
+        let (Some(etag), Some(node), Some(wire)) =
+            (ev.field("etag"), ev.field("node"), ev.field("wire"))
+        else {
+            continue;
+        };
+        if ev.time.as_ns() < wire {
+            rep.error_at(
+                RuleId::DeferredDeliveryJitter,
+                ev.time,
+                format!(
+                    "HRT event (etag {etag}, node {node}) delivered {} ns before its \
+                     frame completed on the wire",
+                    wire - ev.time.as_ns()
+                ),
+                "deferred delivery must wait for the slot deadline",
+            );
+        }
+        per_sub
+            .entry((etag as u16, node))
+            .or_default()
+            .push(ev.time.as_ns());
+    }
+    for ((etag, node), mut times) in per_sub {
+        let Some(&period) = ctx.hrt_periods.get(&etag) else {
+            continue;
+        };
+        let period_ns = period.as_ns();
+        if period_ns == 0 || times.len() < 2 {
+            continue;
+        }
+        times.sort_unstable();
+        // Lost events make the spacing a *multiple* of the period;
+        // anything off-grid is delivery jitter the protocol promised to
+        // remove.
+        let allow = (period_ns / 100).max(50_000) + ctx.tolerance.as_ns();
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            let rem = gap % period_ns;
+            let dev = rem.min(period_ns - rem);
+            if dev > allow {
+                rep.error_at(
+                    RuleId::DeferredDeliveryJitter,
+                    Time::from_ns(w[1]),
+                    format!(
+                        "HRT deliveries (etag {etag}, node {node}) are {gap} ns apart, \
+                         {dev} ns off the {period_ns} ns period grid"
+                    ),
+                    "deferred delivery should pin deliveries to the slot-deadline grid",
+                );
+            }
+        }
+    }
+}
+
+/// T4: once an SRT event expires (its temporal validity ran out), its
+/// frame must never appear on the wire afterwards (§3.4).
+fn audit_expired_never_sent(events: &[TraceEvent], rep: &mut Report) {
+    // Keyed by (tag, node): SRT sequence numbers are per-node, so the
+    // same tag from different senders names different events.
+    let mut expired_at: HashMap<(u64, u64), u64> = HashMap::new();
+    for ev in events.iter().filter(|e| e.kind == "srt_expire") {
+        if let (Some(tag), Some(node)) = (ev.field("tag"), ev.field("node")) {
+            expired_at.entry((tag, node)).or_insert(ev.time.as_ns());
+        }
+    }
+    if expired_at.is_empty() {
+        return;
+    }
+    for ev in events.iter().filter(|e| is_tx_start(e.kind)) {
+        let (Some(tag), Some(node)) = (ev.field("tag"), ev.field("node")) else {
+            continue;
+        };
+        if let Some(&t_exp) = expired_at.get(&(tag, node)) {
+            if ev.time.as_ns() >= t_exp {
+                let (_, etag, seq) = unpack_tag(tag).unwrap_or((TagKind::Srt, 0, 0));
+                rep.error_at(
+                    RuleId::ExpiredNeverSent,
+                    ev.time,
+                    format!(
+                        "SRT event (etag {etag}, seq {seq}) transmitted although it \
+                         expired at {t_exp} ns"
+                    ),
+                    "expired events must be discarded from the send queue",
+                );
+            }
+        }
+    }
+}
+
+/// T5: per (origin, etag), fragment indices observed on the wire must
+/// form contiguous runs starting at 0, and every reassembled message
+/// must match the byte count of the transfer that produced it (§2.2.3).
+fn audit_frag_contiguity(events: &[TraceEvent], rep: &mut Report) {
+    // Enqueued fragmented transfers, FIFO per (origin, etag).
+    let mut enqueued: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in events.iter().filter(|e| e.kind == "nrt_enqueue") {
+        if ev.field("fragmented") != Some(1) {
+            continue;
+        }
+        let (Some(etag), Some(node), Some(frags), Some(bytes)) = (
+            ev.field("etag"),
+            ev.field("node"),
+            ev.field("frags"),
+            ev.field("bytes"),
+        ) else {
+            continue;
+        };
+        enqueued
+            .entry((node, etag))
+            .or_default()
+            .push((frags, bytes));
+    }
+
+    // Successfully transferred fragment indices, in wire order.
+    let mut wire: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in events.iter().filter(|e| e.kind == "tx_end") {
+        if ev.field("all") != Some(1) {
+            continue;
+        }
+        let (Some(tag), Some(node)) = (ev.field("tag"), ev.field("node")) else {
+            continue;
+        };
+        let Some((TagKind::Nrt, etag, seq)) = unpack_tag(tag) else {
+            continue;
+        };
+        if !enqueued.contains_key(&(node, u64::from(etag))) {
+            continue; // unfragmented NRT: seq is not a fragment index
+        }
+        wire.entry((node, u64::from(etag)))
+            .or_default()
+            .push((u64::from(seq), ev.time.as_ns()));
+    }
+    for ((node, etag), seqs) in &wire {
+        let mut prev: Option<u64> = None;
+        for &(seq, at) in seqs {
+            let ok = match prev {
+                None => seq == 0,
+                Some(p) => seq == p + 1 || seq == 0,
+            };
+            if !ok {
+                rep.error_at(
+                    RuleId::FragContiguity,
+                    Time::from_ns(at),
+                    format!(
+                        "NRT fragment stream (origin {node}, etag {etag}) jumped from \
+                         index {:?} to {seq}; fragments must be sent in order",
+                        prev
+                    ),
+                    "send fragments strictly in sequence, one transfer at a time",
+                );
+            }
+            prev = Some(seq);
+        }
+    }
+
+    // Reassembled messages, FIFO per (subscriber, origin, etag), checked
+    // against the origin's enqueue order.
+    let mut complete_idx: HashMap<(u64, u64, u64), usize> = HashMap::new();
+    for ev in events.iter().filter(|e| e.kind == "nrt_complete") {
+        let (Some(etag), Some(node), Some(origin), Some(bytes)) = (
+            ev.field("etag"),
+            ev.field("node"),
+            ev.field("origin"),
+            ev.field("bytes"),
+        ) else {
+            continue;
+        };
+        let sent = enqueued.get(&(origin, etag)).cloned().unwrap_or_default();
+        let idx = complete_idx.entry((node, origin, etag)).or_insert(0);
+        match sent.get(*idx) {
+            None => {
+                rep.error_at(
+                    RuleId::FragContiguity,
+                    ev.time,
+                    format!(
+                        "node {node} reassembled a message (origin {origin}, etag \
+                         {etag}) that was never enqueued"
+                    ),
+                    "reassembly must only complete for transfers actually sent",
+                );
+            }
+            Some(&(_, sent_bytes)) if sent_bytes != bytes => {
+                rep.error_at(
+                    RuleId::FragContiguity,
+                    ev.time,
+                    format!(
+                        "node {node} reassembled {bytes} byte(s) for origin {origin} \
+                         etag {etag}, but transfer #{idx} carried {sent_bytes} byte(s)"
+                    ),
+                    "fragment payload boundaries were lost in reassembly",
+                );
+            }
+            Some(_) => {}
+        }
+        *idx += 1;
+    }
+}
+
+/// T7: the priority of every transmitted identifier must sit inside the
+/// band of the channel's timeliness class; infrastructure traffic must
+/// never use `P_HRT` (§3.3).
+fn audit_priority_bands(ctx: &AuditContext, events: &[TraceEvent], rep: &mut Report) {
+    for ev in events.iter().filter(|e| is_tx_start(e.kind)) {
+        let Some(raw) = ev.field("id") else { continue };
+        let (prio, etag) = (id_priority(raw), id_etag(raw));
+        if etag < ETAG_FIRST_DYNAMIC {
+            if prio == PRIO_HRT {
+                rep.error_at(
+                    RuleId::PriorityBandConsistency,
+                    ev.time,
+                    format!(
+                        "infrastructure frame (etag {etag}) used P_HRT = 0; priority \
+                         0 is reserved for calendar slots"
+                    ),
+                    "send SYNC/BIND traffic at an SRT-band priority",
+                );
+            }
+            continue;
+        }
+        let Some(class) = ctx.channels.get(&etag) else {
+            continue;
+        };
+        let band_ok = match class {
+            // LST priority-raising means an HRT frame is always on the
+            // wire at priority 0 (§3.2).
+            ChannelClass::Hrt => prio == PRIO_HRT,
+            ChannelClass::Srt => (rtec_can::PRIO_SRT_MIN..=rtec_can::PRIO_SRT_MAX).contains(&prio),
+            ChannelClass::Nrt => prio >= rtec_can::PRIO_NRT_MIN,
+        };
+        if !band_ok {
+            rep.error_at(
+                RuleId::PriorityBandConsistency,
+                ev.time,
+                format!(
+                    "{class:?} channel etag {etag} transmitted at priority {prio}, \
+                     outside its class band"
+                ),
+                "encode identifiers with the class's priority band (0 = P_HRT < P_SRT < P_NRT)",
+            );
+        }
+    }
+}
+
+/// T8: the TxNode field of every transmitted identifier must equal the
+/// node that actually sent the frame — the encoding that makes
+/// identifiers system-wide unique (§3.5).
+fn audit_txnode(events: &[TraceEvent], rep: &mut Report) {
+    for ev in events.iter().filter(|e| is_tx_start(e.kind)) {
+        let (Some(raw), Some(node)) = (ev.field("id"), ev.field("node")) else {
+            continue;
+        };
+        let encoded = u64::from(id_txnode(raw));
+        if encoded != node {
+            rep.error_at(
+                RuleId::TxNodeMatchesSender,
+                ev.time,
+                format!(
+                    "frame with identifier {raw:#x} encodes TxNode {encoded} but was \
+                     sent by node {node}"
+                ),
+                "nodes must stamp their own TxNode into every identifier",
+            );
+        }
+    }
+}

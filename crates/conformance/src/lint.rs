@@ -1,0 +1,382 @@
+//! Static configuration linting (rules `S1`..`S8`).
+//!
+//! The linter checks a network configuration *before* any simulation
+//! runs: the HRT calendar, the channel declarations and the SRT
+//! priority-slot parameters. Every violation becomes a [`Diagnostic`]
+//! with a fix hint — the linter never panics on a broken configuration.
+
+use crate::diag::{Report, RuleId};
+use rtec_analysis::admission::CalendarPlan;
+use rtec_analysis::edf::{time_horizon, PrioritySlotConfig};
+use rtec_analysis::wctt::wcct_single;
+use rtec_can::bits::BitTiming;
+use rtec_can::{NodeId, PRIO_HRT, PRIO_NRT_MAX, PRIO_NRT_MIN, PRIO_SRT_MAX, PRIO_SRT_MIN};
+use rtec_core::binding::ETAG_FIRST_DYNAMIC;
+use rtec_core::channel::ChannelSpec;
+use rtec_sim::Duration;
+use std::collections::HashMap;
+
+/// One declared channel binding: which node publishes which etag under
+/// which attribute list.
+#[derive(Clone, Debug)]
+pub struct ChannelDecl {
+    /// The bound event tag.
+    pub etag: u16,
+    /// The publishing node.
+    pub publisher: NodeId,
+    /// The announced channel attributes.
+    pub spec: ChannelSpec,
+}
+
+/// Everything the static linter looks at.
+#[derive(Clone, Debug)]
+pub struct LintInput {
+    /// Number of nodes on the bus.
+    pub nodes: usize,
+    /// Bus bit timing (determines `ΔT_wait` and frame times).
+    pub timing: BitTiming,
+    /// Calendar round length.
+    pub round: Duration,
+    /// SRT deadline → priority mapping parameters.
+    pub priority_slots: PrioritySlotConfig,
+    /// The planned HRT calendar, if one is installed.
+    pub calendar: Option<CalendarPlan>,
+    /// All declared channel bindings.
+    pub channels: Vec<ChannelDecl>,
+}
+
+impl LintInput {
+    /// A minimal input with no calendar and no channels.
+    pub fn new(nodes: usize, timing: BitTiming, round: Duration) -> Self {
+        LintInput {
+            nodes,
+            timing,
+            round,
+            priority_slots: PrioritySlotConfig::paper_default(),
+            calendar: None,
+            channels: Vec::new(),
+        }
+    }
+}
+
+/// Run all static rules over `input`.
+pub fn lint(input: &LintInput) -> Report {
+    let mut rep = Report::new();
+    lint_slot_overlap(input, &mut rep);
+    lint_slot_setup_margin(input, &mut rep);
+    lint_priority_bands(input, &mut rep);
+    lint_id_collisions(input, &mut rep);
+    lint_srt_horizon(input, &mut rep);
+    lint_period_divides_round(input, &mut rep);
+    lint_dlc_range(input, &mut rep);
+    lint_reserved_utilization(input, &mut rep);
+    rep
+}
+
+/// S1: slot occupancy intervals `[start, start+total)` must be disjoint
+/// and lie inside the round (§3.1).
+fn lint_slot_overlap(input: &LintInput, rep: &mut Report) {
+    let Some(plan) = &input.calendar else { return };
+    let mut spans: Vec<(u64, u64, u16)> = plan
+        .slots
+        .iter()
+        .map(|s| (s.start.as_ns(), s.end().as_ns(), s.etag))
+        .collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        let (_, prev_end, prev_etag) = w[0];
+        let (next_start, _, next_etag) = w[1];
+        if next_start < prev_end {
+            rep.error(
+                RuleId::SlotOverlap,
+                format!(
+                    "slot for etag {next_etag} starts at {next_start} ns while the slot \
+                     for etag {prev_etag} occupies the bus until {prev_end} ns"
+                ),
+                "re-plan the calendar so reservations (incl. ΔG_min) are disjoint",
+            );
+        }
+    }
+    for &(start, end, etag) in &spans {
+        if end > plan.round.as_ns() {
+            rep.error(
+                RuleId::SlotOverlap,
+                format!(
+                    "slot for etag {etag} ([{start}, {end}) ns) extends past the \
+                     {} ns round",
+                    plan.round.as_ns()
+                ),
+                "shorten the reservation or lengthen the round",
+            );
+        }
+    }
+}
+
+/// S2: every reservation must leave the `ΔT_wait` setup margin between
+/// ready instant and LST — 154 µs at 1 Mbit/s (§3.2).
+fn lint_slot_setup_margin(input: &LintInput, rep: &mut Report) {
+    let Some(plan) = &input.calendar else { return };
+    let need = input.timing.delta_t_wait();
+    for (idx, s) in plan.slots.iter().enumerate() {
+        let have = s.layout.lst_offset();
+        if have < need {
+            rep.error(
+                RuleId::SlotSetupMargin,
+                format!(
+                    "slot {idx} (etag {}) reserves only {} ns between ready and LST; \
+                     ΔT_wait requires {} ns at this bit rate",
+                    s.etag,
+                    have.as_ns(),
+                    need.as_ns()
+                ),
+                "widen the slot's ΔT_wait so a blocking lower-priority frame can drain",
+            );
+        }
+    }
+}
+
+/// S3: the priority partition `0 = P_HRT < P_SRT < P_NRT` must hold for
+/// every configured priority (§3.3).
+fn lint_priority_bands(input: &LintInput, rep: &mut Report) {
+    let ps = &input.priority_slots;
+    if ps.p_min < PRIO_SRT_MIN {
+        rep.error(
+            RuleId::PriorityBandPartition,
+            format!(
+                "SRT band starts at priority {} but {PRIO_HRT} is reserved for HRT",
+                ps.p_min
+            ),
+            format!("set p_min >= {PRIO_SRT_MIN}"),
+        );
+    }
+    if ps.p_max > PRIO_SRT_MAX {
+        rep.error(
+            RuleId::PriorityBandPartition,
+            format!(
+                "SRT band ends at priority {} inside the NRT band ({PRIO_NRT_MIN}..={PRIO_NRT_MAX})",
+                ps.p_max
+            ),
+            format!("set p_max <= {PRIO_SRT_MAX}"),
+        );
+    }
+    if ps.p_min > ps.p_max {
+        rep.error(
+            RuleId::PriorityBandPartition,
+            format!("empty SRT band: p_min {} > p_max {}", ps.p_min, ps.p_max),
+            "order the band bounds",
+        );
+    }
+    for c in &input.channels {
+        if let ChannelSpec::Nrt(n) = &c.spec {
+            if n.priority < PRIO_NRT_MIN {
+                rep.error(
+                    RuleId::PriorityBandPartition,
+                    format!(
+                        "NRT channel etag {} uses priority {} inside the real-time bands",
+                        c.etag, n.priority
+                    ),
+                    format!("use an NRT priority in {PRIO_NRT_MIN}..={PRIO_NRT_MAX}"),
+                );
+            }
+        }
+    }
+}
+
+/// S4: identifier encodings must be collision-free — no etag reuse
+/// across classes, no infrastructure-etag collisions, publishers must be
+/// real nodes (§3.5).
+fn lint_id_collisions(input: &LintInput, rep: &mut Report) {
+    let mut class_by_etag: HashMap<u16, &'static str> = HashMap::new();
+    let mut seen: HashMap<(u16, u8), usize> = HashMap::new();
+    for c in &input.channels {
+        if c.etag < ETAG_FIRST_DYNAMIC {
+            rep.error(
+                RuleId::IdCollision,
+                format!(
+                    "channel etag {} collides with the reserved infrastructure etags \
+                     0..{ETAG_FIRST_DYNAMIC} (SYNC/FOLLOW-UP/BIND)",
+                    c.etag
+                ),
+                format!("bind application channels at etag >= {ETAG_FIRST_DYNAMIC}"),
+            );
+        }
+        if c.publisher.index() >= input.nodes {
+            rep.error(
+                RuleId::IdCollision,
+                format!(
+                    "channel etag {} is published by node {} but only {} node(s) exist",
+                    c.etag, c.publisher.0, input.nodes
+                ),
+                "publish from a configured node",
+            );
+        }
+        let class = match &c.spec {
+            ChannelSpec::Hrt(_) => "HRT",
+            ChannelSpec::Srt(_) => "SRT",
+            ChannelSpec::Nrt(_) => "NRT",
+        };
+        if let Some(prev) = class_by_etag.insert(c.etag, class) {
+            if prev != class {
+                rep.error(
+                    RuleId::IdCollision,
+                    format!(
+                        "etag {} is bound as both {prev} and {class}: the encoded \
+                         identifiers would mix timeliness classes",
+                        c.etag
+                    ),
+                    "bind each subject to exactly one channel class",
+                );
+            }
+        }
+        let count = seen.entry((c.etag, c.publisher.0)).or_insert(0);
+        *count += 1;
+        if *count == 2 {
+            rep.error(
+                RuleId::IdCollision,
+                format!(
+                    "node {} declares etag {} twice: both transmissions would encode \
+                     the identical CAN identifier",
+                    c.publisher.0, c.etag
+                ),
+                "bind distinct subjects to distinct etags",
+            );
+        }
+    }
+}
+
+/// S5: the SRT priority-slot width `Δt_p` and horizon `ΔH` must be
+/// consistent with the declared deadlines and expirations (§3.4).
+fn lint_srt_horizon(input: &LintInput, rep: &mut Report) {
+    let ps = &input.priority_slots;
+    if ps.slot.as_ns() == 0 {
+        rep.error(
+            RuleId::SrtHorizonConsistency,
+            "priority slot width Δt_p is zero: the deadline → priority mapping is undefined",
+            "use a positive Δt_p (the paper's example: 160 µs)",
+        );
+        return;
+    }
+    let c_max = wcct_single(8, input.timing);
+    if ps.slot < c_max {
+        rep.warning(
+            RuleId::SrtHorizonConsistency,
+            format!(
+                "Δt_p = {} ns is shorter than one worst-case 8-byte frame ({} ns): \
+                 adjacent priority levels are not distinguishable on the wire",
+                ps.slot.as_ns(),
+                c_max.as_ns()
+            ),
+            "choose Δt_p >= the worst-case single-frame transfer time",
+        );
+    }
+    let horizon = time_horizon(ps);
+    for c in &input.channels {
+        let ChannelSpec::Srt(s) = &c.spec else {
+            continue;
+        };
+        if s.default_deadline > horizon {
+            rep.warning(
+                RuleId::SrtHorizonConsistency,
+                format!(
+                    "SRT channel etag {} defaults to a {} ns deadline beyond the \
+                     ΔH = {} ns priority horizon: its laxity saturates at the lowest \
+                     SRT urgency until promotion",
+                    c.etag,
+                    s.default_deadline.as_ns(),
+                    horizon.as_ns()
+                ),
+                "shorten the deadline or widen ΔH (more levels or larger Δt_p)",
+            );
+        }
+        if let Some(exp) = s.default_expiration {
+            if exp < s.default_deadline {
+                rep.error(
+                    RuleId::SrtHorizonConsistency,
+                    format!(
+                        "SRT channel etag {} expires events after {} ns, before their \
+                         {} ns deadline: every event is dropped as expired",
+                        c.etag,
+                        exp.as_ns(),
+                        s.default_deadline.as_ns()
+                    ),
+                    "set expiration >= deadline (temporal validity outlives the deadline)",
+                );
+            }
+        }
+    }
+}
+
+/// S6: each HRT channel's period must divide the calendar round so its
+/// reservation pattern repeats exactly once per round (§3.1).
+fn lint_period_divides_round(input: &LintInput, rep: &mut Report) {
+    for c in &input.channels {
+        let ChannelSpec::Hrt(h) = &c.spec else {
+            continue;
+        };
+        if h.period.as_ns() == 0 {
+            rep.error(
+                RuleId::PeriodDividesRound,
+                format!("HRT channel etag {} declares a zero period", c.etag),
+                "declare the real inter-arrival period",
+            );
+            continue;
+        }
+        if !input.round.as_ns().is_multiple_of(h.period.as_ns()) {
+            rep.error(
+                RuleId::PeriodDividesRound,
+                format!(
+                    "HRT channel etag {} has period {} ns which does not divide the \
+                     {} ns round: its slots cannot repeat consistently across rounds",
+                    c.etag,
+                    h.period.as_ns(),
+                    input.round.as_ns()
+                ),
+                "pick a round that is an integer multiple of every HRT period",
+            );
+        }
+    }
+}
+
+/// S7: a real-time event must fit a single CAN frame, DLC 0..=8 (§2.2).
+fn lint_dlc_range(input: &LintInput, rep: &mut Report) {
+    for c in &input.channels {
+        let ChannelSpec::Hrt(h) = &c.spec else {
+            continue;
+        };
+        if h.dlc > 8 {
+            rep.error(
+                RuleId::DlcRange,
+                format!(
+                    "HRT channel etag {} declares DLC {} but a CAN frame carries at \
+                     most 8 data bytes",
+                    c.etag, h.dlc
+                ),
+                "split the event or use a fragmented NRT channel for bulk data",
+            );
+        }
+    }
+}
+
+/// S8: the reserved HRT bandwidth must fit the round — and should leave
+/// headroom for SRT/NRT traffic (§3.1).
+fn lint_reserved_utilization(input: &LintInput, rep: &mut Report) {
+    let Some(plan) = &input.calendar else { return };
+    let u = plan.reserved_utilization();
+    if u > 1.0 {
+        rep.error(
+            RuleId::ReservedUtilization,
+            format!("reserved HRT bandwidth is {:.1}% of the round", u * 100.0),
+            "the reservation set is infeasible; remove channels or lengthen periods",
+        );
+    } else if u > 0.8 {
+        rep.warning(
+            RuleId::ReservedUtilization,
+            format!(
+                "reserved HRT bandwidth is {:.1}% of the round: little headroom \
+                 remains for SRT/NRT traffic",
+                u * 100.0
+            ),
+            "keep reserved utilization below ~80% unless the workload is HRT-only",
+        );
+    }
+}

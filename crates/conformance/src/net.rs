@@ -1,0 +1,89 @@
+//! Glue between the conformance passes and a live [`Network`]: derive a
+//! [`LintInput`] / [`AuditContext`] from the network's own configuration
+//! so harnesses can check any simulation with two calls:
+//!
+//! ```ignore
+//! let sink = net.enable_trace();
+//! // ... run the simulation ...
+//! let report = rtec_conformance::check_network(&net, &sink);
+//! assert!(report.passes(), "{report}");
+//! ```
+
+use crate::audit::{audit, AuditContext};
+use crate::diag::Report;
+use crate::lint::{lint, ChannelDecl, LintInput};
+use rtec_core::channel::ChannelSpec;
+use rtec_core::Network;
+use rtec_sim::{Duration, TraceSink};
+
+/// Clock-skew allowance applied to trace time-window rules when the
+/// network simulates drifting oscillators. Perfect clocks get zero.
+const DRIFT_TOLERANCE: Duration = Duration::from_us(500);
+
+/// Build the static linter's input from a network's configuration.
+pub fn lint_input(net: &Network) -> LintInput {
+    let world = net.world();
+    let cfg = world.config();
+    LintInput {
+        nodes: cfg.nodes,
+        timing: cfg.bus.timing,
+        round: cfg.round,
+        priority_slots: cfg.priority_slots,
+        calendar: world.calendar().cloned(),
+        channels: world
+            .publications()
+            .into_iter()
+            .map(|(etag, publisher, spec)| ChannelDecl {
+                etag,
+                publisher,
+                spec,
+            })
+            .collect(),
+    }
+}
+
+/// Statically lint a network's configuration (rules `S1`..`S8`).
+pub fn lint_network(net: &Network) -> Report {
+    lint(&lint_input(net))
+}
+
+/// Build the trace auditor's context from a network's configuration.
+pub fn audit_context(net: &Network) -> AuditContext {
+    let world = net.world();
+    let cfg = world.config();
+    let mut ctx = AuditContext {
+        calendar: world.calendar().cloned(),
+        calendar_start: world.calendar_start(),
+        hrt_deferred_delivery: cfg.hrt_deferred_delivery,
+        tolerance: if cfg.clocks.is_some() {
+            DRIFT_TOLERANCE
+        } else {
+            Duration::ZERO
+        },
+        ..AuditContext::default()
+    };
+    for (etag, _, class) in world.channels() {
+        ctx.channels.insert(etag, class);
+    }
+    for (etag, _, spec) in world.publications() {
+        if let ChannelSpec::Hrt(h) = spec {
+            if !h.sporadic {
+                ctx.hrt_periods.insert(etag, h.period);
+            }
+        }
+    }
+    ctx
+}
+
+/// Audit a recorded trace against a network's configuration (rules
+/// `T1`..`T8`).
+pub fn audit_network(net: &Network, sink: &TraceSink) -> Report {
+    audit(&audit_context(net), &sink.events())
+}
+
+/// Lint the configuration *and* audit the trace; one merged report.
+pub fn check_network(net: &Network, sink: &TraceSink) -> Report {
+    let mut rep = lint_network(net);
+    rep.merge(audit_network(net, sink));
+    rep
+}

@@ -285,10 +285,7 @@ mod tests {
         for i in 0..(ETAG_LAST - ETAG_FIRST_DYNAMIC + 1) {
             reg.bind(Subject::new(u64::from(i) + 1_000_000)).unwrap();
         }
-        assert_eq!(
-            reg.bind(Subject::new(5)),
-            Err(BindStatus::Exhausted)
-        );
+        assert_eq!(reg.bind(Subject::new(5)), Err(BindStatus::Exhausted));
     }
 
     #[test]

@@ -264,17 +264,35 @@ impl fmt::Display for ChannelException {
             ChannelException::DeadlineMissed { subject, deadline } => {
                 write!(f, "{subject}: transmission deadline {deadline} missed")
             }
-            ChannelException::Expired { subject, expiration } => {
-                write!(f, "{subject}: expired at {expiration}, dropped from send queue")
+            ChannelException::Expired {
+                subject,
+                expiration,
+            } => {
+                write!(
+                    f,
+                    "{subject}: expired at {expiration}, dropped from send queue"
+                )
             }
-            ChannelException::MissingEvent { subject, expected_at } => {
+            ChannelException::MissingEvent {
+                subject,
+                expected_at,
+            } => {
                 write!(f, "{subject}: no event in slot delivering at {expected_at}")
             }
             ChannelException::RedundancyExhausted { subject, attempts } => {
-                write!(f, "{subject}: redundancy exhausted after {attempts} attempts")
+                write!(
+                    f,
+                    "{subject}: redundancy exhausted after {attempts} attempts"
+                )
             }
-            ChannelException::NotReady { subject, slot_ready_at } => {
-                write!(f, "{subject}: publish missed slot ready time {slot_ready_at}")
+            ChannelException::NotReady {
+                subject,
+                slot_ready_at,
+            } => {
+                write!(
+                    f,
+                    "{subject}: publish missed slot ready time {slot_ready_at}"
+                )
             }
             ChannelException::Fault { subject, reason } => {
                 write!(f, "{subject}: {reason}")
@@ -366,20 +384,43 @@ mod tests {
 
     #[test]
     fn spec_classes() {
-        assert_eq!(ChannelSpec::hrt(HrtSpec::periodic_10ms()).class(), ChannelClass::Hrt);
-        assert_eq!(ChannelSpec::srt(SrtSpec::default()).class(), ChannelClass::Srt);
-        assert_eq!(ChannelSpec::nrt(NrtSpec::default()).class(), ChannelClass::Nrt);
+        assert_eq!(
+            ChannelSpec::hrt(HrtSpec::periodic_10ms()).class(),
+            ChannelClass::Hrt
+        );
+        assert_eq!(
+            ChannelSpec::srt(SrtSpec::default()).class(),
+            ChannelClass::Srt
+        );
+        assert_eq!(
+            ChannelSpec::nrt(NrtSpec::default()).class(),
+            ChannelClass::Nrt
+        );
     }
 
     #[test]
     fn nrt_band_enforced() {
-        assert!(validate_nrt_priority(&NrtSpec { priority: 251, fragmented: false }).is_ok());
-        assert!(validate_nrt_priority(&NrtSpec { priority: 255, fragmented: true }).is_ok());
+        assert!(validate_nrt_priority(&NrtSpec {
+            priority: 251,
+            fragmented: false
+        })
+        .is_ok());
+        assert!(validate_nrt_priority(&NrtSpec {
+            priority: 255,
+            fragmented: true
+        })
+        .is_ok());
         // An NRT channel must never be able to claim an SRT or HRT
         // priority — that would break P_HRT < P_SRT < P_NRT.
-        let err = validate_nrt_priority(&NrtSpec { priority: 250, fragmented: false });
+        let err = validate_nrt_priority(&NrtSpec {
+            priority: 250,
+            fragmented: false,
+        });
         assert_eq!(err, Err(ChannelError::PriorityOutOfBand { priority: 250 }));
-        let err0 = validate_nrt_priority(&NrtSpec { priority: 0, fragmented: false });
+        let err0 = validate_nrt_priority(&NrtSpec {
+            priority: 0,
+            fragmented: false,
+        });
         assert!(err0.is_err());
     }
 

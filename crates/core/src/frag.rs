@@ -31,16 +31,28 @@ pub const LATER_FRAGMENT_DATA: usize = 5;
 /// Largest message the u16 length field can describe.
 pub const MAX_MESSAGE_LEN: usize = u16::MAX as usize;
 
+/// Split a message into CAN payloads, rejecting messages the u16
+/// length field cannot describe.
+pub fn try_fragment(data: &[u8]) -> Result<Vec<Vec<u8>>, FragError> {
+    if data.len() > MAX_MESSAGE_LEN {
+        return Err(FragError::MessageTooLong { len: data.len() });
+    }
+    Ok(fragment_unchecked(data))
+}
+
 /// Split a message into CAN payloads.
 ///
 /// # Panics
-/// If `data` exceeds [`MAX_MESSAGE_LEN`].
+/// If `data` exceeds [`MAX_MESSAGE_LEN`]; use [`try_fragment`] for a
+/// fallible variant.
 pub fn fragment(data: &[u8]) -> Vec<Vec<u8>> {
-    assert!(
-        data.len() <= MAX_MESSAGE_LEN,
-        "NRT message of {} bytes exceeds the 64 KiB fragmentation limit",
-        data.len()
-    );
+    match try_fragment(data) {
+        Ok(frags) => frags,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn fragment_unchecked(data: &[u8]) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     let total = data.len() as u16;
     let first_take = data.len().min(FIRST_FRAGMENT_DATA);
@@ -78,9 +90,15 @@ pub fn fragment_count(len: usize) -> usize {
     }
 }
 
-/// Reassembly failure.
+/// Fragmentation or reassembly failure.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FragError {
+    /// The message exceeds [`MAX_MESSAGE_LEN`] and cannot be described
+    /// by the u16 length field.
+    MessageTooLong {
+        /// Offending message length.
+        len: usize,
+    },
     /// A non-first fragment arrived with no transfer in progress.
     NoTransferInProgress,
     /// Fragment index skipped — a frame was lost; the partial message
@@ -104,6 +122,34 @@ pub enum FragError {
         received: usize,
     },
 }
+
+impl std::fmt::Display for FragError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragError::MessageTooLong { len } => write!(
+                f,
+                "NRT message of {len} bytes exceeds the 64 KiB fragmentation limit"
+            ),
+            FragError::NoTransferInProgress => {
+                write!(f, "non-first fragment with no transfer in progress")
+            }
+            FragError::SequenceGap { expected, got } => {
+                write!(f, "fragment index gap: expected {expected}, got {got}")
+            }
+            FragError::Malformed => write!(f, "malformed fragment payload"),
+            FragError::Overflow => write!(f, "more data than the announced total length"),
+            FragError::LengthMismatch {
+                announced,
+                received,
+            } => write!(
+                f,
+                "reassembled {received} byte(s) but {announced} were announced"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FragError {}
 
 #[derive(Clone, Debug)]
 struct Partial {
@@ -173,7 +219,10 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
         if index != partial.next_index {
             let expected = partial.next_index;
             self.partials.remove(&key);
-            return Err(FragError::SequenceGap { expected, got: index });
+            return Err(FragError::SequenceGap {
+                expected,
+                got: index,
+            });
         }
         partial.next_index += 1;
         partial.data.extend_from_slice(&payload[3..]);
@@ -289,7 +338,13 @@ mod tests {
         r.push(0, &frags[1]).unwrap();
         // Skip fragment 2.
         let err = r.push(0, &frags[3]).unwrap_err();
-        assert_eq!(err, FragError::SequenceGap { expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            FragError::SequenceGap {
+                expected: 2,
+                got: 3
+            }
+        );
         // Transfer was discarded.
         assert_eq!(r.in_progress(), 0);
         assert_eq!(

@@ -27,8 +27,7 @@ use crate::binding::{
     ETAG_FOLLOW_UP, ETAG_SYNC,
 };
 use crate::channel::{
-    validate_nrt_priority, ChannelClass, ChannelError, ChannelException, ChannelSpec,
-    SubscribeSpec,
+    validate_nrt_priority, ChannelClass, ChannelError, ChannelException, ChannelSpec, SubscribeSpec,
 };
 use crate::event::{Delivery, Event, EventQueue, Subject};
 use crate::node::{
@@ -319,6 +318,11 @@ impl NetWorld {
         self.calendar.as_ref()
     }
 
+    /// First round start (true time) of the installed calendar, if any.
+    pub fn calendar_start(&self) -> Option<Time> {
+        self.calendar.as_ref().map(|_| self.calendar_start)
+    }
+
     /// The network configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
@@ -350,6 +354,21 @@ impl NetWorld {
     /// All nodes currently subscribed to an etag.
     pub fn subscribers_of(&self, etag: u16) -> Vec<NodeId> {
         self.subscribers.get(&etag).cloned().unwrap_or_default()
+    }
+
+    /// Enumerate all bound publications: `(etag, publishing node, spec)`,
+    /// sorted by etag — the input a configuration linter needs.
+    pub fn publications(&self) -> Vec<(u16, NodeId, ChannelSpec)> {
+        let mut out: Vec<(u16, NodeId, ChannelSpec)> = Vec::new();
+        for ns in &self.nodes {
+            for p in ns.publishers.values() {
+                if let Some(etag) = p.etag {
+                    out.push((etag, ns.id, p.spec));
+                }
+            }
+        }
+        out.sort_by_key(|&(etag, node, _)| (etag, node.0));
+        out
     }
 
     /// Peak SRT queue length observed on a node.
@@ -392,7 +411,10 @@ impl NetWorld {
         spec: ChannelSpec,
         exception: Option<ExcHandler>,
     ) -> Result<(), ChannelError> {
-        if self.nodes[node.index()].publishers.contains_key(&subject.uid()) {
+        if self.nodes[node.index()]
+            .publishers
+            .contains_key(&subject.uid())
+        {
             return Err(ChannelError::AlreadyAnnounced(subject));
         }
         match &spec {
@@ -523,7 +545,10 @@ impl NetWorld {
                     ));
                 }
                 self.stats.channel_mut(etag).published += 1;
-                let pub_state = self.nodes[n].publishers.get_mut(&subject.uid()).expect("exists");
+                let pub_state = self.nodes[n]
+                    .publishers
+                    .get_mut(&subject.uid())
+                    .expect("exists");
                 pub_state.staged = Some(event);
                 // If the current slot just went empty and this publish
                 // missed it, tell the application (§2.2.1 awareness).
@@ -556,9 +581,10 @@ impl NetWorld {
                     .attributes
                     .deadline
                     .unwrap_or(now_global + s.default_deadline);
-                let expiration = event.attributes.expiration.or_else(|| {
-                    s.default_expiration.map(|d| now_global + d)
-                });
+                let expiration = event
+                    .attributes
+                    .expiration
+                    .or_else(|| s.default_expiration.map(|d| now_global + d));
                 let srt = &mut self.nodes[n].srt;
                 let seq = srt.next_seq;
                 srt.next_seq += 1;
@@ -585,13 +611,12 @@ impl NetWorld {
             }
             ChannelSpec::Nrt(nrt) => {
                 let payloads = if nrt.fragmented {
-                    if event.content.len() > crate::frag::MAX_MESSAGE_LEN {
-                        return Err(ChannelError::PayloadTooLong {
+                    crate::frag::try_fragment(&event.content).map_err(|_| {
+                        ChannelError::PayloadTooLong {
                             len: event.content.len(),
                             max: crate::frag::MAX_MESSAGE_LEN,
-                        });
-                    }
-                    crate::frag::fragment(&event.content)
+                        }
+                    })?
                 } else {
                     if event.content.len() > MAX_INLINE_CONTENT {
                         return Err(ChannelError::PayloadTooLong {
@@ -602,6 +627,7 @@ impl NetWorld {
                     vec![event.content.clone()]
                 };
                 self.stats.channel_mut(etag).published += 1;
+                let (frags, bytes) = (payloads.len(), event.content.len());
                 let transfer = NrtTransfer {
                     etag,
                     subject,
@@ -612,6 +638,19 @@ impl NetWorld {
                     published_at: now_true,
                 };
                 self.nodes[n].nrt.queue.push_back(transfer);
+                self.trace.emit_kv(
+                    now_true,
+                    &format!("{node}.nrtec"),
+                    "nrt_enqueue",
+                    format!("etag={etag} frags={frags}"),
+                    vec![
+                        ("etag", u64::from(etag)),
+                        ("node", u64::from(node.0)),
+                        ("frags", frags as u64),
+                        ("bytes", bytes as u64),
+                        ("fragmented", u64::from(nrt.fragmented)),
+                    ],
+                );
                 self.nrt_dispatch(ctx, node);
                 Ok(())
             }
@@ -878,11 +917,17 @@ impl NetWorld {
             self.empty_slots
                 .insert((publisher.0, etag), (now, deadline_true));
         }
-        self.trace.emit(
+        self.trace.emit_kv(
             now,
             &format!("{publisher}.hrtec"),
             "slot_ready",
             format!("etag={etag} round={round} slot={slot}"),
+            vec![
+                ("etag", u64::from(etag)),
+                ("round", round),
+                ("slot", slot as u64),
+                ("node", u64::from(publisher.0)),
+            ],
         );
     }
 
@@ -997,6 +1042,19 @@ impl NetWorld {
                     ch.inter_delivery_ns
                         .record(now.saturating_since(last).as_ns());
                 }
+                self.trace.emit_kv(
+                    now,
+                    &format!("{node}.hrtec"),
+                    "hrt_deliver",
+                    format!("etag={etag} round={round} slot={slot}"),
+                    vec![
+                        ("etag", u64::from(etag)),
+                        ("round", round),
+                        ("slot", slot as u64),
+                        ("node", u64::from(node.0)),
+                        ("wire", wire_t.as_ns()),
+                    ],
+                );
             }
             None => {
                 if !sporadic {
@@ -1084,7 +1142,8 @@ impl NetWorld {
         );
         self.nodes[n].srt.inflight = Some((seq, handle, prio));
         if self.config.srt_dynamic_promotion {
-            if let Some(t_g) = next_promotion_time(deadline, now_global, &self.config.priority_slots)
+            if let Some(t_g) =
+                next_promotion_time(deadline, now_global, &self.config.priority_slots)
             {
                 let t = self.true_at(node, t_g, now_true);
                 ctx.at(t, NetEvent::SrtPromote { node, seq });
@@ -1159,6 +1218,18 @@ impl NetWorld {
             }
         }
         let msg = self.nodes[n].srt.queue.remove(idx);
+        self.trace.emit_kv(
+            ctx.now(),
+            &format!("{node}.srtec"),
+            "srt_expire",
+            format!("etag={} seq={seq}", msg.etag),
+            vec![
+                ("etag", u64::from(msg.etag)),
+                ("seq", u64::from(seq)),
+                ("node", u64::from(node.0)),
+                ("tag", pack_tag(TagKind::Srt, msg.etag, seq)),
+            ],
+        );
         let exc = ChannelException::Expired {
             subject: msg.subject,
             expiration: msg.expiration.unwrap_or(msg.deadline),
@@ -1192,10 +1263,7 @@ impl NetWorld {
             self.nodes[n].nrt.active = Some(next);
         }
         let t = self.nodes[n].nrt.active.as_ref().expect("set above");
-        let frame = Frame::new(
-            CanId::new(t.priority, node.0, t.etag),
-            &t.payloads[t.next],
-        );
+        let frame = Frame::new(CanId::new(t.priority, node.0, t.etag), &t.payloads[t.next]);
         let tag = pack_tag(TagKind::Nrt, t.etag, t.next as u32);
         let mut sched = MapScheduler::new(ctx, wrap_can);
         let handle = self.bus.submit(
@@ -1207,12 +1275,7 @@ impl NetWorld {
                 tag,
             },
         );
-        self.nodes[n]
-            .nrt
-            .active
-            .as_mut()
-            .expect("set above")
-            .handle = Some(handle);
+        self.nodes[n].nrt.active.as_mut().expect("set above").handle = Some(handle);
     }
 
     // ------------------------------------------------------------------
@@ -1305,10 +1368,36 @@ impl NetWorld {
                 }
             }
             Notification::DuplicateId { id, nodes } => {
-                panic!(
-                    "identifier {id} used by multiple nodes {nodes:?}: \
-                     TxNode uniqueness violated"
-                );
+                // TxNode uniqueness violated — a configuration bug the
+                // static linter catches ahead of time. Surface it as an
+                // exception on every implicated node instead of tearing
+                // the whole simulation down.
+                self.stats.duplicate_ids += 1;
+                self.stats.exceptions += 1;
+                for node in nodes {
+                    let n = node.index();
+                    if n >= self.nodes.len() {
+                        continue;
+                    }
+                    let subjects: Vec<Subject> = self.nodes[n]
+                        .publishers
+                        .values()
+                        .filter(|p| p.etag == Some(id.etag()))
+                        .map(|p| p.subject)
+                        .collect();
+                    for subject in subjects {
+                        let exc = ChannelException::Fault {
+                            subject,
+                            reason: format!(
+                                "identifier {id} used by multiple nodes: TxNode \
+                                 uniqueness violated"
+                            ),
+                        };
+                        if let Some(p) = self.nodes[n].publishers.get_mut(&subject.uid()) {
+                            p.raise(&exc);
+                        }
+                    }
+                }
             }
         }
     }
@@ -1340,8 +1429,8 @@ impl NetWorld {
                     ChannelSpec::Hrt(h) => h.dlc,
                     _ => 8,
                 };
-                let first_attempt = active.first_completion.is_none()
-                    && active.middleware_retx == 0;
+                let first_attempt =
+                    active.first_completion.is_none() && active.middleware_retx == 0;
                 let lst_true = active.lst_true;
                 let deadline_true = active.deadline_true;
                 let subject = p.subject;
@@ -1387,8 +1476,7 @@ impl NetWorld {
                     if active.middleware_retx < k && now + c <= deadline_true {
                         active.middleware_retx += 1;
                         let content = active.event.content.clone();
-                        let retx_frame =
-                            Frame::new(CanId::new(PRIO_HRT, node.0, etag), &content);
+                        let retx_frame = Frame::new(CanId::new(PRIO_HRT, node.0, etag), &content);
                         let mut sched = MapScheduler::new(ctx, wrap_can);
                         let handle = self.bus.submit(
                             &mut sched,
@@ -1550,6 +1638,18 @@ impl NetWorld {
                     .push((origin.0, etag), frame.payload())
                 {
                     Ok(Some(data)) => {
+                        self.trace.emit_kv(
+                            completed_at,
+                            &format!("{node}.nrtec"),
+                            "nrt_complete",
+                            format!("etag={etag} bytes={}", data.len()),
+                            vec![
+                                ("etag", u64::from(etag)),
+                                ("node", u64::from(node.0)),
+                                ("origin", u64::from(origin.0)),
+                                ("bytes", data.len() as u64),
+                            ],
+                        );
                         let publish_time = self.nrt_publish_time(origin, etag);
                         self.deliver_immediate(
                             node,
@@ -1562,6 +1662,17 @@ impl NetWorld {
                     }
                     Ok(None) => {}
                     Err(e) => {
+                        self.trace.emit_kv(
+                            completed_at,
+                            &format!("{node}.nrtec"),
+                            "frag_error",
+                            format!("etag={etag} {e:?}"),
+                            vec![
+                                ("etag", u64::from(etag)),
+                                ("node", u64::from(node.0)),
+                                ("origin", u64::from(origin.0)),
+                            ],
+                        );
                         let sub = self.nodes[n].subscription_by_etag(etag).expect("exists");
                         let subject = sub.subject;
                         let exc = ChannelException::Fault {

@@ -320,9 +320,7 @@ impl NodeState {
 
     /// The publisher endpoint bound to `etag`, if any.
     pub fn publisher_by_etag(&mut self, etag: u16) -> Option<&mut PublisherState> {
-        self.publishers
-            .values_mut()
-            .find(|p| p.etag == Some(etag))
+        self.publishers.values_mut().find(|p| p.etag == Some(etag))
     }
 
     /// The subscription endpoint bound to `etag`, if any.

@@ -90,6 +90,9 @@ pub struct NetStats {
     pub exceptions: u64,
     /// Frames that could not be attributed to a known channel.
     pub unknown_frames: u64,
+    /// Bus notifications about an identifier contended by several nodes
+    /// at once — TxNode uniqueness (§3.5) violated by the configuration.
+    pub duplicate_ids: u64,
 }
 
 impl NetStats {

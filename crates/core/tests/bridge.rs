@@ -26,9 +26,12 @@ fn events_cross_the_gateway_with_latency() {
     }
     let far_q = {
         let mut api = bridge.b.api();
-        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default())
+            .unwrap()
     };
-    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    bridge
+        .forward(TEMP, Segment::A, SrtSpec::default())
+        .unwrap();
     bridge.a.at(Time::from_ms(2), |api| {
         api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![21, 5]))
             .unwrap();
@@ -64,7 +67,9 @@ fn origin_filter_separates_local_from_remote_publishers() {
         let mut api = bridge.b.api();
         api.announce(NodeId(0), TEMP, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        let open = api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap();
+        let open = api
+            .subscribe(NodeId(1), TEMP, SubscribeSpec::default())
+            .unwrap();
         let local = api
             .subscribe(
                 NodeId(2),
@@ -74,7 +79,9 @@ fn origin_filter_separates_local_from_remote_publishers() {
             .unwrap();
         (open, local)
     };
-    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    bridge
+        .forward(TEMP, Segment::A, SrtSpec::default())
+        .unwrap();
     // One remote publication (on A) and one local publication (on B).
     bridge.a.at(Time::from_ms(2), |api| {
         api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![0xAA]))
@@ -96,7 +103,10 @@ fn origin_filter_separates_local_from_remote_publishers() {
 fn hrt_stays_segment_local_while_its_events_cross_as_srt() {
     // A hard real-time sensor on the field bus keeps its guarantees
     // locally; the backbone gets the values best-effort via the bridge.
-    let a = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let a = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     let b = Network::builder().nodes(3).build();
     let mut bridge = Bridge::new(a, b, NodeId(3), NodeId(2), Duration::from_ms(1));
     let local_q = {
@@ -112,29 +122,32 @@ fn hrt_stays_segment_local_while_its_events_cross_as_srt() {
             }),
         )
         .unwrap();
-        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default())
+            .unwrap()
     };
     let far_q = {
         let mut api = bridge.b.api();
-        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), TEMP, SubscribeSpec::default())
+            .unwrap()
     };
-    bridge.forward(TEMP, Segment::A, SrtSpec::default()).unwrap();
+    bridge
+        .forward(TEMP, Segment::A, SrtSpec::default())
+        .unwrap();
     {
         let mut api = bridge.a.api();
         api.install_calendar().unwrap();
     }
-    bridge.a.every(Duration::from_ms(10), Duration::from_us(100), |api| {
-        let _ = api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![9; 8]));
-    });
+    bridge
+        .a
+        .every(Duration::from_ms(10), Duration::from_us(100), |api| {
+            let _ = api.publish(NodeId(0), TEMP, Event::new(TEMP, vec![9; 8]));
+        });
     bridge.run_until(Time::from_ms(205));
     let local = local_q.drain();
     assert!(local.len() >= 19);
     // Segment-local HRT: perfectly periodic.
     for w in local.windows(2) {
-        assert_eq!(
-            w[1].delivered_at - w[0].delivered_at,
-            Duration::from_ms(10)
-        );
+        assert_eq!(w[1].delivered_at - w[0].delivered_at, Duration::from_ms(10));
     }
     // Backbone copies arrive best-effort (same count, no jitter bound).
     let far = far_q.drain();

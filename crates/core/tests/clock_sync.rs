@@ -14,13 +14,29 @@ const SENSOR: Subject = Subject::new(0x5001);
 fn bad_clocks() -> Vec<ClockParams> {
     vec![
         ClockParams::PERFECT, // node 0: master
-        ClockParams { drift_ppm: -200.0, initial_offset_ns: 0.0 }, // publisher
-        ClockParams { drift_ppm: 200.0, initial_offset_ns: 0.0 },  // subscriber
-        ClockParams { drift_ppm: 120.0, initial_offset_ns: 0.0 },
+        ClockParams {
+            drift_ppm: -200.0,
+            initial_offset_ns: 0.0,
+        }, // publisher
+        ClockParams {
+            drift_ppm: 200.0,
+            initial_offset_ns: 0.0,
+        }, // subscriber
+        ClockParams {
+            drift_ppm: 120.0,
+            initial_offset_ns: 0.0,
+        },
     ]
 }
 
-fn run(with_sync: bool, horizon: Duration) -> (u64 /*delivered*/, u64 /*missing*/, u64 /*spread*/) {
+fn run(
+    with_sync: bool,
+    horizon: Duration,
+) -> (
+    u64, /*delivered*/
+    u64, /*missing*/
+    u64, /*spread*/
+) {
     let mut builder = Network::builder()
         .nodes(4)
         .round(Duration::from_ms(10))
@@ -46,7 +62,9 @@ fn run(with_sync: bool, horizon: Duration) -> (u64 /*delivered*/, u64 /*missing*
             }),
         )
         .unwrap();
-        let q = api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(2), SENSOR, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
@@ -86,8 +104,14 @@ fn sync_traffic_overhead_is_small() {
         .nodes(3)
         .clocks(vec![
             ClockParams::PERFECT,
-            ClockParams { drift_ppm: 100.0, initial_offset_ns: 0.0 },
-            ClockParams { drift_ppm: -100.0, initial_offset_ns: 0.0 },
+            ClockParams {
+                drift_ppm: 100.0,
+                initial_offset_ns: 0.0,
+            },
+            ClockParams {
+                drift_ppm: -100.0,
+                initial_offset_ns: 0.0,
+            },
         ])
         .clock_sync(ClockSyncConfig {
             period: Duration::from_ms(50),

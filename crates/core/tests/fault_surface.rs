@@ -40,10 +40,12 @@ fn error_state_transitions_reach_channel_exception_handlers() {
             },
         )
         .unwrap();
-        api.subscribe(NodeId(1), S, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(1), S, SubscribeSpec::default())
+            .unwrap();
     }
     net.after(Duration::ZERO, |api| {
-        api.publish(NodeId(0), S, Event::new(S, vec![1; 8])).unwrap();
+        api.publish(NodeId(0), S, Event::new(S, vec![1; 8]))
+            .unwrap();
     });
     // Every attempt is corrupted: the controller's TEC climbs to
     // passive (16 attempts) and bus-off (32 attempts).
@@ -67,11 +69,17 @@ fn clean_bus_raises_no_fault_exceptions() {
     let c = count.clone();
     {
         let mut api = net.api();
-        api.announce_with_handler(NodeId(0), S, ChannelSpec::srt(SrtSpec::default()), move |_| {
-            *c.borrow_mut() += 1;
-        })
+        api.announce_with_handler(
+            NodeId(0),
+            S,
+            ChannelSpec::srt(SrtSpec::default()),
+            move |_| {
+                *c.borrow_mut() += 1;
+            },
+        )
         .unwrap();
-        api.subscribe(NodeId(1), S, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(1), S, SubscribeSpec::default())
+            .unwrap();
     }
     net.every(Duration::from_ms(1), Duration::ZERO, |api| {
         let _ = api.publish(NodeId(0), S, Event::new(S, vec![2; 8]));

@@ -2,11 +2,11 @@
 //! reservations, LST priority raising, jitter removal, time redundancy
 //! with early stop, and non-interference with lower channel classes.
 
+use rtec_can::bits::BitTiming;
+use rtec_can::FaultModel;
 use rtec_core::channel::HrtSpec;
 use rtec_core::network::CalendarError;
 use rtec_core::prelude::*;
-use rtec_can::bits::BitTiming;
-use rtec_can::FaultModel;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -25,12 +25,17 @@ fn hrt_spec(period_ms: u64, k: u32) -> HrtSpec {
 /// Build a 4-node net: node 0 publishes SENSOR on HRT; node 2
 /// subscribes; returns (net, queue).
 fn hrt_net(k: u32) -> (Network, EventQueue) {
-    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     let q = {
         let mut api = net.api();
         api.announce(NodeId(0), SENSOR, ChannelSpec::hrt(hrt_spec(10, k)))
             .unwrap();
-        let q = api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(2), SENSOR, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
@@ -101,8 +106,11 @@ fn hrt_jitter_removal_hides_wire_jitter_under_background_load() {
                 .unwrap();
             api.announce(NodeId(1), NOISE, ChannelSpec::srt(SrtSpec::default()))
                 .unwrap();
-            let q = api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default()).unwrap();
-            api.subscribe(NodeId(3), NOISE, SubscribeSpec::default()).unwrap();
+            let q = api
+                .subscribe(NodeId(2), SENSOR, SubscribeSpec::default())
+                .unwrap();
+            api.subscribe(NodeId(3), NOISE, SubscribeSpec::default())
+                .unwrap();
             api.install_calendar().unwrap();
             q
         };
@@ -123,7 +131,10 @@ fn hrt_jitter_removal_hides_wire_jitter_under_background_load() {
         let mut spread_min = u64::MAX;
         let mut spread_max = 0u64;
         for w in deliveries.windows(2) {
-            let gap = w[1].delivered_at.saturating_since(w[0].delivered_at).as_ns();
+            let gap = w[1]
+                .delivered_at
+                .saturating_since(w[0].delivered_at)
+                .as_ns();
             spread_min = spread_min.min(gap);
             spread_max = spread_max.max(gap);
         }
@@ -143,15 +154,20 @@ fn hrt_jitter_removal_hides_wire_jitter_under_background_load() {
 fn hrt_blocking_at_lst_is_bounded_by_delta_t_wait() {
     // Even under adversarial background traffic, the HRT frame waits at
     // most one maximal frame after its LST (non-preemption bound).
-    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     {
         let mut api = net.api();
         api.announce(NodeId(0), SENSOR, ChannelSpec::hrt(hrt_spec(10, 1)))
             .unwrap();
         api.announce(NodeId(1), NOISE, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(3), NOISE, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(2), SENSOR, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(3), NOISE, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
     }
     net.every(Duration::from_ms(10), Duration::from_us(100), |api| {
@@ -167,7 +183,10 @@ fn hrt_blocking_at_lst_is_bounded_by_delta_t_wait() {
     });
     net.run_for(Duration::from_ms(300));
     let max_block = net.stats().max_lst_blocking();
-    assert!(max_block > Duration::ZERO, "background traffic does block sometimes");
+    assert!(
+        max_block > Duration::ZERO,
+        "background traffic does block sometimes"
+    );
     assert!(
         max_block <= BitTiming::MBIT_1.delta_t_wait_tight(),
         "blocking {max_block} exceeds ΔT_wait"
@@ -200,7 +219,10 @@ fn hrt_masks_omissions_within_budget_via_redundancy() {
         deliveries.len()
     );
     let st = net.stats().channel(etag);
-    assert!(st.redundant_transmissions >= 18, "2 extra transmissions per event");
+    assert!(
+        st.redundant_transmissions >= 18,
+        "2 extra transmissions per event"
+    );
     assert_eq!(st.missing_events, 0);
     assert_eq!(st.redundancy_exhausted, 0);
     // And deliveries are still perfectly periodic (redundancy happens
@@ -217,7 +239,10 @@ fn hrt_masks_omissions_within_budget_via_redundancy() {
 fn hrt_fault_assumption_violation_is_detected() {
     // Omission degree 3 > budget k=1: the publisher reports
     // RedundancyExhausted and the subscriber MissingEvent.
-    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     let pub_exc: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
     let sub_exc: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
     let (pe, se) = (pub_exc.clone(), sub_exc.clone());
@@ -263,9 +288,20 @@ fn hrt_fault_assumption_violation_is_detected() {
         api.world_mut().bus.injector_mut().reset_runs();
     });
     net.run_for(Duration::from_ms(55));
-    assert!(q.is_empty(), "nothing delivered beyond the fault assumption");
-    assert!(*pub_exc.borrow() >= 4, "publisher exceptions: {}", pub_exc.borrow());
-    assert!(*sub_exc.borrow() >= 4, "subscriber exceptions: {}", sub_exc.borrow());
+    assert!(
+        q.is_empty(),
+        "nothing delivered beyond the fault assumption"
+    );
+    assert!(
+        *pub_exc.borrow() >= 4,
+        "publisher exceptions: {}",
+        pub_exc.borrow()
+    );
+    assert!(
+        *sub_exc.borrow() >= 4,
+        "subscriber exceptions: {}",
+        sub_exc.borrow()
+    );
 }
 
 #[test]
@@ -277,14 +313,20 @@ fn hrt_early_stop_reclaims_unused_redundancy_bandwidth() {
     net.run_for(Duration::from_ms(105));
     let st = net.stats().channel(etag_of(&net, SENSOR));
     assert_eq!(st.redundant_transmissions, 0);
-    assert_eq!(st.wire_transmissions, st.published.min(st.wire_transmissions));
+    assert_eq!(
+        st.wire_transmissions,
+        st.published.min(st.wire_transmissions)
+    );
     // Wire transmissions equal the number of slots served.
     assert!((9..=11).contains(&st.wire_transmissions));
 }
 
 #[test]
 fn hrt_sporadic_channel_empty_slots_are_silent() {
-    let mut net = Network::builder().nodes(3).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(3)
+        .round(Duration::from_ms(10))
+        .build();
     let q = {
         let mut api = net.api();
         api.announce(
@@ -296,21 +338,28 @@ fn hrt_sporadic_channel_empty_slots_are_silent() {
             }),
         )
         .unwrap();
-        let q = api.subscribe(NodeId(1), SENSOR, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(1), SENSOR, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
     // Publish only twice over 10 rounds.
     net.after(Duration::from_ms(12), |api| {
-        api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![1])).unwrap();
+        api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![1]))
+            .unwrap();
     });
     net.after(Duration::from_ms(52), |api| {
-        api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![2])).unwrap();
+        api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![2]))
+            .unwrap();
     });
     net.run_for(Duration::from_ms(105));
     assert_eq!(q.drain().len(), 2);
     let st = net.stats().channel(etag_of(&net, SENSOR));
-    assert_eq!(st.missing_events, 0, "sporadic: empty slots are not missing");
+    assert_eq!(
+        st.missing_events, 0,
+        "sporadic: empty slots are not missing"
+    );
 }
 
 #[test]
@@ -326,23 +375,25 @@ fn hrt_periodic_channel_missing_event_detected_when_publisher_stops() {
     assert_eq!(st0, 0);
     drop(q);
 
-    let mut net2 = Network::builder().nodes(3).round(Duration::from_ms(10)).build();
+    let mut net2 = Network::builder()
+        .nodes(3)
+        .round(Duration::from_ms(10))
+        .build();
     let q2 = {
         let mut api = net2.api();
         api.announce(NodeId(0), SENSOR, ChannelSpec::hrt(hrt_spec(10, 1)))
             .unwrap();
-        let q = api.subscribe(NodeId(1), SENSOR, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(1), SENSOR, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
     for i in 0..3u64 {
-        net2.at(
-            Time::from_us(100) + Duration::from_ms(10 * i),
-            move |api| {
-                api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![i as u8]))
-                    .unwrap();
-            },
-        );
+        net2.at(Time::from_us(100) + Duration::from_ms(10 * i), move |api| {
+            api.publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![i as u8]))
+                .unwrap();
+        });
     }
     net2.run_for(Duration::from_ms(105));
     assert_eq!(q2.drain().len(), 3);
@@ -363,7 +414,10 @@ fn hrt_announce_after_calendar_is_rejected() {
     let err = api
         .announce(NodeId(1), NOISE, ChannelSpec::hrt(hrt_spec(10, 1)))
         .unwrap_err();
-    assert!(matches!(err, rtec_core::channel::ChannelError::CalendarState(_)));
+    assert!(matches!(
+        err,
+        rtec_core::channel::ChannelError::CalendarState(_)
+    ));
     assert_eq!(api.install_calendar(), Err(CalendarError::AlreadyInstalled));
 }
 
@@ -376,12 +430,18 @@ fn hrt_publish_requires_calendar() {
     let err = api
         .publish(NodeId(0), SENSOR, Event::new(SENSOR, vec![1]))
         .unwrap_err();
-    assert!(matches!(err, rtec_core::channel::ChannelError::CalendarState(_)));
+    assert!(matches!(
+        err,
+        rtec_core::channel::ChannelError::CalendarState(_)
+    ));
 }
 
 #[test]
 fn hrt_admission_rejects_overload() {
-    let mut net = Network::builder().nodes(8).round(Duration::from_ms(1)).build();
+    let mut net = Network::builder()
+        .nodes(8)
+        .round(Duration::from_ms(1))
+        .build();
     let mut api = net.api();
     // Each k=2 slot is ~720 µs; two of them cannot fit in a 1 ms round.
     for (i, s) in [(0u8, 0x3001u64), (1, 0x3002)] {
@@ -403,7 +463,10 @@ fn hrt_admission_rejects_overload() {
 
 #[test]
 fn hrt_multiple_channels_coexist() {
-    let mut net = Network::builder().nodes(5).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(5)
+        .round(Duration::from_ms(10))
+        .build();
     let s_a = Subject::new(0x4001);
     let s_b = Subject::new(0x4002);
     let (qa, qb) = {
@@ -412,8 +475,12 @@ fn hrt_multiple_channels_coexist() {
             .unwrap();
         api.announce(NodeId(1), s_b, ChannelSpec::hrt(hrt_spec(5, 1)))
             .unwrap();
-        let qa = api.subscribe(NodeId(2), s_a, SubscribeSpec::default()).unwrap();
-        let qb = api.subscribe(NodeId(3), s_b, SubscribeSpec::default()).unwrap();
+        let qa = api
+            .subscribe(NodeId(2), s_a, SubscribeSpec::default())
+            .unwrap();
+        let qb = api
+            .subscribe(NodeId(3), s_b, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         (qa, qb)
     };

@@ -1,8 +1,8 @@
 //! End-to-end tests of the SRT and NRT channel classes, binding and
 //! filtering, driving full networks through simulated time.
 
-use rtec_core::prelude::*;
 use rtec_core::channel::ChannelError;
+use rtec_core::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -16,7 +16,8 @@ fn srt_publish_is_delivered_with_origin_and_content() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(2), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(2), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::from_us(10), |api| {
         api.publish(NodeId(0), S1, Event::new(S1, vec![0xAB, 0xCD]))
@@ -40,9 +41,12 @@ fn srt_multiple_subscribers_each_get_a_copy() {
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
         (
-            api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap(),
-            api.subscribe(NodeId(2), S1, SubscribeSpec::default()).unwrap(),
-            api.subscribe(NodeId(3), S1, SubscribeSpec::default()).unwrap(),
+            api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+                .unwrap(),
+            api.subscribe(NodeId(2), S1, SubscribeSpec::default())
+                .unwrap(),
+            api.subscribe(NodeId(3), S1, SubscribeSpec::default())
+                .unwrap(),
         )
     };
     net.after(Duration::ZERO, |api| {
@@ -74,7 +78,8 @@ fn srt_publisher_is_not_its_own_subscriber() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(0), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(0), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         api.publish(NodeId(0), S1, Event::new(S1, vec![1])).unwrap();
@@ -90,7 +95,8 @@ fn srt_edf_orders_same_node_queue_by_deadline() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     // Publish three events in the same instant with inverted deadline
     // order; EDF must transmit closest-deadline first.
@@ -132,11 +138,15 @@ fn srt_edf_orders_across_nodes_via_priorities() {
             api.announce(node, s, ChannelSpec::srt(SrtSpec::default()))
                 .unwrap();
         }
-        let q = api.subscribe(NodeId(3), sa, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(3), sa, SubscribeSpec::default())
+            .unwrap();
         // Same queue object is not shared across subjects; subscribe
         // separately and merge by timestamps instead.
-        api.subscribe(NodeId(3), sb, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(3), sc, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(3), sb, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(3), sc, SubscribeSpec::default())
+            .unwrap();
         q
     };
     let _ = q;
@@ -181,8 +191,7 @@ fn srt_edf_orders_across_nodes_via_priorities() {
 #[test]
 fn srt_deadline_miss_raises_exception_but_still_transmits() {
     let mut net = Network::builder().nodes(2).build();
-    let misses: Rc<RefCell<Vec<rtec_core::ChannelException>>> =
-        Rc::new(RefCell::new(vec![]));
+    let misses: Rc<RefCell<Vec<rtec_core::ChannelException>>> = Rc::new(RefCell::new(vec![]));
     let m = misses.clone();
     let q = {
         let mut api = net.api();
@@ -196,7 +205,8 @@ fn srt_deadline_miss_raises_exception_but_still_transmits() {
             move |exc| m.borrow_mut().push(exc.clone()),
         )
         .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         api.publish(NodeId(0), S1, Event::new(S1, vec![0x5A; 8]))
@@ -240,7 +250,8 @@ fn srt_expiration_drops_queued_messages() {
             },
         )
         .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         for i in 0..5u8 {
@@ -268,7 +279,8 @@ fn nrt_single_frame_roundtrip() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::nrt(NrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         api.publish(NodeId(0), S1, Event::new(S1, vec![1, 2, 3, 4]))
@@ -285,12 +297,14 @@ fn nrt_fragmented_bulk_transfer_roundtrip() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     let image: Vec<u8> = (0..2000u32).map(|i| (i % 256) as u8).collect();
     let image_clone = image.clone();
     net.after(Duration::ZERO, move |api| {
-        api.publish(NodeId(0), S1, Event::new(S1, image_clone)).unwrap();
+        api.publish(NodeId(0), S1, Event::new(S1, image_clone))
+            .unwrap();
     });
     net.run_for(Duration::from_secs(1));
     let deliveries = q.drain();
@@ -335,7 +349,8 @@ fn double_announce_and_double_subscribe_fail() {
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default())),
         Err(ChannelError::AlreadyAnnounced(S1))
     );
-    api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap();
+    api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+        .unwrap();
     assert!(matches!(
         api.subscribe(NodeId(1), S1, SubscribeSpec::default()),
         Err(ChannelError::AlreadySubscribed(_))
@@ -374,7 +389,8 @@ fn cancel_subscription_stops_deliveries() {
         let mut api = net.api();
         api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         api.publish(NodeId(0), S1, Event::new(S1, vec![1])).unwrap();
@@ -408,7 +424,8 @@ fn notification_handler_fires_on_delivery() {
         .unwrap();
     }
     net.after(Duration::ZERO, |api| {
-        api.publish(NodeId(0), S1, Event::new(S1, vec![42])).unwrap();
+        api.publish(NodeId(0), S1, Event::new(S1, vec![42]))
+            .unwrap();
     });
     net.run_for(Duration::from_ms(1));
     assert_eq!(*seen.borrow(), vec![vec![42]]);
@@ -422,7 +439,8 @@ fn dynamic_binding_assigns_etags_over_the_wire() {
         // Node 1 (not the agent) announces; node 2 subscribes.
         api.announce(NodeId(1), S1, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(2), S1, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(2), S1, SubscribeSpec::default())
+            .unwrap()
     };
     // Publishing while the binding is still in flight must not error:
     // the middleware queues the event. (Whether that early event reaches
@@ -433,7 +451,8 @@ fn dynamic_binding_assigns_etags_over_the_wire() {
         api.publish(NodeId(1), S1, Event::new(S1, vec![9])).unwrap();
     });
     net.after(Duration::from_ms(3), |api| {
-        api.publish(NodeId(1), S1, Event::new(S1, vec![10])).unwrap();
+        api.publish(NodeId(1), S1, Event::new(S1, vec![10]))
+            .unwrap();
     });
     net.run_for(Duration::from_ms(6));
     assert_eq!(
@@ -447,7 +466,10 @@ fn dynamic_binding_assigns_etags_over_the_wire() {
     assert_eq!(net.stats().channel_etag_of(&net, S1).published, 2);
     // Binding traffic really went over the bus: two requests (node 1 and
     // node 2), two replies, plus the data frames.
-    assert!(net.world().bus.stats.frames_ok >= 6, "requests + replies + data");
+    assert!(
+        net.world().bus.stats.frames_ok >= 6,
+        "requests + replies + data"
+    );
 }
 
 #[test]
@@ -460,8 +482,10 @@ fn dynamic_binding_multiple_subjects_same_node() {
         api.announce(NodeId(1), S2, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
         (
-            api.subscribe(NodeId(0), S1, SubscribeSpec::default()).unwrap(),
-            api.subscribe(NodeId(0), S2, SubscribeSpec::default()).unwrap(),
+            api.subscribe(NodeId(0), S1, SubscribeSpec::default())
+                .unwrap(),
+            api.subscribe(NodeId(0), S2, SubscribeSpec::default())
+                .unwrap(),
         )
     };
     net.after(Duration::from_us(1), |api| {
@@ -486,7 +510,10 @@ fn payload_limits_enforced_per_class() {
     let err = api
         .publish(NodeId(0), S1, Event::new(S1, vec![0; 9]))
         .unwrap_err();
-    assert!(matches!(err, ChannelError::PayloadTooLong { len: 9, max: 8 }));
+    assert!(matches!(
+        err,
+        ChannelError::PayloadTooLong { len: 9, max: 8 }
+    ));
 
     api.announce(NodeId(0), S2, ChannelSpec::nrt(NrtSpec::default()))
         .unwrap();
@@ -501,12 +528,17 @@ fn srt_queue_peak_tracks_buildup() {
     let mut net = Network::builder().nodes(2).build();
     {
         let mut api = net.api();
-        api.announce(NodeId(0), S1, ChannelSpec::srt(SrtSpec {
-            default_deadline: Duration::from_ms(100),
-            default_expiration: None,
-        }))
+        api.announce(
+            NodeId(0),
+            S1,
+            ChannelSpec::srt(SrtSpec {
+                default_deadline: Duration::from_ms(100),
+                default_expiration: None,
+            }),
+        )
         .unwrap();
-        api.subscribe(NodeId(1), S1, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(1), S1, SubscribeSpec::default())
+            .unwrap();
     }
     net.after(Duration::ZERO, |api| {
         for i in 0..10u8 {

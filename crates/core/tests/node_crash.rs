@@ -9,7 +9,10 @@ use std::rc::Rc;
 const SENSOR: Subject = Subject::new(0x6001);
 
 fn hrt_net() -> (Network, EventQueue, Rc<RefCell<u32>>) {
-    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     let missing: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
     let m = missing.clone();
     let q = {
@@ -95,7 +98,10 @@ fn crashed_subscriber_misses_frames_but_channel_keeps_working() {
     net.run_for(Duration::from_ms(200));
     let crashed_got = q.drain().len();
     let healthy_got = q2.drain().len();
-    assert!(healthy_got >= 19, "healthy subscriber unaffected: {healthy_got}");
+    assert!(
+        healthy_got >= 19,
+        "healthy subscriber unaffected: {healthy_got}"
+    );
     assert!(
         crashed_got < healthy_got,
         "crashed subscriber lost the frames sent while down"
@@ -120,7 +126,8 @@ fn srt_publisher_crash_is_invisible_to_subscribers() {
         let mut api = net.api();
         api.announce(NodeId(0), s, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(1), s, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), s, SubscribeSpec::default())
+            .unwrap()
     };
     net.every(Duration::from_ms(5), Duration::ZERO, move |api| {
         let _ = api.publish(NodeId(0), s, Event::new(s, vec![1]));

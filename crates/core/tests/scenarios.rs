@@ -10,7 +10,10 @@ const S: Subject = Subject::new(0x9101);
 fn two_publishers_one_hrt_channel_two_slot_trains() {
     // §3.1: "if multiple publishers provide input to the same channel,
     // multiple slots have to be reserved" — one per publisher.
-    let mut net = Network::builder().nodes(4).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(4)
+        .round(Duration::from_ms(10))
+        .build();
     let q = {
         let mut api = net.api();
         let spec = ChannelSpec::hrt(HrtSpec {
@@ -21,7 +24,9 @@ fn two_publishers_one_hrt_channel_two_slot_trains() {
         });
         api.announce(NodeId(0), S, spec).unwrap();
         api.announce(NodeId(1), S, spec).unwrap();
-        let q = api.subscribe(NodeId(2), S, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(2), S, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
@@ -44,7 +49,11 @@ fn two_publishers_one_hrt_channel_two_slot_trains() {
     net.run_for(Duration::from_ms(105));
     let deliveries = q.drain();
     // Two deliveries per round, one from each publisher.
-    assert!((18..=22).contains(&deliveries.len()), "{}", deliveries.len());
+    assert!(
+        (18..=22).contains(&deliveries.len()),
+        "{}",
+        deliveries.len()
+    );
     let from0 = deliveries
         .iter()
         .filter(|d| d.event.attributes.origin == Some(NodeId(0)))
@@ -64,7 +73,9 @@ fn subscribe_before_announce_works() {
     let mut net = Network::builder().nodes(3).build();
     let q = {
         let mut api = net.api();
-        let q = api.subscribe(NodeId(1), S, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(1), S, SubscribeSpec::default())
+            .unwrap();
         api.announce(NodeId(0), S, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
         q
@@ -84,11 +95,7 @@ fn hrt_spec_mismatch_across_publishers_is_rejected() {
         .unwrap();
     // A second publisher must not re-type the channel.
     let err = api
-        .announce(
-            NodeId(1),
-            S,
-            ChannelSpec::hrt(HrtSpec::periodic_10ms()),
-        )
+        .announce(NodeId(1), S, ChannelSpec::hrt(HrtSpec::periodic_10ms()))
         .unwrap_err();
     assert_eq!(err, rtec_core::channel::ChannelError::SpecMismatch(S));
 }
@@ -100,11 +107,13 @@ fn nrt_transfers_from_one_node_are_fifo() {
         let mut api = net.api();
         api.announce(NodeId(0), S, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        api.subscribe(NodeId(1), S, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(1), S, SubscribeSpec::default())
+            .unwrap()
     };
     net.after(Duration::ZERO, |api| {
         for i in 0..3u8 {
-            api.publish(NodeId(0), S, Event::new(S, vec![i; 100])).unwrap();
+            api.publish(NodeId(0), S, Event::new(S, vec![i; 100]))
+                .unwrap();
         }
     });
     net.run_for(Duration::from_ms(100));
@@ -130,18 +139,29 @@ fn srt_promotion_lets_an_old_message_beat_fresh_urgent_traffic() {
         let b = Subject::new(2);
         let qa = {
             let mut api = net.api();
-            api.announce(NodeId(0), a, ChannelSpec::srt(SrtSpec {
-                default_deadline: Duration::from_ms(3),
-                default_expiration: None,
-            }))
+            api.announce(
+                NodeId(0),
+                a,
+                ChannelSpec::srt(SrtSpec {
+                    default_deadline: Duration::from_ms(3),
+                    default_expiration: None,
+                }),
+            )
             .unwrap();
-            api.announce(NodeId(1), b, ChannelSpec::srt(SrtSpec {
-                default_deadline: Duration::from_ms(2),
-                default_expiration: None,
-            }))
+            api.announce(
+                NodeId(1),
+                b,
+                ChannelSpec::srt(SrtSpec {
+                    default_deadline: Duration::from_ms(2),
+                    default_expiration: None,
+                }),
+            )
             .unwrap();
-            let qa = api.subscribe(NodeId(2), a, SubscribeSpec::default()).unwrap();
-            api.subscribe(NodeId(2), b, SubscribeSpec::default()).unwrap();
+            let qa = api
+                .subscribe(NodeId(2), a, SubscribeSpec::default())
+                .unwrap();
+            api.subscribe(NodeId(2), b, SubscribeSpec::default())
+                .unwrap();
             qa
         };
         // B floods beyond bus capacity (a frame every 130 µs vs a
@@ -151,7 +171,8 @@ fn srt_promotion_lets_an_old_message_beat_fresh_urgent_traffic() {
         });
         // ... and one message on A at t = 1 ms with a 3 ms deadline.
         net.at(Time::from_ms(1), move |api| {
-            api.publish(NodeId(0), a, Event::new(a, vec![0xAA; 8])).unwrap();
+            api.publish(NodeId(0), a, Event::new(a, vec![0xAA; 8]))
+                .unwrap();
         });
         net.run_for(Duration::from_ms(30));
         // When did A's message reach the wire (MAX = starved)?
@@ -173,18 +194,26 @@ fn srt_promotion_lets_an_old_message_beat_fresh_urgent_traffic() {
         with_promo <= Time::from_ms(5),
         "promoted message met (roughly) its deadline: {with_promo}"
     );
-    assert_eq!(without, Time::MAX, "unpromoted message starves in the flood");
+    assert_eq!(
+        without,
+        Time::MAX,
+        "unpromoted message starves in the flood"
+    );
 }
 
 #[test]
 fn trace_records_slot_and_bus_events() {
-    let mut net = Network::builder().nodes(3).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(3)
+        .round(Duration::from_ms(10))
+        .build();
     let sink = net.enable_trace();
     {
         let mut api = net.api();
         api.announce(NodeId(0), S, ChannelSpec::hrt(HrtSpec::periodic_10ms()))
             .unwrap();
-        api.subscribe(NodeId(1), S, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(1), S, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
     }
     net.every(Duration::from_ms(10), Duration::from_us(100), |api| {
@@ -213,8 +242,10 @@ fn channel_directory_lists_bound_channels() {
             .unwrap();
         api.announce(NodeId(1), b, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        api.subscribe(NodeId(2), a, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(3), a, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(2), a, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(3), a, SubscribeSpec::default())
+            .unwrap();
     }
     let dir = net.world().channels();
     assert_eq!(dir.len(), 2);

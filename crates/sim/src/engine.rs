@@ -115,7 +115,12 @@ impl<E> Ctx<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = TimerId(seq);
-        self.queue.push(Entry { time: t, seq, id, ev });
+        self.queue.push(Entry {
+            time: t,
+            seq,
+            id,
+            ev,
+        });
         id
     }
 

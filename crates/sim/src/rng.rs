@@ -43,10 +43,7 @@ impl Rng {
     /// Next raw 64-bit draw.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -256,8 +253,7 @@ mod tests {
         let n = 20_000;
         let draws: Vec<f64> = (0..n).map(|_| rng.gen_normal(10.0, 2.0)).collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
-        let var =
-            draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -338,10 +338,7 @@ mod tests {
         assert_eq!(early.saturating_since(late), Duration::ZERO);
         assert_eq!(early.saturating_sub(Duration::from_us(100)), Time::ZERO);
         assert_eq!(early.checked_sub(Duration::from_us(100)), None);
-        assert_eq!(
-            early.checked_sub(Duration::from_us(10)),
-            Some(Time::ZERO)
-        );
+        assert_eq!(early.checked_sub(Duration::from_us(10)), Some(Time::ZERO));
     }
 
     #[test]
@@ -350,7 +347,10 @@ mod tests {
         assert_eq!(Time::from_us(25).round_up_to(g), Time::from_us(30));
         assert_eq!(Time::from_us(30).round_up_to(g), Time::from_us(30));
         assert_eq!(Time::from_us(25).round_down_to(g), Time::from_us(20));
-        assert_eq!(Time::from_us(25).round_up_to(Duration::ZERO), Time::from_us(25));
+        assert_eq!(
+            Time::from_us(25).round_up_to(Duration::ZERO),
+            Time::from_us(25)
+        );
     }
 
     #[test]

@@ -22,6 +22,29 @@ pub struct TraceEvent {
     pub kind: &'static str,
     /// Free-form detail for humans.
     pub detail: String,
+    /// Machine-readable key/value payload for trace analyzers. Repeated
+    /// keys are allowed (e.g. one `"cand"` entry per arbitration
+    /// contender).
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// First value recorded under `name`, if any.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// All values recorded under `name`, in emission order.
+    pub fn fields_named(&self, name: &str) -> Vec<u64> {
+        self.fields
+            .iter()
+            .filter(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+            .collect()
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -30,7 +53,11 @@ impl fmt::Display for TraceEvent {
             f,
             "[{}] {:<14} {:<16} {}",
             self.time, self.source, self.kind, self.detail
-        )
+        )?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
     }
 }
 
@@ -76,6 +103,19 @@ impl TraceSink {
 
     /// Emit an event (dropped when disabled).
     pub fn emit(&self, time: Time, source: &str, kind: &'static str, detail: impl Into<String>) {
+        self.emit_kv(time, source, kind, detail, Vec::new());
+    }
+
+    /// Emit an event carrying machine-readable key/value fields
+    /// (dropped when disabled).
+    pub fn emit_kv(
+        &self,
+        time: Time,
+        source: &str,
+        kind: &'static str,
+        detail: impl Into<String>,
+        fields: Vec<(&'static str, u64)>,
+    ) {
         let mut inner = self.inner.borrow_mut();
         if inner.enabled {
             inner.events.push(TraceEvent {
@@ -83,6 +123,7 @@ impl TraceSink {
                 source: source.to_string(),
                 kind,
                 detail: detail.into(),
+                fields,
             });
         }
     }
@@ -180,10 +221,28 @@ mod tests {
             source: "node1.hrtec".into(),
             kind: "slot_start",
             detail: "slot=3".into(),
+            fields: vec![("etag", 7)],
         };
         let s = format!("{ev}");
         assert!(s.contains("node1.hrtec"));
         assert!(s.contains("slot_start"));
         assert!(s.contains("slot=3"));
+        assert!(s.contains("etag=7"));
+    }
+
+    #[test]
+    fn kv_fields_round_trip() {
+        let sink = TraceSink::enabled();
+        sink.emit_kv(
+            Time::from_us(1),
+            "bus",
+            "arb",
+            "",
+            vec![("cand", 10), ("cand", 20), ("win", 10)],
+        );
+        let ev = &sink.events()[0];
+        assert_eq!(ev.field("win"), Some(10));
+        assert_eq!(ev.field("absent"), None);
+        assert_eq!(ev.fields_named("cand"), vec![10, 20]);
     }
 }

@@ -49,7 +49,10 @@ impl ArrivalPattern {
     pub fn mean_gap(&self) -> Duration {
         match *self {
             ArrivalPattern::Periodic { period, .. } => period,
-            ArrivalPattern::Sporadic { min_gap, mean_extra } => min_gap + mean_extra,
+            ArrivalPattern::Sporadic {
+                min_gap,
+                mean_extra,
+            } => min_gap + mean_extra,
             ArrivalPattern::Poisson { mean_gap } => mean_gap,
         }
     }
@@ -101,7 +104,10 @@ impl ArrivalGen {
                     nominal + Duration::from_ns(self.rng.gen_range(0, jitter.as_ns() + 1))
                 }
             }
-            ArrivalPattern::Sporadic { min_gap, mean_extra } => {
+            ArrivalPattern::Sporadic {
+                min_gap,
+                mean_extra,
+            } => {
                 let release = self.cursor;
                 let extra = if mean_extra.is_zero() {
                     Duration::ZERO
@@ -112,9 +118,8 @@ impl ArrivalGen {
                 release
             }
             ArrivalPattern::Poisson { mean_gap } => {
-                let gap = Duration::from_ns(
-                    self.rng.gen_exp(mean_gap.as_ns() as f64).max(1.0) as u64,
-                );
+                let gap =
+                    Duration::from_ns(self.rng.gen_exp(mean_gap.as_ns() as f64).max(1.0) as u64);
                 let release = self.cursor + gap;
                 self.cursor = release;
                 release
@@ -220,14 +225,16 @@ mod tests {
 
     #[test]
     fn releases_until_stops_before_horizon() {
-        let mut gen = ArrivalGen::new(
-            ArrivalPattern::periodic(Duration::from_ms(10)),
-            rng(),
-        );
+        let mut gen = ArrivalGen::new(ArrivalPattern::periodic(Duration::from_ms(10)), rng());
         let releases = gen.releases_until(Time::from_ms(35));
         assert_eq!(
             releases,
-            vec![Time::ZERO, Time::from_ms(10), Time::from_ms(20), Time::from_ms(30)]
+            vec![
+                Time::ZERO,
+                Time::from_ms(10),
+                Time::from_ms(20),
+                Time::from_ms(30)
+            ]
         );
         // The generator resumes where it left off.
         assert_eq!(gen.next_release(), Time::from_ms(40));

@@ -80,34 +80,202 @@ pub fn sae_class_set() -> Vec<SaeMessage> {
     };
     vec![
         // --- 5 ms control loop (hard) ---
-        SaeMessage { name: "traction_torque_cmd", node: NodeId(1), dlc: 8, pattern: periodic(ms(5)), deadline: ms(5), class: Hard },
-        SaeMessage { name: "motor_speed_fb", node: NodeId(2), dlc: 8, pattern: periodic(ms(5)), deadline: ms(5), class: Hard },
-        SaeMessage { name: "brake_pressure_fb", node: NodeId(3), dlc: 4, pattern: periodic(ms(5)), deadline: ms(5), class: Hard },
+        SaeMessage {
+            name: "traction_torque_cmd",
+            node: NodeId(1),
+            dlc: 8,
+            pattern: periodic(ms(5)),
+            deadline: ms(5),
+            class: Hard,
+        },
+        SaeMessage {
+            name: "motor_speed_fb",
+            node: NodeId(2),
+            dlc: 8,
+            pattern: periodic(ms(5)),
+            deadline: ms(5),
+            class: Hard,
+        },
+        SaeMessage {
+            name: "brake_pressure_fb",
+            node: NodeId(3),
+            dlc: 4,
+            pattern: periodic(ms(5)),
+            deadline: ms(5),
+            class: Hard,
+        },
         // --- 10 ms control loop (hard) ---
-        SaeMessage { name: "battery_current", node: NodeId(0), dlc: 4, pattern: periodic(ms(10)), deadline: ms(10), class: Hard },
-        SaeMessage { name: "battery_voltage", node: NodeId(0), dlc: 4, pattern: periodic(ms(10)), deadline: ms(10), class: Hard },
-        SaeMessage { name: "accel_position", node: NodeId(4), dlc: 2, pattern: periodic(ms(10)), deadline: ms(10), class: Hard },
-        SaeMessage { name: "brake_position", node: NodeId(4), dlc: 2, pattern: periodic(ms(10)), deadline: ms(10), class: Hard },
+        SaeMessage {
+            name: "battery_current",
+            node: NodeId(0),
+            dlc: 4,
+            pattern: periodic(ms(10)),
+            deadline: ms(10),
+            class: Hard,
+        },
+        SaeMessage {
+            name: "battery_voltage",
+            node: NodeId(0),
+            dlc: 4,
+            pattern: periodic(ms(10)),
+            deadline: ms(10),
+            class: Hard,
+        },
+        SaeMessage {
+            name: "accel_position",
+            node: NodeId(4),
+            dlc: 2,
+            pattern: periodic(ms(10)),
+            deadline: ms(10),
+            class: Hard,
+        },
+        SaeMessage {
+            name: "brake_position",
+            node: NodeId(4),
+            dlc: 2,
+            pattern: periodic(ms(10)),
+            deadline: ms(10),
+            class: Hard,
+        },
         // --- sporadic driver inputs (soft, 20 ms MIT) ---
-        SaeMessage { name: "gear_select", node: NodeId(4), dlc: 1, pattern: sporadic(ms(20)), deadline: ms(20), class: Soft },
-        SaeMessage { name: "cruise_toggle", node: NodeId(4), dlc: 1, pattern: sporadic(ms(20)), deadline: ms(20), class: Soft },
-        SaeMessage { name: "regen_level", node: NodeId(4), dlc: 1, pattern: sporadic(ms(50)), deadline: ms(50), class: Soft },
-        SaeMessage { name: "wiper_request", node: NodeId(4), dlc: 1, pattern: sporadic(ms(50)), deadline: ms(50), class: Soft },
+        SaeMessage {
+            name: "gear_select",
+            node: NodeId(4),
+            dlc: 1,
+            pattern: sporadic(ms(20)),
+            deadline: ms(20),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "cruise_toggle",
+            node: NodeId(4),
+            dlc: 1,
+            pattern: sporadic(ms(20)),
+            deadline: ms(20),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "regen_level",
+            node: NodeId(4),
+            dlc: 1,
+            pattern: sporadic(ms(50)),
+            deadline: ms(50),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "wiper_request",
+            node: NodeId(4),
+            dlc: 1,
+            pattern: sporadic(ms(50)),
+            deadline: ms(50),
+            class: Soft,
+        },
         // --- 50/100 ms soft periodic signals ---
-        SaeMessage { name: "motor_temp", node: NodeId(2), dlc: 2, pattern: periodic(ms(50)), deadline: ms(50), class: Soft },
-        SaeMessage { name: "battery_temp", node: NodeId(0), dlc: 2, pattern: periodic(ms(50)), deadline: ms(50), class: Soft },
-        SaeMessage { name: "inverter_status", node: NodeId(2), dlc: 8, pattern: periodic(ms(100)), deadline: ms(100), class: Soft },
-        SaeMessage { name: "vc_status", node: NodeId(1), dlc: 8, pattern: periodic(ms(100)), deadline: ms(100), class: Soft },
-        SaeMessage { name: "brake_wear", node: NodeId(3), dlc: 2, pattern: periodic(ms(100)), deadline: ms(100), class: Soft },
-        SaeMessage { name: "speedometer", node: NodeId(5), dlc: 4, pattern: periodic(ms(100)), deadline: ms(100), class: Soft },
-        SaeMessage { name: "odometer", node: NodeId(5), dlc: 4, pattern: periodic(ms(500)), deadline: ms(500), class: Soft },
+        SaeMessage {
+            name: "motor_temp",
+            node: NodeId(2),
+            dlc: 2,
+            pattern: periodic(ms(50)),
+            deadline: ms(50),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "battery_temp",
+            node: NodeId(0),
+            dlc: 2,
+            pattern: periodic(ms(50)),
+            deadline: ms(50),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "inverter_status",
+            node: NodeId(2),
+            dlc: 8,
+            pattern: periodic(ms(100)),
+            deadline: ms(100),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "vc_status",
+            node: NodeId(1),
+            dlc: 8,
+            pattern: periodic(ms(100)),
+            deadline: ms(100),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "brake_wear",
+            node: NodeId(3),
+            dlc: 2,
+            pattern: periodic(ms(100)),
+            deadline: ms(100),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "speedometer",
+            node: NodeId(5),
+            dlc: 4,
+            pattern: periodic(ms(100)),
+            deadline: ms(100),
+            class: Soft,
+        },
+        SaeMessage {
+            name: "odometer",
+            node: NodeId(5),
+            dlc: 4,
+            pattern: periodic(ms(500)),
+            deadline: ms(500),
+            class: Soft,
+        },
         // --- slow status / diagnostics (non-RT) ---
-        SaeMessage { name: "soc_estimate", node: NodeId(0), dlc: 2, pattern: periodic(ms(1000)), deadline: ms(1000), class: NonRt },
-        SaeMessage { name: "hv_isolation", node: NodeId(0), dlc: 2, pattern: periodic(ms(1000)), deadline: ms(1000), class: NonRt },
-        SaeMessage { name: "cabin_temp", node: NodeId(5), dlc: 1, pattern: periodic(ms(1000)), deadline: ms(1000), class: NonRt },
-        SaeMessage { name: "diag_heartbeat", node: NodeId(6), dlc: 8, pattern: periodic(ms(1000)), deadline: ms(1000), class: NonRt },
-        SaeMessage { name: "fault_log_page", node: NodeId(6), dlc: 8, pattern: periodic(ms(500)), deadline: ms(500), class: NonRt },
-        SaeMessage { name: "config_echo", node: NodeId(6), dlc: 8, pattern: periodic(ms(1000)), deadline: ms(1000), class: NonRt },
+        SaeMessage {
+            name: "soc_estimate",
+            node: NodeId(0),
+            dlc: 2,
+            pattern: periodic(ms(1000)),
+            deadline: ms(1000),
+            class: NonRt,
+        },
+        SaeMessage {
+            name: "hv_isolation",
+            node: NodeId(0),
+            dlc: 2,
+            pattern: periodic(ms(1000)),
+            deadline: ms(1000),
+            class: NonRt,
+        },
+        SaeMessage {
+            name: "cabin_temp",
+            node: NodeId(5),
+            dlc: 1,
+            pattern: periodic(ms(1000)),
+            deadline: ms(1000),
+            class: NonRt,
+        },
+        SaeMessage {
+            name: "diag_heartbeat",
+            node: NodeId(6),
+            dlc: 8,
+            pattern: periodic(ms(1000)),
+            deadline: ms(1000),
+            class: NonRt,
+        },
+        SaeMessage {
+            name: "fault_log_page",
+            node: NodeId(6),
+            dlc: 8,
+            pattern: periodic(ms(500)),
+            deadline: ms(500),
+            class: NonRt,
+        },
+        SaeMessage {
+            name: "config_echo",
+            node: NodeId(6),
+            dlc: 8,
+            pattern: periodic(ms(1000)),
+            deadline: ms(1000),
+            class: NonRt,
+        },
     ]
 }
 
@@ -121,9 +289,18 @@ mod tests {
     fn set_shape() {
         let set = sae_class_set();
         assert_eq!(set.len(), 24);
-        let hard = set.iter().filter(|m| m.class == TimelinessClass::Hard).count();
-        let soft = set.iter().filter(|m| m.class == TimelinessClass::Soft).count();
-        let nrt = set.iter().filter(|m| m.class == TimelinessClass::NonRt).count();
+        let hard = set
+            .iter()
+            .filter(|m| m.class == TimelinessClass::Hard)
+            .count();
+        let soft = set
+            .iter()
+            .filter(|m| m.class == TimelinessClass::Soft)
+            .count();
+        let nrt = set
+            .iter()
+            .filter(|m| m.class == TimelinessClass::NonRt)
+            .count();
         assert_eq!(hard, 7);
         assert_eq!(soft, 11);
         assert_eq!(nrt, 6);

@@ -47,12 +47,19 @@ pub fn scale_load(set: &[StreamSpec], factor: f64) -> Vec<StreamSpec> {
                 Duration::from_ns(((d.as_ns() as f64 / factor).round() as u64).max(1))
             };
             let pattern = match s.pattern {
-                ArrivalPattern::Periodic { period, phase, jitter } => ArrivalPattern::Periodic {
+                ArrivalPattern::Periodic {
+                    period,
+                    phase,
+                    jitter,
+                } => ArrivalPattern::Periodic {
                     period: scale(period),
                     phase,
                     jitter,
                 },
-                ArrivalPattern::Sporadic { min_gap, mean_extra } => ArrivalPattern::Sporadic {
+                ArrivalPattern::Sporadic {
+                    min_gap,
+                    mean_extra,
+                } => ArrivalPattern::Sporadic {
                     min_gap: scale(min_gap),
                     mean_extra: scale(mean_extra),
                 },
@@ -122,13 +129,7 @@ mod tests {
     #[test]
     fn scale_load_doubles_utilization() {
         let mut rng = Rng::seed_from_u64(1);
-        let set = uniform_srt_set(
-            10,
-            4,
-            Duration::from_ms(5),
-            Duration::from_ms(50),
-            &mut rng,
-        );
+        let set = uniform_srt_set(10, 4, Duration::from_ms(5), Duration::from_ms(50), &mut rng);
         let base = set_utilization(&set, BitTiming::MBIT_1);
         let scaled = scale_load(&set, 2.0);
         let after = set_utilization(&scaled, BitTiming::MBIT_1);

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rtec_can::bits::BitTiming;
 use rtec_sim::{Duration, Rng, Time};
-use rtec_workloads::{
-    scale_load, set_utilization, uniform_srt_set, ArrivalGen, ArrivalPattern,
-};
+use rtec_workloads::{scale_load, set_utilization, uniform_srt_set, ArrivalGen, ArrivalPattern};
 
 proptest! {
     /// Sporadic releases always honour the minimum inter-arrival time.

@@ -22,7 +22,10 @@ fn subject_of(index: usize) -> Subject {
 
 fn main() {
     let set = sae_class_set();
-    let mut net = Network::builder().nodes(7).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(7)
+        .round(Duration::from_ms(10))
+        .build();
 
     let misses: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
     let queues: Rc<RefCell<HashMap<&'static str, EventQueue>>> =

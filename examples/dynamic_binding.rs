@@ -24,8 +24,12 @@ fn main() {
             .unwrap();
         api.announce(NodeId(2), FLOW, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        let p = api.subscribe(NodeId(3), PRESSURE, SubscribeSpec::default()).unwrap();
-        let f = api.subscribe(NodeId(3), FLOW, SubscribeSpec::default()).unwrap();
+        let p = api
+            .subscribe(NodeId(3), PRESSURE, SubscribeSpec::default())
+            .unwrap();
+        let f = api
+            .subscribe(NodeId(3), FLOW, SubscribeSpec::default())
+            .unwrap();
         (p, f)
     };
 
@@ -38,13 +42,15 @@ fn main() {
     net.after(Duration::from_us(1), |api| {
         api.publish(NodeId(1), PRESSURE, Event::new(PRESSURE, vec![42]))
             .unwrap();
-        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![17])).unwrap();
+        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![17]))
+            .unwrap();
     });
     // A second publication once all bindings have settled.
     net.at(Time::from_ms(5), |api| {
         api.publish(NodeId(1), PRESSURE, Event::new(PRESSURE, vec![43]))
             .unwrap();
-        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![18])).unwrap();
+        api.publish(NodeId(2), FLOW, Event::new(FLOW, vec![18]))
+            .unwrap();
     });
     net.run_for(Duration::from_ms(10));
 

@@ -25,7 +25,10 @@ const FIRMWARE: Subject = Subject::new(0x9003);
 const IMAGE_LEN: usize = 48 * 1024;
 
 fn main() {
-    let mut net = Network::builder().nodes(5).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(5)
+        .round(Duration::from_ms(10))
+        .build();
 
     let received: ReceivedImage = Rc::new(RefCell::new(None));
     let (control_q, alerts_q) = {
@@ -45,8 +48,12 @@ fn main() {
             .unwrap();
         api.announce(NodeId(3), FIRMWARE, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        let control_q = api.subscribe(NodeId(2), CONTROL, SubscribeSpec::default()).unwrap();
-        let alerts_q = api.subscribe(NodeId(2), ALERTS, SubscribeSpec::default()).unwrap();
+        let control_q = api
+            .subscribe(NodeId(2), CONTROL, SubscribeSpec::default())
+            .unwrap();
+        let alerts_q = api
+            .subscribe(NodeId(2), ALERTS, SubscribeSpec::default())
+            .unwrap();
         let rx = received.clone();
         api.subscribe_with(
             NodeId(4),
@@ -59,9 +66,7 @@ fn main() {
         )
         .unwrap();
         api.install_calendar().unwrap();
-        control_q
-            .clone()
-            .pop(); // (no-op: show the queue is shared/cloneable)
+        control_q.clone().pop(); // (no-op: show the queue is shared/cloneable)
         (control_q, alerts_q)
     };
 
@@ -110,5 +115,8 @@ fn main() {
     let stats = net.stats();
     let control_etag = net.world().registry().etag_of(CONTROL).unwrap();
     assert_eq!(stats.channel(control_etag).missing_events, 0);
-    assert!(gaps_ok, "firmware transfer must not disturb the control loop");
+    assert!(
+        gaps_ok,
+        "firmware transfer must not disturb the control loop"
+    );
 }

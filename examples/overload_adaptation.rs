@@ -61,8 +61,10 @@ fn main() {
             }),
         )
         .unwrap();
-        api.subscribe(NodeId(3), BURST, SubscribeSpec::default()).unwrap();
-        api.subscribe(NodeId(2), TELEMETRY, SubscribeSpec::default()).unwrap()
+        api.subscribe(NodeId(3), BURST, SubscribeSpec::default())
+            .unwrap();
+        api.subscribe(NodeId(2), TELEMETRY, SubscribeSpec::default())
+            .unwrap()
     };
 
     // Telemetry publisher: self-rescheduling with an adaptive period.

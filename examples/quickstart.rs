@@ -14,7 +14,10 @@ use rtec::prelude::*;
 
 fn main() {
     // A 5-node CAN segment at 1 Mbit/s (the paper's configuration).
-    let mut net = Network::builder().nodes(5).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(5)
+        .round(Duration::from_ms(10))
+        .build();
 
     // Subjects are system-wide unique identifiers for event types.
     let wheel_speed = Subject::new(0x0100); // hard real-time sensor value
@@ -90,8 +93,12 @@ fn main() {
     // Periodic sensor readings, staged fresh every round.
     net.every(Duration::from_ms(10), Duration::from_us(50), move |api| {
         let reading = api.now().as_ns().to_le_bytes();
-        api.publish(NodeId(0), wheel_speed, Event::new(wheel_speed, reading.to_vec()))
-            .unwrap();
+        api.publish(
+            NodeId(0),
+            wheel_speed,
+            Event::new(wheel_speed, reading.to_vec()),
+        )
+        .unwrap();
     });
     // A couple of sporadic door events.
     for (at_ms, state) in [(3u64, 1u8), (17, 0), (31, 1)] {

@@ -51,6 +51,7 @@ pub use rtec_analysis as analysis;
 pub use rtec_baselines as baselines;
 pub use rtec_can as can;
 pub use rtec_clock as clock;
+pub use rtec_conformance as conformance;
 pub use rtec_core as core;
 pub use rtec_sim as sim;
 pub use rtec_workloads as workloads;

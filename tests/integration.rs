@@ -1,20 +1,26 @@
 //! Cross-crate integration tests: the facade crate, analytical models
 //! versus simulation, and determinism guarantees.
 
+use rtec::analysis::admission::{CalendarPlan, SlotRequest};
 use rtec::analysis::npedf::np_edf_feasible;
 use rtec::analysis::rta::{rta_feasible, total_utilization, MessageSpec};
-use rtec::analysis::admission::{CalendarPlan, SlotRequest};
 use rtec::baselines::{run_testbed, EdfPolicy, FixedPriorityPolicy, TestbedConfig};
 use rtec::can::bits::BitTiming;
 use rtec::can::BusConfig;
 use rtec::clock::ClockParams;
 use rtec::prelude::*;
 use rtec::sim::Rng;
-use rtec::workloads::{sae_class_set, uniform_srt_set, ArrivalPattern, StreamSpec, TimelinessClass};
+use rtec::workloads::{
+    sae_class_set, uniform_srt_set, ArrivalPattern, StreamSpec, TimelinessClass,
+};
 
 #[test]
 fn mixed_classes_share_one_bus() {
-    let mut net = Network::builder().nodes(6).round(Duration::from_ms(10)).build();
+    let mut net = Network::builder()
+        .nodes(6)
+        .round(Duration::from_ms(10))
+        .build();
+    let sink = net.enable_trace();
     let hard = Subject::new(1);
     let soft = Subject::new(2);
     let bulk = Subject::new(3);
@@ -35,9 +41,15 @@ fn mixed_classes_share_one_bus() {
             .unwrap();
         api.announce(NodeId(2), bulk, ChannelSpec::nrt(NrtSpec::bulk()))
             .unwrap();
-        let hq = api.subscribe(NodeId(3), hard, SubscribeSpec::default()).unwrap();
-        let sq = api.subscribe(NodeId(4), soft, SubscribeSpec::default()).unwrap();
-        let bq = api.subscribe(NodeId(5), bulk, SubscribeSpec::default()).unwrap();
+        let hq = api
+            .subscribe(NodeId(3), hard, SubscribeSpec::default())
+            .unwrap();
+        let sq = api
+            .subscribe(NodeId(4), soft, SubscribeSpec::default())
+            .unwrap();
+        let bq = api
+            .subscribe(NodeId(5), bulk, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         (hq, sq, bq)
     };
@@ -52,11 +64,13 @@ fn mixed_classes_share_one_bus() {
             .unwrap();
     });
     net.run_for(Duration::from_ms(500));
+    let conf = rtec::conformance::check_network(&net, &sink);
+    assert!(conf.passes(), "{conf}");
     let h = hq.drain();
     assert!((48..=50).contains(&h.len()), "HRT: {}", h.len());
-    assert!(h.windows(2).all(|w| {
-        w[1].delivered_at - w[0].delivered_at == Duration::from_ms(10)
-    }));
+    assert!(h
+        .windows(2)
+        .all(|w| { w[1].delivered_at - w[0].delivered_at == Duration::from_ms(10) }));
     assert!((240..=251).contains(&sq.drain().len()));
     let b = bq.drain();
     assert_eq!(b.len(), 1);
@@ -72,7 +86,8 @@ fn same_seed_same_world() {
             let mut api = net.api();
             api.announce(NodeId(0), s, ChannelSpec::srt(SrtSpec::default()))
                 .unwrap();
-            api.subscribe(NodeId(1), s, SubscribeSpec::default()).unwrap()
+            api.subscribe(NodeId(1), s, SubscribeSpec::default())
+                .unwrap()
         };
         net.every(Duration::from_us(777), Duration::ZERO, move |api| {
             let _ = api.publish(NodeId(0), s, Event::new(s, vec![9; 8]));
@@ -217,15 +232,25 @@ fn drifting_clocks_still_meet_slots_within_the_gap() {
     // resynchronization. (E9 covers the sync protocol itself.)
     let clocks = vec![
         ClockParams::PERFECT,
-        ClockParams { drift_ppm: 30.0, initial_offset_ns: 2_000.0 },
-        ClockParams { drift_ppm: -30.0, initial_offset_ns: -1_500.0 },
-        ClockParams { drift_ppm: 15.0, initial_offset_ns: 500.0 },
+        ClockParams {
+            drift_ppm: 30.0,
+            initial_offset_ns: 2_000.0,
+        },
+        ClockParams {
+            drift_ppm: -30.0,
+            initial_offset_ns: -1_500.0,
+        },
+        ClockParams {
+            drift_ppm: 15.0,
+            initial_offset_ns: 500.0,
+        },
     ];
     let mut net = Network::builder()
         .nodes(4)
         .round(Duration::from_ms(10))
         .clocks(clocks)
         .build();
+    let sink = net.enable_trace();
     let s = Subject::new(77);
     let q = {
         let mut api = net.api();
@@ -240,7 +265,9 @@ fn drifting_clocks_still_meet_slots_within_the_gap() {
             }),
         )
         .unwrap();
-        let q = api.subscribe(NodeId(2), s, SubscribeSpec::default()).unwrap();
+        let q = api
+            .subscribe(NodeId(2), s, SubscribeSpec::default())
+            .unwrap();
         api.install_calendar().unwrap();
         q
     };
@@ -248,6 +275,10 @@ fn drifting_clocks_still_meet_slots_within_the_gap() {
         let _ = api.publish(NodeId(1), s, Event::new(s, vec![1; 8]));
     });
     net.run_for(Duration::from_ms(300));
+    // Even with drifting clocks the run must audit clean (the auditor
+    // widens its windows by a drift tolerance when clocks are enabled).
+    let conf = rtec::conformance::check_network(&net, &sink);
+    assert!(conf.passes(), "{conf}");
     let deliveries = q.drain();
     assert!(deliveries.len() >= 28, "{}", deliveries.len());
     let etag = net.world().registry().etag_of(s).unwrap();
@@ -285,7 +316,8 @@ fn edf_channels_and_testbed_agree_on_light_load() {
         let mut api = net.api();
         api.announce(NodeId(0), s, ChannelSpec::srt(SrtSpec::default()))
             .unwrap();
-        api.subscribe(NodeId(1), s, SubscribeSpec::default()).unwrap();
+        api.subscribe(NodeId(1), s, SubscribeSpec::default())
+            .unwrap();
     }
     net.every(Duration::from_ms(20), Duration::ZERO, move |api| {
         let _ = api.publish(NodeId(0), s, Event::new(s, vec![1; 8]));

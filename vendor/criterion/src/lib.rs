@@ -1,0 +1,172 @@
+//! A tiny benchmark harness that is API-compatible with the subset of
+//! `criterion` this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], benchmark groups and throughput labels.
+//!
+//! Each benchmark is calibrated to roughly [`TARGET_MS`] of wall time
+//! and reports mean ns/iteration — good enough to compare hot paths
+//! offline, not a statistics engine. `cargo bench` output format:
+//!
+//! ```text
+//! bench_name              1234 ns/iter  (x iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Wall-time budget per benchmark, in milliseconds.
+pub const TARGET_MS: u64 = 100;
+
+/// How batched setup inputs are grouped; accepted for API compatibility
+/// (the stub times each routine invocation individually either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` repeatedly until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let budget = Duration::from_millis(TARGET_MS);
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters_done += 1;
+            if start.elapsed() >= budget || self.iters_done >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = Duration::from_millis(TARGET_MS);
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters_done += 1;
+            if start.elapsed() >= budget || self.iters_done >= 100_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean_ns = (b.elapsed.as_nanos() as u64)
+        .checked_div(b.iters_done)
+        .unwrap_or(0);
+    println!("{name:<48} {mean_ns:>12} ns/iter  ({} iters)", b.iters_done);
+}
+
+/// Top-level benchmark registry handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.as_ref()), &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

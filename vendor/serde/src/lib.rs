@@ -1,0 +1,14 @@
+//! Marker-trait stand-in for `serde`, paired with the no-op derives in
+//! `serde_derive`. The workspace only ever *derives* these traits (no
+//! serializer crate is present), so empty traits and empty derive
+//! expansions preserve the public API surface without any network
+//! dependency. Swap back to the real serde by restoring the
+//! `crates.io` entries in the workspace `Cargo.toml`.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
