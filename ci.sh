@@ -24,4 +24,10 @@ cargo test -p rtec-conformance --test end_to_end -q
 echo "== experiments smoke run (auditor enabled)"
 cargo run -p rtec-bench --bin experiments --release -- all --quick >/dev/null
 
+echo "== bench smoke run (committed BENCH_*.json parse + throughput floor)"
+# Re-measures the dispatch-heavy microbenchmark and fails if it drops
+# below 10% of the committed baseline — a catastrophic-regression
+# tripwire that tolerates shared-runner noise.
+cargo run -p rtec-bench --bin experiments --release -- bench --ci
+
 echo "ci: all gates passed"

@@ -7,29 +7,43 @@
 //! experiments all --seed 7    # different seed
 //! experiments all --no-conformance  # skip the conformance linter/auditor
 //! experiments --list          # show the index
+//! experiments bench           # scheduler + experiment benchmarks → BENCH_*.json
+//! experiments bench --ci      # sanity-check against committed BENCH_*.json
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::RunOpts;
+use rtec_bench::{perf, RunOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOpts::default();
     let mut selected: Vec<String> = Vec::new();
     let mut list_only = false;
+    let mut bench = false;
+    let mut ci_check = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--no-conformance" => opts.conformance = false,
+            "--ci" => ci_check = true,
             "--seed" => {
                 let v = iter.next().expect("--seed needs a value");
                 opts.seed = v.parse().expect("--seed needs an integer");
             }
             "--list" => list_only = true,
             "all" => selected.push("all".into()),
+            "bench" => bench = true,
             other => selected.push(other.to_lowercase()),
         }
+    }
+    if bench {
+        let cfg = perf::BenchConfig {
+            quick: opts.quick || ci_check,
+            ci_check,
+            seed: opts.seed,
+        };
+        std::process::exit(perf::run(&cfg));
     }
     let registry = all();
     if list_only || selected.is_empty() {

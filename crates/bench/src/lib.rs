@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,767 @@
+//! Scheduler micro-benchmarks and macro experiment throughput runs.
+//!
+//! The `bench` subcommand of the `experiments` binary measures two
+//! things and writes each as a JSON report:
+//!
+//! * **`BENCH_engine.json`** — microbenchmarks driving the timing-wheel
+//!   engine and the reference `BinaryHeap` + tombstone scheduler (the
+//!   pre-wheel implementation, kept in `rtec_sim::reference`) through
+//!   identical schedule/cancel/dispatch workloads at queue depths from
+//!   10² to 10⁶. Both events/sec numbers are recorded, so the headline
+//!   speedup is measured against real code on the same machine in the
+//!   same process.
+//! * **`BENCH_experiments.json`** — wall-time, dispatched events,
+//!   events/sec and peak queue depth for every experiment E1–E11
+//!   (conformance auditing off, so the number is simulation throughput,
+//!   not trace-analysis throughput).
+//!
+//! With `--ci` nothing is written: a reduced run re-measures the
+//! dispatch-heavy microbenchmark and fails (exit 1) if the committed
+//! baseline no longer parses or if throughput fell below 10% of it —
+//! a catastrophic-regression tripwire that stays robust to shared-CI
+//! noise.
+
+use crate::json::{self, Value};
+use crate::{experiments, RunOpts};
+use rtec_sim::{telemetry, Ctx, Duration, Engine, HeapScheduler, Model, Rng, Time};
+use std::time::Instant;
+
+/// Options for the `bench` subcommand.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Reduced depths and op counts (used by `--quick` and `--ci`).
+    pub quick: bool,
+    /// Check against committed baselines instead of writing new ones.
+    pub ci_check: bool,
+    /// Seed for workload randomness.
+    pub seed: u64,
+}
+
+/// Committed engine-microbenchmark report filename.
+pub const ENGINE_REPORT: &str = "BENCH_engine.json";
+/// Committed experiment-throughput report filename.
+pub const EXPERIMENTS_REPORT: &str = "BENCH_experiments.json";
+/// CI sanity floor: fail below this fraction of the committed
+/// events/sec baseline.
+pub const CI_FLOOR: f64 = 0.10;
+
+/// A random timer delay with the mix a CAN simulation produces: mostly
+/// within tens of bus bit times, a tail of cycle/watchdog horizons.
+fn delay(rng: &mut Rng) -> Duration {
+    match rng.gen_range_u64(20) {
+        0 => Duration::from_ns(1 + rng.gen_range_u64(1_000_000_000)), // ≤ 1 s
+        1..=3 => Duration::from_ns(1 + rng.gen_range_u64(4_000_000)), // ≤ 4 ms
+        _ => Duration::from_ns(1 + rng.gen_range_u64(64_000)),        // ≤ 64 µs
+    }
+}
+
+/// A short delay on the frame timescale (up to ~64 bus bit times worth
+/// of granules at 1 Mbit/s): the active-traffic half of `dispatch_hold`.
+fn short_delay(rng: &mut Rng) -> Duration {
+    Duration::from_ns(1 + rng.gen_range_u64(64_000))
+}
+
+/// A far-horizon delay in [1 h, 2 h): subscription watchdogs and cycle
+/// deadlines that sit in the queue without firing during the run.
+fn ballast_delay(rng: &mut Rng) -> Duration {
+    Duration::from_secs(3_600) + Duration::from_ns(rng.gen_range_u64(3_600_000_000_000))
+}
+
+/// Model that answers every event by scheduling a replacement until its
+/// budget runs out — a steady-state dispatch loop at constant depth.
+struct Hold {
+    rng: Rng,
+    remaining: u64,
+}
+
+impl Model for Hold {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<()>, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let d = delay(&mut self.rng);
+            ctx.after(d, ());
+        }
+    }
+}
+
+/// Model that replays a pre-generated delay sequence, one replacement
+/// per dispatch: keeps random-number generation out of the timed loop
+/// so `dispatch_hold` measures scheduler cost, not `Rng` cost.
+struct Chain {
+    delays: Vec<Duration>,
+    next: usize,
+}
+
+impl Model for Chain {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<()>, _ev: ()) {
+        if let Some(&d) = self.delays.get(self.next) {
+            self.next += 1;
+            ctx.after(d, ());
+        }
+    }
+}
+
+/// The shared replacement-delay sequence for `dispatch_hold`: both
+/// schedulers dispatch in the same order (the differential property
+/// test guarantees it), so indexing one sequence keeps the workloads
+/// identical.
+fn chain_delays(ops: u64, seed: u64) -> Vec<Duration> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
+    (0..ops).map(|_| short_delay(&mut rng)).collect()
+}
+
+/// Model that ignores every event (externally driven workloads).
+struct Nop;
+
+impl Model for Nop {
+    type Event = ();
+    fn handle(&mut self, _ctx: &mut Ctx<()>, _ev: ()) {}
+}
+
+/// One timed engine run.
+struct Timed {
+    dispatched: u64,
+    wall_s: f64,
+    peak_pending: u64,
+}
+
+impl Timed {
+    fn eps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.dispatched as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One microbenchmark row: same workload on both schedulers.
+struct MicroRow {
+    name: &'static str,
+    depth: u64,
+    wheel: Timed,
+    heap: Timed,
+    /// Workload-specific observables (e.g. leaked tombstones).
+    extra: Vec<(&'static str, f64)>,
+}
+
+// ---------------------------------------------------------------- micro
+
+/// Number of concurrent frame-timescale timer chains in
+/// `dispatch_hold` — the "active subscriptions" of the workload.
+const CHAINS: u64 = 4_096;
+
+/// Dispatch-heavy over a standing deep queue: prefill `depth`
+/// far-horizon timers that never fire during the run (the watchdog /
+/// cycle-deadline population an RTEC node carries), then drive `ops`
+/// frame-timescale dispatches through [`CHAINS`] self-regenerating
+/// chains. The dispatch loop's cost as a function of the standing
+/// `depth` is the number under test: O(1) for the wheel, O(log
+/// depth) per heap pop.
+fn wheel_dispatch_hold(depth: u64, ops: u64, seed: u64) -> Timed {
+    let mut prefill = Rng::seed_from_u64(seed);
+    let mut e = Engine::new(Chain {
+        delays: chain_delays(ops, seed),
+        next: 0,
+    });
+    for _ in 0..depth {
+        let d = ballast_delay(&mut prefill);
+        e.schedule_at(Time::ZERO + d, ());
+    }
+    let mut starter = Rng::seed_from_u64(seed ^ 0xc4a1);
+    for _ in 0..CHAINS {
+        let d = short_delay(&mut starter);
+        e.schedule_at(Time::ZERO + d, ());
+    }
+    // Time the dispatch loop only: prefill cost is a one-time setup,
+    // the steady-state loop is the number under test. The horizon is
+    // far enough for all chains (ops × ≤64 µs spread over the chains),
+    // well short of the 1 h ballast horizon.
+    let t0 = Instant::now();
+    e.run_until(Time::ZERO + Duration::from_secs(600));
+    Timed {
+        dispatched: e.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: e.ctx().peak_pending() as u64,
+    }
+}
+
+fn heap_dispatch_hold(depth: u64, ops: u64, seed: u64) -> Timed {
+    let mut prefill = Rng::seed_from_u64(seed);
+    let delays = chain_delays(ops, seed);
+    let mut h: HeapScheduler<()> = HeapScheduler::new();
+    for _ in 0..depth {
+        let d = ballast_delay(&mut prefill);
+        h.at(Time::ZERO + d, ());
+    }
+    let mut starter = Rng::seed_from_u64(seed ^ 0xc4a1);
+    for _ in 0..CHAINS {
+        let d = short_delay(&mut starter);
+        h.at(Time::ZERO + d, ());
+    }
+    let peak = h.pending();
+    let limit = Time::ZERO + Duration::from_secs(600);
+    let mut next = 0usize;
+    let t0 = Instant::now();
+    while h.pop_due(limit).is_some() {
+        if let Some(&d) = delays.get(next) {
+            next += 1;
+            h.after(d, ());
+        }
+    }
+    h.advance_to(limit);
+    Timed {
+        dispatched: h.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: peak as u64,
+    }
+}
+
+/// Steady-state churn at ~constant depth with the full mixed delay
+/// distribution: every dispatch schedules a replacement, so schedule
+/// and dispatch costs are measured together and the whole queue turns
+/// over (including the far tail the wheel must cascade down).
+fn wheel_churn_mixed(depth: u64, ops: u64, seed: u64) -> Timed {
+    let mut prefill = Rng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let mut e = Engine::new(Hold {
+        rng: Rng::seed_from_u64(seed ^ 0x5eed),
+        remaining: ops,
+    });
+    for _ in 0..depth {
+        let d = delay(&mut prefill);
+        e.schedule_at(Time::ZERO + d, ());
+    }
+    e.run();
+    Timed {
+        dispatched: e.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: e.ctx().peak_pending() as u64,
+    }
+}
+
+fn heap_churn_mixed(depth: u64, ops: u64, seed: u64) -> Timed {
+    let mut prefill = Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
+    let t0 = Instant::now();
+    let mut h: HeapScheduler<()> = HeapScheduler::new();
+    let mut peak = 0usize;
+    for _ in 0..depth {
+        let d = delay(&mut prefill);
+        h.at(Time::ZERO + d, ());
+    }
+    peak = peak.max(h.pending());
+    let mut remaining = ops;
+    while h.pop_due(Time::MAX).is_some() {
+        if remaining > 0 {
+            remaining -= 1;
+            let d = delay(&mut rng);
+            h.after(d, ());
+            peak = peak.max(h.pending());
+        }
+    }
+    Timed {
+        dispatched: h.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: peak as u64,
+    }
+}
+
+/// Schedule/cancel mix: per round, schedule `depth` timers, cancel
+/// every other one, drain the survivors.
+fn wheel_schedule_cancel(depth: u64, rounds: u64, seed: u64) -> Timed {
+    let mut rng = Rng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let mut e = Engine::new(Nop);
+    let mut ids = Vec::with_capacity(depth as usize);
+    for _ in 0..rounds {
+        ids.clear();
+        for _ in 0..depth {
+            let d = delay(&mut rng);
+            ids.push(e.schedule_after(d, ()));
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                e.ctx().cancel(id);
+            }
+        }
+        e.run();
+    }
+    Timed {
+        dispatched: e.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: e.ctx().peak_pending() as u64,
+    }
+}
+
+fn heap_schedule_cancel(depth: u64, rounds: u64, seed: u64) -> Timed {
+    let mut rng = Rng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let mut h: HeapScheduler<()> = HeapScheduler::new();
+    let mut ids = Vec::with_capacity(depth as usize);
+    let mut peak = 0usize;
+    for _ in 0..rounds {
+        ids.clear();
+        for _ in 0..depth {
+            let d = delay(&mut rng);
+            ids.push(h.after(d, ()));
+        }
+        peak = peak.max(h.pending());
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                h.cancel(id);
+            }
+        }
+        while h.pop_due(Time::MAX).is_some() {}
+    }
+    Timed {
+        dispatched: h.dispatched(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_pending: peak as u64,
+    }
+}
+
+/// Cancel-after-fire churn over a standing background queue: each
+/// iteration fires one short timer and then cancels its stale handle.
+/// The reference scheduler leaks one tombstone per iteration; the wheel
+/// must stay at a single-digit slab size.
+fn wheel_cancel_after_fire(depth: u64, iters: u64, _seed: u64) -> (Timed, f64) {
+    let t0 = Instant::now();
+    let mut e = Engine::new(Nop);
+    for _ in 0..depth {
+        e.schedule_after(Duration::from_secs(3_600), ());
+    }
+    for _ in 0..iters {
+        let id = e.schedule_after(Duration::from_ns(100), ());
+        let limit = e.now() + Duration::from_ns(100);
+        e.run_until(limit);
+        e.ctx().cancel(id); // stale: must be a true no-op
+    }
+    let retained = e.ctx().allocated_timers() as f64;
+    (
+        Timed {
+            dispatched: e.dispatched(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            peak_pending: e.ctx().peak_pending() as u64,
+        },
+        retained,
+    )
+}
+
+fn heap_cancel_after_fire(depth: u64, iters: u64, _seed: u64) -> (Timed, f64) {
+    let t0 = Instant::now();
+    let mut h: HeapScheduler<()> = HeapScheduler::new();
+    for _ in 0..depth {
+        h.after(Duration::from_secs(3_600), ());
+    }
+    let peak = h.pending() + 1;
+    for _ in 0..iters {
+        let id = h.after(Duration::from_ns(100), ());
+        let limit = h.now() + Duration::from_ns(100);
+        while h.pop_due(limit).is_some() {}
+        h.advance_to(limit);
+        h.cancel(id); // lazily tombstoned, never reclaimed
+    }
+    let tombstones = h.tombstones() as f64;
+    (
+        Timed {
+            dispatched: h.dispatched(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            peak_pending: peak as u64,
+        },
+        tombstones,
+    )
+}
+
+fn run_micro(cfg: &BenchConfig) -> Vec<MicroRow> {
+    let depths: &[u64] = if cfg.quick {
+        &[100, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+    let ops: u64 = if cfg.quick { 200_000 } else { 1_000_000 };
+    let mut rows = Vec::new();
+    for &depth in depths {
+        let wheel = wheel_dispatch_hold(depth, ops, cfg.seed);
+        let heap = heap_dispatch_hold(depth, ops, cfg.seed);
+        assert_eq!(
+            wheel.dispatched, heap.dispatched,
+            "schedulers must agree on the dispatch count"
+        );
+        eprintln!(
+            "  dispatch_hold     depth {depth:>7}: wheel {:>12.0} ev/s | heap {:>12.0} ev/s | {:>5.2}x",
+            wheel.eps(),
+            heap.eps(),
+            wheel.eps() / heap.eps().max(1.0)
+        );
+        rows.push(MicroRow {
+            name: "dispatch_hold",
+            depth,
+            wheel,
+            heap,
+            extra: vec![],
+        });
+    }
+    for &depth in depths {
+        let wheel = wheel_churn_mixed(depth, ops, cfg.seed);
+        let heap = heap_churn_mixed(depth, ops, cfg.seed);
+        assert_eq!(wheel.dispatched, heap.dispatched);
+        eprintln!(
+            "  churn_mixed       depth {depth:>7}: wheel {:>12.0} ev/s | heap {:>12.0} ev/s | {:>5.2}x",
+            wheel.eps(),
+            heap.eps(),
+            wheel.eps() / heap.eps().max(1.0)
+        );
+        rows.push(MicroRow {
+            name: "churn_mixed",
+            depth,
+            wheel,
+            heap,
+            extra: vec![],
+        });
+    }
+    for &depth in depths {
+        let rounds = (ops / depth.max(1)).clamp(1, 10_000);
+        let wheel = wheel_schedule_cancel(depth, rounds, cfg.seed);
+        let heap = heap_schedule_cancel(depth, rounds, cfg.seed);
+        assert_eq!(wheel.dispatched, heap.dispatched);
+        eprintln!(
+            "  schedule_cancel   depth {depth:>7}: wheel {:>12.0} ev/s | heap {:>12.0} ev/s | {:>5.2}x",
+            wheel.eps(),
+            heap.eps(),
+            wheel.eps() / heap.eps().max(1.0)
+        );
+        rows.push(MicroRow {
+            name: "schedule_cancel",
+            depth,
+            wheel,
+            heap,
+            extra: vec![("rounds", rounds as f64)],
+        });
+    }
+    {
+        let depth = if cfg.quick { 1_000 } else { 10_000 };
+        let iters = if cfg.quick { 100_000 } else { 500_000 };
+        let (wheel, wheel_retained) = wheel_cancel_after_fire(depth, iters, cfg.seed);
+        let (heap, heap_tombstones) = heap_cancel_after_fire(depth, iters, cfg.seed);
+        assert_eq!(wheel.dispatched, heap.dispatched);
+        eprintln!(
+            "  cancel_after_fire depth {depth:>7}: wheel {:>12.0} ev/s | heap {:>12.0} ev/s | wheel slab {} cells vs heap {} tombstones",
+            wheel.eps(),
+            heap.eps(),
+            wheel_retained,
+            heap_tombstones
+        );
+        rows.push(MicroRow {
+            name: "cancel_after_fire",
+            depth,
+            wheel,
+            heap,
+            extra: vec![
+                ("wheel_slab_cells", wheel_retained),
+                ("heap_leaked_tombstones", heap_tombstones),
+            ],
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- macro
+
+struct MacroRow {
+    id: String,
+    what: String,
+    wall_s: f64,
+    events: u64,
+    peak_queue_depth: u64,
+    tables: usize,
+}
+
+fn run_macro(cfg: &BenchConfig) -> Vec<MacroRow> {
+    let opts = RunOpts {
+        quick: cfg.quick,
+        seed: cfg.seed,
+        conformance: false,
+    };
+    let mut rows = Vec::new();
+    for e in experiments::all() {
+        telemetry::reset();
+        let t0 = Instant::now();
+        let tables = (e.run)(&opts);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let snap = telemetry::snapshot();
+        eprintln!(
+            "  {:>4}: {:>9} events in {:>7.2}s = {:>12.0} ev/s (peak queue {})",
+            e.id,
+            snap.dispatched,
+            wall_s,
+            snap.dispatched as f64 / wall_s.max(1e-9),
+            snap.peak_pending
+        );
+        rows.push(MacroRow {
+            id: e.id.to_string(),
+            what: e.what.to_string(),
+            wall_s,
+            events: snap.dispatched,
+            peak_queue_depth: snap.peak_pending as u64,
+            tables: tables.len(),
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------- report
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn timed_json(t: &Timed) -> Value {
+    obj(vec![
+        ("events", Value::num(t.dispatched as f64)),
+        ("wall_ms", Value::num(round3(t.wall_s * 1e3))),
+        ("events_per_sec", Value::num(t.eps().round())),
+        ("peak_queue_depth", Value::num(t.peak_pending as f64)),
+    ])
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+/// The dispatch-heavy row the headline speedup is computed from: the
+/// deepest `dispatch_hold` run.
+fn headline(rows: &[MicroRow]) -> &MicroRow {
+    rows.iter()
+        .filter(|r| r.name == "dispatch_hold")
+        .max_by_key(|r| r.depth)
+        .expect("dispatch_hold rows exist")
+}
+
+fn engine_report(cfg: &BenchConfig, rows: &[MicroRow]) -> Value {
+    let head = headline(rows);
+    let micro = rows
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("name", Value::str(r.name)),
+                ("depth", Value::num(r.depth as f64)),
+                ("wheel", timed_json(&r.wheel)),
+                ("heap_baseline", timed_json(&r.heap)),
+                (
+                    "speedup",
+                    Value::num(round3(r.wheel.eps() / r.heap.eps().max(1.0))),
+                ),
+            ];
+            for &(k, v) in &r.extra {
+                fields.push((k, Value::num(v)));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("schema", Value::str("rtec-bench-engine-v1")),
+        ("mode", Value::str(if cfg.quick { "quick" } else { "full" })),
+        ("seed", Value::num(cfg.seed as f64)),
+        ("granule_ns", Value::num(1024.0)),
+        (
+            "summary",
+            obj(vec![
+                ("benchmark", Value::str("dispatch_hold")),
+                ("depth", Value::num(head.depth as f64)),
+                ("wheel_events_per_sec", Value::num(head.wheel.eps().round())),
+                (
+                    "heap_baseline_events_per_sec",
+                    Value::num(head.heap.eps().round()),
+                ),
+                (
+                    "speedup",
+                    Value::num(round3(head.wheel.eps() / head.heap.eps().max(1.0))),
+                ),
+            ]),
+        ),
+        ("micro", Value::Arr(micro)),
+    ])
+}
+
+fn experiments_report(cfg: &BenchConfig, rows: &[MacroRow]) -> Value {
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let entries = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", Value::str(r.id.clone())),
+                ("what", Value::str(r.what.clone())),
+                ("events", Value::num(r.events as f64)),
+                ("wall_ms", Value::num(round3(r.wall_s * 1e3))),
+                (
+                    "events_per_sec",
+                    Value::num((r.events as f64 / r.wall_s.max(1e-9)).round()),
+                ),
+                ("peak_queue_depth", Value::num(r.peak_queue_depth as f64)),
+                ("tables", Value::num(r.tables as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", Value::str("rtec-bench-experiments-v1")),
+        ("mode", Value::str(if cfg.quick { "quick" } else { "full" })),
+        ("seed", Value::num(cfg.seed as f64)),
+        (
+            "total",
+            obj(vec![
+                ("events", Value::num(total_events as f64)),
+                ("wall_ms", Value::num(round3(total_wall * 1e3))),
+                (
+                    "events_per_sec",
+                    Value::num((total_events as f64 / total_wall.max(1e-9)).round()),
+                ),
+            ]),
+        ),
+        ("experiments", Value::Arr(entries)),
+    ])
+}
+
+// ------------------------------------------------------------ entrypoint
+
+/// Run the benchmark suite. Returns a process exit code.
+pub fn run(cfg: &BenchConfig) -> i32 {
+    if cfg.ci_check {
+        return ci_check(cfg);
+    }
+    eprintln!(
+        "== engine microbenchmarks ({}) ==",
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let micro = run_micro(cfg);
+    eprintln!("== experiment throughput (E1–E11, conformance off) ==");
+    let macro_rows = run_macro(cfg);
+    let engine = engine_report(cfg, &micro);
+    let experiments = experiments_report(cfg, &macro_rows);
+    std::fs::write(ENGINE_REPORT, engine.to_pretty()).expect("write BENCH_engine.json");
+    std::fs::write(EXPERIMENTS_REPORT, experiments.to_pretty())
+        .expect("write BENCH_experiments.json");
+    let head = headline(&micro);
+    eprintln!(
+        "wrote {ENGINE_REPORT} and {EXPERIMENTS_REPORT}; headline: {:.2}x over heap baseline at depth {}",
+        head.wheel.eps() / head.heap.eps().max(1.0),
+        head.depth
+    );
+    0
+}
+
+/// CI tripwire: the committed reports must parse, and a fresh reduced
+/// dispatch-heavy run must reach at least [`CI_FLOOR`] of the committed
+/// events/sec.
+fn ci_check(cfg: &BenchConfig) -> i32 {
+    let committed = match std::fs::read_to_string(ENGINE_REPORT) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench --ci: cannot read {ENGINE_REPORT}: {e}");
+            return 1;
+        }
+    };
+    let engine = match json::parse(&committed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench --ci: {ENGINE_REPORT} does not parse: {e}");
+            return 1;
+        }
+    };
+    match std::fs::read_to_string(EXPERIMENTS_REPORT).map_err(|e| e.to_string()) {
+        Ok(text) => {
+            if let Err(e) = json::parse(&text) {
+                eprintln!("bench --ci: {EXPERIMENTS_REPORT} does not parse: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("bench --ci: cannot read {EXPERIMENTS_REPORT}: {e}");
+            return 1;
+        }
+    }
+    let Some(baseline_eps) = engine
+        .get("summary")
+        .and_then(|s| s.get("wheel_events_per_sec"))
+        .and_then(Value::as_f64)
+    else {
+        eprintln!("bench --ci: {ENGINE_REPORT} missing summary.wheel_events_per_sec");
+        return 1;
+    };
+    // Fresh reduced measurement at the deepest quick depth.
+    let quick = BenchConfig {
+        quick: true,
+        ..*cfg
+    };
+    eprintln!("== bench --ci: dispatch_hold sanity run ==");
+    let fresh = wheel_dispatch_hold(10_000, 200_000, quick.seed);
+    let floor = baseline_eps * CI_FLOOR;
+    eprintln!(
+        "  fresh {:.0} ev/s vs committed {:.0} ev/s (floor {:.0})",
+        fresh.eps(),
+        baseline_eps,
+        floor
+    );
+    if fresh.eps() < floor {
+        eprintln!(
+            "bench --ci: events/sec {:.0} fell below {:.0} ({}% of committed baseline) — catastrophic scheduler regression?",
+            fresh.eps(),
+            floor,
+            (CI_FLOOR * 100.0) as u32
+        );
+        return 1;
+    }
+    eprintln!("bench --ci: ok");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_workloads_agree_and_report_builds() {
+        let cfg = BenchConfig {
+            quick: true,
+            ci_check: false,
+            seed: 7,
+        };
+        // Tiny versions of each workload: the dispatch-count equality
+        // asserts inside are the real check.
+        let w = wheel_dispatch_hold(50, 500, cfg.seed);
+        let h = heap_dispatch_hold(50, 500, cfg.seed);
+        assert_eq!(w.dispatched, h.dispatched);
+        let w = wheel_schedule_cancel(40, 3, cfg.seed);
+        let h = heap_schedule_cancel(40, 3, cfg.seed);
+        assert_eq!(w.dispatched, h.dispatched);
+        let (w, cells) = wheel_cancel_after_fire(10, 100, cfg.seed);
+        let (h, tombs) = heap_cancel_after_fire(10, 100, cfg.seed);
+        assert_eq!(w.dispatched, h.dispatched);
+        assert_eq!(tombs, 100.0, "reference scheduler leaks per iteration");
+        assert!(cells <= 11.0 + 1.0, "wheel slab bounded by live peak");
+        // Report assembles and round-trips through the parser.
+        let rows = vec![MicroRow {
+            name: "dispatch_hold",
+            depth: 50,
+            wheel: w,
+            heap: h,
+            extra: vec![],
+        }];
+        let report = engine_report(&cfg, &rows);
+        let text = report.to_pretty();
+        let back = json::parse(&text).expect("report parses");
+        assert!(back
+            .get("summary")
+            .and_then(|s| s.get("wheel_events_per_sec"))
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+}

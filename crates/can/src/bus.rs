@@ -29,7 +29,7 @@ use crate::controller::{Controller, TxHandle, TxRequest};
 use crate::fault::{FaultDecision, FaultInjector};
 use crate::frame::Frame;
 use crate::id::{CanId, NodeId};
-use rtec_sim::{Ctx, Duration, Time, TimerId, TraceSink};
+use rtec_sim::{Ctx, Duration, SourceId, Time, TimerId, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Events the bus schedules for itself on the simulation engine.
@@ -257,6 +257,9 @@ pub struct CanBus {
     /// bit times after transmitting).
     suspend_until: Vec<Time>,
     trace: TraceSink,
+    /// Interned `"bus"` source handle for the attached sink, so hot
+    /// emit sites pass a `u32` instead of a string per event.
+    trace_src: SourceId,
     /// Aggregate statistics.
     pub stats: BusStats,
 }
@@ -276,12 +279,14 @@ impl CanBus {
             arb_scheduled: false,
             suspend_until: vec![Time::ZERO; num_nodes],
             trace: TraceSink::disabled(),
+            trace_src: TraceSink::disabled().intern("bus"),
             stats: BusStats::default(),
         }
     }
 
     /// Attach a trace sink.
     pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace_src = trace.intern("bus");
         self.trace = trace;
     }
 
@@ -440,13 +445,7 @@ impl CanBus {
                 .map(|&(id, node)| ("cand", (u64::from(node.0) << 32) | u64::from(id.raw())))
                 .collect();
             fields.push(("win", u64::from(winner_id.raw())));
-            self.trace.emit_kv(
-                now,
-                "bus",
-                "arb",
-                format!("{} contenders, winner {}", candidates.len(), winner_id),
-                fields,
-            );
+            self.trace.emit_fields(now, self.trace_src, "arb", &fields);
         }
 
         let controller = &mut self.controllers[winner_node.index()];
@@ -485,16 +484,15 @@ impl CanBus {
             }
             _ => self.config.timing.duration_of(full_bits),
         };
-        self.trace.emit_kv(
+        self.trace.emit_fields(
             now,
-            "bus",
+            self.trace_src,
             match decision {
                 FaultDecision::Corrupt { .. } => "tx_start_corrupt",
                 FaultDecision::Omit { .. } => "tx_start_omit",
                 FaultDecision::Ok => "tx_start",
             },
-            format!("{} node={} attempt={}", frame.id, winner_node, attempts),
-            vec![
+            &[
                 ("id", u64::from(frame.id.raw())),
                 ("node", u64::from(winner_node.0)),
                 ("attempt", u64::from(attempts)),
@@ -592,12 +590,11 @@ impl CanBus {
         {
             self.suspend_until[fl.node.index()] = now + self.config.timing.duration_of(8);
         }
-        self.trace.emit_kv(
+        self.trace.emit_fields(
             now,
-            "bus",
+            self.trace_src,
             "tx_end",
-            format!("{} all_received={}", fl.frame.id, all_received),
-            vec![
+            &[
                 ("id", u64::from(fl.frame.id.raw())),
                 ("node", u64::from(fl.node.0)),
                 ("attempt", u64::from(fl.attempts)),
@@ -648,12 +645,11 @@ impl CanBus {
         sender.stats.tx_errors += 1;
         let sender_transition = sender.on_tx_error();
         let sender_bus_off = sender.error_state() == crate::controller::ErrorState::BusOff;
-        self.trace.emit_kv(
+        self.trace.emit_fields(
             now,
-            "bus",
+            self.trace_src,
             "tx_error",
-            format!("{} attempt={}", fl.frame.id, fl.attempts),
-            vec![
+            &[
                 ("id", u64::from(fl.frame.id.raw())),
                 ("node", u64::from(fl.node.0)),
                 ("attempt", u64::from(fl.attempts)),
@@ -724,8 +720,12 @@ impl CanBus {
             node,
             state: crate::controller::ErrorState::Active,
         };
-        self.trace
-            .emit(sched.now(), "bus", "bus_off_recover", format!("{node}"));
+        self.trace.emit_fields(
+            sched.now(),
+            self.trace_src,
+            "bus_off_recover",
+            &[("node", u64::from(node.0))],
+        );
         self.kick(sched);
         vec![note]
     }

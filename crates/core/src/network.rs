@@ -43,7 +43,7 @@ use rtec_can::{
     MapScheduler, NodeId, Notification, TxRequest, PRIO_HRT, PRIO_NRT_MIN,
 };
 use rtec_clock::{ClockParams, LocalClock};
-use rtec_sim::{Ctx, Duration, Engine, Model, RngStreams, Time, TraceSink};
+use rtec_sim::{Ctx, Duration, Engine, Model, RngStreams, SourceId, Time, TraceSink};
 use std::collections::{HashMap, VecDeque};
 
 /// Maximum inline (single-frame) event content.
@@ -250,6 +250,10 @@ pub struct NetWorld {
     pub(crate) calendar_start: Time,
     pub(crate) config: NetworkConfig,
     trace: TraceSink,
+    /// Per-node interned trace sources, indexed `[node][Tec]`. Rebuilt
+    /// whenever the sink is replaced; hot emit sites pass these handles
+    /// instead of formatting a `String` source per event.
+    trace_srcs: Vec<[SourceId; 3]>,
     one_shots: Vec<Option<OneShotFn>>,
     recurring: Vec<RecurringTask>,
     /// Slots that went empty: (node, etag) → (ready, deadline) in true
@@ -263,7 +267,42 @@ fn wrap_can(ev: CanEvent) -> NetEvent {
     NetEvent::Can(ev)
 }
 
+/// Which of a node's event-channel handlers a trace record comes from
+/// (index into `NetWorld::trace_srcs`).
+#[derive(Clone, Copy)]
+enum Tec {
+    Hrt = 0,
+    Srt = 1,
+    Nrt = 2,
+}
+
 impl NetWorld {
+    /// (Re)intern the per-node trace source names (`"node3.hrtec"`, ...)
+    /// on the current sink.
+    fn rebuild_trace_srcs(&mut self) {
+        self.trace_srcs = self
+            .nodes
+            .iter()
+            .map(|ns| {
+                let n = ns.id;
+                [
+                    self.trace.intern(&format!("{n}.hrtec")),
+                    self.trace.intern(&format!("{n}.srtec")),
+                    self.trace.intern(&format!("{n}.nrtec")),
+                ]
+            })
+            .collect();
+    }
+
+    /// Cached interned trace source for one of `node`'s channel handlers.
+    #[inline]
+    fn tec_src(&mut self, node: NodeId, tec: Tec) -> SourceId {
+        if self.trace_srcs.len() != self.nodes.len() {
+            self.rebuild_trace_srcs();
+        }
+        self.trace_srcs[node.index()][tec as usize]
+    }
+
     fn new(config: NetworkConfig) -> Self {
         let streams = RngStreams::new(config.seed);
         let injector = FaultInjector::new(config.fault_model.clone(), streams.stream("bus-faults"));
@@ -306,6 +345,7 @@ impl NetWorld {
             calendar_start: Time::ZERO,
             config,
             trace: TraceSink::disabled(),
+            trace_srcs: Vec::new(),
             one_shots: Vec::new(),
             recurring: Vec::new(),
             empty_slots: HashMap::new(),
@@ -351,9 +391,10 @@ impl NetWorld {
         out
     }
 
-    /// All nodes currently subscribed to an etag.
-    pub fn subscribers_of(&self, etag: u16) -> Vec<NodeId> {
-        self.subscribers.get(&etag).cloned().unwrap_or_default()
+    /// All nodes currently subscribed to an etag (borrowed — delivery
+    /// paths iterate this per event, so no clone).
+    pub fn subscribers_of(&self, etag: u16) -> &[NodeId] {
+        self.subscribers.get(&etag).map_or(&[], Vec::as_slice)
     }
 
     /// Enumerate all bound publications: `(etag, publishing node, spec)`,
@@ -638,19 +679,21 @@ impl NetWorld {
                     published_at: now_true,
                 };
                 self.nodes[n].nrt.queue.push_back(transfer);
-                self.trace.emit_kv(
-                    now_true,
-                    &format!("{node}.nrtec"),
-                    "nrt_enqueue",
-                    format!("etag={etag} frags={frags}"),
-                    vec![
-                        ("etag", u64::from(etag)),
-                        ("node", u64::from(node.0)),
-                        ("frags", frags as u64),
-                        ("bytes", bytes as u64),
-                        ("fragmented", u64::from(nrt.fragmented)),
-                    ],
-                );
+                if self.trace.is_enabled() {
+                    let src = self.tec_src(node, Tec::Nrt);
+                    self.trace.emit_fields(
+                        now_true,
+                        src,
+                        "nrt_enqueue",
+                        &[
+                            ("etag", u64::from(etag)),
+                            ("node", u64::from(node.0)),
+                            ("frags", frags as u64),
+                            ("bytes", bytes as u64),
+                            ("fragmented", u64::from(nrt.fragmented)),
+                        ],
+                    );
+                }
                 self.nrt_dispatch(ctx, node);
                 Ok(())
             }
@@ -917,18 +960,20 @@ impl NetWorld {
             self.empty_slots
                 .insert((publisher.0, etag), (now, deadline_true));
         }
-        self.trace.emit_kv(
-            now,
-            &format!("{publisher}.hrtec"),
-            "slot_ready",
-            format!("etag={etag} round={round} slot={slot}"),
-            vec![
-                ("etag", u64::from(etag)),
-                ("round", round),
-                ("slot", slot as u64),
-                ("node", u64::from(publisher.0)),
-            ],
-        );
+        if self.trace.is_enabled() {
+            let src = self.tec_src(publisher, Tec::Hrt);
+            self.trace.emit_fields(
+                now,
+                src,
+                "slot_ready",
+                &[
+                    ("etag", u64::from(etag)),
+                    ("round", round),
+                    ("slot", slot as u64),
+                    ("node", u64::from(publisher.0)),
+                ],
+            );
+        }
     }
 
     fn on_slot_lst(&mut self, ctx: &mut Ctx<NetEvent>, round: u64, slot: usize) {
@@ -1027,9 +1072,14 @@ impl NetWorld {
                     delivered_at: global_deadline,
                     wire_completed_at: wire_t,
                 };
-                sub.queue.push(delivery.clone());
-                if let Some(h) = sub.notify.as_mut() {
-                    h(&delivery);
+                // Clone only when a notify handler needs a borrow after
+                // the queue takes ownership; the common path moves.
+                match sub.notify.as_mut() {
+                    Some(h) => {
+                        sub.queue.push(delivery.clone());
+                        h(&delivery);
+                    }
+                    None => sub.queue.push(delivery),
                 }
                 let last = sub.last_delivery.replace(now);
                 let _ = subject;
@@ -1042,19 +1092,21 @@ impl NetWorld {
                     ch.inter_delivery_ns
                         .record(now.saturating_since(last).as_ns());
                 }
-                self.trace.emit_kv(
-                    now,
-                    &format!("{node}.hrtec"),
-                    "hrt_deliver",
-                    format!("etag={etag} round={round} slot={slot}"),
-                    vec![
-                        ("etag", u64::from(etag)),
-                        ("round", round),
-                        ("slot", slot as u64),
-                        ("node", u64::from(node.0)),
-                        ("wire", wire_t.as_ns()),
-                    ],
-                );
+                if self.trace.is_enabled() {
+                    let src = self.tec_src(node, Tec::Hrt);
+                    self.trace.emit_fields(
+                        now,
+                        src,
+                        "hrt_deliver",
+                        &[
+                            ("etag", u64::from(etag)),
+                            ("round", round),
+                            ("slot", slot as u64),
+                            ("node", u64::from(node.0)),
+                            ("wire", wire_t.as_ns()),
+                        ],
+                    );
+                }
             }
             None => {
                 if !sporadic {
@@ -1218,18 +1270,20 @@ impl NetWorld {
             }
         }
         let msg = self.nodes[n].srt.queue.remove(idx);
-        self.trace.emit_kv(
-            ctx.now(),
-            &format!("{node}.srtec"),
-            "srt_expire",
-            format!("etag={} seq={seq}", msg.etag),
-            vec![
-                ("etag", u64::from(msg.etag)),
-                ("seq", u64::from(seq)),
-                ("node", u64::from(node.0)),
-                ("tag", pack_tag(TagKind::Srt, msg.etag, seq)),
-            ],
-        );
+        if self.trace.is_enabled() {
+            let src = self.tec_src(node, Tec::Srt);
+            self.trace.emit_fields(
+                ctx.now(),
+                src,
+                "srt_expire",
+                &[
+                    ("etag", u64::from(msg.etag)),
+                    ("seq", u64::from(seq)),
+                    ("node", u64::from(node.0)),
+                    ("tag", pack_tag(TagKind::Srt, msg.etag, seq)),
+                ],
+            );
+        }
         let exc = ChannelException::Expired {
             subject: msg.subject,
             expiration: msg.expiration.unwrap_or(msg.deadline),
@@ -1638,18 +1692,20 @@ impl NetWorld {
                     .push((origin.0, etag), frame.payload())
                 {
                     Ok(Some(data)) => {
-                        self.trace.emit_kv(
-                            completed_at,
-                            &format!("{node}.nrtec"),
-                            "nrt_complete",
-                            format!("etag={etag} bytes={}", data.len()),
-                            vec![
-                                ("etag", u64::from(etag)),
-                                ("node", u64::from(node.0)),
-                                ("origin", u64::from(origin.0)),
-                                ("bytes", data.len() as u64),
-                            ],
-                        );
+                        if self.trace.is_enabled() {
+                            let src = self.tec_src(node, Tec::Nrt);
+                            self.trace.emit_fields(
+                                completed_at,
+                                src,
+                                "nrt_complete",
+                                &[
+                                    ("etag", u64::from(etag)),
+                                    ("node", u64::from(node.0)),
+                                    ("origin", u64::from(origin.0)),
+                                    ("bytes", data.len() as u64),
+                                ],
+                            );
+                        }
                         let publish_time = self.nrt_publish_time(origin, etag);
                         self.deliver_immediate(
                             node,
@@ -1662,17 +1718,19 @@ impl NetWorld {
                     }
                     Ok(None) => {}
                     Err(e) => {
-                        self.trace.emit_kv(
-                            completed_at,
-                            &format!("{node}.nrtec"),
-                            "frag_error",
-                            format!("etag={etag} {e:?}"),
-                            vec![
-                                ("etag", u64::from(etag)),
-                                ("node", u64::from(node.0)),
-                                ("origin", u64::from(origin.0)),
-                            ],
-                        );
+                        if self.trace.is_enabled() {
+                            let src = self.tec_src(node, Tec::Nrt);
+                            self.trace.emit_fields(
+                                completed_at,
+                                src,
+                                "frag_error",
+                                &[
+                                    ("etag", u64::from(etag)),
+                                    ("node", u64::from(node.0)),
+                                    ("origin", u64::from(origin.0)),
+                                ],
+                            );
+                        }
                         let sub = self.nodes[n].subscription_by_etag(etag).expect("exists");
                         let subject = sub.subject;
                         let exc = ChannelException::Fault {
@@ -1750,9 +1808,14 @@ impl NetWorld {
             delivered_at: g,
             wire_completed_at: completed_at,
         };
-        sub.queue.push(delivery.clone());
-        if let Some(h) = sub.notify.as_mut() {
-            h(&delivery);
+        // As in slot delivery: move into the queue unless a notify
+        // handler still needs to borrow the delivery afterwards.
+        match sub.notify.as_mut() {
+            Some(h) => {
+                sub.queue.push(delivery.clone());
+                h(&delivery);
+            }
+            None => sub.queue.push(delivery),
         }
         let last = sub.last_delivery.replace(completed_at);
         let ch = self.stats.channel_mut(etag);
@@ -1999,6 +2062,7 @@ impl Network {
     pub fn enable_trace(&mut self) -> TraceSink {
         let sink = TraceSink::enabled();
         self.engine.model.trace = sink.clone();
+        self.engine.model.rebuild_trace_srcs();
         self.engine.model.bus.set_trace(sink.clone());
         sink
     }

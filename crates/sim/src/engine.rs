@@ -1,22 +1,31 @@
-//! The discrete-event engine: a priority queue of timestamped events and
-//! a dispatch loop.
+//! The discrete-event engine: a hierarchical timing wheel of timestamped
+//! events and a dispatch loop.
 //!
 //! A simulation is a [`Model`]: a state type plus a typed event handler.
 //! Handlers receive a [`Ctx`] through which they schedule further events
 //! (absolute [`Ctx::at`] or relative [`Ctx::after`]) and cancel pending
-//! ones ([`Ctx::cancel`]). Cancellation is lazy: cancelled entries stay
-//! in the heap and are skipped on pop, which keeps both operations
-//! `O(log n)` amortized.
+//! ones ([`Ctx::cancel`]). Scheduling and cancellation are O(1): timers
+//! live in a slab addressed by the [`TimerId`] handle, whose generation
+//! tag makes cancelling an already-fired timer a true no-op (nothing is
+//! recorded, so no tombstones accumulate — see [`crate::wheel`] for the
+//! wheel layout and its invariants).
 //!
 //! Determinism: ties at the same instant are broken by the scheduling
 //! sequence number, so the delivery order of simultaneous events is the
-//! order in which they were scheduled.
+//! order in which they were scheduled. This contract is checked against
+//! a reference heap scheduler ([`crate::reference`]) by property tests.
 
+use crate::telemetry;
 use crate::time::{Duration, Time};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use crate::wheel::TimerWheel;
 
 /// Handle for a scheduled event, used to cancel it before it fires.
+///
+/// The low 32 bits index the engine's timer slab; the high 32 bits are
+/// the slab cell's generation at allocation time. A handle is live for
+/// exactly one schedule→fire/cancel window: once the timer fires or is
+/// cancelled the generation advances and the handle goes stale, so
+/// using it again is a detectable no-op rather than an aliasing hazard.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerId(u64);
 
@@ -24,6 +33,21 @@ impl TimerId {
     /// A handle that never corresponds to a scheduled event. Useful as a
     /// placeholder in model state.
     pub const NONE: TimerId = TimerId(u64::MAX);
+
+    #[inline]
+    pub(crate) fn pack(idx: u32, gen: u32) -> TimerId {
+        TimerId((u64::from(gen) << 32) | u64::from(idx))
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
 /// A simulation model: state plus an event handler.
@@ -36,50 +60,25 @@ pub trait Model {
     fn handle(&mut self, ctx: &mut Ctx<Self::Event>, ev: Self::Event);
 }
 
-struct Entry<E> {
-    time: Time,
-    seq: u64,
-    id: TimerId,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// Scheduling context handed to [`Model::handle`].
 ///
 /// Owns the event queue and the simulation clock.
 pub struct Ctx<E> {
     now: Time,
-    queue: BinaryHeap<Entry<E>>,
+    wheel: TimerWheel<E>,
     next_seq: u64,
-    cancelled: HashSet<TimerId>,
     dispatched: u64,
+    peak_pending: usize,
 }
 
 impl<E> Ctx<E> {
     fn new() -> Self {
         Ctx {
             now: Time::ZERO,
-            queue: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
             dispatched: 0,
+            peak_pending: 0,
         }
     }
 
@@ -95,10 +94,26 @@ impl<E> Ctx<E> {
         self.dispatched
     }
 
-    /// Number of events still pending (including lazily-cancelled ones).
+    /// Number of live pending events (cancelled timers are reclaimed
+    /// immediately and not counted).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.wheel.len()
+    }
+
+    /// High-water mark of [`Ctx::pending`] over the engine's lifetime.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Number of timer slab cells ever allocated. Bounded by the peak
+    /// number of *concurrently* pending timers — fire/cancel churn
+    /// reuses cells, which is what the tombstone-leak regression test
+    /// asserts.
+    #[inline]
+    pub fn allocated_timers(&self) -> usize {
+        self.wheel.allocated()
     }
 
     /// Schedule `ev` at absolute time `t`.
@@ -114,13 +129,8 @@ impl<E> Ctx<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = TimerId(seq);
-        self.queue.push(Entry {
-            time: t,
-            seq,
-            id,
-            ev,
-        });
+        let id = self.wheel.insert(t, seq, ev);
+        self.peak_pending = self.peak_pending.max(self.wheel.len());
         id
     }
 
@@ -131,25 +141,14 @@ impl<E> Ctx<E> {
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// already fired (or was already cancelled) is a no-op — the stale
+    /// handle's generation no longer matches, so nothing is recorded.
     pub fn cancel(&mut self, id: TimerId) {
-        if id != TimerId::NONE {
-            self.cancelled.insert(id);
-        }
+        self.wheel.cancel(id);
     }
 
-    fn pop_due(&mut self, limit: Time) -> Option<Entry<E>> {
-        while let Some(head) = self.queue.peek() {
-            if head.time > limit {
-                return None;
-            }
-            let entry = self.queue.pop().expect("peeked entry exists");
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            return Some(entry);
-        }
-        None
+    fn pop_due(&mut self, limit: Time) -> Option<(Time, E)> {
+        self.wheel.pop_due(limit).map(|(t, _seq, ev)| (t, ev))
     }
 }
 
@@ -204,23 +203,34 @@ impl<M: Model> Engine<M> {
         (&mut self.model, &mut self.ctx)
     }
 
-    /// Dispatch a single event if one is pending. Returns `false` when
-    /// the queue is empty.
-    pub fn step(&mut self) -> bool {
-        match self.ctx.pop_due(Time::MAX) {
-            Some(entry) => {
-                self.ctx.now = entry.time;
+    #[inline]
+    fn dispatch_one(&mut self, limit: Time) -> bool {
+        match self.ctx.pop_due(limit) {
+            Some((time, ev)) => {
+                self.ctx.now = time;
                 self.ctx.dispatched += 1;
-                self.model.handle(&mut self.ctx, entry.ev);
+                self.model.handle(&mut self.ctx, ev);
                 true
             }
             None => false,
         }
     }
 
+    /// Dispatch a single event if one is pending. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let fired = self.dispatch_one(Time::MAX);
+        if fired {
+            telemetry::on_run_complete(1, self.ctx.peak_pending);
+        }
+        fired
+    }
+
     /// Run until the queue is empty.
     pub fn run(&mut self) {
-        while self.step() {}
+        let before = self.ctx.dispatched;
+        while self.dispatch_one(Time::MAX) {}
+        telemetry::on_run_complete(self.ctx.dispatched - before, self.ctx.peak_pending);
     }
 
     /// Run until simulated time `limit` (inclusive: events *at* `limit`
@@ -228,14 +238,12 @@ impl<M: Model> Engine<M> {
     /// queue drained earlier, in which case `now()` is the last dispatch
     /// time.
     pub fn run_until(&mut self, limit: Time) {
-        while let Some(entry) = self.ctx.pop_due(limit) {
-            self.ctx.now = entry.time;
-            self.ctx.dispatched += 1;
-            self.model.handle(&mut self.ctx, entry.ev);
-        }
+        let before = self.ctx.dispatched;
+        while self.dispatch_one(limit) {}
         if self.ctx.now < limit {
             self.ctx.now = limit;
         }
+        telemetry::on_run_complete(self.ctx.dispatched - before, self.ctx.peak_pending);
     }
 
     /// Run for a span of simulated time from the current instant.
@@ -330,6 +338,30 @@ mod tests {
         let mut e = Engine::new(recorder());
         e.ctx().cancel(TimerId::NONE);
         assert_eq!(e.ctx().pending(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_leak() {
+        // Regression test for the old engine's tombstone leak: cancelling
+        // an already-fired TimerId inserted into a HashSet that was never
+        // drained. With generation-tagged handles the cancel is a true
+        // no-op and the slab stays at its high-water mark.
+        let mut e = Engine::new(recorder());
+        let mut stale: Vec<TimerId> = Vec::new();
+        for round in 0..2_000u64 {
+            let id = e.schedule_at(Time::from_us(round + 1), 1);
+            e.run();
+            stale.push(id);
+            // Cancel every stale handle ever issued, every round.
+            for &s in &stale {
+                e.ctx().cancel(s);
+            }
+        }
+        assert_eq!(e.dispatched(), 2_000);
+        // One timer pending at a time → exactly one slab cell, ever.
+        assert_eq!(e.ctx().allocated_timers(), 1);
+        assert_eq!(e.ctx().pending(), 0);
+        assert_eq!(e.ctx().peak_pending(), 1);
     }
 
     #[test]

@@ -39,13 +39,18 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod reference;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use engine::{Ctx, Engine, Model, TimerId};
+pub use reference::HeapScheduler;
 pub use rng::{Rng, RngStreams};
 pub use stats::{Histogram, OnlineStats};
+pub use telemetry::EngineTelemetry;
 pub use time::{Duration, Time};
-pub use trace::{TraceEvent, TraceSink};
+pub use trace::{SourceId, TraceEvent, TraceSink};

@@ -1,0 +1,82 @@
+//! Thread-local engine throughput counters.
+//!
+//! The benchmark harness needs events/sec and peak queue depth for
+//! experiment runs that construct their own [`crate::Engine`]s
+//! internally. Rather than thread a collector through every experiment
+//! signature, each engine folds its dispatch count and pending-queue
+//! high-water mark into these thread-local accumulators at the end of
+//! every `run`/`run_until`/`step` call. A harness brackets a workload
+//! with [`reset`] and [`snapshot`]; code that never looks at telemetry
+//! pays one thread-local update per *run call*, not per event.
+//!
+//! Counters are per-thread by design: experiment workers on separate
+//! threads each measure their own simulations without synchronization.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DISPATCHED: Cell<u64> = const { Cell::new(0) };
+    static PEAK_PENDING: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Aggregated engine counters for the current thread since [`reset`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Total events dispatched across all engines on this thread.
+    pub dispatched: u64,
+    /// Largest pending-queue depth any engine on this thread reached.
+    pub peak_pending: usize,
+}
+
+/// Zero the current thread's counters.
+pub fn reset() {
+    DISPATCHED.with(|c| c.set(0));
+    PEAK_PENDING.with(|c| c.set(0));
+}
+
+/// Read the current thread's counters.
+pub fn snapshot() -> EngineTelemetry {
+    EngineTelemetry {
+        dispatched: DISPATCHED.with(Cell::get),
+        peak_pending: PEAK_PENDING.with(Cell::get),
+    }
+}
+
+/// Fold one engine run's results in (called by the engine itself).
+pub(crate) fn on_run_complete(dispatched: u64, peak_pending: usize) {
+    DISPATCHED.with(|c| c.set(c.get() + dispatched));
+    PEAK_PENDING.with(|c| c.set(c.get().max(peak_pending)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ctx, Duration, Engine, Model, Time};
+
+    struct Chain(u32);
+    impl Model for Chain {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            if ev < self.0 {
+                ctx.after(Duration::from_us(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_across_engines() {
+        reset();
+        let mut a = Engine::new(Chain(4));
+        a.schedule_at(Time::ZERO, 0);
+        a.run();
+        let mut b = Engine::new(Chain(2));
+        b.schedule_at(Time::ZERO, 0);
+        b.schedule_at(Time::ZERO, 0);
+        b.run();
+        let snap = snapshot();
+        assert_eq!(snap.dispatched, a.dispatched() + b.dispatched());
+        assert_eq!(snap.peak_pending, 2);
+        reset();
+        assert_eq!(snapshot(), EngineTelemetry::default());
+    }
+}

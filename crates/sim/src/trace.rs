@@ -1,17 +1,95 @@
 //! Lightweight structured tracing.
 //!
-//! Simulation components emit [`TraceEvent`]s into a shared [`TraceSink`].
+//! Simulation components emit trace records into a shared [`TraceSink`].
 //! Tracing is off by default (a disabled sink drops events without
 //! allocating), so hot simulation loops pay one branch when tracing is
 //! disabled. Tests assert on recorded traces; the experiment harness
 //! prints them with `--trace`.
+//!
+//! The recording path is allocation-free in the steady state:
+//!
+//! * `source` strings are interned once to a [`SourceId`] handle
+//!   ([`TraceSink::intern`]); hot emitters cache the handle and pass a
+//!   `u32` instead of formatting a `String` per event.
+//! * key/value fields are stored in an inline small-vector
+//!   ([`INLINE_FIELDS`] pairs on the stack; larger payloads spill to the
+//!   heap) — [`TraceSink::emit_fields`] copies from a borrowed slice.
+//! * records live in a ring buffer. The default enabled sink is
+//!   unbounded (audits need the complete trace); a bounded sink
+//!   ([`TraceSink::enabled_with_capacity`]) recycles the oldest record
+//!   once warm and counts what it dropped ([`TraceSink::dropped`]).
+//!
+//! Queries are a **view layer**: [`TraceSink::events`] materializes
+//! plain [`TraceEvent`]s (owned `String` source, `Vec` fields) from the
+//! compact records, so auditors and tests keep the same API they had
+//! when the sink stored `TraceEvent`s directly.
 
 use crate::time::Time;
 use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-/// One structured trace record.
+/// Interned `source` string handle, valid for the sink that issued it
+/// (and its clones — they share the intern table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SourceId(u32);
+
+/// Key/value pairs stored inline per record before spilling to the heap.
+pub const INLINE_FIELDS: usize = 6;
+
+/// Inline small-vector of trace fields.
+#[derive(Clone, Debug)]
+enum FieldBuf {
+    Inline {
+        len: u8,
+        buf: [(&'static str, u64); INLINE_FIELDS],
+    },
+    Spill(Vec<(&'static str, u64)>),
+}
+
+impl FieldBuf {
+    fn from_slice(fields: &[(&'static str, u64)]) -> Self {
+        if fields.len() <= INLINE_FIELDS {
+            let mut buf = [("", 0u64); INLINE_FIELDS];
+            buf[..fields.len()].copy_from_slice(fields);
+            FieldBuf::Inline {
+                len: fields.len() as u8,
+                buf,
+            }
+        } else {
+            FieldBuf::Spill(fields.to_vec())
+        }
+    }
+
+    fn from_vec(fields: Vec<(&'static str, u64)>) -> Self {
+        if fields.len() <= INLINE_FIELDS {
+            FieldBuf::from_slice(&fields)
+        } else {
+            FieldBuf::Spill(fields)
+        }
+    }
+
+    fn as_slice(&self) -> &[(&'static str, u64)] {
+        match self {
+            FieldBuf::Inline { len, buf } => &buf[..*len as usize],
+            FieldBuf::Spill(v) => v,
+        }
+    }
+}
+
+/// Compact in-ring record. `detail` is boxed out-of-line because the
+/// hot emitters don't produce one.
+#[derive(Debug)]
+struct Rec {
+    time: Time,
+    source: SourceId,
+    kind: &'static str,
+    detail: Option<Box<str>>,
+    fields: FieldBuf,
+}
+
+/// One structured trace record, as seen by queries and tests.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulated instant of the event.
@@ -61,10 +139,62 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SinkInner {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    capacity: usize,
+    records: VecDeque<Rec>,
+    dropped: u64,
+    names: Vec<Rc<str>>,
+    ids: HashMap<Rc<str>, u32>,
+}
+
+impl Default for SinkInner {
+    fn default() -> Self {
+        SinkInner {
+            enabled: false,
+            capacity: usize::MAX,
+            records: VecDeque::new(),
+            dropped: 0,
+            names: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+}
+
+impl SinkInner {
+    fn intern(&mut self, name: &str) -> SourceId {
+        if let Some(&id) = self.ids.get(name) {
+            return SourceId(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("intern table exhausted");
+        let rc: Rc<str> = Rc::from(name);
+        self.names.push(rc.clone());
+        self.ids.insert(rc, id);
+        SourceId(id)
+    }
+
+    fn push(&mut self, rec: Rec) {
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    fn rebuild(&self, rec: &Rec) -> TraceEvent {
+        TraceEvent {
+            time: rec.time,
+            source: self
+                .names
+                .get(rec.source.0 as usize)
+                .map(|s| s.to_string())
+                .unwrap_or_default(),
+            kind: rec.kind,
+            detail: rec.detail.as_deref().unwrap_or("").to_string(),
+            fields: rec.fields.as_slice().to_vec(),
+        }
+    }
 }
 
 /// A cheaply-cloneable handle to a shared trace buffer.
@@ -84,10 +214,26 @@ impl TraceSink {
         TraceSink::default()
     }
 
-    /// An enabled sink that records every event.
+    /// An enabled sink that records every event (unbounded — complete
+    /// traces are what the conformance auditor consumes).
     pub fn enabled() -> Self {
         let sink = TraceSink::default();
         sink.inner.borrow_mut().enabled = true;
+        sink
+    }
+
+    /// An enabled sink bounded to the most recent `capacity` records.
+    /// Once warm, recording recycles the oldest slot instead of
+    /// allocating; [`TraceSink::dropped`] counts evictions.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        let sink = TraceSink::default();
+        {
+            let mut inner = sink.inner.borrow_mut();
+            inner.enabled = true;
+            inner.capacity = capacity.max(1);
+            let reserve = inner.capacity.min(1 << 20);
+            inner.records.reserve_exact(reserve);
+        }
         sink
     }
 
@@ -101,7 +247,40 @@ impl TraceSink {
         self.inner.borrow_mut().enabled = enabled;
     }
 
-    /// Emit an event (dropped when disabled).
+    /// Intern a source name, returning a handle that can be emitted with
+    /// repeatedly without per-event string work. Interning the same name
+    /// twice returns the same handle. Handles are only meaningful on the
+    /// sink (or clones of the sink) that issued them.
+    pub fn intern(&self, name: &str) -> SourceId {
+        self.inner.borrow_mut().intern(name)
+    }
+
+    /// Emit a record from the hot path: interned source, borrowed field
+    /// slice, no detail string. Allocation-free while the fields fit
+    /// inline (≤ [`INLINE_FIELDS`]) and the ring is warm.
+    #[inline]
+    pub fn emit_fields(
+        &self,
+        time: Time,
+        source: SourceId,
+        kind: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.enabled {
+            inner.push(Rec {
+                time,
+                source,
+                kind,
+                detail: None,
+                fields: FieldBuf::from_slice(fields),
+            });
+        }
+    }
+
+    /// Emit an event (dropped when disabled). Convenience path: interns
+    /// `source` on every call — cache a [`SourceId`] and use
+    /// [`TraceSink::emit_fields`] in hot loops.
     pub fn emit(&self, time: Time, source: &str, kind: &'static str, detail: impl Into<String>) {
         self.emit_kv(time, source, kind, detail, Vec::new());
     }
@@ -118,19 +297,25 @@ impl TraceSink {
     ) {
         let mut inner = self.inner.borrow_mut();
         if inner.enabled {
-            inner.events.push(TraceEvent {
+            let source = inner.intern(source);
+            let detail = detail.into();
+            inner.push(Rec {
                 time,
-                source: source.to_string(),
+                source,
                 kind,
-                detail: detail.into(),
-                fields,
+                detail: if detail.is_empty() {
+                    None
+                } else {
+                    Some(detail.into_boxed_str())
+                },
+                fields: FieldBuf::from_vec(fields),
             });
         }
     }
 
-    /// Number of recorded events.
+    /// Number of recorded events currently in the buffer.
     pub fn len(&self) -> usize {
-        self.inner.borrow().events.len()
+        self.inner.borrow().records.len()
     }
 
     /// `true` when no events are recorded.
@@ -138,25 +323,32 @@ impl TraceSink {
         self.len() == 0
     }
 
-    /// Snapshot of all recorded events.
+    /// Number of records evicted from a bounded sink since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Snapshot of all recorded events (oldest first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.clone()
+        let inner = self.inner.borrow();
+        inner.records.iter().map(|r| inner.rebuild(r)).collect()
     }
 
     /// Snapshot of events matching a kind tag.
     pub fn events_of_kind(&self, kind: &str) -> Vec<TraceEvent> {
-        self.inner
-            .borrow()
-            .events
+        let inner = self.inner.borrow();
+        inner
+            .records
             .iter()
-            .filter(|e| e.kind == kind)
-            .cloned()
+            .filter(|r| r.kind == kind)
+            .map(|r| inner.rebuild(r))
             .collect()
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events (the intern table survives, so cached
+    /// [`SourceId`]s stay valid).
     pub fn clear(&self) {
-        self.inner.borrow_mut().events.clear();
+        self.inner.borrow_mut().records.clear();
     }
 }
 
@@ -244,5 +436,79 @@ mod tests {
         assert_eq!(ev.field("win"), Some(10));
         assert_eq!(ev.field("absent"), None);
         assert_eq!(ev.fields_named("cand"), vec![10, 20]);
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared_across_clones() {
+        let sink = TraceSink::enabled();
+        let a = sink.intern("bus");
+        let b = sink.clone().intern("bus");
+        let c = sink.intern("node1.hrtec");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        sink.emit_fields(Time::ZERO, a, "tx_start", &[("id", 16)]);
+        sink.emit(Time::ZERO, "bus", "tx_end", "");
+        let evs = sink.events();
+        assert_eq!(evs[0].source, "bus");
+        assert_eq!(evs[1].source, "bus");
+        assert_eq!(evs[0].field("id"), Some(16));
+    }
+
+    #[test]
+    fn emit_fields_matches_emit_kv_view() {
+        let sink = TraceSink::enabled();
+        let src = sink.intern("bus");
+        sink.emit_fields(Time::from_us(3), src, "arb", &[("cand", 1), ("win", 1)]);
+        sink.emit_kv(
+            Time::from_us(3),
+            "bus",
+            "arb",
+            "",
+            vec![("cand", 1), ("win", 1)],
+        );
+        let evs = sink.events();
+        assert_eq!(evs[0], evs[1]);
+    }
+
+    #[test]
+    fn oversized_field_lists_spill_but_round_trip() {
+        let sink = TraceSink::enabled();
+        let src = sink.intern("bus");
+        let fields: Vec<(&'static str, u64)> =
+            (0..INLINE_FIELDS as u64 + 4).map(|i| ("cand", i)).collect();
+        sink.emit_fields(Time::ZERO, src, "arb", &fields);
+        let ev = &sink.events()[0];
+        assert_eq!(ev.fields, fields);
+        assert_eq!(
+            ev.fields_named("cand").len(),
+            INLINE_FIELDS + 4,
+            "all spilled fields visible through the view"
+        );
+    }
+
+    #[test]
+    fn bounded_sink_keeps_most_recent_and_counts_drops() {
+        let sink = TraceSink::enabled_with_capacity(3);
+        for i in 0..10u64 {
+            sink.emit_kv(Time::from_ns(i), "src", "tick", "", vec![("i", i)]);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+        let kept: Vec<u64> = sink.events().iter().filter_map(|e| e.field("i")).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn foreign_source_id_renders_empty_not_panic() {
+        let sink = TraceSink::enabled();
+        // A handle from an unrelated sink: out of range here.
+        let foreign = TraceSink::enabled().intern("other");
+        let _local = sink.intern("local");
+        let foreign_far = SourceId(1234);
+        sink.emit_fields(Time::ZERO, foreign, "x", &[]);
+        sink.emit_fields(Time::ZERO, foreign_far, "x", &[]);
+        let evs = sink.events();
+        assert_eq!(evs[0].source, "local"); // id 0 happens to exist here
+        assert_eq!(evs[1].source, "");
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests of the discrete-event engine and statistics.
 
 use proptest::prelude::*;
-use rtec_sim::{Ctx, Duration, Engine, Histogram, Model, OnlineStats, Time};
+use rtec_sim::{Ctx, Duration, Engine, HeapScheduler, Histogram, Model, OnlineStats, Time};
 
 /// A model that records the dispatch order of (time, id) events.
 struct Recorder {
@@ -14,6 +14,34 @@ impl Model for Recorder {
         assert_eq!(ctx.now(), ev.0, "event fires at its scheduled time");
         self.seen.push(ev);
     }
+}
+
+/// One externally-driven scheduler operation for the differential test.
+#[derive(Clone, Debug)]
+enum SchedOp {
+    /// Schedule at `now + delay_ns`.
+    Schedule(u64),
+    /// Cancel the n-th handle issued so far (mod count) — may already
+    /// have fired or been cancelled.
+    Cancel(usize),
+    /// `run_until(now + delta_ns)` on both schedulers, then compare.
+    Run(u64),
+}
+
+/// Mix short (same-granule), medium, and far-overflow-level horizons so
+/// every wheel level and the imminent heap get exercised.
+fn scheduler_op() -> impl Strategy<Value = SchedOp> {
+    prop_oneof![
+        (0u64..4_096).prop_map(SchedOp::Schedule),
+        (0u64..4_096).prop_map(SchedOp::Schedule),
+        (0u64..2_000_000).prop_map(SchedOp::Schedule),
+        (0u64..1_000_000_000_000).prop_map(SchedOp::Schedule),
+        any::<usize>().prop_map(SchedOp::Cancel),
+        any::<usize>().prop_map(SchedOp::Cancel),
+        (0u64..3_000_000).prop_map(SchedOp::Run),
+        (0u64..3_000_000).prop_map(SchedOp::Run),
+        (0u64..2_000_000_000_000).prop_map(SchedOp::Run),
+    ]
 }
 
 proptest! {
@@ -119,6 +147,56 @@ proptest! {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
         prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Differential test: the timing-wheel engine and the reference
+    /// `BinaryHeap` scheduler (the engine's original implementation,
+    /// kept in `rtec_sim::reference`) dispatch the *same sequence* in
+    /// the *same order* and agree on the clock after every advance,
+    /// under an arbitrary interleaving of schedule / cancel / run_until
+    /// operations. Ties at the same instant must break in scheduling
+    /// order in both.
+    #[test]
+    fn wheel_matches_reference_heap(ops in prop::collection::vec(scheduler_op(), 1..120)) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        let mut heap: HeapScheduler<(Time, u32)> = HeapScheduler::new();
+        let mut heap_seen: Vec<(Time, u32)> = Vec::new();
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        let mut tag = 0u32;
+        for op in ops {
+            match op {
+                SchedOp::Schedule(delay_ns) => {
+                    let t = engine.now() + Duration::from_ns(delay_ns);
+                    wheel_ids.push(engine.schedule_at(t, (t, tag)));
+                    heap_ids.push(heap.at(t, (t, tag)));
+                    tag += 1;
+                }
+                SchedOp::Cancel(nth) => {
+                    if !wheel_ids.is_empty() {
+                        // May target live, fired, or already-cancelled
+                        // timers — all must behave identically.
+                        let i = nth % wheel_ids.len();
+                        engine.ctx().cancel(wheel_ids[i]);
+                        heap.cancel(heap_ids[i]);
+                    }
+                }
+                SchedOp::Run(delta_ns) => {
+                    let limit = engine.now() + Duration::from_ns(delta_ns);
+                    engine.run_until(limit);
+                    while heap.pop_due(limit).map(|(_, ev)| heap_seen.push(ev)).is_some() {}
+                    heap.advance_to(limit);
+                    prop_assert_eq!(engine.now(), heap.now(), "clock advance diverged");
+                    prop_assert_eq!(&engine.model.seen, &heap_seen, "dispatch order diverged");
+                }
+            }
+        }
+        // Drain both completely.
+        let final_limit = Time::MAX;
+        engine.run_until(final_limit);
+        while heap.pop_due(final_limit).map(|(_, ev)| heap_seen.push(ev)).is_some() {}
+        prop_assert_eq!(&engine.model.seen, &heap_seen);
+        prop_assert_eq!(engine.dispatched(), heap.dispatched());
     }
 
     /// Time arithmetic: round_up/round_down bracket the value on the
