@@ -30,4 +30,9 @@ echo "== bench smoke run (committed BENCH_*.json parse + throughput floor)"
 # tripwire that tolerates shared-runner noise.
 cargo run -p rtec-bench --bin experiments --release -- bench --ci
 
+echo "== live-runtime loopback smoke (demo + auditor, hard timeout)"
+# The live runtime is threads in lock-step over IPC: a protocol bug
+# shows up as a hang, not a failure, so bound the run hard.
+timeout 120 cargo run -p rtec-live --release --example demo -- --audit >/dev/null
+
 echo "ci: all gates passed"

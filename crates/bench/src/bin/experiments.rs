@@ -9,10 +9,11 @@
 //! experiments --list          # show the index
 //! experiments bench           # scheduler + experiment benchmarks → BENCH_*.json
 //! experiments bench --ci      # sanity-check against committed BENCH_*.json
+//! experiments bench live      # live-runtime throughput/latency → BENCH_engine.json
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::{perf, RunOpts};
+use rtec_bench::{live_perf, perf, RunOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +21,7 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut list_only = false;
     let mut bench = false;
+    let mut live = false;
     let mut ci_check = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -34,6 +36,7 @@ fn main() {
             "--list" => list_only = true,
             "all" => selected.push("all".into()),
             "bench" => bench = true,
+            "live" => live = true,
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -43,6 +46,9 @@ fn main() {
             ci_check,
             seed: opts.seed,
         };
+        if live {
+            std::process::exit(live_perf::run(&cfg));
+        }
         std::process::exit(perf::run(&cfg));
     }
     let registry = all();

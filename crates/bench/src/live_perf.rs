@@ -1,0 +1,210 @@
+//! Live-runtime benchmark (`experiments bench live`).
+//!
+//! Measures the multi-threaded live runtime over the loopback
+//! transport at cluster sizes 2, 8 and 32: one subscriber node plus
+//! `n − 1` SRT publishers offering a constant aggregate load (one
+//! message per 500 µs of bus time across the cluster, ≈ 26 % of a
+//! 1 Mbit/s wire), so the numbers compare broker/IPC overhead across
+//! thread counts rather than different bus schedules.
+//!
+//! Each publisher stamps the current bus time into its payload; the
+//! subscriber-side delivery log then yields end-to-end latency
+//! (publish → delivery, in bus time) without any side channel. Reported
+//! per cluster size:
+//!
+//! * `deliveries_per_wall_sec` — how fast the runtime grinds through
+//!   bus traffic in real time (virtual pacing, so this is pure runtime
+//!   cost: thread wake-ups, lock-step drains, channel hops),
+//! * `p50_us` / `p99_us` — end-to-end latency percentiles in bus-time
+//!   microseconds (these are protocol numbers: queueing + arbitration
+//!   + wire time, identical run to run under the virtual clock).
+//!
+//! Results merge into `BENCH_engine.json` under the `"live"` key; the
+//! committed wheel/heap microbenchmark numbers are preserved.
+
+use crate::json::{self, Value};
+use crate::perf::{BenchConfig, ENGINE_REPORT};
+use rtec_core::channel::{ChannelSpec, SrtSpec};
+use rtec_core::event::{Event, Subject};
+use rtec_live::cluster::{Cluster, ClusterConfig};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::Pace;
+use rtec_sim::Duration;
+use std::time::Instant;
+
+/// Cluster sizes measured (total nodes including the subscriber).
+const SIZES: [usize; 3] = [2, 8, 32];
+
+/// Aggregate publish interval: one message somewhere in the cluster
+/// per this much bus time.
+const AGGREGATE_EVERY: Duration = Duration::from_us(500);
+
+struct StampedSource {
+    subject: Subject,
+    every: Duration,
+    phase: Duration,
+}
+
+impl Behavior for StampedSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.phase, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _p: u64) {
+        let stamp = ctx.now().as_ns().to_le_bytes().to_vec();
+        let _ = ctx.publish(Event::new(self.subject, stamp));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+struct Sink;
+impl Behavior for Sink {}
+
+struct LiveRow {
+    nodes: usize,
+    deliveries: usize,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let sink = cluster.add_node(Box::new(Sink));
+    let publishers = nodes - 1;
+    let every = AGGREGATE_EVERY * publishers as u64;
+    for i in 0..publishers {
+        let subject = Subject(0x9000 + i as u64);
+        let node = cluster.add_node(Box::new(StampedSource {
+            subject,
+            every,
+            phase: AGGREGATE_EVERY * (i as u64 + 1),
+        }));
+        let spec = ChannelSpec::Srt(SrtSpec::default());
+        cluster.publish(node, subject, spec);
+        cluster.subscribe(sink, subject, spec);
+    }
+    let wall = Instant::now();
+    let report = cluster.run_for(bus_time).expect("live bench run failed");
+    let wall_s = wall.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = report
+        .log
+        .iter()
+        .filter(|r| r.bytes.len() == 8)
+        .map(|r| {
+            let stamp = u64::from_le_bytes(r.bytes[..8].try_into().expect("8-byte stamp"));
+            r.delivered_ns.saturating_sub(stamp)
+        })
+        .collect();
+    latencies.sort_unstable();
+    LiveRow {
+        nodes,
+        deliveries: latencies.len(),
+        wall_s,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn live_report(cfg: &BenchConfig, bus_time: Duration, rows: &[LiveRow]) -> Value {
+    let entries: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::Obj(
+                vec![
+                    ("nodes", Value::num(r.nodes as f64)),
+                    ("deliveries", Value::num(r.deliveries as f64)),
+                    ("wall_ms", Value::num(round3(r.wall_s * 1e3))),
+                    (
+                        "deliveries_per_wall_sec",
+                        Value::num((r.deliveries as f64 / r.wall_s.max(1e-9)).round()),
+                    ),
+                    ("p50_us", Value::num(round3(r.p50_us))),
+                    ("p99_us", Value::num(round3(r.p99_us))),
+                ]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            )
+        })
+        .collect();
+    Value::Obj(
+        vec![
+            ("schema", Value::str("rtec-bench-live-v1")),
+            ("mode", Value::str(if cfg.quick { "quick" } else { "full" })),
+            ("transport", Value::str("loopback")),
+            ("bus_ms", Value::num(bus_time.as_ns() as f64 / 1e6)),
+            ("clusters", Value::Arr(entries)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
+
+/// Run the live benchmark and merge its section into the engine report.
+/// Returns a process exit code.
+pub fn run(cfg: &BenchConfig) -> i32 {
+    let bus_time = if cfg.quick {
+        Duration::from_ms(50)
+    } else {
+        Duration::from_ms(400)
+    };
+    eprintln!(
+        "== live runtime (loopback, {} of bus time per cluster) ==",
+        if cfg.quick { "50 ms" } else { "400 ms" }
+    );
+    let rows: Vec<LiveRow> = SIZES
+        .iter()
+        .map(|&n| {
+            let row = bench_cluster(n, bus_time);
+            eprintln!(
+                "  {:2} nodes: {:5} deliveries in {:7.2} ms wall  p50 {:7.1} µs  p99 {:7.1} µs",
+                row.nodes,
+                row.deliveries,
+                row.wall_s * 1e3,
+                row.p50_us,
+                row.p99_us
+            );
+            row
+        })
+        .collect();
+    let section = live_report(cfg, bus_time, &rows);
+
+    // Merge under "live", preserving every committed wheel/heap number.
+    let mut root = std::fs::read_to_string(ENGINE_REPORT)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    if let Value::Obj(fields) = &mut root {
+        fields.retain(|(k, _)| k != "live");
+        fields.push(("live".to_string(), section));
+    }
+    match std::fs::write(ENGINE_REPORT, root.to_pretty()) {
+        Ok(()) => {
+            eprintln!("merged live section into {ENGINE_REPORT}");
+            0
+        }
+        Err(e) => {
+            eprintln!("bench live: cannot write {ENGINE_REPORT}: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Versioned wire codec for CAN frames crossing a real transport.
+//!
+//! The simulator passes [`Frame`] values by ownership; a live runtime
+//! has to put them on a byte-oriented transport (UDP datagrams, pipes)
+//! and read them back from peers it does not trust to be the same
+//! build. The encoding is deliberately tiny and explicit:
+//!
+//! ```text
+//! byte 0      codec version (currently 1)
+//! bytes 1..5  29-bit identifier, big-endian u32 (top 3 bits zero)
+//! byte 5      DLC (0..=8)
+//! bytes 6..   DLC payload bytes — the buffer ends exactly here
+//! ```
+//!
+//! Fragmentation headers ride *inside* the payload (see
+//! `rtec_core::frag`), exactly as they do on a physical bus, so this
+//! codec stays class-agnostic: HRT, SRT and NRT frames all encode the
+//! same way. Decoding never panics; every malformed input maps to a
+//! [`CodecError`].
+
+use crate::frame::{Frame, MAX_PAYLOAD};
+use crate::id::{CanId, ETAG_BITS, PRIORITY_BITS, TXNODE_BITS};
+
+/// Width of the full structured identifier (29 bits).
+const ID_BITS: u32 = PRIORITY_BITS + TXNODE_BITS + ETAG_BITS;
+
+/// Current wire-format version (byte 0 of every encoded frame).
+pub const CODEC_VERSION: u8 = 1;
+
+/// Encoded size of a frame carrying `dlc` payload bytes.
+pub const fn encoded_len(dlc: usize) -> usize {
+    6 + dlc
+}
+
+/// Largest encoded frame (full 8-byte payload).
+pub const MAX_ENCODED_LEN: usize = encoded_len(MAX_PAYLOAD);
+
+/// A byte buffer failed to decode as a CAN frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated(usize),
+    /// Version byte is not [`CODEC_VERSION`].
+    BadVersion(u8),
+    /// Identifier does not fit in 29 bits.
+    BadId(u32),
+    /// DLC larger than 8.
+    BadDlc(u8),
+    /// Buffer length disagrees with the DLC.
+    LengthMismatch {
+        /// Length the header promised.
+        expected: usize,
+        /// Length actually received.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated(n) => write!(f, "frame truncated: {n} bytes"),
+            CodecError::BadVersion(v) => {
+                write!(f, "unknown codec version {v} (expected {CODEC_VERSION})")
+            }
+            CodecError::BadId(raw) => write!(f, "identifier {raw:#x} exceeds 29 bits"),
+            CodecError::BadDlc(d) => write!(f, "DLC {d} exceeds {MAX_PAYLOAD}"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: header says {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append the wire encoding of `frame` to `out`.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    out.push(CODEC_VERSION);
+    out.extend_from_slice(&frame.id.raw().to_be_bytes());
+    out.push(frame.dlc());
+    out.extend_from_slice(frame.payload());
+}
+
+/// Wire encoding of `frame` as a fresh buffer.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(frame.dlc() as usize));
+    encode_into(frame, &mut out);
+    out
+}
+
+/// Decode a frame from a buffer holding exactly one encoded frame.
+/// Never panics: all malformed inputs return a [`CodecError`].
+pub fn decode(buf: &[u8]) -> Result<Frame, CodecError> {
+    if buf.len() < 6 {
+        return Err(CodecError::Truncated(buf.len()));
+    }
+    if buf[0] != CODEC_VERSION {
+        return Err(CodecError::BadVersion(buf[0]));
+    }
+    let raw = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    if raw >> ID_BITS != 0 {
+        return Err(CodecError::BadId(raw));
+    }
+    let dlc = buf[5];
+    if dlc as usize > MAX_PAYLOAD {
+        return Err(CodecError::BadDlc(dlc));
+    }
+    let expected = encoded_len(dlc as usize);
+    if buf.len() != expected {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            got: buf.len(),
+        });
+    }
+    let id = CanId::from_raw(raw);
+    Ok(Frame::new(id, &buf[6..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_dlcs() {
+        for dlc in 0..=MAX_PAYLOAD {
+            let payload: Vec<u8> = (0..dlc as u8).map(|b| b.wrapping_mul(37)).collect();
+            let frame = Frame::new(CanId::new(250, 63, 0x3FFF), &payload);
+            let bytes = encode(&frame);
+            assert_eq!(bytes.len(), encoded_len(dlc));
+            assert_eq!(decode(&bytes), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let frame = Frame::new(CanId::new(1, 2, 3), &[9, 8, 7]);
+        let bytes = encode(&frame);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            decode(&long),
+            Err(CodecError::LengthMismatch {
+                expected: bytes.len(),
+                got: bytes.len() + 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version_id_and_dlc() {
+        let frame = Frame::new(CanId::new(1, 2, 3), &[]);
+        let mut bytes = encode(&frame);
+        bytes[0] = 2;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(2)));
+        bytes[0] = CODEC_VERSION;
+        bytes[1] = 0xFF; // sets bits above the 29-bit field
+        assert!(matches!(decode(&bytes), Err(CodecError::BadId(_))));
+        let mut bytes = encode(&frame);
+        bytes[5] = 9;
+        assert_eq!(decode(&bytes), Err(CodecError::BadDlc(9)));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panic() {
+        assert_eq!(decode(&[]), Err(CodecError::Truncated(0)));
+    }
+}

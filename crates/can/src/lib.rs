@@ -35,6 +35,7 @@
 
 pub mod bits;
 pub mod bus;
+pub mod codec;
 pub mod controller;
 pub mod fault;
 pub mod frame;
@@ -42,6 +43,7 @@ pub mod id;
 
 pub use bits::{exact_frame_bits, worst_case_frame_bits, BitTiming};
 pub use bus::{BusConfig, BusStats, CanBus, CanEvent, CanScheduler, MapScheduler, Notification};
+pub use codec::{CodecError, CODEC_VERSION};
 pub use controller::{AcceptanceFilter, Controller, ErrorState, FilterMode, TxHandle, TxRequest};
 pub use fault::{FaultDecision, FaultInjector, FaultModel, OmissionScope};
 pub use frame::{Frame, FrameError};

@@ -56,6 +56,29 @@ impl AuditContext {
     pub fn bare() -> Self {
         AuditContext::default()
     }
+
+    /// Assemble a full context from its parts. This is how runtimes
+    /// other than the simulator (e.g. the live broker) hand their
+    /// static configuration to the auditor: pass the installed
+    /// calendar, the bus-time instant of round 0, and the etag
+    /// class/period maps. Deferred HRT delivery is assumed on (both
+    /// runtimes implement it); widen `tolerance` afterwards if the
+    /// trace mixes imperfect clocks.
+    pub fn from_parts(
+        calendar: CalendarPlan,
+        calendar_start: Time,
+        channels: HashMap<u16, ChannelClass>,
+        hrt_periods: HashMap<u16, Duration>,
+    ) -> Self {
+        AuditContext {
+            calendar: Some(calendar),
+            calendar_start: Some(calendar_start),
+            channels,
+            hrt_periods,
+            hrt_deferred_delivery: true,
+            tolerance: Duration::ZERO,
+        }
+    }
 }
 
 /// Run all trace rules over `events`.

@@ -2,9 +2,25 @@
 //! [`LintInput`] / [`AuditContext`] from the network's own configuration
 //! so harnesses can check any simulation with two calls:
 //!
-//! ```ignore
+//! ```
+//! use rtec_core::prelude::*;
+//!
+//! let mut net = Network::builder()
+//!     .nodes(3)
+//!     .round(Duration::from_ms(10))
+//!     .build();
 //! let sink = net.enable_trace();
-//! // ... run the simulation ...
+//! let door = Subject::new(0x200);
+//! {
+//!     let mut api = net.api();
+//!     api.announce(NodeId(0), door, ChannelSpec::srt(SrtSpec::default()))
+//!         .unwrap();
+//!     api.subscribe(NodeId(1), door, SubscribeSpec::default())
+//!         .unwrap();
+//!     api.publish(NodeId(0), door, Event::new(door, vec![1, 2]))
+//!         .unwrap();
+//! }
+//! net.run_for(Duration::from_ms(20));
 //! let report = rtec_conformance::check_network(&net, &sink);
 //! assert!(report.passes(), "{report}");
 //! ```

@@ -1,0 +1,103 @@
+//! Runtime-agnostic hooks between the middleware state machines and the
+//! runtime that hosts them.
+//!
+//! The deterministic simulator drives its node state through
+//! [`crate::network::NetWorld`] (which owns the bus model directly);
+//! the live runtime (`rtec-live`) hosts the same per-channel logic on
+//! real threads behind a bus-broker. These traits are the seam: a
+//! middleware state machine asks its runtime for the current global
+//! time ([`RuntimeClock`]) and for transmission service and timers
+//! ([`TxHook`]) without knowing whether frames travel through a
+//! simulated bus or over IPC.
+
+use rtec_can::{CanId, Frame};
+use rtec_sim::Time;
+
+/// A read-only view of the runtime's notion of global time.
+pub trait RuntimeClock {
+    /// The current global-time instant.
+    fn now(&self) -> Time;
+}
+
+/// Transmission service offered by a runtime to a node's middleware.
+///
+/// Handles returned by [`TxHook::submit`] are runtime-scoped request
+/// identifiers; completion (or failed abort) is reported back through
+/// whatever completion path the runtime uses, carrying the opaque `tag`
+/// (see [`crate::node::pack_tag`]) so the middleware can route it.
+pub trait TxHook {
+    /// Queue a frame for transmission; returns a handle for later
+    /// [`TxHook::abort`] / [`TxHook::update_id`] calls.
+    fn submit(&mut self, frame: Frame, tag: u64) -> u32;
+
+    /// Request cancellation of a pending transmission. The request is
+    /// best-effort: a frame already on the wire completes normally and
+    /// the runtime reports which outcome happened.
+    fn abort(&mut self, handle: u32);
+
+    /// Rewrite the identifier (and thus arbitration priority) of a
+    /// pending transmission — the SRTEC dynamic-promotion primitive. A
+    /// frame already on the wire is unaffected.
+    fn update_id(&mut self, handle: u32, id: CanId);
+
+    /// Arm a one-shot timer at absolute global time `at`; the runtime
+    /// calls back with `token` when it fires.
+    fn set_timer(&mut self, at: Time, token: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct MockPort {
+        submitted: Vec<(Frame, u64)>,
+        aborted: Vec<u32>,
+        updates: Vec<(u32, CanId)>,
+        timers: Vec<(Time, u64)>,
+        now: Time,
+    }
+    impl RuntimeClock for MockPort {
+        fn now(&self) -> Time {
+            self.now
+        }
+    }
+    impl TxHook for MockPort {
+        fn submit(&mut self, frame: Frame, tag: u64) -> u32 {
+            self.submitted.push((frame, tag));
+            self.submitted.len() as u32 - 1
+        }
+        fn abort(&mut self, handle: u32) {
+            self.aborted.push(handle);
+        }
+        fn update_id(&mut self, handle: u32, id: CanId) {
+            self.updates.push((handle, id));
+        }
+        fn set_timer(&mut self, at: Time, token: u64) {
+            self.timers.push((at, token));
+        }
+    }
+
+    #[test]
+    fn hooks_are_object_safe_and_mockable() {
+        let mut port = MockPort {
+            now: Time::from_us(7),
+            ..MockPort::default()
+        };
+        {
+            let dyn_port: &mut dyn TxHook = &mut port;
+            let id = CanId::new(10, 1, 4);
+            let h = dyn_port.submit(Frame::try_new(id, &[1, 2]).unwrap(), 42);
+            dyn_port.update_id(h, CanId::new(0, 1, 4));
+            dyn_port.abort(h);
+            dyn_port.set_timer(Time::from_us(9), 7);
+        }
+        let dyn_clock: &dyn RuntimeClock = &port;
+        assert_eq!(dyn_clock.now(), Time::from_us(7));
+        assert_eq!(port.submitted.len(), 1);
+        assert_eq!(port.submitted[0].1, 42);
+        assert_eq!(port.updates[0].1.priority(), 0);
+        assert_eq!(port.aborted, vec![0]);
+        assert_eq!(port.timers, vec![(Time::from_us(9), 7)]);
+    }
+}

@@ -43,8 +43,10 @@ pub mod bridge;
 pub mod channel;
 pub mod event;
 pub mod frag;
+pub mod hooks;
 pub mod network;
 pub mod node;
+pub mod policy;
 pub mod stats;
 
 /// Convenient glob import for applications.
@@ -64,5 +66,7 @@ pub use channel::{
     ChannelClass, ChannelException, ChannelSpec, HrtSpec, NrtSpec, SrtSpec, SubscribeSpec,
 };
 pub use event::{Event, EventQueue, Subject};
+pub use hooks::{RuntimeClock, TxHook};
 pub use network::{ClockSyncConfig, Network, NetworkBuilder, NetworkConfig};
+pub use policy::{EdfOrder, EdfQueue};
 pub use stats::{ChannelStats, NetStats};

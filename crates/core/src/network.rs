@@ -414,7 +414,7 @@ impl NetWorld {
 
     /// Peak SRT queue length observed on a node.
     pub fn srt_peak_queue(&self, node: NodeId) -> usize {
-        self.nodes[node.index()].srt.peak_queue
+        self.nodes[node.index()].srt.peak_queue()
     }
 
     /// Current SRT queue length on a node.
@@ -639,7 +639,6 @@ impl NetWorld {
                     missed: false,
                     published_at: now_true,
                 });
-                srt.peak_queue = srt.peak_queue.max(srt.queue.len());
                 // Deadline and expiration supervision.
                 let t_deadline = self.true_at(node, deadline, now_true);
                 ctx.at(t_deadline, NetEvent::SrtDeadline { node, seq });

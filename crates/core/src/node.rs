@@ -10,6 +10,7 @@
 use crate::channel::{ChannelException, ChannelSpec, SubscribeSpec};
 use crate::event::{Delivery, Event, EventQueue, Subject};
 use crate::frag::Reassembler;
+use crate::policy::{EdfOrder, EdfQueue};
 use rtec_can::{NodeId, TxHandle};
 use rtec_clock::LocalClock;
 use rtec_sim::Time;
@@ -207,34 +208,50 @@ pub struct SrtMsg {
     pub published_at: Time,
 }
 
+impl EdfOrder for SrtMsg {
+    fn deadline(&self) -> Time {
+        self.deadline
+    }
+    fn seq(&self) -> u32 {
+        self.seq
+    }
+}
+
 /// The node's EDF send queue for soft real-time traffic.
+///
+/// Ordering lives in the shared [`EdfQueue`] policy (also used by the
+/// live runtime); this wrapper adds the in-flight bookkeeping that ties
+/// the queue head to a controller transmission.
 #[derive(Default)]
 pub struct SrtState {
     /// Pending messages (the head — earliest deadline — is submitted to
     /// the controller; the rest wait here).
-    pub queue: Vec<SrtMsg>,
+    pub queue: EdfQueue<SrtMsg>,
     /// The submitted head: `(seq, controller handle, current priority)`.
     pub inflight: Option<(u32, TxHandle, u8)>,
     /// Sequence counter.
     pub next_seq: u32,
-    /// High-water mark of the queue length (observability).
-    pub peak_queue: usize,
 }
 
 impl SrtState {
     /// Index of the earliest-deadline message, FIFO among equals.
     pub fn head_index(&self) -> Option<usize> {
-        (0..self.queue.len()).min_by_key(|&i| (self.queue[i].deadline, self.queue[i].seq))
+        self.queue.head_index()
     }
 
     /// Find a message by sequence number.
     pub fn find(&self, seq: u32) -> Option<usize> {
-        self.queue.iter().position(|m| m.seq == seq)
+        self.queue.find(seq)
     }
 
     /// Remove and return a message by sequence number.
     pub fn take(&mut self, seq: u32) -> Option<SrtMsg> {
-        self.find(seq).map(|i| self.queue.remove(i))
+        self.queue.take(seq)
+    }
+
+    /// High-water mark of the queue length (observability).
+    pub fn peak_queue(&self) -> usize {
+        self.queue.peak()
     }
 }
 

@@ -1,0 +1,444 @@
+//! The bus broker: one thread reproducing CAN semantics for a cluster
+//! of node threads.
+//!
+//! The broker owns bus time. It keeps every node's submitted frames,
+//! resolves bitwise-priority arbitration whenever the wire goes idle
+//! (lowest raw 29-bit identifier wins, exactly like the simulator's
+//! [`rtec_can::bus`]), paces the winning transmission with the
+//! [`BitClock`], and broadcasts completions to every other node — the
+//! sender learns `all_received`, which is what lets HRT publishers skip
+//! redundant retransmissions (§3.2 of the paper).
+//!
+//! # Lock-step protocol
+//!
+//! The broker talks to one node at a time. After sending any message it
+//! reads that node's replies until the node says `Idle`; replies that
+//! themselves require an answer (`Abort` → `AbortResult`) bump the
+//! outstanding count. Nodes are purely reactive, so this makes the
+//! whole cluster's interleaving a deterministic function of the event
+//! timeline — even over real sockets, and even under wall pacing.
+//!
+//! Within one bus instant the order is fixed: wire completions are
+//! processed before timers, timers in arming order, and deliveries
+//! fan out in increasing node order with the sender's `TxDone` last.
+
+use crate::clock::{BitClock, Pace};
+use crate::transport::BrokerTransport;
+use crate::wire::{ToBroker, ToNode};
+use crate::LiveError;
+use rtec_can::bits::{exact_frame_bits, BitTiming, ERROR_FRAME_BITS};
+use rtec_can::fault::{FaultDecision, FaultInjector, FaultModel};
+use rtec_can::{CanId, Frame, NodeId};
+use rtec_sim::{Rng, SharedTraceSink, SourceId, Time};
+use std::collections::BTreeMap;
+
+/// How long the broker waits on a node reply before declaring the node
+/// dead. Generous: node threads only block on their own transport.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Fault injection for the live bus, mirroring the simulator's models.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The fault model; `None` runs a fault-free bus.
+    pub model: Option<FaultModel>,
+    /// Seed for the injector's random stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    fn injector(&self) -> FaultInjector {
+        match &self.model {
+            Some(m) => FaultInjector::new(m.clone(), Rng::seed_from_u64(self.seed)),
+            None => FaultInjector::none(),
+        }
+    }
+}
+
+/// Broker configuration.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Bit timing the wire is paced with.
+    pub timing: BitTiming,
+    /// How bus time maps to wall time.
+    pub pace: Pace,
+    /// Fault injection plan.
+    pub fault: FaultPlan,
+}
+
+/// Counters the broker reports after a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Arbitration rounds resolved.
+    pub arbitrations: u64,
+    /// Frames that completed with every receiver reached.
+    pub frames_ok: u64,
+    /// Frames that completed but were missed by some receiver.
+    pub frames_with_omission: u64,
+    /// Transmission attempts destroyed by error frames.
+    pub frames_corrupted: u64,
+}
+
+/// A frame a node has submitted and is waiting to see on the wire.
+struct PendingFrame {
+    handle: u32,
+    tag: u64,
+    frame: Frame,
+    attempts: u32,
+}
+
+/// The transmission currently occupying the wire.
+struct Inflight {
+    node: u8,
+    handle: u32,
+    tag: u64,
+    frame: Frame,
+    attempts: u32,
+    completes: Time,
+    decision: FaultDecision,
+}
+
+/// The central bus thread.
+pub struct Broker<T: BrokerTransport> {
+    transport: T,
+    clock: BitClock,
+    sink: SharedTraceSink,
+    src_bus: SourceId,
+    injector: FaultInjector,
+    pending: Vec<Vec<PendingFrame>>,
+    timers: BTreeMap<(u64, u64), (u8, u64)>,
+    timer_seq: u64,
+    inflight: Option<Inflight>,
+    stats: BrokerStats,
+}
+
+impl<T: BrokerTransport> Broker<T> {
+    /// Build a broker over `transport`, tracing into `sink` under the
+    /// source name `"bus"` (same as the simulator).
+    pub fn new(config: BrokerConfig, transport: T, sink: SharedTraceSink) -> Self {
+        let nodes = transport.node_count();
+        let src_bus = sink.intern("bus");
+        Broker {
+            transport,
+            clock: BitClock::new(config.timing, config.pace),
+            sink,
+            src_bus,
+            injector: config.fault.injector(),
+            pending: (0..nodes).map(|_| Vec::new()).collect(),
+            timers: BTreeMap::new(),
+            timer_seq: 0,
+            inflight: None,
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Run the bus until bus time `until`, then shut every node down.
+    pub fn run(mut self, until: Time) -> Result<BrokerStats, LiveError> {
+        let nodes = self.transport.node_count();
+        self.transport
+            .rendezvous(RECV_TIMEOUT)
+            .map_err(LiveError::Transport)?;
+        let now_ns = self.clock.now().as_ns();
+        for node in 0..nodes {
+            self.send_and_drain(node as u8, ToNode::Welcome { now_ns })?;
+        }
+        loop {
+            // Fire everything already due before arbitrating: frames
+            // submitted by one timer handler must contend against
+            // frames submitted by other handlers at the same instant.
+            if let Some(at) = self.next_event_time() {
+                if at <= self.clock.now() {
+                    self.process_next_event()?;
+                    continue;
+                }
+            }
+            if self.inflight.is_none() && self.pending.iter().any(|p| !p.is_empty()) {
+                self.arbitrate()?;
+                continue;
+            }
+            match self.next_event_time() {
+                Some(at) if at <= until => {
+                    self.clock.advance_to(at);
+                    self.process_next_event()?;
+                }
+                _ => break,
+            }
+        }
+        self.clock.advance_to(until);
+        for node in 0..nodes {
+            self.transport
+                .send(node as u8, ToNode::Shutdown)
+                .map_err(LiveError::Transport)?;
+            // Late requests arriving during shutdown are dropped.
+            while !matches!(
+                self.transport
+                    .recv_from(node as u8, RECV_TIMEOUT)
+                    .map_err(LiveError::Transport)?,
+                ToBroker::Done { .. }
+            ) {}
+        }
+        Ok(self.stats)
+    }
+
+    /// The earliest upcoming event: the in-flight completion wins ties
+    /// against timers.
+    fn next_event_time(&self) -> Option<Time> {
+        let completion = self.inflight.as_ref().map(|t| t.completes);
+        let timer = self.timers.keys().next().map(|&(at, _)| Time::from_ns(at));
+        match (completion, timer) {
+            (Some(c), Some(t)) => Some(c.min(t)),
+            (c, t) => c.or(t),
+        }
+    }
+
+    fn process_next_event(&mut self) -> Result<(), LiveError> {
+        let completion = self.inflight.as_ref().map(|t| t.completes);
+        let timer = self.timers.keys().next().map(|&(at, _)| Time::from_ns(at));
+        let take_completion = match (completion, timer) {
+            (Some(c), Some(t)) => c <= t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return Ok(()),
+        };
+        if take_completion {
+            self.finish_transmission()
+        } else {
+            let (&key, &(node, token)) = self.timers.iter().next().expect("timer exists");
+            self.timers.remove(&key);
+            let now_ns = self.clock.now().as_ns();
+            self.send_and_drain(node, ToNode::Timer { token, now_ns })
+        }
+    }
+
+    /// Resolve arbitration among all pending frames at the current
+    /// instant and start the winning transmission.
+    fn arbitrate(&mut self) -> Result<(), LiveError> {
+        let now = self.clock.now();
+        // One candidate per node: its highest-priority pending frame.
+        let mut candidates: Vec<(u32, u8)> = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(node, frames)| {
+                frames
+                    .iter()
+                    .map(|p| p.frame.id.raw())
+                    .min()
+                    .map(|raw| (raw, node as u8))
+            })
+            .collect();
+        debug_assert!(!candidates.is_empty());
+        candidates.sort_unstable();
+        let (winner_raw, winner_node) = candidates[0];
+        self.stats.arbitrations += 1;
+        if self.sink.is_enabled() {
+            let mut fields: Vec<(&'static str, u64)> = candidates
+                .iter()
+                .map(|&(raw, node)| ("cand", (u64::from(node) << 32) | u64::from(raw)))
+                .collect();
+            fields.push(("win", u64::from(winner_raw)));
+            self.sink.emit_fields(now, self.src_bus, "arb", &fields);
+        }
+        let frames = &mut self.pending[winner_node as usize];
+        let idx = frames
+            .iter()
+            .position(|p| p.frame.id.raw() == winner_raw)
+            .expect("winner frame pending");
+        let mut won = frames.remove(idx);
+        won.attempts += 1;
+
+        let receivers: Vec<NodeId> = (0..self.pending.len() as u8)
+            .filter(|&n| n != winner_node)
+            .map(NodeId)
+            .collect();
+        let decision = self.injector.decide(now, &won.frame, &receivers);
+        let full_bits = exact_frame_bits(&won.frame);
+        let duration = match &decision {
+            FaultDecision::Corrupt { fraction } => {
+                let sent = ((f64::from(full_bits) * fraction).ceil() as u32).clamp(1, full_bits);
+                self.clock.timing().duration_of(sent + ERROR_FRAME_BITS)
+            }
+            _ => self.clock.timing().duration_of(full_bits),
+        };
+        self.sink.emit_fields(
+            now,
+            self.src_bus,
+            match decision {
+                FaultDecision::Corrupt { .. } => "tx_start_corrupt",
+                FaultDecision::Omit { .. } => "tx_start_omit",
+                FaultDecision::Ok => "tx_start",
+            },
+            &[
+                ("id", u64::from(winner_raw)),
+                ("node", u64::from(winner_node)),
+                ("attempt", u64::from(won.attempts)),
+                ("tag", won.tag),
+            ],
+        );
+        self.inflight = Some(Inflight {
+            node: winner_node,
+            handle: won.handle,
+            tag: won.tag,
+            frame: won.frame,
+            attempts: won.attempts,
+            completes: now + duration,
+            decision,
+        });
+        Ok(())
+    }
+
+    fn finish_transmission(&mut self) -> Result<(), LiveError> {
+        let tx = self.inflight.take().expect("completion without inflight");
+        self.clock.advance_to(tx.completes);
+        let now = self.clock.now();
+        if let FaultDecision::Corrupt { .. } = tx.decision {
+            // An error frame destroyed the attempt: nobody received it
+            // and the controller re-enters arbitration automatically
+            // (CAN's built-in retransmission — invisible to the node).
+            self.stats.frames_corrupted += 1;
+            self.sink.emit_fields(
+                now,
+                self.src_bus,
+                "tx_error",
+                &[
+                    ("id", u64::from(tx.frame.id.raw())),
+                    ("node", u64::from(tx.node)),
+                    ("attempt", u64::from(tx.attempts)),
+                    ("tag", tx.tag),
+                ],
+            );
+            self.pending[tx.node as usize].push(PendingFrame {
+                handle: tx.handle,
+                tag: tx.tag,
+                frame: tx.frame,
+                attempts: tx.attempts,
+            });
+            return Ok(());
+        }
+        let victims: Vec<NodeId> = match &tx.decision {
+            FaultDecision::Omit { victims } => victims.clone(),
+            _ => Vec::new(),
+        };
+        let all_received = victims.is_empty();
+        if all_received {
+            self.stats.frames_ok += 1;
+        } else {
+            self.stats.frames_with_omission += 1;
+        }
+        self.sink.emit_fields(
+            now,
+            self.src_bus,
+            "tx_end",
+            &[
+                ("id", u64::from(tx.frame.id.raw())),
+                ("node", u64::from(tx.node)),
+                ("attempt", u64::from(tx.attempts)),
+                ("tag", tx.tag),
+                ("all", u64::from(all_received)),
+            ],
+        );
+        // Broadcast to every other node (minus omission victims), in
+        // node order; the sender's TxDone goes last so its reaction
+        // (e.g. an HRT retransmission) arbitrates after deliveries.
+        let completed_ns = now.as_ns();
+        for node in 0..self.pending.len() as u8 {
+            if node == tx.node || victims.contains(&NodeId(node)) {
+                continue;
+            }
+            self.send_and_drain(
+                node,
+                ToNode::Deliver {
+                    completed_ns,
+                    frame: tx.frame,
+                },
+            )?;
+        }
+        self.send_and_drain(
+            tx.node,
+            ToNode::TxDone {
+                handle: tx.handle,
+                tag: tx.tag,
+                all_received,
+                completed_ns,
+            },
+        )
+    }
+
+    /// Send one message to `node` and pump its replies until it
+    /// quiesces. Every message we send is answered by (requests...,
+    /// `Idle`); requests that need a response (`Abort`) add one more
+    /// expected `Idle`.
+    fn send_and_drain(&mut self, node: u8, msg: ToNode) -> Result<(), LiveError> {
+        self.transport
+            .send(node, msg)
+            .map_err(LiveError::Transport)?;
+        let mut outstanding = 1usize;
+        while outstanding > 0 {
+            let reply = self
+                .transport
+                .recv_from(node, RECV_TIMEOUT)
+                .map_err(LiveError::Transport)?;
+            match reply {
+                ToBroker::Idle => outstanding -= 1,
+                ToBroker::Done { .. } => outstanding -= 1,
+                ToBroker::Submit { handle, tag, frame } => {
+                    self.pending[node as usize].push(PendingFrame {
+                        handle,
+                        tag,
+                        frame,
+                        attempts: 0,
+                    });
+                }
+                ToBroker::TimerReq { at_ns, token } => {
+                    self.timers.insert((at_ns, self.timer_seq), (node, token));
+                    self.timer_seq += 1;
+                }
+                ToBroker::Abort { handle } => {
+                    let (aborted, tag) = self.try_abort(node, handle);
+                    self.transport
+                        .send(
+                            node,
+                            ToNode::AbortResult {
+                                handle,
+                                tag,
+                                aborted,
+                            },
+                        )
+                        .map_err(LiveError::Transport)?;
+                    outstanding += 1;
+                }
+                ToBroker::UpdateId { handle, raw_id } => {
+                    // Too late once the frame is on the wire; silently
+                    // keep the old identifier then (the node's promote
+                    // timer raced the arbitration and lost).
+                    if let Ok(id) = CanId::try_from_raw(raw_id) {
+                        if let Some(p) = self.pending[node as usize]
+                            .iter_mut()
+                            .find(|p| p.handle == handle)
+                        {
+                            p.frame.id = id;
+                        }
+                    }
+                }
+                ToBroker::Hello { .. } => {} // handshake stragglers
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort `handle` if it has not reached the wire yet. Returns
+    /// `(aborted, tag)`; an unknown or in-flight handle cannot be
+    /// aborted (non-preemptive transmission).
+    fn try_abort(&mut self, node: u8, handle: u32) -> (bool, u64) {
+        if let Some(tx) = &self.inflight {
+            if tx.node == node && tx.handle == handle {
+                return (false, tx.tag);
+            }
+        }
+        let frames = &mut self.pending[node as usize];
+        if let Some(idx) = frames.iter().position(|p| p.handle == handle) {
+            let p = frames.remove(idx);
+            return (true, p.tag);
+        }
+        (false, 0)
+    }
+}

@@ -1,0 +1,122 @@
+//! The broker's bit-clock: bus time, and how it maps to wall time.
+//!
+//! Every protocol timestamp in the live runtime — slot ready instants,
+//! LSTs, promotion times, wire completions, trace records — is *bus
+//! time*: integer nanoseconds since the broker started, exactly like
+//! the simulator's [`rtec_sim::Time`]. The pace mode only decides how
+//! fast bus time is allowed to advance relative to the host's clock:
+//!
+//! * [`Pace::Virtual`] — bus time jumps instantly to the next event.
+//!   Runs are as fast as the host allows and fully deterministic (the
+//!   determinism tests and benchmarks use this).
+//! * [`Pace::Wall`] — bus time tracks wall time divided by `speedup`
+//!   (1 = real time). The broker sleeps between events; event
+//!   *timestamps* are still the exact bus-time instants, so traces are
+//!   identical to a virtual-pace run of the same cluster.
+
+use rtec_can::bits::BitTiming;
+use rtec_can::Frame;
+use rtec_sim::{Duration, Time};
+use std::time::Instant;
+
+/// How bus time advances relative to the host clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pace {
+    /// Accelerated virtual time: never sleep, jump to the next event.
+    Virtual,
+    /// Track wall time, sped up by the given factor (1 = real time).
+    Wall {
+        /// Bus nanoseconds per wall nanosecond (minimum 1).
+        speedup: u32,
+    },
+}
+
+/// The broker's clock: current bus time plus the pacing policy.
+#[derive(Debug)]
+pub struct BitClock {
+    timing: BitTiming,
+    pace: Pace,
+    now: Time,
+    epoch: Instant,
+}
+
+impl BitClock {
+    /// A clock at bus time zero, started now.
+    pub fn new(timing: BitTiming, pace: Pace) -> Self {
+        BitClock {
+            timing,
+            pace,
+            now: Time::ZERO,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current bus time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The bit timing frames are paced with.
+    pub fn timing(&self) -> BitTiming {
+        self.timing
+    }
+
+    /// Time one frame occupies the wire (exact bit count incl. stuffing).
+    pub fn frame_duration(&self, frame: &Frame) -> Duration {
+        self.timing.frame_duration(frame)
+    }
+
+    /// Advance bus time to `target` (no-op if already past). Under wall
+    /// pacing this sleeps until the corresponding wall instant; under
+    /// virtual pacing it returns immediately.
+    pub fn advance_to(&mut self, target: Time) {
+        if target <= self.now {
+            return;
+        }
+        if let Pace::Wall { speedup } = self.pace {
+            let speedup = u64::from(speedup.max(1));
+            let wall_ns = target.as_ns() / speedup;
+            let deadline = self.epoch + std::time::Duration::from_nanos(wall_ns);
+            let now_wall = Instant::now();
+            if deadline > now_wall {
+                std::thread::sleep(deadline - now_wall);
+            }
+        }
+        self.now = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_pace_jumps_without_sleeping() {
+        let mut c = BitClock::new(BitTiming::MBIT_1, Pace::Virtual);
+        let wall = Instant::now();
+        c.advance_to(Time::from_secs(3600));
+        assert!(wall.elapsed() < std::time::Duration::from_millis(100));
+        assert_eq!(c.now(), Time::from_secs(3600));
+        // Moving backwards is a no-op.
+        c.advance_to(Time::from_secs(1));
+        assert_eq!(c.now(), Time::from_secs(3600));
+    }
+
+    #[test]
+    fn wall_pace_sleeps_towards_target() {
+        let mut c = BitClock::new(BitTiming::MBIT_1, Pace::Wall { speedup: 1000 });
+        let wall = Instant::now();
+        // 20 ms of bus time at 1000x → ~20 µs of wall time.
+        c.advance_to(Time::from_ms(20));
+        assert_eq!(c.now(), Time::from_ms(20));
+        assert!(wall.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn frame_duration_delegates_to_bit_timing() {
+        use rtec_can::CanId;
+        let c = BitClock::new(BitTiming::MBIT_1, Pace::Virtual);
+        let f = Frame::new(CanId::new(1, 2, 3), &[0; 8]);
+        assert_eq!(c.frame_duration(&f), BitTiming::MBIT_1.frame_duration(&f));
+    }
+}

@@ -1,0 +1,343 @@
+//! Cluster assembly: static binding, calendar admission, thread
+//! spawning, and run orchestration.
+//!
+//! [`Cluster`] is the crate's front door. Declare nodes with their
+//! publications/subscriptions and a [`Behavior`] each, then call
+//! [`Cluster::run_for`] (in-process loopback transport) or
+//! [`Cluster::run_for_udp`] (one datagram socket per endpoint). The
+//! builder performs the steps the simulator's network setup does:
+//!
+//! * **static binding** — subjects are assigned etags in declaration
+//!   order starting at the first dynamic tag (the live runtime has no
+//!   bind protocol; see `DESIGN.md` for the divergence list),
+//! * **admission** — HRT publications are planned into a slot calendar
+//!   via [`rtec_analysis::admission`]; an infeasible request set fails
+//!   the build, never the run,
+//! * **spawning** — one thread per node plus the broker on the calling
+//!   thread, all sharing a [`SharedTraceSink`] so the conformance
+//!   auditor can replay the merged trace.
+
+use crate::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan};
+use crate::clock::Pace;
+use crate::node::{Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeStats, SharedConfig};
+use crate::transport::{loopback, NodeTransport};
+use crate::udp::{UdpBroker, UdpNode};
+use crate::LiveError;
+use rtec_analysis::admission::{CalendarPlan, SlotRequest};
+use rtec_analysis::edf::PrioritySlotConfig;
+use rtec_can::bits::BitTiming;
+use rtec_can::id::TXNODE_MAX;
+use rtec_can::NodeId;
+use rtec_core::binding::ETAG_FIRST_DYNAMIC;
+use rtec_core::channel::{ChannelClass, ChannelSpec};
+use rtec_core::event::Subject;
+use rtec_sim::{Duration, SharedTraceSink, Time, TraceEvent};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cluster-wide knobs. `Default` matches the paper's bus: 1 Mbit/s,
+/// 10 ms rounds, 40 µs inter-slot gap, virtual pacing, no faults.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Bit timing of the shared wire.
+    pub timing: BitTiming,
+    /// How bus time maps to wall time.
+    pub pace: Pace,
+    /// HRT calendar round length `R`.
+    pub round: Duration,
+    /// Inter-slot gap `ΔG_min` (paper: 40 µs).
+    pub gap: Duration,
+    /// Bus-time instant of round 0's start (gives nodes room to start
+    /// up before the first slot).
+    pub calendar_start: Time,
+    /// Deadline → priority quantization for SRT channels.
+    pub prio_cfg: PrioritySlotConfig,
+    /// Fault injection plan for the bus.
+    pub fault: FaultPlan,
+    /// Per-channel SRT queue bound.
+    pub srt_queue_cap: usize,
+    /// Per-channel NRT queue bound (in frames).
+    pub nrt_queue_cap: usize,
+    /// Record structured trace events (needed for auditing).
+    pub trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            timing: BitTiming::MBIT_1,
+            pace: Pace::Virtual,
+            round: Duration::from_ms(10),
+            gap: Duration::from_us(40),
+            calendar_start: Time::from_ms(1),
+            prio_cfg: PrioritySlotConfig::paper_default(),
+            fault: FaultPlan::default(),
+            srt_queue_cap: 16,
+            nrt_queue_cap: 64,
+            trace: true,
+        }
+    }
+}
+
+struct NodeDef {
+    publishes: Vec<(Subject, ChannelSpec)>,
+    subscribes: Vec<(Subject, ChannelSpec)>,
+    behavior: Box<dyn Behavior>,
+}
+
+/// Builder for a live cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<NodeDef>,
+}
+
+/// Everything a finished run yields.
+pub struct LiveReport {
+    /// Per-node counters, indexed by node id.
+    pub stats: Vec<NodeStats>,
+    /// Broker counters.
+    pub broker: BrokerStats,
+    /// All deliveries in bus order.
+    pub log: Vec<DeliveryRecord>,
+    /// The merged structured trace (empty when tracing was off).
+    pub trace: Vec<TraceEvent>,
+    /// The admitted HRT calendar.
+    pub calendar: Arc<CalendarPlan>,
+    /// Bus-time instant of round 0's start.
+    pub calendar_start: Time,
+    /// Timeliness class of each bound etag.
+    pub channels: HashMap<u16, ChannelClass>,
+    /// Declared period of each periodic HRT etag.
+    pub hrt_periods: HashMap<u16, Duration>,
+}
+
+impl Cluster {
+    /// Start a cluster description.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Cluster {
+            cfg,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Add a node running `behavior`; returns its node id.
+    pub fn add_node(&mut self, behavior: Box<dyn Behavior>) -> u8 {
+        let id = self.nodes.len() as u8;
+        self.nodes.push(NodeDef {
+            publishes: Vec::new(),
+            subscribes: Vec::new(),
+            behavior,
+        });
+        id
+    }
+
+    /// Declare that `node` publishes `subject` with the given channel
+    /// attributes.
+    pub fn publish(&mut self, node: u8, subject: Subject, spec: ChannelSpec) {
+        self.nodes[node as usize].publishes.push((subject, spec));
+    }
+
+    /// Declare that `node` subscribes to `subject`. The spec mirrors
+    /// the publisher's (binding is static).
+    pub fn subscribe(&mut self, node: u8, subject: Subject, spec: ChannelSpec) {
+        self.nodes[node as usize].subscribes.push((subject, spec));
+    }
+
+    /// Run the cluster over the in-process loopback transport for
+    /// `run` of bus time.
+    pub fn run_for(self, run: Duration) -> Result<LiveReport, LiveError> {
+        let n = self.nodes.len();
+        let (broker_t, node_ts) = loopback(n);
+        let node_ts: Vec<Option<Box<dyn NodeTransport>>> = node_ts
+            .into_iter()
+            .map(|t| Some(Box::new(t) as Box<dyn NodeTransport>))
+            .collect();
+        self.run_with(broker_t, NodeEndpoints::Ready(node_ts), run)
+    }
+
+    /// Run the cluster over UDP: one datagram socket per node plus one
+    /// for the broker, all on localhost.
+    pub fn run_for_udp(self, run: Duration) -> Result<LiveReport, LiveError> {
+        let n = self.nodes.len();
+        let broker_t = UdpBroker::bind(n).map_err(LiveError::Transport)?;
+        let addr = broker_t.local_addr().map_err(LiveError::Transport)?;
+        self.run_with(broker_t, NodeEndpoints::Udp(addr), run)
+    }
+
+    fn run_with<B>(
+        self,
+        broker_transport: B,
+        endpoints: NodeEndpoints,
+        run: Duration,
+    ) -> Result<LiveReport, LiveError>
+    where
+        B: crate::transport::BrokerTransport + 'static,
+    {
+        let cfg = self.cfg;
+        if self.nodes.len() > TXNODE_MAX as usize + 1 {
+            return Err(LiveError::Config(format!(
+                "{} nodes exceed the CAN TxNode field ({})",
+                self.nodes.len(),
+                TXNODE_MAX as usize + 1
+            )));
+        }
+
+        // Static binding: subjects get etags in declaration order.
+        let mut etags: HashMap<u64, u16> = HashMap::new();
+        let mut channels: HashMap<u16, ChannelClass> = HashMap::new();
+        let mut hrt_periods: HashMap<u16, Duration> = HashMap::new();
+        let mut next_etag = ETAG_FIRST_DYNAMIC;
+        let mut requests: Vec<SlotRequest> = Vec::new();
+        for (node, def) in self.nodes.iter().enumerate() {
+            for (subject, spec) in def.publishes.iter().chain(def.subscribes.iter()) {
+                let etag = *etags.entry(subject.uid()).or_insert_with(|| {
+                    let e = next_etag;
+                    next_etag = next_etag.wrapping_add(1);
+                    e
+                });
+                channels.insert(etag, spec.class());
+            }
+            for (subject, spec) in &def.publishes {
+                if let ChannelSpec::Hrt(h) = spec {
+                    let etag = etags[&subject.uid()];
+                    requests.push(SlotRequest {
+                        etag,
+                        publisher: NodeId(node as u8),
+                        dlc: h.dlc,
+                        omission_degree: h.omission_degree,
+                        period: h.period,
+                    });
+                    if !h.sporadic {
+                        hrt_periods.insert(etag, h.period);
+                    }
+                }
+            }
+        }
+        if usize::from(next_etag) < usize::from(ETAG_FIRST_DYNAMIC) + etags.len() {
+            return Err(LiveError::Config("etag space exhausted".into()));
+        }
+
+        let calendar = Arc::new(CalendarPlan::plan(
+            cfg.round, &requests, cfg.timing, cfg.gap,
+        )?);
+        let sink = if cfg.trace {
+            SharedTraceSink::enabled()
+        } else {
+            SharedTraceSink::disabled()
+        };
+        let shared = SharedConfig {
+            calendar: Arc::clone(&calendar),
+            calendar_start: cfg.calendar_start,
+            prio_cfg: cfg.prio_cfg,
+            etags: Arc::new(etags),
+            log: Arc::new(Mutex::new(Vec::new())),
+            sink: sink.clone(),
+        };
+
+        // Spawn the node threads; the broker runs on this thread.
+        let mut endpoints = endpoints;
+        let mut handles = Vec::with_capacity(self.nodes.len());
+        for (id, def) in self.nodes.into_iter().enumerate() {
+            let node_cfg = NodeConfig {
+                node: id as u8,
+                publishes: def.publishes,
+                subscribes: def.subscribes,
+                srt_queue_cap: cfg.srt_queue_cap,
+                nrt_queue_cap: cfg.nrt_queue_cap,
+            };
+            let shared = shared.clone();
+            let endpoint = endpoints.take(id as u8);
+            let handle = std::thread::Builder::new()
+                .name(format!("rtec-node-{id}"))
+                .spawn(move || -> Result<NodeStats, LiveError> {
+                    let transport = endpoint.connect()?;
+                    LiveNode::new(node_cfg, shared, transport, def.behavior)?.run()
+                })
+                .map_err(|e| LiveError::Config(format!("spawn failed: {e}")))?;
+            handles.push(handle);
+        }
+
+        let broker = Broker::new(
+            BrokerConfig {
+                timing: cfg.timing,
+                pace: cfg.pace,
+                fault: cfg.fault.clone(),
+            },
+            broker_transport,
+            sink.clone(),
+        );
+        let broker_result = broker.run(Time::ZERO + run);
+
+        let mut stats = Vec::with_capacity(handles.len());
+        let mut first_node_err = None;
+        for (id, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(s)) => stats.push(s),
+                Ok(Err(e)) => {
+                    first_node_err.get_or_insert(e);
+                    stats.push(NodeStats {
+                        node: id as u8,
+                        ..NodeStats::default()
+                    });
+                }
+                Err(_) => {
+                    first_node_err.get_or_insert(LiveError::NodeFailed(id as u8));
+                    stats.push(NodeStats {
+                        node: id as u8,
+                        ..NodeStats::default()
+                    });
+                }
+            }
+        }
+        let broker_stats = broker_result?;
+        if let Some(e) = first_node_err {
+            return Err(e);
+        }
+        let log = shared.log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        Ok(LiveReport {
+            stats,
+            broker: broker_stats,
+            log,
+            trace: sink.events(),
+            calendar,
+            calendar_start: cfg.calendar_start,
+            channels,
+            hrt_periods,
+        })
+    }
+}
+
+/// Where each node thread gets its transport endpoint from: loopback
+/// endpoints are built up front; UDP endpoints rendezvous from inside
+/// the node thread (`connect` blocks until the broker answers).
+enum NodeEndpoints {
+    Ready(Vec<Option<Box<dyn NodeTransport>>>),
+    Udp(std::net::SocketAddr),
+}
+
+impl NodeEndpoints {
+    fn take(&mut self, node: u8) -> NodeEndpoint {
+        match self {
+            NodeEndpoints::Ready(v) => {
+                NodeEndpoint::Ready(v[node as usize].take().expect("endpoint taken once"))
+            }
+            NodeEndpoints::Udp(addr) => NodeEndpoint::Udp(*addr, node),
+        }
+    }
+}
+
+enum NodeEndpoint {
+    Ready(Box<dyn NodeTransport>),
+    Udp(std::net::SocketAddr, u8),
+}
+
+impl NodeEndpoint {
+    fn connect(self) -> Result<Box<dyn NodeTransport>, LiveError> {
+        match self {
+            NodeEndpoint::Ready(t) => Ok(t),
+            NodeEndpoint::Udp(addr, node) => Ok(Box::new(
+                UdpNode::connect(addr, node).map_err(LiveError::Transport)?,
+            )),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! `rtec-live`: a multi-threaded live runtime for the event-channel
+//! model — real threads, real IPC, the same protocol as the simulator.
+//!
+//! Each node of the cluster runs as its own thread hosting the three
+//! channel classes (hard, soft, non real-time) on top of a
+//! [`transport::NodeTransport`]. A central broker thread reproduces the
+//! CAN bus: bitwise-priority arbitration over the pending frames,
+//! non-preemptive transmission paced by a configurable bit-clock
+//! ([`clock::BitClock`]), and broadcast-with-acknowledgement so hard
+//! real-time publishers can skip redundant retransmissions (§3.2 of the
+//! paper).
+//!
+//! Two transports ship with the crate: an in-process loopback
+//! ([`transport::loopback`], deterministic, used by tests and
+//! benchmarks) and UDP ([`udp`], one datagram socket per endpoint, for
+//! spreading a cluster across processes).
+//!
+//! The runtime emits the same structured trace records as the
+//! simulator, so the `rtec-conformance` auditor (invariants T1–T8) runs
+//! unmodified on live traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod clock;
+pub mod cluster;
+pub mod node;
+pub mod transport;
+pub mod udp;
+pub mod wire;
+
+pub use broker::{Broker, BrokerConfig, FaultPlan};
+pub use clock::{BitClock, Pace};
+pub use cluster::{Cluster, ClusterConfig, LiveReport};
+pub use node::{Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeCtx, NodeStats, SharedConfig};
+pub use transport::{loopback, BrokerTransport, NodeTransport, TransportError};
+pub use wire::{ToBroker, ToNode, WireError};
+
+use rtec_analysis::admission::AdmissionError;
+
+/// Errors surfaced by the live runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiveError {
+    /// `publish` was refused because the channel's bounded queue is
+    /// full and the newcomer (or an in-flight message) would be the
+    /// drop victim. Carries the subject uid.
+    Backpressure(u64),
+    /// A subject has no etag binding in the cluster configuration.
+    UnboundSubject(u64),
+    /// An event payload does not fit the channel's frame budget.
+    PayloadTooLong {
+        /// Offered payload length in bytes.
+        len: usize,
+        /// The channel's maximum.
+        max: usize,
+    },
+    /// The transport failed (timeout, disconnect, malformed datagram).
+    Transport(TransportError),
+    /// The HRT calendar rejected the cluster's slot requests.
+    Admission(AdmissionError),
+    /// A configuration error caught while building the cluster.
+    Config(String),
+    /// A node thread panicked or exited abnormally.
+    NodeFailed(u8),
+}
+
+impl core::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LiveError::Backpressure(uid) => {
+                write!(f, "backpressure on subject {uid:#x}: queue full")
+            }
+            LiveError::UnboundSubject(uid) => {
+                write!(f, "subject {uid:#x} has no etag binding")
+            }
+            LiveError::PayloadTooLong { len, max } => {
+                write!(f, "payload of {len} bytes exceeds channel maximum {max}")
+            }
+            LiveError::Transport(e) => write!(f, "transport failure: {e}"),
+            LiveError::Admission(e) => write!(f, "calendar admission failed: {e}"),
+            LiveError::Config(msg) => write!(f, "configuration error: {msg}"),
+            LiveError::NodeFailed(n) => write!(f, "node {n} thread failed"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<TransportError> for LiveError {
+    fn from(e: TransportError) -> Self {
+        LiveError::Transport(e)
+    }
+}
+
+impl From<AdmissionError> for LiveError {
+    fn from(e: AdmissionError) -> Self {
+        LiveError::Admission(e)
+    }
+}

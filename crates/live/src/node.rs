@@ -1,0 +1,1388 @@
+//! The node runtime: one thread per node, hosting the three channel
+//! classes' publisher/subscriber state machines over a [`NodeTransport`].
+//!
+//! A node is *purely reactive*: every action originates from a broker
+//! message (`Welcome`, `Timer`, `Deliver`, `TxDone`, `AbortResult`,
+//! `Shutdown`). After handling one message the node sends its requests
+//! (submits, aborts, timer arms) followed by exactly one `Idle`, which
+//! is how the broker knows the node has quiesced — the lock-step that
+//! makes live runs deterministic even over real transports.
+//!
+//! The class logic is the paper's, shared with the simulator:
+//!
+//! * **HRT** — calendar slots from [`rtec_analysis::admission`]; the
+//!   staged event is activated at the slot's ready instant, submitted
+//!   at the Latest Start Time with the reserved priority
+//!   [`PRIO_HRT`], retransmitted only while the broker reports a
+//!   receiver missed it, and delivered at the slot deadline.
+//! * **SRT** — the [`EdfQueue`] extracted into `rtec_core::policy`,
+//!   deadline → priority mapping and promotion instants from
+//!   [`rtec_analysis::edf`], expiration drops mapped onto the bounded
+//!   queue's overflow policy.
+//! * **NRT** — fixed-priority FIFO with the fragmentation scheme from
+//!   `rtec_core::frag`, one fragment in flight at a time.
+
+use crate::transport::NodeTransport;
+use crate::wire::{ToBroker, ToNode};
+use crate::LiveError;
+use rtec_analysis::admission::{CalendarPlan, PlannedSlot};
+use rtec_analysis::edf::{next_promotion_time, priority_for_deadline, PrioritySlotConfig};
+use rtec_analysis::wctt::wcct_single;
+use rtec_can::bits::BitTiming;
+use rtec_can::{CanId, Frame, NodeId, PRIO_HRT, PRIO_NRT_MIN, PRIO_SRT_MAX, PRIO_SRT_MIN};
+use rtec_core::channel::{ChannelClass, ChannelException, ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
+use rtec_core::event::{Delivery, Event, Subject};
+use rtec_core::frag::{try_fragment, Reassembler};
+use rtec_core::node::{pack_tag, TagKind};
+use rtec_core::policy::{EdfOrder, EdfQueue};
+use rtec_sim::{Duration, SharedTraceSink, SourceId, Time};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// How long a node waits for the next broker message before treating
+/// the broker as gone. Generous: under wall pacing the bus may be idle
+/// for long stretches.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// How far before a slot's ready instant [`NodeCtx::hrt_stage_schedule`]
+/// places the application's staging timer.
+const STAGE_LEAD: Duration = Duration::from_us(100);
+
+// --------------------------------------------------------------------
+// Timer tokens: kind in the top 8 bits, 56-bit payload below.
+// --------------------------------------------------------------------
+
+const TK_SHIFT: u32 = 56;
+const TK_PAYLOAD_MASK: u64 = (1 << TK_SHIFT) - 1;
+const TK_HRT_READY: u64 = 1;
+const TK_HRT_LST: u64 = 2;
+const TK_HRT_DEADLINE: u64 = 3;
+const TK_HRT_DELIVER: u64 = 4;
+const TK_SRT_DEADLINE: u64 = 5;
+const TK_SRT_EXPIRE: u64 = 6;
+const TK_SRT_PROMOTE: u64 = 7;
+const TK_APP: u64 = 8;
+
+fn token(kind: u64, payload: u64) -> u64 {
+    debug_assert!(payload <= TK_PAYLOAD_MASK);
+    (kind << TK_SHIFT) | (payload & TK_PAYLOAD_MASK)
+}
+
+/// Payload for the per-occurrence HRT publisher timers.
+fn hrt_pub_payload(pub_idx: usize, occ: usize) -> u64 {
+    ((pub_idx as u64) << 16) | occ as u64
+}
+
+/// Payload for the HRT subscriber delivery timer.
+fn hrt_sub_payload(sub_idx: usize, occ: usize, round: u64) -> u64 {
+    debug_assert!(round < 1 << 40);
+    ((sub_idx as u64) << 48) | ((occ as u64) << 40) | (round & ((1 << 40) - 1))
+}
+
+/// Payload for the per-message SRT timers.
+fn srt_payload(chan: usize, seq: u32) -> u64 {
+    ((chan as u64) << 32) | u64::from(seq)
+}
+
+// --------------------------------------------------------------------
+// Public configuration and results
+// --------------------------------------------------------------------
+
+/// Per-node channel configuration, produced by the cluster builder.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// The node's id (also its CAN TxNode field).
+    pub node: u8,
+    /// Subjects this node publishes, with their channel attributes.
+    pub publishes: Vec<(Subject, ChannelSpec)>,
+    /// Subjects this node subscribes to (attributes mirror the
+    /// publisher's — binding is static in the live runtime).
+    pub subscribes: Vec<(Subject, ChannelSpec)>,
+    /// Bound on each SRT channel's EDF queue (≥ 2). Overflow maps onto
+    /// the expiration-drop policy; when the newcomer itself is the
+    /// overflow victim, `publish` returns [`LiveError::Backpressure`].
+    pub srt_queue_cap: usize,
+    /// Bound on each NRT channel's queue, counted in *frames*.
+    pub nrt_queue_cap: usize,
+}
+
+/// Cluster-wide immutable configuration shared by every node thread.
+#[derive(Clone)]
+pub struct SharedConfig {
+    /// The HRT slot calendar (also fixes the bit timing).
+    pub calendar: Arc<CalendarPlan>,
+    /// Bus-time instant of round 0's start.
+    pub calendar_start: Time,
+    /// Deadline → priority quantization for SRT channels.
+    pub prio_cfg: PrioritySlotConfig,
+    /// Static subject → etag binding.
+    pub etags: Arc<HashMap<u64, u16>>,
+    /// Shared delivery log, appended in bus order.
+    pub log: Arc<Mutex<Vec<DeliveryRecord>>>,
+    /// Shared structured trace sink (same records as the simulator).
+    pub sink: SharedTraceSink,
+}
+
+/// One delivery observed at a subscriber, in bus order — the unit the
+/// determinism test compares byte-for-byte across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Subscribing node.
+    pub node: u8,
+    /// Channel etag.
+    pub etag: u16,
+    /// Publishing node.
+    pub origin: u8,
+    /// Channel class.
+    pub class: ChannelClass,
+    /// Delivered payload bytes.
+    pub bytes: Vec<u8>,
+    /// Wire-completion bus time (ns).
+    pub wire_ns: u64,
+    /// Delivery bus time (ns); for HRT this is the slot deadline.
+    pub delivered_ns: u64,
+}
+
+/// Counters a node thread returns when it shuts down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: u8,
+    /// Events accepted by `publish`.
+    pub published: u64,
+    /// Deliveries handed to the behavior.
+    pub delivered: u64,
+    /// Channel exceptions raised (all kinds).
+    pub exceptions: u64,
+    /// SRT messages dropped by expiration or queue overflow.
+    pub expired: u64,
+    /// `publish` calls rejected with backpressure.
+    pub backpressure: u64,
+    /// High-water mark across this node's SRT queues.
+    pub srt_peak_queue: usize,
+}
+
+/// Application logic hosted on a node. All callbacks run on the node's
+/// thread; `ctx` gives access to `publish` and application timers.
+pub trait Behavior: Send {
+    /// Called once when the broker opens the run.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+    /// An application timer set via [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, payload: u64) {
+        let _ = (ctx, payload);
+    }
+    /// An event was delivered on a subscribed channel.
+    fn on_delivery(&mut self, ctx: &mut NodeCtx<'_>, delivery: &Delivery) {
+        let _ = (ctx, delivery);
+    }
+    /// A channel exception was raised locally (§2.2's local
+    /// notification).
+    fn on_exception(&mut self, ctx: &mut NodeCtx<'_>, exception: &ChannelException) {
+        let _ = (ctx, exception);
+    }
+}
+
+/// The API surface handed to [`Behavior`] callbacks.
+pub struct NodeCtx<'a> {
+    core: &'a mut NodeCore,
+}
+
+impl NodeCtx<'_> {
+    /// Current bus time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u8 {
+        self.core.node
+    }
+
+    /// Publish an event on the channel bound to `event.subject`.
+    pub fn publish(&mut self, event: Event) -> Result<(), LiveError> {
+        self.core.publish(event)
+    }
+
+    /// Arm a one-shot application timer at absolute bus time `at`;
+    /// `payload` (≤ 56 bits) comes back in [`Behavior::on_timer`].
+    pub fn set_timer(&mut self, at: Time, payload: u64) -> Result<(), LiveError> {
+        self.core.set_timer(at, token(TK_APP, payload))
+    }
+
+    /// For an HRT publication: the instant the application should next
+    /// stage an event (just before the channel's next slot-ready time)
+    /// and the channel period for rearming. The initial `on_start`
+    /// publish covers round 0.
+    pub fn hrt_stage_schedule(&self, subject: Subject) -> Option<(Time, Duration)> {
+        let PubRef::Hrt(idx) = self.core.pub_by_subject.get(&subject.uid())? else {
+            return None;
+        };
+        let p = &self.core.hrt_pubs[*idx];
+        let (_, slot) = p.slots.first()?;
+        let first = self.core.shared.calendar_start + slot.start + p.spec.period;
+        Some((first.saturating_sub(STAGE_LEAD), p.spec.period))
+    }
+}
+
+// --------------------------------------------------------------------
+// Channel state
+// --------------------------------------------------------------------
+
+enum PubRef {
+    Hrt(usize),
+    Srt(usize),
+    Nrt(usize),
+}
+
+struct HrtPub {
+    subject: Subject,
+    etag: u16,
+    spec: HrtSpec,
+    /// This channel's slot occurrences: (index into `calendar.slots`,
+    /// the slot), ordered by start offset.
+    slots: Vec<(usize, PlannedSlot)>,
+    staged: Option<Event>,
+    active: Option<HrtActive>,
+}
+
+struct HrtActive {
+    occ: usize,
+    cal_idx: usize,
+    deadline_abs: Time,
+    event: Event,
+    /// Transmissions submitted so far (first + middleware retx).
+    sent: u32,
+    succeeded: bool,
+    handle: Option<u32>,
+}
+
+struct HrtSub {
+    subject: Subject,
+    etag: u16,
+    slots: Vec<(usize, PlannedSlot)>,
+    /// First wire arrival for the slot currently awaiting its deadline.
+    pending: Option<HrtPending>,
+}
+
+struct HrtPending {
+    round: u64,
+    occ: usize,
+    cal_idx: usize,
+    event: Event,
+    wire: Time,
+}
+
+struct SrtMsg {
+    seq: u32,
+    event: Event,
+    deadline: Time,
+    expiration: Option<Time>,
+}
+
+impl EdfOrder for SrtMsg {
+    fn deadline(&self) -> Time {
+        self.deadline
+    }
+    fn seq(&self) -> u32 {
+        self.seq
+    }
+}
+
+struct SrtChan {
+    subject: Subject,
+    etag: u16,
+    spec: SrtSpec,
+    queue: EdfQueue<SrtMsg>,
+    next_seq: u32,
+    /// (seq, handle, current priority) of the submitted head.
+    inflight: Option<(u32, u32, u8)>,
+    /// (handle, expire?) of an abort awaiting its `AbortResult`.
+    aborting: Option<(u32, bool)>,
+}
+
+struct NrtTransfer {
+    payloads: Vec<Vec<u8>>,
+    next: usize,
+}
+
+struct NrtChan {
+    etag: u16,
+    spec: NrtSpec,
+    queue: std::collections::VecDeque<NrtTransfer>,
+    queued_frames: usize,
+    inflight: Option<u32>,
+}
+
+struct NrtSub {
+    subject: Subject,
+    fragmented: bool,
+    reass: Reassembler<(u8, u16)>,
+}
+
+#[derive(Clone, Copy)]
+enum Route {
+    Hrt { pub_idx: usize },
+    Srt { chan: usize },
+    Nrt { chan: usize },
+}
+
+enum Notice {
+    Delivered(Delivery),
+    Exception(ChannelException),
+}
+
+// --------------------------------------------------------------------
+// The runtime
+// --------------------------------------------------------------------
+
+/// Everything a node owns except its behavior (split so behavior
+/// callbacks can borrow the rest of the node mutably).
+struct NodeCore {
+    node: u8,
+    now: Time,
+    transport: Box<dyn NodeTransport>,
+    shared: SharedConfig,
+    round: Duration,
+    timing: BitTiming,
+    src_hrt: SourceId,
+    src_srt: SourceId,
+    src_nrt: SourceId,
+    next_handle: u32,
+    routes: HashMap<u32, Route>,
+    pub_by_subject: HashMap<u64, PubRef>,
+    hrt_pubs: Vec<HrtPub>,
+    hrt_subs: Vec<HrtSub>,
+    hrt_sub_by_etag: HashMap<u16, usize>,
+    srt_chans: Vec<SrtChan>,
+    srt_sub_by_etag: HashMap<u16, Subject>,
+    nrt_chans: Vec<NrtChan>,
+    nrt_subs: Vec<NrtSub>,
+    nrt_sub_by_etag: HashMap<u16, usize>,
+    srt_queue_cap: usize,
+    nrt_queue_cap: usize,
+    notices: Vec<Notice>,
+    stats: NodeStats,
+}
+
+/// A live node: channel state machines plus the application behavior.
+pub struct LiveNode {
+    core: NodeCore,
+    behavior: Box<dyn Behavior>,
+}
+
+impl LiveNode {
+    /// Build a node from its configuration. Fails if a subject has no
+    /// etag binding, an HRT publication has no calendar slot, or a spec
+    /// is out of range.
+    pub fn new(
+        cfg: NodeConfig,
+        shared: SharedConfig,
+        transport: Box<dyn NodeTransport>,
+        behavior: Box<dyn Behavior>,
+    ) -> Result<Self, LiveError> {
+        let etags = Arc::clone(&shared.etags);
+        let calendar = Arc::clone(&shared.calendar);
+        let etag_of = move |s: Subject| -> Result<u16, LiveError> {
+            etags
+                .get(&s.uid())
+                .copied()
+                .ok_or(LiveError::UnboundSubject(s.uid()))
+        };
+        let slots_of = move |etag: u16, publisher: Option<u8>| -> Vec<(usize, PlannedSlot)> {
+            calendar
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.etag == etag && publisher.is_none_or(|p| s.publisher == NodeId(p))
+                })
+                .map(|(i, s)| (i, *s))
+                .collect()
+        };
+        if cfg.srt_queue_cap < 2 {
+            return Err(LiveError::Config("SRT queue capacity must be >= 2".into()));
+        }
+        let mut core = NodeCore {
+            node: cfg.node,
+            now: Time::ZERO,
+            transport,
+            round: shared.calendar.round,
+            timing: shared.calendar.timing,
+            src_hrt: shared.sink.intern(&format!("node{}.hrtec", cfg.node)),
+            src_srt: shared.sink.intern(&format!("node{}.srtec", cfg.node)),
+            src_nrt: shared.sink.intern(&format!("node{}.nrtec", cfg.node)),
+            shared,
+            next_handle: 0,
+            routes: HashMap::new(),
+            pub_by_subject: HashMap::new(),
+            hrt_pubs: Vec::new(),
+            hrt_subs: Vec::new(),
+            hrt_sub_by_etag: HashMap::new(),
+            srt_chans: Vec::new(),
+            srt_sub_by_etag: HashMap::new(),
+            nrt_chans: Vec::new(),
+            nrt_subs: Vec::new(),
+            nrt_sub_by_etag: HashMap::new(),
+            srt_queue_cap: cfg.srt_queue_cap,
+            nrt_queue_cap: cfg.nrt_queue_cap,
+            notices: Vec::new(),
+            stats: NodeStats {
+                node: cfg.node,
+                ..NodeStats::default()
+            },
+        };
+        for (subject, spec) in cfg.publishes {
+            let etag = etag_of(subject)?;
+            let r = match spec {
+                ChannelSpec::Hrt(h) => {
+                    let slots = slots_of(etag, Some(cfg.node));
+                    if slots.is_empty() {
+                        return Err(LiveError::Config(format!(
+                            "HRT subject {:#x} has no calendar slot for node {}",
+                            subject.uid(),
+                            cfg.node
+                        )));
+                    }
+                    core.hrt_pubs.push(HrtPub {
+                        subject,
+                        etag,
+                        spec: h,
+                        slots,
+                        staged: None,
+                        active: None,
+                    });
+                    PubRef::Hrt(core.hrt_pubs.len() - 1)
+                }
+                ChannelSpec::Srt(s) => {
+                    core.srt_chans.push(SrtChan {
+                        subject,
+                        etag,
+                        spec: s,
+                        queue: EdfQueue::new(),
+                        next_seq: 0,
+                        inflight: None,
+                        aborting: None,
+                    });
+                    PubRef::Srt(core.srt_chans.len() - 1)
+                }
+                ChannelSpec::Nrt(nr) => {
+                    rtec_core::channel::validate_nrt_priority(&nr)
+                        .map_err(|e| LiveError::Config(e.to_string()))?;
+                    core.nrt_chans.push(NrtChan {
+                        etag,
+                        spec: nr,
+                        queue: std::collections::VecDeque::new(),
+                        queued_frames: 0,
+                        inflight: None,
+                    });
+                    PubRef::Nrt(core.nrt_chans.len() - 1)
+                }
+            };
+            core.pub_by_subject.insert(subject.uid(), r);
+        }
+        for (subject, spec) in cfg.subscribes {
+            let etag = etag_of(subject)?;
+            match spec {
+                ChannelSpec::Hrt(_) => {
+                    core.hrt_subs.push(HrtSub {
+                        subject,
+                        etag,
+                        slots: slots_of(etag, None),
+                        pending: None,
+                    });
+                    core.hrt_sub_by_etag.insert(etag, core.hrt_subs.len() - 1);
+                }
+                ChannelSpec::Srt(_) => {
+                    core.srt_sub_by_etag.insert(etag, subject);
+                }
+                ChannelSpec::Nrt(nr) => {
+                    core.nrt_subs.push(NrtSub {
+                        subject,
+                        fragmented: nr.fragmented,
+                        reass: Reassembler::new(),
+                    });
+                    core.nrt_sub_by_etag.insert(etag, core.nrt_subs.len() - 1);
+                }
+            }
+        }
+        Ok(LiveNode { core, behavior })
+    }
+
+    /// Run the node to completion (until the broker sends `Shutdown`).
+    /// This is the node thread's main; it returns the node's counters.
+    pub fn run(mut self) -> Result<NodeStats, LiveError> {
+        loop {
+            let msg = self
+                .core
+                .transport
+                .recv(RECV_TIMEOUT)
+                .map_err(LiveError::Transport)?;
+            let shutdown = self.handle(msg)?;
+            self.drain_notices()?;
+            if shutdown {
+                let node = self.core.node;
+                self.core.send(ToBroker::Done { node })?;
+                let mut stats = self.core.stats.clone();
+                stats.srt_peak_queue = self
+                    .core
+                    .srt_chans
+                    .iter()
+                    .map(|c| c.queue.peak())
+                    .max()
+                    .unwrap_or(0);
+                return Ok(stats);
+            }
+            self.core.send(ToBroker::Idle)?;
+        }
+    }
+
+    fn handle(&mut self, msg: ToNode) -> Result<bool, LiveError> {
+        let LiveNode { core, behavior } = self;
+        match msg {
+            ToNode::Welcome { now_ns } => {
+                core.now = Time::from_ns(now_ns);
+                core.arm_hrt_ready_timers()?;
+                behavior.on_start(&mut NodeCtx { core });
+            }
+            ToNode::Timer { token: tok, now_ns } => {
+                core.now = Time::from_ns(now_ns);
+                let kind = tok >> TK_SHIFT;
+                let payload = tok & TK_PAYLOAD_MASK;
+                if kind == TK_APP {
+                    behavior.on_timer(&mut NodeCtx { core }, payload);
+                } else {
+                    core.on_timer(kind, payload)?;
+                }
+            }
+            ToNode::Deliver {
+                completed_ns,
+                frame,
+            } => {
+                core.now = Time::from_ns(completed_ns);
+                core.on_deliver(&frame)?;
+            }
+            ToNode::TxDone {
+                handle,
+                tag,
+                all_received,
+                completed_ns,
+            } => {
+                core.now = Time::from_ns(completed_ns);
+                core.on_tx_done(handle, tag, all_received)?;
+            }
+            ToNode::AbortResult {
+                handle,
+                tag,
+                aborted,
+            } => {
+                core.on_abort_result(handle, tag, aborted)?;
+            }
+            ToNode::Shutdown => return Ok(true),
+        }
+        Ok(false)
+    }
+
+    /// Hand queued deliveries/exceptions to the behavior; its callbacks
+    /// may publish (appending more notices), so loop until quiet.
+    fn drain_notices(&mut self) -> Result<(), LiveError> {
+        while !self.core.notices.is_empty() {
+            let batch = std::mem::take(&mut self.core.notices);
+            let LiveNode { core, behavior } = self;
+            for notice in batch {
+                match notice {
+                    Notice::Delivered(d) => behavior.on_delivery(&mut NodeCtx { core }, &d),
+                    Notice::Exception(e) => behavior.on_exception(&mut NodeCtx { core }, &e),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl NodeCore {
+    fn send(&mut self, msg: ToBroker) -> Result<(), LiveError> {
+        self.transport.send(msg).map_err(LiveError::Transport)
+    }
+
+    fn set_timer(&mut self, at: Time, token: u64) -> Result<(), LiveError> {
+        self.send(ToBroker::TimerReq {
+            at_ns: at.as_ns(),
+            token,
+        })
+    }
+
+    fn alloc_handle(&mut self, route: Route) -> u32 {
+        let h = self.next_handle;
+        self.next_handle = self.next_handle.wrapping_add(1);
+        self.routes.insert(h, route);
+        h
+    }
+
+    fn submit(&mut self, frame: Frame, tag: u64, route: Route) -> Result<u32, LiveError> {
+        let handle = self.alloc_handle(route);
+        self.send(ToBroker::Submit { handle, tag, frame })?;
+        Ok(handle)
+    }
+
+    fn push_exception(&mut self, exc: ChannelException) {
+        self.stats.exceptions += 1;
+        self.notices.push(Notice::Exception(exc));
+    }
+
+    fn record_delivery(&mut self, etag: u16, class: ChannelClass, delivery: Delivery) {
+        let origin = delivery
+            .event
+            .attributes
+            .origin
+            .map(|n| n.0)
+            .unwrap_or(u8::MAX);
+        let rec = DeliveryRecord {
+            node: self.node,
+            etag,
+            origin,
+            class,
+            bytes: delivery.event.content.clone(),
+            wire_ns: delivery.wire_completed_at.as_ns(),
+            delivered_ns: delivery.delivered_at.as_ns(),
+        };
+        self.shared
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(rec);
+        self.stats.delivered += 1;
+        self.notices.push(Notice::Delivered(delivery));
+    }
+
+    // ----------------------------------------------------------------
+    // Publishing
+    // ----------------------------------------------------------------
+
+    fn publish(&mut self, event: Event) -> Result<(), LiveError> {
+        let subject = event.subject;
+        let Some(r) = self.pub_by_subject.get(&subject.uid()) else {
+            return Err(LiveError::UnboundSubject(subject.uid()));
+        };
+        match *r {
+            PubRef::Hrt(idx) => self.publish_hrt(idx, event),
+            PubRef::Srt(idx) => self.publish_srt(idx, event),
+            PubRef::Nrt(idx) => self.publish_nrt(idx, event),
+        }
+    }
+
+    /// HRT publish: stage for the next slot (most-recent-value
+    /// semantics — a later publish before the ready instant overwrites).
+    fn publish_hrt(&mut self, idx: usize, event: Event) -> Result<(), LiveError> {
+        let p = &mut self.hrt_pubs[idx];
+        if event.content.len() > p.spec.dlc as usize {
+            return Err(LiveError::PayloadTooLong {
+                len: event.content.len(),
+                max: p.spec.dlc as usize,
+            });
+        }
+        p.staged = Some(event);
+        self.stats.published += 1;
+        Ok(())
+    }
+
+    fn publish_srt(&mut self, idx: usize, mut event: Event) -> Result<(), LiveError> {
+        if event.content.len() > 8 {
+            return Err(LiveError::PayloadTooLong {
+                len: event.content.len(),
+                max: 8,
+            });
+        }
+        let now = self.now;
+        let (etag, node) = (self.srt_chans[idx].etag, self.node);
+        let c = &mut self.srt_chans[idx];
+        let deadline = event
+            .attributes
+            .deadline
+            .unwrap_or(now + c.spec.default_deadline);
+        let expiration = event
+            .attributes
+            .expiration
+            .or(c.spec.default_expiration.map(|d| now + d));
+        event.attributes.deadline = Some(deadline);
+        event.attributes.expiration = expiration;
+        event.attributes.timestamp = Some(now);
+
+        // Bounded queue: overflow drops the entry EDF would serve last.
+        if c.queue.len() >= self.srt_queue_cap {
+            let victim = c.queue.overflow_victim().expect("cap >= 2, queue full");
+            let v = &c.queue[victim];
+            let victim_is_newcomer = deadline >= v.deadline();
+            let victim_inflight = c.inflight.is_some_and(|(s, _, _)| s == v.seq());
+            if victim_is_newcomer || victim_inflight {
+                self.stats.backpressure += 1;
+                return Err(LiveError::Backpressure(event.subject.uid()));
+            }
+            let dropped = c.queue.remove(victim);
+            let subject = c.subject;
+            let (src, tag) = (self.src_srt, pack_tag(TagKind::Srt, etag, dropped.seq));
+            self.shared.sink.emit_fields(
+                now,
+                src,
+                "srt_expire",
+                &[
+                    ("etag", u64::from(etag)),
+                    ("seq", u64::from(dropped.seq)),
+                    ("node", u64::from(node)),
+                    ("tag", tag),
+                ],
+            );
+            self.stats.expired += 1;
+            self.push_exception(ChannelException::Expired {
+                subject,
+                expiration: dropped.expiration.unwrap_or(now),
+            });
+        }
+
+        let c = &mut self.srt_chans[idx];
+        let seq = c.next_seq;
+        c.next_seq = c.next_seq.wrapping_add(1);
+        c.queue.push(SrtMsg {
+            seq,
+            event,
+            deadline,
+            expiration,
+        });
+        self.stats.published += 1;
+        self.set_timer(deadline, token(TK_SRT_DEADLINE, srt_payload(idx, seq)))?;
+        if let Some(exp) = expiration {
+            self.set_timer(exp, token(TK_SRT_EXPIRE, srt_payload(idx, seq)))?;
+        }
+        self.srt_reconsider(idx)
+    }
+
+    fn publish_nrt(&mut self, idx: usize, event: Event) -> Result<(), LiveError> {
+        let now = self.now;
+        let node = self.node;
+        let c = &self.nrt_chans[idx];
+        let (etag, fragmented) = (c.etag, c.spec.fragmented);
+        let payloads = if fragmented {
+            try_fragment(&event.content).map_err(|_| LiveError::PayloadTooLong {
+                len: event.content.len(),
+                max: rtec_core::frag::MAX_MESSAGE_LEN,
+            })?
+        } else {
+            if event.content.len() > 8 {
+                return Err(LiveError::PayloadTooLong {
+                    len: event.content.len(),
+                    max: 8,
+                });
+            }
+            vec![event.content.clone()]
+        };
+        if self.nrt_chans[idx].queued_frames + payloads.len() > self.nrt_queue_cap {
+            self.stats.backpressure += 1;
+            return Err(LiveError::Backpressure(event.subject.uid()));
+        }
+        self.shared.sink.emit_fields(
+            now,
+            self.src_nrt,
+            "nrt_enqueue",
+            &[
+                ("etag", u64::from(etag)),
+                ("node", u64::from(node)),
+                ("frags", payloads.len() as u64),
+                ("bytes", event.content.len() as u64),
+                ("fragmented", u64::from(fragmented)),
+            ],
+        );
+        let c = &mut self.nrt_chans[idx];
+        c.queued_frames += payloads.len();
+        c.queue.push_back(NrtTransfer { payloads, next: 0 });
+        self.stats.published += 1;
+        self.nrt_dispatch(idx)
+    }
+
+    // ----------------------------------------------------------------
+    // Timers
+    // ----------------------------------------------------------------
+
+    fn arm_hrt_ready_timers(&mut self) -> Result<(), LiveError> {
+        let arms: Vec<(Time, u64)> = self
+            .hrt_pubs
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, p)| {
+                let base = self.shared.calendar_start;
+                p.slots
+                    .iter()
+                    .enumerate()
+                    .map(move |(occ, (_, s))| {
+                        (
+                            base + s.start,
+                            token(TK_HRT_READY, hrt_pub_payload(pi, occ)),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (at, tok) in arms {
+            self.set_timer(at, tok)?;
+        }
+        Ok(())
+    }
+
+    fn on_timer(&mut self, kind: u64, payload: u64) -> Result<(), LiveError> {
+        match kind {
+            TK_HRT_READY => {
+                let (pi, occ) = ((payload >> 16) as usize, (payload & 0xFFFF) as usize);
+                self.on_hrt_ready(pi, occ)
+            }
+            TK_HRT_LST => {
+                let (pi, occ) = ((payload >> 16) as usize, (payload & 0xFFFF) as usize);
+                self.on_hrt_lst(pi, occ)
+            }
+            TK_HRT_DEADLINE => {
+                let (pi, occ) = ((payload >> 16) as usize, (payload & 0xFFFF) as usize);
+                self.on_hrt_deadline(pi, occ)
+            }
+            TK_HRT_DELIVER => {
+                let si = (payload >> 48) as usize;
+                let occ = ((payload >> 40) & 0xFF) as usize;
+                let round = payload & ((1 << 40) - 1);
+                self.on_hrt_deliver(si, occ, round)
+            }
+            TK_SRT_DEADLINE => {
+                let (chan, seq) = ((payload >> 32) as usize, payload as u32);
+                self.on_srt_deadline(chan, seq)
+            }
+            TK_SRT_EXPIRE => {
+                let (chan, seq) = ((payload >> 32) as usize, payload as u32);
+                self.on_srt_expire(chan, seq)
+            }
+            TK_SRT_PROMOTE => {
+                let (chan, seq) = ((payload >> 32) as usize, payload as u32);
+                self.on_srt_promote(chan, seq)
+            }
+            _ => Ok(()), // unknown kinds are ignored
+        }
+    }
+
+    fn on_hrt_ready(&mut self, pi: usize, occ: usize) -> Result<(), LiveError> {
+        let p = &mut self.hrt_pubs[pi];
+        let (cal_idx, slot) = p.slots[occ];
+        let round = {
+            let elapsed = self.now.saturating_since(self.shared.calendar_start);
+            elapsed.saturating_sub(slot.start).as_ns() / self.round.as_ns()
+        };
+        let base = self.shared.calendar_start + self.round * round;
+        let etag = p.etag;
+        let staged = p.staged.take();
+        let activated = staged.is_some();
+        if let Some(event) = staged {
+            p.active = Some(HrtActive {
+                occ,
+                cal_idx,
+                deadline_abs: base + slot.deadline(),
+                event,
+                sent: 0,
+                succeeded: false,
+                handle: None,
+            });
+        }
+        self.shared.sink.emit_fields(
+            self.now,
+            self.src_hrt,
+            "slot_ready",
+            &[
+                ("etag", u64::from(etag)),
+                ("round", round),
+                ("slot", cal_idx as u64),
+                ("node", u64::from(self.node)),
+            ],
+        );
+        // Rearm for the next round; arm LST + deadline for this one.
+        self.set_timer(
+            base + self.round + slot.start,
+            token(TK_HRT_READY, hrt_pub_payload(pi, occ)),
+        )?;
+        if activated {
+            self.set_timer(
+                base + slot.lst(),
+                token(TK_HRT_LST, hrt_pub_payload(pi, occ)),
+            )?;
+            self.set_timer(
+                base + slot.deadline(),
+                token(TK_HRT_DEADLINE, hrt_pub_payload(pi, occ)),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn on_hrt_lst(&mut self, pi: usize, occ: usize) -> Result<(), LiveError> {
+        let p = &mut self.hrt_pubs[pi];
+        let Some(act) = p.active.as_ref() else {
+            return Ok(());
+        };
+        if act.occ != occ || act.sent > 0 {
+            return Ok(());
+        }
+        let frame = Frame::new(
+            CanId::new(PRIO_HRT, self.node, p.etag),
+            &act.event.content.clone(),
+        );
+        let tag = pack_tag(TagKind::Hrt, p.etag, act.cal_idx as u32);
+        let handle = self.submit(frame, tag, Route::Hrt { pub_idx: pi })?;
+        let act = self.hrt_pubs[pi].active.as_mut().expect("checked above");
+        act.handle = Some(handle);
+        act.sent = 1;
+        Ok(())
+    }
+
+    fn on_hrt_deadline(&mut self, pi: usize, occ: usize) -> Result<(), LiveError> {
+        let p = &mut self.hrt_pubs[pi];
+        let Some(act) = p.active.take_if(|a| a.occ == occ) else {
+            return Ok(());
+        };
+        let subject = p.subject;
+        if let Some(handle) = act.handle {
+            self.send(ToBroker::Abort { handle })?;
+        }
+        if act.sent > 0 && !act.succeeded {
+            self.push_exception(ChannelException::RedundancyExhausted {
+                subject,
+                attempts: act.sent,
+            });
+        }
+        Ok(())
+    }
+
+    fn on_hrt_deliver(&mut self, si: usize, occ: usize, round: u64) -> Result<(), LiveError> {
+        let s = &mut self.hrt_subs[si];
+        let Some(pend) = s.pending.take_if(|p| p.round == round && p.occ == occ) else {
+            return Ok(());
+        };
+        let (etag, node) = (s.etag, self.node);
+        self.shared.sink.emit_fields(
+            self.now,
+            self.src_hrt,
+            "hrt_deliver",
+            &[
+                ("etag", u64::from(etag)),
+                ("round", round),
+                ("slot", pend.cal_idx as u64),
+                ("node", u64::from(node)),
+                ("wire", pend.wire.as_ns()),
+            ],
+        );
+        let delivery = Delivery {
+            event: pend.event,
+            delivered_at: self.now,
+            wire_completed_at: pend.wire,
+        };
+        self.record_delivery(etag, ChannelClass::Hrt, delivery);
+        Ok(())
+    }
+
+    fn on_srt_deadline(&mut self, chan: usize, seq: u32) -> Result<(), LiveError> {
+        let c = &self.srt_chans[chan];
+        let Some(idx) = c.queue.find(seq) else {
+            return Ok(()); // already transmitted or dropped
+        };
+        let subject = c.subject;
+        let deadline = c.queue[idx].deadline;
+        self.push_exception(ChannelException::DeadlineMissed { subject, deadline });
+        Ok(())
+    }
+
+    fn on_srt_expire(&mut self, chan: usize, seq: u32) -> Result<(), LiveError> {
+        let c = &mut self.srt_chans[chan];
+        let Some(idx) = c.queue.find(seq) else {
+            return Ok(());
+        };
+        if let Some((iseq, handle, _)) = c.inflight {
+            if iseq == seq {
+                // Submitted: try to pull it back before it reaches the
+                // wire. If an abort is already pending, upgrade it to
+                // an expiration.
+                match c.aborting.as_mut() {
+                    Some((ah, expire)) if *ah == handle => *expire = true,
+                    Some(_) => {}
+                    None => {
+                        c.aborting = Some((handle, true));
+                        self.send(ToBroker::Abort { handle })?;
+                    }
+                }
+                return Ok(());
+            }
+        }
+        self.srt_drop_expired(chan, idx)?;
+        self.srt_reconsider(chan)
+    }
+
+    /// Drop a queued (not in-flight) SRT message as expired: trace,
+    /// exception, counters.
+    fn srt_drop_expired(&mut self, chan: usize, idx: usize) -> Result<(), LiveError> {
+        let c = &mut self.srt_chans[chan];
+        let msg = c.queue.remove(idx);
+        let (etag, subject) = (c.etag, c.subject);
+        let tag = pack_tag(TagKind::Srt, etag, msg.seq);
+        self.shared.sink.emit_fields(
+            self.now,
+            self.src_srt,
+            "srt_expire",
+            &[
+                ("etag", u64::from(etag)),
+                ("seq", u64::from(msg.seq)),
+                ("node", u64::from(self.node)),
+                ("tag", tag),
+            ],
+        );
+        self.stats.expired += 1;
+        self.push_exception(ChannelException::Expired {
+            subject,
+            expiration: msg.expiration.unwrap_or(self.now),
+        });
+        Ok(())
+    }
+
+    fn on_srt_promote(&mut self, chan: usize, seq: u32) -> Result<(), LiveError> {
+        let c = &self.srt_chans[chan];
+        let Some((iseq, handle, prio)) = c.inflight else {
+            return Ok(());
+        };
+        if iseq != seq || c.aborting.is_some() {
+            return Ok(());
+        }
+        let Some(idx) = c.queue.find(seq) else {
+            return Ok(());
+        };
+        let deadline = c.queue[idx].deadline;
+        let etag = c.etag;
+        let new_prio = priority_for_deadline(deadline, self.now, &self.shared.prio_cfg);
+        if new_prio != prio {
+            self.send(ToBroker::UpdateId {
+                handle,
+                raw_id: CanId::new(new_prio, self.node, etag).raw(),
+            })?;
+            self.srt_chans[chan].inflight = Some((seq, handle, new_prio));
+        }
+        if let Some(at) = next_promotion_time(deadline, self.now, &self.shared.prio_cfg) {
+            self.set_timer(at, token(TK_SRT_PROMOTE, srt_payload(chan, seq)))?;
+        }
+        Ok(())
+    }
+
+    /// Re-evaluate an SRT channel's head: submit it if the wire slot is
+    /// free, or abort the in-flight message if EDF changed its mind.
+    fn srt_reconsider(&mut self, chan: usize) -> Result<(), LiveError> {
+        let c = &self.srt_chans[chan];
+        if c.aborting.is_some() {
+            return Ok(()); // decision pending at the broker
+        }
+        let Some(head_idx) = c.queue.head_index() else {
+            return Ok(());
+        };
+        let head_seq = c.queue[head_idx].seq;
+        match c.inflight {
+            None => {
+                let msg = &c.queue[head_idx];
+                let (etag, deadline, seq) = (c.etag, msg.deadline, msg.seq);
+                let content = msg.event.content.clone();
+                let prio = priority_for_deadline(deadline, self.now, &self.shared.prio_cfg);
+                let frame = Frame::new(CanId::new(prio, self.node, etag), &content);
+                let tag = pack_tag(TagKind::Srt, etag, seq);
+                let handle = self.submit(frame, tag, Route::Srt { chan })?;
+                self.srt_chans[chan].inflight = Some((seq, handle, prio));
+                if let Some(at) = next_promotion_time(deadline, self.now, &self.shared.prio_cfg) {
+                    self.set_timer(at, token(TK_SRT_PROMOTE, srt_payload(chan, seq)))?;
+                }
+                Ok(())
+            }
+            Some((iseq, handle, _)) if iseq != head_seq => {
+                // A more urgent message arrived: reclaim the wire slot.
+                self.srt_chans[chan].aborting = Some((handle, false));
+                self.send(ToBroker::Abort { handle })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn nrt_dispatch(&mut self, chan: usize) -> Result<(), LiveError> {
+        let c = &self.nrt_chans[chan];
+        if c.inflight.is_some() {
+            return Ok(());
+        }
+        let Some(t) = c.queue.front() else {
+            return Ok(());
+        };
+        let (etag, prio) = (c.etag, c.spec.priority);
+        let payload = t.payloads[t.next].clone();
+        // T5: the tag's sequence field is the fragment index.
+        let tag = pack_tag(TagKind::Nrt, etag, t.next as u32);
+        let frame = Frame::new(CanId::new(prio, self.node, etag), &payload);
+        let handle = self.submit(frame, tag, Route::Nrt { chan })?;
+        self.nrt_chans[chan].inflight = Some(handle);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Wire events
+    // ----------------------------------------------------------------
+
+    fn on_deliver(&mut self, frame: &Frame) -> Result<(), LiveError> {
+        let id = frame.id;
+        let (prio, origin, etag) = (id.priority(), id.txnode(), id.etag());
+        if prio == PRIO_HRT {
+            self.on_deliver_hrt(etag, origin, frame.payload().to_vec())
+        } else if (PRIO_SRT_MIN..=PRIO_SRT_MAX).contains(&prio) {
+            self.on_deliver_srt(etag, origin, frame.payload().to_vec())
+        } else if prio >= PRIO_NRT_MIN {
+            self.on_deliver_nrt(etag, origin, frame.payload().to_vec())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn on_deliver_hrt(&mut self, etag: u16, origin: u8, payload: Vec<u8>) -> Result<(), LiveError> {
+        let Some(&si) = self.hrt_sub_by_etag.get(&etag) else {
+            return Ok(()); // not subscribed
+        };
+        let now = self.now;
+        let cal_start = self.shared.calendar_start;
+        if now < cal_start {
+            return Ok(());
+        }
+        let elapsed = now.saturating_since(cal_start);
+        let round = elapsed.as_ns() / self.round.as_ns();
+        let off = Duration::from_ns(elapsed.as_ns() % self.round.as_ns());
+        let s = &mut self.hrt_subs[si];
+        // Locate the slot occurrence whose transmission window covers
+        // this wire completion.
+        let Some((occ, (cal_idx, slot))) = s
+            .slots
+            .iter()
+            .enumerate()
+            .find(|(_, (_, sl))| off > sl.start && off <= sl.deadline())
+            .map(|(occ, &(ci, sl))| (occ, (ci, sl)))
+        else {
+            return Ok(()); // outside any slot window
+        };
+        if s.pending.is_some() {
+            return Ok(()); // redundant retransmission of the same event
+        }
+        let subject = s.subject;
+        let mut event = Event::new(subject, payload);
+        event.attributes.origin = Some(NodeId(origin));
+        s.pending = Some(HrtPending {
+            round,
+            occ,
+            cal_idx,
+            event,
+            wire: now,
+        });
+        // Deferred delivery: exactly at the slot deadline.
+        self.set_timer(
+            cal_start + self.round * round + slot.deadline(),
+            token(TK_HRT_DELIVER, hrt_sub_payload(si, occ, round)),
+        )
+    }
+
+    fn on_deliver_srt(&mut self, etag: u16, origin: u8, payload: Vec<u8>) -> Result<(), LiveError> {
+        let Some(&subject) = self.srt_sub_by_etag.get(&etag) else {
+            return Ok(());
+        };
+        let mut event = Event::new(subject, payload);
+        event.attributes.origin = Some(NodeId(origin));
+        let delivery = Delivery {
+            event,
+            delivered_at: self.now,
+            wire_completed_at: self.now,
+        };
+        self.record_delivery(etag, ChannelClass::Srt, delivery);
+        Ok(())
+    }
+
+    fn on_deliver_nrt(&mut self, etag: u16, origin: u8, payload: Vec<u8>) -> Result<(), LiveError> {
+        let Some(&si) = self.nrt_sub_by_etag.get(&etag) else {
+            return Ok(());
+        };
+        let s = &mut self.nrt_subs[si];
+        let subject = s.subject;
+        let node = self.node;
+        if !s.fragmented {
+            let mut event = Event::new(subject, payload);
+            event.attributes.origin = Some(NodeId(origin));
+            let delivery = Delivery {
+                event,
+                delivered_at: self.now,
+                wire_completed_at: self.now,
+            };
+            self.record_delivery(etag, ChannelClass::Nrt, delivery);
+            return Ok(());
+        }
+        match s.reass.push((origin, etag), &payload) {
+            Ok(Some(data)) => {
+                self.shared.sink.emit_fields(
+                    self.now,
+                    self.src_nrt,
+                    "nrt_complete",
+                    &[
+                        ("etag", u64::from(etag)),
+                        ("node", u64::from(node)),
+                        ("origin", u64::from(origin)),
+                        ("bytes", data.len() as u64),
+                    ],
+                );
+                let mut event = Event::new(subject, data);
+                event.attributes.origin = Some(NodeId(origin));
+                let delivery = Delivery {
+                    event,
+                    delivered_at: self.now,
+                    wire_completed_at: self.now,
+                };
+                self.record_delivery(etag, ChannelClass::Nrt, delivery);
+            }
+            Ok(None) => {}
+            Err(_) => {
+                self.shared.sink.emit_fields(
+                    self.now,
+                    self.src_nrt,
+                    "frag_error",
+                    &[
+                        ("etag", u64::from(etag)),
+                        ("node", u64::from(node)),
+                        ("origin", u64::from(origin)),
+                    ],
+                );
+                self.nrt_subs[si].reass.reset(&(origin, etag));
+            }
+        }
+        Ok(())
+    }
+
+    fn on_tx_done(&mut self, handle: u32, _tag: u64, all: bool) -> Result<(), LiveError> {
+        let Some(route) = self.routes.remove(&handle) else {
+            return Ok(()); // completed after its slot was cleaned up
+        };
+        match route {
+            Route::Hrt { pub_idx } => {
+                let k = self.hrt_pubs[pub_idx].spec.omission_degree;
+                let dlc = self.hrt_pubs[pub_idx].spec.dlc;
+                let p = &mut self.hrt_pubs[pub_idx];
+                let Some(act) = p.active.as_mut() else {
+                    return Ok(());
+                };
+                if act.handle != Some(handle) {
+                    return Ok(());
+                }
+                act.handle = None;
+                if all {
+                    // Consistent reception: stop redundant transmission
+                    // early, reclaiming the rest of the slot (§3.2).
+                    act.succeeded = true;
+                    return Ok(());
+                }
+                // A receiver missed the frame: retransmit while the
+                // redundancy budget and the slot's remaining time allow.
+                let retx_fits = self.now + wcct_single(dlc, self.timing) <= act.deadline_abs;
+                if act.sent <= k && retx_fits {
+                    let etag = p.etag;
+                    let frame = Frame::new(
+                        CanId::new(PRIO_HRT, self.node, etag),
+                        &act.event.content.clone(),
+                    );
+                    let tag = pack_tag(TagKind::Hrt, etag, act.cal_idx as u32);
+                    let h = self.submit(frame, tag, Route::Hrt { pub_idx })?;
+                    let act = self.hrt_pubs[pub_idx]
+                        .active
+                        .as_mut()
+                        .expect("still active");
+                    act.handle = Some(h);
+                    act.sent += 1;
+                }
+                Ok(())
+            }
+            Route::Srt { chan } => {
+                let c = &mut self.srt_chans[chan];
+                if let Some((seq, h, _)) = c.inflight {
+                    if h == handle {
+                        c.inflight = None;
+                        if let Some(idx) = c.queue.find(seq) {
+                            c.queue.remove(idx);
+                        }
+                        if c.aborting.is_some_and(|(ah, _)| ah == handle) {
+                            // The abort raced the wire and lost; the
+                            // message went out, so it did not expire.
+                            c.aborting = None;
+                        }
+                    }
+                }
+                self.srt_reconsider(chan)
+            }
+            Route::Nrt { chan } => {
+                let c = &mut self.nrt_chans[chan];
+                if c.inflight == Some(handle) {
+                    c.inflight = None;
+                    c.queued_frames = c.queued_frames.saturating_sub(1);
+                    if let Some(t) = c.queue.front_mut() {
+                        t.next += 1;
+                        if t.next == t.payloads.len() {
+                            c.queue.pop_front();
+                        }
+                    }
+                }
+                self.nrt_dispatch(chan)
+            }
+        }
+    }
+
+    fn on_abort_result(&mut self, handle: u32, _tag: u64, aborted: bool) -> Result<(), LiveError> {
+        let Some(&route) = self.routes.get(&handle) else {
+            return Ok(()); // TxDone already consumed the handle
+        };
+        if aborted {
+            self.routes.remove(&handle);
+        }
+        match route {
+            Route::Hrt { pub_idx } => {
+                if aborted {
+                    if let Some(act) = self.hrt_pubs[pub_idx].active.as_mut() {
+                        if act.handle == Some(handle) {
+                            act.handle = None;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Route::Srt { chan } => {
+                let c = &mut self.srt_chans[chan];
+                let Some((ah, expire)) = c.aborting else {
+                    return Ok(());
+                };
+                if ah != handle {
+                    return Ok(());
+                }
+                c.aborting = None;
+                if !aborted {
+                    // On the wire (or already completed): TxDone rules.
+                    return Ok(());
+                }
+                let seq = match c.inflight.take_if(|(_, h, _)| *h == handle) {
+                    Some((seq, _, _)) => seq,
+                    None => return self.srt_reconsider(chan),
+                };
+                if expire {
+                    if let Some(idx) = self.srt_chans[chan].queue.find(seq) {
+                        self.srt_drop_expired(chan, idx)?;
+                    }
+                }
+                // !expire: the message stays queued and is resubmitted
+                // whenever EDF makes it the head again.
+                self.srt_reconsider(chan)
+            }
+            Route::Nrt { chan } => {
+                if aborted && self.nrt_chans[chan].inflight == Some(handle) {
+                    self.nrt_chans[chan].inflight = None;
+                }
+                Ok(())
+            }
+        }
+    }
+}

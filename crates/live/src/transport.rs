@@ -1,0 +1,180 @@
+//! Transport abstraction between nodes and the bus broker.
+//!
+//! The broker and the nodes only ever talk through these two traits, so
+//! the same runtime runs over an in-process loopback (deterministic,
+//! used by the tests and benchmarks) or over real sockets
+//! ([`crate::udp`]). The protocol is strictly request/response-shaped
+//! from the broker's point of view — the broker always knows which node
+//! it is waiting on — so the broker-side trait only needs a *targeted*
+//! receive, never a select over all nodes.
+
+use crate::wire::{ToBroker, ToNode, WireError};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A transport operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// No message arrived within the allowed wait.
+    Timeout,
+    /// The peer is gone (channel closed, socket shut down).
+    Disconnected,
+    /// A datagram arrived but did not decode as a protocol message.
+    Malformed(WireError),
+    /// An I/O error from the underlying socket.
+    Io(String),
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "transport timeout"),
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Malformed(e) => write!(f, "malformed datagram: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Malformed(e)
+    }
+}
+
+/// A node's endpoint of the transport.
+pub trait NodeTransport: Send {
+    /// Send a message to the broker.
+    fn send(&mut self, msg: ToBroker) -> Result<(), TransportError>;
+    /// Wait up to `timeout` for the next message from the broker.
+    fn recv(&mut self, timeout: Duration) -> Result<ToNode, TransportError>;
+}
+
+/// The broker's endpoint of the transport, addressing nodes by index.
+pub trait BrokerTransport: Send {
+    /// Number of node endpoints this transport serves.
+    fn node_count(&self) -> usize;
+    /// Block until every node endpoint is reachable (e.g. the UDP
+    /// transport has learned all source addresses from `Hello`
+    /// datagrams). Transports that are connected by construction — the
+    /// loopback — return immediately.
+    fn rendezvous(&mut self, _timeout: Duration) -> Result<(), TransportError> {
+        Ok(())
+    }
+    /// Send a message to node `node`.
+    fn send(&mut self, node: u8, msg: ToNode) -> Result<(), TransportError>;
+    /// Wait up to `timeout` for the next message *from node `node`*.
+    fn recv_from(&mut self, node: u8, timeout: Duration) -> Result<ToBroker, TransportError>;
+}
+
+/// Node endpoint of the in-process loopback transport.
+pub struct LoopbackNode {
+    tx: mpsc::Sender<ToBroker>,
+    rx: mpsc::Receiver<ToNode>,
+}
+
+/// Broker endpoint of the in-process loopback transport.
+pub struct LoopbackBroker {
+    links: Vec<(mpsc::Sender<ToNode>, mpsc::Receiver<ToBroker>)>,
+}
+
+/// Build a loopback transport for `nodes` node endpoints.
+///
+/// Messages pass through unbounded in-process channels as values — no
+/// encoding, no loss, FIFO per direction — which makes loopback runs
+/// bit-for-bit deterministic under [`crate::clock::Pace::Virtual`].
+pub fn loopback(nodes: usize) -> (LoopbackBroker, Vec<LoopbackNode>) {
+    let mut links = Vec::with_capacity(nodes);
+    let mut endpoints = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let (to_node, from_broker) = mpsc::channel();
+        let (to_broker, from_node) = mpsc::channel();
+        links.push((to_node, from_node));
+        endpoints.push(LoopbackNode {
+            tx: to_broker,
+            rx: from_broker,
+        });
+    }
+    (LoopbackBroker { links }, endpoints)
+}
+
+impl NodeTransport for LoopbackNode {
+    fn send(&mut self, msg: ToBroker) -> Result<(), TransportError> {
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<ToNode, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+impl BrokerTransport for LoopbackBroker {
+    fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn send(&mut self, node: u8, msg: ToNode) -> Result<(), TransportError> {
+        let (tx, _) = self
+            .links
+            .get(node as usize)
+            .ok_or(TransportError::Disconnected)?;
+        tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_from(&mut self, node: u8, timeout: Duration) -> Result<ToBroker, TransportError> {
+        let (_, rx) = self
+            .links
+            .get(node as usize)
+            .ok_or(TransportError::Disconnected)?;
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trips_messages() {
+        let (mut broker, mut nodes) = loopback(2);
+        nodes[1].send(ToBroker::Hello { node: 1 }).unwrap();
+        assert_eq!(
+            broker.recv_from(1, Duration::from_secs(1)).unwrap(),
+            ToBroker::Hello { node: 1 }
+        );
+        broker.send(1, ToNode::Welcome { now_ns: 7 }).unwrap();
+        assert_eq!(
+            nodes[1].recv(Duration::from_secs(1)).unwrap(),
+            ToNode::Welcome { now_ns: 7 }
+        );
+        // The other node's mailbox is independent.
+        assert_eq!(
+            broker.recv_from(0, Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn dropped_peer_reports_disconnected() {
+        let (mut broker, nodes) = loopback(1);
+        drop(nodes);
+        assert_eq!(
+            broker.recv_from(0, Duration::from_millis(10)),
+            Err(TransportError::Disconnected)
+        );
+        assert_eq!(
+            broker.send(0, ToNode::Shutdown),
+            Err(TransportError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! UDP transport: one datagram socket per node plus one for the broker.
+//!
+//! Every protocol message is exactly one datagram in the
+//! [`crate::wire`] encoding. Nodes rendezvous with the broker by
+//! sending `Hello` with exponential backoff until `Welcome` comes back;
+//! the broker learns each node's address from the source of its first
+//! `Hello`. The broker keeps the last `Welcome` it sent per node and
+//! replays it on a duplicate `Hello`, so a lost `Welcome` only costs
+//! one backoff round instead of deadlocking the handshake.
+//!
+//! The steady-state protocol is strictly lock-step (the broker talks to
+//! one node at a time and every broker message is answered), so a
+//! single broker socket suffices: datagrams from nodes other than the
+//! one currently being drained can only be stragglers from the
+//! handshake, and the demultiplexer parks per-node messages in queues.
+//! This transport is built for localhost clusters — steady-state
+//! datagram loss is surfaced as a [`TransportError::Timeout`] rather
+//! than recovered, which keeps the broker deterministic.
+
+use crate::transport::{BrokerTransport, NodeTransport, TransportError};
+use crate::wire::{self, ToBroker, ToNode};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+const MAX_DATAGRAM: usize = 2048;
+
+/// Initial backoff between `Hello` retransmissions.
+const HELLO_BACKOFF_FIRST: Duration = Duration::from_millis(20);
+/// Number of `Hello` attempts before giving up (backoff doubles each
+/// time: 20 ms, 40 ms, … ≈ 2.5 s in total).
+const HELLO_ATTEMPTS: u32 = 7;
+
+fn io_err(e: std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Node endpoint of the UDP transport.
+pub struct UdpNode {
+    sock: UdpSocket,
+    node: u8,
+    /// The `Welcome` consumed during the rendezvous, replayed to the
+    /// node runtime on its first `recv`.
+    pending: Option<ToNode>,
+}
+
+impl UdpNode {
+    /// Bind an ephemeral localhost socket and rendezvous with the
+    /// broker at `broker`: send `Hello{node}` with exponential backoff
+    /// until `Welcome` arrives. The `Welcome` is buffered and returned
+    /// by the first [`NodeTransport::recv`] call.
+    pub fn connect(broker: SocketAddr, node: u8) -> Result<Self, TransportError> {
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        sock.connect(broker).map_err(io_err)?;
+        let hello = wire::encode_to_broker(&ToBroker::Hello { node });
+        let mut backoff = HELLO_BACKOFF_FIRST;
+        let mut buf = [0u8; MAX_DATAGRAM];
+        for _ in 0..HELLO_ATTEMPTS {
+            sock.send(&hello).map_err(io_err)?;
+            sock.set_read_timeout(Some(backoff)).map_err(io_err)?;
+            match sock.recv(&mut buf) {
+                Ok(n) => {
+                    let msg = wire::decode_to_node(&buf[..n])?;
+                    if matches!(msg, ToNode::Welcome { .. }) {
+                        return Ok(UdpNode {
+                            sock,
+                            node,
+                            pending: Some(msg),
+                        });
+                    }
+                    // Anything else before Welcome is a protocol error.
+                    return Err(TransportError::Malformed(wire::WireError::BadKind(0)));
+                }
+                Err(e) if is_timeout(&e) => backoff *= 2,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        Err(TransportError::Timeout)
+    }
+
+    /// The node id this endpoint rendezvoused as.
+    pub fn node(&self) -> u8 {
+        self.node
+    }
+}
+
+impl NodeTransport for UdpNode {
+    fn send(&mut self, msg: ToBroker) -> Result<(), TransportError> {
+        self.sock
+            .send(&wire::encode_to_broker(&msg))
+            .map_err(io_err)
+            .map(|_| ())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<ToNode, TransportError> {
+        if let Some(msg) = self.pending.take() {
+            return Ok(msg);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; MAX_DATAGRAM];
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            self.sock
+                .set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))
+                .map_err(io_err)?;
+            match self.sock.recv(&mut buf) {
+                // The broker replays `Welcome` when it sees a duplicate
+                // `Hello`; the handshake already consumed the real one,
+                // so any further `Welcome` is a replay artifact — drop
+                // it rather than restart the runtime.
+                Ok(n) => match wire::decode_to_node(&buf[..n])? {
+                    ToNode::Welcome { .. } => continue,
+                    msg => return Ok(msg),
+                },
+                Err(e) if is_timeout(&e) => return Err(TransportError::Timeout),
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+}
+
+/// Broker endpoint of the UDP transport.
+pub struct UdpBroker {
+    sock: UdpSocket,
+    /// Source address of each node, learned from its first `Hello`.
+    addrs: Vec<Option<SocketAddr>>,
+    /// Per-node messages received while waiting on a different node.
+    queues: Vec<VecDeque<ToBroker>>,
+    /// Last `Welcome` sent to each node, replayed on duplicate `Hello`.
+    welcomes: Vec<Option<Vec<u8>>>,
+}
+
+impl UdpBroker {
+    /// Bind the broker's localhost socket, serving `nodes` endpoints.
+    pub fn bind(nodes: usize) -> Result<Self, TransportError> {
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        Ok(UdpBroker {
+            sock,
+            addrs: vec![None; nodes],
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            welcomes: vec![None; nodes],
+        })
+    }
+
+    /// The address nodes should [`UdpNode::connect`] to.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        self.sock.local_addr().map_err(io_err)
+    }
+
+    /// Receive one datagram and park it in the sender's queue.
+    fn pump(&mut self, timeout: Duration) -> Result<(), TransportError> {
+        self.sock
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(io_err)?;
+        let mut buf = [0u8; MAX_DATAGRAM];
+        let (n, from) = match self.sock.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e) if is_timeout(&e) => return Err(TransportError::Timeout),
+            Err(e) => return Err(io_err(e)),
+        };
+        let msg = wire::decode_to_broker(&buf[..n])?;
+        if let ToBroker::Hello { node } = msg {
+            let idx = node as usize;
+            if idx >= self.addrs.len() {
+                return Ok(()); // unknown node id: drop
+            }
+            match self.addrs[idx] {
+                // Hellos are consumed by the transport (the runtime
+                // protocol starts at Welcome), so they are not queued.
+                None => self.addrs[idx] = Some(from),
+                Some(_) => {
+                    // Duplicate Hello: our Welcome was lost — replay it.
+                    if let Some(w) = &self.welcomes[idx] {
+                        self.sock.send_to(w, from).map_err(io_err)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Steady-state messages are identified by source address.
+        if let Some(idx) = self.addrs.iter().position(|a| *a == Some(from)) {
+            self.queues[idx].push_back(msg);
+        }
+        Ok(())
+    }
+}
+
+impl BrokerTransport for UdpBroker {
+    fn node_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn rendezvous(&mut self, timeout: Duration) -> Result<(), TransportError> {
+        let deadline = Instant::now() + timeout;
+        while self.addrs.iter().any(Option::is_none) {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            match self.pump(deadline - now) {
+                Ok(()) | Err(TransportError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, node: u8, msg: ToNode) -> Result<(), TransportError> {
+        let idx = node as usize;
+        let addr = self
+            .addrs
+            .get(idx)
+            .copied()
+            .flatten()
+            .ok_or(TransportError::Disconnected)?;
+        let bytes = wire::encode_to_node(&msg);
+        if matches!(msg, ToNode::Welcome { .. }) {
+            self.welcomes[idx] = Some(bytes.clone());
+        }
+        self.sock.send_to(&bytes, addr).map_err(io_err).map(|_| ())
+    }
+
+    fn recv_from(&mut self, node: u8, timeout: Duration) -> Result<ToBroker, TransportError> {
+        let idx = node as usize;
+        if idx >= self.queues.len() {
+            return Err(TransportError::Disconnected);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(msg) = self.queues[idx].pop_front() {
+                return Ok(msg);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            self.pump(deadline - now)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn rendezvous_and_round_trip() {
+        let mut broker = UdpBroker::bind(2).unwrap();
+        let addr = broker.local_addr().unwrap();
+        let handles: Vec<_> = (0..2u8)
+            .map(|n| thread::spawn(move || UdpNode::connect(addr, n).unwrap()))
+            .collect();
+        // Learn both addresses (order of Hello arrival is arbitrary).
+        broker.rendezvous(Duration::from_secs(5)).unwrap();
+        for n in 0..2u8 {
+            broker
+                .send(
+                    n,
+                    ToNode::Welcome {
+                        now_ns: u64::from(n),
+                    },
+                )
+                .unwrap();
+        }
+        let mut nodes: Vec<UdpNode> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            assert_eq!(
+                node.recv(Duration::from_secs(5)).unwrap(),
+                ToNode::Welcome { now_ns: i as u64 }
+            );
+        }
+        // Steady state: node 1 submits, broker sees it addressed correctly.
+        nodes[1].send(ToBroker::Idle).unwrap();
+        assert_eq!(
+            broker.recv_from(1, Duration::from_secs(5)).unwrap(),
+            ToBroker::Idle
+        );
+    }
+
+    #[test]
+    fn connect_times_out_without_broker() {
+        // A bound-but-silent socket: Hello goes nowhere useful.
+        let silent = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let addr = silent.local_addr().unwrap();
+        let start = Instant::now();
+        let res = UdpNode::connect(addr, 0);
+        assert_eq!(res.err(), Some(TransportError::Timeout));
+        assert!(start.elapsed() >= HELLO_BACKOFF_FIRST);
+    }
+}

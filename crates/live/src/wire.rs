@@ -1,0 +1,491 @@
+//! The broker ⇄ node message protocol and its versioned wire codec.
+//!
+//! Both transports speak the same messages; the loopback transport
+//! passes them through channels as values, the UDP transport encodes
+//! each message as one datagram using this codec. CAN frames embedded
+//! in messages reuse the frame codec from `rtec_can::codec` (version
+//! byte, big-endian 29-bit identifier, DLC, payload), so the live wire
+//! format and any future tooling that captures raw frames agree on the
+//! frame encoding.
+//!
+//! Layout of every datagram:
+//!
+//! ```text
+//! bytes 0..2   magic "RL"
+//! byte  2      protocol version (currently 1)
+//! byte  3      message kind
+//! bytes 4..    kind-specific body; embedded frames sit at the tail so
+//!              the frame codec's exact-length check still applies
+//! ```
+//!
+//! Decoding never panics; malformed buffers map to [`WireError`].
+
+use rtec_can::codec::{self, CodecError};
+use rtec_can::Frame;
+
+/// Magic prefix of every live-protocol datagram.
+pub const MAGIC: [u8; 2] = *b"RL";
+/// Current protocol version (byte 2 of every datagram).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Messages a node sends to the broker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToBroker {
+    /// Transport handshake: announce this node to the broker.
+    Hello {
+        /// The sender's node id.
+        node: u8,
+    },
+    /// Queue a frame for transmission.
+    Submit {
+        /// Node-local request handle (scoped per node).
+        handle: u32,
+        /// Opaque middleware tag echoed back on completion.
+        tag: u64,
+        /// The frame to transmit.
+        frame: Frame,
+    },
+    /// Request cancellation of a pending transmission.
+    Abort {
+        /// Handle from the original submit.
+        handle: u32,
+    },
+    /// Rewrite a pending frame's identifier (SRT promotion).
+    UpdateId {
+        /// Handle from the original submit.
+        handle: u32,
+        /// New raw 29-bit identifier.
+        raw_id: u32,
+    },
+    /// Arm a one-shot timer at absolute bus time `at_ns`.
+    TimerReq {
+        /// Absolute bus time of the timer.
+        at_ns: u64,
+        /// Opaque token echoed back when it fires.
+        token: u64,
+    },
+    /// The node finished reacting to the broker's last message.
+    Idle,
+    /// The node processed `Shutdown` and is about to exit.
+    Done {
+        /// The sender's node id.
+        node: u8,
+    },
+}
+
+/// Messages the broker sends to a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToNode {
+    /// Handshake reply: the run starts at the given bus time.
+    Welcome {
+        /// Current bus time.
+        now_ns: u64,
+    },
+    /// A frame completed on the wire and this node receives it.
+    Deliver {
+        /// Wire-completion bus time of the frame.
+        completed_ns: u64,
+        /// The received frame.
+        frame: Frame,
+    },
+    /// A transmission submitted by this node completed.
+    TxDone {
+        /// Handle from the submit.
+        handle: u32,
+        /// Tag from the submit.
+        tag: u64,
+        /// Whether all addressed receivers took the frame (the
+        /// broadcast-with-ack bit HRT redundancy skipping needs).
+        all_received: bool,
+        /// Wire-completion bus time.
+        completed_ns: u64,
+    },
+    /// Reply to an `Abort` request.
+    AbortResult {
+        /// Handle from the abort request.
+        handle: u32,
+        /// Tag of the affected submit.
+        tag: u64,
+        /// `true` if the frame was removed before reaching the wire;
+        /// `false` means it is (or was) on the wire and will complete.
+        aborted: bool,
+    },
+    /// A timer armed with `TimerReq` fired.
+    Timer {
+        /// Token from the request.
+        token: u64,
+        /// Bus time of the firing.
+        now_ns: u64,
+    },
+    /// End of run: finish up and reply with `Done`.
+    Shutdown,
+}
+
+/// A datagram failed to decode as a live-protocol message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated(usize),
+    /// First two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message kind.
+    BadKind(u8),
+    /// Body length disagrees with the kind's layout.
+    BadLength {
+        /// Kind whose body was malformed.
+        kind: u8,
+        /// Bytes present after the header.
+        got: usize,
+    },
+    /// An embedded CAN frame failed to decode.
+    Frame(CodecError),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated(n) => write!(f, "datagram truncated: {n} bytes"),
+            WireError::BadMagic => write!(f, "bad magic (not a live-protocol datagram)"),
+            WireError::BadVersion(v) => {
+                write!(f, "unknown protocol version {v} (expected {WIRE_VERSION})")
+            }
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadLength { kind, got } => {
+                write!(f, "kind {kind}: body of {got} bytes has the wrong length")
+            }
+            WireError::Frame(e) => write!(f, "embedded frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+// Message kind bytes. ToBroker and ToNode share one numbering space so
+// a misrouted datagram fails loudly instead of aliasing.
+const K_HELLO: u8 = 1;
+const K_SUBMIT: u8 = 2;
+const K_ABORT: u8 = 3;
+const K_UPDATE_ID: u8 = 4;
+const K_TIMER_REQ: u8 = 5;
+const K_IDLE: u8 = 6;
+const K_DONE: u8 = 7;
+const K_WELCOME: u8 = 16;
+const K_DELIVER: u8 = 17;
+const K_TX_DONE: u8 = 18;
+const K_ABORT_RESULT: u8 = 19;
+const K_TIMER: u8 = 20;
+const K_SHUTDOWN: u8 = 21;
+
+fn header(kind: u8, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+}
+
+/// Encode a node → broker message as one datagram.
+pub fn encode_to_broker(msg: &ToBroker) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        ToBroker::Hello { node } => {
+            header(K_HELLO, &mut out);
+            out.push(*node);
+        }
+        ToBroker::Submit { handle, tag, frame } => {
+            header(K_SUBMIT, &mut out);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            codec::encode_into(frame, &mut out);
+        }
+        ToBroker::Abort { handle } => {
+            header(K_ABORT, &mut out);
+            out.extend_from_slice(&handle.to_le_bytes());
+        }
+        ToBroker::UpdateId { handle, raw_id } => {
+            header(K_UPDATE_ID, &mut out);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&raw_id.to_le_bytes());
+        }
+        ToBroker::TimerReq { at_ns, token } => {
+            header(K_TIMER_REQ, &mut out);
+            out.extend_from_slice(&at_ns.to_le_bytes());
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+        ToBroker::Idle => header(K_IDLE, &mut out),
+        ToBroker::Done { node } => {
+            header(K_DONE, &mut out);
+            out.push(*node);
+        }
+    }
+    out
+}
+
+/// Encode a broker → node message as one datagram.
+pub fn encode_to_node(msg: &ToNode) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        ToNode::Welcome { now_ns } => {
+            header(K_WELCOME, &mut out);
+            out.extend_from_slice(&now_ns.to_le_bytes());
+        }
+        ToNode::Deliver {
+            completed_ns,
+            frame,
+        } => {
+            header(K_DELIVER, &mut out);
+            out.extend_from_slice(&completed_ns.to_le_bytes());
+            codec::encode_into(frame, &mut out);
+        }
+        ToNode::TxDone {
+            handle,
+            tag,
+            all_received,
+            completed_ns,
+        } => {
+            header(K_TX_DONE, &mut out);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.push(u8::from(*all_received));
+            out.extend_from_slice(&completed_ns.to_le_bytes());
+        }
+        ToNode::AbortResult {
+            handle,
+            tag,
+            aborted,
+        } => {
+            header(K_ABORT_RESULT, &mut out);
+            out.extend_from_slice(&handle.to_le_bytes());
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.push(u8::from(*aborted));
+        }
+        ToNode::Timer { token, now_ns } => {
+            header(K_TIMER, &mut out);
+            out.extend_from_slice(&token.to_le_bytes());
+            out.extend_from_slice(&now_ns.to_le_bytes());
+        }
+        ToNode::Shutdown => header(K_SHUTDOWN, &mut out),
+    }
+    out
+}
+
+fn check_header(buf: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated(buf.len()));
+    }
+    if buf[..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    Ok((buf[3], &buf[4..]))
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Decode a node → broker datagram. Never panics.
+pub fn decode_to_broker(buf: &[u8]) -> Result<ToBroker, WireError> {
+    let (kind, body) = check_header(buf)?;
+    let bad = |got: usize| WireError::BadLength { kind, got };
+    match kind {
+        K_HELLO => match body {
+            [node] => Ok(ToBroker::Hello { node: *node }),
+            _ => Err(bad(body.len())),
+        },
+        K_SUBMIT => {
+            if body.len() < 12 {
+                return Err(bad(body.len()));
+            }
+            Ok(ToBroker::Submit {
+                handle: le_u32(&body[0..4]),
+                tag: le_u64(&body[4..12]),
+                frame: codec::decode(&body[12..])?,
+            })
+        }
+        K_ABORT => match body.len() {
+            4 => Ok(ToBroker::Abort {
+                handle: le_u32(body),
+            }),
+            n => Err(bad(n)),
+        },
+        K_UPDATE_ID => match body.len() {
+            8 => Ok(ToBroker::UpdateId {
+                handle: le_u32(&body[0..4]),
+                raw_id: le_u32(&body[4..8]),
+            }),
+            n => Err(bad(n)),
+        },
+        K_TIMER_REQ => match body.len() {
+            16 => Ok(ToBroker::TimerReq {
+                at_ns: le_u64(&body[0..8]),
+                token: le_u64(&body[8..16]),
+            }),
+            n => Err(bad(n)),
+        },
+        K_IDLE => match body.len() {
+            0 => Ok(ToBroker::Idle),
+            n => Err(bad(n)),
+        },
+        K_DONE => match body {
+            [node] => Ok(ToBroker::Done { node: *node }),
+            _ => Err(bad(body.len())),
+        },
+        k => Err(WireError::BadKind(k)),
+    }
+}
+
+/// Decode a broker → node datagram. Never panics.
+pub fn decode_to_node(buf: &[u8]) -> Result<ToNode, WireError> {
+    let (kind, body) = check_header(buf)?;
+    let bad = |got: usize| WireError::BadLength { kind, got };
+    match kind {
+        K_WELCOME => match body.len() {
+            8 => Ok(ToNode::Welcome {
+                now_ns: le_u64(body),
+            }),
+            n => Err(bad(n)),
+        },
+        K_DELIVER => {
+            if body.len() < 8 {
+                return Err(bad(body.len()));
+            }
+            Ok(ToNode::Deliver {
+                completed_ns: le_u64(&body[0..8]),
+                frame: codec::decode(&body[8..])?,
+            })
+        }
+        K_TX_DONE => match body.len() {
+            21 => Ok(ToNode::TxDone {
+                handle: le_u32(&body[0..4]),
+                tag: le_u64(&body[4..12]),
+                all_received: body[12] != 0,
+                completed_ns: le_u64(&body[13..21]),
+            }),
+            n => Err(bad(n)),
+        },
+        K_ABORT_RESULT => match body.len() {
+            13 => Ok(ToNode::AbortResult {
+                handle: le_u32(&body[0..4]),
+                tag: le_u64(&body[4..12]),
+                aborted: body[12] != 0,
+            }),
+            n => Err(bad(n)),
+        },
+        K_TIMER => match body.len() {
+            16 => Ok(ToNode::Timer {
+                token: le_u64(&body[0..8]),
+                now_ns: le_u64(&body[8..16]),
+            }),
+            n => Err(bad(n)),
+        },
+        K_SHUTDOWN => match body.len() {
+            0 => Ok(ToNode::Shutdown),
+            n => Err(bad(n)),
+        },
+        k => Err(WireError::BadKind(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec_can::CanId;
+
+    #[test]
+    fn to_broker_round_trip() {
+        let frame = Frame::new(CanId::new(0, 3, 77), &[1, 2, 3]);
+        let msgs = [
+            ToBroker::Hello { node: 5 },
+            ToBroker::Submit {
+                handle: 9,
+                tag: 0xDEAD_BEEF_0042,
+                frame,
+            },
+            ToBroker::Abort { handle: 3 },
+            ToBroker::UpdateId {
+                handle: 3,
+                raw_id: 0x1FFF_FFFF,
+            },
+            ToBroker::TimerReq {
+                at_ns: u64::MAX,
+                token: 7,
+            },
+            ToBroker::Idle,
+            ToBroker::Done { node: 0 },
+        ];
+        for msg in msgs {
+            let bytes = encode_to_broker(&msg);
+            assert_eq!(decode_to_broker(&bytes), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn to_node_round_trip() {
+        let frame = Frame::new(CanId::new(255, 127, 0x3FFF), &[0; 8]);
+        let msgs = [
+            ToNode::Welcome { now_ns: 0 },
+            ToNode::Deliver {
+                completed_ns: 123,
+                frame,
+            },
+            ToNode::TxDone {
+                handle: 1,
+                tag: 2,
+                all_received: true,
+                completed_ns: 3,
+            },
+            ToNode::AbortResult {
+                handle: 1,
+                tag: 2,
+                aborted: false,
+            },
+            ToNode::Timer {
+                token: 0xFFFF_FFFF_FFFF_FFFF,
+                now_ns: 1,
+            },
+            ToNode::Shutdown,
+        ];
+        for msg in msgs {
+            let bytes = encode_to_node(&msg);
+            assert_eq!(decode_to_node(&bytes), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn direction_mixups_are_rejected() {
+        let b = encode_to_broker(&ToBroker::Idle);
+        assert_eq!(decode_to_node(&b), Err(WireError::BadKind(K_IDLE)));
+        let n = encode_to_node(&ToNode::Shutdown);
+        assert_eq!(decode_to_broker(&n), Err(WireError::BadKind(K_SHUTDOWN)));
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        assert_eq!(decode_to_broker(&[]), Err(WireError::Truncated(0)));
+        assert_eq!(decode_to_broker(b"XY\x01\x06"), Err(WireError::BadMagic));
+        assert_eq!(
+            decode_to_broker(b"RL\x09\x06"),
+            Err(WireError::BadVersion(9))
+        );
+        assert_eq!(
+            decode_to_broker(b"RL\x01\xFF"),
+            Err(WireError::BadKind(255))
+        );
+        assert!(matches!(
+            decode_to_broker(b"RL\x01\x06\x00"),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end tests of the live runtime over the loopback transport:
+//! determinism, cross-class contention, fault-driven redundancy, and
+//! conformance of live traces against the `T1`..`T8` auditor.
+
+use rtec_can::fault::{FaultModel, OmissionScope};
+use rtec_conformance::audit::{audit, AuditContext};
+use rtec_core::channel::{ChannelClass, ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
+use rtec_core::event::{Event, Subject};
+use rtec_live::broker::FaultPlan;
+use rtec_live::cluster::{Cluster, ClusterConfig, LiveReport};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::Pace;
+use rtec_sim::Duration;
+
+const HRT_SUBJECT: Subject = Subject(0x1001);
+const SRT_SUBJECT: Subject = Subject(0x2002);
+const NRT_SUBJECT: Subject = Subject(0x3003);
+
+/// Publishes a fresh HRT sample for every calendar round, staged just
+/// before the slot-ready instant.
+struct HrtSource {
+    counter: u8,
+    period: Duration,
+}
+
+impl Behavior for HrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        let (at, period) = ctx.hrt_stage_schedule(HRT_SUBJECT).unwrap();
+        self.period = period;
+        ctx.set_timer(at, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        ctx.set_timer(ctx.now() + self.period, 0).unwrap();
+    }
+}
+
+/// Publishes an SRT sample every `every`, starting at `phase`.
+struct SrtSource {
+    every: Duration,
+    phase: Duration,
+    counter: u8,
+}
+
+impl Behavior for SrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.phase, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        let _ = ctx.publish(Event::new(SRT_SUBJECT, vec![0xAB, self.counter]));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+/// Floods the bus with one large fragmented NRT transfer at start.
+struct NrtFlood {
+    bytes: usize,
+}
+
+impl Behavior for NrtFlood {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let payload: Vec<u8> = (0..self.bytes).map(|i| i as u8).collect();
+        ctx.publish(Event::new(NRT_SUBJECT, payload)).unwrap();
+    }
+}
+
+struct Quiet;
+impl Behavior for Quiet {}
+
+fn mixed_cluster(seed_phase_us: u64) -> Cluster {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let n1 = cluster.add_node(Box::new(SrtSource {
+        every: Duration::from_ms(3),
+        phase: Duration::from_us(seed_phase_us),
+        counter: 0,
+    }));
+    let n2 = cluster.add_node(Box::new(Quiet));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.publish(n1, SRT_SUBJECT, srt);
+    cluster.subscribe(n2, HRT_SUBJECT, hrt);
+    cluster.subscribe(n2, SRT_SUBJECT, srt);
+    cluster
+}
+
+fn audit_ctx(report: &LiveReport) -> AuditContext {
+    AuditContext::from_parts(
+        (*report.calendar).clone(),
+        report.calendar_start,
+        report.channels.clone(),
+        report.hrt_periods.clone(),
+    )
+}
+
+/// Same cluster + virtual clock ⇒ byte-identical delivery order across
+/// two independent runs (threads, channels and all).
+#[test]
+fn loopback_runs_are_deterministic() {
+    let run = Duration::from_ms(60);
+    let a = mixed_cluster(500).run_for(run).unwrap();
+    let b = mixed_cluster(500).run_for(run).unwrap();
+    assert!(!a.log.is_empty(), "no deliveries recorded");
+    assert!(
+        a.log.iter().any(|r| r.class == ChannelClass::Hrt),
+        "no HRT deliveries"
+    );
+    assert!(
+        a.log.iter().any(|r| r.class == ChannelClass::Srt),
+        "no SRT deliveries"
+    );
+    assert_eq!(a.log, b.log, "delivery logs diverged between runs");
+    assert_eq!(a.stats, b.stats, "node stats diverged between runs");
+    assert_eq!(a.broker, b.broker, "broker stats diverged between runs");
+}
+
+/// Live traces satisfy the same `T1`..`T8` invariants as simulator
+/// traces — the auditor runs on them unmodified.
+#[test]
+fn live_trace_passes_conformance_audit() {
+    let report = mixed_cluster(500).run_for(Duration::from_ms(60)).unwrap();
+    assert!(!report.trace.is_empty(), "tracing produced no events");
+    let rep = audit(&audit_ctx(&report), &report.trace);
+    assert!(
+        rep.passes(),
+        "audit failed:\n{:#?}",
+        rep.errors().collect::<Vec<_>>()
+    );
+}
+
+/// Three threads contending: an HRT frame submitted at its LST must win
+/// arbitration against a saturating NRT flood, land inside its calendar
+/// slot, and be delivered every round.
+#[test]
+fn hrt_beats_saturating_nrt_under_contention() {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        // The flood below queues ~120 fragment frames at once.
+        nrt_queue_cap: 256,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    // A 600-byte fragmented transfer is ~120 frames ≈ 16 ms of wire
+    // time at 1 Mbit/s: the bus stays saturated across round borders.
+    let n1 = cluster.add_node(Box::new(NrtFlood { bytes: 600 }));
+    let n2 = cluster.add_node(Box::new(Quiet));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let nrt = ChannelSpec::Nrt(NrtSpec::bulk());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.publish(n1, NRT_SUBJECT, nrt);
+    cluster.subscribe(n2, HRT_SUBJECT, hrt);
+    cluster.subscribe(n2, NRT_SUBJECT, nrt);
+    let report = cluster.run_for(Duration::from_ms(35)).unwrap();
+
+    // The auditor checks T2 (HRT inside its slot) and T1 (arbitration
+    // order) on the live trace.
+    let rep = audit(&audit_ctx(&report), &report.trace);
+    assert!(
+        rep.passes(),
+        "audit failed:\n{:#?}",
+        rep.errors().collect::<Vec<_>>()
+    );
+
+    // Every arbitration with an HRT contender was won by it.
+    let mut hrt_contended = 0;
+    for ev in report.trace.iter().filter(|e| e.kind == "arb") {
+        let cands: Vec<u64> = ev
+            .fields
+            .iter()
+            .filter(|(k, _)| *k == "cand")
+            .map(|&(_, v)| v & 0xFFFF_FFFF)
+            .collect();
+        let win = ev
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "win")
+            .map(|&(_, v)| v)
+            .unwrap();
+        let hrt_cand = cands.iter().copied().find(|&c| (c >> 21) == 0);
+        if cands.len() >= 2 {
+            if let Some(c) = hrt_cand {
+                hrt_contended += 1;
+                assert_eq!(win, c, "HRT frame lost arbitration at {:?}", ev.time);
+            }
+        }
+    }
+    assert!(
+        hrt_contended >= 2,
+        "expected repeated HRT-vs-NRT contention, saw {hrt_contended}"
+    );
+
+    // Each round's HRT sample arrived, and the flood reassembled.
+    let hrt_deliveries = report
+        .log
+        .iter()
+        .filter(|r| r.class == ChannelClass::Hrt)
+        .count();
+    assert!(hrt_deliveries >= 3, "HRT starved: {hrt_deliveries} rounds");
+    let nrt = report
+        .log
+        .iter()
+        .find(|r| r.class == ChannelClass::Nrt)
+        .expect("flood never completed");
+    assert_eq!(nrt.bytes.len(), 600);
+    assert!(nrt.bytes.iter().enumerate().all(|(i, &b)| b == i as u8));
+}
+
+/// Omission faults: the sender sees `all_received = false` and spends a
+/// redundant retransmission inside the same slot (§3.2), so the
+/// subscriber still gets every round's sample.
+#[test]
+fn omission_faults_trigger_redundant_retransmission() {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        fault: FaultPlan {
+            model: Some(FaultModel::Iid {
+                corruption_p: 0.0,
+                omission_p: 0.5,
+                omission_scope: OmissionScope::OneRandomReceiver,
+            }),
+            seed: 7,
+        },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let n1 = cluster.add_node(Box::new(Quiet));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.subscribe(n1, HRT_SUBJECT, hrt);
+    let report = cluster.run_for(Duration::from_ms(80)).unwrap();
+
+    assert!(
+        report.broker.frames_with_omission > 0,
+        "fault injector never fired"
+    );
+    // Retransmissions happened: more tx_starts than rounds.
+    let starts = report
+        .trace
+        .iter()
+        .filter(|e| e.kind == "tx_start" || e.kind == "tx_start_omit")
+        .count();
+    let delivered = report
+        .log
+        .iter()
+        .filter(|r| r.class == ChannelClass::Hrt)
+        .count();
+    assert!(delivered >= 6, "subscriber starved: {delivered}");
+    assert!(
+        starts > delivered,
+        "no redundant retransmissions: {starts} starts for {delivered} deliveries"
+    );
+    let rep = audit(&audit_ctx(&report), &report.trace);
+    assert!(
+        rep.passes(),
+        "audit failed:\n{:#?}",
+        rep.errors().collect::<Vec<_>>()
+    );
+}
+
+/// The UDP transport carries the same protocol: a small cluster over
+/// real datagram sockets produces the same deliveries as loopback.
+#[test]
+fn udp_transport_matches_loopback() {
+    let run = Duration::from_ms(30);
+    let over_udp = mixed_cluster(500).run_for_udp(run).unwrap();
+    let over_loopback = mixed_cluster(500).run_for(run).unwrap();
+    assert!(!over_udp.log.is_empty());
+    assert_eq!(over_udp.log, over_loopback.log);
+}

@@ -29,6 +29,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Interned `source` string handle, valid for the sink that issued it
 /// (and its clones — they share the intern table).
@@ -145,8 +146,8 @@ struct SinkInner {
     capacity: usize,
     records: VecDeque<Rec>,
     dropped: u64,
-    names: Vec<Rc<str>>,
-    ids: HashMap<Rc<str>, u32>,
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
 }
 
 impl Default for SinkInner {
@@ -168,9 +169,9 @@ impl SinkInner {
             return SourceId(id);
         }
         let id = u32::try_from(self.names.len()).expect("intern table exhausted");
-        let rc: Rc<str> = Rc::from(name);
-        self.names.push(rc.clone());
-        self.ids.insert(rc, id);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(shared.clone());
+        self.ids.insert(shared, id);
         SourceId(id)
     }
 
@@ -352,6 +353,156 @@ impl TraceSink {
     }
 }
 
+/// A thread-safe sibling of [`TraceSink`] for multi-threaded runtimes
+/// (e.g. `rtec-live`, where node threads and the bus broker all emit
+/// into one buffer).
+///
+/// Shares the exact record/intern machinery with the single-threaded
+/// sink — same [`SourceId`] interning, same inline field buffer, same
+/// [`TraceEvent`] view — behind an `Arc<Mutex<_>>` instead of
+/// `Rc<RefCell<_>>`. Emission order across threads is whatever order
+/// the emitters take the lock in; deterministic runtimes (lock-step
+/// broker) therefore produce deterministic traces.
+#[derive(Clone, Debug, Default)]
+pub struct SharedTraceSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl SharedTraceSink {
+    /// A disabled sink: events are dropped.
+    pub fn disabled() -> Self {
+        SharedTraceSink::default()
+    }
+
+    /// An enabled sink that records every event (unbounded).
+    pub fn enabled() -> Self {
+        let sink = SharedTraceSink::default();
+        sink.lock().enabled = true;
+        sink
+    }
+
+    /// An enabled sink bounded to the most recent `capacity` records.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        let sink = SharedTraceSink::default();
+        {
+            let mut inner = sink.lock();
+            inner.enabled = true;
+            inner.capacity = capacity.max(1);
+            let reserve = inner.capacity.min(1 << 20);
+            inner.records.reserve_exact(reserve);
+        }
+        sink
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SinkInner> {
+        // A panicking emitter cannot leave records half-written (pushes
+        // are single calls), so recover from poisoning.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.lock().enabled
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.lock().enabled = enabled;
+    }
+
+    /// Intern a source name; see [`TraceSink::intern`].
+    pub fn intern(&self, name: &str) -> SourceId {
+        self.lock().intern(name)
+    }
+
+    /// Emit a record from the hot path: interned source, borrowed field
+    /// slice, no detail string.
+    #[inline]
+    pub fn emit_fields(
+        &self,
+        time: Time,
+        source: SourceId,
+        kind: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        let mut inner = self.lock();
+        if inner.enabled {
+            inner.push(Rec {
+                time,
+                source,
+                kind,
+                detail: None,
+                fields: FieldBuf::from_slice(fields),
+            });
+        }
+    }
+
+    /// Emit an event carrying machine-readable key/value fields
+    /// (dropped when disabled).
+    pub fn emit_kv(
+        &self,
+        time: Time,
+        source: &str,
+        kind: &'static str,
+        detail: impl Into<String>,
+        fields: Vec<(&'static str, u64)>,
+    ) {
+        let mut inner = self.lock();
+        if inner.enabled {
+            let source = inner.intern(source);
+            let detail = detail.into();
+            inner.push(Rec {
+                time,
+                source,
+                kind,
+                detail: if detail.is_empty() {
+                    None
+                } else {
+                    Some(detail.into_boxed_str())
+                },
+                fields: FieldBuf::from_vec(fields),
+            });
+        }
+    }
+
+    /// Number of recorded events currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// `true` when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records evicted from a bounded sink since creation.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Snapshot of all recorded events (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.lock();
+        inner.records.iter().map(|r| inner.rebuild(r)).collect()
+    }
+
+    /// Snapshot of events matching a kind tag.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<TraceEvent> {
+        let inner = self.lock();
+        inner
+            .records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| inner.rebuild(r))
+            .collect()
+    }
+
+    /// Drop all recorded events (the intern table survives).
+    pub fn clear(&self) {
+        self.lock().records.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +647,54 @@ mod tests {
         assert_eq!(sink.dropped(), 7);
         let kept: Vec<u64> = sink.events().iter().filter_map(|e| e.field("i")).collect();
         assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn shared_sink_matches_local_sink_view() {
+        let shared = SharedTraceSink::enabled();
+        let local = TraceSink::enabled();
+        let s1 = shared.intern("bus");
+        let s2 = local.intern("bus");
+        shared.emit_fields(Time::from_us(3), s1, "arb", &[("cand", 1), ("win", 1)]);
+        local.emit_fields(Time::from_us(3), s2, "arb", &[("cand", 1), ("win", 1)]);
+        shared.emit_kv(Time::from_us(4), "node0", "tx_start", "d", vec![("id", 9)]);
+        local.emit_kv(Time::from_us(4), "node0", "tx_start", "d", vec![("id", 9)]);
+        assert_eq!(shared.events(), local.events());
+        assert_eq!(shared.events_of_kind("arb").len(), 1);
+    }
+
+    #[test]
+    fn shared_sink_is_usable_across_threads() {
+        let sink = SharedTraceSink::enabled();
+        let src = sink.intern("worker");
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    sink.emit_fields(Time::from_ns(i), src, "tick", &[("i", i)]);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 4);
+        assert!(sink.events().iter().all(|e| e.source == "worker"));
+    }
+
+    #[test]
+    fn shared_sink_bounded_and_disabled_behaviour() {
+        let off = SharedTraceSink::disabled();
+        off.emit_kv(Time::ZERO, "a", "x", "", vec![]);
+        assert!(off.is_empty());
+        let bounded = SharedTraceSink::enabled_with_capacity(2);
+        for i in 0..5u64 {
+            bounded.emit_kv(Time::from_ns(i), "a", "x", "", vec![("i", i)]);
+        }
+        assert_eq!(bounded.len(), 2);
+        assert_eq!(bounded.dropped(), 3);
+        bounded.clear();
+        assert!(bounded.is_empty());
     }
 
     #[test]
