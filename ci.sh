@@ -12,10 +12,48 @@ echo "== cargo clippy (workspace, warnings are errors)"
 # external code and are not held to the workspace lint bar.
 cargo clippy --workspace \
     --exclude proptest --exclude criterion --exclude serde --exclude serde_derive \
+    --exclude loom \
     --all-targets -- -D warnings
+
+echo "== rtec-verify (concurrency-hygiene source lints C1..C6)"
+# The loom model checker only covers code routed through the
+# rtec_live::sync facade; this pass statically rejects anything that
+# would escape it (see DESIGN.md §6).
+cargo run -q -p rtec-conformance --bin rtec-verify -- .
 
 echo "== cargo test (workspace)"
 cargo test --workspace -q
+
+echo "== loom model check (broker lock-step protocol, exhaustive)"
+# The sync facade resolves to the vendored loom stand-in under
+# --cfg loom; a separate target dir keeps the flag from invalidating
+# the main build cache. A hang here is a protocol deadlock loom could
+# not observe terminating, so bound the run hard.
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    timeout 420 cargo test -p rtec-live --test loom_model -q
+
+echo "== miri (codec + timing-wheel subset)"
+# Undefined-behaviour check for the pure single-threaded kernels. Miri
+# ships with nightly only; skip (loudly) where it is unavailable.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        timeout 900 cargo +nightly miri test -p rtec-can -p rtec-sim -q
+else
+    echo "   skipped: miri not installed (needs a nightly toolchain)"
+fi
+
+echo "== ThreadSanitizer (live runtime tests)"
+# TSan needs -Z sanitizer (nightly) plus an instrumented std, which
+# -Zbuild-std rebuilds from the rust-src component; skip (loudly) when
+# either is unavailable.
+tsan_src="$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library/Cargo.lock"
+if cargo +nightly --version >/dev/null 2>&1 && [ -f "$tsan_src" ]; then
+    RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+        timeout 900 cargo +nightly test -p rtec-live -q \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "   skipped: ThreadSanitizer needs nightly + the rust-src component"
+fi
 
 echo "== conformance fault-injection suite"
 cargo test -p rtec-conformance --test fault_injection -q

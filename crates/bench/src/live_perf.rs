@@ -60,12 +60,19 @@ impl Behavior for StampedSource {
 struct Sink;
 impl Behavior for Sink {}
 
+/// Ring capacity for the trace sink during bench runs. Generous: the
+/// heaviest full-mode cluster produces a few thousand trace events, so
+/// a drop here means the ring was mis-sized or the runtime regressed
+/// into an event storm — either way the smoke gate should trip.
+const TRACE_CAPACITY: usize = 1 << 16;
+
 struct LiveRow {
     nodes: usize,
     deliveries: usize,
     wall_s: f64,
     p50_us: f64,
     p99_us: f64,
+    trace_dropped: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -77,9 +84,13 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
 }
 
 fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
+    // Trace with the production sink enabled so the benchmark measures
+    // the runtime as deployed — and so the ring's eviction counter can
+    // prove no events were lost during the measured run.
     let cfg = ClusterConfig {
         pace: Pace::Virtual,
-        trace: false,
+        trace: true,
+        trace_capacity: Some(TRACE_CAPACITY),
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(cfg);
@@ -116,6 +127,7 @@ fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
         wall_s,
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
+        trace_dropped: report.trace_dropped,
     }
 }
 
@@ -138,6 +150,7 @@ fn live_report(cfg: &BenchConfig, bus_time: Duration, rows: &[LiveRow]) -> Value
                     ),
                     ("p50_us", Value::num(round3(r.p50_us))),
                     ("p99_us", Value::num(round3(r.p99_us))),
+                    ("trace_dropped", Value::num(r.trace_dropped as f64)),
                 ]
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
@@ -176,16 +189,26 @@ pub fn run(cfg: &BenchConfig) -> i32 {
         .map(|&n| {
             let row = bench_cluster(n, bus_time);
             eprintln!(
-                "  {:2} nodes: {:5} deliveries in {:7.2} ms wall  p50 {:7.1} µs  p99 {:7.1} µs",
+                "  {:2} nodes: {:5} deliveries in {:7.2} ms wall  p50 {:7.1} µs  p99 {:7.1} µs  dropped {}",
                 row.nodes,
                 row.deliveries,
                 row.wall_s * 1e3,
                 row.p50_us,
-                row.p99_us
+                row.p99_us,
+                row.trace_dropped
             );
             row
         })
         .collect();
+    // Smoke gate: a benchmark run that evicted trace events measured a
+    // runtime whose audit trail is incomplete — refuse to report it.
+    if let Some(bad) = rows.iter().find(|r| r.trace_dropped > 0) {
+        eprintln!(
+            "bench live: trace ring dropped {} event(s) at {} nodes — raise TRACE_CAPACITY or investigate the event storm",
+            bad.trace_dropped, bad.nodes
+        );
+        return 1;
+    }
     let section = live_report(cfg, bus_time, &rows);
 
     // Merge under "live", preserving every committed wheel/heap number.

@@ -688,6 +688,28 @@ fn ci_check(cfg: &BenchConfig) -> i32 {
             return 1;
         }
     }
+    // The committed live section must not report trace-ring evictions:
+    // latency numbers from a run with an incomplete audit trail are not
+    // trustworthy (see live_perf's smoke gate for fresh runs).
+    if let Some(clusters) = engine
+        .get("live")
+        .and_then(|l| l.get("clusters"))
+        .and_then(Value::as_arr)
+    {
+        for row in clusters {
+            let dropped = row
+                .get("trace_dropped")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if dropped > 0.0 {
+                eprintln!(
+                    "bench --ci: committed live row (nodes {}) reports {dropped} dropped trace event(s)",
+                    row.get("nodes").and_then(Value::as_f64).unwrap_or(0.0)
+                );
+                return 1;
+            }
+        }
+    }
     let Some(baseline_eps) = engine
         .get("summary")
         .and_then(|s| s.get("wheel_events_per_sec"))

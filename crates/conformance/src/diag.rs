@@ -71,11 +71,26 @@ pub enum RuleId {
     /// The TxNode field of every transmitted identifier names the node
     /// that actually sent the frame.
     TxNodeMatchesSender,
+
+    // ---- concurrency-hygiene source lints (rtec-live) ----
+    /// Sync primitives must come from the `rtec_live::sync` facade, not
+    /// `std::sync` / `std::thread` directly.
+    DirectStdSync,
+    /// Channels on runtime paths must be bounded.
+    UnboundedChannel,
+    /// Lock/recv/join results must not be `unwrap()`ed away.
+    UnwrappedSyncResult,
+    /// Wall-clock sleeps belong to the pacing clock, nowhere else.
+    StraySleep,
+    /// Wall-clock reads belong to the pacing clock and the socket layer.
+    StrayWallClock,
+    /// Runtime threads must be spawned named, via `thread::Builder`.
+    UnnamedThreadSpawn,
 }
 
 impl RuleId {
-    /// All rules, static first.
-    pub const ALL: [RuleId; 16] = [
+    /// All rules: static configuration, then trace, then source lints.
+    pub const ALL: [RuleId; 22] = [
         RuleId::SlotOverlap,
         RuleId::SlotSetupMargin,
         RuleId::PriorityBandPartition,
@@ -92,9 +107,15 @@ impl RuleId {
         RuleId::DuplicateContender,
         RuleId::PriorityBandConsistency,
         RuleId::TxNodeMatchesSender,
+        RuleId::DirectStdSync,
+        RuleId::UnboundedChannel,
+        RuleId::UnwrappedSyncResult,
+        RuleId::StraySleep,
+        RuleId::StrayWallClock,
+        RuleId::UnnamedThreadSpawn,
     ];
 
-    /// Stable short code (`S1`..`S8`, `T1`..`T8`).
+    /// Stable short code (`S1`..`S8`, `T1`..`T8`, `C1`..`C6`).
     pub fn code(self) -> &'static str {
         match self {
             RuleId::SlotOverlap => "S1",
@@ -113,10 +134,17 @@ impl RuleId {
             RuleId::DuplicateContender => "T6",
             RuleId::PriorityBandConsistency => "T7",
             RuleId::TxNodeMatchesSender => "T8",
+            RuleId::DirectStdSync => "C1",
+            RuleId::UnboundedChannel => "C2",
+            RuleId::UnwrappedSyncResult => "C3",
+            RuleId::StraySleep => "C4",
+            RuleId::StrayWallClock => "C5",
+            RuleId::UnnamedThreadSpawn => "C6",
         }
     }
 
-    /// The paper section the rule enforces.
+    /// The section the rule enforces: a paper section for `S*`/`T*`
+    /// rules, the DESIGN.md concurrency chapter for `C*` source lints.
     pub fn paper_section(self) -> &'static str {
         match self {
             RuleId::SlotOverlap => "§3.1",
@@ -135,6 +163,12 @@ impl RuleId {
             RuleId::DuplicateContender => "§3.5",
             RuleId::PriorityBandConsistency => "§3.3",
             RuleId::TxNodeMatchesSender => "§3.5",
+            RuleId::DirectStdSync
+            | RuleId::UnboundedChannel
+            | RuleId::UnwrappedSyncResult
+            | RuleId::StraySleep
+            | RuleId::StrayWallClock
+            | RuleId::UnnamedThreadSpawn => "DESIGN.md §6",
         }
     }
 
@@ -170,6 +204,16 @@ impl RuleId {
             }
             RuleId::TxNodeMatchesSender => {
                 "the TxNode identifier field must name the actual sender"
+            }
+            RuleId::DirectStdSync => "sync primitives must come from the rtec_live::sync facade",
+            RuleId::UnboundedChannel => "runtime channels must be bounded",
+            RuleId::UnwrappedSyncResult => "lock/recv/join results must be handled, not unwrap()ed",
+            RuleId::StraySleep => "wall-clock sleeps belong to the pacing clock",
+            RuleId::StrayWallClock => {
+                "wall-clock reads belong to the pacing clock and socket layer"
+            }
+            RuleId::UnnamedThreadSpawn => {
+                "runtime threads must be spawned named, via thread::Builder"
             }
         }
     }
@@ -336,12 +380,15 @@ mod tests {
         assert_eq!(codes.len(), RuleId::ALL.len());
         assert_eq!(RuleId::SlotOverlap.code(), "S1");
         assert_eq!(RuleId::TxNodeMatchesSender.code(), "T8");
+        assert_eq!(RuleId::UnnamedThreadSpawn.code(), "C6");
     }
 
     #[test]
-    fn every_rule_cites_a_paper_section() {
+    fn every_rule_cites_a_section() {
         for r in RuleId::ALL {
-            assert!(r.paper_section().starts_with('§'), "{r:?}");
+            // S*/T* rules cite a paper section directly; C* source
+            // lints cite the DESIGN.md concurrency chapter.
+            assert!(r.paper_section().contains('§'), "{r:?}");
             assert!(!r.description().is_empty(), "{r:?}");
         }
     }

@@ -14,6 +14,11 @@
 //!   parameters.
 //! * **[`audit`]** — rules `T1`..`T8` run *after* a simulation, over
 //!   the structured [`rtec_sim::TraceEvent`] stream it recorded.
+//! * **[`srclint`]** — rules `C1`..`C6` run over the live runtime's
+//!   *source code*, rejecting concurrency-hygiene violations (sync
+//!   primitives bypassing the `rtec_live::sync` facade, unbounded
+//!   channels, swallowed lock/recv errors). The `rtec-verify` binary
+//!   drives this pass in CI.
 //!
 //! Both return a [`Report`] of [`Diagnostic`]s — rule ID, severity,
 //! message and fix hint — and never panic on broken input. The
@@ -26,8 +31,10 @@ pub mod audit;
 pub mod diag;
 pub mod lint;
 pub mod net;
+pub mod srclint;
 
 pub use audit::{audit, AuditContext};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
 pub use lint::{lint, ChannelDecl, LintInput};
 pub use net::{audit_context, audit_network, check_network, lint_input, lint_network};
+pub use srclint::{lint_sources, lint_workspace, SrcFile};

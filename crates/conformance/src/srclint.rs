@@ -1,0 +1,508 @@
+//! Concurrency-hygiene source lints (`C1`..`C6`) for the live runtime.
+//!
+//! The loom model-check suite (see `crates/live/tests/loom_model.rs`)
+//! only proves anything about code that routes its synchronization
+//! through the `rtec_live::sync` facade — a mutex taken from
+//! `std::sync` directly is invisible to the model checker. These lints
+//! close that gap statically: they scan the runtime's sources and
+//! reject constructs that would escape the facade or undermine the
+//! lock-step protocol's failure-handling discipline.
+//!
+//! | rule | rejects                                                      |
+//! |------|--------------------------------------------------------------|
+//! | `C1` | `std::sync` / `std::thread` outside the facade itself        |
+//! | `C2` | unbounded `mpsc::channel(..)` constructors                   |
+//! | `C3` | `unwrap()`/`expect()` on `lock()`/`recv()`/`join()` results  |
+//! | `C4` | `thread::sleep` outside the pacing clock                     |
+//! | `C5` | `Instant::now()`/`SystemTime::now()` outside clock + sockets |
+//! | `C6` | bare `thread::spawn(..)` (runtime threads must be named)     |
+//!
+//! The pass is textual, not syntactic — deliberately: it must run in
+//! CI with no rustc internals and no third-party parser. To keep the
+//! signal clean it first *strips* comments and string literals
+//! (preserving line numbers) and *skips* `#[cfg(test)]` blocks, where
+//! std primitives are fine. Scope is `crates/live/src` only; the other
+//! crates are single-threaded by construction.
+
+use crate::diag::{Report, RuleId};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One source file handed to [`lint_sources`].
+#[derive(Clone, Debug)]
+pub struct SrcFile {
+    /// Display path, used in diagnostics (e.g. `crates/live/src/node.rs`).
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+impl SrcFile {
+    /// Convenience constructor.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        SrcFile {
+            path: path.into(),
+            text: text.into(),
+        }
+    }
+
+    /// The file name component of `path`.
+    fn file_name(&self) -> &str {
+        self.path.rsplit(['/', '\\']).next().unwrap_or(&self.path)
+    }
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// keeping every line break so diagnostics can cite real line numbers.
+///
+/// Handles line comments, (nested) block comments, plain and raw
+/// strings, and char literals — while leaving lifetimes (`'a`) alone:
+/// a `'` only opens a char literal when a matching closing quote
+/// appears within a few characters.
+fn strip_noncode(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Possible raw string r"..." / r#"..."#.
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.resize(out.len() + hashes + 2, b' ');
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && b[k] == b'#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                out.resize(out.len() + hashes + 1, b' ');
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal iff a closing quote follows within the
+                // longest escape form ('\u{10FFFF}' = 10 bytes).
+                let lookahead = &b[i + 1..b.len().min(i + 12)];
+                let close = if lookahead.first() == Some(&b'\\') {
+                    lookahead
+                        .iter()
+                        .skip(1)
+                        .position(|&c| c == b'\'')
+                        .map(|p| p + 1)
+                } else if lookahead.first() == Some(&b'\'') {
+                    None // '' is not a char literal
+                } else {
+                    (lookahead.get(1) == Some(&b'\'')).then_some(1)
+                };
+                if let Some(p) = close {
+                    out.resize(out.len() + p + 2, b' ');
+                    i += p + 2;
+                } else {
+                    out.push(b[i]); // a lifetime: keep as-is
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("stripping only substitutes ASCII spaces")
+}
+
+/// Blank out every `#[cfg(test)] <item>` region (attribute through the
+/// matching closing brace), preserving line breaks. Test modules and
+/// test-gated items may use std primitives freely — they never run
+/// under the model checker.
+fn blank_test_blocks(stripped: &str) -> String {
+    let mut text = stripped.to_string();
+    loop {
+        let Some(start) = find_cfg_test(&text) else {
+            return text;
+        };
+        let bytes = text.as_bytes();
+        // Find the first `{` after the attribute, then its match.
+        let Some(open) = bytes[start..].iter().position(|&c| c == b'{') else {
+            return text;
+        };
+        let open = start + open;
+        let mut depth = 0usize;
+        let mut end = text.len();
+        for (k, &c) in bytes[open..].iter().enumerate() {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let blanked: String = text[start..end]
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        text.replace_range(start..end, &blanked);
+    }
+}
+
+/// Locate a `#[cfg(test)]` attribute, tolerating interior whitespace.
+fn find_cfg_test(text: &str) -> Option<usize> {
+    let compact: Vec<(usize, char)> = text
+        .char_indices()
+        .filter(|(_, c)| !c.is_whitespace())
+        .collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    compact
+        .windows(needle.len())
+        .find(|w| w.iter().map(|(_, c)| *c).eq(needle.iter().copied()))
+        .map(|w| w[0].0)
+}
+
+/// A line-scoped textual rule.
+struct TextRule {
+    id: RuleId,
+    /// Any of these substrings firing on a (stripped) line is a hit.
+    needles: &'static [&'static str],
+    /// File names exempt from this rule.
+    allow_files: &'static [&'static str],
+    /// A hit is suppressed when this substring is also present (used to
+    /// let `C6` accept `Builder` chains that end in `.spawn(`).
+    unless_on_line: Option<&'static str>,
+    fix: &'static str,
+}
+
+const RULES: &[TextRule] = &[
+    TextRule {
+        id: RuleId::DirectStdSync,
+        needles: &["std::sync", "std::thread"],
+        allow_files: &["sync.rs"],
+        unless_on_line: None,
+        fix: "import the primitive from crate::sync instead",
+    },
+    TextRule {
+        id: RuleId::UnboundedChannel,
+        needles: &["mpsc::channel(", "channel::<"],
+        allow_files: &[],
+        unless_on_line: None,
+        fix: "use crate::sync::mpsc::bounded(depth) for backpressure",
+    },
+    TextRule {
+        id: RuleId::UnwrappedSyncResult,
+        needles: &[
+            "lock().unwrap()",
+            "lock().expect(",
+            "recv().unwrap()",
+            "recv().expect(",
+            "join().unwrap()",
+            "join().expect(",
+        ],
+        allow_files: &[],
+        unless_on_line: None,
+        fix: "propagate the error or use unwrap_or_else(|e| e.into_inner())",
+    },
+    TextRule {
+        id: RuleId::StraySleep,
+        needles: &["thread::sleep("],
+        allow_files: &["clock.rs"],
+        unless_on_line: None,
+        fix: "pace through clock::Pacer so Pace::Virtual skips the wait",
+    },
+    TextRule {
+        id: RuleId::StrayWallClock,
+        needles: &["Instant::now()", "SystemTime::now()"],
+        allow_files: &["clock.rs", "udp.rs"],
+        unless_on_line: None,
+        fix: "take timestamps from clock::Pacer / the broker's Welcome",
+    },
+    TextRule {
+        id: RuleId::UnnamedThreadSpawn,
+        needles: &["thread::spawn("],
+        allow_files: &[],
+        unless_on_line: Some("Builder"),
+        fix: "use crate::sync::thread::Builder::new().name(..).spawn(..)",
+    },
+];
+
+/// Lint a set of already-loaded sources. Pure — the unit of testing.
+pub fn lint_sources(files: &[SrcFile]) -> Report {
+    let mut report = Report::new();
+    for file in files {
+        let code = blank_test_blocks(&strip_noncode(&file.text));
+        for rule in RULES {
+            if rule.allow_files.contains(&file.file_name()) {
+                continue;
+            }
+            for (lineno, line) in code.lines().enumerate() {
+                if rule.unless_on_line.is_some_and(|ok| line.contains(ok)) {
+                    continue;
+                }
+                if let Some(needle) = rule.needles.iter().find(|n| line.contains(**n)) {
+                    report.error(
+                        rule.id,
+                        format!(
+                            "{}:{}: `{}` — {}",
+                            file.path,
+                            lineno + 1,
+                            needle.trim_end_matches('('),
+                            rule.id.description()
+                        ),
+                        rule.fix,
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Lint the live runtime's sources under a workspace root: every
+/// `.rs` file below `crates/live/src`, in path order.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let dir = root.join("crates/live/src");
+    let mut files = Vec::new();
+    collect_rs(&dir, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    // Diagnostics cite workspace-relative paths.
+    for f in &mut files {
+        if let Some(rel) = f.path.strip_prefix(&format!("{}/", root.display())) {
+            f.path = rel.to_string();
+        }
+    }
+    Ok(lint_sources(&files))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<SrcFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(SrcFile {
+                path: path.display().to_string(),
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(name: &str, text: &str) -> Report {
+        lint_sources(&[SrcFile::new(format!("crates/live/src/{name}"), text)])
+    }
+
+    #[test]
+    fn c1_fires_on_direct_std_sync() {
+        let rep = lint_one("node.rs", "use std::sync::Mutex;\n");
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
+        let rep = lint_one("broker.rs", "let h = std::thread::current();\n");
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
+    }
+
+    #[test]
+    fn c1_allows_the_facade_itself() {
+        let rep = lint_one("sync.rs", "pub use std::sync::{Arc, Mutex};\n");
+        assert!(rep.passes(), "{rep}");
+    }
+
+    #[test]
+    fn c2_fires_on_unbounded_channel() {
+        let rep = lint_one("transport.rs", "let (tx, rx) = mpsc::channel();\n");
+        assert!(rep.fired(RuleId::UnboundedChannel), "{rep}");
+        let rep = lint_one("transport.rs", "let p = channel::<Frame>();\n");
+        assert!(rep.fired(RuleId::UnboundedChannel), "{rep}");
+    }
+
+    #[test]
+    fn c3_fires_on_unwrapped_lock_recv_join() {
+        for stmt in [
+            "let g = self.state.lock().unwrap();",
+            "let g = self.state.lock().expect(\"poisoned\");",
+            "let msg = rx.recv().unwrap();",
+            "let out = handle.join().unwrap();",
+        ] {
+            let rep = lint_one("cluster.rs", stmt);
+            assert!(rep.fired(RuleId::UnwrappedSyncResult), "{stmt}: {rep}");
+        }
+        // The sanctioned poison-recovery form is fine.
+        let rep = lint_one(
+            "cluster.rs",
+            "let g = m.lock().unwrap_or_else(|e| e.into_inner());\n",
+        );
+        assert!(rep.passes(), "{rep}");
+    }
+
+    #[test]
+    fn c4_fires_on_sleep_outside_the_clock() {
+        let rep = lint_one("node.rs", "crate::sync::thread::sleep(d);\n");
+        assert!(rep.fired(RuleId::StraySleep), "{rep}");
+        let rep = lint_one("clock.rs", "crate::sync::thread::sleep(d);\n");
+        assert!(!rep.fired(RuleId::StraySleep), "{rep}");
+    }
+
+    #[test]
+    fn c5_fires_on_wall_clock_outside_clock_and_udp() {
+        let rep = lint_one("broker.rs", "let t = Instant::now();\n");
+        assert!(rep.fired(RuleId::StrayWallClock), "{rep}");
+        for allowed in ["clock.rs", "udp.rs"] {
+            let rep = lint_one(allowed, "let t = Instant::now();\n");
+            assert!(!rep.fired(RuleId::StrayWallClock), "{allowed}: {rep}");
+        }
+    }
+
+    #[test]
+    fn c6_fires_on_bare_spawn_but_not_builder() {
+        let rep = lint_one("cluster.rs", "let h = thread::spawn(move || run());\n");
+        assert!(rep.fired(RuleId::UnnamedThreadSpawn), "{rep}");
+        let rep = lint_one(
+            "cluster.rs",
+            "let h = thread::Builder::new().name(n).spawn(move || run());\n",
+        );
+        assert!(!rep.fired(RuleId::UnnamedThreadSpawn), "{rep}");
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let rep = lint_one(
+            "node.rs",
+            concat!(
+                "// never use std::sync::Mutex here\n",
+                "/* std::thread::spawn( would be wrong */\n",
+                "let msg = \"mpsc::channel( is banned\";\n",
+                "let raw = r#\"lock().unwrap()\"#;\n",
+            ),
+        );
+        assert!(rep.passes(), "{rep}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let rep = lint_one(
+            "udp.rs",
+            concat!(
+                "pub fn live() {}\n",
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    use std::thread;\n",
+                "    fn t() { let h = thread::spawn(|| ()); h.join().unwrap(); }\n",
+                "}\n",
+            ),
+        );
+        assert!(rep.passes(), "{rep}");
+    }
+
+    #[test]
+    fn violations_outside_a_test_block_still_fire() {
+        let rep = lint_one(
+            "udp.rs",
+            concat!(
+                "use std::sync::Mutex;\n",
+                "#[cfg(test)]\n",
+                "mod tests {}\n",
+            ),
+        );
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
+    }
+
+    #[test]
+    fn diagnostics_cite_path_line_and_code() {
+        let rep = lint_one("node.rs", "fn f() {}\nuse std::sync::Arc;\n");
+        let d = &rep.of_rule(RuleId::DirectStdSync)[0];
+        assert!(d.message.contains("crates/live/src/node.rs:2"), "{d}");
+        assert_eq!(format!("{}", d.rule), "C1");
+    }
+
+    #[test]
+    fn lifetimes_survive_stripping() {
+        // `'a` must not be mistaken for an unterminated char literal
+        // that would swallow the rest of the file.
+        let rep = lint_one(
+            "node.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nuse std::sync::Arc;\n",
+        );
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
+    }
+
+    #[test]
+    fn the_real_runtime_is_clean() {
+        // The workspace root is two levels above this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let rep = lint_workspace(&root).expect("walk crates/live/src");
+        assert!(rep.passes(), "{rep}");
+    }
+}

@@ -36,6 +36,15 @@ use std::collections::BTreeMap;
 /// dead. Generous: node threads only block on their own transport.
 const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
 
+/// Upper bound on the replies one node may produce within a single
+/// turn of the lock-step protocol before the broker declares a
+/// [`LiveError::ProtocolStall`]. A healthy turn is a handful of
+/// messages (requests plus one `Idle`); a node that babbles past this
+/// budget — or never returns to `Idle` because its thread wedged
+/// mid-turn — would otherwise hang the whole bus behind `RECV_TIMEOUT`
+/// retries forever.
+pub const MAX_TURN_REPLIES: usize = 4096;
+
 /// Fault injection for the live bus, mirroring the simulator's models.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -168,13 +177,25 @@ impl<T: BrokerTransport> Broker<T> {
             self.transport
                 .send(node as u8, ToNode::Shutdown)
                 .map_err(LiveError::Transport)?;
-            // Late requests arriving during shutdown are dropped.
+            // Late requests arriving during shutdown are dropped —
+            // bounded by the same turn budget as a live turn, so a
+            // node that never acknowledges the shutdown surfaces as a
+            // typed stall instead of wedging the broker.
+            let mut replies = 0usize;
             while !matches!(
                 self.transport
                     .recv_from(node as u8, RECV_TIMEOUT)
                     .map_err(LiveError::Transport)?,
                 ToBroker::Done { .. }
-            ) {}
+            ) {
+                replies += 1;
+                if replies >= MAX_TURN_REPLIES {
+                    return Err(LiveError::ProtocolStall {
+                        node: node as u8,
+                        replies,
+                    });
+                }
+            }
         }
         Ok(self.stats)
     }
@@ -372,7 +393,12 @@ impl<T: BrokerTransport> Broker<T> {
             .send(node, msg)
             .map_err(LiveError::Transport)?;
         let mut outstanding = 1usize;
+        let mut replies = 0usize;
         while outstanding > 0 {
+            if replies >= MAX_TURN_REPLIES {
+                return Err(LiveError::ProtocolStall { node, replies });
+            }
+            replies += 1;
             let reply = self
                 .transport
                 .recv_from(node, RECV_TIMEOUT)
@@ -440,5 +466,107 @@ impl<T: BrokerTransport> Broker<T> {
             return (true, p.tag);
         }
         (false, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportError;
+    use rtec_sim::SharedTraceSink;
+
+    fn test_broker<T: BrokerTransport>(transport: T) -> Broker<T> {
+        Broker::new(
+            BrokerConfig {
+                timing: BitTiming::MBIT_1,
+                pace: Pace::Virtual,
+                fault: FaultPlan::default(),
+            },
+            transport,
+            SharedTraceSink::disabled(),
+        )
+    }
+
+    /// One node whose replies come from a closure over the last
+    /// message the broker sent it.
+    struct Scripted<F: FnMut(&Option<ToNode>) -> ToBroker + Send> {
+        last: Option<ToNode>,
+        reply: F,
+    }
+
+    impl<F: FnMut(&Option<ToNode>) -> ToBroker + Send> BrokerTransport for Scripted<F> {
+        fn node_count(&self) -> usize {
+            1
+        }
+
+        fn send(&mut self, _node: u8, msg: ToNode) -> Result<(), TransportError> {
+            self.last = Some(msg);
+            Ok(())
+        }
+
+        fn recv_from(
+            &mut self,
+            _node: u8,
+            _timeout: std::time::Duration,
+        ) -> Result<ToBroker, TransportError> {
+            Ok((self.reply)(&self.last))
+        }
+    }
+
+    #[test]
+    fn babbling_node_trips_the_turn_budget() {
+        // A node that keeps submitting and never quiesces with `Idle`
+        // must surface as a typed stall, not an infinite drain loop.
+        let mut handle = 0u32;
+        let broker = test_broker(Scripted {
+            last: None,
+            reply: move |_| {
+                handle += 1;
+                ToBroker::Submit {
+                    handle,
+                    tag: 0,
+                    frame: Frame::new(CanId::new(1, 2, 3), &[]),
+                }
+            },
+        });
+        assert_eq!(
+            broker.run(Time::from_ms(1)),
+            Err(LiveError::ProtocolStall {
+                node: 0,
+                replies: MAX_TURN_REPLIES,
+            })
+        );
+    }
+
+    #[test]
+    fn node_that_never_acks_shutdown_trips_the_budget() {
+        // Well-behaved while the bus runs, but never answers the final
+        // `Shutdown` with `Done` (e.g. its thread wedged mid-turn).
+        let broker = test_broker(Scripted {
+            last: None,
+            reply: |last| match last {
+                Some(ToNode::Shutdown) => ToBroker::Hello { node: 0 },
+                _ => ToBroker::Idle,
+            },
+        });
+        assert_eq!(
+            broker.run(Time::ZERO),
+            Err(LiveError::ProtocolStall {
+                node: 0,
+                replies: MAX_TURN_REPLIES,
+            })
+        );
+    }
+
+    #[test]
+    fn quiet_node_shuts_down_cleanly_within_budget() {
+        let broker = test_broker(Scripted {
+            last: None,
+            reply: |last| match last {
+                Some(ToNode::Shutdown) => ToBroker::Done { node: 0 },
+                _ => ToBroker::Idle,
+            },
+        });
+        assert_eq!(broker.run(Time::ZERO), Ok(BrokerStats::default()));
     }
 }

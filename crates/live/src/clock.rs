@@ -79,7 +79,7 @@ impl BitClock {
             let deadline = self.epoch + std::time::Duration::from_nanos(wall_ns);
             let now_wall = Instant::now();
             if deadline > now_wall {
-                std::thread::sleep(deadline - now_wall);
+                crate::sync::thread::sleep(deadline - now_wall);
             }
         }
         self.now = target;

@@ -20,6 +20,7 @@
 use crate::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan};
 use crate::clock::Pace;
 use crate::node::{Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeStats, SharedConfig};
+use crate::sync::{Arc, Mutex};
 use crate::transport::{loopback, NodeTransport};
 use crate::udp::{UdpBroker, UdpNode};
 use crate::LiveError;
@@ -33,7 +34,6 @@ use rtec_core::channel::{ChannelClass, ChannelSpec};
 use rtec_core::event::Subject;
 use rtec_sim::{Duration, SharedTraceSink, Time, TraceEvent};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Cluster-wide knobs. `Default` matches the paper's bus: 1 Mbit/s,
 /// 10 ms rounds, 40 µs inter-slot gap, virtual pacing, no faults.
@@ -60,6 +60,10 @@ pub struct ClusterConfig {
     pub nrt_queue_cap: usize,
     /// Record structured trace events (needed for auditing).
     pub trace: bool,
+    /// Bound the trace ring to this many records (`None` = unbounded).
+    /// When the ring overflows, the oldest records are evicted and the
+    /// eviction count surfaces as [`LiveReport::trace_dropped`].
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +79,7 @@ impl Default for ClusterConfig {
             srt_queue_cap: 16,
             nrt_queue_cap: 64,
             trace: true,
+            trace_capacity: None,
         }
     }
 }
@@ -101,6 +106,9 @@ pub struct LiveReport {
     pub log: Vec<DeliveryRecord>,
     /// The merged structured trace (empty when tracing was off).
     pub trace: Vec<TraceEvent>,
+    /// Trace records evicted from a bounded ring (0 = complete trace;
+    /// audits are only sound when nothing was dropped).
+    pub trace_dropped: u64,
     /// The admitted HRT calendar.
     pub calendar: Arc<CalendarPlan>,
     /// Bus-time instant of round 0's start.
@@ -151,6 +159,27 @@ impl Cluster {
         let node_ts: Vec<Option<Box<dyn NodeTransport>>> = node_ts
             .into_iter()
             .map(|t| Some(Box::new(t) as Box<dyn NodeTransport>))
+            .collect();
+        self.run_with(broker_t, NodeEndpoints::Ready(node_ts), run)
+    }
+
+    /// Like [`Cluster::run_for`], but pass every node's loopback
+    /// endpoint through `wrap` before its thread starts. Tests use
+    /// this to interpose jitter- or fault-injecting transports without
+    /// touching the protocol (e.g. the lock-step determinism
+    /// regression, which perturbs reply arrival timing and asserts
+    /// delivery logs stay byte-identical).
+    pub fn run_for_wrapped(
+        self,
+        run: Duration,
+        wrap: &mut dyn FnMut(u8, Box<dyn NodeTransport>) -> Box<dyn NodeTransport>,
+    ) -> Result<LiveReport, LiveError> {
+        let n = self.nodes.len();
+        let (broker_t, node_ts) = loopback(n);
+        let node_ts: Vec<Option<Box<dyn NodeTransport>>> = node_ts
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| Some(wrap(id as u8, Box::new(t) as Box<dyn NodeTransport>)))
             .collect();
         self.run_with(broker_t, NodeEndpoints::Ready(node_ts), run)
     }
@@ -220,10 +249,10 @@ impl Cluster {
         let calendar = Arc::new(CalendarPlan::plan(
             cfg.round, &requests, cfg.timing, cfg.gap,
         )?);
-        let sink = if cfg.trace {
-            SharedTraceSink::enabled()
-        } else {
-            SharedTraceSink::disabled()
+        let sink = match (cfg.trace, cfg.trace_capacity) {
+            (false, _) => SharedTraceSink::disabled(),
+            (true, None) => SharedTraceSink::enabled(),
+            (true, Some(cap)) => SharedTraceSink::enabled_with_capacity(cap),
         };
         let shared = SharedConfig {
             calendar: Arc::clone(&calendar),
@@ -247,7 +276,7 @@ impl Cluster {
             };
             let shared = shared.clone();
             let endpoint = endpoints.take(id as u8);
-            let handle = std::thread::Builder::new()
+            let handle = crate::sync::thread::Builder::new()
                 .name(format!("rtec-node-{id}"))
                 .spawn(move || -> Result<NodeStats, LiveError> {
                     let transport = endpoint.connect()?;
@@ -299,6 +328,7 @@ impl Cluster {
             broker: broker_stats,
             log,
             trace: sink.events(),
+            trace_dropped: sink.dropped(),
             calendar,
             calendar_start: cfg.calendar_start,
             channels,

@@ -26,6 +26,7 @@ pub mod broker;
 pub mod clock;
 pub mod cluster;
 pub mod node;
+pub mod sync;
 pub mod transport;
 pub mod udp;
 pub mod wire;
@@ -63,6 +64,14 @@ pub enum LiveError {
     Config(String),
     /// A node thread panicked or exited abnormally.
     NodeFailed(u8),
+    /// A node kept the broker's turn alive past the reply budget —
+    /// it never returned to `Idle` (protocol bug or wedged thread).
+    ProtocolStall {
+        /// The node whose turn exceeded the budget.
+        node: u8,
+        /// How many replies the broker drained before giving up.
+        replies: usize,
+    },
 }
 
 impl core::fmt::Display for LiveError {
@@ -81,6 +90,10 @@ impl core::fmt::Display for LiveError {
             LiveError::Admission(e) => write!(f, "calendar admission failed: {e}"),
             LiveError::Config(msg) => write!(f, "configuration error: {msg}"),
             LiveError::NodeFailed(n) => write!(f, "node {n} thread failed"),
+            LiveError::ProtocolStall { node, replies } => write!(
+                f,
+                "node {node} stalled the turn protocol: {replies} replies without Idle"
+            ),
         }
     }
 }

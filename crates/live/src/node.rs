@@ -22,6 +22,7 @@
 //! * **NRT** — fixed-priority FIFO with the fragmentation scheme from
 //!   `rtec_core::frag`, one fragment in flight at a time.
 
+use crate::sync::{Arc, Mutex};
 use crate::transport::NodeTransport;
 use crate::wire::{ToBroker, ToNode};
 use crate::LiveError;
@@ -37,7 +38,6 @@ use rtec_core::node::{pack_tag, TagKind};
 use rtec_core::policy::{EdfOrder, EdfQueue};
 use rtec_sim::{Duration, SharedTraceSink, SourceId, Time};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// How long a node waits for the next broker message before treating
 /// the broker as gone. Generous: under wall pacing the bus may be idle

@@ -8,8 +8,8 @@
 //! it is waiting on — so the broker-side trait only needs a *targeted*
 //! receive, never a select over all nodes.
 
+use crate::sync::mpsc;
 use crate::wire::{ToBroker, ToNode, WireError};
-use std::sync::mpsc;
 use std::time::Duration;
 
 /// A transport operation failed.
@@ -71,26 +71,29 @@ pub trait BrokerTransport: Send {
 
 /// Node endpoint of the in-process loopback transport.
 pub struct LoopbackNode {
-    tx: mpsc::Sender<ToBroker>,
+    tx: mpsc::SyncSender<ToBroker>,
     rx: mpsc::Receiver<ToNode>,
 }
 
 /// Broker endpoint of the in-process loopback transport.
 pub struct LoopbackBroker {
-    links: Vec<(mpsc::Sender<ToNode>, mpsc::Receiver<ToBroker>)>,
+    links: Vec<(mpsc::SyncSender<ToNode>, mpsc::Receiver<ToBroker>)>,
 }
 
 /// Build a loopback transport for `nodes` node endpoints.
 ///
-/// Messages pass through unbounded in-process channels as values — no
+/// Messages pass through bounded in-process channels as values — no
 /// encoding, no loss, FIFO per direction — which makes loopback runs
 /// bit-for-bit deterministic under [`crate::clock::Pace::Virtual`].
+/// The lock-step turn protocol keeps at most a handful of messages in
+/// flight per link, so the [`mpsc::DEFAULT_DEPTH`] bound is slack; it
+/// turns a protocol bug into backpressure instead of unbounded growth.
 pub fn loopback(nodes: usize) -> (LoopbackBroker, Vec<LoopbackNode>) {
     let mut links = Vec::with_capacity(nodes);
     let mut endpoints = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (to_node, from_broker) = mpsc::channel();
-        let (to_broker, from_node) = mpsc::channel();
+        let (to_node, from_broker) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
+        let (to_broker, from_node) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
         links.push((to_node, from_node));
         endpoints.push(LoopbackNode {
             tx: to_broker,

@@ -1,0 +1,166 @@
+//! Lock-step determinism regression: the wall-clock order in which
+//! node-thread replies *arrive* must not matter. We interpose a
+//! jitter transport that delays every node's sends and receives by a
+//! pseudo-random amount (permuting the real arrival interleaving
+//! across threads) and assert the delivery log is byte-identical to
+//! an undisturbed run under the virtual clock.
+//!
+//! This is the dynamic cousin of the `cfg(loom)` model-check suite:
+//! loom proves schedule-independence over a bounded exploration of a
+//! small cluster; this property test samples timing permutations of a
+//! realistic one.
+
+use proptest::prelude::*;
+use rtec_core::channel::{ChannelSpec, HrtSpec, SrtSpec};
+use rtec_core::event::{Event, Subject};
+use rtec_live::cluster::{Cluster, ClusterConfig};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::transport::NodeTransport;
+use rtec_live::{DeliveryRecord, Pace};
+use rtec_sim::Duration;
+use std::sync::OnceLock;
+
+const HRT_SUBJECT: Subject = Subject(0xD001);
+const SRT_SUBJECT: Subject = Subject(0xD002);
+const RUN: Duration = Duration::from_ms(25);
+
+struct HrtSource {
+    counter: u8,
+    period: Duration,
+}
+
+impl Behavior for HrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        let (at, period) = ctx.hrt_stage_schedule(HRT_SUBJECT).unwrap();
+        self.period = period;
+        ctx.set_timer(at, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        ctx.set_timer(ctx.now() + self.period, 0).unwrap();
+    }
+}
+
+struct SrtSource {
+    every: Duration,
+    counter: u8,
+}
+
+impl Behavior for SrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        let _ = ctx.publish(Event::new(SRT_SUBJECT, vec![0xCD, self.counter]));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+struct Quiet;
+impl Behavior for Quiet {}
+
+fn cluster() -> Cluster {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let n1 = cluster.add_node(Box::new(SrtSource {
+        every: Duration::from_ms(3),
+        counter: 0,
+    }));
+    let n2 = cluster.add_node(Box::new(Quiet));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.publish(n1, SRT_SUBJECT, srt);
+    cluster.subscribe(n2, HRT_SUBJECT, hrt);
+    cluster.subscribe(n2, SRT_SUBJECT, srt);
+    cluster
+}
+
+/// Wraps a node endpoint and stalls each send/recv by a pseudo-random
+/// wall-clock amount. Bus time is virtual, so the delays change only
+/// the *real* interleaving of the node threads, never the protocol's
+/// event timeline — which is exactly what lock-step must tolerate.
+struct Jitter {
+    inner: Box<dyn NodeTransport>,
+    state: u64,
+    max_us: u64,
+}
+
+impl Jitter {
+    fn stall(&mut self) {
+        if self.max_us == 0 {
+            return;
+        }
+        // xorshift64*: deterministic per (seed, node) stream.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let us = self.state % self.max_us;
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl NodeTransport for Jitter {
+    fn send(&mut self, msg: rtec_live::ToBroker) -> Result<(), rtec_live::TransportError> {
+        self.stall();
+        self.inner.send(msg)
+    }
+
+    fn recv(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<rtec_live::ToNode, rtec_live::TransportError> {
+        let reply = self.inner.recv(timeout);
+        self.stall();
+        reply
+    }
+}
+
+fn baseline() -> &'static Vec<DeliveryRecord> {
+    static BASELINE: OnceLock<Vec<DeliveryRecord>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let report = cluster().run_for(RUN).expect("baseline run");
+        assert!(!report.log.is_empty(), "baseline produced no deliveries");
+        report.log
+    })
+}
+
+proptest! {
+    /// Arbitrary per-node reply jitter ⇒ the delivery log (order,
+    /// timestamps, payloads) is identical to the undisturbed run.
+    #[test]
+    fn reply_arrival_order_cannot_change_deliveries(
+        seed in any::<u64>(),
+        max_us in 1u64..200,
+    ) {
+        let report = cluster()
+            .run_for_wrapped(RUN, &mut |node, inner| {
+                Box::new(Jitter {
+                    inner,
+                    state: seed ^ (u64::from(node) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    max_us,
+                })
+            })
+            .expect("jittered run");
+        prop_assert_eq!(&report.log, baseline(), "delivery log diverged under jitter");
+    }
+}

@@ -1,0 +1,285 @@
+//! Model-checked interleaving exploration of the broker's lock-step
+//! turn protocol (compiled only under `RUSTFLAGS="--cfg loom"`; see
+//! the ci.sh model-check job).
+//!
+//! Each scenario builds a tiny cluster *inside* `loom::explore`: the
+//! broker runs `Broker::run` in one model thread and scripted node
+//! threads speak the wire protocol directly over the facade-backed
+//! loopback transport. The loom stand-in then re-runs the scenario
+//! under every thread schedule reachable within its preemption bound
+//! — and because the protocol is lock-step (at most one thread is
+//! runnable at almost every scheduling point), that bound never
+//! prunes, so coverage of the schedule space is complete
+//! ([`loom::Stats::pruned`] is asserted `false`).
+//!
+//! The invariants asserted are the model-checked counterparts of the
+//! dynamic T1–T8 trace auditor in `rtec-conformance`:
+//!
+//! * **arbitration tie order** (T1): when two nodes submit in the same
+//!   bus instant, the lower raw 29-bit identifier transmits first —
+//!   under every schedule;
+//! * **TxDone acknowledgement vs. omission faults** (T6-adjacent): the
+//!   sender always learns `all_received = false` when a receiver was
+//!   omitted, and omitted receivers never observe a delivery;
+//! * **shutdown vs. in-flight frame**: ending the run while a frame
+//!   still occupies the wire shuts every node down cleanly — no
+//!   deadlock, no phantom completion.
+
+#![cfg(loom)]
+
+use rtec_can::bits::BitTiming;
+use rtec_can::fault::{FaultModel, OmissionScope};
+use rtec_can::{CanId, Frame};
+use rtec_live::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan};
+use rtec_live::clock::Pace;
+use rtec_live::sync::thread;
+use rtec_live::transport::{loopback, LoopbackNode, NodeTransport};
+use rtec_live::wire::{ToBroker, ToNode};
+use rtec_live::LiveError;
+use rtec_sim::{SharedTraceSink, Time};
+
+const TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// What a scripted node observed, in arrival order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Obs {
+    /// A frame from another node, by raw identifier.
+    Deliver(u32),
+    /// Completion of an own transmission.
+    TxDone { handle: u32, all_received: bool },
+}
+
+fn broker(
+    transport: impl rtec_live::transport::BrokerTransport + 'static,
+    fault: FaultPlan,
+) -> Broker<impl rtec_live::transport::BrokerTransport> {
+    Broker::new(
+        BrokerConfig {
+            timing: BitTiming::MBIT_1,
+            pace: Pace::Virtual,
+            fault,
+        },
+        transport,
+        SharedTraceSink::disabled(),
+    )
+}
+
+/// Drive one scripted node: submit `frames` on `Welcome`, resubmit up
+/// to `resubmits` times when a `TxDone` reports an omission, stay
+/// reactive otherwise, and return everything observed.
+fn scripted_node(
+    mut t: LoopbackNode,
+    node: u8,
+    frames: Vec<Frame>,
+    mut resubmits: u32,
+) -> Vec<Obs> {
+    let mut obs = Vec::new();
+    let mut next_handle = 1u32;
+    let mut frames = Some(frames);
+    loop {
+        match t.recv(TIMEOUT).expect("node recv") {
+            ToNode::Welcome { .. } => {
+                for frame in frames.take().into_iter().flatten() {
+                    let handle = next_handle;
+                    next_handle += 1;
+                    t.send(ToBroker::Submit {
+                        handle,
+                        tag: u64::from(handle),
+                        frame,
+                    })
+                    .expect("submit");
+                }
+                t.send(ToBroker::Idle).expect("idle");
+            }
+            ToNode::Deliver { frame, .. } => {
+                obs.push(Obs::Deliver(frame.id.raw()));
+                t.send(ToBroker::Idle).expect("idle");
+            }
+            ToNode::TxDone {
+                handle,
+                all_received,
+                ..
+            } => {
+                obs.push(Obs::TxDone {
+                    handle,
+                    all_received,
+                });
+                if !all_received && resubmits > 0 {
+                    resubmits -= 1;
+                    let handle = next_handle;
+                    next_handle += 1;
+                    t.send(ToBroker::Submit {
+                        handle,
+                        tag: u64::from(handle),
+                        frame: Frame::new(CanId::new(4, node, 10 + u16::from(node)), &[node]),
+                    })
+                    .expect("resubmit");
+                }
+                t.send(ToBroker::Idle).expect("idle");
+            }
+            ToNode::Timer { .. } | ToNode::AbortResult { .. } => {
+                t.send(ToBroker::Idle).expect("idle");
+            }
+            ToNode::Shutdown => {
+                t.send(ToBroker::Done { node }).expect("done");
+                return obs;
+            }
+        }
+    }
+}
+
+/// T1 under every schedule: two nodes submit distinct identifiers in
+/// the same bus instant; the lower raw id always transmits first, both
+/// frames complete acknowledged, and each node sees exactly the other
+/// node's frame.
+#[test]
+fn arbitration_tie_resolves_by_raw_id_under_all_schedules() {
+    let stats = loom::explore(|| {
+        let (bt, mut nts) = loopback(2);
+        let n1_t = nts.pop().expect("node 1 endpoint");
+        let n0_t = nts.pop().expect("node 0 endpoint");
+        // Node 0's identifier is *higher* (loses), node 1's lower (wins).
+        let f0 = Frame::new(CanId::new(5, 0, 1), &[0xA0]);
+        let f1 = Frame::new(CanId::new(1, 1, 2), &[0xB1]);
+        let raw0 = f0.id.raw();
+        let raw1 = f1.id.raw();
+        let b = thread::Builder::new()
+            .name("model-broker".into())
+            .spawn(move || broker(bt, FaultPlan::default()).run(Time::from_ms(1)))
+            .expect("spawn broker");
+        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 0));
+        let h1 = thread::spawn(move || scripted_node(n1_t, 1, vec![f1], 0));
+        let obs0 = h0.join().expect("node 0");
+        let obs1 = h1.join().expect("node 1");
+        let stats: BrokerStats = b.join().expect("broker thread").expect("broker run");
+
+        assert_eq!(stats.arbitrations, 2, "one arbitration per frame");
+        assert_eq!(stats.frames_ok, 2, "both frames fully acknowledged");
+        // Node 1 wins the tie: its completion precedes the delivery of
+        // node 0's frame, on both sides of the bus.
+        assert_eq!(
+            obs0,
+            vec![
+                Obs::Deliver(raw1),
+                Obs::TxDone {
+                    handle: 1,
+                    all_received: true
+                }
+            ],
+            "loser must see the winner's frame before its own TxDone"
+        );
+        assert_eq!(
+            obs1,
+            vec![
+                Obs::TxDone {
+                    handle: 1,
+                    all_received: true
+                },
+                Obs::Deliver(raw0)
+            ],
+            "winner completes first, then receives the loser's frame"
+        );
+    });
+    assert!(stats.executions >= 2, "exploration must branch: {stats:?}");
+    assert!(!stats.pruned, "lock-step scenario must be fully explored");
+}
+
+/// Omission handling under every schedule: with a fault model that
+/// omits the only receiver on every attempt, the sender is always told
+/// `all_received = false` (triggering its scripted retransmission) and
+/// the victim never observes a delivery.
+#[test]
+fn omission_fault_acks_false_and_skips_victim_under_all_schedules() {
+    let stats = loom::explore(|| {
+        let (bt, mut nts) = loopback(2);
+        let n1_t = nts.pop().expect("node 1 endpoint");
+        let n0_t = nts.pop().expect("node 0 endpoint");
+        let fault = FaultPlan {
+            model: Some(FaultModel::Iid {
+                corruption_p: 0.0,
+                omission_p: 1.0,
+                omission_scope: OmissionScope::OneRandomReceiver,
+            }),
+            seed: 11,
+        };
+        let f0 = Frame::new(CanId::new(3, 0, 1), &[0xA0]);
+        let b = thread::Builder::new()
+            .name("model-broker".into())
+            .spawn(move || broker(bt, fault).run(Time::from_ms(1)))
+            .expect("spawn broker");
+        // Node 0 publishes and retransmits once on a bad ack; node 1
+        // only listens.
+        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 1));
+        let h1 = thread::spawn(move || scripted_node(n1_t, 1, Vec::new(), 0));
+        let obs0 = h0.join().expect("node 0");
+        let obs1 = h1.join().expect("node 1");
+        let stats: BrokerStats = b.join().expect("broker thread").expect("broker run");
+
+        assert_eq!(
+            stats.frames_with_omission, 2,
+            "original + retransmission, both omitted"
+        );
+        assert_eq!(stats.frames_ok, 0);
+        assert_eq!(
+            obs0,
+            vec![
+                Obs::TxDone {
+                    handle: 1,
+                    all_received: false
+                },
+                Obs::TxDone {
+                    handle: 2,
+                    all_received: false
+                }
+            ],
+            "sender must learn of the omission on every attempt"
+        );
+        assert!(
+            obs1.is_empty(),
+            "omission victim must never see a delivery: {obs1:?}"
+        );
+    });
+    assert!(stats.executions >= 2, "exploration must branch: {stats:?}");
+    assert!(!stats.pruned, "lock-step scenario must be fully explored");
+}
+
+/// Shutdown racing an in-flight frame, under every schedule: the run
+/// window closes while a frame still occupies the wire. Every node
+/// must shut down cleanly (no deadlock, which loom would report) and
+/// the unfinished transmission must neither complete nor be
+/// acknowledged.
+#[test]
+fn shutdown_with_inflight_frame_terminates_cleanly_under_all_schedules() {
+    let stats = loom::explore(|| {
+        let (bt, mut nts) = loopback(2);
+        let n1_t = nts.pop().expect("node 1 endpoint");
+        let n0_t = nts.pop().expect("node 0 endpoint");
+        // An 8-byte frame needs ~130 µs of wire time; the run window
+        // is 10 µs, so shutdown always races the transmission.
+        let f0 = Frame::new(CanId::new(3, 0, 1), &[0; 8]);
+        let b = thread::Builder::new()
+            .name("model-broker".into())
+            .spawn(move || broker(bt, FaultPlan::default()).run(Time::from_us(10)))
+            .expect("spawn broker");
+        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 0));
+        let h1 = thread::spawn(move || scripted_node(n1_t, 1, Vec::new(), 0));
+        let obs0 = h0.join().expect("node 0");
+        let obs1 = h1.join().expect("node 1");
+        let result: Result<BrokerStats, LiveError> = b.join().expect("broker thread");
+        let stats = result.expect("shutdown must succeed with a frame in flight");
+
+        assert_eq!(stats.arbitrations, 1, "the frame reached the wire");
+        assert_eq!(
+            stats.frames_ok + stats.frames_with_omission + stats.frames_corrupted,
+            0,
+            "the in-flight frame must not complete during shutdown"
+        );
+        assert!(
+            obs0.is_empty(),
+            "no TxDone for a frame cut off by shutdown: {obs0:?}"
+        );
+        assert!(obs1.is_empty(), "nothing was delivered: {obs1:?}");
+    });
+    assert!(stats.executions >= 2, "exploration must branch: {stats:?}");
+    assert!(!stats.pruned, "lock-step scenario must be fully explored");
+}

@@ -1,0 +1,1140 @@
+//! Offline stand-in for the `loom` permutation-testing model checker.
+//!
+//! The real `loom` crate instruments sync primitives and explores every
+//! interleaving of a closure under a dynamic partial-order reduction.
+//! This repository builds offline, so this crate provides an
+//! API-compatible subset with a different (simpler, still sound within
+//! its bound) engine:
+//!
+//! * model threads are real OS threads, but a central scheduler keeps
+//!   **exactly one runnable at a time** — `Mutex::lock`, guard drop,
+//!   `spawn`, sleeps/yields and every *blocking or waking* channel
+//!   operation are scheduling points. Non-blocking channel ops that
+//!   wake nobody deliberately are not: FIFO operations on distinct
+//!   channels commute, so interleaving them adds schedules without
+//!   adding reachable states (a cheap partial-order reduction);
+//! * [`model`]/[`explore`] re-run the closure, driving a depth-first
+//!   search over the scheduling decisions recorded at each point where
+//!   more than one thread could run;
+//! * the search is *iterative context bounding* (CHESS-style): within
+//!   one execution at most `LOOM_MAX_PREEMPTIONS` (default 2)
+//!   switches away from a thread that could have kept running are
+//!   explored. Switches at blocking points are always free, so fully
+//!   lock-step protocols — where at most one thread is runnable at
+//!   every decision point — are explored **completely** and the bound
+//!   never prunes anything (see [`Stats::pruned`]).
+//!
+//! Deadlocks (every live thread blocked), panics in model threads and
+//! runaway executions are reported as a panic from [`model`] carrying
+//! the offending schedule. Primitives created *outside* a model fall
+//! back to plain `std` behaviour, so code compiled with `--cfg loom`
+//! still works in ordinary unit tests.
+//!
+//! Env knobs: `LOOM_MAX_PREEMPTIONS`, `LOOM_MAX_EXECUTIONS`,
+//! `LOOM_MAX_STEPS`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind secondary threads once an execution has
+/// already failed; filtered out of panic reports.
+struct ModelAbort;
+
+const NO_THREAD: usize = usize::MAX;
+/// Join resources occupy ids `[0, JOIN_RES_LIMIT)`; other resources are
+/// allocated above that.
+const JOIN_RES_LIMIT: u64 = 1 << 20;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Blocked(u64),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    running: usize,
+    /// Decisions to replay (prefix of this execution's schedule).
+    replay: Vec<usize>,
+    cursor: usize,
+    /// `(chosen_rank, candidate_count)` at every true branch point.
+    decisions: Vec<(usize, usize)>,
+    failure: Option<String>,
+    steps: usize,
+    max_steps: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    /// True if the preemption budget suppressed at least one branch.
+    pruned: bool,
+    next_resource: u64,
+    live: usize,
+}
+
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+}
+
+type SchedRef = std::sync::Arc<Scheduler>;
+
+thread_local! {
+    static CTX: RefCell<Option<(SchedRef, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(SchedRef, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn abort_execution() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> Option<String> {
+    if p.is::<ModelAbort>() {
+        None
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        Some(s.clone())
+    } else {
+        Some("model thread panicked".to_string())
+    }
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>, preemption_bound: usize, max_steps: usize) -> SchedRef {
+        std::sync::Arc::new(Scheduler {
+            state: StdMutex::new(SchedState {
+                threads: vec![TState::Runnable],
+                running: 0,
+                replay,
+                cursor: 0,
+                decisions: Vec::new(),
+                failure: None,
+                steps: 0,
+                max_steps,
+                preemptions: 0,
+                preemption_bound,
+                pruned: false,
+                next_resource: JOIN_RES_LIMIT,
+                live: 1,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(TState::Runnable);
+        s.live += 1;
+        s.threads.len() - 1
+    }
+
+    fn alloc_resource(&self) -> u64 {
+        let mut s = self.lock();
+        s.next_resource += 1;
+        s.next_resource
+    }
+
+    fn fail(s: &mut SchedState, msg: String) {
+        if s.failure.is_none() {
+            s.failure = Some(msg);
+        }
+    }
+
+    fn wake(s: &mut SchedState, res: u64) {
+        for t in s.threads.iter_mut() {
+            if *t == TState::Blocked(res) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Pick the next thread to run. `me` has already been moved to its
+    /// new state in `s.threads`; `me_runnable` says whether it may
+    /// continue. Records a decision only at true branch points.
+    fn reschedule(&self, s: &mut SchedState, me: usize, me_runnable: bool) {
+        let mut candidates: Vec<usize> = (0..s.threads.len())
+            .filter(|&t| s.threads[t] == TState::Runnable)
+            .collect();
+        if candidates.is_empty() {
+            if s.threads.iter().all(|t| *t == TState::Finished) {
+                s.running = NO_THREAD;
+            } else {
+                let snapshot = format!("{:?}", s.threads);
+                Self::fail(
+                    s,
+                    format!("deadlock: every live thread is blocked {snapshot}"),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if me_runnable {
+            // Put the running thread first so "keep running" is always
+            // decision 0 (explored first, and the only option once the
+            // preemption budget is spent).
+            candidates.retain(|&t| t != me);
+            if candidates.is_empty() {
+                me
+            } else if s.preemptions >= s.preemption_bound {
+                s.pruned = true;
+                me
+            } else {
+                let mut ordered = Vec::with_capacity(candidates.len() + 1);
+                ordered.push(me);
+                ordered.extend(candidates);
+                let pick = Self::decide(s, ordered.len());
+                let c = ordered[pick];
+                if c != me {
+                    s.preemptions += 1;
+                }
+                c
+            }
+        } else if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            let pick = Self::decide(s, candidates.len());
+            candidates[pick]
+        };
+        s.running = chosen;
+        self.cv.notify_all();
+    }
+
+    fn decide(s: &mut SchedState, num: usize) -> usize {
+        let pick = if s.cursor < s.replay.len() {
+            s.replay[s.cursor].min(num - 1)
+        } else {
+            0
+        };
+        s.cursor += 1;
+        s.decisions.push((pick, num));
+        pick
+    }
+
+    /// The core scheduling primitive: move `me` into `new_state`
+    /// (optionally waking `wake_res` first), pick the next thread and
+    /// wait until `me` is scheduled again.
+    fn switch(&self, me: usize, new_state: TState, wake_res: Option<u64>) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            abort_execution();
+        }
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            let msg = format!("execution exceeded LOOM_MAX_STEPS={}", s.max_steps);
+            Self::fail(&mut s, msg);
+            self.cv.notify_all();
+            drop(s);
+            abort_execution();
+        }
+        if let Some(res) = wake_res {
+            Self::wake(&mut s, res);
+        }
+        s.threads[me] = new_state;
+        self.reschedule(&mut s, me, new_state == TState::Runnable);
+        if s.failure.is_some() {
+            drop(s);
+            abort_execution();
+        }
+        while s.running != me {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            if s.failure.is_some() {
+                drop(s);
+                abort_execution();
+            }
+        }
+        s.threads[me] = TState::Runnable;
+    }
+
+    fn yield_point(&self, me: usize) {
+        self.switch(me, TState::Runnable, None);
+    }
+
+    fn block_on(&self, me: usize, res: u64) {
+        self.switch(me, TState::Blocked(res), None);
+    }
+
+    fn wake_and_yield(&self, me: usize, res: u64) {
+        self.switch(me, TState::Runnable, Some(res));
+    }
+
+    /// Partial-order reduction for channel ops: waking a peer marks it
+    /// runnable but does *not* switch — the current thread runs on to
+    /// its next blocking point, where scheduling branches freely over
+    /// everything runnable. Channel operations are atomic FIFO steps
+    /// on per-link state, so running a thread until it blocks reaches
+    /// the same states as preempting it mid-stream; the orderings that
+    /// matter (which blocked thread proceeds next) are all explored as
+    /// free branches, keeping lock-step protocols exhaustively covered
+    /// without the preemption bound ever pruning.
+    fn wake_waiters(&self, me: usize, res: u64) {
+        let _ = me;
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            abort_execution();
+        }
+        Self::wake(&mut s, res);
+        self.cv.notify_all();
+    }
+
+    /// Best-effort wake without a scheduling point — used from `Drop`
+    /// impls while unwinding, where a full switch could double-panic.
+    fn wake_quiet(&self, res: u64) {
+        let mut s = self.lock();
+        Self::wake(&mut s, res);
+        self.cv.notify_all();
+    }
+
+    /// Mark `me` finished (recording `panicked` as the execution's
+    /// failure, if any) and hand the schedule to the next thread.
+    fn finish(&self, me: usize, panicked: Option<String>) {
+        let mut s = self.lock();
+        if let Some(msg) = panicked {
+            Self::fail(&mut s, msg);
+        }
+        s.threads[me] = TState::Finished;
+        s.live -= 1;
+        Self::wake(&mut s, me as u64); // joiners block on the thread id
+        if s.failure.is_none() {
+            self.reschedule(&mut s, me, false);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Entry gate for freshly spawned threads: wait until scheduled for
+    /// the first time. Returns false if the execution already failed.
+    fn wait_first_schedule(&self, me: usize) -> bool {
+        let mut s = self.lock();
+        loop {
+            if s.failure.is_some() {
+                return false;
+            }
+            if s.running == me {
+                return true;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Summary of one [`explore`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Number of distinct schedules executed.
+    pub executions: usize,
+    /// True if the preemption bound suppressed at least one branch in
+    /// at least one execution — i.e. coverage was bounded, not total.
+    pub pruned: bool,
+    /// The preemption bound the search ran with.
+    pub preemption_bound: usize,
+}
+
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Run `f` under every schedule the bounded search can reach and
+/// return exploration statistics. Panics (with the failing schedule)
+/// if any execution panics or deadlocks.
+pub fn explore<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let bound = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_execs = env_usize("LOOM_MAX_EXECUTIONS", 50_000);
+    let max_steps = env_usize("LOOM_MAX_STEPS", 1 << 20);
+    let f = std::sync::Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    let mut pruned = false;
+    loop {
+        let sched = Scheduler::new(std::mem::take(&mut replay), bound, max_steps);
+        executions += 1;
+        run_one(&sched, f.clone());
+        let mut s = sched.lock();
+        pruned |= s.pruned;
+        if let Some(fail) = s.failure.take() {
+            let schedule = std::mem::take(&mut s.decisions);
+            drop(s);
+            panic!(
+                "loom: model failed on execution {executions}: {fail} \
+                 (schedule: {schedule:?})"
+            );
+        }
+        let mut d = std::mem::take(&mut s.decisions);
+        drop(s);
+        // Depth-first: bump the deepest non-exhausted decision.
+        let mut next = None;
+        while let Some((chosen, num)) = d.pop() {
+            if chosen + 1 < num {
+                d.push((chosen + 1, num));
+                next = Some(d.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+                break;
+            }
+        }
+        match next {
+            Some(r) => replay = r,
+            None => break,
+        }
+        assert!(
+            executions < max_execs,
+            "loom: exploration did not converge within {max_execs} executions \
+             (raise LOOM_MAX_EXECUTIONS or shrink the model)"
+        );
+    }
+    Stats {
+        executions,
+        pruned,
+        preemption_bound: bound,
+    }
+}
+
+/// Check `f` under every reachable schedule (loom-compatible entry
+/// point). See [`explore`] for the search strategy and its bound.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _ = explore(f);
+}
+
+fn run_one(sched: &SchedRef, f: std::sync::Arc<dyn Fn() + Send + Sync>) {
+    let sched2 = sched.clone();
+    let root = std::thread::Builder::new()
+        .name("loom-root".into())
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((sched2.clone(), 0)));
+            let r = catch_unwind(AssertUnwindSafe(|| f()));
+            let panicked = r.err().as_deref().and_then(panic_msg);
+            sched2.finish(0, panicked);
+        })
+        .expect("spawn loom root thread");
+    let _ = root.join();
+    // Wait for every model thread to reach its `finish` call so the
+    // next execution starts from a quiescent world.
+    let mut s = sched.lock();
+    while s.live > 0 {
+        s = sched.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+pub mod thread {
+    //! Model-aware replacements for `std::thread` essentials.
+
+    use super::*;
+
+    /// Result slot shared between a model thread and its join handle.
+    type Slot<T> = std::sync::Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    enum HandleInner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            sched: SchedRef,
+            id: usize,
+            os: std::thread::JoinHandle<()>,
+            slot: Slot<T>,
+        },
+    }
+
+    /// Owned permission to join on a thread (std or model).
+    pub struct JoinHandle<T>(HandleInner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, yielding its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                HandleInner::Std(h) => h.join(),
+                HandleInner::Model {
+                    sched,
+                    id,
+                    os,
+                    slot,
+                    ..
+                } => {
+                    let (_, me) = current().expect("join called outside the model");
+                    loop {
+                        let done = {
+                            let s = sched.lock();
+                            s.threads[id] == TState::Finished
+                        };
+                        if done {
+                            break;
+                        }
+                        sched.block_on(me, id as u64);
+                    }
+                    let _ = os.join();
+                    let r = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                    r.unwrap_or_else(|| Err(Box::new("model thread aborted")))
+                }
+            }
+        }
+
+        /// Whether the thread has finished (std delegates; model asks
+        /// the scheduler).
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                HandleInner::Std(h) => h.is_finished(),
+                HandleInner::Model { sched, id, .. } => {
+                    sched.lock().threads[*id] == TState::Finished
+                }
+            }
+        }
+    }
+
+    /// Spawn a thread; inside a model it becomes a scheduled model
+    /// thread, outside it is a plain `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("thread spawn failed")
+    }
+
+    /// Mirror of `std::thread::Builder` (name only).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// A new builder with no name set.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Name the thread (forwarded to the OS thread in both modes).
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawn the thread.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = &self.name {
+                b = b.name(n.clone());
+            }
+            match current() {
+                None => b.spawn(f).map(|h| JoinHandle(HandleInner::Std(h))),
+                Some((sched, _me)) => {
+                    let id = sched.register_thread();
+                    let slot: Slot<T> = std::sync::Arc::new(StdMutex::new(None));
+                    let slot2 = slot.clone();
+                    let sched2 = sched.clone();
+                    let os = b.spawn(move || {
+                        CTX.with(|c| *c.borrow_mut() = Some((sched2.clone(), id)));
+                        if !sched2.wait_first_schedule(id) {
+                            sched2.finish(id, None);
+                            return;
+                        }
+                        let r = catch_unwind(AssertUnwindSafe(f));
+                        let panicked = r.as_ref().err().and_then(|p| panic_msg(&**p));
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(match r {
+                            Ok(v) => Ok(v),
+                            Err(p) => Err(p),
+                        });
+                        sched2.finish(id, panicked);
+                    })?;
+                    // Spawning is *not* a scheduling point: the child is
+                    // runnable but the spawner keeps running until it
+                    // blocks (run-until-block reduction). The child's
+                    // first real chance to interleave is the spawner's
+                    // next blocking point, which is a free branch.
+                    Ok(JoinHandle(HandleInner::Model {
+                        sched,
+                        id,
+                        os,
+                        slot,
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Sleep: a no-op scheduling point inside a model (model time is
+    /// abstracted away), a real sleep outside.
+    pub fn sleep(dur: std::time::Duration) {
+        match current() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    /// Yield: a scheduling point inside a model, `std` yield outside.
+    pub fn yield_now() {
+        match current() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware `Mutex` and re-exports matching `std::sync`.
+
+    use super::*;
+    pub use std::sync::{Arc, LockResult, PoisonError};
+
+    /// Model context captured by a primitive at construction time.
+    #[derive(Clone)]
+    struct ModelCtx {
+        sched: SchedRef,
+        res: u64,
+    }
+
+    fn capture_ctx() -> Option<ModelCtx> {
+        current().map(|(sched, _)| {
+            let res = sched.alloc_resource();
+            ModelCtx { sched, res }
+        })
+    }
+
+    /// A mutex whose lock/unlock are scheduling points when created
+    /// inside a model; plain `std::sync::Mutex` otherwise.
+    pub struct Mutex<T: ?Sized> {
+        model: Option<ModelCtx>,
+        inner: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex, capturing the ambient model if any.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                model: capture_ctx(),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock. Inside a model this blocks the scheduled
+        /// thread (deadlocks are detected and reported).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if let (Some(ctx), Some((_, me))) = (&self.model, current()) {
+                loop {
+                    ctx.sched.yield_point(me);
+                    match self.inner.try_lock() {
+                        Ok(g) => return Ok(self.wrap(g)),
+                        Err(std::sync::TryLockError::Poisoned(p)) => {
+                            return Err(PoisonError::new(self.wrap(p.into_inner())));
+                        }
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            ctx.sched.block_on(me, ctx.res);
+                        }
+                    }
+                }
+            } else {
+                match self.inner.lock() {
+                    Ok(g) => Ok(self.wrap(g)),
+                    Err(p) => Err(PoisonError::new(self.wrap(p.into_inner()))),
+                }
+            }
+        }
+
+        fn wrap<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard {
+                inner: Some(g),
+                model: self.model.clone(),
+            }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + core::fmt::Debug> core::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// Guard for [`Mutex`]; releasing it is a scheduling point.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<ModelCtx>,
+    }
+
+    impl<T: ?Sized> core::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T: ?Sized> core::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the std lock first, then let waiters run.
+            self.inner.take();
+            if let (Some(ctx), Some((_, me))) = (&self.model, current()) {
+                if std::thread::panicking() {
+                    ctx.sched.wake_quiet(ctx.res);
+                } else {
+                    ctx.sched.wake_and_yield(me, ctx.res);
+                }
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Plain `std` atomics. The stand-in does not model weak
+        //! memory orderings: under the serialized scheduler every
+        //! atomic access is sequentially consistent.
+        pub use std::sync::atomic::*;
+    }
+
+    pub mod mpsc {
+        //! Model-aware channels mirroring `std::sync::mpsc`.
+
+        use super::super::*;
+        pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+        struct ChanState<T> {
+            q: VecDeque<T>,
+            cap: usize,
+            senders: usize,
+            rx_alive: bool,
+        }
+
+        struct Chan<T> {
+            state: StdMutex<ChanState<T>>,
+            sched: SchedRef,
+            res_send: u64,
+            res_recv: u64,
+        }
+
+        impl<T> Chan<T> {
+            fn lock(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+                self.state.lock().unwrap_or_else(|e| e.into_inner())
+            }
+
+            fn me(&self) -> usize {
+                current().expect("model channel used outside the model").1
+            }
+
+            fn send_impl(&self, value: T) -> Result<(), SendError<T>> {
+                let me = self.me();
+                let mut slot = Some(value);
+                loop {
+                    {
+                        let mut c = self.lock();
+                        if !c.rx_alive {
+                            return Err(SendError(slot.take().expect("send slot")));
+                        }
+                        if c.q.len() < c.cap {
+                            c.q.push_back(slot.take().expect("send slot"));
+                            break;
+                        }
+                    }
+                    self.sched.block_on(me, self.res_send);
+                }
+                self.sched.wake_waiters(me, self.res_recv);
+                Ok(())
+            }
+
+            fn recv_impl(&self) -> Result<T, RecvError> {
+                let me = self.me();
+                loop {
+                    let got = {
+                        let mut c = self.lock();
+                        match c.q.pop_front() {
+                            Some(v) => Some(v),
+                            None if c.senders == 0 => return Err(RecvError),
+                            None => None,
+                        }
+                    };
+                    if let Some(v) = got {
+                        self.sched.wake_waiters(me, self.res_send);
+                        return Ok(v);
+                    }
+                    self.sched.block_on(me, self.res_recv);
+                }
+            }
+        }
+
+        fn new_model_chan<T>(sched: SchedRef, cap: usize) -> std::sync::Arc<Chan<T>> {
+            let res_send = sched.alloc_resource();
+            let res_recv = sched.alloc_resource();
+            std::sync::Arc::new(Chan {
+                state: StdMutex::new(ChanState {
+                    q: VecDeque::new(),
+                    cap,
+                    senders: 1,
+                    rx_alive: true,
+                }),
+                sched,
+                res_send,
+                res_recv,
+            })
+        }
+
+        enum TxInner<T> {
+            StdAsync(std::sync::mpsc::Sender<T>),
+            StdSync(std::sync::mpsc::SyncSender<T>),
+            Model(std::sync::Arc<Chan<T>>),
+        }
+
+        /// Sending half of an unbounded channel.
+        pub struct Sender<T>(TxInner<T>);
+        /// Sending half of a bounded channel (blocks when full).
+        pub struct SyncSender<T>(TxInner<T>);
+
+        fn clone_tx<T>(tx: &TxInner<T>) -> TxInner<T> {
+            match tx {
+                TxInner::StdAsync(s) => TxInner::StdAsync(s.clone()),
+                TxInner::StdSync(s) => TxInner::StdSync(s.clone()),
+                TxInner::Model(c) => {
+                    c.lock().senders += 1;
+                    TxInner::Model(c.clone())
+                }
+            }
+        }
+
+        fn drop_tx<T>(tx: &mut TxInner<T>) {
+            if let TxInner::Model(c) = tx {
+                let last = {
+                    let mut st = c.lock();
+                    st.senders -= 1;
+                    st.senders == 0
+                };
+                if last {
+                    // The receiver can now observe disconnection.
+                    match (std::thread::panicking(), current()) {
+                        (false, Some((_, me))) => c.sched.wake_waiters(me, c.res_recv),
+                        _ => c.sched.wake_quiet(c.res_recv),
+                    }
+                }
+            }
+        }
+
+        fn send_via<T>(tx: &TxInner<T>, value: T) -> Result<(), SendError<T>> {
+            match tx {
+                TxInner::StdAsync(s) => s.send(value),
+                TxInner::StdSync(s) => s.send(value),
+                TxInner::Model(c) => c.send_impl(value),
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Queue a value (never blocks: the channel is unbounded).
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                send_via(&self.0, value)
+            }
+        }
+
+        impl<T> SyncSender<T> {
+            /// Queue a value, blocking while the channel is full.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                send_via(&self.0, value)
+            }
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender(clone_tx(&self.0))
+            }
+        }
+
+        impl<T> Clone for SyncSender<T> {
+            fn clone(&self) -> Self {
+                SyncSender(clone_tx(&self.0))
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                drop_tx(&mut self.0);
+            }
+        }
+
+        impl<T> Drop for SyncSender<T> {
+            fn drop(&mut self) {
+                drop_tx(&mut self.0);
+            }
+        }
+
+        enum RxInner<T> {
+            Std(std::sync::mpsc::Receiver<T>),
+            Model(std::sync::Arc<Chan<T>>),
+        }
+
+        /// Receiving half of a channel.
+        pub struct Receiver<T>(RxInner<T>);
+
+        impl<T> Receiver<T> {
+            /// Block until a value or disconnection.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                match &self.0 {
+                    RxInner::Std(r) => r.recv(),
+                    RxInner::Model(c) => c.recv_impl(),
+                }
+            }
+
+            /// Like [`Receiver::recv`] with a deadline. Inside a model
+            /// there is no time, so this never reports `Timeout`: a
+            /// stall with every thread blocked surfaces as a detected
+            /// deadlock instead.
+            pub fn recv_timeout(&self, dur: std::time::Duration) -> Result<T, RecvTimeoutError> {
+                match &self.0 {
+                    RxInner::Std(r) => r.recv_timeout(dur),
+                    RxInner::Model(c) => c.recv_impl().map_err(|_| RecvTimeoutError::Disconnected),
+                }
+            }
+
+            /// Non-blocking poll (scheduling point inside a model).
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                match &self.0 {
+                    RxInner::Std(r) => r.try_recv(),
+                    RxInner::Model(c) => {
+                        let mut st = c.lock();
+                        match st.q.pop_front() {
+                            Some(v) => Ok(v),
+                            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                            None => Err(TryRecvError::Empty),
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                if let RxInner::Model(c) = &self.0 {
+                    c.lock().rx_alive = false;
+                    match (std::thread::panicking(), current()) {
+                        (false, Some((_, me))) => c.sched.wake_waiters(me, c.res_send),
+                        _ => c.sched.wake_quiet(c.res_send),
+                    }
+                }
+            }
+        }
+
+        /// Unbounded channel (`std::sync::mpsc::channel`).
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            match current() {
+                None => {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    (Sender(TxInner::StdAsync(tx)), Receiver(RxInner::Std(rx)))
+                }
+                Some((sched, _)) => {
+                    let c = new_model_chan(sched, usize::MAX);
+                    (
+                        Sender(TxInner::Model(c.clone())),
+                        Receiver(RxInner::Model(c)),
+                    )
+                }
+            }
+        }
+
+        /// Bounded channel (`std::sync::mpsc::sync_channel`). A zero
+        /// capacity is rounded up to one (the rendezvous special case
+        /// is not modelled).
+        pub fn sync_channel<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+            match current() {
+                None => {
+                    let (tx, rx) = std::sync::mpsc::sync_channel(cap.max(1));
+                    (SyncSender(TxInner::StdSync(tx)), Receiver(RxInner::Std(rx)))
+                }
+                Some((sched, _)) => {
+                    let c = new_model_chan(sched, cap.max(1));
+                    (
+                        SyncSender(TxInner::Model(c.clone())),
+                        Receiver(RxInner::Model(c)),
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Mutex};
+    use super::*;
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let stats = explore(|| {
+            let m = Mutex::new(0u32);
+            *m.lock().unwrap() += 1;
+            assert_eq!(*m.lock().unwrap(), 1);
+        });
+        assert_eq!(stats.executions, 1, "no branch points -> one schedule");
+        assert!(!stats.pruned);
+    }
+
+    #[test]
+    fn two_threads_explore_multiple_schedules() {
+        let stats = explore(|| {
+            let m = Arc::new(Mutex::new(Vec::<u8>::new()));
+            let m2 = m.clone();
+            let h = thread::spawn(move || m2.lock().unwrap().push(1));
+            m.lock().unwrap().push(2);
+            h.join().unwrap();
+            let v = m.lock().unwrap();
+            assert_eq!(v.len(), 2, "mutual exclusion: both pushes land");
+        });
+        assert!(
+            stats.executions > 1,
+            "spawn + contended lock must branch (got {})",
+            stats.executions
+        );
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        // A torn read-modify-write *inside one critical section* can
+        // never be observed, whatever the schedule.
+        model(|| {
+            let m = Arc::new(Mutex::new((0u32, 0u32)));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        g.0 += 1;
+                        g.1 += 1;
+                        assert_eq!(g.0, g.1, "critical section is atomic");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let g = m.lock().unwrap();
+            assert_eq!(*g, (2, 2));
+        });
+    }
+
+    #[test]
+    fn detects_seeded_atomicity_violation() {
+        // Classic lost update: read under one lock, write under
+        // another. Some schedule interleaves the two threads between
+        // the sections, and the checker must find it.
+        let found = std::panic::catch_unwind(|| {
+            model(|| {
+                let m = Arc::new(Mutex::new(0u32));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let m = m.clone();
+                        thread::spawn(move || {
+                            let v = *m.lock().unwrap(); // read
+                            *m.lock().unwrap() = v + 1; // torn write
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(*m.lock().unwrap(), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "checker must find the lost update");
+    }
+
+    #[test]
+    fn detects_seeded_abba_deadlock() {
+        let found = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (a.clone(), b.clone());
+                let h = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                {
+                    let _gb = b.lock().unwrap();
+                    let _ga = a.lock().unwrap();
+                }
+                h.join().unwrap();
+            });
+        });
+        assert!(found.is_err(), "checker must find the ABBA deadlock");
+    }
+
+    #[test]
+    fn bounded_channel_blocks_and_delivers_in_order() {
+        model(|| {
+            let (tx, rx) = sync::mpsc::sync_channel::<u32>(1);
+            let h = thread::spawn(move || {
+                for i in 0..3 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.push(rx.recv().unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, vec![0, 1, 2], "FIFO per sender");
+            assert!(matches!(rx.recv(), Err(sync::mpsc::RecvError)));
+        });
+    }
+
+    #[test]
+    fn recv_on_abandoned_channel_disconnects_not_deadlocks() {
+        model(|| {
+            let (tx, rx) = sync::mpsc::sync_channel::<u32>(4);
+            let h = thread::spawn(move || drop(tx));
+            assert!(rx.recv().is_err());
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn primitives_fall_back_to_std_outside_models() {
+        let (tx, rx) = sync::mpsc::sync_channel::<u8>(2);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        let m = Mutex::new(5u8);
+        assert_eq!(*m.lock().unwrap(), 5);
+        let h = thread::spawn(|| 40 + 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}
