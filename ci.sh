@@ -24,13 +24,15 @@ cargo run -q -p rtec-conformance --bin rtec-verify -- .
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
-echo "== loom model check (broker lock-step protocol, exhaustive)"
+echo "== loom model check (broker lock-step + PDES window barrier, exhaustive)"
 # The sync facade resolves to the vendored loom stand-in under
 # --cfg loom; a separate target dir keeps the flag from invalidating
 # the main build cache. A hang here is a protocol deadlock loom could
 # not observe terminating, so bound the run hard.
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
     timeout 420 cargo test -p rtec-live --test loom_model -q
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    timeout 420 cargo test -p rtec-sim --test loom_model -q
 
 echo "== miri (codec + timing-wheel subset)"
 # Undefined-behaviour check for the pure single-threaded kernels. Miri
@@ -67,6 +69,17 @@ echo "== bench smoke run (committed BENCH_*.json parse + throughput floor)"
 # below 10% of the committed baseline — a catastrophic-regression
 # tripwire that tolerates shared-runner noise.
 cargo run -p rtec-bench --bin experiments --release -- bench --ci
+
+echo "== parallel execution smoke (determinism vs serial oracle, 2 jobs)"
+# Fresh reduced 4-segment run: the parallel driver must stay
+# byte-identical to the serial lockstep oracle; on hosts with >= 2
+# cores the run must also not be slower than serial.
+cargo run -p rtec-bench --bin experiments --release -- bench parallel --ci --jobs 2
+
+echo "== frag zero-allocation smoke (steady-state reassembly)"
+# Counting-allocator assert: after warm-up, bulk reassembly performs
+# no heap allocations (scratch-buffer reuse in rtec_core::frag).
+cargo run -p rtec-bench --bin experiments --release -- frag-smoke
 
 echo "== live-runtime loopback smoke (demo + auditor, hard timeout)"
 # The live runtime is threads in lock-step over IPC: a protocol bug

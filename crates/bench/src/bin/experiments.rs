@@ -5,15 +5,114 @@
 //! experiments e3 e5           # run selected experiments
 //! experiments all --quick     # shrunken horizons (smoke run)
 //! experiments all --seed 7    # different seed
+//! experiments all --jobs 4    # shard the sweep over a worker pool
 //! experiments all --no-conformance  # skip the conformance linter/auditor
 //! experiments --list          # show the index
 //! experiments bench           # scheduler + experiment benchmarks → BENCH_*.json
 //! experiments bench --ci      # sanity-check against committed BENCH_*.json
 //! experiments bench live      # live-runtime throughput/latency → BENCH_engine.json
+//! experiments bench parallel  # multi-segment scaling + sweep → BENCH_engine.json
+//! experiments bench parallel --ci --jobs 2  # CI determinism/speedup smoke
+//! experiments frag-smoke      # zero-allocation check of the frag hot path
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::{live_perf, perf, RunOpts};
+use rtec_bench::{live_perf, parallel_perf, perf, RunOpts};
+use rtec_sim::parallel::pool_map;
+
+/// One sharded experiment: `(id, description, run fn)`.
+type ExperimentSpec = (
+    &'static str,
+    &'static str,
+    fn(&RunOpts) -> Vec<rtec_bench::Table>,
+);
+
+/// Allocation-counting wrapper around the system allocator. The only
+/// `unsafe` in the workspace: it adds nothing but a relaxed counter
+/// bump in front of `System`, and exists so `frag-smoke` can assert —
+/// not estimate — that the reassembly hot path stops allocating once
+/// its scratch buffers are warm.
+#[allow(unsafe_code)]
+mod counted_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Total allocation calls (alloc, alloc_zeroed, grow-reallocs)
+    /// since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+}
+
+/// Zero-allocation smoke of the fragmentation hot path: after one
+/// warm-up transfer populates the reassembler's scratch free-list,
+/// 1000 further transfers through the same stream must perform **no**
+/// heap allocations. Runs single-threaded, before any worker pool
+/// exists, so the process-wide counter measures exactly this loop.
+fn frag_smoke() -> i32 {
+    use rtec_core::frag::{fragment, Reassembler};
+
+    let payload = vec![0xA5u8; 1536]; // a many-fragment bulk transfer
+    let frags = fragment(&payload);
+    let mut r: Reassembler<u8> = Reassembler::new();
+
+    // Warm-up: allocates the transfer buffer and map slot once.
+    let mut done = None;
+    for f in &frags {
+        done = r.push(7, f).expect("warm-up fragment stream");
+    }
+    r.recycle(done.expect("warm-up transfer completes"));
+
+    let rounds = 1000u32;
+    let before = counted_alloc::allocations();
+    for _ in 0..rounds {
+        let mut done = None;
+        for f in &frags {
+            done = r.push(7, f).expect("steady-state fragment stream");
+        }
+        r.recycle(done.expect("steady-state transfer completes"));
+    }
+    let delta = counted_alloc::allocations() - before;
+
+    eprintln!(
+        "frag-smoke: {rounds} transfers × {} fragments ({} bytes each): {delta} allocation(s)",
+        frags.len(),
+        payload.len()
+    );
+    if delta > 0 {
+        eprintln!(
+            "frag-smoke: steady-state reassembly must not allocate — scratch reuse regressed"
+        );
+        return 1;
+    }
+    eprintln!("frag-smoke: ok");
+    0
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,7 +121,9 @@ fn main() {
     let mut list_only = false;
     let mut bench = false;
     let mut live = false;
+    let mut parallel = false;
     let mut ci_check = false;
+    let mut jobs: usize = 1;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -33,10 +134,17 @@ fn main() {
                 let v = iter.next().expect("--seed needs a value");
                 opts.seed = v.parse().expect("--seed needs an integer");
             }
+            "--jobs" => {
+                let v = iter.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs needs an integer");
+                assert!(jobs >= 1, "--jobs needs at least 1");
+            }
             "--list" => list_only = true,
             "all" => selected.push("all".into()),
             "bench" => bench = true,
             "live" => live = true,
+            "parallel" => parallel = true,
+            "frag-smoke" => std::process::exit(frag_smoke()),
             other => selected.push(other.to_lowercase()),
         }
     }
@@ -45,9 +153,13 @@ fn main() {
             quick: opts.quick || ci_check,
             ci_check,
             seed: opts.seed,
+            jobs,
         };
         if live {
             std::process::exit(live_perf::run(&cfg));
+        }
+        if parallel {
+            std::process::exit(parallel_perf::run(&cfg));
         }
         std::process::exit(perf::run(&cfg));
     }
@@ -63,23 +175,56 @@ fn main() {
         return;
     }
     let run_all = selected.iter().any(|s| s == "all");
-    let mut ran = 0;
-    for e in &registry {
-        if run_all || selected.iter().any(|s| s == e.id) {
-            eprintln!(
-                "=== {} — {} ({}) ===",
-                e.id,
-                e.what,
-                if opts.quick { "quick" } else { "full" }
-            );
-            for table in (e.run)(&opts) {
-                println!("{table}");
-            }
-            ran += 1;
-        }
-    }
-    if ran == 0 {
+    let chosen: Vec<usize> = registry
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| run_all || selected.iter().any(|s| s == e.id))
+        .map(|(i, _)| i)
+        .collect();
+    if chosen.is_empty() {
         eprintln!("no matching experiment; use --list");
         std::process::exit(2);
+    }
+    if jobs > 1 {
+        // Shard the sweep over a worker pool; results print in index
+        // order once all workers finish, so the output is identical to
+        // a serial run of the same selection.
+        let specs: Vec<ExperimentSpec> = chosen
+            .iter()
+            .map(|&i| (registry[i].id, registry[i].what, registry[i].run))
+            .collect();
+        let shared = specs.clone();
+        let opts_copy = opts;
+        let outputs = pool_map(specs.len(), jobs, move |i| {
+            let (_, _, run) = shared[i];
+            run(&opts_copy)
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        });
+        for ((id, what, _), tables) in specs.iter().zip(outputs) {
+            eprintln!(
+                "=== {} — {} ({}, {} jobs) ===",
+                id,
+                what,
+                if opts.quick { "quick" } else { "full" },
+                jobs
+            );
+            println!("{tables}");
+        }
+        return;
+    }
+    for &i in &chosen {
+        let e = &registry[i];
+        eprintln!(
+            "=== {} — {} ({}) ===",
+            e.id,
+            e.what,
+            if opts.quick { "quick" } else { "full" }
+        );
+        for table in (e.run)(&opts) {
+            println!("{table}");
+        }
     }
 }

@@ -18,6 +18,7 @@
 pub mod experiments;
 pub mod json;
 pub mod live_perf;
+pub mod parallel_perf;
 pub mod perf;
 pub mod table;
 

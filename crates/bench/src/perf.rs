@@ -35,6 +35,10 @@ pub struct BenchConfig {
     pub ci_check: bool,
     /// Seed for workload randomness.
     pub seed: u64,
+    /// Worker threads for parallel sweeps (`--jobs N`; 1 = serial).
+    /// Only sweep-style subcommands consume it — the timed
+    /// microbenchmark rows always run uncontended.
+    pub jobs: usize,
 }
 
 /// Committed engine-microbenchmark report filename.
@@ -567,9 +571,15 @@ fn engine_report(cfg: &BenchConfig, rows: &[MicroRow]) -> Value {
         })
         .collect();
     obj(vec![
-        ("schema", Value::str("rtec-bench-engine-v1")),
+        // v2: adds cpu_cores — the parallel section's speedups are
+        // meaningless without knowing how many cores the host had.
+        ("schema", Value::str("rtec-bench-engine-v2")),
         ("mode", Value::str(if cfg.quick { "quick" } else { "full" })),
         ("seed", Value::num(cfg.seed as f64)),
+        (
+            "cpu_cores",
+            Value::num(crate::parallel_perf::cpu_cores() as f64),
+        ),
         ("granule_ns", Value::num(1024.0)),
         (
             "summary",
@@ -644,7 +654,18 @@ pub fn run(cfg: &BenchConfig) -> i32 {
     let micro = run_micro(cfg);
     eprintln!("== experiment throughput (E1–E11, conformance off) ==");
     let macro_rows = run_macro(cfg);
-    let engine = engine_report(cfg, &micro);
+    let mut engine = engine_report(cfg, &micro);
+    // Preserve sections other subcommands merged in (`bench live`,
+    // `bench parallel`) — a plain `bench` rerun must not erase them.
+    if let Ok(old) = std::fs::read_to_string(ENGINE_REPORT) {
+        if let (Ok(old), Value::Obj(fields)) = (json::parse(&old), &mut engine) {
+            for key in ["live", "parallel"] {
+                if let Some(section) = old.get(key) {
+                    fields.push((key.to_string(), section.clone()));
+                }
+            }
+        }
+    }
     let experiments = experiments_report(cfg, &macro_rows);
     std::fs::write(ENGINE_REPORT, engine.to_pretty()).expect("write BENCH_engine.json");
     std::fs::write(EXPERIMENTS_REPORT, experiments.to_pretty())
@@ -755,6 +776,7 @@ mod tests {
             quick: true,
             ci_check: false,
             seed: 7,
+            jobs: 1,
         };
         // Tiny versions of each workload: the dispatch-count equality
         // asserts inside are the real check.

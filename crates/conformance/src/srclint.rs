@@ -1,12 +1,15 @@
-//! Concurrency-hygiene source lints (`C1`..`C6`) for the live runtime.
+//! Concurrency-hygiene source lints (`C1`..`C6`) for the concurrent
+//! runtimes: the live broker/node threads and the parallel simulation
+//! driver.
 //!
-//! The loom model-check suite (see `crates/live/tests/loom_model.rs`)
-//! only proves anything about code that routes its synchronization
-//! through the `rtec_live::sync` facade — a mutex taken from
+//! The loom model-check suites (see `crates/live/tests/loom_model.rs`
+//! and `crates/sim/tests/loom_model.rs`) only prove anything about
+//! code that routes its synchronization through the `rtec_sim::sync`
+//! facade (re-exported as `rtec_live::sync`) — a mutex taken from
 //! `std::sync` directly is invisible to the model checker. These lints
-//! close that gap statically: they scan the runtime's sources and
+//! close that gap statically: they scan the concurrent sources and
 //! reject constructs that would escape the facade or undermine the
-//! lock-step protocol's failure-handling discipline.
+//! protocols' failure-handling discipline.
 //!
 //! | rule | rejects                                                      |
 //! |------|--------------------------------------------------------------|
@@ -21,8 +24,11 @@
 //! CI with no rustc internals and no third-party parser. To keep the
 //! signal clean it first *strips* comments and string literals
 //! (preserving line numbers) and *skips* `#[cfg(test)]` blocks, where
-//! std primitives are fine. Scope is `crates/live/src` only; the other
-//! crates are single-threaded by construction.
+//! std primitives are fine. Scope is `crates/live/src` plus the two
+//! concurrent files of `rtec-sim` (`parallel.rs`, `sync.rs`); the rest
+//! of the simulation stack is single-threaded by construction (its
+//! `trace.rs` ring, for instance, predates the facade and stays out of
+//! scope).
 
 use crate::diag::{Report, RuleId};
 use std::fs;
@@ -277,8 +283,11 @@ const RULES: &[TextRule] = &[
     },
     TextRule {
         id: RuleId::StrayWallClock,
+        // `parallel.rs` is allowed: its wall-clock reads only feed the
+        // barrier-stall accounting reported next to bench results —
+        // never simulated time, which stays fully virtual.
+        allow_files: &["clock.rs", "udp.rs", "parallel.rs"],
         needles: &["Instant::now()", "SystemTime::now()"],
-        allow_files: &["clock.rs", "udp.rs"],
         unless_on_line: None,
         fix: "take timestamps from clock::Pacer / the broker's Welcome",
     },
@@ -323,12 +332,20 @@ pub fn lint_sources(files: &[SrcFile]) -> Report {
     report
 }
 
-/// Lint the live runtime's sources under a workspace root: every
-/// `.rs` file below `crates/live/src`, in path order.
+/// Lint the concurrent sources under a workspace root: every `.rs`
+/// file below `crates/live/src`, plus `rtec-sim`'s parallel driver and
+/// sync facade, in path order.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let dir = root.join("crates/live/src");
     let mut files = Vec::new();
     collect_rs(&dir, &mut files)?;
+    for extra in ["crates/sim/src/parallel.rs", "crates/sim/src/sync.rs"] {
+        let path = root.join(extra);
+        files.push(SrcFile {
+            path: path.display().to_string(),
+            text: fs::read_to_string(&path)?,
+        });
+    }
     files.sort_by(|a, b| a.path.cmp(&b.path));
     // Diagnostics cite workspace-relative paths.
     for f in &mut files {

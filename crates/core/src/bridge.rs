@@ -13,11 +13,19 @@
 //! Each segment remains its own deterministic simulation; the bridge
 //! advances them in lockstep quanta and relays deliveries collected on
 //! one side into publications on the other (the way a real gateway
-//! node's middleware would). On the far segment a relayed frame
-//! carries the *gateway's* TxNode as its origin — so a subscriber that
-//! wants "events only from publishers in the same network" simply
-//! excludes the gateway node with an origin filter, exactly the
-//! paper's filtering example.
+//! node's middleware would). Since the parallel execution layer landed,
+//! the lockstep loop is hosted on the shared stepping machinery of
+//! [`rtec_sim::parallel`] ([`step_boundary`]) — the same
+//! collect/merge/flush discipline the per-segment-thread driver uses —
+//! so this serial bridge doubles as the differential oracle for
+//! [`crate::topology`]'s parallel runs. Output is byte-identical to
+//! the pre-parallel bridge: envelopes are flushed in stable due-time
+//! order, exactly the old single-buffer behaviour.
+//!
+//! On the far segment a relayed frame carries the *gateway's* TxNode
+//! as its origin — so a subscriber that wants "events only from
+//! publishers in the same network" simply excludes the gateway node
+//! with an origin filter, exactly the paper's filtering example.
 //!
 //! Loops are impossible by construction: the gateway publishes and
 //! subscribes with the same node identity on each segment, and CAN
@@ -30,9 +38,11 @@
 //! HRT filtering is segment-scoped.
 
 use crate::channel::{ChannelSpec, SrtSpec, SubscribeSpec};
-use crate::event::{Event, EventQueue, Subject};
+use crate::event::{EventQueue, Subject};
 use crate::network::Network;
+use crate::topology::{republish, Relay};
 use rtec_can::NodeId;
+use rtec_sim::parallel::{step_boundary, Envelope, RoutingTable, SegmentStep};
 use rtec_sim::{Duration, Time};
 
 /// Which side of the bridge.
@@ -51,6 +61,13 @@ impl Segment {
             Segment::B => Segment::A,
         }
     }
+
+    fn index(self) -> usize {
+        match self {
+            Segment::A => 0,
+            Segment::B => 1,
+        }
+    }
 }
 
 /// A subject forwarded across the bridge.
@@ -60,9 +77,51 @@ struct Route {
     from: Segment,
     /// Queue collecting the gateway's subscription on `from`.
     queue: EventQueue,
-    /// Events published on the far side before this instant are drops
-    /// (the gateway republishes with its own node id; loop prevention).
+    /// Events forwarded so far (the gateway republishes with its own
+    /// node id; loop prevention).
     forwarded: u64,
+}
+
+/// One side of the bridge as a steppable segment: the network plus the
+/// routes that *originate* on it. Borrowed out of the [`Bridge`] for
+/// the duration of one lockstep boundary.
+struct BridgeSide<'a> {
+    net: &'a mut Network,
+    gateway: NodeId,
+    latency: Duration,
+    /// (global route id, route) — ascending id order.
+    routes: Vec<(u32, &'a mut Route)>,
+}
+
+impl SegmentStep for BridgeSide<'_> {
+    type Relay = Relay;
+
+    fn advance_to(&mut self, t: Time) {
+        self.net.run_until(t);
+    }
+
+    fn collect(&mut self, now: Time, out: &mut Vec<Envelope<Relay>>) {
+        for (id, route) in &mut self.routes {
+            for delivery in route.queue.drain() {
+                out.push(Envelope {
+                    // Stamp with the wire completion plus gateway
+                    // latency (both segments share the time base).
+                    due: delivery.wire_completed_at + self.latency,
+                    collected_at: now,
+                    route: *id,
+                    payload: Relay {
+                        subject: route.subject,
+                        event: delivery.event,
+                    },
+                });
+                route.forwarded += 1;
+            }
+        }
+    }
+
+    fn apply(&mut self, env: Envelope<Relay>) {
+        republish(self.net, self.gateway, env.payload);
+    }
 }
 
 /// Two bus segments joined by a gateway node on each side.
@@ -79,8 +138,9 @@ pub struct Bridge {
     /// backwards in time).
     quantum: Duration,
     routes: Vec<Route>,
-    /// Relay buffer: (due time, target segment, subject, event).
-    pending: Vec<(Time, Segment, Subject, Event)>,
+    routing: RoutingTable,
+    /// Per-target relay buffers, indexed by [`Segment::index`].
+    pending: Vec<Vec<Envelope<Relay>>>,
     now: Time,
 }
 
@@ -107,7 +167,8 @@ impl Bridge {
             latency,
             quantum: Duration::from_us(100),
             routes: Vec::new(),
-            pending: Vec::new(),
+            routing: RoutingTable::new(2),
+            pending: vec![Vec::new(), Vec::new()],
             now: Time::ZERO,
         }
     }
@@ -152,6 +213,7 @@ impl Bridge {
             let mut api = net.api();
             api.announce(gw_to, subject, ChannelSpec::srt(spec))?;
         }
+        self.routing.add_route(from.index(), from.other().index());
         self.routes.push(Route {
             subject,
             from,
@@ -170,59 +232,36 @@ impl Bridge {
             .sum()
     }
 
-    fn collect_and_flush(&mut self) {
-        // Collect fresh deliveries at the gateways into the relay
-        // buffer.
-        let latency = self.latency;
-        let mut new_pending = Vec::new();
-        for route in &mut self.routes {
-            for delivery in route.queue.drain() {
-                new_pending.push((
-                    // Stamp with the wire completion plus gateway
-                    // latency (both segments share the time base).
-                    delivery.wire_completed_at + latency,
-                    route.from.other(),
-                    route.subject,
-                    delivery.event,
-                ));
-                route.forwarded += 1;
-            }
-        }
-        self.pending.extend(new_pending);
-        // Flush everything due by `now` into the target segments.
-        let now = self.now;
-        let mut due: Vec<(Time, Segment, Subject, Event)> = Vec::new();
-        self.pending.retain(|entry| {
-            if entry.0 <= now {
-                due.push(entry.clone());
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|e| e.0);
-        for (_, seg, subject, mut event) in due {
-            let gw = self.gateway(seg);
-            // Per-segment timing attributes do not survive the hop;
-            // publish() restamps the origin with the gateway's node id,
-            // which is what far-side origin filters key on.
-            event.attributes.deadline = None;
-            event.attributes.expiration = None;
-            let net = self.net(seg);
-            let mut api = net.api();
-            let _ = api.publish(gw, subject, event);
-        }
-    }
-
     /// Advance both segments to `target` in lockstep quanta, relaying
-    /// at each boundary.
+    /// at each boundary through the shared stepping machinery of
+    /// [`rtec_sim::parallel`].
     pub fn run_until(&mut self, target: Time) {
         while self.now < target {
             let step_end = (self.now + self.quantum).min(target);
-            self.a.run_until(step_end);
-            self.b.run_until(step_end);
+            let latency = self.latency;
+            let mut side_a_routes: Vec<(u32, &mut Route)> = Vec::new();
+            let mut side_b_routes: Vec<(u32, &mut Route)> = Vec::new();
+            for (i, route) in self.routes.iter_mut().enumerate() {
+                match route.from {
+                    Segment::A => side_a_routes.push((i as u32, route)),
+                    Segment::B => side_b_routes.push((i as u32, route)),
+                }
+            }
+            let mut side_a = BridgeSide {
+                net: &mut self.a,
+                gateway: self.gateway_a,
+                latency,
+                routes: side_a_routes,
+            };
+            let mut side_b = BridgeSide {
+                net: &mut self.b,
+                gateway: self.gateway_b,
+                latency,
+                routes: side_b_routes,
+            };
+            let mut segs: [&mut dyn SegmentStep<Relay = Relay>; 2] = [&mut side_a, &mut side_b];
+            step_boundary(&mut segs, &self.routing, &mut self.pending, step_end);
             self.now = step_end;
-            self.collect_and_flush();
         }
     }
 

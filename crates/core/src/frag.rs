@@ -158,10 +158,24 @@ struct Partial {
     data: Vec<u8>,
 }
 
+/// Retired transfer buffers kept for reuse. A handful is plenty: the
+/// live set is bounded by concurrent transfers, and anything beyond
+/// the limit is genuinely surplus and returned to the allocator.
+const SCRATCH_LIMIT: usize = 32;
+
 /// Stateful reassembler for concurrent transfers from many senders.
+///
+/// Reassembly is allocation-free in steady state: each transfer grows
+/// into a scratch buffer whose full capacity is reserved up front from
+/// the FIRST fragment's announced total (so later fragments never
+/// reallocate), and finished buffers can be handed back with
+/// [`Reassembler::recycle`] for the next transfer to reuse (buffers of
+/// failed transfers are reclaimed internally). The bench harness
+/// asserts the zero-allocation property with a counting allocator.
 #[derive(Clone, Debug, Default)]
 pub struct Reassembler<K: std::hash::Hash + Eq + Clone> {
     partials: HashMap<K, Partial>,
+    scratch: Vec<Vec<u8>>,
 }
 
 impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
@@ -169,6 +183,32 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
     pub fn new() -> Self {
         Reassembler {
             partials: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Take a scratch buffer with at least `cap` bytes of capacity.
+    fn take_buf(&mut self, cap: usize) -> Vec<u8> {
+        let mut buf = self.scratch.pop().unwrap_or_default();
+        buf.clear();
+        buf.reserve(cap);
+        buf
+    }
+
+    /// Hand a completed message's buffer back for reuse by later
+    /// transfers. Optional: skipping it only costs a fresh allocation
+    /// per transfer, never correctness.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.scratch.len() < SCRATCH_LIMIT && buf.capacity() > 0 {
+            buf.clear();
+            self.scratch.push(buf);
+        }
+    }
+
+    /// Discard a partial transfer, reclaiming its buffer.
+    fn discard(&mut self, key: &K) {
+        if let Some(partial) = self.partials.remove(key) {
+            self.recycle(partial.data);
         }
     }
 
@@ -187,22 +227,28 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
                 return Err(FragError::Malformed);
             }
             let total = u16::from_le_bytes([payload[3], payload[4]]);
-            let data = payload[5..].to_vec();
-            if data.len() > total as usize {
+            let body = &payload[5..];
+            if body.len() > total as usize {
                 return Err(FragError::Overflow);
             }
             if last {
-                if data.len() != total as usize {
+                if body.len() != total as usize {
                     return Err(FragError::LengthMismatch {
                         announced: total,
-                        received: data.len(),
+                        received: body.len(),
                     });
                 }
-                self.partials.remove(&key);
+                self.discard(&key);
+                let mut data = self.take_buf(total as usize);
+                data.extend_from_slice(body);
                 return Ok(Some(data));
             }
             // A new FIRST silently replaces any stale partial transfer
-            // (the sender restarted).
+            // (the sender restarted); reserving the announced total up
+            // front means later fragments never reallocate.
+            self.discard(&key);
+            let mut data = self.take_buf(total as usize);
+            data.extend_from_slice(body);
             self.partials.insert(
                 key,
                 Partial {
@@ -218,7 +264,7 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
         };
         if index != partial.next_index {
             let expected = partial.next_index;
-            self.partials.remove(&key);
+            self.discard(&key);
             return Err(FragError::SequenceGap {
                 expected,
                 got: index,
@@ -227,15 +273,18 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
         partial.next_index += 1;
         partial.data.extend_from_slice(&payload[3..]);
         if partial.data.len() > partial.total as usize {
-            self.partials.remove(&key);
+            self.discard(&key);
             return Err(FragError::Overflow);
         }
         if last {
             let partial = self.partials.remove(&key).expect("checked above");
             if partial.data.len() != partial.total as usize {
+                let announced = partial.total;
+                let received = partial.data.len();
+                self.recycle(partial.data);
                 return Err(FragError::LengthMismatch {
-                    announced: partial.total,
-                    received: partial.data.len(),
+                    announced,
+                    received,
                 });
             }
             return Ok(Some(partial.data));
@@ -248,9 +297,10 @@ impl<K: std::hash::Hash + Eq + Clone> Reassembler<K> {
         self.partials.len()
     }
 
-    /// Discard an in-progress transfer (e.g. the sender crashed).
+    /// Discard an in-progress transfer (e.g. the sender crashed). Its
+    /// buffer is reclaimed for later transfers.
     pub fn reset(&mut self, key: &K) {
-        self.partials.remove(key);
+        self.discard(key);
     }
 }
 
@@ -406,5 +456,52 @@ mod tests {
     #[test]
     fn empty_message_roundtrips() {
         assert_eq!(roundtrip(&[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_without_regrowing() {
+        let data = vec![0x5Au8; 1000];
+        let frags = fragment(&data);
+        let mut r: Reassembler<u8> = Reassembler::new();
+        // Warm-up transfer allocates the one buffer the loop reuses.
+        let mut done = None;
+        for f in &frags {
+            done = r.push(0, f).unwrap();
+        }
+        let buf = done.unwrap();
+        let warm_ptr = buf.as_ptr();
+        let warm_cap = buf.capacity();
+        r.recycle(buf);
+        for round in 0..50 {
+            let mut done = None;
+            for f in &frags {
+                done = r.push(0, f).unwrap();
+            }
+            let buf = done.unwrap();
+            assert_eq!(buf, data, "round {round}");
+            assert_eq!(
+                (buf.as_ptr(), buf.capacity()),
+                (warm_ptr, warm_cap),
+                "round {round}: transfer did not reuse the recycled buffer"
+            );
+            r.recycle(buf);
+        }
+    }
+
+    #[test]
+    fn failed_transfers_reclaim_their_buffers() {
+        let data = vec![9u8; 40];
+        let frags = fragment(&data);
+        let mut r: Reassembler<u8> = Reassembler::new();
+        r.push(0, &frags[0]).unwrap();
+        r.push(0, &frags[1]).unwrap();
+        r.push(0, &frags[3]).unwrap_err(); // gap discards the partial
+        assert_eq!(r.in_progress(), 0);
+        // The reclaimed buffer serves the next transfer.
+        let mut done = None;
+        for f in &frags {
+            done = r.push(0, f).unwrap();
+        }
+        assert_eq!(done.unwrap(), data);
     }
 }

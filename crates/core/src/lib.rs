@@ -48,6 +48,7 @@ pub mod network;
 pub mod node;
 pub mod policy;
 pub mod stats;
+pub mod topology;
 
 /// Convenient glob import for applications.
 pub mod prelude {

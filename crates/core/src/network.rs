@@ -2071,6 +2071,13 @@ impl Network {
         &self.engine.model.stats
     }
 
+    /// Total events dispatched by the underlying engine — the
+    /// scheduler-level work metric the benchmark harness uses to hold
+    /// serial and parallel topology runs to equal event counts.
+    pub fn dispatched(&self) -> u64 {
+        self.engine.dispatched()
+    }
+
     /// Run until an absolute simulated time.
     pub fn run_until(&mut self, t: Time) {
         self.engine.run_until(t);

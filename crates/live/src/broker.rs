@@ -11,16 +11,26 @@
 //!
 //! # Lock-step protocol
 //!
-//! The broker talks to one node at a time. After sending any message it
-//! reads that node's replies until the node says `Idle`; replies that
-//! themselves require an answer (`Abort` → `AbortResult`) bump the
-//! outstanding count. Nodes are purely reactive, so this makes the
-//! whole cluster's interleaving a deterministic function of the event
-//! timeline — even over real sockets, and even under wall pacing.
+//! After sending a message the broker reads that node's replies until
+//! the node says `Idle`; replies that themselves require an answer
+//! (`Abort` → `AbortResult`) bump the outstanding count. Nodes are
+//! purely reactive, so this makes the whole cluster's interleaving —
+//! as far as broker state is concerned — a deterministic function of
+//! the event timeline, even over real sockets and under wall pacing.
 //!
 //! Within one bus instant the order is fixed: wire completions are
 //! processed before timers, timers in arming order, and deliveries
 //! fan out in increasing node order with the sender's `TxDone` last.
+//!
+//! Completion turns are **batched**: all of a frame's `Deliver`
+//! messages plus the sender's `TxDone` are sent before any node's
+//! replies are drained, so the nodes process the completion
+//! concurrently instead of one serialized round-trip per receiver.
+//! Draining still follows the fixed order above, so every broker-side
+//! state change lands exactly as in the fully serial protocol; only
+//! side effects on *shared* observers (the delivery log, the trace
+//! ring) may interleave, which the cluster runner canonicalizes by a
+//! deterministic sort (see `cluster.rs`).
 
 use crate::clock::{BitClock, Pace};
 use crate::transport::BrokerTransport;
@@ -360,28 +370,48 @@ impl<T: BrokerTransport> Broker<T> {
         // Broadcast to every other node (minus omission victims), in
         // node order; the sender's TxDone goes last so its reaction
         // (e.g. an HRT retransmission) arbitrates after deliveries.
+        //
+        // The turn is batched: every message of this completion goes
+        // out before any node's replies are drained, so all nodes
+        // process their delivery concurrently instead of serializing
+        // one lock-step round-trip per receiver (the 2→32-node
+        // throughput cliff). Broker state stays deterministic because
+        // the replies are still drained in the same fixed order —
+        // receivers ascending, sender last — and each node's own
+        // message stream is unchanged.
         let completed_ns = now.as_ns();
+        let mut turn: Vec<u8> = Vec::new();
         for node in 0..self.pending.len() as u8 {
             if node == tx.node || victims.contains(&NodeId(node)) {
                 continue;
             }
-            self.send_and_drain(
-                node,
-                ToNode::Deliver {
-                    completed_ns,
-                    frame: tx.frame,
-                },
-            )?;
+            self.transport
+                .send(
+                    node,
+                    ToNode::Deliver {
+                        completed_ns,
+                        frame: tx.frame,
+                    },
+                )
+                .map_err(LiveError::Transport)?;
+            turn.push(node);
         }
-        self.send_and_drain(
-            tx.node,
-            ToNode::TxDone {
-                handle: tx.handle,
-                tag: tx.tag,
-                all_received,
-                completed_ns,
-            },
-        )
+        self.transport
+            .send(
+                tx.node,
+                ToNode::TxDone {
+                    handle: tx.handle,
+                    tag: tx.tag,
+                    all_received,
+                    completed_ns,
+                },
+            )
+            .map_err(LiveError::Transport)?;
+        turn.push(tx.node);
+        for node in turn {
+            self.drain(node)?;
+        }
+        Ok(())
     }
 
     /// Send one message to `node` and pump its replies until it
@@ -392,6 +422,14 @@ impl<T: BrokerTransport> Broker<T> {
         self.transport
             .send(node, msg)
             .map_err(LiveError::Transport)?;
+        self.drain(node)
+    }
+
+    /// Pump `node`'s replies for one previously sent message until it
+    /// quiesces (see [`Broker::send_and_drain`]). Split out so a
+    /// completion turn can broadcast all its messages before draining
+    /// anyone.
+    fn drain(&mut self, node: u8) -> Result<(), LiveError> {
         let mut outstanding = 1usize;
         let mut replies = 0usize;
         while outstanding > 0 {

@@ -322,12 +322,22 @@ impl Cluster {
         if let Some(e) = first_node_err {
             return Err(e);
         }
-        let log = shared.log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        // Batched completion turns let node threads append to the
+        // shared log and trace ring concurrently, so the raw append
+        // order is schedule-dependent. Canonicalize: the log sorts
+        // into bus order ((wire_ns, node) is unique — the wire
+        // serializes frames and a node delivers a frame once), and the
+        // trace sorts stably by (time, source) — same-key events all
+        // come from one emitter, so its own order survives.
+        let mut log = shared.log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        log.sort_by_key(|r| (r.wire_ns, r.node));
+        let mut trace = sink.events();
+        trace.sort_by(|x, y| (x.time, &x.source).cmp(&(y.time, &y.source)));
         Ok(LiveReport {
             stats,
             broker: broker_stats,
             log,
-            trace: sink.events(),
+            trace,
             trace_dropped: sink.dropped(),
             calendar,
             calendar_start: cfg.calendar_start,

@@ -117,7 +117,9 @@ pub struct SharedConfig {
     pub prio_cfg: PrioritySlotConfig,
     /// Static subject → etag binding.
     pub etags: Arc<HashMap<u64, u16>>,
-    /// Shared delivery log, appended in bus order.
+    /// Shared delivery log. Appends within a batched completion turn
+    /// may interleave across node threads; the cluster runner sorts
+    /// the final log into bus order ((wire_ns, node)).
     pub log: Arc<Mutex<Vec<DeliveryRecord>>>,
     /// Shared structured trace sink (same records as the simulator).
     pub sink: SharedTraceSink,

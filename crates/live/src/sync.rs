@@ -1,64 +1,17 @@
-//! The crate-wide synchronization facade.
+//! The crate's synchronization facade — a re-export of the
+//! workspace-wide one.
 //!
 //! Every sync primitive the live runtime uses — mutexes, channels,
 //! atomics, thread spawns — is imported from here, never from
 //! `std::sync`/`std::thread` directly (lint C1 in `rtec-conformance`
-//! enforces this). Normally the facade resolves straight to `std`;
-//! compiled with `--cfg loom` (the ci.sh model-check job) it resolves
-//! to the vendored `loom` stand-in, whose scheduler explores thread
-//! interleavings exhaustively up to a preemption bound. That swap is
-//! what lets one set of broker-protocol invariants be checked both by
-//! ordinary tests and by model checking without touching runtime code.
+//! enforces this). The facade itself now lives in [`rtec_sim::sync`]
+//! so the parallel simulation driver (`rtec_sim::parallel`) and this
+//! runtime share one switch point: normally it resolves straight to
+//! `std`; compiled with `--cfg loom` (the ci.sh model-check job) it
+//! resolves to the vendored `loom` stand-in, whose scheduler explores
+//! thread interleavings exhaustively up to a preemption bound.
 //!
-//! Two deliberate narrowings versus `std`:
-//!
-//! * channels are **bounded only** ([`mpsc::bounded`]): the runtime's
-//!   hot paths must exert backpressure rather than buffer without
-//!   limit (lint C2);
-//! * threads are spawned through [`thread::Builder`] so every runtime
-//!   thread carries a name (lint C6).
+//! The deliberate narrowings versus `std` (bounded-only channels,
+//! named `Builder` spawns) are documented on [`rtec_sim::sync`].
 
-#[cfg(loom)]
-pub use loom::sync::{Arc, Mutex, MutexGuard};
-#[cfg(not(loom))]
-pub use std::sync::{Arc, Mutex, MutexGuard};
-
-pub mod atomic {
-    //! Atomic types (sequentially consistent under the loom stand-in,
-    //! which serializes every access).
-    #[cfg(loom)]
-    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-    #[cfg(not(loom))]
-    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-}
-
-pub mod mpsc {
-    //! Bounded channels. The unbounded `channel()` constructor is
-    //! intentionally not re-exported — see lint C2.
-    #[cfg(loom)]
-    use loom::sync::mpsc as imp;
-    #[cfg(not(loom))]
-    use std::sync::mpsc as imp;
-
-    pub use imp::{Receiver, RecvTimeoutError, SendError, SyncSender};
-
-    /// Default depth for runtime channels. The lock-step turn protocol
-    /// keeps at most a handful of messages in flight per endpoint, so
-    /// this bound is never approached in a healthy cluster; it exists
-    /// to turn a runaway producer into visible backpressure instead of
-    /// unbounded memory growth.
-    pub const DEFAULT_DEPTH: usize = 1024;
-
-    /// A bounded FIFO channel of the given depth.
-    pub fn bounded<T>(depth: usize) -> (SyncSender<T>, Receiver<T>) {
-        imp::sync_channel(depth)
-    }
-}
-
-pub mod thread {
-    //! Thread spawning and parking.
-    #[cfg(loom)]
-    pub use loom::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
-    #[cfg(not(loom))]
-    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
-}
+pub use rtec_sim::sync::*;

@@ -39,9 +39,11 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod parallel;
 pub mod reference;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
