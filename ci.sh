@@ -86,4 +86,11 @@ echo "== live-runtime loopback smoke (demo + auditor, hard timeout)"
 # shows up as a hang, not a failure, so bound the run hard.
 timeout 120 cargo run -p rtec-live --release --example demo -- --audit >/dev/null
 
+echo "== chaos smoke (kill/restart 2 of 8 nodes, 5% datagram drop)"
+# Deterministic crash tolerance gate: both killed nodes must rejoin
+# with no double delivery, the merged trace must pass T1..T8, and a
+# same-seed rerun must be byte-identical. A supervision bug is a hang
+# (a node that never rejoins stalls the lock-step), so bound it hard.
+timeout 180 cargo run -p rtec-bench --bin experiments --release -- chaos --ci
+
 echo "ci: all gates passed"

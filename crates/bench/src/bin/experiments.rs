@@ -14,10 +14,12 @@
 //! experiments bench parallel  # multi-segment scaling + sweep → BENCH_engine.json
 //! experiments bench parallel --ci --jobs 2  # CI determinism/speedup smoke
 //! experiments frag-smoke      # zero-allocation check of the frag hot path
+//! experiments chaos           # crash/recovery smoke of the live runtime
+//! experiments chaos --seed 7 --ci   # bounded CI gate, different fault stream
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::{live_perf, parallel_perf, perf, RunOpts};
+use rtec_bench::{chaos_exp, live_perf, parallel_perf, perf, RunOpts};
 use rtec_sim::parallel::pool_map;
 
 /// One sharded experiment: `(id, description, run fn)`.
@@ -122,6 +124,7 @@ fn main() {
     let mut bench = false;
     let mut live = false;
     let mut parallel = false;
+    let mut chaos = false;
     let mut ci_check = false;
     let mut jobs: usize = 1;
     let mut iter = args.into_iter();
@@ -144,9 +147,15 @@ fn main() {
             "bench" => bench = true,
             "live" => live = true,
             "parallel" => parallel = true,
+            "chaos" => chaos = true,
             "frag-smoke" => std::process::exit(frag_smoke()),
             other => selected.push(other.to_lowercase()),
         }
+    }
+    if chaos {
+        // `--ci` runs the same checks on the short horizon; the smoke
+        // is deterministic either way.
+        std::process::exit(chaos_exp::run(opts.seed, opts.quick || ci_check));
     }
     if bench {
         let cfg = perf::BenchConfig {

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos_exp;
 pub mod experiments;
 pub mod json;
 pub mod live_perf;

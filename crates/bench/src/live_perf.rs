@@ -26,9 +26,10 @@ use crate::json::{self, Value};
 use crate::perf::{BenchConfig, ENGINE_REPORT};
 use rtec_core::channel::{ChannelSpec, SrtSpec};
 use rtec_core::event::{Event, Subject};
+use rtec_live::chaos;
 use rtec_live::cluster::{Cluster, ClusterConfig};
 use rtec_live::node::{Behavior, NodeCtx};
-use rtec_live::Pace;
+use rtec_live::{ChaosPlan, Pace};
 use rtec_sim::Duration;
 use std::time::Instant;
 
@@ -83,7 +84,10 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1e3
 }
 
-fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
+/// Build the constant-load topology: one subscriber, `nodes − 1`
+/// stamped SRT publishers. `restartable` mints behaviors from
+/// factories so the fault-load row's chaos kills can be supervised.
+fn build_cluster(nodes: usize, restartable: bool) -> Cluster {
     // Trace with the production sink enabled so the benchmark measures
     // the runtime as deployed — and so the ring's eviction counter can
     // prove no events were lost during the measured run.
@@ -94,20 +98,40 @@ fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(cfg);
-    let sink = cluster.add_node(Box::new(Sink));
+    let sink = if restartable {
+        cluster.add_node_with(Box::new(|| Box::new(Sink)))
+    } else {
+        cluster.add_node(Box::new(Sink))
+    };
     let publishers = nodes - 1;
     let every = AGGREGATE_EVERY * publishers as u64;
     for i in 0..publishers {
         let subject = Subject(0x9000 + i as u64);
-        let node = cluster.add_node(Box::new(StampedSource {
-            subject,
-            every,
-            phase: AGGREGATE_EVERY * (i as u64 + 1),
-        }));
+        let phase = AGGREGATE_EVERY * (i as u64 + 1);
+        let node = if restartable {
+            cluster.add_node_with(Box::new(move || {
+                Box::new(StampedSource {
+                    subject,
+                    every,
+                    phase,
+                })
+            }))
+        } else {
+            cluster.add_node(Box::new(StampedSource {
+                subject,
+                every,
+                phase,
+            }))
+        };
         let spec = ChannelSpec::Srt(SrtSpec::default());
         cluster.publish(node, subject, spec);
         cluster.subscribe(sink, subject, spec);
     }
+    cluster
+}
+
+fn bench_cluster(nodes: usize, bus_time: Duration) -> LiveRow {
+    let cluster = build_cluster(nodes, false);
     let wall = Instant::now();
     let report = cluster.run_for(bus_time).expect("live bench run failed");
     let wall_s = wall.elapsed().as_secs_f64();
@@ -135,7 +159,82 @@ fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
-fn live_report(cfg: &BenchConfig, bus_time: Duration, rows: &[LiveRow]) -> Value {
+/// The fault-load measurement: the 8-node cluster under a seeded chaos
+/// plan (two node kills with supervised restart, 5 % datagram drop).
+struct FaultRow {
+    nodes: usize,
+    deliveries: usize,
+    wall_s: f64,
+    downs: u64,
+    restarts: u64,
+    /// p99 of the Down → rejoined recovery latency, in bus-time µs.
+    recovery_p99_us: f64,
+    trace_dropped: u64,
+}
+
+/// Nodes measured under fault load (the acceptance scenario: kill and
+/// restart 2 of 8 nodes while 5 % of datagrams drop).
+const FAULT_NODES: usize = 8;
+
+fn bench_fault_load(bus_time: Duration) -> Result<FaultRow, String> {
+    let cluster = build_cluster(FAULT_NODES, true);
+    let plan = ChaosPlan {
+        seed: 0xFA_17,
+        // The subscriber dies mid-stream, one publisher shortly after
+        // (recv budgets ≈ 30 ms of bus time at the offered load).
+        kills: vec![(0, 60), (4, 20)],
+        drop_rate: 0.05,
+        ..ChaosPlan::default()
+    };
+    let wall = Instant::now();
+    let (report, chaos_rep) = cluster
+        .run_for_chaos(bus_time, plan)
+        .map_err(|e| format!("fault-load run failed: {e}"))?;
+    let wall_s = wall.elapsed().as_secs_f64();
+    if chaos_rep.kills != 2 {
+        return Err(format!("expected 2 kills, saw {}", chaos_rep.kills));
+    }
+    let verdict = chaos::verdict(&report);
+    if !verdict.ok() || verdict.restarts < 2 {
+        return Err(format!("fault-load run did not recover: {verdict:?}"));
+    }
+    let mut recoveries = report.supervision.recovery_times_ns();
+    recoveries.sort_unstable();
+    Ok(FaultRow {
+        nodes: FAULT_NODES,
+        deliveries: report.log.len(),
+        wall_s,
+        downs: report.supervision.downs,
+        restarts: report.supervision.restarts,
+        recovery_p99_us: percentile(&recoveries, 0.99),
+        trace_dropped: report.trace_dropped,
+    })
+}
+
+fn fault_report(row: &FaultRow) -> Value {
+    Value::Obj(
+        vec![
+            ("nodes", Value::num(row.nodes as f64)),
+            ("kills", Value::num(2.0)),
+            ("drop_rate", Value::num(0.05)),
+            ("deliveries", Value::num(row.deliveries as f64)),
+            ("wall_ms", Value::num(round3(row.wall_s * 1e3))),
+            (
+                "deliveries_per_wall_sec",
+                Value::num((row.deliveries as f64 / row.wall_s.max(1e-9)).round()),
+            ),
+            ("downs", Value::num(row.downs as f64)),
+            ("restarts", Value::num(row.restarts as f64)),
+            ("recovery_p99_us", Value::num(round3(row.recovery_p99_us))),
+            ("trace_dropped", Value::num(row.trace_dropped as f64)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
+
+fn live_report(cfg: &BenchConfig, bus_time: Duration, rows: &[LiveRow], fault: &FaultRow) -> Value {
     let entries: Vec<Value> = rows
         .iter()
         .map(|r| {
@@ -165,6 +264,7 @@ fn live_report(cfg: &BenchConfig, bus_time: Duration, rows: &[LiveRow]) -> Value
             ("transport", Value::str("loopback")),
             ("bus_ms", Value::num(bus_time.as_ns() as f64 / 1e6)),
             ("clusters", Value::Arr(entries)),
+            ("fault_load", fault_report(fault)),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -209,7 +309,35 @@ pub fn run(cfg: &BenchConfig) -> i32 {
         );
         return 1;
     }
-    let section = live_report(cfg, bus_time, &rows);
+    // Fault-load row: same topology at 8 nodes, but two nodes are
+    // killed and restarted mid-run while 5 % of datagrams drop. The
+    // healthy rows above are untouched by this — supervision costs
+    // nothing until a fault actually fires.
+    let fault = match bench_fault_load(bus_time) {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("bench live: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "  fault load ({} nodes, 2 kills, 5% drop): {:5} deliveries in {:7.2} ms wall  \
+         {} downs / {} restarts  recovery p99 {:7.1} µs",
+        fault.nodes,
+        fault.deliveries,
+        fault.wall_s * 1e3,
+        fault.downs,
+        fault.restarts,
+        fault.recovery_p99_us
+    );
+    if fault.trace_dropped > 0 {
+        eprintln!(
+            "bench live: fault-load trace ring dropped {} event(s)",
+            fault.trace_dropped
+        );
+        return 1;
+    }
+    let section = live_report(cfg, bus_time, &rows, &fault);
 
     // Merge under "live", preserving every committed wheel/heap number.
     let mut root = std::fs::read_to_string(ENGINE_REPORT)

@@ -453,6 +453,16 @@ fn audit_priority_bands(ctx: &AuditContext, events: &[TraceEvent], rep: &mut Rep
     }
 }
 
+/// Count replayed handshakes in a live trace: `hello_replay` records
+/// the broker emits when a `Hello` arrives carrying an incarnation
+/// older than the node's current one (a straggling duplicate of an
+/// earlier handshake, not a rejoin — those trace as `hello_rejoin`).
+/// The chaos harness feeds its merged trace through this to assert
+/// duplicated handshake datagrams were classified, not re-welcomed.
+pub fn handshake_anomalies(events: &[TraceEvent]) -> usize {
+    events.iter().filter(|e| e.kind == "hello_replay").count()
+}
+
 /// T8: the TxNode field of every transmitted identifier must equal the
 /// node that actually sent the frame — the encoding that makes
 /// identifiers system-wide unique (§3.5).

@@ -33,7 +33,7 @@ pub mod lint;
 pub mod net;
 pub mod srclint;
 
-pub use audit::{audit, AuditContext};
+pub use audit::{audit, handshake_anomalies, AuditContext};
 pub use diag::{Diagnostic, Report, RuleId, Severity};
 pub use lint::{lint, ChannelDecl, LintInput};
 pub use net::{audit_context, audit_network, check_network, lint_input, lint_network};

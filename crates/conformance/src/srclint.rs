@@ -16,7 +16,7 @@
 //! | `C1` | `std::sync` / `std::thread` outside the facade itself        |
 //! | `C2` | unbounded `mpsc::channel(..)` constructors                   |
 //! | `C3` | `unwrap()`/`expect()` on `lock()`/`recv()`/`join()` results  |
-//! | `C4` | `thread::sleep` outside the pacing clock                     |
+//! | `C4` | `thread::sleep` outside clock pacing / retry backoff / chaos |
 //! | `C5` | `Instant::now()`/`SystemTime::now()` outside clock + sockets |
 //! | `C6` | bare `thread::spawn(..)` (runtime threads must be named)     |
 //!
@@ -276,8 +276,12 @@ const RULES: &[TextRule] = &[
     },
     TextRule {
         id: RuleId::StraySleep,
+        // `udp.rs` is allowed: its sleeps are the transport retry
+        // backoff, which stalls only the failing peer's wall clock.
+        // `chaos.rs` is allowed: fault-plan delays are deliberate
+        // wall-clock stalls that must not advance bus time.
         needles: &["thread::sleep("],
-        allow_files: &["clock.rs"],
+        allow_files: &["clock.rs", "udp.rs", "chaos.rs"],
         unless_on_line: None,
         fix: "pace through clock::Pacer so Pace::Virtual skips the wait",
     },
@@ -424,8 +428,12 @@ mod tests {
     fn c4_fires_on_sleep_outside_the_clock() {
         let rep = lint_one("node.rs", "crate::sync::thread::sleep(d);\n");
         assert!(rep.fired(RuleId::StraySleep), "{rep}");
-        let rep = lint_one("clock.rs", "crate::sync::thread::sleep(d);\n");
-        assert!(!rep.fired(RuleId::StraySleep), "{rep}");
+        // The pacing clock, the retry backoff, and the chaos fault
+        // plans stall wall time on purpose.
+        for allowed in ["clock.rs", "udp.rs", "chaos.rs"] {
+            let rep = lint_one(allowed, "crate::sync::thread::sleep(d);\n");
+            assert!(!rep.fired(RuleId::StraySleep), "{allowed}: {rep}");
+        }
     }
 
     #[test]

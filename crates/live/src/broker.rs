@@ -31,20 +31,50 @@
 //! side effects on *shared* observers (the delivery log, the trace
 //! ring) may interleave, which the cluster runner canonicalizes by a
 //! deterministic sort (see `cluster.rs`).
+//!
+//! # Fault tolerance
+//!
+//! Unless [`BrokerConfig::strict`] is set, a node fault is not
+//! terminal. The broker keeps a per-node health state mirroring CAN
+//! fault confinement (§3.5 of the paper): **active** (normal),
+//! **passive** (reachable but flaky — its SRT/NRT submissions are shed
+//! at admission and its HRT `TxDone` acks are forced to
+//! `all_received = false`, so time redundancy always spends the extra
+//! retransmissions), **down** (crashed, stalled, or babbling past the
+//! turn budget — quarantined, its pending frames abandoned, a
+//! supervised restart scheduled with exponential backoff in *bus*
+//! time), and **off** (restart budget exhausted: the live analogue of
+//! bus-off without auto-recovery). Restarts are delegated to a
+//! [`NodeSupervisor`] — the cluster runner's implementation respawns
+//! the node thread with a bumped incarnation and the broker re-runs
+//! the Welcome handshake so the node can resync its state. Heartbeat
+//! `Ping`s probe nodes the lock-step traffic has not touched within
+//! [`BrokerConfig::heartbeat`], so a silent node cannot stay
+//! undetected; all supervision timing is driven by the bus clock,
+//! which keeps recovery schedules byte-identical across runs under
+//! [`Pace::Virtual`].
 
 use crate::clock::{BitClock, Pace};
-use crate::transport::BrokerTransport;
+use crate::transport::{BrokerTransport, NodeTransport, Relink, TransportError};
 use crate::wire::{ToBroker, ToNode};
 use crate::LiveError;
 use rtec_can::bits::{exact_frame_bits, BitTiming, ERROR_FRAME_BITS};
 use rtec_can::fault::{FaultDecision, FaultInjector, FaultModel};
-use rtec_can::{CanId, Frame, NodeId};
-use rtec_sim::{Rng, SharedTraceSink, SourceId, Time};
+use rtec_can::{CanId, Frame, NodeId, PRIO_HRT};
+use rtec_sim::{Duration, Rng, SharedTraceSink, SourceId, Time};
 use std::collections::BTreeMap;
 
 /// How long the broker waits on a node reply before declaring the node
 /// dead. Generous: node threads only block on their own transport.
 const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Clean lock-step exchanges an error-passive node must complete
+/// before it is promoted back to active.
+const PASSIVE_CLEAN_EXCHANGES: u32 = 3;
+
+/// Further send failures an error-passive node may accumulate before
+/// it is declared down.
+const PASSIVE_STRIKES: u32 = 4;
 
 /// Upper bound on the replies one node may produce within a single
 /// turn of the lock-step protocol before the broker declares a
@@ -82,6 +112,31 @@ pub struct BrokerConfig {
     pub pace: Pace,
     /// Fault injection plan.
     pub fault: FaultPlan,
+    /// Pre-supervision behavior: any node fault (stall, crash, turn
+    /// budget breach) aborts the whole run with a terminal error
+    /// instead of quarantining the node and carrying on.
+    pub strict: bool,
+    /// Probe a node with `Ping` when no lock-step exchange has touched
+    /// it for this much bus time. `None` disables probing (a fully
+    /// silent dead node is then only noticed at the next delivery,
+    /// timer, or shutdown addressed to it).
+    pub heartbeat: Option<Duration>,
+    /// How long a single `recv` may block before the node counts as
+    /// stalled. Wall time, since it guards against wedged threads.
+    pub recv_timeout: std::time::Duration,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            timing: BitTiming::MBIT_1,
+            pace: Pace::Virtual,
+            fault: FaultPlan::default(),
+            strict: false,
+            heartbeat: None,
+            recv_timeout: RECV_TIMEOUT,
+        }
+    }
 }
 
 /// Counters the broker reports after a run.
@@ -95,6 +150,154 @@ pub struct BrokerStats {
     pub frames_with_omission: u64,
     /// Transmission attempts destroyed by error frames.
     pub frames_corrupted: u64,
+    /// Pending frames discarded because their node went down.
+    pub frames_abandoned: u64,
+    /// SRT/NRT submissions shed at admission from error-passive nodes.
+    pub frames_shed: u64,
+    /// Heartbeat probes sent.
+    pub pings: u64,
+    /// Stale `Hello` replays observed after the handshake (see the
+    /// `hello_replay` trace record).
+    pub hello_replays: u64,
+    /// Nodes declared down (counting repeats).
+    pub node_downs: u64,
+    /// Supervised restarts completed.
+    pub node_restarts: u64,
+}
+
+/// Per-node health, mirroring CAN fault confinement (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Health {
+    /// Normal operation.
+    Active,
+    /// Reachable but flaky: shed SRT/NRT, force HRT redundancy.
+    Passive {
+        /// Consecutive clean exchanges since entering passive.
+        clean: u32,
+        /// Send failures accumulated while passive.
+        strikes: u32,
+    },
+    /// Quarantined; a restart may be scheduled.
+    Down,
+    /// Restart budget exhausted — never contacted again.
+    Off,
+}
+
+impl Health {
+    fn is_reachable(self) -> bool {
+        matches!(self, Health::Active | Health::Passive { .. })
+    }
+}
+
+/// What a supervision event was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupKind {
+    /// The node was declared down (crash, stall, or quarantine).
+    Down,
+    /// The node entered the error-passive state.
+    Passive,
+    /// The node recovered from error-passive to active.
+    Active,
+    /// A restarted incarnation completed its rejoin handshake.
+    Up,
+    /// The node exhausted its restart budget.
+    Off,
+}
+
+/// One entry of the supervision log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupEvent {
+    /// Bus time of the transition.
+    pub at_ns: u64,
+    /// The node.
+    pub node: u8,
+    /// The node's incarnation at the time (for `Up`: the new one).
+    pub incarnation: u32,
+    /// The transition.
+    pub kind: SupKind,
+    /// Short machine-stable reason (`"disconnect"`, `"timeout"`,
+    /// `"babble"`, `"send"`, `"rejoin-failed"`, or `""`).
+    pub reason: &'static str,
+}
+
+/// Restart delegate the broker calls when a supervised node goes down.
+///
+/// Implemented by the cluster runner (which owns the node threads and
+/// behavior factories); the broker only decides *when* — all policy
+/// about budgets and backoff lives behind [`NodeSupervisor::on_down`].
+pub trait NodeSupervisor {
+    /// `node` (running `incarnation`) was declared down at bus time
+    /// `at_ns`. Return the bus-time backoff (ns) to wait before
+    /// restarting it, or `None` to declare it off for good.
+    fn on_down(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        at_ns: u64,
+        reason: &'static str,
+    ) -> Option<u64>;
+
+    /// Start incarnation `incarnation` of `node`. `link` carries the
+    /// fresh broker-side endpoint's node half when the transport mints
+    /// one ([`Relink::Link`]); with `None` the node dials back in
+    /// itself. Must reap the dead incarnation's thread (its exit error
+    /// is expected, not propagated).
+    fn respawn(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        at_ns: u64,
+        link: Option<Box<dyn NodeTransport>>,
+    ) -> Result<(), LiveError>;
+}
+
+/// A recoverable per-node fault the lock-step protocol detected.
+#[derive(Clone, Debug)]
+enum NodeFault {
+    /// The node's endpoint is gone (or the datagram stream is garbage).
+    Disconnected,
+    /// No reply within the receive timeout — wedged thread.
+    Stalled,
+    /// Turn budget breach: the node never returned to `Idle`.
+    Babble(usize),
+    /// A send failed without evidence the peer is gone (I/O error,
+    /// retries exhausted) — the error-passive trigger.
+    SendFailed,
+}
+
+impl NodeFault {
+    fn reason(&self) -> &'static str {
+        match self {
+            NodeFault::Disconnected => "disconnect",
+            NodeFault::Stalled => "timeout",
+            NodeFault::Babble(_) => "babble",
+            NodeFault::SendFailed => "send",
+        }
+    }
+
+    /// Stable numeric code for the trace record.
+    fn code(&self) -> u64 {
+        match self {
+            NodeFault::Disconnected => 0,
+            NodeFault::Stalled => 1,
+            NodeFault::Babble(_) => 2,
+            NodeFault::SendFailed => 3,
+        }
+    }
+
+    fn from_recv(e: TransportError) -> Self {
+        match e {
+            TransportError::Timeout => NodeFault::Stalled,
+            _ => NodeFault::Disconnected,
+        }
+    }
+
+    fn from_send(e: TransportError) -> Self {
+        match e {
+            TransportError::Io(_) => NodeFault::SendFailed,
+            _ => NodeFault::Disconnected,
+        }
+    }
 }
 
 /// A frame a node has submitted and is waiting to see on the wire.
@@ -123,12 +326,25 @@ pub struct Broker<T: BrokerTransport> {
     sink: SharedTraceSink,
     src_bus: SourceId,
     injector: FaultInjector,
+    strict: bool,
+    heartbeat: Option<u64>,
+    recv_timeout: std::time::Duration,
     pending: Vec<Vec<PendingFrame>>,
     timers: BTreeMap<(u64, u64), (u8, u64)>,
     timer_seq: u64,
     inflight: Option<Inflight>,
+    health: Vec<Health>,
+    incarnation: Vec<u32>,
+    /// Bus time of the last completed lock-step exchange per node.
+    last_contact: Vec<u64>,
+    /// Scheduled supervised restarts: `(due_ns, node) → new incarnation`.
+    restarts_due: BTreeMap<(u64, u8), u32>,
+    sup_log: Vec<SupEvent>,
     stats: BrokerStats,
 }
+
+/// Shorthand for the optional supervisor threaded through the run.
+type Sup<'a> = Option<&'a mut dyn NodeSupervisor>;
 
 impl<T: BrokerTransport> Broker<T> {
     /// Build a broker over `transport`, tracing into `sink` under the
@@ -142,23 +358,51 @@ impl<T: BrokerTransport> Broker<T> {
             sink,
             src_bus,
             injector: config.fault.injector(),
+            strict: config.strict,
+            heartbeat: config.heartbeat.map(|d| d.as_ns()),
+            recv_timeout: config.recv_timeout,
             pending: (0..nodes).map(|_| Vec::new()).collect(),
             timers: BTreeMap::new(),
             timer_seq: 0,
             inflight: None,
+            health: vec![Health::Active; nodes],
+            incarnation: vec![0; nodes],
+            last_contact: vec![0; nodes],
+            restarts_due: BTreeMap::new(),
+            sup_log: Vec::new(),
             stats: BrokerStats::default(),
         }
     }
 
     /// Run the bus until bus time `until`, then shut every node down.
+    /// Unsupervised: a faulted node is quarantined for good (or, under
+    /// [`BrokerConfig::strict`], aborts the run).
     pub fn run(mut self, until: Time) -> Result<BrokerStats, LiveError> {
+        self.run_supervised(until, None)
+    }
+
+    /// Like [`Broker::run`], with a supervisor to restart downed nodes.
+    pub fn run_supervised(
+        &mut self,
+        until: Time,
+        mut sup: Sup<'_>,
+    ) -> Result<BrokerStats, LiveError> {
         let nodes = self.transport.node_count();
         self.transport
-            .rendezvous(RECV_TIMEOUT)
+            .rendezvous(self.recv_timeout)
             .map_err(LiveError::Transport)?;
         let now_ns = self.clock.now().as_ns();
         for node in 0..nodes {
-            self.send_and_drain(node as u8, ToNode::Welcome { now_ns })?;
+            // The initial handshake is not supervised: a cluster that
+            // cannot even form reports the failure immediately.
+            self.send_and_drain(
+                node as u8,
+                ToNode::Welcome {
+                    now_ns,
+                    incarnation: 0,
+                },
+            )
+            .map_err(|f| self.fault_to_error(node as u8, &f))?;
         }
         loop {
             // Fire everything already due before arbitrating: frames
@@ -166,7 +410,7 @@ impl<T: BrokerTransport> Broker<T> {
             // frames submitted by other handlers at the same instant.
             if let Some(at) = self.next_event_time() {
                 if at <= self.clock.now() {
-                    self.process_next_event()?;
+                    self.process_next_event(&mut sup)?;
                     continue;
                 }
             }
@@ -177,67 +421,142 @@ impl<T: BrokerTransport> Broker<T> {
             match self.next_event_time() {
                 Some(at) if at <= until => {
                     self.clock.advance_to(at);
-                    self.process_next_event()?;
+                    self.process_next_event(&mut sup)?;
                 }
                 _ => break,
             }
         }
         self.clock.advance_to(until);
+        let now_ns = self.clock.now().as_ns();
         for node in 0..nodes {
-            self.transport
-                .send(node as u8, ToNode::Shutdown)
-                .map_err(LiveError::Transport)?;
-            // Late requests arriving during shutdown are dropped —
-            // bounded by the same turn budget as a live turn, so a
-            // node that never acknowledges the shutdown surfaces as a
-            // typed stall instead of wedging the broker.
-            let mut replies = 0usize;
-            while !matches!(
-                self.transport
-                    .recv_from(node as u8, RECV_TIMEOUT)
-                    .map_err(LiveError::Transport)?,
-                ToBroker::Done { .. }
-            ) {
-                replies += 1;
-                if replies >= MAX_TURN_REPLIES {
-                    return Err(LiveError::ProtocolStall {
-                        node: node as u8,
-                        replies,
-                    });
+            if !self.health[node].is_reachable() {
+                continue; // dead threads are reaped by the supervisor
+            }
+            if let Err(fault) = self.shutdown_node(node as u8) {
+                if self.strict {
+                    return Err(self.fault_to_error(node as u8, &fault));
                 }
+                // The run is over; just sever the link so the cluster
+                // teardown cannot block on the wedged peer.
+                self.trace_node_event("node_down", node as u8, fault.code());
+                self.stats.node_downs += 1;
+                self.log_sup(now_ns, node as u8, SupKind::Down, fault.reason());
+                self.transport.unlink(node as u8);
+                self.health[node] = Health::Off;
             }
         }
-        Ok(self.stats)
+        Ok(self.stats.clone())
     }
 
-    /// The earliest upcoming event: the in-flight completion wins ties
-    /// against timers.
-    fn next_event_time(&self) -> Option<Time> {
-        let completion = self.inflight.as_ref().map(|t| t.completes);
-        let timer = self.timers.keys().next().map(|&(at, _)| Time::from_ns(at));
-        match (completion, timer) {
-            (Some(c), Some(t)) => Some(c.min(t)),
-            (c, t) => c.or(t),
+    /// Supervision transitions recorded during the last run.
+    pub fn take_sup_log(&mut self) -> Vec<SupEvent> {
+        std::mem::take(&mut self.sup_log)
+    }
+
+    /// Send `Shutdown` and pump replies until `Done`, bounded by the
+    /// turn budget.
+    fn shutdown_node(&mut self, node: u8) -> Result<(), NodeFault> {
+        self.transport
+            .send(node, ToNode::Shutdown)
+            .map_err(NodeFault::from_send)?;
+        // Late requests arriving during shutdown are dropped — bounded
+        // by the same turn budget as a live turn, so a node that never
+        // acknowledges the shutdown surfaces as a stall instead of
+        // wedging the broker.
+        let mut replies = 0usize;
+        loop {
+            let reply = self
+                .transport
+                .recv_from(node, self.recv_timeout)
+                .map_err(NodeFault::from_recv)?;
+            if matches!(reply, ToBroker::Done { .. }) {
+                return Ok(());
+            }
+            replies += 1;
+            if replies >= MAX_TURN_REPLIES {
+                return Err(NodeFault::Babble(replies));
+            }
         }
     }
 
-    fn process_next_event(&mut self) -> Result<(), LiveError> {
+    /// The bus time the next heartbeat probe is due, if probing is on
+    /// and any reachable node could go silent.
+    fn next_heartbeat(&self) -> Option<Time> {
+        let every = self.heartbeat?;
+        self.health
+            .iter()
+            .zip(&self.last_contact)
+            .filter(|(h, _)| h.is_reachable())
+            .map(|(_, &last)| last.saturating_add(every))
+            .min()
+            .map(Time::from_ns)
+    }
+
+    /// The earliest upcoming event. Ties resolve completion < timer <
+    /// restart < heartbeat (matching `process_next_event`).
+    fn next_event_time(&self) -> Option<Time> {
+        [
+            self.inflight.as_ref().map(|t| t.completes),
+            self.timers.keys().next().map(|&(at, _)| Time::from_ns(at)),
+            self.restarts_due
+                .keys()
+                .next()
+                .map(|&(at, _)| Time::from_ns(at)),
+            self.next_heartbeat(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn process_next_event(&mut self, sup: &mut Sup<'_>) -> Result<(), LiveError> {
+        let now = self.clock.now();
         let completion = self.inflight.as_ref().map(|t| t.completes);
         let timer = self.timers.keys().next().map(|&(at, _)| Time::from_ns(at));
-        let take_completion = match (completion, timer) {
-            (Some(c), Some(t)) => c <= t,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => return Ok(()),
-        };
-        if take_completion {
-            self.finish_transmission()
-        } else {
+        let restart = self
+            .restarts_due
+            .keys()
+            .next()
+            .map(|&(at, _)| Time::from_ns(at));
+        let due = self.next_event_time().unwrap_or(now);
+        if completion == Some(due) {
+            return self.finish_transmission(sup);
+        }
+        if timer == Some(due) {
             let (&key, &(node, token)) = self.timers.iter().next().expect("timer exists");
             self.timers.remove(&key);
             let now_ns = self.clock.now().as_ns();
-            self.send_and_drain(node, ToNode::Timer { token, now_ns })
+            if !self.health[node as usize].is_reachable() {
+                return Ok(()); // armed by an incarnation that died since
+            }
+            return match self.send_and_drain(node, ToNode::Timer { token, now_ns }) {
+                Ok(()) => Ok(()),
+                Err(fault) => self.handle_fault(node, fault, sup),
+            };
         }
+        if restart == Some(due) {
+            let (&(at, node), &new_inc) = self.restarts_due.iter().next().expect("restart due");
+            self.restarts_due.remove(&(at, node));
+            return self.do_restart(node, new_inc, sup);
+        }
+        // Heartbeat: probe every reachable node whose silence reached
+        // the interval, in node order.
+        if let Some(every) = self.heartbeat {
+            let now_ns = now.as_ns();
+            for node in 0..self.health.len() as u8 {
+                if !self.health[node as usize].is_reachable()
+                    || self.last_contact[node as usize].saturating_add(every) > now_ns
+                {
+                    continue;
+                }
+                self.stats.pings += 1;
+                match self.send_and_drain(node, ToNode::Ping { nonce: now_ns }) {
+                    Ok(()) => {}
+                    Err(fault) => self.handle_fault(node, fault, sup)?,
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Resolve arbitration among all pending frames at the current
@@ -317,7 +636,7 @@ impl<T: BrokerTransport> Broker<T> {
         Ok(())
     }
 
-    fn finish_transmission(&mut self) -> Result<(), LiveError> {
+    fn finish_transmission(&mut self, sup: &mut Sup<'_>) -> Result<(), LiveError> {
         let tx = self.inflight.take().expect("completion without inflight");
         self.clock.advance_to(tx.completes);
         let now = self.clock.now();
@@ -337,20 +656,70 @@ impl<T: BrokerTransport> Broker<T> {
                     ("tag", tx.tag),
                 ],
             );
-            self.pending[tx.node as usize].push(PendingFrame {
-                handle: tx.handle,
-                tag: tx.tag,
-                frame: tx.frame,
-                attempts: tx.attempts,
-            });
+            if self.health[tx.node as usize].is_reachable() {
+                self.pending[tx.node as usize].push(PendingFrame {
+                    handle: tx.handle,
+                    tag: tx.tag,
+                    frame: tx.frame,
+                    attempts: tx.attempts,
+                });
+            } else {
+                // The sender died while its frame was on the wire; the
+                // controller that would retransmit is gone with it.
+                self.stats.frames_abandoned += 1;
+            }
             return Ok(());
         }
         let victims: Vec<NodeId> = match &tx.decision {
             FaultDecision::Omit { victims } => victims.clone(),
             _ => Vec::new(),
         };
-        let all_received = victims.is_empty();
-        if all_received {
+        // Broadcast to every other node (minus omission victims), in
+        // node order; the sender's TxDone goes last so its reaction
+        // (e.g. an HRT retransmission) arbitrates after deliveries.
+        //
+        // The turn is batched: every message of this completion goes
+        // out before any node's replies are drained, so all nodes
+        // process their delivery concurrently instead of serializing
+        // one lock-step round-trip per receiver (the 2→32-node
+        // throughput cliff). Broker state stays deterministic because
+        // the replies are still drained in the same fixed order —
+        // receivers ascending, sender last — and each node's own
+        // message stream is unchanged.
+        //
+        // A down or failing receiver counts as an omission victim of
+        // sorts: it clears `delivered_all`, so HRT time redundancy
+        // spends its extra retransmissions exactly as it would for a
+        // lossy wire (§3.5's degradation story). Send faults are noted
+        // and routed through supervision only after the whole batch is
+        // drained, keeping the turn order fixed.
+        let completed_ns = now.as_ns();
+        let mut delivered_all = victims.is_empty();
+        let mut turn: Vec<u8> = Vec::new();
+        let mut faults: Vec<(u8, NodeFault)> = Vec::new();
+        for node in 0..self.pending.len() as u8 {
+            if node == tx.node || victims.contains(&NodeId(node)) {
+                continue;
+            }
+            if !self.health[node as usize].is_reachable() {
+                delivered_all = false;
+                continue;
+            }
+            match self.transport.send(
+                node,
+                ToNode::Deliver {
+                    completed_ns,
+                    frame: tx.frame,
+                },
+            ) {
+                Ok(()) => turn.push(node),
+                Err(e) => {
+                    delivered_all = false;
+                    faults.push((node, NodeFault::from_send(e)));
+                }
+            }
+        }
+        if delivered_all {
             self.stats.frames_ok += 1;
         } else {
             self.stats.frames_with_omission += 1;
@@ -364,52 +733,36 @@ impl<T: BrokerTransport> Broker<T> {
                 ("node", u64::from(tx.node)),
                 ("attempt", u64::from(tx.attempts)),
                 ("tag", tx.tag),
-                ("all", u64::from(all_received)),
+                ("all", u64::from(delivered_all)),
             ],
         );
-        // Broadcast to every other node (minus omission victims), in
-        // node order; the sender's TxDone goes last so its reaction
-        // (e.g. an HRT retransmission) arbitrates after deliveries.
-        //
-        // The turn is batched: every message of this completion goes
-        // out before any node's replies are drained, so all nodes
-        // process their delivery concurrently instead of serializing
-        // one lock-step round-trip per receiver (the 2→32-node
-        // throughput cliff). Broker state stays deterministic because
-        // the replies are still drained in the same fixed order —
-        // receivers ascending, sender last — and each node's own
-        // message stream is unchanged.
-        let completed_ns = now.as_ns();
-        let mut turn: Vec<u8> = Vec::new();
-        for node in 0..self.pending.len() as u8 {
-            if node == tx.node || victims.contains(&NodeId(node)) {
-                continue;
-            }
-            self.transport
-                .send(
-                    node,
-                    ToNode::Deliver {
-                        completed_ns,
-                        frame: tx.frame,
-                    },
-                )
-                .map_err(LiveError::Transport)?;
-            turn.push(node);
-        }
-        self.transport
-            .send(
+        let sender_health = self.health[tx.node as usize];
+        if sender_health.is_reachable() {
+            // An error-passive sender never gets a clean ack: forcing
+            // `all_received = false` keeps its HRT time redundancy on
+            // (the paper's error-passive degradation) without touching
+            // the honest `all` field traced above.
+            let acked = delivered_all && !matches!(sender_health, Health::Passive { .. });
+            match self.transport.send(
                 tx.node,
                 ToNode::TxDone {
                     handle: tx.handle,
                     tag: tx.tag,
-                    all_received,
+                    all_received: acked,
                     completed_ns,
                 },
-            )
-            .map_err(LiveError::Transport)?;
-        turn.push(tx.node);
+            ) {
+                Ok(()) => turn.push(tx.node),
+                Err(e) => faults.push((tx.node, NodeFault::from_send(e))),
+            }
+        }
         for node in turn {
-            self.drain(node)?;
+            if let Err(fault) = self.drain(node) {
+                faults.push((node, fault));
+            }
+        }
+        for (node, fault) in faults {
+            self.handle_fault(node, fault, sup)?;
         }
         Ok(())
     }
@@ -418,39 +771,68 @@ impl<T: BrokerTransport> Broker<T> {
     /// quiesces. Every message we send is answered by (requests...,
     /// `Idle`); requests that need a response (`Abort`) add one more
     /// expected `Idle`.
-    fn send_and_drain(&mut self, node: u8, msg: ToNode) -> Result<(), LiveError> {
+    fn send_and_drain(&mut self, node: u8, msg: ToNode) -> Result<(), NodeFault> {
         self.transport
             .send(node, msg)
-            .map_err(LiveError::Transport)?;
+            .map_err(NodeFault::from_send)?;
         self.drain(node)
     }
 
     /// Pump `node`'s replies for one previously sent message until it
     /// quiesces (see [`Broker::send_and_drain`]). Split out so a
     /// completion turn can broadcast all its messages before draining
-    /// anyone.
-    fn drain(&mut self, node: u8) -> Result<(), LiveError> {
+    /// anyone. A completed drain counts as contact for heartbeat
+    /// accounting and earns a passive node credit toward reactivation.
+    fn drain(&mut self, node: u8) -> Result<(), NodeFault> {
         let mut outstanding = 1usize;
         let mut replies = 0usize;
         while outstanding > 0 {
             if replies >= MAX_TURN_REPLIES {
-                return Err(LiveError::ProtocolStall { node, replies });
+                return Err(NodeFault::Babble(replies));
             }
             replies += 1;
             let reply = self
                 .transport
-                .recv_from(node, RECV_TIMEOUT)
-                .map_err(LiveError::Transport)?;
+                .recv_from(node, self.recv_timeout)
+                .map_err(NodeFault::from_recv)?;
             match reply {
                 ToBroker::Idle => outstanding -= 1,
                 ToBroker::Done { .. } => outstanding -= 1,
                 ToBroker::Submit { handle, tag, frame } => {
-                    self.pending[node as usize].push(PendingFrame {
-                        handle,
-                        tag,
-                        frame,
-                        attempts: 0,
-                    });
+                    if matches!(self.health[node as usize], Health::Passive { .. })
+                        && frame.id.priority() != PRIO_HRT
+                    {
+                        // Error-passive shedding: refuse new SRT/NRT
+                        // work at admission with an immediate negative
+                        // completion (the node sees a failed send, not
+                        // silence), keeping the wire for HRT traffic.
+                        self.stats.frames_shed += 1;
+                        self.sink.emit_fields(
+                            self.clock.now(),
+                            self.src_bus,
+                            "shed",
+                            &[("node", u64::from(node)), ("id", u64::from(frame.id.raw()))],
+                        );
+                        self.transport
+                            .send(
+                                node,
+                                ToNode::TxDone {
+                                    handle,
+                                    tag,
+                                    all_received: false,
+                                    completed_ns: self.clock.now().as_ns(),
+                                },
+                            )
+                            .map_err(NodeFault::from_send)?;
+                        outstanding += 1;
+                    } else {
+                        self.pending[node as usize].push(PendingFrame {
+                            handle,
+                            tag,
+                            frame,
+                            attempts: 0,
+                        });
+                    }
                 }
                 ToBroker::TimerReq { at_ns, token } => {
                     self.timers.insert((at_ns, self.timer_seq), (node, token));
@@ -467,7 +849,7 @@ impl<T: BrokerTransport> Broker<T> {
                                 aborted,
                             },
                         )
-                        .map_err(LiveError::Transport)?;
+                        .map_err(NodeFault::from_send)?;
                     outstanding += 1;
                 }
                 ToBroker::UpdateId { handle, raw_id } => {
@@ -483,10 +865,198 @@ impl<T: BrokerTransport> Broker<T> {
                         }
                     }
                 }
-                ToBroker::Hello { .. } => {} // handshake stragglers
+                ToBroker::Pong { .. } => {} // liveness evidence; noted below
+                ToBroker::Hello { incarnation, .. } => {
+                    // A `Hello` after the handshake is either a stale
+                    // replay from a dead incarnation (an anomaly the
+                    // auditor counts) or the current incarnation's own
+                    // announcement arriving in the same window as its
+                    // rejoin — benign, and deliberately classified with
+                    // a strict `<` so the boundary case is not
+                    // miscounted as a replay.
+                    let current = self.incarnation[node as usize];
+                    if incarnation < current {
+                        self.stats.hello_replays += 1;
+                        self.trace_node_event("hello_replay", node, u64::from(incarnation));
+                    } else {
+                        self.trace_node_event("hello_rejoin", node, u64::from(incarnation));
+                    }
+                }
+            }
+        }
+        self.last_contact[node as usize] = self.clock.now().as_ns();
+        if let Health::Passive { clean, strikes } = self.health[node as usize] {
+            if clean + 1 >= PASSIVE_CLEAN_EXCHANGES {
+                self.health[node as usize] = Health::Active;
+                self.trace_node_event("node_active", node, 0);
+                let now_ns = self.clock.now().as_ns();
+                self.log_sup(now_ns, node, SupKind::Active, "");
+            } else {
+                self.health[node as usize] = Health::Passive {
+                    clean: clean + 1,
+                    strikes,
+                };
             }
         }
         Ok(())
+    }
+
+    /// Route a node fault: terminal under strict, otherwise into the
+    /// CAN-style confinement ladder (send faults demote to passive
+    /// first; everything else — and a passive node out of strikes —
+    /// goes down).
+    fn handle_fault(
+        &mut self,
+        node: u8,
+        fault: NodeFault,
+        sup: &mut Sup<'_>,
+    ) -> Result<(), LiveError> {
+        if self.strict {
+            return Err(self.fault_to_error(node, &fault));
+        }
+        if let NodeFault::SendFailed = fault {
+            match self.health[node as usize] {
+                Health::Active => {
+                    self.health[node as usize] = Health::Passive {
+                        clean: 0,
+                        strikes: 0,
+                    };
+                    self.trace_node_event("node_passive", node, fault.code());
+                    let now_ns = self.clock.now().as_ns();
+                    self.log_sup(now_ns, node, SupKind::Passive, fault.reason());
+                    return Ok(());
+                }
+                Health::Passive { strikes, .. } if strikes + 1 < PASSIVE_STRIKES => {
+                    self.health[node as usize] = Health::Passive {
+                        clean: 0,
+                        strikes: strikes + 1,
+                    };
+                    return Ok(());
+                }
+                Health::Down | Health::Off => return Ok(()),
+                Health::Passive { .. } => {} // out of strikes: fall through
+            }
+        }
+        if !self.health[node as usize].is_reachable() {
+            return Ok(()); // already quarantined this instant
+        }
+        self.mark_down(node, &fault, sup)
+    }
+
+    /// Quarantine `node`: sever its link, abandon its queued work, and
+    /// ask the supervisor (if any) when to restart it.
+    fn mark_down(
+        &mut self,
+        node: u8,
+        fault: &NodeFault,
+        sup: &mut Sup<'_>,
+    ) -> Result<(), LiveError> {
+        let now_ns = self.clock.now().as_ns();
+        let inc = self.incarnation[node as usize];
+        self.trace_node_event("node_down", node, fault.code());
+        self.stats.node_downs += 1;
+        self.log_sup(now_ns, node, SupKind::Down, fault.reason());
+        self.transport.unlink(node);
+        self.health[node as usize] = Health::Down;
+        self.stats.frames_abandoned += self.pending[node as usize].len() as u64;
+        self.pending[node as usize].clear();
+        self.timers.retain(|_, &mut (n, _)| n != node);
+        let backoff = match sup {
+            Some(s) => s.on_down(node, inc, now_ns, fault.reason()),
+            None => None,
+        };
+        match backoff {
+            Some(backoff_ns) => {
+                self.restarts_due
+                    .insert((now_ns.saturating_add(backoff_ns), node), inc + 1);
+            }
+            None => {
+                self.health[node as usize] = Health::Off;
+                self.trace_node_event("node_off", node, u64::from(inc));
+                self.log_sup(now_ns, node, SupKind::Off, fault.reason());
+            }
+        }
+        Ok(())
+    }
+
+    /// Carry out a scheduled restart: relink the transport, respawn the
+    /// node thread via the supervisor, and re-run the Welcome handshake
+    /// under the bumped incarnation.
+    fn do_restart(&mut self, node: u8, new_inc: u32, sup: &mut Sup<'_>) -> Result<(), LiveError> {
+        let now_ns = self.clock.now().as_ns();
+        let link = match self.transport.relink(node) {
+            Ok(Relink::Link(l)) => Some(l),
+            Ok(Relink::Reconnect) => None,
+            Err(_) => {
+                self.health[node as usize] = Health::Off;
+                self.trace_node_event("node_off", node, u64::from(new_inc));
+                self.log_sup(now_ns, node, SupKind::Off, "rejoin-failed");
+                return Ok(());
+            }
+        };
+        let reconnect = link.is_none();
+        let Some(s) = sup else {
+            return Err(LiveError::RestartUnsupported { node });
+        };
+        s.respawn(node, new_inc, now_ns, link)?;
+        // The new incarnation is live from here on: any failure below
+        // flows through the normal confinement ladder (another down,
+        // possibly off once the budget runs out).
+        self.incarnation[node as usize] = new_inc;
+        self.health[node as usize] = Health::Active;
+        if reconnect {
+            if let Err(e) = self.transport.rendezvous_node(node, self.recv_timeout) {
+                return self.handle_fault(node, NodeFault::from_recv(e), sup);
+            }
+        }
+        match self.send_and_drain(
+            node,
+            ToNode::Welcome {
+                now_ns,
+                incarnation: new_inc,
+            },
+        ) {
+            Ok(()) => {
+                self.stats.node_restarts += 1;
+                self.trace_node_event("node_up", node, u64::from(new_inc));
+                self.log_sup(now_ns, node, SupKind::Up, "");
+                Ok(())
+            }
+            Err(fault) => self.handle_fault(node, fault, sup),
+        }
+    }
+
+    /// The terminal error a fault maps to under strict mode (the
+    /// pre-supervision behavior).
+    fn fault_to_error(&self, node: u8, fault: &NodeFault) -> LiveError {
+        match *fault {
+            NodeFault::Babble(replies) => LiveError::ProtocolStall { node, replies },
+            NodeFault::Stalled => LiveError::Transport(TransportError::Timeout),
+            NodeFault::Disconnected => LiveError::Transport(TransportError::Disconnected),
+            NodeFault::SendFailed => LiveError::Transport(TransportError::Io("send failed".into())),
+        }
+    }
+
+    /// Emit a supervision trace record (`node_down`, `node_up`, ...).
+    /// The `code` field carries the fault code or incarnation.
+    fn trace_node_event(&self, kind: &'static str, node: u8, code: u64) {
+        self.sink.emit_fields(
+            self.clock.now(),
+            self.src_bus,
+            kind,
+            &[("node", u64::from(node)), ("code", code)],
+        );
+    }
+
+    fn log_sup(&mut self, at_ns: u64, node: u8, kind: SupKind, reason: &'static str) {
+        let incarnation = self.incarnation[node as usize];
+        self.sup_log.push(SupEvent {
+            at_ns,
+            node,
+            incarnation,
+            kind,
+            reason,
+        });
     }
 
     /// Abort `handle` if it has not reached the wire yet. Returns
@@ -513,16 +1083,21 @@ mod tests {
     use crate::transport::TransportError;
     use rtec_sim::SharedTraceSink;
 
-    fn test_broker<T: BrokerTransport>(transport: T) -> Broker<T> {
+    fn broker_with<T: BrokerTransport>(strict: bool, transport: T) -> Broker<T> {
         Broker::new(
             BrokerConfig {
-                timing: BitTiming::MBIT_1,
-                pace: Pace::Virtual,
-                fault: FaultPlan::default(),
+                strict,
+                ..BrokerConfig::default()
             },
             transport,
             SharedTraceSink::disabled(),
         )
+    }
+
+    /// Strict mode: the pre-supervision behavior the original tests
+    /// were written against.
+    fn test_broker<T: BrokerTransport>(transport: T) -> Broker<T> {
+        broker_with(true, transport)
     }
 
     /// One node whose replies come from a closure over the last
@@ -583,7 +1158,10 @@ mod tests {
         let broker = test_broker(Scripted {
             last: None,
             reply: |last| match last {
-                Some(ToNode::Shutdown) => ToBroker::Hello { node: 0 },
+                Some(ToNode::Shutdown) => ToBroker::Hello {
+                    node: 0,
+                    incarnation: 0,
+                },
                 _ => ToBroker::Idle,
             },
         });
@@ -606,5 +1184,91 @@ mod tests {
             },
         });
         assert_eq!(broker.run(Time::ZERO), Ok(BrokerStats::default()));
+    }
+
+    /// Without strict mode a node that babbles mid-run is quarantined —
+    /// its queued frames abandoned, the run itself still succeeds.
+    #[test]
+    fn lenient_broker_quarantines_a_babbler_and_keeps_running() {
+        let mut state = 0u32;
+        let broker = broker_with(
+            false,
+            Scripted {
+                last: None,
+                reply: move |_| {
+                    state += 1;
+                    match state {
+                        // Welcome turn: arm a timer, then quiesce.
+                        1 => ToBroker::TimerReq {
+                            at_ns: 1_000,
+                            token: 7,
+                        },
+                        2 => ToBroker::Idle,
+                        // Timer turn: babble submissions forever.
+                        _ => ToBroker::Submit {
+                            handle: state,
+                            tag: 0,
+                            frame: Frame::new(CanId::new(1, 2, 3), &[]),
+                        },
+                    }
+                },
+            },
+        );
+        let stats = broker.run(Time::from_ms(1)).expect("lenient run survives");
+        assert_eq!(stats.node_downs, 1);
+        assert_eq!(stats.frames_abandoned, MAX_TURN_REPLIES as u64);
+        assert_eq!(stats.node_restarts, 0); // no supervisor: down for good
+    }
+
+    /// Shutdown refusal under a lenient broker severs the link instead
+    /// of failing the run.
+    #[test]
+    fn lenient_broker_survives_a_shutdown_refusal() {
+        let broker = broker_with(
+            false,
+            Scripted {
+                last: None,
+                reply: |last| match last {
+                    Some(ToNode::Shutdown) => ToBroker::Hello {
+                        node: 0,
+                        incarnation: 0,
+                    },
+                    _ => ToBroker::Idle,
+                },
+            },
+        );
+        let stats = broker.run(Time::ZERO).expect("lenient run survives");
+        assert_eq!(stats.node_downs, 1);
+    }
+
+    /// A `Hello` carrying a stale incarnation is a replay (counted);
+    /// one at the current incarnation is the boundary case — a rejoin
+    /// echo, deliberately not an anomaly (strict `<`, not `<=`).
+    #[test]
+    fn stale_hello_is_a_replay_but_current_hello_is_not() {
+        let mut step = 0u32;
+        let mut broker = broker_with(
+            false,
+            Scripted {
+                last: None,
+                reply: move |_| {
+                    step += 1;
+                    match step {
+                        1 => ToBroker::Hello {
+                            node: 0,
+                            incarnation: 1,
+                        },
+                        2 => ToBroker::Hello {
+                            node: 0,
+                            incarnation: 2,
+                        },
+                        _ => ToBroker::Idle,
+                    }
+                },
+            },
+        );
+        broker.incarnation[0] = 2;
+        broker.drain(0).expect("drain succeeds");
+        assert_eq!(broker.stats.hello_replays, 1);
     }
 }

@@ -17,10 +17,13 @@
 //!   thread, all sharing a [`SharedTraceSink`] so the conformance
 //!   auditor can replay the merged trace.
 
-use crate::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan};
+use crate::broker::{
+    Broker, BrokerConfig, BrokerStats, FaultPlan, NodeSupervisor, SupEvent, SupKind,
+};
+use crate::chaos::{ChaosCtl, ChaosPlan, ChaosReport};
 use crate::clock::Pace;
 use crate::node::{Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeStats, SharedConfig};
-use crate::sync::{Arc, Mutex};
+use crate::sync::{thread::JoinHandle, Arc, Mutex};
 use crate::transport::{loopback, NodeTransport};
 use crate::udp::{UdpBroker, UdpNode};
 use crate::LiveError;
@@ -32,7 +35,7 @@ use rtec_can::NodeId;
 use rtec_core::binding::ETAG_FIRST_DYNAMIC;
 use rtec_core::channel::{ChannelClass, ChannelSpec};
 use rtec_core::event::Subject;
-use rtec_sim::{Duration, SharedTraceSink, Time, TraceEvent};
+use rtec_sim::{Duration, Rng, SharedTraceSink, Time, TraceEvent};
 use std::collections::HashMap;
 
 /// Cluster-wide knobs. `Default` matches the paper's bus: 1 Mbit/s,
@@ -64,6 +67,22 @@ pub struct ClusterConfig {
     /// When the ring overflows, the oldest records are evicted and the
     /// eviction count surfaces as [`LiveReport::trace_dropped`].
     pub trace_capacity: Option<usize>,
+    /// Pre-supervision behavior: any node fault aborts the run with a
+    /// terminal error instead of quarantining/restarting the node.
+    pub strict: bool,
+    /// Heartbeat probe interval (bus time); `None` disables probing.
+    pub heartbeat: Option<Duration>,
+    /// How many supervised restarts a node gets before it is declared
+    /// off (the bus-off analogue). Only nodes added via
+    /// [`Cluster::add_node_with`] can be restarted at all.
+    pub max_restarts: u32,
+    /// Base restart backoff in bus time; doubles per consecutive
+    /// restart of the same node, plus a seeded jitter of up to one
+    /// base interval.
+    pub restart_backoff: Duration,
+    /// Seed for the restart jitter stream (part of what makes two
+    /// same-seed chaos runs byte-identical).
+    pub restart_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -80,14 +99,41 @@ impl Default for ClusterConfig {
             nrt_queue_cap: 64,
             trace: true,
             trace_capacity: None,
+            strict: false,
+            heartbeat: Some(Duration::from_ms(50)),
+            max_restarts: 4,
+            restart_backoff: Duration::from_ms(2),
+            restart_seed: 0x5EED,
         }
+    }
+}
+
+/// Where a node's application logic comes from: a one-shot behavior
+/// (not restartable — a crash quarantines the node for good) or a
+/// factory the supervisor can mint a fresh behavior from per
+/// incarnation.
+enum BehaviorSource {
+    Once(Option<Box<dyn Behavior>>),
+    Factory(Box<dyn FnMut() -> Box<dyn Behavior> + Send>),
+}
+
+impl BehaviorSource {
+    fn take(&mut self) -> Option<Box<dyn Behavior>> {
+        match self {
+            BehaviorSource::Once(b) => b.take(),
+            BehaviorSource::Factory(f) => Some(f()),
+        }
+    }
+
+    fn can_respawn(&self) -> bool {
+        matches!(self, BehaviorSource::Factory(_))
     }
 }
 
 struct NodeDef {
     publishes: Vec<(Subject, ChannelSpec)>,
     subscribes: Vec<(Subject, ChannelSpec)>,
-    behavior: Box<dyn Behavior>,
+    behavior: BehaviorSource,
 }
 
 /// Builder for a live cluster.
@@ -96,12 +142,63 @@ pub struct Cluster {
     nodes: Vec<NodeDef>,
 }
 
+/// Supervision outcome of a run: every health transition the broker
+/// recorded, with summary counters.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisionReport {
+    /// All transitions in bus-time order.
+    pub events: Vec<SupEvent>,
+    /// Nodes declared down (counting repeats).
+    pub downs: u64,
+    /// Supervised restarts that completed their rejoin handshake.
+    pub restarts: u64,
+    /// Nodes that exhausted their restart budget (bus-off analogue).
+    pub offs: u64,
+}
+
+impl SupervisionReport {
+    fn from_events(events: Vec<SupEvent>) -> Self {
+        let count = |k: SupKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        SupervisionReport {
+            downs: count(SupKind::Down),
+            restarts: count(SupKind::Up),
+            offs: count(SupKind::Off),
+            events,
+        }
+    }
+
+    /// Down→Up recovery latencies in bus ns, one per completed restart
+    /// (pairing each node's `Up` with its most recent `Down`).
+    pub fn recovery_times_ns(&self) -> Vec<u64> {
+        let mut pending: HashMap<u8, u64> = HashMap::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                SupKind::Down => {
+                    pending.entry(e.node).or_insert(e.at_ns);
+                }
+                SupKind::Up => {
+                    if let Some(down_at) = pending.remove(&e.node) {
+                        out.push(e.at_ns.saturating_sub(down_at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
 /// Everything a finished run yields.
 pub struct LiveReport {
-    /// Per-node counters, indexed by node id.
+    /// Per-node counters, indexed by node id. A restarted node's
+    /// counters span all its incarnations (carried across via the crash
+    /// snapshot).
     pub stats: Vec<NodeStats>,
     /// Broker counters.
     pub broker: BrokerStats,
+    /// Supervision outcome: health transitions, restarts, quarantines.
+    pub supervision: SupervisionReport,
     /// All deliveries in bus order.
     pub log: Vec<DeliveryRecord>,
     /// The merged structured trace (empty when tracing was off).
@@ -128,13 +225,31 @@ impl Cluster {
         }
     }
 
-    /// Add a node running `behavior`; returns its node id.
+    /// Add a node running `behavior`; returns its node id. A node added
+    /// this way cannot be restarted after a crash (the supervisor
+    /// quarantines it for good); use [`Cluster::add_node_with`] to make
+    /// it restartable.
     pub fn add_node(&mut self, behavior: Box<dyn Behavior>) -> u8 {
         let id = self.nodes.len() as u8;
         self.nodes.push(NodeDef {
             publishes: Vec::new(),
             subscribes: Vec::new(),
-            behavior,
+            behavior: BehaviorSource::Once(Some(behavior)),
+        });
+        id
+    }
+
+    /// Add a node whose behavior is minted from `factory`, once per
+    /// incarnation — the supervisor can restart such a node after a
+    /// crash (up to [`ClusterConfig::max_restarts`] times), resuming the
+    /// dead incarnation's SRT/NRT queues and counters from its crash
+    /// snapshot.
+    pub fn add_node_with(&mut self, factory: Box<dyn FnMut() -> Box<dyn Behavior> + Send>) -> u8 {
+        let id = self.nodes.len() as u8;
+        self.nodes.push(NodeDef {
+            publishes: Vec::new(),
+            subscribes: Vec::new(),
+            behavior: BehaviorSource::Factory(factory),
         });
         id
     }
@@ -156,32 +271,50 @@ impl Cluster {
     pub fn run_for(self, run: Duration) -> Result<LiveReport, LiveError> {
         let n = self.nodes.len();
         let (broker_t, node_ts) = loopback(n);
-        let node_ts: Vec<Option<Box<dyn NodeTransport>>> = node_ts
-            .into_iter()
-            .map(|t| Some(Box::new(t) as Box<dyn NodeTransport>))
-            .collect();
-        self.run_with(broker_t, NodeEndpoints::Ready(node_ts), run)
+        self.run_with(broker_t, NodeEndpoints::ready(node_ts), run, None)
     }
 
     /// Like [`Cluster::run_for`], but pass every node's loopback
-    /// endpoint through `wrap` before its thread starts. Tests use
-    /// this to interpose jitter- or fault-injecting transports without
-    /// touching the protocol (e.g. the lock-step determinism
-    /// regression, which perturbs reply arrival timing and asserts
-    /// delivery logs stay byte-identical).
+    /// endpoint through `wrap` before its thread starts — including
+    /// restarted incarnations, whose fresh endpoints go through the
+    /// same closure. Tests use this to interpose jitter- or
+    /// fault-injecting transports without touching the protocol (e.g.
+    /// the lock-step determinism regression, which perturbs reply
+    /// arrival timing and asserts delivery logs stay byte-identical).
     pub fn run_for_wrapped(
         self,
         run: Duration,
-        wrap: &mut dyn FnMut(u8, Box<dyn NodeTransport>) -> Box<dyn NodeTransport>,
+        wrap: &mut WrapFn,
     ) -> Result<LiveReport, LiveError> {
         let n = self.nodes.len();
         let (broker_t, node_ts) = loopback(n);
-        let node_ts: Vec<Option<Box<dyn NodeTransport>>> = node_ts
-            .into_iter()
-            .enumerate()
-            .map(|(id, t)| Some(wrap(id as u8, Box::new(t) as Box<dyn NodeTransport>)))
-            .collect();
-        self.run_with(broker_t, NodeEndpoints::Ready(node_ts), run)
+        self.run_with(broker_t, NodeEndpoints::ready(node_ts), run, Some(wrap))
+    }
+
+    /// Run the cluster over the loopback transport under a seeded
+    /// chaos plan: node kills (with supervised restart), datagram
+    /// drop/duplication/delay, and a one-off broker stall. Returns the
+    /// usual report plus the chaos bookkeeping.
+    pub fn run_for_chaos(
+        self,
+        run: Duration,
+        plan: ChaosPlan,
+    ) -> Result<(LiveReport, ChaosReport), LiveError> {
+        let n = self.nodes.len();
+        let ctl = ChaosCtl::new(plan, n);
+        let (broker_t, node_ts) = loopback(n);
+        let broker_t = crate::chaos::ChaosBroker::new(broker_t, ctl.clone());
+        let node_ctl = ctl.clone();
+        let mut wrap = move |id: u8, t: Box<dyn NodeTransport>| -> Box<dyn NodeTransport> {
+            Box::new(crate::chaos::ChaosNode::new(t, node_ctl.clone(), id))
+        };
+        let report = self.run_with(
+            broker_t,
+            NodeEndpoints::ready(node_ts),
+            run,
+            Some(&mut wrap),
+        )?;
+        Ok((report, ctl.report()))
     }
 
     /// Run the cluster over UDP: one datagram socket per node plus one
@@ -190,7 +323,7 @@ impl Cluster {
         let n = self.nodes.len();
         let broker_t = UdpBroker::bind(n).map_err(LiveError::Transport)?;
         let addr = broker_t.local_addr().map_err(LiveError::Transport)?;
-        self.run_with(broker_t, NodeEndpoints::Udp(addr), run)
+        self.run_with(broker_t, NodeEndpoints::Udp(addr), run, None)
     }
 
     fn run_with<B>(
@@ -198,6 +331,7 @@ impl Cluster {
         broker_transport: B,
         endpoints: NodeEndpoints,
         run: Duration,
+        wrap: Option<&mut WrapFn>,
     ) -> Result<LiveReport, LiveError>
     where
         B: crate::transport::BrokerTransport + 'static,
@@ -261,61 +395,98 @@ impl Cluster {
             etags: Arc::new(etags),
             log: Arc::new(Mutex::new(Vec::new())),
             sink: sink.clone(),
+            snapshots: Arc::new(Mutex::new(HashMap::new())),
         };
 
-        // Spawn the node threads; the broker runs on this thread.
-        let mut endpoints = endpoints;
-        let mut handles = Vec::with_capacity(self.nodes.len());
+        // Hand the node definitions to the supervisor, which owns all
+        // spawning — the initial threads here and any restarted
+        // incarnations the broker asks for mid-run.
+        let n = self.nodes.len();
+        let mut cfgs = Vec::with_capacity(n);
+        let mut sources = Vec::with_capacity(n);
         for (id, def) in self.nodes.into_iter().enumerate() {
-            let node_cfg = NodeConfig {
+            cfgs.push(NodeConfig {
                 node: id as u8,
+                incarnation: 0,
                 publishes: def.publishes,
                 subscribes: def.subscribes,
                 srt_queue_cap: cfg.srt_queue_cap,
                 nrt_queue_cap: cfg.nrt_queue_cap,
-            };
-            let shared = shared.clone();
-            let endpoint = endpoints.take(id as u8);
-            let handle = crate::sync::thread::Builder::new()
-                .name(format!("rtec-node-{id}"))
-                .spawn(move || -> Result<NodeStats, LiveError> {
-                    let transport = endpoint.connect()?;
-                    LiveNode::new(node_cfg, shared, transport, def.behavior)?.run()
-                })
-                .map_err(|e| LiveError::Config(format!("spawn failed: {e}")))?;
-            handles.push(handle);
+            });
+            sources.push(def.behavior);
+        }
+        let udp_addr = match &endpoints {
+            NodeEndpoints::Udp(addr) => Some(*addr),
+            NodeEndpoints::Ready(_) => None,
+        };
+        let mut supervisor = Supervisor {
+            cfgs,
+            sources,
+            shared: shared.clone(),
+            udp_addr,
+            handles: (0..n).map(|_| None).collect(),
+            wrap,
+            max_restarts: cfg.max_restarts,
+            backoff_ns: cfg.restart_backoff.as_ns().max(1),
+            rng: Rng::seed_from_u64(cfg.restart_seed),
+            restarts: vec![0; n],
+        };
+        let mut endpoints = endpoints;
+        for id in 0..n as u8 {
+            supervisor.spawn_node(id, 0, endpoints.take(id))?;
         }
 
-        let broker = Broker::new(
+        let mut broker = Broker::new(
             BrokerConfig {
                 timing: cfg.timing,
                 pace: cfg.pace,
                 fault: cfg.fault.clone(),
+                strict: cfg.strict,
+                heartbeat: cfg.heartbeat,
+                ..BrokerConfig::default()
             },
             broker_transport,
             sink.clone(),
         );
-        let broker_result = broker.run(Time::ZERO + run);
+        let broker_result = broker.run_supervised(Time::ZERO + run, Some(&mut supervisor));
+        let supervision = SupervisionReport::from_events(broker.take_sup_log());
 
-        let mut stats = Vec::with_capacity(handles.len());
+        let mut stats = Vec::with_capacity(n);
         let mut first_node_err = None;
-        for (id, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(Ok(s)) => stats.push(s),
-                Ok(Err(e)) => {
-                    first_node_err.get_or_insert(e);
-                    stats.push(NodeStats {
+        for (id, handle) in supervisor.handles.into_iter().enumerate() {
+            match handle.map(|h| h.join()) {
+                Some(Ok(Ok(s))) => stats.push(s),
+                Some(Ok(Err(e))) => {
+                    // The last incarnation crashed (quarantined, off, or
+                    // chaos-killed at shutdown). Its counters survive in
+                    // the crash snapshot; the error itself is terminal
+                    // only in strict mode — supervised runs report it
+                    // through the supervision log instead.
+                    if cfg.strict {
+                        first_node_err.get_or_insert(e);
+                    }
+                    let snap = shared
+                        .snapshots
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&(id as u8));
+                    stats.push(snap.map(|s| s.stats).unwrap_or(NodeStats {
                         node: id as u8,
                         ..NodeStats::default()
-                    });
+                    }));
                 }
-                Err(_) => {
+                Some(Err(_)) => {
+                    // A panic is a bug, never an injected fault.
                     first_node_err.get_or_insert(LiveError::NodeFailed(id as u8));
                     stats.push(NodeStats {
                         node: id as u8,
                         ..NodeStats::default()
                     });
                 }
+                None => stats.push(NodeStats {
+                    node: id as u8,
+                    ..NodeStats::default()
+                }),
             }
         }
         let broker_stats = broker_result?;
@@ -336,6 +507,7 @@ impl Cluster {
         Ok(LiveReport {
             stats,
             broker: broker_stats,
+            supervision,
             log,
             trace,
             trace_dropped: sink.dropped(),
@@ -344,6 +516,102 @@ impl Cluster {
             channels,
             hrt_periods,
         })
+    }
+}
+
+/// The endpoint-wrapping hook threaded through a run (see
+/// [`Cluster::run_for_wrapped`]). Called once per spawned incarnation.
+pub type WrapFn = dyn FnMut(u8, Box<dyn NodeTransport>) -> Box<dyn NodeTransport>;
+
+/// Owns the node threads for one run: spawns the initial incarnations
+/// and, as the broker's [`NodeSupervisor`], decides restart backoff and
+/// respawns crashed nodes with a bumped incarnation.
+struct Supervisor<'a> {
+    cfgs: Vec<NodeConfig>,
+    sources: Vec<BehaviorSource>,
+    shared: SharedConfig,
+    udp_addr: Option<std::net::SocketAddr>,
+    handles: Vec<Option<JoinHandle<Result<NodeStats, LiveError>>>>,
+    wrap: Option<&'a mut WrapFn>,
+    max_restarts: u32,
+    backoff_ns: u64,
+    rng: Rng,
+    /// Restarts consumed per node.
+    restarts: Vec<u32>,
+}
+
+impl Supervisor<'_> {
+    fn spawn_node(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        endpoint: NodeEndpoint,
+    ) -> Result<(), LiveError> {
+        let Some(behavior) = self.sources[node as usize].take() else {
+            return Err(LiveError::RestartUnsupported { node });
+        };
+        let endpoint = match (endpoint, self.wrap.as_mut()) {
+            (NodeEndpoint::Ready(t), Some(w)) => NodeEndpoint::Ready(w(node, t)),
+            (e, _) => e,
+        };
+        let mut node_cfg = self.cfgs[node as usize].clone();
+        node_cfg.incarnation = incarnation;
+        let shared = self.shared.clone();
+        let handle = crate::sync::thread::Builder::new()
+            .name(format!("rtec-node-{node}"))
+            .spawn(move || -> Result<NodeStats, LiveError> {
+                let transport = endpoint.connect()?;
+                LiveNode::new(node_cfg, shared, transport, behavior)?.run()
+            })
+            .map_err(|e| LiveError::Config(format!("spawn failed: {e}")))?;
+        self.handles[node as usize] = Some(handle);
+        Ok(())
+    }
+}
+
+impl NodeSupervisor for Supervisor<'_> {
+    fn on_down(
+        &mut self,
+        node: u8,
+        _incarnation: u32,
+        _at_ns: u64,
+        _reason: &'static str,
+    ) -> Option<u64> {
+        let n = node as usize;
+        if !self.sources[n].can_respawn() || self.restarts[n] >= self.max_restarts {
+            return None;
+        }
+        self.restarts[n] += 1;
+        // Bounded exponential backoff in bus time, plus up to one base
+        // interval of seeded jitter so same-instant restarts spread out
+        // — deterministic across same-seed runs.
+        let shift = (self.restarts[n] - 1).min(16);
+        let backoff = self.backoff_ns << shift;
+        Some(backoff + self.rng.gen_range_u64(self.backoff_ns))
+    }
+
+    fn respawn(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        _at_ns: u64,
+        link: Option<Box<dyn NodeTransport>>,
+    ) -> Result<(), LiveError> {
+        // Reap the dead incarnation first; its exit error (transport
+        // severed, chaos kill) is expected, not propagated.
+        if let Some(h) = self.handles[node as usize].take() {
+            let _ = h.join();
+        }
+        let endpoint = match link {
+            Some(t) => NodeEndpoint::Ready(t),
+            None => {
+                let addr = self
+                    .udp_addr
+                    .ok_or(LiveError::RestartUnsupported { node })?;
+                NodeEndpoint::Udp(addr, node, incarnation)
+            }
+        };
+        self.spawn_node(node, incarnation, endpoint)
     }
 }
 
@@ -356,27 +624,36 @@ enum NodeEndpoints {
 }
 
 impl NodeEndpoints {
+    fn ready<T: NodeTransport + 'static>(endpoints: Vec<T>) -> Self {
+        NodeEndpoints::Ready(
+            endpoints
+                .into_iter()
+                .map(|t| Some(Box::new(t) as Box<dyn NodeTransport>))
+                .collect(),
+        )
+    }
+
     fn take(&mut self, node: u8) -> NodeEndpoint {
         match self {
             NodeEndpoints::Ready(v) => {
                 NodeEndpoint::Ready(v[node as usize].take().expect("endpoint taken once"))
             }
-            NodeEndpoints::Udp(addr) => NodeEndpoint::Udp(*addr, node),
+            NodeEndpoints::Udp(addr) => NodeEndpoint::Udp(*addr, node, 0),
         }
     }
 }
 
 enum NodeEndpoint {
     Ready(Box<dyn NodeTransport>),
-    Udp(std::net::SocketAddr, u8),
+    Udp(std::net::SocketAddr, u8, u32),
 }
 
 impl NodeEndpoint {
     fn connect(self) -> Result<Box<dyn NodeTransport>, LiveError> {
         match self {
             NodeEndpoint::Ready(t) => Ok(t),
-            NodeEndpoint::Udp(addr, node) => Ok(Box::new(
-                UdpNode::connect(addr, node).map_err(LiveError::Transport)?,
+            NodeEndpoint::Udp(addr, node, incarnation) => Ok(Box::new(
+                UdpNode::connect(addr, node, incarnation).map_err(LiveError::Transport)?,
             )),
         }
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod chaos;
 pub mod clock;
 pub mod cluster;
 pub mod node;
@@ -31,11 +32,14 @@ pub mod transport;
 pub mod udp;
 pub mod wire;
 
-pub use broker::{Broker, BrokerConfig, FaultPlan};
+pub use broker::{Broker, BrokerConfig, FaultPlan, NodeSupervisor, SupEvent, SupKind};
+pub use chaos::{ChaosPlan, ChaosReport, ChaosVerdict};
 pub use clock::{BitClock, Pace};
-pub use cluster::{Cluster, ClusterConfig, LiveReport};
-pub use node::{Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeCtx, NodeStats, SharedConfig};
-pub use transport::{loopback, BrokerTransport, NodeTransport, TransportError};
+pub use cluster::{Cluster, ClusterConfig, LiveReport, SupervisionReport};
+pub use node::{
+    Behavior, DeliveryRecord, LiveNode, NodeConfig, NodeCtx, NodeSnapshot, NodeStats, SharedConfig,
+};
+pub use transport::{loopback, BrokerTransport, NodeTransport, Relink, TransportError};
 pub use wire::{ToBroker, ToNode, WireError};
 
 use rtec_analysis::admission::AdmissionError;
@@ -66,11 +70,29 @@ pub enum LiveError {
     NodeFailed(u8),
     /// A node kept the broker's turn alive past the reply budget —
     /// it never returned to `Idle` (protocol bug or wedged thread).
+    /// Terminal only under [`broker::BrokerConfig::strict`]; otherwise
+    /// the supervisor quarantines the node and the cluster keeps
+    /// running.
     ProtocolStall {
         /// The node whose turn exceeded the budget.
         node: u8,
         /// How many replies the broker drained before giving up.
         replies: usize,
+    },
+    /// A node exhausted its restart budget and was declared off, the
+    /// live analogue of CAN bus-off without auto-recovery (§3.5).
+    /// Non-terminal when supervised: recorded in the
+    /// [`cluster::SupervisionReport`] while the cluster keeps running.
+    NodeOff {
+        /// The node that was declared off.
+        node: u8,
+    },
+    /// A supervised restart could not be carried out (the transport
+    /// cannot relink, or the node has no behavior factory to respawn
+    /// from).
+    RestartUnsupported {
+        /// The node that could not be restarted.
+        node: u8,
     },
 }
 
@@ -94,6 +116,12 @@ impl core::fmt::Display for LiveError {
                 f,
                 "node {node} stalled the turn protocol: {replies} replies without Idle"
             ),
+            LiveError::NodeOff { node } => {
+                write!(f, "node {node} exhausted its restart budget (bus-off)")
+            }
+            LiveError::RestartUnsupported { node } => {
+                write!(f, "node {node} cannot be restarted on this cluster")
+            }
         }
     }
 }

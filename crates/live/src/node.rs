@@ -93,6 +93,13 @@ fn srt_payload(chan: usize, seq: u32) -> u64 {
 pub struct NodeConfig {
     /// The node's id (also its CAN TxNode field).
     pub node: u8,
+    /// Which life of this node this is: 0 for the original spawn,
+    /// bumped by the supervisor on every restart. Carried in the
+    /// `Hello`/`Welcome` handshake so the broker can tell a rejoin from
+    /// a stale replay, and used to adopt the crash snapshot (a node
+    /// with `incarnation > 0` resumes its predecessor's SRT/NRT queues
+    /// and counters).
+    pub incarnation: u32,
     /// Subjects this node publishes, with their channel attributes.
     pub publishes: Vec<(Subject, ChannelSpec)>,
     /// Subjects this node subscribes to (attributes mirror the
@@ -123,6 +130,33 @@ pub struct SharedConfig {
     pub log: Arc<Mutex<Vec<DeliveryRecord>>>,
     /// Shared structured trace sink (same records as the simulator).
     pub sink: SharedTraceSink,
+    /// Crash snapshots, keyed by node id: written by a dying node
+    /// thread on its way out, adopted by the next incarnation during
+    /// its `Welcome` handshake.
+    pub snapshots: Arc<Mutex<HashMap<u8, NodeSnapshot>>>,
+}
+
+/// State a crashing node thread leaves behind for its next incarnation.
+///
+/// Deliberately *excludes* each channel's in-flight message: a crash
+/// may lose the event that was on the wire, but resuming from the
+/// snapshot can never deliver one twice (at-most-once across rejoin).
+/// HRT channels are not snapshotted at all — their traffic is periodic
+/// and slot-driven, so the next incarnation simply rejoins the calendar.
+#[derive(Clone, Default)]
+pub struct NodeSnapshot {
+    /// Counters accumulated by the dead incarnation(s), so a node's
+    /// reported stats span its whole lifetime rather than its last
+    /// life.
+    pub stats: NodeStats,
+    /// Queued (not in-flight) SRT events per channel index. Attributes
+    /// carry the original absolute deadline/expiration, so re-publishing
+    /// restores EDF order and expiry behavior.
+    srt: Vec<Vec<Event>>,
+    /// Queued NRT transfers per channel index, as ready-to-submit
+    /// fragment payload lists. A partially transmitted front transfer
+    /// is dropped with the crash (best-effort class).
+    nrt: Vec<Vec<Vec<Vec<u8>>>>,
 }
 
 /// One delivery observed at a subscriber, in bus order — the unit the
@@ -343,6 +377,14 @@ enum Notice {
 /// callbacks can borrow the rest of the node mutably).
 struct NodeCore {
     node: u8,
+    incarnation: u32,
+    /// Set once the matching `Welcome` was adopted; replays are ignored.
+    welcomed: bool,
+    /// Wire completion time of the last `Deliver` processed. The wire
+    /// is serial and every frame takes non-zero bus time, so completion
+    /// times are strictly monotonic per bus — anything at or before the
+    /// watermark is a duplicate datagram and is dropped.
+    last_deliver_ns: u64,
     now: Time,
     transport: Box<dyn NodeTransport>,
     shared: SharedConfig,
@@ -408,6 +450,9 @@ impl LiveNode {
         }
         let mut core = NodeCore {
             node: cfg.node,
+            incarnation: cfg.incarnation,
+            welcomed: false,
+            last_deliver_ns: 0,
             now: Time::ZERO,
             transport,
             round: shared.calendar.round,
@@ -514,7 +559,21 @@ impl LiveNode {
 
     /// Run the node to completion (until the broker sends `Shutdown`).
     /// This is the node thread's main; it returns the node's counters.
+    ///
+    /// If the transport fails mid-run — the broker severed the link
+    /// after declaring this node down, or the thread is being chaos
+    /// killed — the node drains its channel state into a
+    /// [`NodeSnapshot`] before exiting, so a supervised restart can
+    /// resume where this incarnation left off.
     pub fn run(mut self) -> Result<NodeStats, LiveError> {
+        let result = self.run_loop();
+        if result.is_err() {
+            self.core.store_snapshot();
+        }
+        result
+    }
+
+    fn run_loop(&mut self) -> Result<NodeStats, LiveError> {
         loop {
             let msg = self
                 .core
@@ -543,10 +602,32 @@ impl LiveNode {
     fn handle(&mut self, msg: ToNode) -> Result<bool, LiveError> {
         let LiveNode { core, behavior } = self;
         match msg {
-            ToNode::Welcome { now_ns } => {
+            ToNode::Welcome {
+                now_ns,
+                incarnation,
+            } => {
+                // Adoption guard: only the Welcome addressed to *this*
+                // incarnation opens the run, exactly once. A duplicate
+                // or stale-replay Welcome (UDP) must not re-arm the
+                // calendar or re-run `on_start`.
+                if incarnation != core.incarnation || core.welcomed {
+                    return Ok(false);
+                }
+                core.welcomed = true;
                 core.now = Time::from_ns(now_ns);
                 core.arm_hrt_ready_timers()?;
+                if core.incarnation > 0 {
+                    core.resume_snapshot()?;
+                }
                 behavior.on_start(&mut NodeCtx { core });
+            }
+            ToNode::Ping { nonce } => {
+                let (node, incarnation) = (core.node, core.incarnation);
+                core.send(ToBroker::Pong {
+                    node,
+                    incarnation,
+                    nonce,
+                })?;
             }
             ToNode::Timer { token: tok, now_ns } => {
                 core.now = Time::from_ns(now_ns);
@@ -562,6 +643,13 @@ impl LiveNode {
                 completed_ns,
                 frame,
             } => {
+                // At-most-once across duplicates: completion times are
+                // strictly monotonic on a serial wire, so a repeat of
+                // an already-seen instant is a duplicated datagram.
+                if completed_ns <= core.last_deliver_ns {
+                    return Ok(false);
+                }
+                core.last_deliver_ns = completed_ns;
                 core.now = Time::from_ns(completed_ns);
                 core.on_deliver(&frame)?;
             }
@@ -656,6 +744,88 @@ impl NodeCore {
             .push(rec);
         self.stats.delivered += 1;
         self.notices.push(Notice::Delivered(delivery));
+    }
+
+    // ----------------------------------------------------------------
+    // Crash snapshot / rejoin resync
+    // ----------------------------------------------------------------
+
+    /// Drain this incarnation's channel state into the shared snapshot
+    /// map, called on the way out of a failed run. In-flight messages
+    /// are excluded (see [`NodeSnapshot`]).
+    fn store_snapshot(&mut self) {
+        let srt: Vec<Vec<Event>> = self
+            .srt_chans
+            .iter()
+            .map(|c| {
+                let inflight_seq = c.inflight.map(|(s, _, _)| s);
+                (0..c.queue.len())
+                    .filter(|&i| Some(c.queue[i].seq) != inflight_seq)
+                    .map(|i| c.queue[i].event.clone())
+                    .collect()
+            })
+            .collect();
+        let nrt: Vec<Vec<Vec<Vec<u8>>>> = self
+            .nrt_chans
+            .iter()
+            .map(|c| {
+                c.queue
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, t)| !(i == 0 && (t.next > 0 || c.inflight.is_some())))
+                    .map(|(_, t)| t.payloads.clone())
+                    .collect()
+            })
+            .collect();
+        let snap = NodeSnapshot {
+            stats: self.stats.clone(),
+            srt,
+            nrt,
+        };
+        self.shared
+            .snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(self.node, snap);
+    }
+
+    /// Adopt the predecessor incarnation's snapshot during the rejoin
+    /// `Welcome`: re-publish its queued SRT events (their absolute
+    /// deadlines restore EDF order; stale ones expire immediately),
+    /// requeue its NRT transfers, and carry its counters forward.
+    fn resume_snapshot(&mut self) -> Result<(), LiveError> {
+        let snap = self
+            .shared
+            .snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.node);
+        let Some(snap) = snap else {
+            return Ok(());
+        };
+        for events in snap.srt {
+            for event in events {
+                if let Err(LiveError::Transport(e)) = self.publish(event) {
+                    return Err(LiveError::Transport(e));
+                }
+            }
+        }
+        for (chan, transfers) in snap.nrt.into_iter().enumerate() {
+            if chan >= self.nrt_chans.len() {
+                break;
+            }
+            for payloads in transfers {
+                let c = &mut self.nrt_chans[chan];
+                c.queued_frames += payloads.len();
+                c.queue.push_back(NrtTransfer { payloads, next: 0 });
+            }
+            self.nrt_dispatch(chan)?;
+        }
+        // The re-publishes above were already counted by the life that
+        // first accepted them: the carried counters replace, not add to,
+        // whatever the resume itself just bumped.
+        self.stats = snap.stats;
+        Ok(())
     }
 
     // ----------------------------------------------------------------

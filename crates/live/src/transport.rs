@@ -52,6 +52,19 @@ pub trait NodeTransport: Send {
     fn recv(&mut self, timeout: Duration) -> Result<ToNode, TransportError>;
 }
 
+/// How a restarted node re-attaches to the broker's transport, the
+/// result of [`BrokerTransport::relink`].
+pub enum Relink {
+    /// The transport minted a fresh node endpoint (loopback); the
+    /// supervisor hands it to the new node thread directly.
+    Link(Box<dyn NodeTransport>),
+    /// The node side must dial back in itself (UDP: the restarted node
+    /// opens a new socket and re-runs the `Hello` handshake); the
+    /// broker must call [`BrokerTransport::rendezvous_node`] before
+    /// sending it anything.
+    Reconnect,
+}
+
 /// The broker's endpoint of the transport, addressing nodes by index.
 pub trait BrokerTransport: Send {
     /// Number of node endpoints this transport serves.
@@ -67,6 +80,23 @@ pub trait BrokerTransport: Send {
     fn send(&mut self, node: u8, msg: ToNode) -> Result<(), TransportError>;
     /// Wait up to `timeout` for the next message *from node `node`*.
     fn recv_from(&mut self, node: u8, timeout: Duration) -> Result<ToBroker, TransportError>;
+    /// Sever the link to node `node`: drop the broker-side endpoint so
+    /// a quarantined or crashed peer observes a disconnect instead of
+    /// blocking on a full channel forever. Idempotent; a no-op for
+    /// transports without per-node teardown.
+    fn unlink(&mut self, _node: u8) {}
+    /// Replace the link to node `node` ahead of a supervised restart,
+    /// discarding any queued messages from the dead incarnation.
+    /// Transports that do not support restart return an error.
+    fn relink(&mut self, _node: u8) -> Result<Relink, TransportError> {
+        Err(TransportError::Disconnected)
+    }
+    /// Block until a relinked node has dialed back in (see
+    /// [`Relink::Reconnect`]). Immediate for transports whose
+    /// [`relink`](BrokerTransport::relink) already returned a live link.
+    fn rendezvous_node(&mut self, _node: u8, _timeout: Duration) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// Node endpoint of the in-process loopback transport.
@@ -75,9 +105,10 @@ pub struct LoopbackNode {
     rx: mpsc::Receiver<ToNode>,
 }
 
-/// Broker endpoint of the in-process loopback transport.
+/// Broker endpoint of the in-process loopback transport. A severed
+/// (`unlink`ed) slot holds `None` and reports `Disconnected`.
 pub struct LoopbackBroker {
-    links: Vec<(mpsc::SyncSender<ToNode>, mpsc::Receiver<ToBroker>)>,
+    links: Vec<Option<(mpsc::SyncSender<ToNode>, mpsc::Receiver<ToBroker>)>>,
 }
 
 /// Build a loopback transport for `nodes` node endpoints.
@@ -92,15 +123,27 @@ pub fn loopback(nodes: usize) -> (LoopbackBroker, Vec<LoopbackNode>) {
     let mut links = Vec::with_capacity(nodes);
     let mut endpoints = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (to_node, from_broker) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
-        let (to_broker, from_node) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
-        links.push((to_node, from_node));
-        endpoints.push(LoopbackNode {
-            tx: to_broker,
-            rx: from_broker,
-        });
+        let (link, endpoint) = loopback_pair();
+        links.push(Some(link));
+        endpoints.push(endpoint);
     }
     (LoopbackBroker { links }, endpoints)
+}
+
+/// One broker-side link plus its matching node endpoint.
+fn loopback_pair() -> (
+    (mpsc::SyncSender<ToNode>, mpsc::Receiver<ToBroker>),
+    LoopbackNode,
+) {
+    let (to_node, from_broker) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
+    let (to_broker, from_node) = mpsc::bounded(mpsc::DEFAULT_DEPTH);
+    (
+        (to_node, from_node),
+        LoopbackNode {
+            tx: to_broker,
+            rx: from_broker,
+        },
+    )
 }
 
 impl NodeTransport for LoopbackNode {
@@ -126,6 +169,7 @@ impl BrokerTransport for LoopbackBroker {
         let (tx, _) = self
             .links
             .get(node as usize)
+            .and_then(|l| l.as_ref())
             .ok_or(TransportError::Disconnected)?;
         tx.send(msg).map_err(|_| TransportError::Disconnected)
     }
@@ -134,12 +178,29 @@ impl BrokerTransport for LoopbackBroker {
         let (_, rx) = self
             .links
             .get(node as usize)
+            .and_then(|l| l.as_ref())
             .ok_or(TransportError::Disconnected)?;
         match rx.recv_timeout(timeout) {
             Ok(msg) => Ok(msg),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
         }
+    }
+
+    fn unlink(&mut self, node: u8) {
+        if let Some(slot) = self.links.get_mut(node as usize) {
+            *slot = None;
+        }
+    }
+
+    fn relink(&mut self, node: u8) -> Result<Relink, TransportError> {
+        let slot = self
+            .links
+            .get_mut(node as usize)
+            .ok_or(TransportError::Disconnected)?;
+        let (link, endpoint) = loopback_pair();
+        *slot = Some(link);
+        Ok(Relink::Link(Box::new(endpoint)))
     }
 }
 
@@ -150,20 +211,71 @@ mod tests {
     #[test]
     fn loopback_round_trips_messages() {
         let (mut broker, mut nodes) = loopback(2);
-        nodes[1].send(ToBroker::Hello { node: 1 }).unwrap();
+        nodes[1]
+            .send(ToBroker::Hello {
+                node: 1,
+                incarnation: 0,
+            })
+            .unwrap();
         assert_eq!(
             broker.recv_from(1, Duration::from_secs(1)).unwrap(),
-            ToBroker::Hello { node: 1 }
+            ToBroker::Hello {
+                node: 1,
+                incarnation: 0
+            }
         );
-        broker.send(1, ToNode::Welcome { now_ns: 7 }).unwrap();
+        broker
+            .send(
+                1,
+                ToNode::Welcome {
+                    now_ns: 7,
+                    incarnation: 0,
+                },
+            )
+            .unwrap();
         assert_eq!(
             nodes[1].recv(Duration::from_secs(1)).unwrap(),
-            ToNode::Welcome { now_ns: 7 }
+            ToNode::Welcome {
+                now_ns: 7,
+                incarnation: 0
+            }
         );
         // The other node's mailbox is independent.
         assert_eq!(
             broker.recv_from(0, Duration::from_millis(10)),
             Err(TransportError::Timeout)
+        );
+    }
+
+    /// `unlink` severs the pair (the node side sees a disconnect) and
+    /// `relink` mints a fresh endpoint that works, discarding anything
+    /// the dead incarnation had queued.
+    #[test]
+    fn unlink_then_relink_replaces_the_pair() {
+        let (mut broker, mut nodes) = loopback(1);
+        nodes[0].send(ToBroker::Idle).unwrap(); // stale message
+        broker.unlink(0);
+        assert_eq!(
+            nodes[0].recv(Duration::from_millis(10)),
+            Err(TransportError::Disconnected)
+        );
+        assert_eq!(
+            broker.recv_from(0, Duration::from_millis(10)),
+            Err(TransportError::Disconnected)
+        );
+        let Ok(Relink::Link(mut fresh)) = broker.relink(0) else {
+            panic!("loopback relink must mint a link");
+        };
+        fresh.send(ToBroker::Done { node: 0 }).unwrap();
+        // The stale pre-unlink message is gone; the fresh one arrives.
+        assert_eq!(
+            broker.recv_from(0, Duration::from_secs(1)).unwrap(),
+            ToBroker::Done { node: 0 }
+        );
+        broker.send(0, ToNode::Shutdown).unwrap();
+        assert_eq!(
+            fresh.recv(Duration::from_secs(1)).unwrap(),
+            ToNode::Shutdown
         );
     }
 

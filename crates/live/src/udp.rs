@@ -17,8 +17,10 @@
 //! datagram loss is surfaced as a [`TransportError::Timeout`] rather
 //! than recovered, which keeps the broker deterministic.
 
-use crate::transport::{BrokerTransport, NodeTransport, TransportError};
+use crate::sync::thread;
+use crate::transport::{BrokerTransport, NodeTransport, Relink, TransportError};
 use crate::wire::{self, ToBroker, ToNode};
+use rtec_sim::Rng;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -31,6 +33,15 @@ const HELLO_BACKOFF_FIRST: Duration = Duration::from_millis(20);
 /// time: 20 ms, 40 ms, … ≈ 2.5 s in total).
 const HELLO_ATTEMPTS: u32 = 7;
 
+/// Datagram send attempts before a transient kernel error (buffer
+/// exhaustion, interrupt) is surfaced as [`TransportError::Io`] — the
+/// error-passive trigger of the broker's fault confinement.
+const SEND_ATTEMPTS: u32 = 4;
+/// Base backoff between send retries; doubles per attempt, plus up to
+/// one base interval of seeded jitter so two peers retrying the same
+/// congested instant do not stay in lock-step.
+const SEND_BACKOFF_FIRST: Duration = Duration::from_micros(200);
+
 fn io_err(e: std::io::Error) -> TransportError {
     TransportError::Io(e.to_string())
 }
@@ -42,6 +53,38 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Whether a send error is worth retrying: the datagram never left
+/// (interrupted syscall, full socket buffer), so a short backoff can
+/// succeed. Anything else (unreachable peer, closed socket) is final.
+fn is_transient(e: &std::io::Error) -> bool {
+    is_timeout(e) || matches!(e.kind(), std::io::ErrorKind::Interrupted)
+}
+
+/// Send one datagram with bounded retry: exponential backoff from
+/// [`SEND_BACKOFF_FIRST`] with seeded jitter, [`SEND_ATTEMPTS`] tries.
+fn send_with_retry(
+    rng: &mut Rng,
+    mut attempt: impl FnMut() -> std::io::Result<usize>,
+) -> Result<(), TransportError> {
+    let mut backoff = SEND_BACKOFF_FIRST;
+    let mut last = None;
+    for i in 0..SEND_ATTEMPTS {
+        match attempt() {
+            Ok(_) => return Ok(()),
+            Err(e) if is_transient(&e) => {
+                last = Some(e);
+                if i + 1 < SEND_ATTEMPTS {
+                    let jitter_ns = rng.gen_range_u64(backoff.as_nanos().max(1) as u64);
+                    thread::sleep(backoff + Duration::from_nanos(jitter_ns));
+                    backoff *= 2;
+                }
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Err(io_err(last.expect("retries imply a transient error")))
+}
+
 /// Node endpoint of the UDP transport.
 pub struct UdpNode {
     sock: UdpSocket,
@@ -49,17 +92,21 @@ pub struct UdpNode {
     /// The `Welcome` consumed during the rendezvous, replayed to the
     /// node runtime on its first `recv`.
     pending: Option<ToNode>,
+    retry_rng: Rng,
 }
 
 impl UdpNode {
     /// Bind an ephemeral localhost socket and rendezvous with the
-    /// broker at `broker`: send `Hello{node}` with exponential backoff
-    /// until `Welcome` arrives. The `Welcome` is buffered and returned
-    /// by the first [`NodeTransport::recv`] call.
-    pub fn connect(broker: SocketAddr, node: u8) -> Result<Self, TransportError> {
+    /// broker at `broker`: send `Hello{node, incarnation}` with
+    /// exponential backoff until `Welcome` arrives. The `Welcome` is
+    /// buffered and returned by the first [`NodeTransport::recv`] call.
+    /// A restarted incarnation (`incarnation > 0`) dials back in with
+    /// the same handshake; the broker tells the rejoin apart from a
+    /// stale replay by the incarnation counter.
+    pub fn connect(broker: SocketAddr, node: u8, incarnation: u32) -> Result<Self, TransportError> {
         let sock = UdpSocket::bind(("127.0.0.1", 0)).map_err(io_err)?;
         sock.connect(broker).map_err(io_err)?;
-        let hello = wire::encode_to_broker(&ToBroker::Hello { node });
+        let hello = wire::encode_to_broker(&ToBroker::Hello { node, incarnation });
         let mut backoff = HELLO_BACKOFF_FIRST;
         let mut buf = [0u8; MAX_DATAGRAM];
         for _ in 0..HELLO_ATTEMPTS {
@@ -73,6 +120,9 @@ impl UdpNode {
                             sock,
                             node,
                             pending: Some(msg),
+                            retry_rng: Rng::seed_from_u64(
+                                0x0DD_BA11 ^ (u64::from(node) << 32) ^ u64::from(incarnation),
+                            ),
                         });
                     }
                     // Anything else before Welcome is a protocol error.
@@ -93,10 +143,9 @@ impl UdpNode {
 
 impl NodeTransport for UdpNode {
     fn send(&mut self, msg: ToBroker) -> Result<(), TransportError> {
-        self.sock
-            .send(&wire::encode_to_broker(&msg))
-            .map_err(io_err)
-            .map(|_| ())
+        let bytes = wire::encode_to_broker(&msg);
+        let (sock, rng) = (&self.sock, &mut self.retry_rng);
+        send_with_retry(rng, || sock.send(&bytes))
     }
 
     fn recv(&mut self, timeout: Duration) -> Result<ToNode, TransportError> {
@@ -138,6 +187,7 @@ pub struct UdpBroker {
     queues: Vec<VecDeque<ToBroker>>,
     /// Last `Welcome` sent to each node, replayed on duplicate `Hello`.
     welcomes: Vec<Option<Vec<u8>>>,
+    retry_rng: Rng,
 }
 
 impl UdpBroker {
@@ -149,6 +199,7 @@ impl UdpBroker {
             addrs: vec![None; nodes],
             queues: (0..nodes).map(|_| VecDeque::new()).collect(),
             welcomes: vec![None; nodes],
+            retry_rng: Rng::seed_from_u64(0xB0_B11C),
         })
     }
 
@@ -169,7 +220,7 @@ impl UdpBroker {
             Err(e) => return Err(io_err(e)),
         };
         let msg = wire::decode_to_broker(&buf[..n])?;
-        if let ToBroker::Hello { node } = msg {
+        if let ToBroker::Hello { node, .. } = msg {
             let idx = node as usize;
             if idx >= self.addrs.len() {
                 return Ok(()); // unknown node id: drop
@@ -177,13 +228,22 @@ impl UdpBroker {
             match self.addrs[idx] {
                 // Hellos are consumed by the transport (the runtime
                 // protocol starts at Welcome), so they are not queued.
+                // An empty slot — initial rendezvous or a relink
+                // awaiting its restarted incarnation — learns the
+                // address.
                 None => self.addrs[idx] = Some(from),
-                Some(_) => {
+                Some(a) if a == from => {
                     // Duplicate Hello: our Welcome was lost — replay it.
                     if let Some(w) = &self.welcomes[idx] {
                         self.sock.send_to(w, from).map_err(io_err)?;
                     }
                 }
+                // A Hello from a *different* address while the slot is
+                // taken is a stale replay from a dead incarnation's
+                // socket; the broker's incarnation check handles the
+                // protocol-level classification, the transport just
+                // refuses to rebind the slot.
+                Some(_) => {}
             }
             return Ok(());
         }
@@ -227,7 +287,8 @@ impl BrokerTransport for UdpBroker {
         if matches!(msg, ToNode::Welcome { .. }) {
             self.welcomes[idx] = Some(bytes.clone());
         }
-        self.sock.send_to(&bytes, addr).map_err(io_err).map(|_| ())
+        let (sock, rng) = (&self.sock, &mut self.retry_rng);
+        send_with_retry(rng, || sock.send_to(&bytes, addr))
     }
 
     fn recv_from(&mut self, node: u8, timeout: Duration) -> Result<ToBroker, TransportError> {
@@ -247,6 +308,48 @@ impl BrokerTransport for UdpBroker {
             self.pump(deadline - now)?;
         }
     }
+
+    fn unlink(&mut self, node: u8) {
+        let idx = node as usize;
+        if idx >= self.addrs.len() {
+            return;
+        }
+        // Forget the dead incarnation entirely: its address (so stale
+        // datagrams from that socket no longer demultiplex), its queued
+        // messages, and its replayable Welcome.
+        self.addrs[idx] = None;
+        self.queues[idx].clear();
+        self.welcomes[idx] = None;
+    }
+
+    fn relink(&mut self, node: u8) -> Result<Relink, TransportError> {
+        if node as usize >= self.addrs.len() {
+            return Err(TransportError::Disconnected);
+        }
+        self.unlink(node);
+        // UDP cannot mint a node endpoint — the restarted node opens
+        // its own socket and dials back in with `Hello`.
+        Ok(Relink::Reconnect)
+    }
+
+    fn rendezvous_node(&mut self, node: u8, timeout: Duration) -> Result<(), TransportError> {
+        let idx = node as usize;
+        if idx >= self.addrs.len() {
+            return Err(TransportError::Disconnected);
+        }
+        let deadline = Instant::now() + timeout;
+        while self.addrs[idx].is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            match self.pump(deadline - now) {
+                Ok(()) | Err(TransportError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +362,7 @@ mod tests {
         let mut broker = UdpBroker::bind(2).unwrap();
         let addr = broker.local_addr().unwrap();
         let handles: Vec<_> = (0..2u8)
-            .map(|n| thread::spawn(move || UdpNode::connect(addr, n).unwrap()))
+            .map(|n| thread::spawn(move || UdpNode::connect(addr, n, 0).unwrap()))
             .collect();
         // Learn both addresses (order of Hello arrival is arbitrary).
         broker.rendezvous(Duration::from_secs(5)).unwrap();
@@ -269,6 +372,7 @@ mod tests {
                     n,
                     ToNode::Welcome {
                         now_ns: u64::from(n),
+                        incarnation: 0,
                     },
                 )
                 .unwrap();
@@ -277,7 +381,10 @@ mod tests {
         for (i, node) in nodes.iter_mut().enumerate() {
             assert_eq!(
                 node.recv(Duration::from_secs(5)).unwrap(),
-                ToNode::Welcome { now_ns: i as u64 }
+                ToNode::Welcome {
+                    now_ns: i as u64,
+                    incarnation: 0
+                }
             );
         }
         // Steady state: node 1 submits, broker sees it addressed correctly.
@@ -294,8 +401,75 @@ mod tests {
         let silent = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
         let addr = silent.local_addr().unwrap();
         let start = Instant::now();
-        let res = UdpNode::connect(addr, 0);
+        let res = UdpNode::connect(addr, 0, 0);
         assert_eq!(res.err(), Some(TransportError::Timeout));
         assert!(start.elapsed() >= HELLO_BACKOFF_FIRST);
+    }
+
+    /// A crashed node's slot can be relinked: the broker forgets the
+    /// old incarnation (address, queue, Welcome) and a fresh socket
+    /// dials back in under a bumped incarnation while the dead
+    /// incarnation's straggler datagrams are ignored.
+    #[test]
+    fn relink_rejoins_a_restarted_incarnation() {
+        let mut broker = UdpBroker::bind(1).unwrap();
+        let addr = broker.local_addr().unwrap();
+        let h = thread::spawn(move || UdpNode::connect(addr, 0, 0).unwrap());
+        broker.rendezvous(Duration::from_secs(5)).unwrap();
+        broker
+            .send(
+                0,
+                ToNode::Welcome {
+                    now_ns: 1,
+                    incarnation: 0,
+                },
+            )
+            .unwrap();
+        let mut old = h.join().unwrap();
+        assert!(matches!(
+            old.recv(Duration::from_secs(5)).unwrap(),
+            ToNode::Welcome { incarnation: 0, .. }
+        ));
+        old.send(ToBroker::Idle).unwrap(); // will be discarded by relink
+
+        // Crash: the broker quarantines the node, then restarts it.
+        assert!(matches!(broker.relink(0), Ok(Relink::Reconnect)));
+        assert_eq!(
+            broker.send(0, ToNode::Shutdown),
+            Err(TransportError::Disconnected),
+            "an unlinked slot must not be reachable"
+        );
+        let h = thread::spawn(move || UdpNode::connect(addr, 0, 1).unwrap());
+        broker.rendezvous_node(0, Duration::from_secs(5)).unwrap();
+        broker
+            .send(
+                0,
+                ToNode::Welcome {
+                    now_ns: 2,
+                    incarnation: 1,
+                },
+            )
+            .unwrap();
+        let mut fresh = h.join().unwrap();
+        assert_eq!(
+            fresh.recv(Duration::from_secs(5)).unwrap(),
+            ToNode::Welcome {
+                now_ns: 2,
+                incarnation: 1
+            }
+        );
+        // The old incarnation's pre-crash Idle was dropped with its
+        // queue; the fresh incarnation's traffic flows normally.
+        fresh
+            .send(ToBroker::Hello {
+                node: 0,
+                incarnation: 1,
+            })
+            .unwrap();
+        fresh.send(ToBroker::Done { node: 0 }).unwrap();
+        assert_eq!(
+            broker.recv_from(0, Duration::from_secs(5)).unwrap(),
+            ToBroker::Done { node: 0 }
+        );
     }
 }

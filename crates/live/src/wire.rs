@@ -35,6 +35,10 @@ pub enum ToBroker {
     Hello {
         /// The sender's node id.
         node: u8,
+        /// Restart generation of this node (0 for the first launch).
+        /// Lets the broker tell a rejoin handshake from a replayed or
+        /// straggling duplicate of an earlier one.
+        incarnation: u32,
     },
     /// Queue a frame for transmission.
     Submit {
@@ -64,6 +68,15 @@ pub enum ToBroker {
         /// Opaque token echoed back when it fires.
         token: u64,
     },
+    /// Liveness reply to a broker [`ToNode::Ping`].
+    Pong {
+        /// The sender's node id.
+        node: u8,
+        /// The node's current incarnation.
+        incarnation: u32,
+        /// Nonce echoed from the ping.
+        nonce: u64,
+    },
     /// The node finished reacting to the broker's last message.
     Idle,
     /// The node processed `Shutdown` and is about to exit.
@@ -80,6 +93,9 @@ pub enum ToNode {
     Welcome {
         /// Current bus time.
         now_ns: u64,
+        /// Incarnation this welcome addresses; a node ignores welcomes
+        /// for any incarnation other than its own (stale replays).
+        incarnation: u32,
     },
     /// A frame completed on the wire and this node receives it.
     Deliver {
@@ -109,6 +125,12 @@ pub enum ToNode {
         /// `true` if the frame was removed before reaching the wire;
         /// `false` means it is (or was) on the wire and will complete.
         aborted: bool,
+    },
+    /// Liveness probe for a node the broker has not heard from within
+    /// the heartbeat interval; the node answers [`ToBroker::Pong`].
+    Ping {
+        /// Nonce to echo back (the probe's bus time).
+        nonce: u64,
     },
     /// A timer armed with `TimerReq` fired.
     Timer {
@@ -177,12 +199,14 @@ const K_UPDATE_ID: u8 = 4;
 const K_TIMER_REQ: u8 = 5;
 const K_IDLE: u8 = 6;
 const K_DONE: u8 = 7;
+const K_PONG: u8 = 8;
 const K_WELCOME: u8 = 16;
 const K_DELIVER: u8 = 17;
 const K_TX_DONE: u8 = 18;
 const K_ABORT_RESULT: u8 = 19;
 const K_TIMER: u8 = 20;
 const K_SHUTDOWN: u8 = 21;
+const K_PING: u8 = 22;
 
 fn header(kind: u8, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
@@ -194,9 +218,10 @@ fn header(kind: u8, out: &mut Vec<u8>) {
 pub fn encode_to_broker(msg: &ToBroker) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     match msg {
-        ToBroker::Hello { node } => {
+        ToBroker::Hello { node, incarnation } => {
             header(K_HELLO, &mut out);
             out.push(*node);
+            out.extend_from_slice(&incarnation.to_le_bytes());
         }
         ToBroker::Submit { handle, tag, frame } => {
             header(K_SUBMIT, &mut out);
@@ -218,6 +243,16 @@ pub fn encode_to_broker(msg: &ToBroker) -> Vec<u8> {
             out.extend_from_slice(&at_ns.to_le_bytes());
             out.extend_from_slice(&token.to_le_bytes());
         }
+        ToBroker::Pong {
+            node,
+            incarnation,
+            nonce,
+        } => {
+            header(K_PONG, &mut out);
+            out.push(*node);
+            out.extend_from_slice(&incarnation.to_le_bytes());
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
         ToBroker::Idle => header(K_IDLE, &mut out),
         ToBroker::Done { node } => {
             header(K_DONE, &mut out);
@@ -231,9 +266,13 @@ pub fn encode_to_broker(msg: &ToBroker) -> Vec<u8> {
 pub fn encode_to_node(msg: &ToNode) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     match msg {
-        ToNode::Welcome { now_ns } => {
+        ToNode::Welcome {
+            now_ns,
+            incarnation,
+        } => {
             header(K_WELCOME, &mut out);
             out.extend_from_slice(&now_ns.to_le_bytes());
+            out.extend_from_slice(&incarnation.to_le_bytes());
         }
         ToNode::Deliver {
             completed_ns,
@@ -270,6 +309,10 @@ pub fn encode_to_node(msg: &ToNode) -> Vec<u8> {
             out.extend_from_slice(&token.to_le_bytes());
             out.extend_from_slice(&now_ns.to_le_bytes());
         }
+        ToNode::Ping { nonce } => {
+            header(K_PING, &mut out);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
         ToNode::Shutdown => header(K_SHUTDOWN, &mut out),
     }
     out
@@ -300,8 +343,17 @@ pub fn decode_to_broker(buf: &[u8]) -> Result<ToBroker, WireError> {
     let (kind, body) = check_header(buf)?;
     let bad = |got: usize| WireError::BadLength { kind, got };
     match kind {
+        // Version-tolerant: the original format carried only the node
+        // id; such a hello is incarnation 0 by definition.
         K_HELLO => match body {
-            [node] => Ok(ToBroker::Hello { node: *node }),
+            [node] => Ok(ToBroker::Hello {
+                node: *node,
+                incarnation: 0,
+            }),
+            [node, rest @ ..] if rest.len() == 4 => Ok(ToBroker::Hello {
+                node: *node,
+                incarnation: le_u32(rest),
+            }),
             _ => Err(bad(body.len())),
         },
         K_SUBMIT => {
@@ -342,6 +394,14 @@ pub fn decode_to_broker(buf: &[u8]) -> Result<ToBroker, WireError> {
             [node] => Ok(ToBroker::Done { node: *node }),
             _ => Err(bad(body.len())),
         },
+        K_PONG => match body.len() {
+            13 => Ok(ToBroker::Pong {
+                node: body[0],
+                incarnation: le_u32(&body[1..5]),
+                nonce: le_u64(&body[5..13]),
+            }),
+            n => Err(bad(n)),
+        },
         k => Err(WireError::BadKind(k)),
     }
 }
@@ -351,9 +411,16 @@ pub fn decode_to_node(buf: &[u8]) -> Result<ToNode, WireError> {
     let (kind, body) = check_header(buf)?;
     let bad = |got: usize| WireError::BadLength { kind, got };
     match kind {
+        // Version-tolerant: an 8-byte body is the original format with
+        // no incarnation field (incarnation 0).
         K_WELCOME => match body.len() {
             8 => Ok(ToNode::Welcome {
                 now_ns: le_u64(body),
+                incarnation: 0,
+            }),
+            12 => Ok(ToNode::Welcome {
+                now_ns: le_u64(&body[0..8]),
+                incarnation: le_u32(&body[8..12]),
             }),
             n => Err(bad(n)),
         },
@@ -394,6 +461,12 @@ pub fn decode_to_node(buf: &[u8]) -> Result<ToNode, WireError> {
             0 => Ok(ToNode::Shutdown),
             n => Err(bad(n)),
         },
+        K_PING => match body.len() {
+            8 => Ok(ToNode::Ping {
+                nonce: le_u64(body),
+            }),
+            n => Err(bad(n)),
+        },
         k => Err(WireError::BadKind(k)),
     }
 }
@@ -407,7 +480,15 @@ mod tests {
     fn to_broker_round_trip() {
         let frame = Frame::new(CanId::new(0, 3, 77), &[1, 2, 3]);
         let msgs = [
-            ToBroker::Hello { node: 5 },
+            ToBroker::Hello {
+                node: 5,
+                incarnation: 3,
+            },
+            ToBroker::Pong {
+                node: 5,
+                incarnation: 3,
+                nonce: 0x0123_4567_89AB_CDEF,
+            },
             ToBroker::Submit {
                 handle: 9,
                 tag: 0xDEAD_BEEF_0042,
@@ -435,7 +516,11 @@ mod tests {
     fn to_node_round_trip() {
         let frame = Frame::new(CanId::new(255, 127, 0x3FFF), &[0; 8]);
         let msgs = [
-            ToNode::Welcome { now_ns: 0 },
+            ToNode::Welcome {
+                now_ns: 0,
+                incarnation: 2,
+            },
+            ToNode::Ping { nonce: 99 },
             ToNode::Deliver {
                 completed_ns: 123,
                 frame,
@@ -487,5 +572,54 @@ mod tests {
             decode_to_broker(b"RL\x01\x06\x00"),
             Err(WireError::BadLength { .. })
         ));
+    }
+
+    /// Datagrams in the pre-incarnation format (1-byte Hello body,
+    /// 8-byte Welcome body) still decode, as incarnation 0.
+    #[test]
+    fn legacy_handshake_bodies_still_parse() {
+        let mut hello = Vec::new();
+        header(K_HELLO, &mut hello);
+        hello.push(7);
+        assert_eq!(
+            decode_to_broker(&hello),
+            Ok(ToBroker::Hello {
+                node: 7,
+                incarnation: 0
+            })
+        );
+        let mut welcome = Vec::new();
+        header(K_WELCOME, &mut welcome);
+        welcome.extend_from_slice(&42u64.to_le_bytes());
+        assert_eq!(
+            decode_to_node(&welcome),
+            Ok(ToNode::Welcome {
+                now_ns: 42,
+                incarnation: 0
+            })
+        );
+    }
+
+    /// The new kinds reject every malformed body length.
+    #[test]
+    fn heartbeat_bodies_are_length_checked() {
+        for len in [0usize, 7, 9, 16] {
+            let mut ping = Vec::new();
+            header(K_PING, &mut ping);
+            ping.resize(4 + len, 0);
+            assert!(matches!(
+                decode_to_node(&ping),
+                Err(WireError::BadLength { kind: K_PING, .. })
+            ));
+        }
+        for len in [0usize, 1, 12, 14] {
+            let mut pong = Vec::new();
+            header(K_PONG, &mut pong);
+            pong.resize(4 + len, 0);
+            assert!(matches!(
+                decode_to_broker(&pong),
+                Err(WireError::BadLength { kind: K_PONG, .. })
+            ));
+        }
     }
 }

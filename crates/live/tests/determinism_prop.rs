@@ -16,7 +16,7 @@ use rtec_core::event::{Event, Subject};
 use rtec_live::cluster::{Cluster, ClusterConfig};
 use rtec_live::node::{Behavior, NodeCtx};
 use rtec_live::transport::NodeTransport;
-use rtec_live::{DeliveryRecord, Pace};
+use rtec_live::{ChaosPlan, DeliveryRecord, Pace};
 use rtec_sim::Duration;
 use std::sync::OnceLock;
 
@@ -135,6 +135,38 @@ impl NodeTransport for Jitter {
     }
 }
 
+/// The same topology with factory-minted behaviors, so chaos kills get
+/// supervised restarts instead of permanent quarantine.
+fn restartable_cluster() -> Cluster {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        trace: false,
+        restart_backoff: Duration::from_ms(1),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node_with(Box::new(|| {
+        Box::new(HrtSource {
+            counter: 0,
+            period: Duration::from_ms(10),
+        })
+    }));
+    let n1 = cluster.add_node_with(Box::new(|| {
+        Box::new(SrtSource {
+            every: Duration::from_ms(3),
+            counter: 0,
+        })
+    }));
+    let n2 = cluster.add_node_with(Box::new(|| Box::new(Quiet)));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.publish(n1, SRT_SUBJECT, srt);
+    cluster.subscribe(n2, HRT_SUBJECT, hrt);
+    cluster.subscribe(n2, SRT_SUBJECT, srt);
+    cluster
+}
+
 fn baseline() -> &'static Vec<DeliveryRecord> {
     static BASELINE: OnceLock<Vec<DeliveryRecord>> = OnceLock::new();
     BASELINE.get_or_init(|| {
@@ -153,7 +185,7 @@ proptest! {
         max_us in 1u64..200,
     ) {
         let report = cluster()
-            .run_for_wrapped(RUN, &mut |node, inner| {
+            .run_for_wrapped(RUN, &mut move |node, inner| {
                 Box::new(Jitter {
                     inner,
                     state: seed ^ (u64::from(node) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -162,5 +194,42 @@ proptest! {
             })
             .expect("jittered run");
         prop_assert_eq!(&report.log, baseline(), "delivery log diverged under jitter");
+    }
+
+    /// Crash/restart dimension: whatever kill points and datagram-drop
+    /// seed a chaos plan picks, re-running the *same* plan reproduces
+    /// the run byte-for-byte — delivery log, supervision timeline, and
+    /// per-node counters (which span incarnations via the crash
+    /// snapshot). Determinism must survive crashes, not just jitter.
+    #[test]
+    fn crash_restart_runs_are_reproducible(
+        seed in any::<u64>(),
+        victim in 0u8..3,
+        budget in 3u64..40,
+        drop_permille in 0u64..50,
+    ) {
+        let plan = ChaosPlan {
+            seed,
+            kills: vec![(victim, budget)],
+            drop_rate: drop_permille as f64 / 1000.0,
+            ..ChaosPlan::default()
+        };
+        let run = Duration::from_ms(60);
+        let (a, ar) = restartable_cluster()
+            .run_for_chaos(run, plan.clone())
+            .expect("chaos run a");
+        let (b, br) = restartable_cluster()
+            .run_for_chaos(run, plan)
+            .expect("chaos run b");
+        prop_assert_eq!(&a.log, &b.log, "delivery log diverged across same-seed chaos runs");
+        prop_assert_eq!(
+            &a.supervision.events, &b.supervision.events,
+            "supervision timeline diverged"
+        );
+        prop_assert_eq!(&a.stats, &b.stats, "node stats diverged");
+        prop_assert_eq!(
+            (ar.kills, ar.dropped, ar.duplicated),
+            (br.kills, br.dropped, br.duplicated)
+        );
     }
 }

@@ -30,10 +30,10 @@
 use rtec_can::bits::BitTiming;
 use rtec_can::fault::{FaultModel, OmissionScope};
 use rtec_can::{CanId, Frame};
-use rtec_live::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan};
+use rtec_live::broker::{Broker, BrokerConfig, BrokerStats, FaultPlan, NodeSupervisor, SupKind};
 use rtec_live::clock::Pace;
 use rtec_live::sync::thread;
-use rtec_live::transport::{loopback, LoopbackNode, NodeTransport};
+use rtec_live::transport::{loopback, NodeTransport};
 use rtec_live::wire::{ToBroker, ToNode};
 use rtec_live::LiveError;
 use rtec_sim::{SharedTraceSink, Time};
@@ -58,6 +58,11 @@ fn broker(
             timing: BitTiming::MBIT_1,
             pace: Pace::Virtual,
             fault,
+            // Strict: any protocol fault aborts the model — these
+            // scenarios assert the healthy lock-step protocol. The
+            // restart model below overrides this.
+            strict: true,
+            ..BrokerConfig::default()
         },
         transport,
         SharedTraceSink::disabled(),
@@ -68,7 +73,7 @@ fn broker(
 /// to `resubmits` times when a `TxDone` reports an omission, stay
 /// reactive otherwise, and return everything observed.
 fn scripted_node(
-    mut t: LoopbackNode,
+    mut t: Box<dyn NodeTransport>,
     node: u8,
     frames: Vec<Frame>,
     mut resubmits: u32,
@@ -117,7 +122,7 @@ fn scripted_node(
                 }
                 t.send(ToBroker::Idle).expect("idle");
             }
-            ToNode::Timer { .. } | ToNode::AbortResult { .. } => {
+            ToNode::Timer { .. } | ToNode::AbortResult { .. } | ToNode::Ping { .. } => {
                 t.send(ToBroker::Idle).expect("idle");
             }
             ToNode::Shutdown => {
@@ -147,8 +152,8 @@ fn arbitration_tie_resolves_by_raw_id_under_all_schedules() {
             .name("model-broker".into())
             .spawn(move || broker(bt, FaultPlan::default()).run(Time::from_ms(1)))
             .expect("spawn broker");
-        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 0));
-        let h1 = thread::spawn(move || scripted_node(n1_t, 1, vec![f1], 0));
+        let h0 = thread::spawn(move || scripted_node(Box::new(n0_t), 0, vec![f0], 0));
+        let h1 = thread::spawn(move || scripted_node(Box::new(n1_t), 1, vec![f1], 0));
         let obs0 = h0.join().expect("node 0");
         let obs1 = h1.join().expect("node 1");
         let stats: BrokerStats = b.join().expect("broker thread").expect("broker run");
@@ -184,6 +189,132 @@ fn arbitration_tie_resolves_by_raw_id_under_all_schedules() {
     assert!(!stats.pruned, "lock-step scenario must be fully explored");
 }
 
+/// Test supervisor: restart node 0 once, over the minted loopback
+/// link, with a 1 µs bus-time backoff; any further down is final.
+struct ModelSup {
+    handle: Option<thread::JoinHandle<Vec<Obs>>>,
+    downs: Vec<(u8, u32, &'static str)>,
+}
+
+impl NodeSupervisor for ModelSup {
+    fn on_down(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        _at_ns: u64,
+        reason: &'static str,
+    ) -> Option<u64> {
+        self.downs.push((node, incarnation, reason));
+        (self.downs.len() == 1).then_some(1_000)
+    }
+
+    fn respawn(
+        &mut self,
+        node: u8,
+        incarnation: u32,
+        _at_ns: u64,
+        link: Option<Box<dyn NodeTransport>>,
+    ) -> Result<(), LiveError> {
+        assert_eq!((node, incarnation), (0, 1), "one restart of node 0");
+        let t = link.expect("loopback relink mints the node half");
+        self.handle = Some(thread::spawn(move || scripted_node(t, 0, Vec::new(), 0)));
+        Ok(())
+    }
+}
+
+/// Supervisor ↔ node restart handshake under every schedule: the only
+/// receiver exits right after the initial handshake, so delivering the
+/// sender's first frame declares it down; the supervisor respawns it
+/// over a freshly minted loopback link, the broker re-welcomes
+/// incarnation 1, and the sender's scripted retransmission reaches the
+/// restarted node — under every interleaving of broker, sender, and
+/// both incarnations of node 0.
+#[test]
+fn restart_handshake_rejoins_under_all_schedules() {
+    let stats = loom::explore(|| {
+        let (bt, mut nts) = loopback(2);
+        let n1_t = nts.pop().expect("node 1 endpoint");
+        let mut n0_t = nts.pop().expect("node 0 endpoint");
+        // Incarnation 0 of node 0: answer the Welcome, then crash
+        // (drop the endpoint).
+        let h0 = thread::spawn(move || match n0_t.recv(TIMEOUT).expect("welcome") {
+            ToNode::Welcome { incarnation, .. } => {
+                assert_eq!(incarnation, 0);
+                n0_t.send(ToBroker::Idle).expect("idle");
+            }
+            other => panic!("expected Welcome, got {other:?}"),
+        });
+        let f1 = Frame::new(CanId::new(3, 1, 2), &[0xB1]);
+        // The scripted retransmission frame (see `scripted_node`).
+        let retransmit_raw = CanId::new(4, 1, 11).raw();
+        let b = thread::Builder::new()
+            .name("model-broker".into())
+            .spawn(move || {
+                let mut sup = ModelSup {
+                    handle: None,
+                    downs: Vec::new(),
+                };
+                let mut broker = Broker::new(
+                    BrokerConfig {
+                        strict: false,
+                        ..BrokerConfig::default()
+                    },
+                    bt,
+                    SharedTraceSink::disabled(),
+                );
+                let result = broker.run_supervised(Time::from_ms(1), Some(&mut sup));
+                (result, broker.take_sup_log(), sup)
+            })
+            .expect("spawn broker");
+        // The sender retransmits once when its TxDone reports the
+        // receiver was missed.
+        let h1 = thread::spawn(move || scripted_node(Box::new(n1_t), 1, vec![f1], 1));
+        h0.join().expect("incarnation 0");
+        let obs1 = h1.join().expect("sender");
+        let (result, sup_log, sup) = b.join().expect("broker thread");
+        let stats = result.expect("supervised run must survive the crash");
+        let obs0 = sup
+            .handle
+            .expect("node 0 must have been respawned")
+            .join()
+            .expect("incarnation 1");
+
+        assert_eq!(sup.downs, vec![(0, 0, "disconnect")]);
+        assert_eq!(stats.node_downs, 1);
+        assert_eq!(stats.node_restarts, 1);
+        let kinds: Vec<(u8, u32, SupKind)> = sup_log
+            .iter()
+            .map(|e| (e.node, e.incarnation, e.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(0, 0, SupKind::Down), (0, 1, SupKind::Up)],
+            "down, then a completed rejoin handshake: {sup_log:?}"
+        );
+        assert_eq!(
+            obs1,
+            vec![
+                Obs::TxDone {
+                    handle: 1,
+                    all_received: false
+                },
+                Obs::TxDone {
+                    handle: 2,
+                    all_received: true
+                }
+            ],
+            "sender must see the miss, then a fully acked retransmission"
+        );
+        assert_eq!(
+            obs0,
+            vec![Obs::Deliver(retransmit_raw)],
+            "the restarted incarnation must receive the retransmission"
+        );
+    });
+    assert!(stats.executions >= 2, "exploration must branch: {stats:?}");
+    assert!(!stats.pruned, "restart scenario must be fully explored");
+}
+
 /// Omission handling under every schedule: with a fault model that
 /// omits the only receiver on every attempt, the sender is always told
 /// `all_received = false` (triggering its scripted retransmission) and
@@ -209,8 +340,8 @@ fn omission_fault_acks_false_and_skips_victim_under_all_schedules() {
             .expect("spawn broker");
         // Node 0 publishes and retransmits once on a bad ack; node 1
         // only listens.
-        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 1));
-        let h1 = thread::spawn(move || scripted_node(n1_t, 1, Vec::new(), 0));
+        let h0 = thread::spawn(move || scripted_node(Box::new(n0_t), 0, vec![f0], 1));
+        let h1 = thread::spawn(move || scripted_node(Box::new(n1_t), 1, Vec::new(), 0));
         let obs0 = h0.join().expect("node 0");
         let obs1 = h1.join().expect("node 1");
         let stats: BrokerStats = b.join().expect("broker thread").expect("broker run");
@@ -261,8 +392,8 @@ fn shutdown_with_inflight_frame_terminates_cleanly_under_all_schedules() {
             .name("model-broker".into())
             .spawn(move || broker(bt, FaultPlan::default()).run(Time::from_us(10)))
             .expect("spawn broker");
-        let h0 = thread::spawn(move || scripted_node(n0_t, 0, vec![f0], 0));
-        let h1 = thread::spawn(move || scripted_node(n1_t, 1, Vec::new(), 0));
+        let h0 = thread::spawn(move || scripted_node(Box::new(n0_t), 0, vec![f0], 0));
+        let h1 = thread::spawn(move || scripted_node(Box::new(n1_t), 1, Vec::new(), 0));
         let obs0 = h0.join().expect("node 0");
         let obs1 = h1.join().expect("node 1");
         let result: Result<BrokerStats, LiveError> = b.join().expect("broker thread");

@@ -3,13 +3,14 @@
 //! conformance of live traces against the `T1`..`T8` auditor.
 
 use rtec_can::fault::{FaultModel, OmissionScope};
-use rtec_conformance::audit::{audit, AuditContext};
+use rtec_conformance::audit::{audit, handshake_anomalies, AuditContext};
 use rtec_core::channel::{ChannelClass, ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
 use rtec_core::event::{Event, Subject};
 use rtec_live::broker::FaultPlan;
+use rtec_live::chaos;
 use rtec_live::cluster::{Cluster, ClusterConfig, LiveReport};
 use rtec_live::node::{Behavior, NodeCtx};
-use rtec_live::Pace;
+use rtec_live::{ChaosPlan, Pace};
 use rtec_sim::Duration;
 
 const HRT_SUBJECT: Subject = Subject(0x1001);
@@ -278,6 +279,124 @@ fn omission_faults_trigger_redundant_retransmission() {
         "audit failed:\n{:#?}",
         rep.errors().collect::<Vec<_>>()
     );
+}
+
+/// The `mixed_cluster` topology with restartable nodes: behaviors come
+/// from factories, so the supervisor can respawn them after a chaos
+/// kill.
+fn restartable_cluster() -> Cluster {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        restart_backoff: Duration::from_ms(1),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node_with(Box::new(|| {
+        Box::new(HrtSource {
+            counter: 0,
+            period: Duration::from_ms(10),
+        })
+    }));
+    let n1 = cluster.add_node_with(Box::new(|| {
+        Box::new(SrtSource {
+            every: Duration::from_ms(3),
+            phase: Duration::from_us(500),
+            counter: 0,
+        })
+    }));
+    let n2 = cluster.add_node_with(Box::new(|| Box::new(Quiet)));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, HRT_SUBJECT, hrt);
+    cluster.publish(n1, SRT_SUBJECT, srt);
+    cluster.subscribe(n2, HRT_SUBJECT, hrt);
+    cluster.subscribe(n2, SRT_SUBJECT, srt);
+    cluster
+}
+
+/// A chaos plan that kills the HRT subscriber mid-cycle (its receive
+/// budget runs out between two calendar slots) and later kills the
+/// restarted HRT source too.
+fn crash_plan() -> ChaosPlan {
+    ChaosPlan {
+        kills: vec![(2, 25), (0, 12)],
+        ..ChaosPlan::default()
+    }
+}
+
+/// Killing the HRT subscriber mid-cycle (and the HRT source soon
+/// after) must leave the cluster live: both nodes restart, rejoin, and
+/// HRT samples keep flowing after the last recovery. The merged trace
+/// still satisfies T1..T8, no event is delivered twice across the
+/// rejoin, and the supervision log pairs every Down with an Up.
+#[test]
+fn chaos_kills_recover_and_stay_live() {
+    let (report, chaos_rep) = restartable_cluster()
+        .run_for_chaos(Duration::from_ms(120), crash_plan())
+        .unwrap();
+    assert_eq!(chaos_rep.kills, 2, "both planned kills must fire");
+    assert!(
+        report.supervision.restarts >= 2,
+        "both killed nodes must rejoin: {:?}",
+        report.supervision.events
+    );
+    let verdict = chaos::verdict(&report);
+    assert!(
+        verdict.ok(),
+        "chaos verdict failed: {verdict:?}\n{:?}",
+        report.supervision.events
+    );
+    // The cluster stayed live: HRT samples delivered *after* the last
+    // recovery instant.
+    let last_up = report
+        .supervision
+        .events
+        .iter()
+        .filter(|e| e.kind == rtec_live::SupKind::Up)
+        .map(|e| e.at_ns)
+        .max()
+        .expect("at least one completed rejoin");
+    let post_rejoin_hrt = report
+        .log
+        .iter()
+        .filter(|r| r.class == ChannelClass::Hrt && r.wire_ns > last_up)
+        .count();
+    assert!(
+        post_rejoin_hrt >= 2,
+        "HRT starved after rejoin at {last_up} ns: {post_rejoin_hrt} deliveries"
+    );
+    // The auditor accepts the merged trace, supervision records and all.
+    let rep = audit(&audit_ctx(&report), &report.trace);
+    assert!(
+        rep.passes(),
+        "audit failed:\n{:#?}",
+        rep.errors().collect::<Vec<_>>()
+    );
+    // Loopback relinks mint fresh endpoints; no handshake datagram can
+    // be replayed on this transport.
+    assert_eq!(handshake_anomalies(&report.trace), 0);
+}
+
+/// Two chaos runs under the same plan (same seed) are byte-identical:
+/// same delivery log — including everything after the crashes — and
+/// the same supervision timeline.
+#[test]
+fn chaos_runs_with_the_same_seed_are_deterministic() {
+    let run = Duration::from_ms(120);
+    let (a, ar) = restartable_cluster()
+        .run_for_chaos(run, crash_plan())
+        .unwrap();
+    let (b, br) = restartable_cluster()
+        .run_for_chaos(run, crash_plan())
+        .unwrap();
+    assert!(!a.log.is_empty());
+    assert_eq!(a.log, b.log, "delivery logs diverged between chaos runs");
+    assert_eq!(
+        a.supervision.events, b.supervision.events,
+        "supervision timelines diverged"
+    );
+    assert_eq!(a.stats, b.stats, "node stats diverged");
+    assert_eq!((ar.kills, ar.dropped), (br.kills, br.dropped));
 }
 
 /// The UDP transport carries the same protocol: a small cluster over

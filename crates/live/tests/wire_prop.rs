@@ -20,7 +20,15 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
 
 fn arb_to_broker() -> impl Strategy<Value = ToBroker> {
     prop_oneof![
-        any::<u8>().prop_map(|node| ToBroker::Hello { node }),
+        (any::<u8>(), any::<u32>())
+            .prop_map(|(node, incarnation)| ToBroker::Hello { node, incarnation }),
+        (any::<u8>(), any::<u32>(), any::<u64>()).prop_map(|(node, incarnation, nonce)| {
+            ToBroker::Pong {
+                node,
+                incarnation,
+                nonce,
+            }
+        }),
         (any::<u32>(), any::<u64>(), arb_frame())
             .prop_map(|(handle, tag, frame)| ToBroker::Submit { handle, tag, frame }),
         any::<u32>().prop_map(|handle| ToBroker::Abort { handle }),
@@ -34,7 +42,11 @@ fn arb_to_broker() -> impl Strategy<Value = ToBroker> {
 
 fn arb_to_node() -> impl Strategy<Value = ToNode> {
     prop_oneof![
-        any::<u64>().prop_map(|now_ns| ToNode::Welcome { now_ns }),
+        (any::<u64>(), any::<u32>()).prop_map(|(now_ns, incarnation)| ToNode::Welcome {
+            now_ns,
+            incarnation
+        }),
+        any::<u64>().prop_map(|nonce| ToNode::Ping { nonce }),
         (any::<u64>(), arb_frame()).prop_map(|(completed_ns, frame)| ToNode::Deliver {
             completed_ns,
             frame
@@ -106,5 +118,42 @@ proptest! {
         let keep = ((bytes.len() as f64) * keep_frac) as usize;
         let _ = decode_to_node(&bytes[..keep]);
         prop_assert!(decode_to_node(&bytes[..keep]).is_err() || keep == bytes.len());
+    }
+
+    /// Pre-incarnation handshake datagrams (1-byte Hello body, 8-byte
+    /// Welcome body) decode as incarnation 0 for any node id / time, so
+    /// a node built before the supervision protocol still joins.
+    #[test]
+    fn legacy_handshakes_decode_as_incarnation_zero(node in any::<u8>(), now_ns in any::<u64>()) {
+        // Header: magic "RL", version 1, kind byte (Hello = 1, Welcome = 16).
+        let hello = [b'R', b'L', 1, 1, node].to_vec();
+        prop_assert_eq!(
+            decode_to_broker(&hello).unwrap(),
+            ToBroker::Hello { node, incarnation: 0 }
+        );
+        let mut welcome = vec![b'R', b'L', 1, 16];
+        welcome.extend_from_slice(&now_ns.to_le_bytes());
+        prop_assert_eq!(
+            decode_to_node(&welcome).unwrap(),
+            ToNode::Welcome { now_ns, incarnation: 0 }
+        );
+    }
+
+    /// Truncating or extending the incarnation/heartbeat bodies to any
+    /// length their layouts do not allow is rejected cleanly. Hello is
+    /// valid at exactly 1 (legacy) or 5 bytes, Pong at 13, Ping at 8,
+    /// Welcome at 8 (legacy) or 12.
+    #[test]
+    fn handshake_and_heartbeat_bodies_are_length_checked(len in 0usize..32) {
+        for (kind, valid) in [(1u8, vec![1usize, 5]), (8, vec![13])] {
+            let mut buf = vec![b'R', b'L', 1, kind];
+            buf.resize(4 + len, 0);
+            prop_assert_eq!(decode_to_broker(&buf).is_ok(), valid.contains(&len));
+        }
+        for (kind, valid) in [(16u8, vec![8usize, 12]), (22, vec![8])] {
+            let mut buf = vec![b'R', b'L', 1, kind];
+            buf.resize(4 + len, 0);
+            prop_assert_eq!(decode_to_node(&buf).is_ok(), valid.contains(&len));
+        }
     }
 }
