@@ -86,6 +86,15 @@ echo "== live-runtime loopback smoke (demo + auditor, hard timeout)"
 # shows up as a hang, not a failure, so bound the run hard.
 timeout 120 cargo run -p rtec-live --release --example demo -- --audit >/dev/null
 
+echo "== gateway smoke (same-seed determinism + merged-trace audit + 10k-client shed gate)"
+# Off-bus gateway acceptance: the committed BENCH_engine.json gateway
+# section must parse, two same-seed runs must be byte-identical down to
+# the per-client sink digests, the gateway's trace records must pass
+# the T1..T8 auditor, and a 10k-client slow-consumer population must be
+# sustained with bounded lane queues and nonzero sheds. The fanout
+# workers ride the same lock-step facade, so a bug is a hang — bound it.
+timeout 240 cargo run -p rtec-bench --bin experiments --release -- bench gateway --ci
+
 echo "== chaos smoke (kill/restart 2 of 8 nodes, 5% datagram drop)"
 # Deterministic crash tolerance gate: both killed nodes must rejoin
 # with no double delivery, the merged trace must pass T1..T8, and a

@@ -13,13 +13,15 @@
 //! experiments bench live      # live-runtime throughput/latency → BENCH_engine.json
 //! experiments bench parallel  # multi-segment scaling + sweep → BENCH_engine.json
 //! experiments bench parallel --ci --jobs 2  # CI determinism/speedup smoke
+//! experiments bench gateway   # off-bus fanout grid (workers × clients) → BENCH_engine.json
+//! experiments bench gateway --ci  # determinism + audit + 10k-client shed gate
 //! experiments frag-smoke      # zero-allocation check of the frag hot path
 //! experiments chaos           # crash/recovery smoke of the live runtime
 //! experiments chaos --seed 7 --ci   # bounded CI gate, different fault stream
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::{chaos_exp, live_perf, parallel_perf, perf, RunOpts};
+use rtec_bench::{chaos_exp, gateway_perf, live_perf, parallel_perf, perf, RunOpts};
 use rtec_sim::parallel::pool_map;
 
 /// One sharded experiment: `(id, description, run fn)`.
@@ -124,6 +126,7 @@ fn main() {
     let mut bench = false;
     let mut live = false;
     let mut parallel = false;
+    let mut gateway = false;
     let mut chaos = false;
     let mut ci_check = false;
     let mut jobs: usize = 1;
@@ -147,6 +150,7 @@ fn main() {
             "bench" => bench = true,
             "live" => live = true,
             "parallel" => parallel = true,
+            "gateway" => gateway = true,
             "chaos" => chaos = true,
             "frag-smoke" => std::process::exit(frag_smoke()),
             other => selected.push(other.to_lowercase()),
@@ -169,6 +173,9 @@ fn main() {
         }
         if parallel {
             std::process::exit(parallel_perf::run(&cfg));
+        }
+        if gateway {
+            std::process::exit(gateway_perf::run(&cfg));
         }
         std::process::exit(perf::run(&cfg));
     }

@@ -16,7 +16,15 @@
 //!   delivery log and supervision timeline.
 //!
 //! Exit code 0 when all hold, 1 otherwise — `ci.sh` gates on it.
+//!
+//! Besides the stdout report, a full run merges a machine-readable
+//! summary (rejoins, sheds, recovery percentiles) into
+//! `BENCH_engine.json` under the `"chaos"` key, schema
+//! `rtec-bench-chaos-v1`; quick/CI runs only validate that the section
+//! round-trips the JSON parser, without rewriting the committed file.
 
+use crate::json::{self, Value};
+use crate::perf::ENGINE_REPORT;
 use rtec_conformance::audit::{audit, handshake_anomalies, AuditContext};
 use rtec_core::channel::{ChannelSpec, HrtSpec, SrtSpec};
 use rtec_core::event::{Event, Subject};
@@ -177,6 +185,66 @@ fn check(report: &LiveReport, chaos_rep: &ChaosReport) -> Result<(), String> {
     Ok(())
 }
 
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// The machine-readable counterpart of the stdout report: everything a
+/// dashboard needs to track crash-recovery health across commits.
+fn chaos_summary(seed: u64, run: Duration, report: &LiveReport, chaos_rep: &ChaosReport) -> Value {
+    let mut recoveries = report.supervision.recovery_times_ns();
+    recoveries.sort_unstable();
+    let sheds = report.trace.iter().filter(|e| e.kind == "shed").count();
+    Value::Obj(
+        vec![
+            ("schema", Value::str("rtec-bench-chaos-v1")),
+            ("seed", Value::num(seed as f64)),
+            ("bus_ms", Value::num(run.as_ns() as f64 / 1e6)),
+            ("deliveries", Value::num(report.log.len() as f64)),
+            ("kills", Value::num(chaos_rep.kills as f64)),
+            ("dropped_datagrams", Value::num(chaos_rep.dropped as f64)),
+            (
+                "duplicated_datagrams",
+                Value::num(chaos_rep.duplicated as f64),
+            ),
+            ("downs", Value::num(report.supervision.downs as f64)),
+            ("rejoins", Value::num(report.supervision.restarts as f64)),
+            ("offs", Value::num(report.supervision.offs as f64)),
+            ("sheds", Value::num(sheds as f64)),
+            (
+                "recovery_p99_us",
+                Value::num(percentile_us(&recoveries, 0.99)),
+            ),
+            (
+                "recovery_max_us",
+                Value::num(recoveries.last().map_or(0.0, |&ns| ns as f64 / 1e3)),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
+
+/// Merge the summary into the engine report, preserving every other
+/// committed section (same scheme as the `bench` sections).
+fn merge_summary(section: Value) -> Result<(), String> {
+    let mut root = std::fs::read_to_string(ENGINE_REPORT)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    if let Value::Obj(fields) = &mut root {
+        fields.retain(|(k, _)| k != "chaos");
+        fields.push(("chaos".to_string(), section));
+    }
+    std::fs::write(ENGINE_REPORT, root.to_pretty())
+        .map_err(|e| format!("cannot write {ENGINE_REPORT}: {e}"))
+}
+
 /// Run the chaos smoke. `quick` shrinks the bus-time horizon (the run
 /// is virtually paced, so both modes finish in well under a second).
 pub fn run(seed: u64, quick: bool) -> i32 {
@@ -228,6 +296,45 @@ pub fn run(seed: u64, quick: bool) -> i32 {
         eprintln!("chaos: supervision timelines diverged between same-seed runs");
         return 1;
     }
+    let section = chaos_summary(seed, run, &a, &ar);
+    if quick {
+        // CI validates the section without touching the committed file.
+        if let Err(e) = json::parse(&section.to_pretty()) {
+            eprintln!("chaos: summary does not round-trip the JSON parser: {e}");
+            return 1;
+        }
+    } else if let Err(e) = merge_summary(section) {
+        eprintln!("chaos: {e}");
+        return 1;
+    } else {
+        eprintln!("merged chaos section into {ENGINE_REPORT}");
+    }
     eprintln!("chaos: ok (second same-seed run byte-identical)");
     0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The summary carries the headline counters and round-trips the
+    /// JSON parser.
+    #[test]
+    fn chaos_summary_reports_rejoins_and_parses() {
+        let run = Duration::from_ms(80);
+        let (report, chaos_rep) = one_run(42, run).expect("chaos run");
+        check(&report, &chaos_rep).expect("chaos invariants");
+        let section = chaos_summary(42, run, &report, &chaos_rep);
+        let back = json::parse(&section.to_pretty()).expect("summary parses");
+        assert_eq!(
+            back.get("schema").and_then(Value::as_str),
+            Some("rtec-bench-chaos-v1")
+        );
+        assert_eq!(back.get("kills").and_then(Value::as_f64), Some(2.0));
+        assert!(back.get("rejoins").and_then(Value::as_f64).unwrap_or(0.0) >= 2.0);
+        assert!(back
+            .get("recovery_p99_us")
+            .and_then(Value::as_f64)
+            .is_some());
+    }
 }

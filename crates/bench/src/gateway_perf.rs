@@ -1,0 +1,540 @@
+//! Gateway fanout benchmark (`experiments bench gateway`).
+//!
+//! Measures the off-bus gateway (`rtec-gateway`) against a fixed
+//! mixed-class bus workload: one HRT channel, four SRT channels and two
+//! bulk NRT channels published by seven nodes, all delivered to a
+//! gateway node that re-publishes them to a population of simulated
+//! clients. Each client subscribes to a seeded pair of subjects; every
+//! fifth client is *slow* (accepts 25 % of offers), so the bounded
+//! lane queues and the shed-NRT-first policy are exercised at every
+//! scale. The grid sweeps fanout workers × client count:
+//!
+//! * `fanout_per_wall_sec` — (event, lane) deliveries the shard workers
+//!   push per wall second (the gateway's throughput number),
+//! * `p50_us` / `p99_us` — client-observed wall latency from gateway
+//!   ingress to sink accept (machine-dependent, excluded from all
+//!   determinism comparisons),
+//! * shed / disconnect counters and the peak lane occupancy (which must
+//!   never exceed the configured bound — the bounded-memory witness).
+//!
+//! Results merge into `BENCH_engine.json` under the `"gateway"` key.
+//! `--ci` instead runs the acceptance gates: committed section parses,
+//! two same-seed runs produce byte-identical lane digests, the merged
+//! trace passes the `T1`..`T8` auditor, and a 10 000-client population
+//! is sustained with nonzero sheds and bounded queues.
+
+use crate::json::{self, Value};
+use crate::perf::{BenchConfig, ENGINE_REPORT};
+use rtec_conformance::audit::{audit, AuditContext};
+use rtec_core::channel::{ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
+use rtec_core::event::{Event, Subject};
+use rtec_gateway::{ClientSinkSpec, Gateway, GatewayConfig, GatewayReport, SlowConsumerPolicy};
+use rtec_live::cluster::{Cluster, ClusterConfig, LiveReport};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::Pace;
+use rtec_sim::{Duration, Rng, SharedTraceSink};
+use std::time::Instant;
+
+/// Fanout worker counts swept by the full benchmark.
+const WORKER_GRID: [usize; 3] = [1, 4, 16];
+/// Client populations swept by the full benchmark.
+const CLIENT_GRID: [usize; 3] = [100, 1_000, 10_000];
+/// Bound of each (client, shard) egress queue.
+const QUEUE_CAP: usize = 32;
+/// Every `SLOW_EVERY`-th client accepts only 25 % of offers.
+const SLOW_EVERY: usize = 5;
+/// Trace ring bound for the audited CI cell.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+const HRT_SUBJECT: Subject = Subject(0xA001);
+const SRT_BASE: u64 = 0xA100;
+const SRT_COUNT: usize = 4;
+const NRT_BASE: u64 = 0xA200;
+const NRT_COUNT: usize = 2;
+
+struct HrtSource {
+    counter: u8,
+    period: Duration,
+}
+
+impl Behavior for HrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        let (at, period) = ctx.hrt_stage_schedule(HRT_SUBJECT).unwrap();
+        self.period = period;
+        ctx.set_timer(at, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _p: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        ctx.publish(Event::new(HRT_SUBJECT, vec![self.counter]))
+            .unwrap();
+        ctx.set_timer(ctx.now() + self.period, 0).unwrap();
+    }
+}
+
+struct SrtSource {
+    subject: Subject,
+    every: Duration,
+    phase: Duration,
+    counter: u8,
+}
+
+impl Behavior for SrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.phase, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _p: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        let _ = ctx.publish(Event::new(self.subject, vec![0xB0, self.counter]));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+struct NrtPulse {
+    subject: Subject,
+    every: Duration,
+    phase: Duration,
+    bytes: usize,
+}
+
+impl Behavior for NrtPulse {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.phase, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _p: u64) {
+        let payload: Vec<u8> = (0..self.bytes).map(|i| i as u8).collect();
+        let _ = ctx.publish(Event::new(self.subject, payload));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+/// Every subject the workload publishes, with its channel spec.
+fn subjects() -> Vec<(Subject, ChannelSpec)> {
+    let mut out = vec![(HRT_SUBJECT, ChannelSpec::Hrt(HrtSpec::periodic_10ms()))];
+    for i in 0..SRT_COUNT {
+        out.push((
+            Subject(SRT_BASE + i as u64),
+            ChannelSpec::Srt(SrtSpec::default()),
+        ));
+    }
+    for j in 0..NRT_COUNT {
+        out.push((
+            Subject(NRT_BASE + j as u64),
+            ChannelSpec::Nrt(NrtSpec::bulk()),
+        ));
+    }
+    out
+}
+
+/// One grid cell: run the fixed workload against `workers` × `clients`
+/// and collect cluster + gateway reports plus the wall time of the
+/// run-and-drain phase.
+fn run_cell(
+    workers: usize,
+    clients: usize,
+    bus_time: Duration,
+    seed: u64,
+    sink: Option<SharedTraceSink>,
+) -> (LiveReport, GatewayReport, f64) {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        nrt_queue_cap: 256,
+        trace: sink.is_some(),
+        trace_capacity: Some(TRACE_CAPACITY),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    if let Some(s) = &sink {
+        cluster.use_sink(s.clone());
+    }
+    let topo = subjects();
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    cluster.publish(n0, HRT_SUBJECT, topo[0].1);
+    for i in 0..SRT_COUNT {
+        let (subject, spec) = topo[1 + i];
+        let node = cluster.add_node(Box::new(SrtSource {
+            subject,
+            every: Duration::from_ms(2),
+            phase: Duration::from_us(300 * (i as u64 + 1)),
+            counter: 0,
+        }));
+        cluster.publish(node, subject, spec);
+    }
+    for j in 0..NRT_COUNT {
+        let (subject, spec) = topo[1 + SRT_COUNT + j];
+        let node = cluster.add_node(Box::new(NrtPulse {
+            subject,
+            every: Duration::from_ms(6),
+            phase: Duration::from_ms(1 + j as u64),
+            bytes: 240,
+        }));
+        cluster.publish(node, subject, spec);
+    }
+
+    let gateway = Gateway::new(GatewayConfig {
+        workers,
+        client_queue_cap: QUEUE_CAP,
+        sink: sink.clone().unwrap_or_else(SharedTraceSink::disabled),
+        ..GatewayConfig::default()
+    });
+    for (subject, spec) in &topo {
+        gateway.bind(*subject, spec);
+    }
+    // Each client subscribes to a seeded pair of distinct subjects;
+    // every SLOW_EVERY-th client is slow. Same seed ⇒ same population.
+    let mut rng = Rng::seed_from_u64(seed ^ cell_salt(workers, clients));
+    for c in 0..clients {
+        let a = rng.gen_range_u64(topo.len() as u64) as usize;
+        let mut b = rng.gen_range_u64(topo.len() as u64) as usize;
+        while b == a {
+            b = rng.gen_range_u64(topo.len() as u64) as usize;
+        }
+        let permille = if c % SLOW_EVERY == 0 { 250 } else { 1_000 };
+        gateway.add_client(
+            &[topo[a].0, topo[b].0],
+            &ClientSinkSpec::sim(seed.wrapping_add(c as u64), permille),
+            Some(SlowConsumerPolicy::ShedNrtFirst),
+        );
+    }
+    let gw_node = cluster.add_node(gateway.behavior());
+    for (subject, spec) in &topo {
+        cluster.subscribe(gw_node, *subject, *spec);
+    }
+
+    let wall = Instant::now();
+    let report = cluster.run_for(bus_time).expect("gateway bench run failed");
+    let gw = gateway.finish();
+    let wall_s = wall.elapsed().as_secs_f64();
+    (report, gw, wall_s)
+}
+
+/// Seed salt so each grid cell draws an independent client population.
+fn cell_salt(workers: usize, clients: usize) -> u64 {
+    ((workers as u64) << 32) | clients as u64
+}
+
+struct CellRow {
+    workers: usize,
+    clients: usize,
+    ingress: u64,
+    fanout: u64,
+    delivered: u64,
+    shed_nrt: u64,
+    shed_srt_stale: u64,
+    shed_srt_cap: u64,
+    disconnects: u64,
+    peak: usize,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn cell_row(workers: usize, clients: usize, gw: &GatewayReport, wall_s: f64) -> CellRow {
+    CellRow {
+        workers,
+        clients,
+        ingress: gw.stats.ingress,
+        fanout: gw.stats.fanout,
+        delivered: gw.stats.delivered_msgs,
+        shed_nrt: gw.stats.shed_nrt,
+        shed_srt_stale: gw.stats.shed_srt_stale,
+        shed_srt_cap: gw.stats.shed_srt_cap,
+        disconnects: gw.stats.disconnects,
+        peak: gw.stats.peak_lane_occupancy,
+        wall_s,
+        p50_us: percentile_us(&gw.latencies_ns, 0.50),
+        p99_us: percentile_us(&gw.latencies_ns, 0.99),
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn cell_report(row: &CellRow) -> Value {
+    Value::Obj(
+        vec![
+            ("workers", Value::num(row.workers as f64)),
+            ("clients", Value::num(row.clients as f64)),
+            ("ingress_events", Value::num(row.ingress as f64)),
+            ("fanout", Value::num(row.fanout as f64)),
+            (
+                "fanout_per_wall_sec",
+                Value::num((row.fanout as f64 / row.wall_s.max(1e-9)).round()),
+            ),
+            ("delivered_msgs", Value::num(row.delivered as f64)),
+            ("p50_us", Value::num(round3(row.p50_us))),
+            ("p99_us", Value::num(round3(row.p99_us))),
+            ("shed_nrt", Value::num(row.shed_nrt as f64)),
+            ("shed_srt_stale", Value::num(row.shed_srt_stale as f64)),
+            ("shed_srt_cap", Value::num(row.shed_srt_cap as f64)),
+            ("disconnects", Value::num(row.disconnects as f64)),
+            ("peak_lane_occupancy", Value::num(row.peak as f64)),
+            ("wall_ms", Value::num(round3(row.wall_s * 1e3))),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
+
+fn gateway_report(cfg: &BenchConfig, bus_time: Duration, rows: &[CellRow]) -> Value {
+    Value::Obj(
+        vec![
+            ("schema", Value::str("rtec-bench-gateway-v1")),
+            ("mode", Value::str(if cfg.quick { "quick" } else { "full" })),
+            ("bus_ms", Value::num(bus_time.as_ns() as f64 / 1e6)),
+            ("queue_cap", Value::num(QUEUE_CAP as f64)),
+            ("slow_every", Value::num(SLOW_EVERY as f64)),
+            ("policy", Value::str("shed-nrt-first")),
+            ("cells", Value::Arr(rows.iter().map(cell_report).collect())),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+}
+
+fn print_row(row: &CellRow) {
+    eprintln!(
+        "  {:2} worker(s) × {:5} clients: {:7} fanout in {:8.2} ms wall ({:>9}/s)  \
+         p50 {:7.1} µs  p99 {:7.1} µs  shed {:5} (nrt {} / stale {} / cap {})  peak {:2}  disc {}",
+        row.workers,
+        row.clients,
+        row.fanout,
+        row.wall_s * 1e3,
+        (row.fanout as f64 / row.wall_s.max(1e-9)).round(),
+        row.p50_us,
+        row.p99_us,
+        row.shed_nrt + row.shed_srt_stale + row.shed_srt_cap,
+        row.shed_nrt,
+        row.shed_srt_stale,
+        row.shed_srt_cap,
+        row.peak,
+        row.disconnects,
+    );
+}
+
+/// Run the gateway benchmark and merge its section into the engine
+/// report. Returns a process exit code.
+pub fn run(cfg: &BenchConfig) -> i32 {
+    if cfg.ci_check {
+        return ci_check(cfg);
+    }
+    let bus_time = if cfg.quick {
+        Duration::from_ms(40)
+    } else {
+        Duration::from_ms(120)
+    };
+    eprintln!(
+        "== gateway fanout ({} of bus time per cell, cap {QUEUE_CAP}, slow every {SLOW_EVERY}th) ==",
+        if cfg.quick { "40 ms" } else { "120 ms" }
+    );
+    let mut rows = Vec::new();
+    for &workers in &WORKER_GRID {
+        for &clients in &CLIENT_GRID {
+            let (_, gw, wall_s) = run_cell(workers, clients, bus_time, cfg.seed, None);
+            let row = cell_row(workers, clients, &gw, wall_s);
+            print_row(&row);
+            if row.peak > QUEUE_CAP {
+                eprintln!(
+                    "bench gateway: lane occupancy {} exceeded the {QUEUE_CAP}-entry bound",
+                    row.peak
+                );
+                return 1;
+            }
+            rows.push(row);
+        }
+    }
+    let section = gateway_report(cfg, bus_time, &rows);
+
+    // Merge under "gateway", preserving every other committed section.
+    let mut root = std::fs::read_to_string(ENGINE_REPORT)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    if let Value::Obj(fields) = &mut root {
+        fields.retain(|(k, _)| k != "gateway");
+        fields.push(("gateway".to_string(), section));
+    }
+    match std::fs::write(ENGINE_REPORT, root.to_pretty()) {
+        Ok(()) => {
+            eprintln!("merged gateway section into {ENGINE_REPORT}");
+            0
+        }
+        Err(e) => {
+            eprintln!("bench gateway: cannot write {ENGINE_REPORT}: {e}");
+            1
+        }
+    }
+}
+
+/// CI acceptance gates: committed section parses; same-seed runs are
+/// byte-identical down to the lane digests; the merged trace passes
+/// the auditor; and a 10 000-client population is sustained with
+/// nonzero sheds and bounded lane queues.
+fn ci_check(cfg: &BenchConfig) -> i32 {
+    let committed = match std::fs::read_to_string(ENGINE_REPORT) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench gateway --ci: cannot read {ENGINE_REPORT}: {e}");
+            return 1;
+        }
+    };
+    let root = match json::parse(&committed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench gateway --ci: {ENGINE_REPORT} does not parse: {e}");
+            return 1;
+        }
+    };
+    let has_cells = root
+        .get("gateway")
+        .and_then(|s| s.get("cells"))
+        .and_then(Value::as_arr)
+        .is_some_and(|cells| !cells.is_empty());
+    if !has_cells {
+        eprintln!("bench gateway --ci: {ENGINE_REPORT} has no gateway cells");
+        return 1;
+    }
+    let bus_time = Duration::from_ms(40);
+
+    eprintln!("== bench gateway --ci: same-seed determinism (4 workers × 200 clients) ==");
+    let (ra, ga, _) = run_cell(4, 200, bus_time, cfg.seed, None);
+    let (rb, gb, _) = run_cell(4, 200, bus_time, cfg.seed, None);
+    if ra.log != rb.log {
+        eprintln!("bench gateway --ci: cluster delivery logs diverged between same-seed runs");
+        return 1;
+    }
+    if ga.stats != gb.stats || ga.shards != gb.shards || ga.lanes != gb.lanes {
+        eprintln!("bench gateway --ci: gateway lane digests diverged between same-seed runs");
+        return 1;
+    }
+    eprintln!(
+        "  {} lanes byte-identical ({} msgs delivered, {} shed)",
+        ga.lanes.len(),
+        ga.stats.delivered_msgs,
+        ga.stats.shed_total()
+    );
+
+    eprintln!("== bench gateway --ci: merged-trace audit (4 workers × 100 clients) ==");
+    let sink = SharedTraceSink::enabled_with_capacity(TRACE_CAPACITY);
+    let (report, gw, _) = run_cell(4, 100, bus_time, cfg.seed, Some(sink.clone()));
+    if sink.dropped() > 0 {
+        eprintln!(
+            "bench gateway --ci: trace ring dropped {} event(s)",
+            sink.dropped()
+        );
+        return 1;
+    }
+    let mut trace = sink.events();
+    trace.sort_by(|x, y| (x.time, &x.source).cmp(&(y.time, &y.source)));
+    if !trace.iter().any(|e| e.kind == "gw_fanout") {
+        eprintln!("bench gateway --ci: gateway records missing from the merged trace");
+        return 1;
+    }
+    let ctx = AuditContext::from_parts(
+        (*report.calendar).clone(),
+        report.calendar_start,
+        report.channels.clone(),
+        report.hrt_periods.clone(),
+    );
+    let audit_rep = audit(&ctx, &trace);
+    if !audit_rep.passes() {
+        eprintln!(
+            "bench gateway --ci: T1..T8 audit failed on the merged trace:\n{:#?}",
+            audit_rep.errors().collect::<Vec<_>>()
+        );
+        return 1;
+    }
+    eprintln!(
+        "  audit clean over {} trace events ({} from the gateway)",
+        trace.len(),
+        trace.iter().filter(|e| e.kind.starts_with("gw_")).count()
+    );
+    if gw.stats.delivered_msgs == 0 {
+        eprintln!("bench gateway --ci: audited cell delivered nothing");
+        return 1;
+    }
+
+    eprintln!("== bench gateway --ci: 10k-client sustained-load gate (4 workers) ==");
+    let (_, big, wall_s) = run_cell(4, 10_000, bus_time, cfg.seed, None);
+    eprintln!(
+        "  {} fanout in {:.2} ms wall, {} delivered, {} shed, peak lane occupancy {}",
+        big.stats.fanout,
+        wall_s * 1e3,
+        big.stats.delivered_msgs,
+        big.stats.shed_total(),
+        big.stats.peak_lane_occupancy
+    );
+    if big.stats.delivered_msgs == 0 {
+        eprintln!("bench gateway --ci: 10k-client cell delivered nothing");
+        return 1;
+    }
+    if big.stats.shed_total() == 0 {
+        eprintln!("bench gateway --ci: slow-consumer scenario shed nothing — policy regressed?");
+        return 1;
+    }
+    if big.stats.peak_lane_occupancy > QUEUE_CAP {
+        eprintln!(
+            "bench gateway --ci: lane occupancy {} exceeded the {QUEUE_CAP}-entry bound",
+            big.stats.peak_lane_occupancy
+        );
+        return 1;
+    }
+    eprintln!("bench gateway --ci: ok");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small cell is deterministic and its report section round-trips
+    /// through the JSON parser.
+    #[test]
+    fn small_cell_is_deterministic_and_report_parses() {
+        let bus = Duration::from_ms(20);
+        let (ra, ga, wall) = run_cell(2, 50, bus, 7, None);
+        let (rb, gb, _) = run_cell(2, 50, bus, 7, None);
+        assert_eq!(ra.log, rb.log);
+        assert_eq!(ga.stats, gb.stats);
+        assert_eq!(ga.lanes, gb.lanes);
+        assert!(ga.stats.fanout > 0, "no fanout happened");
+
+        let cfg = BenchConfig {
+            quick: true,
+            ci_check: false,
+            seed: 7,
+            jobs: 1,
+        };
+        let row = cell_row(2, 50, &ga, wall);
+        let report = gateway_report(&cfg, bus, &[row]);
+        let back = json::parse(&report.to_pretty()).expect("section parses");
+        assert_eq!(
+            back.get("cells")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            back.get("schema").and_then(Value::as_str),
+            Some("rtec-bench-gateway-v1")
+        );
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod chaos_exp;
 pub mod experiments;
+pub mod gateway_perf;
 pub mod json;
 pub mod live_perf;
 pub mod parallel_perf;

@@ -24,7 +24,9 @@
 //! CI with no rustc internals and no third-party parser. To keep the
 //! signal clean it first *strips* comments and string literals
 //! (preserving line numbers) and *skips* `#[cfg(test)]` blocks, where
-//! std primitives are fine. Scope is `crates/live/src` plus the two
+//! std primitives are fine. Scope is `crates/live/src` and
+//! `crates/gateway/src` (the gateway's fanout workers ride the same
+//! facade, so its loom coverage has the same blind spots) plus the two
 //! concurrent files of `rtec-sim` (`parallel.rs`, `sync.rs`); the rest
 //! of the simulation stack is single-threaded by construction (its
 //! `trace.rs` ring, for instance, predates the facade and stays out of
@@ -289,8 +291,10 @@ const RULES: &[TextRule] = &[
         id: RuleId::StrayWallClock,
         // `parallel.rs` is allowed: its wall-clock reads only feed the
         // barrier-stall accounting reported next to bench results —
-        // never simulated time, which stays fully virtual.
-        allow_files: &["clock.rs", "udp.rs", "parallel.rs"],
+        // never simulated time, which stays fully virtual. `meter.rs`
+        // is the gateway's equivalent quarantine: client-observed
+        // latency sampling that never feeds back into scheduling.
+        allow_files: &["clock.rs", "udp.rs", "parallel.rs", "meter.rs"],
         needles: &["Instant::now()", "SystemTime::now()"],
         unless_on_line: None,
         fix: "take timestamps from clock::Pacer / the broker's Welcome",
@@ -337,12 +341,13 @@ pub fn lint_sources(files: &[SrcFile]) -> Report {
 }
 
 /// Lint the concurrent sources under a workspace root: every `.rs`
-/// file below `crates/live/src`, plus `rtec-sim`'s parallel driver and
-/// sync facade, in path order.
+/// file below `crates/live/src` and `crates/gateway/src`, plus
+/// `rtec-sim`'s parallel driver and sync facade, in path order.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let dir = root.join("crates/live/src");
     let mut files = Vec::new();
-    collect_rs(&dir, &mut files)?;
+    for dir in ["crates/live/src", "crates/gateway/src"] {
+        collect_rs(&root.join(dir), &mut files)?;
+    }
     for extra in ["crates/sim/src/parallel.rs", "crates/sim/src/sync.rs"] {
         let path = root.join(extra);
         files.push(SrcFile {
@@ -444,6 +449,35 @@ mod tests {
             let rep = lint_one(allowed, "let t = Instant::now();\n");
             assert!(!rep.fired(RuleId::StrayWallClock), "{allowed}: {rep}");
         }
+    }
+
+    fn lint_gateway(name: &str, text: &str) -> Report {
+        lint_sources(&[SrcFile::new(format!("crates/gateway/src/{name}"), text)])
+    }
+
+    #[test]
+    fn gateway_sources_are_held_to_the_same_rules() {
+        // The fanout workers live outside crates/live but share the
+        // facade; every rule fires on gateway paths identically.
+        let rep = lint_gateway("gateway.rs", "use std::sync::Mutex;\n");
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
+        let rep = lint_gateway("net.rs", "let h = thread::spawn(|| accept());\n");
+        assert!(rep.fired(RuleId::UnnamedThreadSpawn), "{rep}");
+        let rep = lint_gateway("client.rs", "let g = m.lock().unwrap();\n");
+        assert!(rep.fired(RuleId::UnwrappedSyncResult), "{rep}");
+        let rep = lint_gateway("egress.rs", "let t = Instant::now();\n");
+        assert!(rep.fired(RuleId::StrayWallClock), "{rep}");
+    }
+
+    #[test]
+    fn c5_allows_the_gateway_latency_meter() {
+        // meter.rs is the gateway's wall-clock quarantine, like
+        // parallel.rs in rtec-sim.
+        let rep = lint_gateway("meter.rs", "let t = Instant::now();\n");
+        assert!(!rep.fired(RuleId::StrayWallClock), "{rep}");
+        // The quarantine is C5-only: the other rules still apply.
+        let rep = lint_gateway("meter.rs", "use std::sync::Mutex;\n");
+        assert!(rep.fired(RuleId::DirectStdSync), "{rep}");
     }
 
     #[test]

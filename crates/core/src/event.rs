@@ -36,6 +36,25 @@ impl Subject {
     pub const fn uid(self) -> u64 {
         self.0
     }
+
+    /// Map this subject onto one of `shards` fanout shards.
+    ///
+    /// Off-bus consumers (the gateway) partition their subscription
+    /// tables by subject so every event of one subject is handled by
+    /// exactly one worker — per-subject FIFO order is then free. The
+    /// hash is a fixed splitmix64 finalizer, so the shard assignment is
+    /// stable across runs, platforms and shard-count-preserving
+    /// restarts; nearby uids land on different shards.
+    pub fn shard_of(self, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % shards as u64) as usize
+    }
 }
 
 impl fmt::Debug for Subject {
@@ -214,6 +233,27 @@ mod tests {
         assert_eq!(rest.len(), 2);
         assert_eq!(rest[1].event.content, vec![2]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shard_of_is_stable_in_range_and_spreads() {
+        // In range for any shard count, including the degenerate ones.
+        for shards in [0usize, 1, 2, 4, 16] {
+            for uid in 0..64u64 {
+                let s = Subject::new(uid).shard_of(shards);
+                assert!(s < shards.max(1));
+            }
+        }
+        // Stable: same uid, same shard, every time.
+        assert_eq!(
+            Subject::new(0xdead_beef).shard_of(16),
+            Subject::new(0xdead_beef).shard_of(16)
+        );
+        // Sequential uids do not all pile onto one shard.
+        let hit: std::collections::HashSet<usize> = (0..16u64)
+            .map(|uid| Subject::new(uid).shard_of(4))
+            .collect();
+        assert!(hit.len() > 1, "splitmix must spread sequential uids");
     }
 
     #[test]

@@ -1,0 +1,596 @@
+//! Per-lane egress queues: bounded, class-aware, shed-on-pressure.
+//!
+//! Every (client, shard) pair owns one [`EgressQueue`]. The queue
+//! preserves the paper's per-class semantics off-bus:
+//!
+//! * **HRT** (§3.2): released in order at the delivery deadline
+//!   already stamped by the live runtime's deferred delivery; never
+//!   shed by backpressure — a client that cannot even take its HRT
+//!   traffic is disconnected rather than silently degraded.
+//! * **SRT** (§2.2.2): events carry a validity end; anything still
+//!   queued past it is dropped (*shed as stale*) instead of being
+//!   delivered late, exactly as the bus-side queue drops expired
+//!   events rather than transmitting them.
+//! * **NRT** (§2.2.3): lowest priority, batched when small and
+//!   fragment-streamed when large, and the first thing shed when a
+//!   slow consumer fills its bounded queue.
+//!
+//! The queue never blocks and never allocates past its bound, so a
+//! slow TCP client cannot exhaust gateway memory — the explicit
+//! [`SlowConsumerPolicy`] decides what gives instead.
+
+use rtec_core::ChannelClass;
+use rtec_live::sync::Arc;
+use std::collections::VecDeque;
+
+/// What a lane does when a slow consumer fills its bounded queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlowConsumerPolicy {
+    /// Tear the client down: better no subscriber than a stale one.
+    Disconnect,
+    /// Shed NRT first (oldest first), then SRT; disconnect only when
+    /// even the HRT share alone overflows the bound.
+    ShedNrtFirst,
+    /// Keep only the latest SRT/NRT event per subject (coalescing),
+    /// falling back to shed-NRT-first when there is nothing to
+    /// coalesce.
+    CoalesceToLatest,
+}
+
+/// One queued, pre-encoded message awaiting a sink slot.
+#[derive(Clone, Debug)]
+pub struct EgressEntry {
+    /// Timeliness class.
+    pub class: ChannelClass,
+    /// Subject uid.
+    pub uid: u64,
+    /// Publishing node id (255 when unknown).
+    pub origin: u8,
+    /// Per-subject delivery sequence number at the gateway.
+    pub seq: u32,
+    /// Bus time the frame completed on the wire.
+    pub wire_ns: u64,
+    /// Bus time the event was released to subscribers (HRT: the slot
+    /// deadline).
+    pub release_ns: u64,
+    /// Validity end in bus time (SRT only).
+    pub expiry_ns: Option<u64>,
+    /// Wall-clock stamp taken at gateway ingress (latency accounting).
+    pub ingress_wall_ns: u64,
+    /// Raw payload bytes (for batch re-encoding), shared across lanes.
+    pub payload: Arc<Vec<u8>>,
+    /// The encoded [`crate::wire::ToClient`] message, shared across
+    /// all subscribed lanes.
+    pub encoded: Arc<Vec<u8>>,
+    /// Entry is one chunk of a fragment-streamed bulk event (never
+    /// batched or coalesced).
+    pub frag: bool,
+}
+
+/// Per-lane counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Messages the sink accepted.
+    pub delivered_msgs: u64,
+    /// HRT events delivered.
+    pub delivered_hrt: u64,
+    /// SRT events delivered.
+    pub delivered_srt: u64,
+    /// NRT events (or fragments) delivered.
+    pub delivered_nrt: u64,
+    /// NRT entries shed under pressure.
+    pub shed_nrt: u64,
+    /// SRT entries dropped because their validity window closed.
+    pub shed_srt_stale: u64,
+    /// SRT entries shed under pressure (validity still open).
+    pub shed_srt_cap: u64,
+    /// Entries replaced in place by a newer same-subject event.
+    pub coalesced: u64,
+    /// NRT batch messages sent.
+    pub batches: u64,
+    /// Fragment messages sent.
+    pub fragments: u64,
+    /// High-water mark of queued entries.
+    pub peak: usize,
+}
+
+/// Outcome of [`EgressQueue::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Entry queued (possibly after shedding something older).
+    Queued,
+    /// Entry (or an older same-subject entry) was dropped; counters
+    /// say which class.
+    Shed,
+    /// The policy demands the client be torn down.
+    Disconnect,
+}
+
+/// A bounded, class-aware queue for one (client, shard) lane.
+#[derive(Debug)]
+pub struct EgressQueue {
+    cap: usize,
+    hrt: VecDeque<EgressEntry>,
+    srt: VecDeque<EgressEntry>,
+    nrt: VecDeque<EgressEntry>,
+    /// Counters, maintained by `push`/`flush`.
+    pub stats: LaneStats,
+}
+
+/// What `flush` hands the sink in one offer.
+pub enum FlushItem<'a> {
+    /// One pre-encoded message (HRT, SRT, NRT fragment, or a lone NRT
+    /// event).
+    Single(&'a EgressEntry),
+    /// Several small NRT entries to coalesce into one batch message
+    /// (the closure encodes them).
+    Batch(&'a [EgressEntry]),
+}
+
+/// Sink verdict on one flush offer (mirrors
+/// [`crate::client::SinkStatus`] without depending on it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushVerdict {
+    /// Taken; pop the entries and keep flushing.
+    Taken,
+    /// Sink is busy; stop flushing this lane, entries stay queued.
+    Blocked,
+    /// Sink is gone; the caller tears the lane down.
+    Lost,
+}
+
+impl EgressQueue {
+    /// An empty queue bounded at `cap` entries (across all classes).
+    pub fn new(cap: usize) -> Self {
+        EgressQueue {
+            cap: cap.max(1),
+            hrt: VecDeque::new(),
+            srt: VecDeque::new(),
+            nrt: VecDeque::new(),
+            stats: LaneStats::default(),
+        }
+    }
+
+    /// Entries currently queued, all classes.
+    pub fn len(&self) -> usize {
+        self.hrt.len() + self.srt.len() + self.nrt.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop queued SRT entries whose validity window closed at or
+    /// before `watermark` (bus ns). Returns how many were dropped.
+    pub fn purge_stale_srt(&mut self, watermark: u64) -> u64 {
+        let before = self.srt.len();
+        self.srt
+            .retain(|e| e.expiry_ns.is_none_or(|x| x > watermark));
+        let dropped = (before - self.srt.len()) as u64;
+        self.stats.shed_srt_stale += dropped;
+        dropped
+    }
+
+    /// Queue `entry`, applying `policy` under pressure.
+    pub fn push(
+        &mut self,
+        entry: EgressEntry,
+        policy: SlowConsumerPolicy,
+        watermark: u64,
+    ) -> PushOutcome {
+        // An SRT event already past its validity end is never queued —
+        // delivering it late would violate §2.2.2 off-bus.
+        if entry.class == ChannelClass::Srt && entry.expiry_ns.is_some_and(|x| x <= watermark) {
+            self.stats.shed_srt_stale += 1;
+            return PushOutcome::Shed;
+        }
+        let mut shed_something = false;
+        while self.len() >= self.cap {
+            match policy {
+                SlowConsumerPolicy::Disconnect => return PushOutcome::Disconnect,
+                SlowConsumerPolicy::ShedNrtFirst => {
+                    if !self.shed_one_for(&entry) {
+                        return PushOutcome::Disconnect;
+                    }
+                    shed_something = true;
+                }
+                SlowConsumerPolicy::CoalesceToLatest => {
+                    if self.coalesce(&entry) {
+                        self.stats.coalesced += 1;
+                        return PushOutcome::Queued;
+                    }
+                    if !self.shed_one_for(&entry) {
+                        return PushOutcome::Disconnect;
+                    }
+                    shed_something = true;
+                }
+            }
+        }
+        match entry.class {
+            ChannelClass::Hrt => self.hrt.push_back(entry),
+            ChannelClass::Srt => self.srt.push_back(entry),
+            ChannelClass::Nrt => self.nrt.push_back(entry),
+        }
+        self.stats.peak = self.stats.peak.max(self.len());
+        if shed_something {
+            PushOutcome::Shed
+        } else {
+            PushOutcome::Queued
+        }
+    }
+
+    /// Make room by shedding the least valuable queued entry: oldest
+    /// NRT, else oldest SRT. Returns `false` when only HRT remains —
+    /// HRT is never shed, so a queue full of undeliverable HRT *is*
+    /// the disconnect condition.
+    fn shed_one_for(&mut self, _incoming: &EgressEntry) -> bool {
+        if self.nrt.pop_front().is_some() {
+            self.stats.shed_nrt += 1;
+            true
+        } else if self.srt.pop_front().is_some() {
+            self.stats.shed_srt_cap += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replace the oldest queued same-subject, same-class SRT/NRT
+    /// entry with `entry`'s content (keeping queue position). HRT and
+    /// fragments never coalesce.
+    fn coalesce(&mut self, entry: &EgressEntry) -> bool {
+        if entry.frag || entry.class == ChannelClass::Hrt {
+            return false;
+        }
+        let q = match entry.class {
+            ChannelClass::Srt => &mut self.srt,
+            ChannelClass::Nrt => &mut self.nrt,
+            ChannelClass::Hrt => unreachable!(),
+        };
+        if let Some(old) = q.iter_mut().find(|e| e.uid == entry.uid && !e.frag) {
+            *old = entry.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain ready entries into the sink closure, HRT before SRT
+    /// before NRT, until the sink blocks, dies, or the queue empties.
+    ///
+    /// `watermark` is the shard's bus-time high-water mark: HRT
+    /// entries release only once it passes their deadline stamp, and
+    /// stale SRT entries are purged before anything is offered. Small
+    /// consecutive NRT entries (up to `batch_max`) are offered as one
+    /// [`FlushItem::Batch`]. Returns `false` when the sink is gone.
+    pub fn flush<F>(&mut self, watermark: u64, batch_max: usize, mut offer: F) -> bool
+    where
+        F: FnMut(FlushItem<'_>) -> FlushVerdict,
+    {
+        self.purge_stale_srt(watermark);
+        loop {
+            // HRT: strictly in order, gated on the release stamp.
+            if let Some(front) = self.hrt.front() {
+                if front.release_ns <= watermark {
+                    match offer(FlushItem::Single(front)) {
+                        FlushVerdict::Taken => {
+                            self.hrt.pop_front();
+                            self.stats.delivered_msgs += 1;
+                            self.stats.delivered_hrt += 1;
+                            continue;
+                        }
+                        FlushVerdict::Blocked => return true,
+                        FlushVerdict::Lost => return false,
+                    }
+                }
+            }
+            if let Some(front) = self.srt.front() {
+                match offer(FlushItem::Single(front)) {
+                    FlushVerdict::Taken => {
+                        self.srt.pop_front();
+                        self.stats.delivered_msgs += 1;
+                        self.stats.delivered_srt += 1;
+                        continue;
+                    }
+                    FlushVerdict::Blocked => return true,
+                    FlushVerdict::Lost => return false,
+                }
+            }
+            if !self.nrt.is_empty() {
+                // A fragment goes alone; small events batch up.
+                let run = self
+                    .nrt
+                    .make_contiguous()
+                    .iter()
+                    .take_while(|e| !e.frag)
+                    .count()
+                    .min(batch_max);
+                let (item, n, frags) = if run == 0 {
+                    (FlushItem::Single(&self.nrt[0]), 1, 1u64)
+                } else if run == 1 {
+                    (FlushItem::Single(&self.nrt[0]), 1, 0)
+                } else {
+                    (FlushItem::Batch(&self.nrt.as_slices().0[..run]), run, 0)
+                };
+                match offer(item) {
+                    FlushVerdict::Taken => {
+                        self.nrt.drain(..n);
+                        self.stats.delivered_msgs += 1;
+                        self.stats.delivered_nrt += n as u64;
+                        self.stats.fragments += frags;
+                        if n > 1 {
+                            self.stats.batches += 1;
+                        }
+                        continue;
+                    }
+                    FlushVerdict::Blocked => return true,
+                    FlushVerdict::Lost => return false,
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Entries still queued (used at shutdown for the undelivered
+    /// count).
+    pub fn drain_remaining(&mut self) -> usize {
+        let n = self.len();
+        self.hrt.clear();
+        self.srt.clear();
+        self.nrt.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        class: ChannelClass,
+        uid: u64,
+        release_ns: u64,
+        expiry_ns: Option<u64>,
+    ) -> EgressEntry {
+        EgressEntry {
+            class,
+            uid,
+            origin: 0,
+            seq: 0,
+            wire_ns: 0,
+            release_ns,
+            expiry_ns,
+            ingress_wall_ns: 0,
+            payload: Arc::new(vec![uid as u8]),
+            encoded: Arc::new(vec![class as u8, uid as u8]),
+            frag: false,
+        }
+    }
+
+    fn drain_all(q: &mut EgressQueue, watermark: u64) -> Vec<(ChannelClass, u64)> {
+        let mut seen = Vec::new();
+        q.flush(watermark, 8, |item| {
+            match item {
+                FlushItem::Single(e) => seen.push((e.class, e.uid)),
+                FlushItem::Batch(es) => seen.extend(es.iter().map(|e| (e.class, e.uid))),
+            }
+            FlushVerdict::Taken
+        });
+        seen
+    }
+
+    #[test]
+    fn flush_orders_hrt_srt_nrt() {
+        let mut q = EgressQueue::new(16);
+        q.push(
+            entry(ChannelClass::Nrt, 3, 0, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Srt, 2, 0, Some(100)),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Hrt, 1, 5, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        assert_eq!(
+            drain_all(&mut q, 10),
+            vec![
+                (ChannelClass::Hrt, 1),
+                (ChannelClass::Srt, 2),
+                (ChannelClass::Nrt, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn hrt_waits_for_its_release_stamp() {
+        let mut q = EgressQueue::new(16);
+        q.push(
+            entry(ChannelClass::Hrt, 1, 50, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Srt, 2, 0, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        // Before the deadline the SRT event goes out, the HRT one holds.
+        assert_eq!(drain_all(&mut q, 10), vec![(ChannelClass::Srt, 2)]);
+        assert_eq!(drain_all(&mut q, 50), vec![(ChannelClass::Hrt, 1)]);
+    }
+
+    #[test]
+    fn stale_srt_is_dropped_not_delivered() {
+        let mut q = EgressQueue::new(16);
+        q.push(
+            entry(ChannelClass::Srt, 1, 0, Some(20)),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        // Watermark passes the validity end before the sink drains.
+        assert_eq!(drain_all(&mut q, 30), vec![]);
+        assert_eq!(q.stats.shed_srt_stale, 1);
+        // Pushing an already-stale event drops it immediately.
+        let out = q.push(
+            entry(ChannelClass::Srt, 2, 0, Some(20)),
+            SlowConsumerPolicy::ShedNrtFirst,
+            30,
+        );
+        assert_eq!(out, PushOutcome::Shed);
+        assert_eq!(q.stats.shed_srt_stale, 2);
+    }
+
+    #[test]
+    fn shed_nrt_first_prefers_nrt_then_srt_never_hrt() {
+        let mut q = EgressQueue::new(2);
+        q.push(
+            entry(ChannelClass::Nrt, 1, 0, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Srt, 2, 0, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        // Full: pushing HRT sheds the NRT entry first.
+        assert_eq!(
+            q.push(
+                entry(ChannelClass::Hrt, 3, 0, None),
+                SlowConsumerPolicy::ShedNrtFirst,
+                0
+            ),
+            PushOutcome::Shed
+        );
+        assert_eq!(q.stats.shed_nrt, 1);
+        // Full again: next push sheds the SRT entry.
+        assert_eq!(
+            q.push(
+                entry(ChannelClass::Hrt, 4, 0, None),
+                SlowConsumerPolicy::ShedNrtFirst,
+                0
+            ),
+            PushOutcome::Shed
+        );
+        assert_eq!(q.stats.shed_srt_cap, 1);
+        // Only HRT left: the lane must disconnect instead of shedding.
+        assert_eq!(
+            q.push(
+                entry(ChannelClass::Hrt, 5, 0, None),
+                SlowConsumerPolicy::ShedNrtFirst,
+                0
+            ),
+            PushOutcome::Disconnect
+        );
+    }
+
+    #[test]
+    fn disconnect_policy_disconnects_on_pressure() {
+        let mut q = EgressQueue::new(1);
+        q.push(
+            entry(ChannelClass::Nrt, 1, 0, None),
+            SlowConsumerPolicy::Disconnect,
+            0,
+        );
+        assert_eq!(
+            q.push(
+                entry(ChannelClass::Nrt, 2, 0, None),
+                SlowConsumerPolicy::Disconnect,
+                0
+            ),
+            PushOutcome::Disconnect
+        );
+    }
+
+    #[test]
+    fn coalesce_replaces_same_subject_in_place() {
+        let mut q = EgressQueue::new(2);
+        q.push(
+            entry(ChannelClass::Nrt, 7, 0, None),
+            SlowConsumerPolicy::CoalesceToLatest,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Srt, 8, 0, None),
+            SlowConsumerPolicy::CoalesceToLatest,
+            0,
+        );
+        // Full; a newer event for subject 7 replaces the queued one.
+        let mut newer = entry(ChannelClass::Nrt, 7, 0, None);
+        newer.encoded = Arc::new(vec![0xff]);
+        assert_eq!(
+            q.push(newer, SlowConsumerPolicy::CoalesceToLatest, 0),
+            PushOutcome::Queued
+        );
+        assert_eq!(q.stats.coalesced, 1);
+        assert_eq!(q.len(), 2);
+        let seen = drain_all(&mut q, 10);
+        assert_eq!(seen, vec![(ChannelClass::Srt, 8), (ChannelClass::Nrt, 7)]);
+        // No same-subject entry to merge into → falls back to shedding.
+        q.push(
+            entry(ChannelClass::Nrt, 1, 0, None),
+            SlowConsumerPolicy::CoalesceToLatest,
+            0,
+        );
+        q.push(
+            entry(ChannelClass::Srt, 2, 0, None),
+            SlowConsumerPolicy::CoalesceToLatest,
+            0,
+        );
+        assert_eq!(
+            q.push(
+                entry(ChannelClass::Nrt, 3, 0, None),
+                SlowConsumerPolicy::CoalesceToLatest,
+                0
+            ),
+            PushOutcome::Shed
+        );
+        assert_eq!(q.stats.shed_nrt, 1);
+    }
+
+    #[test]
+    fn small_nrt_entries_batch_fragments_go_alone() {
+        let mut q = EgressQueue::new(16);
+        for uid in 1..=3 {
+            q.push(
+                entry(ChannelClass::Nrt, uid, 0, None),
+                SlowConsumerPolicy::ShedNrtFirst,
+                0,
+            );
+        }
+        let mut frag = entry(ChannelClass::Nrt, 9, 0, None);
+        frag.frag = true;
+        q.push(frag, SlowConsumerPolicy::ShedNrtFirst, 0);
+        let mut offers = Vec::new();
+        q.flush(10, 8, |item| {
+            offers.push(match item {
+                FlushItem::Single(e) => vec![e.uid],
+                FlushItem::Batch(es) => es.iter().map(|e| e.uid).collect(),
+            });
+            FlushVerdict::Taken
+        });
+        assert_eq!(offers, vec![vec![1, 2, 3], vec![9]]);
+        assert_eq!(q.stats.batches, 1);
+        assert_eq!(q.stats.fragments, 1);
+    }
+
+    #[test]
+    fn blocked_sink_keeps_entries_queued() {
+        let mut q = EgressQueue::new(16);
+        q.push(
+            entry(ChannelClass::Srt, 1, 0, None),
+            SlowConsumerPolicy::ShedNrtFirst,
+            0,
+        );
+        q.flush(10, 8, |_| FlushVerdict::Blocked);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats.delivered_msgs, 0);
+    }
+}

@@ -1,0 +1,846 @@
+//! The gateway runtime: a cluster [`Behavior`] feeding sharded fanout
+//! workers.
+//!
+//! The gateway joins the live cluster as an ordinary node — it speaks
+//! the broker protocol through the same `NodeTransport`, subscribes
+//! like any middleware instance, and obeys the lock-step turn
+//! discipline. What makes it a gateway is what happens *after*
+//! delivery: each delivered event is classified, stamped and handed to
+//! one of N fanout workers, chosen by [`Subject::shard_of`] — so all
+//! events of one subject are serialized through one worker and
+//! per-subject FIFO order costs nothing. Each worker owns the egress
+//! state of every client lane it serves (subscription table slice,
+//! bounded [`EgressQueue`]s, sinks): no cross-worker locks, and a
+//! same-seed run replays every queueing and shedding decision exactly.
+//!
+//! Workers are spawned through the `rtec_live::sync` facade, so the
+//! loom model checker and the srclint C1–C6 rules cover this crate the
+//! same way they cover the broker and node threads.
+
+use crate::client::{ClientSinkSpec, SinkDigest, SinkHandle, SinkStatus};
+use crate::egress::{
+    EgressEntry, EgressQueue, FlushItem, FlushVerdict, LaneStats, PushOutcome, SlowConsumerPolicy,
+};
+use crate::meter::Stopwatch;
+use crate::wire::{
+    self, BatchEntry, EventMsg, FragMsg, ToClient, REASON_SHUTDOWN, REASON_SLOW, REASON_STALE,
+};
+use rtec_core::event::Delivery;
+use rtec_core::{ChannelClass, ChannelSpec, Subject};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::sync::{mpsc, thread, Arc, Mutex};
+use rtec_sim::{SharedTraceSink, SourceId, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// Cap on wall-latency samples kept per shard (bench accounting only).
+const LAT_SAMPLE_CAP: usize = 1 << 14;
+
+/// Gateway construction parameters.
+pub struct GatewayConfig {
+    /// Fanout worker threads (subjects are sharded across them).
+    pub workers: usize,
+    /// Bound of each (client, shard) egress queue, in entries.
+    pub client_queue_cap: usize,
+    /// Most NRT events coalesced into one batch message.
+    pub nrt_batch_max: usize,
+    /// NRT payloads above this many bytes are fragment-streamed.
+    pub frag_chunk: usize,
+    /// Depth of each worker's ingress channel (bounded; a full channel
+    /// backpressures the gateway node, never drops).
+    pub ingress_depth: usize,
+    /// Policy for clients that register without one of their own.
+    pub default_policy: SlowConsumerPolicy,
+    /// Trace sink shared with the cluster (see `Cluster::use_sink`) so
+    /// gateway records merge into the audited trace.
+    pub sink: SharedTraceSink,
+    /// Also emit per-occurrence shed/disconnect records (off by
+    /// default: a 10k-client bench would flood a bounded trace ring).
+    pub trace_verbose: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            client_queue_cap: 64,
+            nrt_batch_max: 8,
+            frag_chunk: 256,
+            ingress_depth: mpsc::DEFAULT_DEPTH,
+            default_policy: SlowConsumerPolicy::ShedNrtFirst,
+            sink: SharedTraceSink::disabled(),
+            trace_verbose: false,
+        }
+    }
+}
+
+/// What the behavior knows about a bound subject.
+#[derive(Clone, Copy, Debug)]
+struct SubjectMeta {
+    class: ChannelClass,
+    /// Off-bus staleness budget: an SRT event delivered at `t` is
+    /// stale at `t + stale_ns` (the spec's validity window, re-anchored
+    /// at delivery because expiration attributes do not survive the
+    /// wire).
+    stale_ns: Option<u64>,
+}
+
+/// One delivered event, classified and stamped for fanout.
+struct IngressEvent {
+    uid: u64,
+    class: ChannelClass,
+    origin: u8,
+    seq: u32,
+    wire_ns: u64,
+    delivered_ns: u64,
+    expiry_ns: Option<u64>,
+    ingress_wall_ns: u64,
+    payload: Vec<u8>,
+}
+
+/// Worker mailbox messages.
+enum GwMsg {
+    Register {
+        client: u32,
+        uids: Vec<u64>,
+        sink: SinkHandle,
+        policy: SlowConsumerPolicy,
+    },
+    Event(Box<IngressEvent>),
+    Shutdown,
+}
+
+/// Per-shard counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events received from the bus node.
+    pub ingress: u64,
+    /// (event, lane) deliveries attempted.
+    pub fanout: u64,
+    /// Lanes torn down by a slow-consumer policy.
+    pub disconnects: u64,
+    /// Entries still queued when the lane ended.
+    pub undelivered: u64,
+}
+
+/// Outcome of one (client, shard) lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Client id.
+    pub client: u32,
+    /// Shard that served this lane.
+    pub shard: usize,
+    /// Queue counters.
+    pub stats: LaneStats,
+    /// Delivery fingerprint, for sinks that keep one.
+    pub digest: Option<SinkDigest>,
+    /// The lane was torn down (policy disconnect or dead sink).
+    pub gone: bool,
+}
+
+/// What one worker hands back at shutdown.
+struct ShardReport {
+    shard: usize,
+    stats: ShardStats,
+    lanes: Vec<LaneReport>,
+    latencies_ns: Vec<u64>,
+}
+
+/// Whole-gateway aggregate counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Events received from the bus node (summed over shards).
+    pub ingress: u64,
+    /// (event, lane) deliveries attempted.
+    pub fanout: u64,
+    /// Messages accepted by client sinks.
+    pub delivered_msgs: u64,
+    /// HRT events delivered.
+    pub delivered_hrt: u64,
+    /// SRT events delivered.
+    pub delivered_srt: u64,
+    /// NRT events/fragments delivered.
+    pub delivered_nrt: u64,
+    /// NRT entries shed under pressure.
+    pub shed_nrt: u64,
+    /// SRT entries dropped stale.
+    pub shed_srt_stale: u64,
+    /// SRT entries shed under pressure.
+    pub shed_srt_cap: u64,
+    /// Entries coalesced to a newer same-subject event.
+    pub coalesced: u64,
+    /// NRT batch messages sent.
+    pub batches: u64,
+    /// Fragment messages sent.
+    pub fragments: u64,
+    /// Lanes torn down.
+    pub disconnects: u64,
+    /// Entries discarded at lane end.
+    pub undelivered: u64,
+    /// Highest queue occupancy any lane reached (bounded-memory
+    /// witness: never exceeds the configured cap).
+    pub peak_lane_occupancy: usize,
+}
+
+impl GatewayStats {
+    /// Every event shed for backpressure or staleness.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_nrt + self.shed_srt_stale + self.shed_srt_cap
+    }
+}
+
+/// Everything a finished gateway yields.
+#[derive(Clone, Debug, Default)]
+pub struct GatewayReport {
+    /// Aggregate counters.
+    pub stats: GatewayStats,
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Per-lane outcomes, sorted by (client, shard). Lane digests are
+    /// the determinism contract: same seed ⇒ byte-identical.
+    pub lanes: Vec<LaneReport>,
+    /// Client-observed wall latencies (ingress → sink accept), sorted.
+    /// Wall-clock, so *not* part of the determinism contract.
+    pub latencies_ns: Vec<u64>,
+}
+
+struct Inner {
+    workers: usize,
+    default_policy: SlowConsumerPolicy,
+    senders: Mutex<Option<Vec<mpsc::SyncSender<GwMsg>>>>,
+    handles: Mutex<Option<Vec<thread::JoinHandle<ShardReport>>>>,
+    next_client: Mutex<u32>,
+    meta: Mutex<HashMap<u64, SubjectMeta>>,
+    sw: Stopwatch,
+}
+
+/// Handle to a running gateway (cheap to clone; all clones address the
+/// same worker pool).
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<Inner>,
+}
+
+impl Gateway {
+    /// Spawn the fanout workers and return the gateway handle.
+    pub fn new(cfg: GatewayConfig) -> Gateway {
+        let workers = cfg.workers.max(1);
+        let sw = Stopwatch::start();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = mpsc::bounded(cfg.ingress_depth.max(1));
+            let mut state = WorkerState {
+                shard,
+                cap: cfg.client_queue_cap.max(1),
+                batch_max: cfg.nrt_batch_max.max(1),
+                trace_verbose: cfg.trace_verbose,
+                subs: HashMap::new(),
+                lanes: HashMap::new(),
+                watermark_ns: 0,
+                stats: ShardStats::default(),
+                latencies_ns: Vec::new(),
+                sw,
+                trace: cfg.sink.clone(),
+                src: cfg.sink.intern(&format!("gateway.shard{shard}")),
+            };
+            let handle = thread::Builder::new()
+                .name(format!("gw-shard-{shard}"))
+                .spawn(move || {
+                    loop {
+                        match rx.recv() {
+                            Ok(GwMsg::Register {
+                                client,
+                                uids,
+                                sink,
+                                policy,
+                            }) => state.register(client, uids, sink, policy),
+                            Ok(GwMsg::Event(ev)) => state.on_event(&ev),
+                            Ok(GwMsg::Shutdown) | Err(_) => break,
+                        }
+                    }
+                    state.finish()
+                })
+                .expect("spawn gateway fanout worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Gateway {
+            inner: Arc::new(Inner {
+                workers,
+                default_policy: cfg.default_policy,
+                senders: Mutex::new(Some(senders)),
+                handles: Mutex::new(Some(handles)),
+                next_client: Mutex::new(0),
+                meta: Mutex::new(HashMap::new()),
+                sw,
+            }),
+        }
+    }
+
+    /// Declare a subject the gateway re-publishes, with the channel
+    /// attributes it is bound to on the bus (mirror of the cluster's
+    /// `subscribe` for the gateway node). Must precede
+    /// [`Gateway::behavior`].
+    pub fn bind(&self, subject: Subject, spec: &ChannelSpec) {
+        let stale_ns = match spec {
+            ChannelSpec::Srt(s) => s.default_expiration.map(|d| d.as_ns()),
+            _ => None,
+        };
+        self.inner
+            .meta
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                subject.uid(),
+                SubjectMeta {
+                    class: spec.class(),
+                    stale_ns,
+                },
+            );
+    }
+
+    /// Number of fanout workers (shards).
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Register a client subscribed to `subjects`; returns its id.
+    ///
+    /// The subscription set is split by shard; each involved worker
+    /// gets a `Register` message and mints the lane's sink from
+    /// `spec`. With no `policy` the gateway default applies.
+    pub fn add_client(
+        &self,
+        subjects: &[Subject],
+        spec: &ClientSinkSpec,
+        policy: Option<SlowConsumerPolicy>,
+    ) -> u32 {
+        let client = {
+            let mut next = self
+                .inner
+                .next_client
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let policy = policy.unwrap_or(self.inner.default_policy);
+        let mut by_shard: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for s in subjects {
+            by_shard
+                .entry(s.shard_of(self.inner.workers))
+                .or_default()
+                .push(s.uid());
+        }
+        let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(senders) = senders.as_ref() {
+            for (shard, uids) in by_shard {
+                let sink = spec.instantiate(client, shard);
+                let _ = senders[shard].send(GwMsg::Register {
+                    client,
+                    uids,
+                    sink,
+                    policy,
+                });
+            }
+        }
+        client
+    }
+
+    /// The cluster behavior for the gateway node. Bind every subject
+    /// first ([`Gateway::bind`]); deliveries for unbound subjects are
+    /// ignored.
+    pub fn behavior(&self) -> Box<dyn Behavior> {
+        let senders = self
+            .inner
+            .senders
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or_default();
+        let meta = self
+            .inner
+            .meta
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        Box::new(GatewayBehavior {
+            senders,
+            meta,
+            seqs: HashMap::new(),
+            workers: self.inner.workers,
+            sw: self.inner.sw,
+        })
+    }
+
+    /// Shut the workers down (flushing what their sinks will still
+    /// take) and collect the report. Idempotent: a second call returns
+    /// an empty report.
+    pub fn finish(&self) -> GatewayReport {
+        if let Some(senders) = self
+            .inner
+            .senders
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            for tx in &senders {
+                let _ = tx.send(GwMsg::Shutdown);
+            }
+        }
+        let handles = self
+            .inner
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_default();
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(handles.len());
+        for h in handles {
+            match h.join() {
+                Ok(report) => shards.push(report),
+                Err(_) => continue, // a panicked worker contributes nothing
+            }
+        }
+        shards.sort_by_key(|s| s.shard);
+        let mut out = GatewayReport::default();
+        for sr in shards {
+            out.stats.ingress += sr.stats.ingress;
+            out.stats.fanout += sr.stats.fanout;
+            out.stats.disconnects += sr.stats.disconnects;
+            out.stats.undelivered += sr.stats.undelivered;
+            out.shards.push(sr.stats);
+            out.latencies_ns.extend(sr.latencies_ns);
+            for lane in sr.lanes {
+                out.stats.delivered_msgs += lane.stats.delivered_msgs;
+                out.stats.delivered_hrt += lane.stats.delivered_hrt;
+                out.stats.delivered_srt += lane.stats.delivered_srt;
+                out.stats.delivered_nrt += lane.stats.delivered_nrt;
+                out.stats.shed_nrt += lane.stats.shed_nrt;
+                out.stats.shed_srt_stale += lane.stats.shed_srt_stale;
+                out.stats.shed_srt_cap += lane.stats.shed_srt_cap;
+                out.stats.coalesced += lane.stats.coalesced;
+                out.stats.batches += lane.stats.batches;
+                out.stats.fragments += lane.stats.fragments;
+                out.stats.peak_lane_occupancy = out.stats.peak_lane_occupancy.max(lane.stats.peak);
+                out.lanes.push(lane);
+            }
+        }
+        out.lanes.sort_by_key(|l| (l.client, l.shard));
+        out.latencies_ns.sort_unstable();
+        out
+    }
+}
+
+/// The gateway node's cluster behavior: classify, stamp, shard.
+struct GatewayBehavior {
+    senders: Vec<mpsc::SyncSender<GwMsg>>,
+    meta: HashMap<u64, SubjectMeta>,
+    seqs: HashMap<u64, u32>,
+    workers: usize,
+    sw: Stopwatch,
+}
+
+impl Behavior for GatewayBehavior {
+    fn on_delivery(&mut self, _ctx: &mut NodeCtx<'_>, delivery: &Delivery) {
+        let uid = delivery.event.subject.uid();
+        let Some(meta) = self.meta.get(&uid) else {
+            return;
+        };
+        let seq = {
+            let s = self.seqs.entry(uid).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let delivered_ns = delivery.delivered_at.as_ns();
+        let ev = IngressEvent {
+            uid,
+            class: meta.class,
+            origin: delivery.event.attributes.origin.map_or(255, |n| n.0),
+            seq,
+            wire_ns: delivery.wire_completed_at.as_ns(),
+            delivered_ns,
+            expiry_ns: meta.stale_ns.map(|s| delivered_ns.saturating_add(s)),
+            ingress_wall_ns: self.sw.elapsed_ns(),
+            payload: delivery.event.content.clone(),
+        };
+        let shard = Subject::new(uid).shard_of(self.workers);
+        // A full shard channel backpressures the node's turn — the bus
+        // stalls in wall time, never in bus time, and nothing drops.
+        let _ = self.senders[shard].send(GwMsg::Event(Box::new(ev)));
+    }
+}
+
+/// One client's egress state on one shard.
+struct Lane {
+    client: u32,
+    queue: EgressQueue,
+    sink: SinkHandle,
+    policy: SlowConsumerPolicy,
+    gone: bool,
+}
+
+/// All of one fanout worker's state; owned by its thread.
+struct WorkerState {
+    shard: usize,
+    cap: usize,
+    batch_max: usize,
+    trace_verbose: bool,
+    subs: HashMap<u64, Vec<u32>>,
+    lanes: HashMap<u32, Lane>,
+    watermark_ns: u64,
+    stats: ShardStats,
+    latencies_ns: Vec<u64>,
+    sw: Stopwatch,
+    trace: SharedTraceSink,
+    src: SourceId,
+}
+
+impl WorkerState {
+    fn register(
+        &mut self,
+        client: u32,
+        uids: Vec<u64>,
+        sink: SinkHandle,
+        policy: SlowConsumerPolicy,
+    ) {
+        for uid in uids {
+            let subs = self.subs.entry(uid).or_default();
+            if !subs.contains(&client) {
+                subs.push(client);
+            }
+        }
+        self.lanes.entry(client).or_insert_with(|| Lane {
+            client,
+            queue: EgressQueue::new(self.cap),
+            sink,
+            policy,
+            gone: false,
+        });
+    }
+
+    fn on_event(&mut self, ev: &IngressEvent) {
+        self.watermark_ns = self.watermark_ns.max(ev.delivered_ns);
+        self.stats.ingress += 1;
+        let subscribers = match self.subs.get(&ev.uid) {
+            Some(v) if !v.is_empty() => v.clone(),
+            _ => return,
+        };
+        self.stats.fanout += subscribers.len() as u64;
+        self.trace.emit_fields(
+            Time::from_ns(ev.delivered_ns),
+            self.src,
+            "gw_fanout",
+            &[
+                ("uid", ev.uid),
+                ("class", class_field(ev.class)),
+                ("subs", subscribers.len() as u64),
+            ],
+        );
+        let entries = encode_entries(ev, frag_chunk_of(&subscribers, ev));
+        for client in subscribers {
+            let Some(lane) = self.lanes.get_mut(&client) else {
+                continue;
+            };
+            if lane.gone {
+                continue;
+            }
+            let before = shed_counts(&lane.queue.stats);
+            let mut disconnect = false;
+            for entry in &entries {
+                match lane
+                    .queue
+                    .push(entry.clone(), lane.policy, self.watermark_ns)
+                {
+                    PushOutcome::Queued | PushOutcome::Shed => {}
+                    PushOutcome::Disconnect => {
+                        disconnect = true;
+                        break;
+                    }
+                }
+            }
+            if disconnect {
+                let _ = lane
+                    .sink
+                    .offer(&wire::encode_to_client(&ToClient::Disconnect {
+                        reason: REASON_SLOW,
+                    }));
+                lane.gone = true;
+                lane.queue.stats.peak = lane.queue.stats.peak.max(lane.queue.len());
+                self.stats.undelivered += lane.queue.drain_remaining() as u64;
+                self.stats.disconnects += 1;
+                if self.trace_verbose {
+                    self.trace.emit_fields(
+                        Time::from_ns(ev.delivered_ns),
+                        self.src,
+                        "gw_disconnect",
+                        &[
+                            ("client", u64::from(client)),
+                            ("reason", u64::from(REASON_SLOW)),
+                        ],
+                    );
+                }
+                continue;
+            }
+            notify_sheds(
+                lane,
+                before,
+                self.watermark_ns,
+                ev.delivered_ns,
+                self.trace_verbose,
+                &self.trace,
+                self.src,
+            );
+            flush_lane(
+                lane,
+                self.watermark_ns,
+                self.batch_max,
+                &self.sw,
+                &mut self.latencies_ns,
+            );
+            if lane.gone {
+                self.stats.undelivered += lane.queue.drain_remaining() as u64;
+                self.stats.disconnects += 1;
+            }
+        }
+    }
+
+    fn finish(mut self) -> ShardReport {
+        let mut clients: Vec<u32> = self.lanes.keys().copied().collect();
+        clients.sort_unstable();
+        let mut lanes = Vec::with_capacity(clients.len());
+        for client in clients {
+            let Some(mut lane) = self.lanes.remove(&client) else {
+                continue;
+            };
+            if !lane.gone {
+                // Last call: drain what the sink will still take, then
+                // say goodbye.
+                flush_lane(
+                    &mut lane,
+                    u64::MAX,
+                    self.batch_max,
+                    &self.sw,
+                    &mut self.latencies_ns,
+                );
+                let _ = lane
+                    .sink
+                    .offer(&wire::encode_to_client(&ToClient::Disconnect {
+                        reason: REASON_SHUTDOWN,
+                    }));
+            }
+            self.stats.undelivered += lane.queue.drain_remaining() as u64;
+            lanes.push(LaneReport {
+                client: lane.client,
+                shard: self.shard,
+                stats: lane.queue.stats,
+                digest: lane.sink.digest(),
+                gone: lane.gone,
+            });
+        }
+        let delivered: u64 = lanes.iter().map(|l| l.stats.delivered_msgs).sum();
+        let shed: u64 = lanes
+            .iter()
+            .map(|l| l.stats.shed_nrt + l.stats.shed_srt_stale + l.stats.shed_srt_cap)
+            .sum();
+        self.trace.emit_fields(
+            Time::from_ns(self.watermark_ns),
+            self.src,
+            "gw_shard",
+            &[
+                ("shard", self.shard as u64),
+                ("ingress", self.stats.ingress),
+                ("fanout", self.stats.fanout),
+                ("delivered", delivered),
+                ("shed", shed),
+                ("disconnects", self.stats.disconnects),
+            ],
+        );
+        ShardReport {
+            shard: self.shard,
+            stats: self.stats,
+            lanes,
+            latencies_ns: self.latencies_ns,
+        }
+    }
+}
+
+/// `(shed-for-pressure, shed-stale)` snapshot for delta notices.
+fn shed_counts(stats: &LaneStats) -> (u64, u64) {
+    (stats.shed_nrt + stats.shed_srt_cap, stats.shed_srt_stale)
+}
+
+/// Offer best-effort `Shed` notices covering what the last push round
+/// dropped, so clients observe the gap instead of silence.
+fn notify_sheds(
+    lane: &mut Lane,
+    before: (u64, u64),
+    watermark: u64,
+    at_ns: u64,
+    verbose: bool,
+    trace: &SharedTraceSink,
+    src: SourceId,
+) {
+    let _ = watermark;
+    let (pressure, stale) = shed_counts(&lane.queue.stats);
+    let dropped_pressure = pressure - before.0;
+    let dropped_stale = stale - before.1;
+    for (count, reason) in [
+        (dropped_pressure, REASON_SLOW),
+        (dropped_stale, REASON_STALE),
+    ] {
+        if count == 0 {
+            continue;
+        }
+        let _ = lane.sink.offer(&wire::encode_to_client(&ToClient::Shed {
+            class: if reason == REASON_STALE {
+                ChannelClass::Srt
+            } else {
+                ChannelClass::Nrt
+            },
+            reason,
+            count: count.min(u64::from(u32::MAX)) as u32,
+        }));
+        if verbose {
+            trace.emit_fields(
+                Time::from_ns(at_ns),
+                src,
+                "gw_shed",
+                &[
+                    ("client", u64::from(lane.client)),
+                    ("reason", u64::from(reason)),
+                    ("count", count),
+                ],
+            );
+        }
+    }
+}
+
+/// Drain a lane into its sink, recording accept latencies.
+fn flush_lane(
+    lane: &mut Lane,
+    watermark: u64,
+    batch_max: usize,
+    sw: &Stopwatch,
+    latencies: &mut Vec<u64>,
+) {
+    let Lane {
+        queue, sink, gone, ..
+    } = lane;
+    let alive = queue.flush(watermark, batch_max, |item| {
+        let (bytes, stamps): (std::borrow::Cow<'_, [u8]>, Vec<u64>) = match &item {
+            FlushItem::Single(e) => (
+                std::borrow::Cow::Borrowed(e.encoded.as_slice()),
+                vec![e.ingress_wall_ns],
+            ),
+            FlushItem::Batch(es) => {
+                let msg = ToClient::Batch {
+                    entries: es
+                        .iter()
+                        .map(|e| BatchEntry {
+                            origin: e.origin,
+                            uid: e.uid,
+                            seq: e.seq,
+                            wire_ns: e.wire_ns,
+                            payload: e.payload.as_ref().clone(),
+                        })
+                        .collect(),
+                };
+                (
+                    std::borrow::Cow::Owned(wire::encode_to_client(&msg)),
+                    es.iter().map(|e| e.ingress_wall_ns).collect(),
+                )
+            }
+        };
+        match sink.offer(&bytes) {
+            SinkStatus::Accepted => {
+                let now = sw.elapsed_ns();
+                for stamp in stamps {
+                    if latencies.len() < LAT_SAMPLE_CAP {
+                        latencies.push(now.saturating_sub(stamp));
+                    }
+                }
+                FlushVerdict::Taken
+            }
+            SinkStatus::Busy => FlushVerdict::Blocked,
+            SinkStatus::Gone => FlushVerdict::Lost,
+        }
+    });
+    if !alive {
+        *gone = true;
+    }
+}
+
+/// Timeliness class as a trace field value.
+fn class_field(class: ChannelClass) -> u64 {
+    match class {
+        ChannelClass::Hrt => 0,
+        ChannelClass::Srt => 1,
+        ChannelClass::Nrt => 2,
+    }
+}
+
+/// Fragment chunk size for this event (constant; the indirection
+/// keeps the call site honest about what varies per event: nothing).
+fn frag_chunk_of(_subscribers: &[u32], _ev: &IngressEvent) -> usize {
+    256
+}
+
+/// Pre-encode an ingress event into the entries every subscribed lane
+/// will queue: one `Event` message, or a fragment stream for NRT bulk.
+fn encode_entries(ev: &IngressEvent, frag_chunk: usize) -> Vec<EgressEntry> {
+    let base = EgressEntry {
+        class: ev.class,
+        uid: ev.uid,
+        origin: ev.origin,
+        seq: ev.seq,
+        wire_ns: ev.wire_ns,
+        release_ns: ev.delivered_ns,
+        expiry_ns: ev.expiry_ns,
+        ingress_wall_ns: ev.ingress_wall_ns,
+        payload: Arc::new(Vec::new()),
+        encoded: Arc::new(Vec::new()),
+        frag: false,
+    };
+    if ev.class != ChannelClass::Nrt || ev.payload.len() <= frag_chunk {
+        let payload = Arc::new(ev.payload.clone());
+        let encoded = Arc::new(wire::encode_to_client(&ToClient::Event(EventMsg {
+            class: ev.class,
+            origin: ev.origin,
+            uid: ev.uid,
+            seq: ev.seq,
+            wire_ns: ev.wire_ns,
+            release_ns: ev.delivered_ns,
+            payload: ev.payload.clone(),
+        })));
+        return vec![EgressEntry {
+            payload,
+            encoded,
+            ..base
+        }];
+    }
+    let total = ev.payload.len() as u32;
+    ev.payload
+        .chunks(frag_chunk)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let encoded = Arc::new(wire::encode_to_client(&ToClient::Frag(FragMsg {
+                origin: ev.origin,
+                uid: ev.uid,
+                seq: ev.seq,
+                wire_ns: ev.wire_ns,
+                offset: (i * frag_chunk) as u32,
+                total,
+                chunk: chunk.to_vec(),
+            })));
+            EgressEntry {
+                payload: Arc::new(chunk.to_vec()),
+                encoded,
+                frag: true,
+                ..base.clone()
+            }
+        })
+        .collect()
+}

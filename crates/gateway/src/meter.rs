@@ -1,0 +1,46 @@
+//! Wall-clock latency measurement, quarantined in its own file.
+//!
+//! Everything else in this crate is deterministic in bus time; the one
+//! thing that is *not* is the client-observed latency the gateway
+//! bench reports, which is a property of this machine, not of the
+//! model. The srclint `C5` rule bans `Instant::now()` from the
+//! concurrent sources precisely so wall time cannot leak into
+//! scheduling decisions — this file is its only sanctioned home in the
+//! gateway (mirroring `parallel.rs` in `rtec-sim`), and nothing here
+//! feeds back into queueing, shedding or ordering.
+
+use std::time::Instant;
+
+/// A shared time origin for cheap monotonic nanosecond stamps.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    origin: Instant,
+}
+
+impl Stopwatch {
+    /// Start a stopwatch at the current instant.
+    pub fn start() -> Self {
+        Stopwatch {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (≈ 585 years).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

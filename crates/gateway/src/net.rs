@@ -1,0 +1,325 @@
+//! Socket transport: real clients over TCP or Unix-domain streams.
+//!
+//! The acceptor thread owns the listener; each accepted connection is
+//! handshaken inline (read `Hello`, then that many `Subscribe` frames,
+//! under a read timeout so a stalled half-open connection cannot wedge
+//! accepting), registered with the gateway behind a [`ClientSinkSpec::
+//! Shared`] stream sink, and answered with `Welcome`. Fanout workers
+//! then write frames straight into the stream; a write timeout maps to
+//! [`SinkStatus::Busy`] so a stalled client builds backpressure into
+//! its bounded lane queue — where the shedding policies, not the
+//! socket, decide what gives.
+//!
+//! Shutdown never sleeps or polls: `stop()` raises a flag and then
+//! *connects* to the listener once, so the blocking `accept()` returns
+//! and the thread observes the flag (C4 keeps `thread::sleep` out of
+//! runtime code).
+
+use crate::client::{ClientSink, ClientSinkSpec, SinkStatus};
+use crate::egress::SlowConsumerPolicy;
+use crate::gateway::Gateway;
+use crate::wire::{self, ToClient, ToGateway};
+use rtec_core::Subject;
+use rtec_live::sync::atomic::{AtomicBool, Ordering};
+use rtec_live::sync::{thread, Arc, Mutex};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::time::Duration as StdDuration;
+
+/// Read timeout for the connection handshake.
+const HANDSHAKE_TIMEOUT: StdDuration = StdDuration::from_secs(2);
+/// Write timeout after which a client counts as busy (not gone).
+const WRITE_TIMEOUT: StdDuration = StdDuration::from_millis(20);
+
+/// A [`ClientSink`] writing length-prefixed frames to a stream.
+///
+/// `Busy` on timeout/would-block, `Gone` on any other I/O error.
+struct StreamSink<W: Write + Send> {
+    stream: W,
+}
+
+impl<W: Write + Send> ClientSink for StreamSink<W> {
+    fn offer(&mut self, bytes: &[u8]) -> SinkStatus {
+        match wire::write_frame(&mut self.stream, bytes) {
+            Ok(()) => SinkStatus::Accepted,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                SinkStatus::Busy
+            }
+            Err(_) => SinkStatus::Gone,
+        }
+    }
+}
+
+/// The two stream families the acceptor speaks, abstracted over the
+/// handful of non-`Read`/`Write` calls `admit` needs.
+trait Stream: io::Read + Write + Send + Sized + 'static {
+    /// Apply the per-connection timeouts (and TCP_NODELAY where it
+    /// exists).
+    fn configure(&self) -> io::Result<()>;
+    /// A second handle onto the same connection (reader/writer split).
+    fn try_clone_stream(&self) -> io::Result<Self>;
+}
+
+impl Stream for TcpStream {
+    fn configure(&self) -> io::Result<()> {
+        self.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        self.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        self.set_nodelay(true)
+    }
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+#[cfg(unix)]
+impl Stream for UnixStream {
+    fn configure(&self) -> io::Result<()> {
+        self.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        self.set_write_timeout(Some(WRITE_TIMEOUT))
+    }
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+/// Where a running acceptor listens — also how `stop()` wakes its
+/// blocking `accept()`.
+enum Endpoint {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A running socket acceptor bound to a gateway.
+pub struct Acceptor {
+    stop: Arc<AtomicBool>,
+    endpoint: Endpoint,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Acceptor {
+    /// Accept TCP clients on `addr` (e.g. `"127.0.0.1:0"`) and register
+    /// each with `gateway` under `policy`.
+    pub fn tcp(gateway: Gateway, addr: &str, policy: SlowConsumerPolicy) -> io::Result<Acceptor> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (stop, handle) = Self::accept_loop(gateway, policy, move || listener.accept());
+        Ok(Acceptor {
+            stop,
+            endpoint: Endpoint::Tcp(local),
+            handle: Some(handle),
+        })
+    }
+
+    /// Accept Unix-domain clients on the socket file `path` (created
+    /// here, removed by `stop()`) and register each with `gateway`
+    /// under `policy`.
+    #[cfg(unix)]
+    pub fn unix(
+        gateway: Gateway,
+        path: impl Into<PathBuf>,
+        policy: SlowConsumerPolicy,
+    ) -> io::Result<Acceptor> {
+        let path = path.into();
+        let listener = UnixListener::bind(&path)?;
+        let (stop, handle) = Self::accept_loop(gateway, policy, move || listener.accept());
+        Ok(Acceptor {
+            stop,
+            endpoint: Endpoint::Unix(path),
+            handle: Some(handle),
+        })
+    }
+
+    /// Spawn the named acceptor thread shared by both stream families.
+    fn accept_loop<S, A, F>(
+        gateway: Gateway,
+        policy: SlowConsumerPolicy,
+        mut accept: F,
+    ) -> (Arc<AtomicBool>, thread::JoinHandle<()>)
+    where
+        S: Stream,
+        F: FnMut() -> io::Result<(S, A)> + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("gw-acceptor".to_string())
+            .spawn(move || loop {
+                let conn = accept();
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok((stream, _)) = conn else { continue };
+                let _ = admit(&gateway, stream, policy);
+            })
+            .expect("spawn gateway acceptor");
+        (stop, handle)
+    }
+
+    /// The bound local TCP address (useful with port 0). Panics for a
+    /// Unix-domain acceptor — use [`Acceptor::path`] there.
+    pub fn addr(&self) -> SocketAddr {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => *addr,
+            #[cfg(unix)]
+            Endpoint::Unix(_) => panic!("addr() on a Unix-domain acceptor; use path()"),
+        }
+    }
+
+    /// The socket file of a Unix-domain acceptor. Panics for TCP.
+    #[cfg(unix)]
+    pub fn path(&self) -> &std::path::Path {
+        match &self.endpoint {
+            Endpoint::Unix(path) => path,
+            Endpoint::Tcp(_) => panic!("path() on a TCP acceptor; use addr()"),
+        }
+    }
+
+    /// Stop accepting: raise the flag, wake the blocking `accept()`
+    /// with a throwaway self-connection, join the thread. A Unix
+    /// acceptor's socket file is removed.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Handshake one accepted connection and register it as a client.
+fn admit<S: Stream>(gateway: &Gateway, stream: S, policy: SlowConsumerPolicy) -> io::Result<()> {
+    stream.configure()?;
+    let mut reader = stream.try_clone_stream()?;
+    let subs = match next_msg(&mut reader)? {
+        Some(ToGateway::Hello { subs }) => subs,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "expected Hello")),
+    };
+    let mut subjects = Vec::with_capacity(usize::from(subs));
+    for _ in 0..subs {
+        match next_msg(&mut reader)? {
+            Some(ToGateway::Subscribe { uid }) => subjects.push(Subject::new(uid)),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected Subscribe",
+                ))
+            }
+        }
+    }
+    let sink: Box<dyn ClientSink> = Box::new(StreamSink {
+        stream: stream.try_clone_stream()?,
+    });
+    let spec = ClientSinkSpec::Shared(Arc::new(Mutex::new(sink)));
+    let client = gateway.add_client(&subjects, &spec, Some(policy));
+    let mut out = stream;
+    wire::write_frame(
+        &mut out,
+        &wire::encode_to_client(&ToClient::Welcome { client, now_ns: 0 }),
+    )?;
+    Ok(())
+}
+
+/// Read and decode the next client → gateway frame.
+fn next_msg<R: io::Read>(r: &mut R) -> io::Result<Option<ToGateway>> {
+    let Some(frame) = wire::read_frame(r)? else {
+        return Ok(None);
+    };
+    wire::decode_to_gateway(&frame)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+}
+
+/// The client side of either stream family, as one trait object.
+trait ClientStream: io::Read + Write + Send {}
+impl<T: io::Read + Write + Send> ClientStream for T {}
+
+/// A minimal blocking client for tests and demos.
+pub struct GatewayClient {
+    stream: Box<dyn ClientStream>,
+    /// Client id assigned by the gateway's `Welcome`.
+    pub client: u32,
+}
+
+impl GatewayClient {
+    /// Connect over TCP, subscribe to `subjects`, await `Welcome`.
+    pub fn connect(addr: SocketAddr, subjects: &[Subject]) -> io::Result<GatewayClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::handshake(Box::new(stream), subjects)
+    }
+
+    /// Connect over a Unix-domain socket file, subscribe to
+    /// `subjects`, await `Welcome`.
+    #[cfg(unix)]
+    pub fn connect_unix(
+        path: impl AsRef<std::path::Path>,
+        subjects: &[Subject],
+    ) -> io::Result<GatewayClient> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(Box::new(stream), subjects)
+    }
+
+    fn handshake(
+        mut stream: Box<dyn ClientStream>,
+        subjects: &[Subject],
+    ) -> io::Result<GatewayClient> {
+        wire::write_frame(
+            &mut stream,
+            &wire::encode_to_gateway(&ToGateway::Hello {
+                subs: subjects.len() as u16,
+            }),
+        )?;
+        for s in subjects {
+            wire::write_frame(
+                &mut stream,
+                &wire::encode_to_gateway(&ToGateway::Subscribe { uid: s.uid() }),
+            )?;
+        }
+        let frame = wire::read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no Welcome"))?;
+        let client = match wire::decode_to_client(&frame) {
+            Ok(ToClient::Welcome { client, .. }) => client,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Welcome, got {other:?}"),
+                ))
+            }
+        };
+        Ok(GatewayClient { stream, client })
+    }
+
+    /// Receive the next gateway → client message (`None` on clean EOF).
+    pub fn recv(&mut self) -> io::Result<Option<ToClient>> {
+        let Some(frame) = wire::read_frame(&mut self.stream)? else {
+            return Ok(None);
+        };
+        wire::decode_to_client(&frame)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Tell the gateway we are leaving (best-effort).
+    pub fn bye(&mut self) {
+        let _ = wire::write_frame(&mut self.stream, &wire::encode_to_gateway(&ToGateway::Bye));
+    }
+}

@@ -1,0 +1,585 @@
+//! The gateway ⇄ client message protocol and its versioned wire codec.
+//!
+//! External subscribers do not speak the broker protocol
+//! (`rtec_live::wire`, magic `"RL"`): they see events *after* channel
+//! processing, so their protocol carries delivery metadata (class,
+//! wire-completion time, release time) instead of raw CAN frames. The
+//! codec follows the same conventions as the broker one — fixed
+//! header, little-endian bodies, decoding that never panics — with a
+//! different magic so a datagram routed at the wrong boundary fails
+//! loudly instead of aliasing.
+//!
+//! Layout of every message:
+//!
+//! ```text
+//! bytes 0..2   magic "RG"
+//! byte  2      protocol version (currently 1)
+//! byte  3      message kind
+//! bytes 4..    kind-specific body
+//! ```
+//!
+//! Over a stream transport (TCP / Unix socket) each message is framed
+//! by a little-endian `u32` length prefix ([`write_frame`] /
+//! [`read_frame`]).
+//!
+//! # Version tolerance
+//!
+//! Version 1 bodies are strictly length-checked. A message stamped
+//! with a *higher* version byte is decoded with version 1's layout but
+//! may carry extra trailing bytes — the additive-fields-at-the-tail
+//! compatibility scheme — so a newer gateway can extend messages
+//! without cutting off older clients. Version 0 does not exist and is
+//! rejected.
+
+use rtec_core::ChannelClass;
+use std::io::{self, Read, Write};
+
+/// Magic prefix of every gateway-protocol message.
+pub const MAGIC: [u8; 2] = *b"RG";
+/// Current protocol version (byte 2 of every message).
+pub const WIRE_VERSION: u8 = 1;
+/// Hard cap on a framed message (length prefix included payload), so a
+/// corrupt length prefix cannot make a reader allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 16;
+
+/// Disconnect / shed reason: the client fell behind its bounded queue.
+pub const REASON_SLOW: u8 = 1;
+/// Shed reason: an SRT event outlived its validity window.
+pub const REASON_STALE: u8 = 2;
+/// Disconnect reason: the gateway is shutting down.
+pub const REASON_SHUTDOWN: u8 = 3;
+
+/// Messages a client sends to the gateway (the subscription handshake).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToGateway {
+    /// Open a session: `subs` [`ToGateway::Subscribe`] messages follow.
+    Hello {
+        /// Number of subscription messages that follow.
+        subs: u16,
+    },
+    /// Subscribe to one subject by its 64-bit uid.
+    Subscribe {
+        /// The subject uid.
+        uid: u64,
+    },
+    /// Close the session.
+    Bye,
+}
+
+/// A single re-published event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventMsg {
+    /// Timeliness class of the channel the event arrived on.
+    pub class: ChannelClass,
+    /// Publishing node id (255 when unknown).
+    pub origin: u8,
+    /// Subject uid.
+    pub uid: u64,
+    /// Per-subject delivery sequence number at the gateway.
+    pub seq: u32,
+    /// Bus time the frame completed on the wire.
+    pub wire_ns: u64,
+    /// Bus time the event was released to subscribers (for HRT this is
+    /// the calendar slot deadline — §3.2's deferred delivery).
+    pub release_ns: u64,
+    /// Event payload.
+    pub payload: Vec<u8>,
+}
+
+/// One event inside a [`ToClient::Batch`] (always NRT).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// Publishing node id (255 when unknown).
+    pub origin: u8,
+    /// Subject uid.
+    pub uid: u64,
+    /// Per-subject delivery sequence number at the gateway.
+    pub seq: u32,
+    /// Bus time the frame completed on the wire.
+    pub wire_ns: u64,
+    /// Event payload.
+    pub payload: Vec<u8>,
+}
+
+/// One fragment of a large NRT event streamed in chunks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragMsg {
+    /// Publishing node id (255 when unknown).
+    pub origin: u8,
+    /// Subject uid.
+    pub uid: u64,
+    /// Per-subject delivery sequence number at the gateway.
+    pub seq: u32,
+    /// Bus time the (reassembled) event completed on the wire.
+    pub wire_ns: u64,
+    /// Byte offset of this chunk in the full payload.
+    pub offset: u32,
+    /// Total payload length in bytes.
+    pub total: u32,
+    /// The chunk.
+    pub chunk: Vec<u8>,
+}
+
+/// Messages the gateway sends to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToClient {
+    /// Handshake reply: the session is open.
+    Welcome {
+        /// Gateway-assigned client id.
+        client: u32,
+        /// Gateway bus time at session open.
+        now_ns: u64,
+    },
+    /// A single HRT/SRT/NRT event.
+    Event(EventMsg),
+    /// Several small NRT events coalesced into one message.
+    Batch {
+        /// The batched events, oldest first.
+        entries: Vec<BatchEntry>,
+    },
+    /// One chunk of a fragment-streamed NRT bulk event.
+    Frag(FragMsg),
+    /// Events were shed from this client's queue (backpressure or
+    /// staleness); the client observes the gap instead of silence.
+    Shed {
+        /// Class of the shed events.
+        class: ChannelClass,
+        /// Why ([`REASON_SLOW`] / [`REASON_STALE`]).
+        reason: u8,
+        /// How many events this notice covers.
+        count: u32,
+    },
+    /// The gateway is closing this session.
+    Disconnect {
+        /// Why ([`REASON_SLOW`] / [`REASON_SHUTDOWN`]).
+        reason: u8,
+    },
+}
+
+/// A buffer failed to decode as a gateway-protocol message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated(usize),
+    /// First two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Version byte is below the oldest supported version.
+    BadVersion(u8),
+    /// Unknown message kind.
+    BadKind(u8),
+    /// Body length disagrees with the kind's layout.
+    BadLength {
+        /// Kind whose body was malformed.
+        kind: u8,
+        /// Bytes present after the header.
+        got: usize,
+    },
+    /// A class byte is not one of the three timeliness classes.
+    BadClass(u8),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated(n) => write!(f, "message truncated: {n} bytes"),
+            WireError::BadMagic => write!(f, "bad magic (not a gateway-protocol message)"),
+            WireError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (oldest is {WIRE_VERSION})"
+                )
+            }
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadLength { kind, got } => {
+                write!(f, "kind {kind}: body of {got} bytes has the wrong length")
+            }
+            WireError::BadClass(c) => write!(f, "unknown timeliness class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Message kind bytes. ToGateway and ToClient share one numbering space
+// so a misrouted message fails loudly instead of aliasing.
+const K_HELLO: u8 = 1;
+const K_SUBSCRIBE: u8 = 2;
+const K_BYE: u8 = 3;
+const K_WELCOME: u8 = 16;
+const K_EVENT: u8 = 17;
+const K_BATCH: u8 = 18;
+const K_FRAG: u8 = 19;
+const K_SHED: u8 = 20;
+const K_DISCONNECT: u8 = 21;
+
+/// Encode a timeliness class as its wire byte.
+const fn class_code(class: ChannelClass) -> u8 {
+    match class {
+        ChannelClass::Hrt => 0,
+        ChannelClass::Srt => 1,
+        ChannelClass::Nrt => 2,
+    }
+}
+
+fn class_from(code: u8) -> Result<ChannelClass, WireError> {
+    match code {
+        0 => Ok(ChannelClass::Hrt),
+        1 => Ok(ChannelClass::Srt),
+        2 => Ok(ChannelClass::Nrt),
+        c => Err(WireError::BadClass(c)),
+    }
+}
+
+fn header(kind: u8, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+}
+
+/// Encode a client → gateway message.
+pub fn encode_to_gateway(msg: &ToGateway) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match msg {
+        ToGateway::Hello { subs } => {
+            header(K_HELLO, &mut out);
+            out.extend_from_slice(&subs.to_le_bytes());
+        }
+        ToGateway::Subscribe { uid } => {
+            header(K_SUBSCRIBE, &mut out);
+            out.extend_from_slice(&uid.to_le_bytes());
+        }
+        ToGateway::Bye => header(K_BYE, &mut out),
+    }
+    out
+}
+
+/// Encode a gateway → client message.
+pub fn encode_to_client(msg: &ToClient) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    match msg {
+        ToClient::Welcome { client, now_ns } => {
+            header(K_WELCOME, &mut out);
+            out.extend_from_slice(&client.to_le_bytes());
+            out.extend_from_slice(&now_ns.to_le_bytes());
+        }
+        ToClient::Event(ev) => {
+            header(K_EVENT, &mut out);
+            out.push(class_code(ev.class));
+            out.push(ev.origin);
+            out.extend_from_slice(&ev.uid.to_le_bytes());
+            out.extend_from_slice(&ev.seq.to_le_bytes());
+            out.extend_from_slice(&ev.wire_ns.to_le_bytes());
+            out.extend_from_slice(&ev.release_ns.to_le_bytes());
+            push_payload(&ev.payload, &mut out);
+        }
+        ToClient::Batch { entries } => {
+            header(K_BATCH, &mut out);
+            out.push(entries.len().min(255) as u8);
+            for e in entries.iter().take(255) {
+                out.push(e.origin);
+                out.extend_from_slice(&e.uid.to_le_bytes());
+                out.extend_from_slice(&e.seq.to_le_bytes());
+                out.extend_from_slice(&e.wire_ns.to_le_bytes());
+                push_payload(&e.payload, &mut out);
+            }
+        }
+        ToClient::Frag(fr) => {
+            header(K_FRAG, &mut out);
+            out.push(fr.origin);
+            out.extend_from_slice(&fr.uid.to_le_bytes());
+            out.extend_from_slice(&fr.seq.to_le_bytes());
+            out.extend_from_slice(&fr.wire_ns.to_le_bytes());
+            out.extend_from_slice(&fr.offset.to_le_bytes());
+            out.extend_from_slice(&fr.total.to_le_bytes());
+            push_payload(&fr.chunk, &mut out);
+        }
+        ToClient::Shed {
+            class,
+            reason,
+            count,
+        } => {
+            header(K_SHED, &mut out);
+            out.push(class_code(*class));
+            out.push(*reason);
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        ToClient::Disconnect { reason } => {
+            header(K_DISCONNECT, &mut out);
+            out.push(*reason);
+        }
+    }
+    out
+}
+
+/// Append a `u16`-length-prefixed byte string.
+fn push_payload(bytes: &[u8], out: &mut Vec<u8>) {
+    let len = bytes.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+/// Header check shared by both decoders: returns the kind, the body,
+/// and whether the sender's version allows trailing extension bytes.
+fn check_header(buf: &[u8]) -> Result<(u8, &[u8], bool), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated(buf.len()));
+    }
+    if buf[..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[2] < WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    Ok((buf[3], &buf[4..], buf[2] > WIRE_VERSION))
+}
+
+/// `body` must be exactly `want` bytes — or at least `want` when the
+/// sender speaks a newer version (trailing extension bytes tolerated).
+fn fixed(kind: u8, body: &[u8], want: usize, tolerant: bool) -> Result<(), WireError> {
+    let ok = if tolerant {
+        body.len() >= want
+    } else {
+        body.len() == want
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(WireError::BadLength {
+            kind,
+            got: body.len(),
+        })
+    }
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Read a `u16`-length-prefixed byte string at `at`; returns the bytes
+/// and the offset just past them.
+fn take_payload(kind: u8, body: &[u8], at: usize) -> Result<(Vec<u8>, usize), WireError> {
+    let err = WireError::BadLength {
+        kind,
+        got: body.len(),
+    };
+    if body.len() < at + 2 {
+        return Err(err);
+    }
+    let len = usize::from(le_u16(&body[at..]));
+    let end = at + 2 + len;
+    if body.len() < end {
+        return Err(err);
+    }
+    Ok((body[at + 2..end].to_vec(), end))
+}
+
+/// Decode a client → gateway message.
+pub fn decode_to_gateway(buf: &[u8]) -> Result<ToGateway, WireError> {
+    let (kind, body, tolerant) = check_header(buf)?;
+    match kind {
+        K_HELLO => {
+            fixed(kind, body, 2, tolerant)?;
+            Ok(ToGateway::Hello { subs: le_u16(body) })
+        }
+        K_SUBSCRIBE => {
+            fixed(kind, body, 8, tolerant)?;
+            Ok(ToGateway::Subscribe { uid: le_u64(body) })
+        }
+        K_BYE => {
+            fixed(kind, body, 0, tolerant)?;
+            Ok(ToGateway::Bye)
+        }
+        k => Err(WireError::BadKind(k)),
+    }
+}
+
+/// Decode a gateway → client message.
+pub fn decode_to_client(buf: &[u8]) -> Result<ToClient, WireError> {
+    let (kind, body, tolerant) = check_header(buf)?;
+    match kind {
+        K_WELCOME => {
+            fixed(kind, body, 12, tolerant)?;
+            Ok(ToClient::Welcome {
+                client: le_u32(body),
+                now_ns: le_u64(&body[4..]),
+            })
+        }
+        K_EVENT => {
+            // class, origin, uid, seq, wire_ns, release_ns, payload.
+            fixed(kind, body, 32, true)?;
+            let (payload, end) = take_payload(kind, body, 30)?;
+            if !tolerant && end != body.len() {
+                return Err(WireError::BadLength {
+                    kind,
+                    got: body.len(),
+                });
+            }
+            Ok(ToClient::Event(EventMsg {
+                class: class_from(body[0])?,
+                origin: body[1],
+                uid: le_u64(&body[2..]),
+                seq: le_u32(&body[10..]),
+                wire_ns: le_u64(&body[14..]),
+                release_ns: le_u64(&body[22..]),
+                payload,
+            }))
+        }
+        K_BATCH => {
+            fixed(kind, body, 1, true)?;
+            let count = usize::from(body[0]);
+            let mut entries = Vec::with_capacity(count);
+            let mut at = 1;
+            for _ in 0..count {
+                // origin, uid, seq, wire_ns, payload.
+                fixed(kind, body, at + 21, true)?;
+                let origin = body[at];
+                let uid = le_u64(&body[at + 1..]);
+                let seq = le_u32(&body[at + 9..]);
+                let wire_ns = le_u64(&body[at + 13..]);
+                let (payload, end) = take_payload(kind, body, at + 21)?;
+                entries.push(BatchEntry {
+                    origin,
+                    uid,
+                    seq,
+                    wire_ns,
+                    payload,
+                });
+                at = end;
+            }
+            if !tolerant && at != body.len() {
+                return Err(WireError::BadLength {
+                    kind,
+                    got: body.len(),
+                });
+            }
+            Ok(ToClient::Batch { entries })
+        }
+        K_FRAG => {
+            // origin, uid, seq, wire_ns, offset, total, chunk.
+            fixed(kind, body, 31, true)?;
+            let (chunk, end) = take_payload(kind, body, 29)?;
+            if !tolerant && end != body.len() {
+                return Err(WireError::BadLength {
+                    kind,
+                    got: body.len(),
+                });
+            }
+            Ok(ToClient::Frag(FragMsg {
+                origin: body[0],
+                uid: le_u64(&body[1..]),
+                seq: le_u32(&body[9..]),
+                wire_ns: le_u64(&body[13..]),
+                offset: le_u32(&body[21..]),
+                total: le_u32(&body[25..]),
+                chunk,
+            }))
+        }
+        K_SHED => {
+            fixed(kind, body, 6, tolerant)?;
+            Ok(ToClient::Shed {
+                class: class_from(body[0])?,
+                reason: body[1],
+                count: le_u32(&body[2..]),
+            })
+        }
+        K_DISCONNECT => {
+            fixed(kind, body, 1, tolerant)?;
+            Ok(ToClient::Disconnect { reason: body[0] })
+        }
+        k => Err(WireError::BadKind(k)),
+    }
+}
+
+/// Write one length-prefixed message to a stream.
+pub fn write_frame<W: Write>(w: &mut W, msg: &[u8]) -> io::Result<()> {
+    if msg.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "message exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&(msg.len() as u32).to_le_bytes())?;
+    w.write_all(msg)
+}
+
+/// Read one length-prefixed message from a stream. `Ok(None)` means
+/// the peer closed the stream cleanly at a message boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = le_u32(&len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_round_trips_and_rejects_oversize() {
+        let msg = encode_to_client(&ToClient::Disconnect {
+            reason: REASON_SHUTDOWN,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&msg[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&msg[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        let mut bomb = Vec::new();
+        bomb.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &bomb[..]).is_err());
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME_LEN + 1]).is_err());
+    }
+
+    #[test]
+    fn misrouted_broker_datagram_fails_on_magic() {
+        // "RL..." is the broker protocol, not ours.
+        assert_eq!(
+            decode_to_client(&[b'R', b'L', 1, 17, 0, 0]),
+            Err(WireError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn version_zero_is_rejected_version_two_tolerates_tail() {
+        let mut bytes = encode_to_gateway(&ToGateway::Subscribe { uid: 7 });
+        bytes[2] = 0;
+        assert_eq!(decode_to_gateway(&bytes), Err(WireError::BadVersion(0)));
+        bytes[2] = 2;
+        bytes.extend_from_slice(&[0xaa; 5]);
+        assert_eq!(
+            decode_to_gateway(&bytes),
+            Ok(ToGateway::Subscribe { uid: 7 })
+        );
+    }
+}

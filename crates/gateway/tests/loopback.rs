@@ -1,0 +1,510 @@
+//! End-to-end tests of the gateway against a live loopback cluster:
+//! per-class QoS off-bus (HRT beats NRT bulk under client contention),
+//! same-seed determinism of the whole egress path, slow-consumer
+//! policies, merged trace auditing, and a real TCP client.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rtec_conformance::audit::{audit, AuditContext};
+use rtec_core::channel::{ChannelClass, ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
+use rtec_core::event::{Event, Subject};
+use rtec_gateway::wire::{ToClient, REASON_SHUTDOWN};
+use rtec_gateway::{
+    Acceptor, ClientSink, ClientSinkSpec, Gateway, GatewayClient, GatewayConfig, GatewayReport,
+    SinkStatus, SlowConsumerPolicy,
+};
+use rtec_live::cluster::{Cluster, ClusterConfig, LiveReport};
+use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::Pace;
+use rtec_sim::{Duration, SharedTraceSink};
+
+/// Publishes a fresh HRT sample every calendar round.
+struct HrtSource {
+    subject: Subject,
+    counter: u8,
+    period: Duration,
+}
+
+impl Behavior for HrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.publish(Event::new(self.subject, vec![self.counter]))
+            .unwrap();
+        let (at, period) = ctx.hrt_stage_schedule(self.subject).unwrap();
+        self.period = period;
+        ctx.set_timer(at, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        ctx.publish(Event::new(self.subject, vec![self.counter]))
+            .unwrap();
+        ctx.set_timer(ctx.now() + self.period, 0).unwrap();
+    }
+}
+
+/// Publishes an SRT sample every `every`.
+struct SrtSource {
+    subject: Subject,
+    every: Duration,
+    counter: u8,
+}
+
+impl Behavior for SrtSource {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        self.counter = self.counter.wrapping_add(1);
+        let _ = ctx.publish(Event::new(self.subject, vec![0xAB, self.counter]));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+/// Publishes a bulk NRT transfer every `every`.
+struct NrtPulse {
+    subject: Subject,
+    every: Duration,
+    bytes: usize,
+}
+
+impl Behavior for NrtPulse {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _payload: u64) {
+        let payload: Vec<u8> = (0..self.bytes).map(|i| i as u8).collect();
+        let _ = ctx.publish(Event::new(self.subject, payload));
+        ctx.set_timer(ctx.now() + self.every, 0).unwrap();
+    }
+}
+
+/// A sink that refuses everything until its gate opens, then records
+/// every decoded message in arrival order.
+#[derive(Clone)]
+struct GatedRecorder {
+    open: Arc<AtomicBool>,
+    msgs: Arc<Mutex<Vec<ToClient>>>,
+}
+
+impl GatedRecorder {
+    fn new() -> Self {
+        GatedRecorder {
+            open: Arc::new(AtomicBool::new(false)),
+            msgs: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl ClientSink for GatedRecorder {
+    fn offer(&mut self, bytes: &[u8]) -> SinkStatus {
+        if !self.open.load(Ordering::SeqCst) {
+            return SinkStatus::Busy;
+        }
+        let msg = rtec_gateway::wire::decode_to_client(bytes).expect("gateway sent junk");
+        self.msgs.lock().unwrap().push(msg);
+        SinkStatus::Accepted
+    }
+}
+
+/// Two subjects guaranteed to land on the same fanout shard.
+fn colliding_subjects(shards: usize) -> (Subject, Subject) {
+    let a = Subject::new(0x1001);
+    let target = a.shard_of(shards);
+    let b = (0x3000u64..0x4000)
+        .map(Subject::new)
+        .find(|s| s.shard_of(shards) == target)
+        .expect("no colliding subject in range");
+    (a, b)
+}
+
+/// HRT samples and NRT bulk contending for one blocked client lane:
+/// when the client finally drains, every HRT sample comes out first —
+/// released, never shed — while the NRT backlog was shed to the queue
+/// bound.
+#[test]
+fn hrt_beats_nrt_bulk_under_client_contention() {
+    let workers = 3;
+    let (hrt_subject, nrt_subject) = colliding_subjects(workers);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        nrt_queue_cap: 256,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        subject: hrt_subject,
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let n1 = cluster.add_node(Box::new(NrtPulse {
+        subject: nrt_subject,
+        every: Duration::from_ms(5),
+        bytes: 600,
+    }));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let nrt = ChannelSpec::Nrt(NrtSpec::bulk());
+    cluster.publish(n0, hrt_subject, hrt);
+    cluster.publish(n1, nrt_subject, nrt);
+
+    let gateway = Gateway::new(GatewayConfig {
+        workers,
+        client_queue_cap: 12,
+        ..GatewayConfig::default()
+    });
+    gateway.bind(hrt_subject, &hrt);
+    gateway.bind(nrt_subject, &nrt);
+    let recorder = GatedRecorder::new();
+    let sink: Box<dyn ClientSink> = Box::new(recorder.clone());
+    gateway.add_client(
+        &[hrt_subject, nrt_subject],
+        &ClientSinkSpec::Shared(Arc::new(Mutex::new(sink))),
+        Some(SlowConsumerPolicy::ShedNrtFirst),
+    );
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, hrt_subject, hrt);
+    cluster.subscribe(gw_node, nrt_subject, nrt);
+
+    let report = cluster.run_for(Duration::from_ms(80)).unwrap();
+    // The client wakes up only now: the backlog drains in class order.
+    recorder.open.store(true, Ordering::SeqCst);
+    let gw = gateway.finish();
+
+    let hrt_ingress = report
+        .log
+        .iter()
+        .filter(|r| r.node == gw_node && r.class == ChannelClass::Hrt)
+        .count() as u64;
+    assert!(hrt_ingress > 0, "no HRT deliveries reached the gateway");
+    assert_eq!(
+        gw.stats.delivered_hrt, hrt_ingress,
+        "every HRT sample must survive the contention"
+    );
+    assert!(gw.stats.shed_nrt > 0, "the NRT backlog was never shed");
+    assert!(
+        gw.stats.peak_lane_occupancy <= 12,
+        "lane queue exceeded its bound"
+    );
+
+    let msgs = recorder.msgs.lock().unwrap();
+    let first_non_hrt = msgs
+        .iter()
+        .position(|m| !matches!(m, ToClient::Event(e) if e.class == ChannelClass::Hrt))
+        .expect("nothing but HRT came out");
+    assert_eq!(
+        first_non_hrt as u64, hrt_ingress,
+        "all HRT must drain before any NRT"
+    );
+    assert!(
+        !msgs[first_non_hrt..]
+            .iter()
+            .any(|m| matches!(m, ToClient::Event(e) if e.class == ChannelClass::Hrt)),
+        "HRT appeared after NRT in the drain"
+    );
+    assert!(
+        msgs.iter().any(|m| matches!(m, ToClient::Frag(_))),
+        "bulk NRT should be fragment-streamed"
+    );
+    assert!(
+        matches!(
+            msgs.last(),
+            Some(ToClient::Disconnect {
+                reason: REASON_SHUTDOWN
+            })
+        ),
+        "session should end with a shutdown notice"
+    );
+}
+
+/// Build the standard mixed cluster + gateway used by the determinism
+/// and audit tests.
+fn mixed_run(sink: Option<SharedTraceSink>) -> (LiveReport, GatewayReport, u8) {
+    let hrt_subject = Subject::new(0x1001);
+    let srt_subject = Subject::new(0x2002);
+    let nrt_subject = Subject::new(0x3003);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        nrt_queue_cap: 256,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    if let Some(s) = &sink {
+        cluster.use_sink(s.clone());
+    }
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        subject: hrt_subject,
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let n1 = cluster.add_node(Box::new(SrtSource {
+        subject: srt_subject,
+        every: Duration::from_ms(3),
+        counter: 0,
+    }));
+    let n2 = cluster.add_node(Box::new(NrtPulse {
+        subject: nrt_subject,
+        every: Duration::from_ms(7),
+        bytes: 400,
+    }));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    let nrt = ChannelSpec::Nrt(NrtSpec::bulk());
+    cluster.publish(n0, hrt_subject, hrt);
+    cluster.publish(n1, srt_subject, srt);
+    cluster.publish(n2, nrt_subject, nrt);
+
+    let gateway = Gateway::new(GatewayConfig {
+        workers: 4,
+        client_queue_cap: 8,
+        sink: sink.clone().unwrap_or_else(SharedTraceSink::disabled),
+        ..GatewayConfig::default()
+    });
+    gateway.bind(hrt_subject, &hrt);
+    gateway.bind(srt_subject, &srt);
+    gateway.bind(nrt_subject, &nrt);
+    let subjects = [hrt_subject, srt_subject, nrt_subject];
+    for (i, permille) in [1000u16, 650, 300, 1000, 450].iter().enumerate() {
+        gateway.add_client(
+            &subjects,
+            &ClientSinkSpec::sim(42 + i as u64, *permille),
+            Some(if i % 2 == 0 {
+                SlowConsumerPolicy::ShedNrtFirst
+            } else {
+                SlowConsumerPolicy::CoalesceToLatest
+            }),
+        );
+    }
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, hrt_subject, hrt);
+    cluster.subscribe(gw_node, srt_subject, srt);
+    cluster.subscribe(gw_node, nrt_subject, nrt);
+
+    let report = cluster.run_for(Duration::from_ms(60)).unwrap();
+    let gw = gateway.finish();
+    (report, gw, gw_node)
+}
+
+/// Same seed ⇒ byte-identical sink digests, lane stats and shard
+/// counters across two independent runs (threads and all).
+#[test]
+fn same_seed_gateway_runs_are_byte_identical() {
+    let (ra, ga, _) = mixed_run(None);
+    let (rb, gb, _) = mixed_run(None);
+    assert_eq!(ra.log, rb.log, "cluster delivery logs diverged");
+    assert_eq!(ga.stats, gb.stats, "gateway stats diverged");
+    assert_eq!(ga.shards, gb.shards, "shard counters diverged");
+    assert_eq!(ga.lanes, gb.lanes, "lane reports (digests) diverged");
+    assert!(
+        ga.lanes
+            .iter()
+            .any(|l| l.digest.as_ref().is_some_and(|d| d.frames > 0)),
+        "no lane delivered anything"
+    );
+}
+
+/// The gateway's trace records merge into the cluster's sink and the
+/// combined trace still satisfies the T1..T8 auditor.
+#[test]
+fn merged_gateway_trace_passes_conformance_audit() {
+    let sink = SharedTraceSink::enabled();
+    let (report, gw, _) = mixed_run(Some(sink.clone()));
+    assert!(gw.stats.delivered_msgs > 0);
+    assert_eq!(sink.dropped(), 0, "trace ring overflowed");
+    let mut trace = sink.events();
+    trace.sort_by(|x, y| (x.time, &x.source).cmp(&(y.time, &y.source)));
+    assert!(
+        trace.iter().any(|e| e.kind == "gw_fanout"),
+        "gateway fanout records missing from the merged trace"
+    );
+    assert!(
+        trace.iter().any(|e| e.kind == "gw_shard"),
+        "gateway shard summaries missing from the merged trace"
+    );
+    let ctx = AuditContext::from_parts(
+        (*report.calendar).clone(),
+        report.calendar_start,
+        report.channels.clone(),
+        report.hrt_periods.clone(),
+    );
+    let rep = audit(&ctx, &trace);
+    assert!(
+        rep.passes(),
+        "audit failed on the merged trace:\n{:#?}",
+        rep.errors().collect::<Vec<_>>()
+    );
+}
+
+/// The two remaining policies, end to end: a dead-slow client under
+/// `Disconnect` is torn down; under `CoalesceToLatest` it stays
+/// connected and its backlog collapses to the newest events.
+#[test]
+fn slow_consumer_policies_disconnect_vs_coalesce() {
+    let srt_subject = Subject::new(0x2002);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(SrtSource {
+        subject: srt_subject,
+        every: Duration::from_ms(2),
+        counter: 0,
+    }));
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, srt_subject, srt);
+
+    let gateway = Gateway::new(GatewayConfig {
+        workers: 2,
+        client_queue_cap: 2,
+        ..GatewayConfig::default()
+    });
+    gateway.bind(srt_subject, &srt);
+    let brittle = gateway.add_client(
+        &[srt_subject],
+        &ClientSinkSpec::sim(7, 0), // never accepts
+        Some(SlowConsumerPolicy::Disconnect),
+    );
+    let patient = gateway.add_client(
+        &[srt_subject],
+        &ClientSinkSpec::sim(8, 0), // never accepts either
+        Some(SlowConsumerPolicy::CoalesceToLatest),
+    );
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, srt_subject, srt);
+
+    cluster.run_for(Duration::from_ms(40)).unwrap();
+    let gw = gateway.finish();
+
+    let lane = |client: u32| {
+        gw.lanes
+            .iter()
+            .find(|l| l.client == client)
+            .expect("lane missing")
+    };
+    assert!(lane(brittle).gone, "Disconnect policy never fired");
+    assert!(gw.stats.disconnects >= 1);
+    let patient_lane = lane(patient);
+    assert!(!patient_lane.gone, "coalescing client must stay connected");
+    assert!(
+        patient_lane.stats.coalesced > 0,
+        "backlog should collapse to the newest same-subject events"
+    );
+}
+
+/// A real TCP client: handshake, a stream of re-published events, a
+/// shutdown notice.
+#[test]
+fn tcp_client_receives_republished_events() {
+    let srt_subject = Subject::new(0x2002);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(SrtSource {
+        subject: srt_subject,
+        every: Duration::from_ms(3),
+        counter: 0,
+    }));
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, srt_subject, srt);
+
+    let gateway = Gateway::new(GatewayConfig::default());
+    gateway.bind(srt_subject, &srt);
+    let acceptor = Acceptor::tcp(
+        gateway.clone(),
+        "127.0.0.1:0",
+        SlowConsumerPolicy::ShedNrtFirst,
+    )
+    .unwrap();
+    // Connect (and therefore register) before the bus starts talking.
+    let mut client = GatewayClient::connect(acceptor.addr(), &[srt_subject]).unwrap();
+
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, srt_subject, srt);
+    cluster.run_for(Duration::from_ms(45)).unwrap();
+    let gw = gateway.finish();
+    acceptor.stop();
+
+    let mut events = 0;
+    let mut shutdown = false;
+    while let Some(msg) = client.recv().unwrap() {
+        match msg {
+            ToClient::Event(e) => {
+                assert_eq!(e.class, ChannelClass::Srt);
+                assert_eq!(e.uid, srt_subject.uid());
+                events += 1;
+            }
+            ToClient::Disconnect {
+                reason: REASON_SHUTDOWN,
+            } => {
+                shutdown = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    client.bye();
+    assert!(events > 0, "no events reached the TCP client");
+    assert_eq!(gw.stats.delivered_msgs, events);
+    assert!(shutdown, "missing shutdown notice");
+}
+
+/// Same transport contract over a Unix-domain socket: handshake,
+/// events, shutdown notice, and the socket file is cleaned up.
+#[cfg(unix)]
+#[test]
+fn unix_client_receives_republished_events() {
+    let srt_subject = Subject::new(0x2002);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(SrtSource {
+        subject: srt_subject,
+        every: Duration::from_ms(3),
+        counter: 0,
+    }));
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, srt_subject, srt);
+
+    let gateway = Gateway::new(GatewayConfig::default());
+    gateway.bind(srt_subject, &srt);
+    let path = std::env::temp_dir().join(format!("rtec-gw-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let acceptor =
+        Acceptor::unix(gateway.clone(), &path, SlowConsumerPolicy::ShedNrtFirst).unwrap();
+    let mut client = GatewayClient::connect_unix(acceptor.path(), &[srt_subject]).unwrap();
+
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, srt_subject, srt);
+    cluster.run_for(Duration::from_ms(30)).unwrap();
+    let gw = gateway.finish();
+    acceptor.stop();
+
+    let mut events = 0;
+    let mut shutdown = false;
+    while let Some(msg) = client.recv().unwrap() {
+        match msg {
+            ToClient::Event(e) => {
+                assert_eq!(e.class, ChannelClass::Srt);
+                events += 1;
+            }
+            ToClient::Disconnect {
+                reason: REASON_SHUTDOWN,
+            } => {
+                shutdown = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    client.bye();
+    assert!(events > 0, "no events reached the Unix-domain client");
+    assert_eq!(gw.stats.delivered_msgs, events);
+    assert!(shutdown, "missing shutdown notice");
+    assert!(!path.exists(), "socket file must be removed on stop()");
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the gateway ⇄ client wire codec, in the
+//! same mold as the broker codec's (`crates/live/tests/wire_prop.rs`):
+//! every message round-trips, and arbitrary / mutated / truncated byte
+//! strings are rejected without panicking. On top of those, the
+//! version-tolerance contract: higher version bytes may carry trailing
+//! extension bytes, version 0 never decodes.
+
+use proptest::prelude::*;
+use rtec_core::ChannelClass;
+use rtec_gateway::wire::{
+    decode_to_client, decode_to_gateway, encode_to_client, encode_to_gateway, BatchEntry, EventMsg,
+    FragMsg, ToClient, ToGateway, WireError, MAGIC, WIRE_VERSION,
+};
+
+fn arb_class() -> impl Strategy<Value = ChannelClass> {
+    prop_oneof![
+        Just(ChannelClass::Hrt),
+        Just(ChannelClass::Srt),
+        Just(ChannelClass::Nrt),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..48)
+}
+
+fn arb_event() -> impl Strategy<Value = EventMsg> {
+    (
+        arb_class(),
+        any::<u8>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_payload(),
+    )
+        .prop_map(
+            |(class, origin, uid, seq, wire_ns, release_ns, payload)| EventMsg {
+                class,
+                origin,
+                uid,
+                seq,
+                wire_ns,
+                release_ns,
+                payload,
+            },
+        )
+}
+
+fn arb_batch_entry() -> impl Strategy<Value = BatchEntry> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        arb_payload(),
+    )
+        .prop_map(|(origin, uid, seq, wire_ns, payload)| BatchEntry {
+            origin,
+            uid,
+            seq,
+            wire_ns,
+            payload,
+        })
+}
+
+fn arb_frag() -> impl Strategy<Value = FragMsg> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 1..48),
+    )
+        .prop_map(
+            |(origin, uid, seq, wire_ns, offset, total, chunk)| FragMsg {
+                origin,
+                uid,
+                seq,
+                wire_ns,
+                offset,
+                total,
+                chunk,
+            },
+        )
+}
+
+fn arb_to_gateway() -> impl Strategy<Value = ToGateway> {
+    prop_oneof![
+        any::<u16>().prop_map(|subs| ToGateway::Hello { subs }),
+        any::<u64>().prop_map(|uid| ToGateway::Subscribe { uid }),
+        Just(ToGateway::Bye),
+    ]
+}
+
+fn arb_to_client() -> impl Strategy<Value = ToClient> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(client, now_ns)| ToClient::Welcome { client, now_ns }),
+        arb_event().prop_map(ToClient::Event),
+        prop::collection::vec(arb_batch_entry(), 1..6)
+            .prop_map(|entries| ToClient::Batch { entries }),
+        arb_frag().prop_map(ToClient::Frag),
+        (arb_class(), any::<u8>(), any::<u32>()).prop_map(|(class, reason, count)| {
+            ToClient::Shed {
+                class,
+                reason,
+                count,
+            }
+        }),
+        any::<u8>().prop_map(|reason| ToClient::Disconnect { reason }),
+    ]
+}
+
+proptest! {
+    /// Client → gateway messages survive the encoding.
+    #[test]
+    fn to_gateway_round_trips(msg in arb_to_gateway()) {
+        let bytes = encode_to_gateway(&msg);
+        prop_assert_eq!(decode_to_gateway(&bytes).unwrap(), msg);
+    }
+
+    /// Gateway → client messages survive the encoding.
+    #[test]
+    fn to_client_round_trips(msg in arb_to_client()) {
+        let bytes = encode_to_client(&msg);
+        prop_assert_eq!(decode_to_client(&bytes).unwrap(), msg);
+    }
+
+    /// Arbitrary byte strings never panic either decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = decode_to_gateway(&bytes);
+        let _ = decode_to_client(&bytes);
+    }
+
+    /// Any single-byte mutation of a valid message is rejected or
+    /// decodes to *some* message — never a panic, never an
+    /// out-of-bounds read.
+    #[test]
+    fn mutated_messages_never_panic(
+        msg in arb_to_client(),
+        pos_frac in 0.0f64..1.0,
+        delta in 1u8..=255,
+    ) {
+        let mut bytes = encode_to_client(&msg);
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        let _ = decode_to_client(&bytes);
+        let _ = decode_to_gateway(&bytes);
+    }
+
+    /// Truncating a valid message at any point short of its full
+    /// length is rejected — never a panic.
+    #[test]
+    fn truncated_messages_are_rejected(msg in arb_to_client(), keep_frac in 0.0f64..1.0) {
+        let bytes = encode_to_client(&msg);
+        let keep = ((bytes.len() as f64) * keep_frac) as usize;
+        prop_assert!(decode_to_client(&bytes[..keep]).is_err() || keep == bytes.len());
+    }
+
+    /// A message stamped with a higher version byte decodes under
+    /// version 1's layout, with or without trailing extension bytes.
+    #[test]
+    fn higher_versions_tolerate_trailing_bytes(
+        msg in arb_to_client(),
+        version in (WIRE_VERSION + 1)..=255,
+        tail in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut bytes = encode_to_client(&msg);
+        bytes[2] = version;
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(decode_to_client(&bytes).unwrap(), msg);
+    }
+
+    /// Version 0 never existed: always rejected.
+    #[test]
+    fn version_zero_is_rejected(msg in arb_to_client()) {
+        let mut bytes = encode_to_client(&msg);
+        bytes[2] = 0;
+        prop_assert_eq!(decode_to_client(&bytes), Err(WireError::BadVersion(0)));
+    }
+
+    /// Version 1 bodies are strictly length-checked: any appended tail
+    /// turns a valid message into `BadLength`.
+    #[test]
+    fn current_version_rejects_trailing_bytes(
+        msg in arb_to_gateway(),
+        tail in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let mut bytes = encode_to_gateway(&msg);
+        bytes.extend_from_slice(&tail);
+        let bad_length = matches!(decode_to_gateway(&bytes), Err(WireError::BadLength { .. }));
+        prop_assert!(bad_length);
+    }
+}
+
+/// The two protocol families reject each other's magic loudly.
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = encode_to_gateway(&ToGateway::Bye);
+    bytes[0] = b'R';
+    bytes[1] = b'L'; // the broker protocol's magic
+    assert_eq!(decode_to_gateway(&bytes), Err(WireError::BadMagic));
+    assert_eq!(MAGIC, *b"RG");
+}

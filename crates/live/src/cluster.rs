@@ -140,6 +140,7 @@ struct NodeDef {
 pub struct Cluster {
     cfg: ClusterConfig,
     nodes: Vec<NodeDef>,
+    sink: Option<SharedTraceSink>,
 }
 
 /// Supervision outcome of a run: every health transition the broker
@@ -222,7 +223,21 @@ impl Cluster {
         Cluster {
             cfg,
             nodes: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Route this cluster's structured trace into an externally owned
+    /// sink instead of building a private one from
+    /// [`ClusterConfig::trace`]/`trace_capacity`.
+    ///
+    /// Off-bus layers (the gateway's fanout workers) hand the same sink
+    /// to their own emitters, so one merged, time-sorted trace covers
+    /// the bus *and* everything behind it and a single T1–T8 audit pass
+    /// sees the whole system. The sink decides enabled/disabled and
+    /// capacity; the config's trace flags are ignored when this is set.
+    pub fn use_sink(&mut self, sink: SharedTraceSink) {
+        self.sink = Some(sink);
     }
 
     /// Add a node running `behavior`; returns its node id. A node added
@@ -383,10 +398,11 @@ impl Cluster {
         let calendar = Arc::new(CalendarPlan::plan(
             cfg.round, &requests, cfg.timing, cfg.gap,
         )?);
-        let sink = match (cfg.trace, cfg.trace_capacity) {
-            (false, _) => SharedTraceSink::disabled(),
-            (true, None) => SharedTraceSink::enabled(),
-            (true, Some(cap)) => SharedTraceSink::enabled_with_capacity(cap),
+        let sink = match (self.sink, cfg.trace, cfg.trace_capacity) {
+            (Some(shared), _, _) => shared,
+            (None, false, _) => SharedTraceSink::disabled(),
+            (None, true, None) => SharedTraceSink::enabled(),
+            (None, true, Some(cap)) => SharedTraceSink::enabled_with_capacity(cap),
         };
         let shared = SharedConfig {
             calendar: Arc::clone(&calendar),
