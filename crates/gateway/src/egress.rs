@@ -23,6 +23,15 @@ use rtec_core::ChannelClass;
 use rtec_live::sync::Arc;
 use std::collections::VecDeque;
 
+/// Byte budget of one NRT `Batch` message (payloads plus per-entry
+/// envelopes): keeps every encoded batch comfortably under the wire
+/// codec's frame cap regardless of `batch_max` and the configured
+/// fragment threshold.
+const MAX_BATCH_BYTES: usize = 32 * 1024;
+/// Conservative per-entry envelope inside a `Batch` frame (fixed
+/// fields plus the payload length prefix, rounded up).
+const BATCH_ENTRY_OVERHEAD: usize = 32;
+
 /// What a lane does when a slow consumer fills its bounded queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SlowConsumerPolicy {
@@ -262,8 +271,9 @@ impl EgressQueue {
     /// `watermark` is the shard's bus-time high-water mark: HRT
     /// entries release only once it passes their deadline stamp, and
     /// stale SRT entries are purged before anything is offered. Small
-    /// consecutive NRT entries (up to `batch_max`) are offered as one
-    /// [`FlushItem::Batch`]. Returns `false` when the sink is gone.
+    /// consecutive NRT entries (up to `batch_max`, within
+    /// [`MAX_BATCH_BYTES`]) are offered as one [`FlushItem::Batch`].
+    /// Returns `false` when the sink is gone.
     pub fn flush<F>(&mut self, watermark: u64, batch_max: usize, mut offer: F) -> bool
     where
         F: FnMut(FlushItem<'_>) -> FlushVerdict,
@@ -298,21 +308,29 @@ impl EgressQueue {
                 }
             }
             if !self.nrt.is_empty() {
-                // A fragment goes alone; small events batch up.
+                // A fragment goes alone; small events batch up, but
+                // never past the byte budget — an unbounded batch
+                // could encode to a frame the wire cap rejects.
+                let mut budget = MAX_BATCH_BYTES;
                 let run = self
                     .nrt
                     .make_contiguous()
                     .iter()
-                    .take_while(|e| !e.frag)
+                    .take_while(|e| {
+                        let cost = e.payload.len() + BATCH_ENTRY_OVERHEAD;
+                        !e.frag && cost <= budget && {
+                            budget -= cost;
+                            true
+                        }
+                    })
                     .count()
                     .min(batch_max);
-                let (item, n, frags) = if run == 0 {
-                    (FlushItem::Single(&self.nrt[0]), 1, 1u64)
-                } else if run == 1 {
-                    (FlushItem::Single(&self.nrt[0]), 1, 0)
+                let (item, n) = if run <= 1 {
+                    (FlushItem::Single(&self.nrt[0]), 1)
                 } else {
-                    (FlushItem::Batch(&self.nrt.as_slices().0[..run]), run, 0)
+                    (FlushItem::Batch(&self.nrt.as_slices().0[..run]), run)
                 };
+                let frags = u64::from(self.nrt[0].frag);
                 match offer(item) {
                     FlushVerdict::Taken => {
                         self.nrt.drain(..n);
@@ -579,6 +597,30 @@ mod tests {
         assert_eq!(offers, vec![vec![1, 2, 3], vec![9]]);
         assert_eq!(q.stats.batches, 1);
         assert_eq!(q.stats.fragments, 1);
+    }
+
+    /// Entries whose payloads would blow the batch byte budget go out
+    /// as singles — a batch must never encode to a frame the wire cap
+    /// rejects.
+    #[test]
+    fn batch_respects_byte_budget() {
+        let mut q = EgressQueue::new(16);
+        for uid in 1..=2 {
+            let mut e = entry(ChannelClass::Nrt, uid, 0, None);
+            e.payload = Arc::new(vec![0u8; MAX_BATCH_BYTES]);
+            q.push(e, SlowConsumerPolicy::ShedNrtFirst, 0);
+        }
+        let mut offers = Vec::new();
+        q.flush(10, 8, |item| {
+            offers.push(match item {
+                FlushItem::Single(e) => vec![e.uid],
+                FlushItem::Batch(es) => es.iter().map(|e| e.uid).collect(),
+            });
+            FlushVerdict::Taken
+        });
+        assert_eq!(offers, vec![vec![1], vec![2]]);
+        assert_eq!(q.stats.batches, 0);
+        assert_eq!(q.stats.fragments, 0);
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub struct ShardStats {
     pub disconnects: u64,
     /// Entries still queued when the lane ended.
     pub undelivered: u64,
+    /// HRT/SRT events dropped because their payload cannot be encoded
+    /// in a single wire frame (only NRT fragments — see
+    /// [`wire::MAX_PAYLOAD`]).
+    pub oversized: u64,
 }
 
 /// Outcome of one (client, shard) lane.
@@ -176,6 +180,8 @@ pub struct GatewayStats {
     pub disconnects: u64,
     /// Entries discarded at lane end.
     pub undelivered: u64,
+    /// Un-encodable HRT/SRT bulk events dropped at ingress.
+    pub oversized: u64,
     /// Highest queue occupancy any lane reached (bounded-memory
     /// witness: never exceeds the configured cap).
     pub peak_lane_occupancy: usize,
@@ -233,6 +239,8 @@ impl Gateway {
                 shard,
                 cap: cfg.client_queue_cap.max(1),
                 batch_max: cfg.nrt_batch_max.max(1),
+                // Clamped so every fragment still fits a wire frame.
+                frag_chunk: cfg.frag_chunk.clamp(1, wire::MAX_PAYLOAD),
                 trace_verbose: cfg.trace_verbose,
                 subs: HashMap::new(),
                 lanes: HashMap::new(),
@@ -306,25 +314,47 @@ impl Gateway {
 
     /// Register a client subscribed to `subjects`; returns its id.
     ///
-    /// The subscription set is split by shard; each involved worker
-    /// gets a `Register` message and mints the lane's sink from
-    /// `spec`. With no `policy` the gateway default applies.
+    /// Equivalent to [`Gateway::reserve_client`] followed by
+    /// [`Gateway::register_client`], for callers with no handshake to
+    /// order against fanout.
     pub fn add_client(
         &self,
         subjects: &[Subject],
         spec: &ClientSinkSpec,
         policy: Option<SlowConsumerPolicy>,
     ) -> u32 {
-        let client = {
-            let mut next = self
-                .inner
-                .next_client
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            let id = *next;
-            *next += 1;
-            id
-        };
+        let client = self.reserve_client();
+        self.register_client(client, subjects, spec, policy);
+        client
+    }
+
+    /// Mint a client id without registering any lane — nothing is
+    /// delivered to the client yet. Lets a transport finish its
+    /// handshake (e.g. write `Welcome` carrying the id) before any
+    /// fanout worker can write to the client's sink.
+    pub fn reserve_client(&self) -> u32 {
+        let mut next = self
+            .inner
+            .next_client
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    /// Register a reserved client's subscriptions; delivery starts now.
+    ///
+    /// The subscription set is split by shard; each involved worker
+    /// gets a `Register` message and mints the lane's sink from
+    /// `spec`. With no `policy` the gateway default applies.
+    pub fn register_client(
+        &self,
+        client: u32,
+        subjects: &[Subject],
+        spec: &ClientSinkSpec,
+        policy: Option<SlowConsumerPolicy>,
+    ) {
         let policy = policy.unwrap_or(self.inner.default_policy);
         let mut by_shard: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for s in subjects {
@@ -345,7 +375,6 @@ impl Gateway {
                 });
             }
         }
-        client
     }
 
     /// The cluster behavior for the gateway node. Bind every subject
@@ -410,6 +439,7 @@ impl Gateway {
             out.stats.fanout += sr.stats.fanout;
             out.stats.disconnects += sr.stats.disconnects;
             out.stats.undelivered += sr.stats.undelivered;
+            out.stats.oversized += sr.stats.oversized;
             out.shards.push(sr.stats);
             out.latencies_ns.extend(sr.latencies_ns);
             for lane in sr.lanes {
@@ -487,6 +517,9 @@ struct WorkerState {
     shard: usize,
     cap: usize,
     batch_max: usize,
+    /// NRT payloads above this many bytes are fragment-streamed
+    /// (config value, clamped to [`wire::MAX_PAYLOAD`]).
+    frag_chunk: usize,
     trace_verbose: bool,
     subs: HashMap<u64, Vec<u32>>,
     lanes: HashMap<u32, Lane>,
@@ -528,6 +561,24 @@ impl WorkerState {
             Some(v) if !v.is_empty() => v.clone(),
             _ => return,
         };
+        let entries = encode_entries(ev, self.frag_chunk);
+        if entries.is_empty() {
+            // An HRT/SRT payload no single wire frame can carry:
+            // encoding it truncated or oversized would corrupt the
+            // client stream, so it is dropped here, counted and traced.
+            self.stats.oversized += 1;
+            self.trace.emit_fields(
+                Time::from_ns(ev.delivered_ns),
+                self.src,
+                "gw_oversize",
+                &[
+                    ("uid", ev.uid),
+                    ("class", class_field(ev.class)),
+                    ("len", ev.payload.len() as u64),
+                ],
+            );
+            return;
+        }
         self.stats.fanout += subscribers.len() as u64;
         self.trace.emit_fields(
             Time::from_ns(ev.delivered_ns),
@@ -539,7 +590,6 @@ impl WorkerState {
                 ("subs", subscribers.len() as u64),
             ],
         );
-        let entries = encode_entries(ev, frag_chunk_of(&subscribers, ev));
         for client in subscribers {
             let Some(lane) = self.lanes.get_mut(&client) else {
                 continue;
@@ -587,7 +637,6 @@ impl WorkerState {
             notify_sheds(
                 lane,
                 before,
-                self.watermark_ns,
                 ev.delivered_ns,
                 self.trace_verbose,
                 &self.trace,
@@ -667,39 +716,34 @@ impl WorkerState {
     }
 }
 
-/// `(shed-for-pressure, shed-stale)` snapshot for delta notices.
-fn shed_counts(stats: &LaneStats) -> (u64, u64) {
-    (stats.shed_nrt + stats.shed_srt_cap, stats.shed_srt_stale)
+/// `(shed-NRT, cap-shed-SRT, stale-SRT)` snapshot for delta notices.
+fn shed_counts(stats: &LaneStats) -> (u64, u64, u64) {
+    (stats.shed_nrt, stats.shed_srt_cap, stats.shed_srt_stale)
 }
 
 /// Offer best-effort `Shed` notices covering what the last push round
-/// dropped, so clients observe the gap instead of silence.
+/// dropped, so clients observe the gap instead of silence — one notice
+/// per (class, reason), so an SRT pressure shed is never reported as
+/// NRT.
 fn notify_sheds(
     lane: &mut Lane,
-    before: (u64, u64),
-    watermark: u64,
+    before: (u64, u64, u64),
     at_ns: u64,
     verbose: bool,
     trace: &SharedTraceSink,
     src: SourceId,
 ) {
-    let _ = watermark;
-    let (pressure, stale) = shed_counts(&lane.queue.stats);
-    let dropped_pressure = pressure - before.0;
-    let dropped_stale = stale - before.1;
-    for (count, reason) in [
-        (dropped_pressure, REASON_SLOW),
-        (dropped_stale, REASON_STALE),
+    let (nrt, srt_cap, srt_stale) = shed_counts(&lane.queue.stats);
+    for (count, class, reason) in [
+        (nrt - before.0, ChannelClass::Nrt, REASON_SLOW),
+        (srt_cap - before.1, ChannelClass::Srt, REASON_SLOW),
+        (srt_stale - before.2, ChannelClass::Srt, REASON_STALE),
     ] {
         if count == 0 {
             continue;
         }
         let _ = lane.sink.offer(&wire::encode_to_client(&ToClient::Shed {
-            class: if reason == REASON_STALE {
-                ChannelClass::Srt
-            } else {
-                ChannelClass::Nrt
-            },
+            class,
             reason,
             count: count.min(u64::from(u32::MAX)) as u32,
         }));
@@ -710,6 +754,7 @@ fn notify_sheds(
                 "gw_shed",
                 &[
                     ("client", u64::from(lane.client)),
+                    ("class", class_field(class)),
                     ("reason", u64::from(reason)),
                     ("count", count),
                 ],
@@ -782,14 +827,13 @@ fn class_field(class: ChannelClass) -> u64 {
     }
 }
 
-/// Fragment chunk size for this event (constant; the indirection
-/// keeps the call site honest about what varies per event: nothing).
-fn frag_chunk_of(_subscribers: &[u32], _ev: &IngressEvent) -> usize {
-    256
-}
-
 /// Pre-encode an ingress event into the entries every subscribed lane
 /// will queue: one `Event` message, or a fragment stream for NRT bulk.
+///
+/// Never truncates: an NRT payload above `frag_chunk` bytes is split
+/// into fragments, and an HRT/SRT payload no single frame can carry
+/// ([`wire::MAX_PAYLOAD`]) yields an *empty* vec — the caller drops
+/// the event explicitly instead of corrupting the stream.
 fn encode_entries(ev: &IngressEvent, frag_chunk: usize) -> Vec<EgressEntry> {
     let base = EgressEntry {
         class: ev.class,
@@ -804,6 +848,9 @@ fn encode_entries(ev: &IngressEvent, frag_chunk: usize) -> Vec<EgressEntry> {
         encoded: Arc::new(Vec::new()),
         frag: false,
     };
+    if ev.class != ChannelClass::Nrt && ev.payload.len() > wire::MAX_PAYLOAD {
+        return Vec::new();
+    }
     if ev.class != ChannelClass::Nrt || ev.payload.len() <= frag_chunk {
         let payload = Arc::new(ev.payload.clone());
         let encoded = Arc::new(wire::encode_to_client(&ToClient::Event(EventMsg {
@@ -843,4 +890,110 @@ fn encode_entries(ev: &IngressEvent, frag_chunk: usize) -> Vec<EgressEntry> {
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientSink;
+    use crate::client::SinkStatus;
+
+    fn ev(class: ChannelClass, len: usize) -> IngressEvent {
+        IngressEvent {
+            uid: 1,
+            class,
+            origin: 0,
+            seq: 0,
+            wire_ns: 0,
+            delivered_ns: 0,
+            expiry_ns: None,
+            ingress_wall_ns: 0,
+            payload: vec![0xAB; len],
+        }
+    }
+
+    /// The configured fragment threshold is what `encode_entries`
+    /// actually chunks by — not a hardcoded constant.
+    #[test]
+    fn configured_frag_chunk_is_honored() {
+        let entries = encode_entries(&ev(ChannelClass::Nrt, 100), 40);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| e.frag));
+        assert_eq!(entries[0].payload.len(), 40);
+        assert_eq!(entries[2].payload.len(), 20);
+        let single = encode_entries(&ev(ChannelClass::Nrt, 100), 256);
+        assert_eq!(single.len(), 1);
+        assert!(!single[0].frag);
+    }
+
+    /// An HRT/SRT payload no single frame can carry yields no entries
+    /// (the worker drops and counts it); the same payload as NRT bulk
+    /// fragments instead. Nothing is ever truncated.
+    #[test]
+    fn oversized_hrt_is_rejected_not_truncated() {
+        let over = wire::MAX_PAYLOAD + 1;
+        assert!(encode_entries(&ev(ChannelClass::Hrt, over), 256).is_empty());
+        assert!(encode_entries(&ev(ChannelClass::Srt, over), 256).is_empty());
+        assert_eq!(
+            encode_entries(&ev(ChannelClass::Hrt, wire::MAX_PAYLOAD), 256).len(),
+            1
+        );
+        let frags = encode_entries(&ev(ChannelClass::Nrt, over), 256);
+        assert!(frags.len() > 1);
+        assert_eq!(
+            frags.iter().map(|e| e.payload.len()).sum::<usize>(),
+            over,
+            "fragments must cover the payload exactly"
+        );
+    }
+
+    /// Shed notices carry the class of what was actually shed: an SRT
+    /// pressure shed is reported as SRT, never lumped in as NRT.
+    #[test]
+    fn shed_notices_carry_the_shed_class() {
+        struct Rec(Arc<Mutex<Vec<ToClient>>>);
+        impl ClientSink for Rec {
+            fn offer(&mut self, bytes: &[u8]) -> SinkStatus {
+                let msg = wire::decode_to_client(bytes).expect("undecodable notice");
+                self.0.lock().unwrap_or_else(|e| e.into_inner()).push(msg);
+                SinkStatus::Accepted
+            }
+        }
+        let msgs = Arc::new(Mutex::new(Vec::new()));
+        let mut lane = Lane {
+            client: 0,
+            queue: EgressQueue::new(4),
+            sink: SinkHandle::Own(Box::new(Rec(Arc::clone(&msgs)))),
+            policy: SlowConsumerPolicy::ShedNrtFirst,
+            gone: false,
+        };
+        let before = shed_counts(&lane.queue.stats);
+        lane.queue.stats.shed_nrt += 3;
+        lane.queue.stats.shed_srt_cap += 2;
+        lane.queue.stats.shed_srt_stale += 1;
+        let sink = SharedTraceSink::disabled();
+        let src = sink.intern("test");
+        notify_sheds(&mut lane, before, 0, false, &sink, src);
+        let got = msgs.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        assert_eq!(
+            got,
+            vec![
+                ToClient::Shed {
+                    class: ChannelClass::Nrt,
+                    reason: REASON_SLOW,
+                    count: 3
+                },
+                ToClient::Shed {
+                    class: ChannelClass::Srt,
+                    reason: REASON_SLOW,
+                    count: 2
+                },
+                ToClient::Shed {
+                    class: ChannelClass::Srt,
+                    reason: REASON_STALE,
+                    count: 1
+                },
+            ]
+        );
+    }
 }

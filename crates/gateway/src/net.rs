@@ -3,12 +3,15 @@
 //! The acceptor thread owns the listener; each accepted connection is
 //! handshaken inline (read `Hello`, then that many `Subscribe` frames,
 //! under a read timeout so a stalled half-open connection cannot wedge
-//! accepting), registered with the gateway behind a [`ClientSinkSpec::
-//! Shared`] stream sink, and answered with `Welcome`. Fanout workers
-//! then write frames straight into the stream; a write timeout maps to
-//! [`SinkStatus::Busy`] so a stalled client builds backpressure into
-//! its bounded lane queue — where the shedding policies, not the
-//! socket, decide what gives.
+//! accepting), answered with `Welcome`, and only then registered with
+//! the gateway behind a [`ClientSinkSpec::Shared`] stream sink — so
+//! `Welcome` is always the first frame on the wire. Fanout workers
+//! then write frames through the shared sink; a write timeout before
+//! any byte of a frame goes out maps to [`SinkStatus::Busy`] so a
+//! stalled client builds backpressure into its bounded lane queue —
+//! where the shedding policies, not the socket, decide what gives —
+//! while a frame caught mid-write is buffered and finished on the next
+//! offer, keeping the client's length-prefixed framing intact.
 //!
 //! Shutdown never sleeps or polls: `stop()` raises a flag and then
 //! *connects* to the listener once, so the blocking `accept()` returns
@@ -37,21 +40,97 @@ const WRITE_TIMEOUT: StdDuration = StdDuration::from_millis(20);
 
 /// A [`ClientSink`] writing length-prefixed frames to a stream.
 ///
-/// `Busy` on timeout/would-block, `Gone` on any other I/O error.
+/// The write timeout can fire after *part* of a frame (length prefix
+/// included) is already on the wire. Re-sending the frame from byte 0
+/// on the lane's retry would leave the duplicated prefix in the stream
+/// and permanently desync the client's framing — exactly under the
+/// slow-consumer load the backpressure design targets. So the sink
+/// buffers the frame it is writing and tracks an offset: a frame that
+/// started going out is *committed* (reported `Accepted`, its tail
+/// drains ahead of any later frame), and `Busy` is only ever reported
+/// while zero bytes of the offered frame have been attempted. The
+/// buffer holds at most one frame (≤ [`wire::MAX_FRAME_LEN`] + 4
+/// bytes), so per-client memory stays bounded.
 struct StreamSink<W: Write + Send> {
     stream: W,
+    /// The frame being written (length prefix + body); empty when no
+    /// write is in flight.
+    pending: Vec<u8>,
+    /// Bytes of `pending` already on the wire.
+    written: usize,
+}
+
+/// Outcome of one attempt to drain [`StreamSink::pending`].
+enum Drained {
+    /// Everything pending is on the wire.
+    Done,
+    /// Timeout/would-block with bytes still pending.
+    Blocked,
+    /// Hard I/O error: the stream is unusable.
+    Dead,
+}
+
+impl<W: Write + Send> StreamSink<W> {
+    fn new(stream: W) -> Self {
+        StreamSink {
+            stream,
+            pending: Vec::new(),
+            written: 0,
+        }
+    }
+
+    /// Push `pending[written..]` at the stream until it is gone, the
+    /// socket blocks, or the stream dies.
+    fn drain(&mut self) -> Drained {
+        while self.written < self.pending.len() {
+            match self.stream.write(&self.pending[self.written..]) {
+                Ok(0) => return Drained::Dead,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Drained::Blocked
+                }
+                Err(_) => return Drained::Dead,
+            }
+        }
+        self.pending.clear();
+        self.written = 0;
+        Drained::Done
+    }
 }
 
 impl<W: Write + Send> ClientSink for StreamSink<W> {
     fn offer(&mut self, bytes: &[u8]) -> SinkStatus {
-        match wire::write_frame(&mut self.stream, bytes) {
-            Ok(()) => SinkStatus::Accepted,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+        // Finish the previously committed frame first; until its tail
+        // is out, nothing of the new frame may touch the stream.
+        match self.drain() {
+            Drained::Done => {}
+            Drained::Blocked => return SinkStatus::Busy,
+            Drained::Dead => return SinkStatus::Gone,
+        }
+        if bytes.len() > wire::MAX_FRAME_LEN {
+            return SinkStatus::Gone;
+        }
+        self.pending.reserve(4 + bytes.len());
+        self.pending
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.pending.extend_from_slice(bytes);
+        match self.drain() {
+            Drained::Done => SinkStatus::Accepted,
+            Drained::Blocked if self.written == 0 => {
+                // Not a single byte went out: safe to let the lane
+                // keep (or shed) the entry and retry it verbatim.
+                self.pending.clear();
                 SinkStatus::Busy
             }
-            Err(_) => SinkStatus::Gone,
+            // Partially written: the frame is committed — its tail
+            // goes out ahead of any future frame — so the lane must
+            // treat it as delivered, not retry it.
+            Drained::Blocked => SinkStatus::Accepted,
+            Drained::Dead => SinkStatus::Gone,
         }
     }
 }
@@ -225,16 +304,20 @@ fn admit<S: Stream>(gateway: &Gateway, stream: S, policy: SlowConsumerPolicy) ->
             }
         }
     }
-    let sink: Box<dyn ClientSink> = Box::new(StreamSink {
-        stream: stream.try_clone_stream()?,
-    });
+    let sink: Box<dyn ClientSink> = Box::new(StreamSink::new(stream.try_clone_stream()?));
     let spec = ClientSinkSpec::Shared(Arc::new(Mutex::new(sink)));
-    let client = gateway.add_client(&subjects, &spec, Some(policy));
+    // Welcome must be the first frame on the stream, wholly written
+    // before any fanout worker can address this client's sink — so the
+    // id is reserved up front and registration (which is what lets
+    // workers start writing Event frames) happens only after the
+    // handshake reply is out.
+    let client = gateway.reserve_client();
     let mut out = stream;
     wire::write_frame(
         &mut out,
         &wire::encode_to_client(&ToClient::Welcome { client, now_ns: 0 }),
     )?;
+    gateway.register_client(client, &subjects, &spec, Some(policy));
     Ok(())
 }
 
@@ -321,5 +404,123 @@ impl GatewayClient {
     /// Tell the gateway we are leaving (best-effort).
     pub fn bye(&mut self) {
         let _ = wire::write_frame(&mut self.stream, &wire::encode_to_gateway(&ToGateway::Bye));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_frame;
+
+    /// A writer that accepts at most `caps[i]` bytes on its i-th call
+    /// (0 = time out), unlimited once the script runs out; records
+    /// every byte it accepted.
+    struct Throttle {
+        caps: Vec<usize>,
+        call: usize,
+        bytes: Vec<u8>,
+    }
+
+    impl Throttle {
+        fn new(caps: &[usize]) -> Self {
+            Throttle {
+                caps: caps.to_vec(),
+                call: 0,
+                bytes: Vec::new(),
+            }
+        }
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let cap = self.caps.get(self.call).copied().unwrap_or(usize::MAX);
+            self.call += 1;
+            if cap == 0 {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "throttled"));
+            }
+            let n = buf.len().min(cap);
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frames(bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut r = bytes;
+        let mut out = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            out.push(f);
+        }
+        out
+    }
+
+    /// A timeout mid-frame must not desync the stream: the committed
+    /// frame's tail goes out on the next offer, before the new frame,
+    /// and no byte is ever sent twice.
+    #[test]
+    fn partial_write_resumes_without_duplicating_bytes() {
+        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 9 });
+        let b = wire::encode_to_client(&ToClient::Welcome {
+            client: 7,
+            now_ns: 1,
+        });
+        // Two bytes of A's length prefix go out, then the timeout hits.
+        let mut sink = StreamSink::new(Throttle::new(&[2, 0]));
+        assert_eq!(sink.offer(&a), SinkStatus::Accepted);
+        assert_eq!(sink.offer(&b), SinkStatus::Accepted);
+        assert_eq!(frames(&sink.stream.bytes), vec![a, b]);
+    }
+
+    /// A timeout before any byte of the frame is attempted reports
+    /// Busy, and the lane's verbatim retry produces exactly one frame.
+    #[test]
+    fn timeout_before_first_byte_is_busy_and_retry_safe() {
+        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 1 });
+        let mut sink = StreamSink::new(Throttle::new(&[0]));
+        assert_eq!(sink.offer(&a), SinkStatus::Busy);
+        assert_eq!(sink.offer(&a), SinkStatus::Accepted);
+        assert_eq!(frames(&sink.stream.bytes), vec![a]);
+    }
+
+    /// While a committed frame's tail is still pending, further offers
+    /// are Busy (retryable) — never interleaved into the stream.
+    #[test]
+    fn busy_while_committed_tail_is_pending() {
+        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 2 });
+        let b = wire::encode_to_client(&ToClient::Shed {
+            class: rtec_core::ChannelClass::Srt,
+            reason: wire::REASON_STALE,
+            count: 3,
+        });
+        // A is cut after 3 bytes; the next two write attempts block.
+        let mut sink = StreamSink::new(Throttle::new(&[3, 0, 0]));
+        assert_eq!(sink.offer(&a), SinkStatus::Accepted);
+        assert_eq!(sink.offer(&b), SinkStatus::Busy);
+        assert_eq!(sink.offer(&b), SinkStatus::Accepted);
+        assert_eq!(frames(&sink.stream.bytes), vec![a, b]);
+    }
+
+    /// A hard error, or an impossible frame, reports the sink gone.
+    #[test]
+    fn dead_stream_and_oversized_frames_are_gone() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 3 });
+        let mut sink = StreamSink::new(Dead);
+        assert_eq!(sink.offer(&a), SinkStatus::Gone);
+        let mut sink = StreamSink::new(Throttle::new(&[]));
+        assert_eq!(
+            sink.offer(&vec![0u8; wire::MAX_FRAME_LEN + 1]),
+            SinkStatus::Gone
+        );
     }
 }

@@ -41,6 +41,12 @@ pub const WIRE_VERSION: u8 = 1;
 /// Hard cap on a framed message (length prefix included payload), so a
 /// corrupt length prefix cannot make a reader allocate gigabytes.
 pub const MAX_FRAME_LEN: usize = 1 << 16;
+/// Largest event payload (or fragment chunk) a single message may
+/// carry: with the fixed header and per-message fields, anything up to
+/// this bound stays under both [`MAX_FRAME_LEN`] and the `u16` payload
+/// length prefix. Encoders must fragment or reject larger payloads —
+/// [`encode_to_client`] panics rather than truncate.
+pub const MAX_PAYLOAD: usize = MAX_FRAME_LEN - 64;
 
 /// Disconnect / shed reason: the client fell behind its bounded queue.
 pub const REASON_SLOW: u8 = 1;
@@ -312,10 +318,19 @@ pub fn encode_to_client(msg: &ToClient) -> Vec<u8> {
 }
 
 /// Append a `u16`-length-prefixed byte string.
+///
+/// Truncating here would deliver a silently corrupted payload, so an
+/// oversized one is a caller bug and panics loudly instead — the
+/// gateway fragments NRT bulk and drops un-encodable HRT/SRT events
+/// *before* encoding (see `encode_entries` in `crate::gateway`).
 fn push_payload(bytes: &[u8], out: &mut Vec<u8>) {
-    let len = bytes.len().min(usize::from(u16::MAX));
-    out.extend_from_slice(&(len as u16).to_le_bytes());
-    out.extend_from_slice(&bytes[..len]);
+    assert!(
+        bytes.len() <= MAX_PAYLOAD,
+        "payload of {} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD}); fragment or reject it upstream",
+        bytes.len()
+    );
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
 }
 
 /// Header check shared by both decoders: returns the kind, the body,
@@ -559,6 +574,38 @@ mod tests {
         assert!(read_frame(&mut &bomb[..]).is_err());
         let mut sink = Vec::new();
         assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME_LEN + 1]).is_err());
+    }
+
+    fn event_with(payload: Vec<u8>) -> ToClient {
+        ToClient::Event(EventMsg {
+            class: ChannelClass::Hrt,
+            origin: 0,
+            uid: 1,
+            seq: 2,
+            wire_ns: 3,
+            release_ns: 4,
+            payload,
+        })
+    }
+
+    /// A payload at the documented bound encodes to a single frame the
+    /// stream writer accepts, and round-trips intact.
+    #[test]
+    fn max_payload_event_fits_one_frame() {
+        let msg = event_with(vec![0x5A; MAX_PAYLOAD]);
+        let bytes = encode_to_client(&msg);
+        assert!(bytes.len() <= MAX_FRAME_LEN);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &bytes).unwrap();
+        assert_eq!(decode_to_client(&bytes).unwrap(), msg);
+    }
+
+    /// One byte over the bound panics loudly instead of silently
+    /// truncating the payload.
+    #[test]
+    #[should_panic(expected = "MAX_PAYLOAD")]
+    fn oversized_payload_panics_instead_of_truncating() {
+        let _ = encode_to_client(&event_with(vec![0x5A; MAX_PAYLOAD + 1]));
     }
 
     #[test]
