@@ -102,4 +102,12 @@ echo "== chaos smoke (kill/restart 2 of 8 nodes, 5% datagram drop)"
 # (a node that never rejoins stalls the lock-step), so bound it hard.
 timeout 180 cargo run -p rtec-bench --bin experiments --release -- chaos --ci
 
+echo "== gateway chaos smoke (gateway kill + link severs, session resume)"
+# Crash-tolerant session gate: the gateway node is killed and rejoins
+# through supervision, every severed client resumes (lossless or with
+# an honest Gap notice), HRT stays exactly-once across the reconnect,
+# the merged trace passes T1..T9, a TTL-0 resume is deterministically
+# refused, and a same-seed rerun is byte-identical. Same hang caveat.
+timeout 180 cargo run -p rtec-bench --bin experiments --release -- chaos gateway --ci
+
 echo "ci: all gates passed"

@@ -21,7 +21,7 @@
 //! ```
 
 use rtec_bench::experiments::all;
-use rtec_bench::{chaos_exp, gateway_perf, live_perf, parallel_perf, perf, RunOpts};
+use rtec_bench::{chaos_exp, gateway_perf, gw_chaos_exp, live_perf, parallel_perf, perf, RunOpts};
 use rtec_sim::parallel::pool_map;
 
 /// One sharded experiment: `(id, description, run fn)`.
@@ -158,8 +158,14 @@ fn main() {
     }
     if chaos {
         // `--ci` runs the same checks on the short horizon; the smoke
-        // is deterministic either way.
-        std::process::exit(chaos_exp::run(opts.seed, opts.quick || ci_check));
+        // is deterministic either way. `chaos gateway` runs the off-bus
+        // session-resume chaos gate instead of the bus-only smoke.
+        let code = if gateway {
+            gw_chaos_exp::run(opts.seed, opts.quick || ci_check)
+        } else {
+            chaos_exp::run(opts.seed, opts.quick || ci_check)
+        };
+        std::process::exit(code);
     }
     if bench {
         let cfg = perf::BenchConfig {

@@ -17,22 +17,31 @@
 //! * shed / disconnect counters and the peak lane occupancy (which must
 //!   never exceed the configured bound — the bounded-memory witness).
 //!
+//! The full run also appends a **reconnect storm** row: every client is
+//! a session client whose link is severed mid-run, and all of them
+//! resume in one 60 ms burst — the row reports the wall p99 of the
+//! replay-and-reattach path and the bytes replayed from session
+//! buffers.
+//!
 //! Results merge into `BENCH_engine.json` under the `"gateway"` key.
 //! `--ci` instead runs the acceptance gates: committed section parses,
 //! two same-seed runs produce byte-identical lane digests, the merged
 //! trace passes the `T1`..`T8` auditor, and a 10 000-client population
 //! is sustained with nonzero sheds and bounded queues.
 
+use crate::gw_chaos_exp::{ChaosClient, ChaosClientSink, ClientState, ResumeAction, ResumeDriver};
 use crate::json::{self, Value};
 use crate::perf::{BenchConfig, ENGINE_REPORT};
 use rtec_conformance::audit::{audit, AuditContext};
 use rtec_core::channel::{ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
 use rtec_core::event::{Event, Subject};
 use rtec_gateway::{ClientSinkSpec, Gateway, GatewayConfig, GatewayReport, SlowConsumerPolicy};
+use rtec_live::chaos::{LinkChaos, LinkPlan};
 use rtec_live::cluster::{Cluster, ClusterConfig, LiveReport};
 use rtec_live::node::{Behavior, NodeCtx};
 use rtec_live::Pace;
 use rtec_sim::{Duration, Rng, SharedTraceSink};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Fanout worker counts swept by the full benchmark.
@@ -130,28 +139,8 @@ fn subjects() -> Vec<(Subject, ChannelSpec)> {
     out
 }
 
-/// One grid cell: run the fixed workload against `workers` × `clients`
-/// and collect cluster + gateway reports plus the wall time of the
-/// run-and-drain phase.
-fn run_cell(
-    workers: usize,
-    clients: usize,
-    bus_time: Duration,
-    seed: u64,
-    sink: Option<SharedTraceSink>,
-) -> (LiveReport, GatewayReport, f64) {
-    let cfg = ClusterConfig {
-        pace: Pace::Virtual,
-        nrt_queue_cap: 256,
-        trace: sink.is_some(),
-        trace_capacity: Some(TRACE_CAPACITY),
-        ..ClusterConfig::default()
-    };
-    let mut cluster = Cluster::new(cfg);
-    if let Some(s) = &sink {
-        cluster.use_sink(s.clone());
-    }
-    let topo = subjects();
+/// Spawn the fixed seven-node publisher workload onto `cluster`.
+fn spawn_sources(cluster: &mut Cluster, topo: &[(Subject, ChannelSpec)]) {
     let n0 = cluster.add_node(Box::new(HrtSource {
         counter: 0,
         period: Duration::from_ms(10),
@@ -177,6 +166,31 @@ fn run_cell(
         }));
         cluster.publish(node, subject, spec);
     }
+}
+
+/// One grid cell: run the fixed workload against `workers` × `clients`
+/// and collect cluster + gateway reports plus the wall time of the
+/// run-and-drain phase.
+fn run_cell(
+    workers: usize,
+    clients: usize,
+    bus_time: Duration,
+    seed: u64,
+    sink: Option<SharedTraceSink>,
+) -> (LiveReport, GatewayReport, f64) {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        nrt_queue_cap: 256,
+        trace: sink.is_some(),
+        trace_capacity: Some(TRACE_CAPACITY),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    if let Some(s) = &sink {
+        cluster.use_sink(s.clone());
+    }
+    let topo = subjects();
+    spawn_sources(&mut cluster, &topo);
 
     let gateway = Gateway::new(GatewayConfig {
         workers,
@@ -218,6 +232,122 @@ fn run_cell(
 /// Seed salt so each grid cell draws an independent client population.
 fn cell_salt(workers: usize, clients: usize) -> u64 {
     ((workers as u64) << 32) | clients as u64
+}
+
+/// Bus-time horizon of the reconnect storm (fixed: the storm's resume
+/// schedule sits at 60 ms, which must be inside the horizon).
+const STORM_BUS_MS: u64 = 100;
+
+/// Reconnect storm: every client is a *session* client whose link is
+/// severed after a seeded frame budget (losing a 2-frame in-flight
+/// tail), and all of them resume in one burst at 60 ms bus time. The
+/// row reports the wall-clock p99 of the replay-and-reattach path and
+/// how many bytes the session buffers replayed — the cost of crash
+/// tolerance at the off-bus tier.
+fn reconnect_storm(seed: u64, storm_clients: usize) -> (GatewayReport, usize, f64) {
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        nrt_queue_cap: 256,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let topo = subjects();
+    spawn_sources(&mut cluster, &topo);
+    let gateway = Gateway::new(GatewayConfig {
+        workers: 4,
+        client_queue_cap: QUEUE_CAP,
+        ..GatewayConfig::default()
+    });
+    for (subject, spec) in &topo {
+        gateway.bind(*subject, spec);
+    }
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5702_5702);
+    let mut clients = Vec::new();
+    let mut schedule = Vec::new();
+    for c in 0..storm_clients {
+        let a = rng.gen_range_u64(topo.len() as u64) as usize;
+        let mut b = rng.gen_range_u64(topo.len() as u64) as usize;
+        while b == a {
+            b = rng.gen_range_u64(topo.len() as u64) as usize;
+        }
+        let link = LinkChaos::new(LinkPlan {
+            seed: seed ^ c as u64,
+            severs: vec![10 + rng.gen_range_u64(30)],
+            lose_tail: 2,
+            delay_rate: 0.0,
+            ..LinkPlan::default()
+        });
+        let state = Arc::new(Mutex::new(ClientState::new(link)));
+        let id = gateway.reserve_client();
+        let token = gateway.open_session(id, &[topo[a].0, topo[b].0], None);
+        gateway.attach_session(
+            id,
+            Box::new(ChaosClientSink {
+                state: Arc::clone(&state),
+            }),
+        );
+        // One burst, microsecond-staggered so every resume has its own
+        // bus instant (and its own timer).
+        schedule.push(ResumeAction {
+            at: Duration::from_ms(60) + Duration::from_us(53 * c as u64),
+            client: c,
+        });
+        clients.push(ChaosClient { token, state });
+    }
+    let gw_node = cluster.add_node(gateway.behavior());
+    for (subject, spec) in &topo {
+        cluster.subscribe(gw_node, *subject, *spec);
+    }
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    cluster.add_node(Box::new(ResumeDriver {
+        gw: gateway.clone(),
+        schedule,
+        clients,
+        outcomes: Arc::clone(&outcomes),
+    }));
+    let wall = Instant::now();
+    cluster
+        .run_for(Duration::from_ms(STORM_BUS_MS))
+        .expect("reconnect storm run failed");
+    let gw = gateway.finish();
+    let wall_s = wall.elapsed().as_secs_f64();
+    let ok = outcomes
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter(|(_, r)| r.is_ok())
+        .count();
+    (gw, ok, wall_s)
+}
+
+/// The storm's JSON row inside the `"gateway"` section.
+fn storm_report(storm_clients: usize, gw: &GatewayReport, ok: usize, wall_s: f64) -> Value {
+    let mut walls = gw.resume_wall_ns.clone();
+    walls.sort_unstable();
+    let s = &gw.sessions;
+    Value::Obj(
+        vec![
+            ("clients", Value::num(storm_clients as f64)),
+            ("bus_ms", Value::num(STORM_BUS_MS as f64)),
+            ("resumes_ok", Value::num(ok as f64)),
+            ("resumed", Value::num(s.resumed as f64)),
+            ("gapped", Value::num(s.gapped as f64)),
+            (
+                "replayed_frames",
+                Value::num((s.replayed_hrt + s.replayed_srt + s.replayed_nrt) as f64),
+            ),
+            ("replay_bytes", Value::num(s.replay_bytes as f64)),
+            ("gap_frames", Value::num(s.gap_frames as f64)),
+            (
+                "resume_p99_us",
+                Value::num(round3(percentile_us(&walls, 0.99))),
+            ),
+            ("wall_ms", Value::num(round3(wall_s * 1e3))),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
 }
 
 struct CellRow {
@@ -361,7 +491,48 @@ pub fn run(cfg: &BenchConfig) -> i32 {
             rows.push(row);
         }
     }
-    let section = gateway_report(cfg, bus_time, &rows);
+
+    let storm_clients = if cfg.quick { 24 } else { 64 };
+    eprintln!(
+        "== gateway reconnect storm ({storm_clients} session clients, burst resume at 60 ms) =="
+    );
+    let (sgw, ok, swall) = reconnect_storm(cfg.seed, storm_clients);
+    let sess = sgw.sessions;
+    let mut walls = sgw.resume_wall_ns.clone();
+    walls.sort_unstable();
+    eprintln!(
+        "  {ok}/{storm_clients} resumes ok ({} resumed / {} gapped), replay {} frame(s) / {} byte(s), \
+         {} stale skip(s), {} gap frame(s)  p99 {:7.1} µs  {:8.2} ms wall",
+        sess.resumed,
+        sess.gapped,
+        sess.replayed_hrt + sess.replayed_srt + sess.replayed_nrt,
+        sess.replay_bytes,
+        sess.srt_stale_skipped,
+        sess.gap_frames,
+        percentile_us(&walls, 0.99),
+        swall * 1e3,
+    );
+    if ok != storm_clients {
+        eprintln!(
+            "bench gateway: {} of {storm_clients} resumes were refused",
+            storm_clients - ok
+        );
+        return 1;
+    }
+    if sess.replayed_hrt + sess.replayed_srt + sess.replayed_nrt == 0 {
+        eprintln!(
+            "bench gateway: the storm replayed nothing — severed tails never reached the ring?"
+        );
+        return 1;
+    }
+
+    let mut section = gateway_report(cfg, bus_time, &rows);
+    if let Value::Obj(fields) = &mut section {
+        fields.push((
+            "reconnect_storm".to_string(),
+            storm_report(storm_clients, &sgw, ok, swall),
+        ));
+    }
 
     // Merge under "gateway", preserving every other committed section.
     let mut root = std::fs::read_to_string(ENGINE_REPORT)
@@ -536,5 +707,23 @@ mod tests {
             back.get("schema").and_then(Value::as_str),
             Some("rtec-bench-gateway-v1")
         );
+    }
+
+    /// A small reconnect storm resumes every severed session, replays
+    /// the lost tails, and its JSON row round-trips.
+    #[test]
+    fn small_storm_resumes_everyone() {
+        let (gw, ok, wall) = reconnect_storm(7, 8);
+        assert_eq!(ok, 8, "a resume was refused: {:?}", gw.sessions);
+        assert_eq!(gw.sessions.resumed + gw.sessions.gapped, 8);
+        assert!(
+            gw.sessions.replayed_hrt + gw.sessions.replayed_srt + gw.sessions.replayed_nrt > 0,
+            "severed tails were never replayed"
+        );
+        assert_eq!(gw.resume_wall_ns.len(), 8);
+
+        let row = storm_report(8, &gw, ok, wall);
+        let back = json::parse(&row.to_pretty()).expect("storm row parses");
+        assert_eq!(back.get("resumes_ok").and_then(Value::as_f64), Some(8.0));
     }
 }

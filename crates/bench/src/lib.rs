@@ -18,6 +18,7 @@
 pub mod chaos_exp;
 pub mod experiments;
 pub mod gateway_perf;
+pub mod gw_chaos_exp;
 pub mod json;
 pub mod live_perf;
 pub mod parallel_perf;

@@ -1,4 +1,4 @@
-//! Trace-invariant auditing (rules `T1`..`T8`).
+//! Trace-invariant auditing (rules `T1`..`T9`).
 //!
 //! The auditor consumes the structured [`TraceEvent`] stream a
 //! simulation recorded and checks, post-hoc, that the protocol behaved
@@ -91,6 +91,7 @@ pub fn audit(ctx: &AuditContext, events: &[TraceEvent]) -> Report {
     audit_frag_contiguity(events, &mut rep);
     audit_priority_bands(ctx, events, &mut rep);
     audit_txnode(events, &mut rep);
+    audit_resume_safety(events, &mut rep);
     rep
 }
 
@@ -482,6 +483,66 @@ fn audit_txnode(events: &[TraceEvent], rep: &mut Report) {
                 ),
                 "nodes must stamp their own TxNode into every identifier",
             );
+        }
+    }
+}
+
+/// T9: gateway session resume must never duplicate or silently lose an
+/// HRT delivery (§3.2). Concretely: no `gw_gap` record may name the
+/// HRT class (gaps are legal only for SRT staleness sheds and NRT ring
+/// overruns), every `gw_gap` must be attributable to a `gw_resume` of
+/// the same client at or before it (gaps are only minted while a
+/// resume replays), and a resume whose verdict was `Resumed` (code 1 —
+/// the no-loss outcome) must report zero gap frames.
+fn audit_resume_safety(events: &[TraceEvent], rep: &mut Report) {
+    // Earliest resume instant per client; gaps can only trail one.
+    let mut first_resume: HashMap<u64, Time> = HashMap::new();
+    for ev in events.iter().filter(|e| e.kind == "gw_resume") {
+        let (Some(client), Some(verdict)) = (ev.field("client"), ev.field("verdict")) else {
+            continue;
+        };
+        first_resume
+            .entry(client)
+            .and_modify(|t| *t = (*t).min(ev.time))
+            .or_insert(ev.time);
+        let gaps = ev.field("gaps").unwrap_or(0);
+        if verdict == 1 && gaps != 0 {
+            rep.error_at(
+                RuleId::ResumeSafety,
+                ev.time,
+                format!(
+                    "client {client} resumed with verdict Resumed but the gateway \
+                     recorded {gaps} gap frame(s)"
+                ),
+                "a lossless resume must answer with verdict Gap when anything was dropped",
+            );
+        }
+    }
+    for ev in events.iter().filter(|e| e.kind == "gw_gap") {
+        let (Some(client), Some(class)) = (ev.field("client"), ev.field("class")) else {
+            continue;
+        };
+        if class == 0 {
+            rep.error_at(
+                RuleId::ResumeSafety,
+                ev.time,
+                format!("client {client} was sent a Gap notice for the HRT class"),
+                "HRT deliveries are never shed; replay them from the session buffer instead",
+            );
+        }
+        match first_resume.get(&client) {
+            Some(&at) if at <= ev.time => {}
+            _ => {
+                rep.error_at(
+                    RuleId::ResumeSafety,
+                    ev.time,
+                    format!(
+                        "client {client} was sent a Gap notice with no prior resume \
+                         on record"
+                    ),
+                    "gap notices may only be minted while a session resume replays",
+                );
+            }
         }
     }
 }

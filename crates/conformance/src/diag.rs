@@ -71,6 +71,10 @@ pub enum RuleId {
     /// The TxNode field of every transmitted identifier names the node
     /// that actually sent the frame.
     TxNodeMatchesSender,
+    /// Gateway session resume never duplicates or silently loses an
+    /// HRT delivery: every replay gap is explicitly NRT/SRT-class and
+    /// every gap notice belongs to an audited resume.
+    ResumeSafety,
 
     // ---- concurrency-hygiene source lints (rtec-live) ----
     /// Sync primitives must come from the `rtec_live::sync` facade, not
@@ -90,7 +94,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules: static configuration, then trace, then source lints.
-    pub const ALL: [RuleId; 22] = [
+    pub const ALL: [RuleId; 23] = [
         RuleId::SlotOverlap,
         RuleId::SlotSetupMargin,
         RuleId::PriorityBandPartition,
@@ -107,6 +111,7 @@ impl RuleId {
         RuleId::DuplicateContender,
         RuleId::PriorityBandConsistency,
         RuleId::TxNodeMatchesSender,
+        RuleId::ResumeSafety,
         RuleId::DirectStdSync,
         RuleId::UnboundedChannel,
         RuleId::UnwrappedSyncResult,
@@ -115,7 +120,7 @@ impl RuleId {
         RuleId::UnnamedThreadSpawn,
     ];
 
-    /// Stable short code (`S1`..`S8`, `T1`..`T8`, `C1`..`C6`).
+    /// Stable short code (`S1`..`S8`, `T1`..`T9`, `C1`..`C6`).
     pub fn code(self) -> &'static str {
         match self {
             RuleId::SlotOverlap => "S1",
@@ -134,6 +139,7 @@ impl RuleId {
             RuleId::DuplicateContender => "T6",
             RuleId::PriorityBandConsistency => "T7",
             RuleId::TxNodeMatchesSender => "T8",
+            RuleId::ResumeSafety => "T9",
             RuleId::DirectStdSync => "C1",
             RuleId::UnboundedChannel => "C2",
             RuleId::UnwrappedSyncResult => "C3",
@@ -163,6 +169,7 @@ impl RuleId {
             RuleId::DuplicateContender => "§3.5",
             RuleId::PriorityBandConsistency => "§3.3",
             RuleId::TxNodeMatchesSender => "§3.5",
+            RuleId::ResumeSafety => "§3.2",
             RuleId::DirectStdSync
             | RuleId::UnboundedChannel
             | RuleId::UnwrappedSyncResult
@@ -204,6 +211,9 @@ impl RuleId {
             }
             RuleId::TxNodeMatchesSender => {
                 "the TxNode identifier field must name the actual sender"
+            }
+            RuleId::ResumeSafety => {
+                "session resume replays HRT exactly once; gaps are explicit and non-HRT"
             }
             RuleId::DirectStdSync => "sync primitives must come from the rtec_live::sync facade",
             RuleId::UnboundedChannel => "runtime channels must be bounded",

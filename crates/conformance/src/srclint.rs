@@ -282,8 +282,11 @@ const RULES: &[TextRule] = &[
         // backoff, which stalls only the failing peer's wall clock.
         // `chaos.rs` is allowed: fault-plan delays are deliberate
         // wall-clock stalls that must not advance bus time.
+        // `reconnect.rs` is allowed: its sleeps are the gateway
+        // client's reconnect backoff, the same scheme as the UDP
+        // transport retry — only the disconnected client waits.
         needles: &["thread::sleep("],
-        allow_files: &["clock.rs", "udp.rs", "chaos.rs"],
+        allow_files: &["clock.rs", "udp.rs", "chaos.rs", "reconnect.rs"],
         unless_on_line: None,
         fix: "pace through clock::Pacer so Pace::Virtual skips the wait",
     },

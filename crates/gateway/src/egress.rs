@@ -101,6 +101,10 @@ pub struct LaneStats {
     pub fragments: u64,
     /// High-water mark of queued entries.
     pub peak: usize,
+    /// Shed counts already covered by a `Shed` notice, as
+    /// `(shed_nrt, shed_srt_cap, shed_srt_stale)` — lets the notice
+    /// path report deltas even across a detach/resume cycle.
+    pub shed_notified: [u64; 3],
 }
 
 /// Outcome of [`EgressQueue::push`].

@@ -13,27 +13,50 @@
 //! bounded [`EgressQueue`]s, sinks): no cross-worker locks, and a
 //! same-seed run replays every queueing and shedding decision exactly.
 //!
+//! # Sessions and crash tolerance
+//!
+//! A v2 client's session outlives its connection. When a sink dies
+//! (severed TCP link, killed client), the lane is *detached in place*:
+//! it stays inside its worker, keeps queueing events under its normal
+//! policies (so SRT still sheds stale, HRT is never dropped), and the
+//! session table remembers it for a bus-time TTL. A resuming client
+//! presents its token and per-class receive watermarks; the gateway
+//! replays exactly the in-flight suffix from the session's bounded
+//! replay ring (see `session.rs` for the per-class rules), reattaches
+//! every lane, and flushes what queued while the client was away. A
+//! gateway-*node* crash takes none of this down: the worker pool and
+//! session table live outside the node behavior, so the supervisor
+//! restarts the bus node and external clients resume against the new
+//! incarnation.
+//!
 //! Workers are spawned through the `rtec_live::sync` facade, so the
 //! loom model checker and the srclint C1–C6 rules cover this crate the
 //! same way they cover the broker and node threads.
 
-use crate::client::{ClientSinkSpec, SinkDigest, SinkHandle, SinkStatus};
+use crate::client::{ClientSink, ClientSinkSpec, SinkDigest, SinkHandle, SinkStatus};
 use crate::egress::{
     EgressEntry, EgressQueue, FlushItem, FlushVerdict, LaneStats, PushOutcome, SlowConsumerPolicy,
 };
 use crate::meter::Stopwatch;
-use crate::wire::{
-    self, BatchEntry, EventMsg, FragMsg, ToClient, REASON_SHUTDOWN, REASON_SLOW, REASON_STALE,
-};
+use crate::session::{compute_replay, ResumeClaim, SessionCore, SessionSink, SessionStore};
+use crate::wire::{self, BatchEntry, ClassWatermarks, EventMsg, FragMsg, Reason, ToClient};
 use rtec_core::event::Delivery;
 use rtec_core::{ChannelClass, ChannelSpec, Subject};
 use rtec_live::node::{Behavior, NodeCtx};
+use rtec_live::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rtec_live::sync::{mpsc, thread, Arc, Mutex};
 use rtec_sim::{SharedTraceSink, SourceId, Time};
 use std::collections::{BTreeMap, HashMap};
 
+pub use crate::session::SessionStats;
+pub use crate::wire::ResumeVerdict;
+
 /// Cap on wall-latency samples kept per shard (bench accounting only).
 const LAT_SAMPLE_CAP: usize = 1 << 14;
+
+/// Bounded `Busy` retries while replaying a resume suffix; a sink that
+/// stays busy this long is treated as dead and the resume aborts.
+const RESUME_OFFER_RETRIES: usize = 1 << 12;
 
 /// Gateway construction parameters.
 pub struct GatewayConfig {
@@ -50,6 +73,11 @@ pub struct GatewayConfig {
     pub ingress_depth: usize,
     /// Policy for clients that register without one of their own.
     pub default_policy: SlowConsumerPolicy,
+    /// How long (bus time) a detached session stays resumable.
+    pub session_ttl_ns: u64,
+    /// Per-class replay ring bound, in frames. Misses beyond it become
+    /// explicit `Gap` notices at resume.
+    pub resume_ring_cap: usize,
     /// Trace sink shared with the cluster (see `Cluster::use_sink`) so
     /// gateway records merge into the audited trace.
     pub sink: SharedTraceSink,
@@ -67,6 +95,8 @@ impl Default for GatewayConfig {
             frag_chunk: 256,
             ingress_depth: mpsc::DEFAULT_DEPTH,
             default_policy: SlowConsumerPolicy::ShedNrtFirst,
+            session_ttl_ns: 1_000_000_000,
+            resume_ring_cap: 128,
             sink: SharedTraceSink::disabled(),
             trace_verbose: false,
         }
@@ -97,6 +127,33 @@ struct IngressEvent {
     payload: Vec<u8>,
 }
 
+/// The client watermarks a resume repairs against: known up front (the
+/// wire handshake carries them), or resolved by the designated worker
+/// at its FIFO point — after the deregister that precedes it, when the
+/// old sink is dead and the counters are frozen — which is what makes
+/// a simulated resume deterministic.
+pub enum WmSource {
+    /// The watermarks as the client reported them.
+    Known(ClassWatermarks),
+    /// Resolve on the worker thread, at the resume's queue position.
+    Deferred(Box<dyn FnOnce() -> ClassWatermarks + Send>),
+}
+
+/// Everything the designated shard needs to run one resume.
+struct ResumeMsg {
+    client: u32,
+    incarnation: u32,
+    uids: Vec<u64>,
+    core: Arc<Mutex<SessionCore>>,
+    wm: WmSource,
+    /// Bus-time high-water mark captured at the caller — deterministic
+    /// when the caller is the gateway behavior thread.
+    now_ns: u64,
+    shared: Arc<Mutex<Box<dyn ClientSink>>>,
+    policy: SlowConsumerPolicy,
+    gate: Arc<AtomicBool>,
+}
+
 /// Worker mailbox messages.
 enum GwMsg {
     Register {
@@ -104,7 +161,22 @@ enum GwMsg {
         uids: Vec<u64>,
         sink: SinkHandle,
         policy: SlowConsumerPolicy,
+        /// Connection incarnation this sink belongs to; stale messages
+        /// (older incarnation than the lane's) are ignored.
+        incarnation: u32,
+        /// When set, hold the reattach until the designated shard has
+        /// finished replaying — fresh flushes must not overtake the
+        /// replayed suffix on the shared stream.
+        gate: Option<Arc<AtomicBool>>,
     },
+    Deregister {
+        client: u32,
+        /// `true` parks the lane (detach in place, session resumable);
+        /// `false` tears it down for good.
+        park: bool,
+        incarnation: u32,
+    },
+    Resume(Box<ResumeMsg>),
     Event(Box<IngressEvent>),
     Shutdown,
 }
@@ -207,6 +279,11 @@ pub struct GatewayReport {
     /// Client-observed wall latencies (ingress → sink accept), sorted.
     /// Wall-clock, so *not* part of the determinism contract.
     pub latencies_ns: Vec<u64>,
+    /// Session lifecycle and replay counters.
+    pub sessions: SessionStats,
+    /// Wall-clock resume durations (replay start → lane reattached).
+    /// Wall-clock, so *not* part of the determinism contract.
+    pub resume_wall_ns: Vec<u64>,
 }
 
 struct Inner {
@@ -215,7 +292,15 @@ struct Inner {
     senders: Mutex<Option<Vec<mpsc::SyncSender<GwMsg>>>>,
     handles: Mutex<Option<Vec<thread::JoinHandle<ShardReport>>>>,
     next_client: Mutex<u32>,
-    meta: Mutex<HashMap<u64, SubjectMeta>>,
+    meta: Arc<Mutex<HashMap<u64, SubjectMeta>>>,
+    sessions: Arc<Mutex<SessionStore>>,
+    /// Bus-time high-water mark over all deliveries: the session TTL
+    /// clock, advanced by the behavior thread.
+    now_wm: Arc<AtomicU64>,
+    /// Per-subject egress sequence counters. Shared (not per-behavior)
+    /// so sequence numbers keep counting across gateway-node restarts
+    /// — a resumed client must never see `seq` go backwards.
+    seqs: Arc<Mutex<HashMap<u64, u32>>>,
     sw: Stopwatch,
 }
 
@@ -226,11 +311,30 @@ pub struct Gateway {
     inner: Arc<Inner>,
 }
 
+/// Subject uids grouped by the shard that owns them.
+fn split_shards(uids: &[u64], workers: usize) -> BTreeMap<usize, Vec<u64>> {
+    let mut by_shard: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for &uid in uids {
+        by_shard
+            .entry(Subject::new(uid).shard_of(workers))
+            .or_default()
+            .push(uid);
+    }
+    by_shard
+}
+
 impl Gateway {
     /// Spawn the fanout workers and return the gateway handle.
     pub fn new(cfg: GatewayConfig) -> Gateway {
         let workers = cfg.workers.max(1);
         let sw = Stopwatch::start();
+        let now_wm = Arc::new(AtomicU64::new(0));
+        let sessions = Arc::new(Mutex::new(SessionStore::new(
+            cfg.session_ttl_ns,
+            cfg.resume_ring_cap,
+            Arc::clone(&now_wm),
+        )));
+        let meta: Arc<Mutex<HashMap<u64, SubjectMeta>>> = Arc::new(Mutex::new(HashMap::new()));
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
@@ -244,9 +348,12 @@ impl Gateway {
                 trace_verbose: cfg.trace_verbose,
                 subs: HashMap::new(),
                 lanes: HashMap::new(),
+                closed: Vec::new(),
                 watermark_ns: 0,
                 stats: ShardStats::default(),
                 latencies_ns: Vec::new(),
+                sessions: Arc::clone(&sessions),
+                meta: Arc::clone(&meta),
                 sw,
                 trace: cfg.sink.clone(),
                 src: cfg.sink.intern(&format!("gateway.shard{shard}")),
@@ -261,7 +368,27 @@ impl Gateway {
                                 uids,
                                 sink,
                                 policy,
-                            }) => state.register(client, uids, sink, policy),
+                                incarnation,
+                                gate,
+                            }) => {
+                                if let Some(gate) = gate {
+                                    // A resume is replaying on the
+                                    // designated shard: hold this
+                                    // reattach until the replayed
+                                    // suffix is on the stream, so a
+                                    // fresh flush cannot overtake it.
+                                    while !gate.load(Ordering::SeqCst) {
+                                        thread::yield_now();
+                                    }
+                                }
+                                state.register(client, uids, sink, policy, incarnation);
+                            }
+                            Ok(GwMsg::Deregister {
+                                client,
+                                park,
+                                incarnation,
+                            }) => state.deregister(client, park, incarnation),
+                            Ok(GwMsg::Resume(msg)) => state.resume(*msg),
                             Ok(GwMsg::Event(ev)) => state.on_event(&ev),
                             Ok(GwMsg::Shutdown) | Err(_) => break,
                         }
@@ -279,7 +406,10 @@ impl Gateway {
                 senders: Mutex::new(Some(senders)),
                 handles: Mutex::new(Some(handles)),
                 next_client: Mutex::new(0),
-                meta: Mutex::new(HashMap::new()),
+                meta,
+                sessions,
+                now_wm,
+                seqs: Arc::new(Mutex::new(HashMap::new())),
                 sw,
             }),
         }
@@ -347,7 +477,8 @@ impl Gateway {
     ///
     /// The subscription set is split by shard; each involved worker
     /// gets a `Register` message and mints the lane's sink from
-    /// `spec`. With no `policy` the gateway default applies.
+    /// `spec`. With no `policy` the gateway default applies. This is
+    /// the sessionless (v1) path: a dead sink tears the lane down.
     pub fn register_client(
         &self,
         client: u32,
@@ -356,30 +487,272 @@ impl Gateway {
         policy: Option<SlowConsumerPolicy>,
     ) {
         let policy = policy.unwrap_or(self.inner.default_policy);
-        let mut by_shard: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
-        for s in subjects {
-            by_shard
-                .entry(s.shard_of(self.inner.workers))
-                .or_default()
-                .push(s.uid());
-        }
+        let uids: Vec<u64> = subjects.iter().map(|s| s.uid()).collect();
         let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(senders) = senders.as_ref() {
-            for (shard, uids) in by_shard {
+            for (shard, uids) in split_shards(&uids, self.inner.workers) {
                 let sink = spec.instantiate(client, shard);
                 let _ = senders[shard].send(GwMsg::Register {
                     client,
                     uids,
                     sink,
                     policy,
+                    incarnation: 0,
+                    gate: None,
                 });
             }
         }
     }
 
+    /// Open a session for a reserved client: the gateway remembers its
+    /// subscriptions, policy and delivery watermarks across
+    /// disconnects, for the configured TTL. Returns the session token
+    /// (never 0). Delivery starts at [`Gateway::attach_session`].
+    pub fn open_session(
+        &self,
+        client: u32,
+        subjects: &[Subject],
+        policy: Option<SlowConsumerPolicy>,
+    ) -> u64 {
+        let policy = policy.unwrap_or(self.inner.default_policy);
+        let uids: Vec<u64> = subjects.iter().map(|s| s.uid()).collect();
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .open(client, uids, policy)
+    }
+
+    /// Attach a sink to an open session; delivery starts now. The sink
+    /// is wrapped in the session's frame accounting and shared across
+    /// the session's shards.
+    pub fn attach_session(&self, client: u32, sink: Box<dyn ClientSink>) {
+        let (uids, policy, core, incarnation) = {
+            let store = self
+                .inner
+                .sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let Some(e) = store.entry(client) else {
+                return;
+            };
+            (
+                e.subjects.clone(),
+                e.policy,
+                Arc::clone(&e.core),
+                e.incarnation,
+            )
+        };
+        let shared: Arc<Mutex<Box<dyn ClientSink>>> =
+            Arc::new(Mutex::new(Box::new(SessionSink::new(core, sink))));
+        let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(senders) = senders.as_ref() else {
+            return;
+        };
+        for (shard, uids) in split_shards(&uids, self.inner.workers) {
+            let _ = senders[shard].send(GwMsg::Register {
+                client,
+                uids,
+                sink: SinkHandle::Shared(Arc::clone(&shared)),
+                policy,
+                incarnation,
+                gate: None,
+            });
+        }
+    }
+
+    /// Validate a resume attempt and claim the session for a new
+    /// incarnation, *without* starting the replay — so a transport can
+    /// write `Welcome` (carrying the verdict) before any replayed
+    /// frame hits the stream. Follow with [`Gateway::commit_resume`]
+    /// or [`Gateway::abort_resume`].
+    ///
+    /// On `Err` the token is spent; the caller falls back to a fresh
+    /// session.
+    pub fn begin_resume(
+        &self,
+        token: u64,
+        wm: ClassWatermarks,
+    ) -> Result<ResumePending, ResumeVerdict> {
+        let claim = self
+            .inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .claim_resume(token)?;
+        // Sound preview: the old sink is dead (or about to be
+        // deregistered), so the sent counters it reads are what the
+        // replay will repair against.
+        let verdict = claim
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .preview(&wm);
+        Ok(ResumePending { claim, wm, verdict })
+    }
+
+    /// Start the replay and reattach the session's lanes to `sink`.
+    pub fn commit_resume(&self, pending: ResumePending, sink: Box<dyn ClientSink>) {
+        self.do_resume(pending.claim, WmSource::Known(pending.wm), sink);
+    }
+
+    /// The `Welcome` never reached the client: put the session back in
+    /// the detached state so the client can retry within the TTL.
+    pub fn abort_resume(&self, pending: ResumePending) {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .detach(pending.claim.client);
+    }
+
+    /// One-shot resume for in-process sinks: claim, replay, reattach.
+    /// Returns `(client, incarnation)` or the refusal verdict.
+    pub fn resume_session(
+        &self,
+        token: u64,
+        wm: WmSource,
+        sink: Box<dyn ClientSink>,
+    ) -> Result<(u32, u32), ResumeVerdict> {
+        let claim = self
+            .inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .claim_resume(token)?;
+        let out = (claim.client, claim.incarnation);
+        self.do_resume(claim, wm, sink);
+        Ok(out)
+    }
+
+    fn do_resume(&self, claim: ResumeClaim, wm: WmSource, sink: Box<dyn ClientSink>) {
+        let now_ns = self.inner.now_wm.load(Ordering::SeqCst);
+        let shared: Arc<Mutex<Box<dyn ClientSink>>> = Arc::new(Mutex::new(Box::new(
+            SessionSink::new(Arc::clone(&claim.core), sink),
+        )));
+        let mut by_shard = split_shards(&claim.subjects, self.inner.workers);
+        if by_shard.is_empty() {
+            by_shard.insert(0, Vec::new());
+        }
+        let designated = *by_shard.keys().next().expect("nonempty shard set");
+        let gate = Arc::new(AtomicBool::new(false));
+        let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(senders) = senders.as_ref() else {
+            return;
+        };
+        // Park every old lane first (FIFO per shard ⇒ the park lands
+        // before the reattach), then reattach: the designated shard
+        // replays, the rest wait on the gate.
+        for &shard in by_shard.keys() {
+            let _ = senders[shard].send(GwMsg::Deregister {
+                client: claim.client,
+                park: true,
+                incarnation: claim.incarnation.saturating_sub(1),
+            });
+        }
+        let mut wm = Some(wm);
+        for (shard, uids) in by_shard {
+            if shard == designated {
+                let _ = senders[shard].send(GwMsg::Resume(Box::new(ResumeMsg {
+                    client: claim.client,
+                    incarnation: claim.incarnation,
+                    uids,
+                    core: Arc::clone(&claim.core),
+                    wm: wm.take().expect("single designated shard"),
+                    now_ns,
+                    shared: Arc::clone(&shared),
+                    policy: claim.policy,
+                    gate: Arc::clone(&gate),
+                })));
+            } else {
+                let _ = senders[shard].send(GwMsg::Register {
+                    client: claim.client,
+                    uids,
+                    sink: SinkHandle::Shared(Arc::clone(&shared)),
+                    policy: claim.policy,
+                    incarnation: claim.incarnation,
+                    gate: Some(Arc::clone(&gate)),
+                });
+            }
+        }
+    }
+
+    /// A connection died under a live session: park its lanes and keep
+    /// the session resumable for the TTL. `incarnation` must be the
+    /// one the connection attached or resumed with — a stale detach
+    /// (the old reader noticing EOF after a fast reconnect already
+    /// resumed) is ignored.
+    pub fn detach_session(&self, client: u32, incarnation: u32) {
+        let uids = {
+            let mut store = self
+                .inner
+                .sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let Some((uids, inc)) = store
+                .entry(client)
+                .map(|e| (e.subjects.clone(), e.incarnation))
+            else {
+                return;
+            };
+            if inc != incarnation {
+                return;
+            }
+            store.detach(client);
+            uids
+        };
+        let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(senders) = senders.as_ref() else {
+            return;
+        };
+        for &shard in split_shards(&uids, self.inner.workers).keys() {
+            let _ = senders[shard].send(GwMsg::Deregister {
+                client,
+                park: true,
+                incarnation,
+            });
+        }
+    }
+
+    /// End a client for good (clean `Bye`): flush what its sink will
+    /// still take, tear its lanes down, and spend its session token.
+    /// Also the teardown path for sessionless (v1) clients.
+    pub fn close_session(&self, client: u32) {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .end(client, true);
+        let senders = self.inner.senders.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(senders) = senders.as_ref() {
+            for tx in senders.iter() {
+                let _ = tx.send(GwMsg::Deregister {
+                    client,
+                    park: false,
+                    incarnation: u32::MAX,
+                });
+            }
+        }
+    }
+
+    /// Live snapshot of the session counters (the final ones ride on
+    /// [`GatewayReport::sessions`]).
+    pub fn session_stats(&self) -> SessionStats {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+    }
+
     /// The cluster behavior for the gateway node. Bind every subject
     /// first ([`Gateway::bind`]); deliveries for unbound subjects are
     /// ignored.
+    ///
+    /// May be called once per gateway-*node* incarnation: sequence
+    /// counters and the TTL clock are shared across behaviors, so a
+    /// supervised restart of the bus node does not disturb client
+    /// sessions.
     pub fn behavior(&self) -> Box<dyn Behavior> {
         let senders = self
             .inner
@@ -397,7 +770,8 @@ impl Gateway {
         Box::new(GatewayBehavior {
             senders,
             meta,
-            seqs: HashMap::new(),
+            seqs: Arc::clone(&self.inner.seqs),
+            now_wm: Arc::clone(&self.inner.now_wm),
             workers: self.inner.workers,
             sw: self.inner.sw,
         })
@@ -459,7 +833,45 @@ impl Gateway {
         }
         out.lanes.sort_by_key(|l| (l.client, l.shard));
         out.latencies_ns.sort_unstable();
+        {
+            let store = self
+                .inner
+                .sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            out.sessions = store.stats;
+            out.resume_wall_ns = store.resume_wall_ns.clone();
+        }
         out
+    }
+}
+
+/// A resume claim waiting for its transport to finish the handshake.
+pub struct ResumePending {
+    claim: ResumeClaim,
+    wm: ClassWatermarks,
+    verdict: ResumeVerdict,
+}
+
+impl ResumePending {
+    /// The resumed client's id.
+    pub fn client(&self) -> u32 {
+        self.claim.client
+    }
+
+    /// The session token (unchanged across resumes).
+    pub fn token(&self) -> u64 {
+        self.claim.token
+    }
+
+    /// The new connection incarnation.
+    pub fn incarnation(&self) -> u32 {
+        self.claim.incarnation
+    }
+
+    /// The verdict the `Welcome` should carry.
+    pub fn verdict(&self) -> ResumeVerdict {
+        self.verdict
     }
 }
 
@@ -467,7 +879,8 @@ impl Gateway {
 struct GatewayBehavior {
     senders: Vec<mpsc::SyncSender<GwMsg>>,
     meta: HashMap<u64, SubjectMeta>,
-    seqs: HashMap<u64, u32>,
+    seqs: Arc<Mutex<HashMap<u64, u32>>>,
+    now_wm: Arc<AtomicU64>,
     workers: usize,
     sw: Stopwatch,
 }
@@ -479,12 +892,17 @@ impl Behavior for GatewayBehavior {
             return;
         };
         let seq = {
-            let s = self.seqs.entry(uid).or_insert(0);
+            let mut seqs = self.seqs.lock().unwrap_or_else(|e| e.into_inner());
+            let s = seqs.entry(uid).or_insert(0);
             let v = *s;
             *s += 1;
             v
         };
         let delivered_ns = delivery.delivered_at.as_ns();
+        // Single writer (the node thread); monotonic by construction.
+        if delivered_ns > self.now_wm.load(Ordering::SeqCst) {
+            self.now_wm.store(delivered_ns, Ordering::SeqCst);
+        }
         let ev = IngressEvent {
             uid,
             class: meta.class,
@@ -507,9 +925,13 @@ impl Behavior for GatewayBehavior {
 struct Lane {
     client: u32,
     queue: EgressQueue,
-    sink: SinkHandle,
+    /// `None` while detached: the connection died but the session is
+    /// resumable, so the queue keeps filling under its policies.
+    sink: Option<SinkHandle>,
     policy: SlowConsumerPolicy,
     gone: bool,
+    /// Connection incarnation the lane last (re)attached with.
+    incarnation: u32,
 }
 
 /// All of one fanout worker's state; owned by its thread.
@@ -523,9 +945,14 @@ struct WorkerState {
     trace_verbose: bool,
     subs: HashMap<u64, Vec<u32>>,
     lanes: HashMap<u32, Lane>,
+    /// Reports of lanes torn down mid-run (clean `Bye`), so their
+    /// counters still reach the final report.
+    closed: Vec<LaneReport>,
     watermark_ns: u64,
     stats: ShardStats,
     latencies_ns: Vec<u64>,
+    sessions: Arc<Mutex<SessionStore>>,
+    meta: Arc<Mutex<HashMap<u64, SubjectMeta>>>,
     sw: Stopwatch,
     trace: SharedTraceSink,
     src: SourceId,
@@ -538,6 +965,7 @@ impl WorkerState {
         uids: Vec<u64>,
         sink: SinkHandle,
         policy: SlowConsumerPolicy,
+        incarnation: u32,
     ) {
         for uid in uids {
             let subs = self.subs.entry(uid).or_default();
@@ -545,13 +973,187 @@ impl WorkerState {
                 subs.push(client);
             }
         }
-        self.lanes.entry(client).or_insert_with(|| Lane {
-            client,
-            queue: EgressQueue::new(self.cap),
-            sink,
-            policy,
-            gone: false,
+        if let Some(lane) = self.lanes.get_mut(&client) {
+            if incarnation < lane.incarnation {
+                return; // stale reattach from a superseded connection
+            }
+            lane.incarnation = incarnation;
+            lane.policy = policy;
+            if lane.gone {
+                return;
+            }
+            lane.sink = Some(sink);
+            // Release what queued while the lane was detached.
+            self.flush_and_settle(client);
+        } else {
+            self.lanes.insert(
+                client,
+                Lane {
+                    client,
+                    queue: EgressQueue::new(self.cap),
+                    sink: Some(sink),
+                    policy,
+                    gone: false,
+                    incarnation,
+                },
+            );
+        }
+    }
+
+    fn deregister(&mut self, client: u32, park: bool, incarnation: u32) {
+        let Some(lane) = self.lanes.get_mut(&client) else {
+            return;
+        };
+        if incarnation < lane.incarnation {
+            return; // a newer incarnation owns this lane now
+        }
+        if park {
+            lane.sink = None;
+            return;
+        }
+        if !lane.gone {
+            let Lane { queue, sink, .. } = lane;
+            if let Some(s) = sink.as_mut() {
+                // Last call: drain what the sink will still take, then
+                // say goodbye.
+                flush_sink(
+                    queue,
+                    s,
+                    self.watermark_ns,
+                    self.batch_max,
+                    &self.sw,
+                    &mut self.latencies_ns,
+                );
+                let _ = s.offer(&wire::encode_to_client(&ToClient::Disconnect {
+                    reason: Reason::Shutdown,
+                }));
+            }
+        }
+        let mut lane = self.lanes.remove(&client).expect("lane just borrowed");
+        lane.queue.stats.peak = lane.queue.stats.peak.max(lane.queue.len());
+        self.stats.undelivered += lane.queue.drain_remaining() as u64;
+        for subs in self.subs.values_mut() {
+            subs.retain(|&c| c != client);
+        }
+        self.closed.push(LaneReport {
+            client: lane.client,
+            shard: self.shard,
+            stats: lane.queue.stats,
+            digest: lane.sink.as_ref().and_then(|s| s.digest()),
+            gone: lane.gone,
         });
+    }
+
+    /// Run one resume on its designated shard: replay the missing
+    /// suffix through the shared sink, reattach the local lane, flush
+    /// the backlog, then open the gate for the session's other shards.
+    fn resume(&mut self, msg: ResumeMsg) {
+        let start_wall = self.sw.elapsed_ns();
+        let wm = match msg.wm {
+            WmSource::Known(wm) => wm,
+            WmSource::Deferred(f) => f(),
+        };
+        let plan = {
+            let meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+            let core = msg.core.lock().unwrap_or_else(|e| e.into_inner());
+            compute_replay(
+                &core,
+                |uid| meta.get(&uid).and_then(|m| m.stale_ns),
+                msg.now_ns,
+                &wm,
+            )
+        };
+        let offer = |bytes: &[u8]| -> bool {
+            let mut tries = 0usize;
+            loop {
+                let status = msg
+                    .shared
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .offer(bytes);
+                match status {
+                    SinkStatus::Accepted => return true,
+                    SinkStatus::Busy if tries < RESUME_OFFER_RETRIES => {
+                        tries += 1;
+                        thread::yield_now();
+                    }
+                    _ => return false,
+                }
+            }
+        };
+        let mut dead = false;
+        for (_, _, bytes) in &plan.notices {
+            if !offer(bytes) {
+                dead = true;
+                break;
+            }
+        }
+        if !dead {
+            for frame in &plan.frames {
+                if !offer(frame) {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        for uid in &msg.uids {
+            let subs = self.subs.entry(*uid).or_default();
+            if !subs.contains(&msg.client) {
+                subs.push(msg.client);
+            }
+        }
+        let lane = self.lanes.entry(msg.client).or_insert_with(|| Lane {
+            client: msg.client,
+            queue: EgressQueue::new(self.cap),
+            sink: None,
+            policy: msg.policy,
+            gone: false,
+            incarnation: msg.incarnation,
+        });
+        lane.incarnation = msg.incarnation;
+        lane.policy = msg.policy;
+        lane.gone = false;
+        lane.sink = if dead {
+            None
+        } else {
+            Some(SinkHandle::Shared(Arc::clone(&msg.shared)))
+        };
+        if !dead {
+            self.flush_and_settle(msg.client);
+        }
+        let wall_ns = self.sw.elapsed_ns().saturating_sub(start_wall);
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resume_done(msg.client, &plan, wall_ns, dead);
+        let at = Time::from_ns(msg.now_ns.max(self.watermark_ns));
+        self.trace.emit_fields(
+            at,
+            self.src,
+            "gw_resume",
+            &[
+                ("client", u64::from(msg.client)),
+                ("verdict", u64::from(plan.verdict.code())),
+                ("replayed", plan.replayed.iter().sum::<u64>()),
+                ("gaps", plan.gap_frames),
+                ("stale", plan.stale_skipped),
+            ],
+        );
+        for (class, count, _) in &plan.notices {
+            self.trace.emit_fields(
+                at,
+                self.src,
+                "gw_gap",
+                &[
+                    ("client", u64::from(msg.client)),
+                    ("class", class_field(*class)),
+                    ("count", u64::from(*count)),
+                ],
+            );
+        }
+        // Always opened, even on abort — the session's other shards
+        // must never spin forever.
+        msg.gate.store(true, Ordering::SeqCst);
     }
 
     fn on_event(&mut self, ev: &IngressEvent) {
@@ -591,36 +1193,47 @@ impl WorkerState {
             ],
         );
         for client in subscribers {
-            let Some(lane) = self.lanes.get_mut(&client) else {
-                continue;
-            };
-            if lane.gone {
-                continue;
-            }
-            let before = shed_counts(&lane.queue.stats);
-            let mut disconnect = false;
-            for entry in &entries {
-                match lane
-                    .queue
-                    .push(entry.clone(), lane.policy, self.watermark_ns)
-                {
-                    PushOutcome::Queued | PushOutcome::Shed => {}
-                    PushOutcome::Disconnect => {
-                        disconnect = true;
-                        break;
+            let disconnect = {
+                let Some(lane) = self.lanes.get_mut(&client) else {
+                    continue;
+                };
+                if lane.gone {
+                    continue;
+                }
+                let mut disconnect = false;
+                for entry in &entries {
+                    match lane
+                        .queue
+                        .push(entry.clone(), lane.policy, self.watermark_ns)
+                    {
+                        PushOutcome::Queued | PushOutcome::Shed => {}
+                        PushOutcome::Disconnect => {
+                            disconnect = true;
+                            break;
+                        }
                     }
                 }
-            }
+                disconnect
+            };
             if disconnect {
-                let _ = lane
-                    .sink
-                    .offer(&wire::encode_to_client(&ToClient::Disconnect {
-                        reason: REASON_SLOW,
+                // A policy kill ends the session for good — a consumer
+                // too slow while connected would only fall further
+                // behind across a resume.
+                let lane = self.lanes.get_mut(&client).expect("lane just borrowed");
+                if let Some(sink) = lane.sink.as_mut() {
+                    let _ = sink.offer(&wire::encode_to_client(&ToClient::Disconnect {
+                        reason: Reason::Slow,
                     }));
+                }
                 lane.gone = true;
+                lane.sink = None;
                 lane.queue.stats.peak = lane.queue.stats.peak.max(lane.queue.len());
                 self.stats.undelivered += lane.queue.drain_remaining() as u64;
                 self.stats.disconnects += 1;
+                self.sessions
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .end(client, false);
                 if self.trace_verbose {
                     self.trace.emit_fields(
                         Time::from_ns(ev.delivered_ns),
@@ -628,67 +1241,103 @@ impl WorkerState {
                         "gw_disconnect",
                         &[
                             ("client", u64::from(client)),
-                            ("reason", u64::from(REASON_SLOW)),
+                            ("reason", u64::from(Reason::Slow.code())),
                         ],
                     );
                 }
                 continue;
             }
-            notify_sheds(
-                lane,
-                before,
-                ev.delivered_ns,
-                self.trace_verbose,
-                &self.trace,
-                self.src,
-            );
-            flush_lane(
-                lane,
+            if let Some(lane) = self.lanes.get_mut(&client) {
+                notify_sheds(
+                    lane,
+                    ev.delivered_ns,
+                    self.trace_verbose,
+                    &self.trace,
+                    self.src,
+                );
+            }
+            self.flush_and_settle(client);
+        }
+    }
+
+    /// Flush a lane's queue into its sink (if attached) and settle the
+    /// outcome: a dead sink parks a resumable session's lane in place,
+    /// or tears a sessionless lane down the legacy way.
+    fn flush_and_settle(&mut self, client: u32) {
+        let alive = {
+            let Some(lane) = self.lanes.get_mut(&client) else {
+                return;
+            };
+            if lane.gone {
+                return;
+            }
+            let Lane { queue, sink, .. } = lane;
+            let Some(s) = sink.as_mut() else {
+                return;
+            };
+            flush_sink(
+                queue,
+                s,
                 self.watermark_ns,
                 self.batch_max,
                 &self.sw,
                 &mut self.latencies_ns,
-            );
-            if lane.gone {
-                self.stats.undelivered += lane.queue.drain_remaining() as u64;
-                self.stats.disconnects += 1;
-            }
+            )
+        };
+        if alive {
+            return;
+        }
+        let park = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .detach(client);
+        let lane = self.lanes.get_mut(&client).expect("lane just flushed");
+        lane.sink = None;
+        if !park {
+            lane.gone = true;
+            lane.queue.stats.peak = lane.queue.stats.peak.max(lane.queue.len());
+            self.stats.undelivered += lane.queue.drain_remaining() as u64;
+            self.stats.disconnects += 1;
         }
     }
 
     fn finish(mut self) -> ShardReport {
         let mut clients: Vec<u32> = self.lanes.keys().copied().collect();
         clients.sort_unstable();
-        let mut lanes = Vec::with_capacity(clients.len());
+        let mut lanes = std::mem::take(&mut self.closed);
         for client in clients {
             let Some(mut lane) = self.lanes.remove(&client) else {
                 continue;
             };
             if !lane.gone {
-                // Last call: drain what the sink will still take, then
-                // say goodbye.
-                flush_lane(
-                    &mut lane,
-                    u64::MAX,
-                    self.batch_max,
-                    &self.sw,
-                    &mut self.latencies_ns,
-                );
-                let _ = lane
-                    .sink
-                    .offer(&wire::encode_to_client(&ToClient::Disconnect {
-                        reason: REASON_SHUTDOWN,
+                let Lane { queue, sink, .. } = &mut lane;
+                if let Some(s) = sink.as_mut() {
+                    // Last call: drain what the sink will still take,
+                    // then say goodbye.
+                    flush_sink(
+                        queue,
+                        s,
+                        u64::MAX,
+                        self.batch_max,
+                        &self.sw,
+                        &mut self.latencies_ns,
+                    );
+                    let _ = s.offer(&wire::encode_to_client(&ToClient::Disconnect {
+                        reason: Reason::Shutdown,
                     }));
+                }
             }
             self.stats.undelivered += lane.queue.drain_remaining() as u64;
             lanes.push(LaneReport {
                 client: lane.client,
                 shard: self.shard,
                 stats: lane.queue.stats,
-                digest: lane.sink.digest(),
+                digest: lane.sink.as_ref().and_then(|s| s.digest()),
                 gone: lane.gone,
             });
         }
+        lanes.sort_by_key(|l| (l.client, l.shard));
         let delivered: u64 = lanes.iter().map(|l| l.stats.delivered_msgs).sum();
         let shed: u64 = lanes
             .iter()
@@ -721,28 +1370,34 @@ fn shed_counts(stats: &LaneStats) -> (u64, u64, u64) {
     (stats.shed_nrt, stats.shed_srt_cap, stats.shed_srt_stale)
 }
 
-/// Offer best-effort `Shed` notices covering what the last push round
-/// dropped, so clients observe the gap instead of silence — one notice
-/// per (class, reason), so an SRT pressure shed is never reported as
-/// NRT.
+/// Offer best-effort `Shed` notices covering what this lane has shed
+/// since the last notice round, so clients observe the gap instead of
+/// silence — one notice per (class, reason), so an SRT pressure shed
+/// is never reported as NRT. A detached lane sends nothing (its sheds
+/// surface through watermark accounting at resume).
 fn notify_sheds(
     lane: &mut Lane,
-    before: (u64, u64, u64),
     at_ns: u64,
     verbose: bool,
     trace: &SharedTraceSink,
     src: SourceId,
 ) {
     let (nrt, srt_cap, srt_stale) = shed_counts(&lane.queue.stats);
-    for (count, class, reason) in [
-        (nrt - before.0, ChannelClass::Nrt, REASON_SLOW),
-        (srt_cap - before.1, ChannelClass::Srt, REASON_SLOW),
-        (srt_stale - before.2, ChannelClass::Srt, REASON_STALE),
-    ] {
+    let notified = &mut lane.queue.stats.shed_notified;
+    let deltas = [
+        (nrt - notified[0], ChannelClass::Nrt, Reason::Slow),
+        (srt_cap - notified[1], ChannelClass::Srt, Reason::Slow),
+        (srt_stale - notified[2], ChannelClass::Srt, Reason::Stale),
+    ];
+    let Some(sink) = lane.sink.as_mut() else {
+        return;
+    };
+    let notified_now = [nrt, srt_cap, srt_stale];
+    for (count, class, reason) in deltas {
         if count == 0 {
             continue;
         }
-        let _ = lane.sink.offer(&wire::encode_to_client(&ToClient::Shed {
+        let _ = sink.offer(&wire::encode_to_client(&ToClient::Shed {
             class,
             reason,
             count: count.min(u64::from(u32::MAX)) as u32,
@@ -755,26 +1410,27 @@ fn notify_sheds(
                 &[
                     ("client", u64::from(lane.client)),
                     ("class", class_field(class)),
-                    ("reason", u64::from(reason)),
+                    ("reason", u64::from(reason.code())),
                     ("count", count),
                 ],
             );
         }
     }
+    lane.queue.stats.shed_notified = notified_now;
 }
 
-/// Drain a lane into its sink, recording accept latencies.
-fn flush_lane(
-    lane: &mut Lane,
+/// Drain a lane's queue into a sink, recording accept latencies.
+/// Returns `false` when the sink reported itself gone (nothing is
+/// popped in that case — see [`EgressQueue::flush`]).
+fn flush_sink(
+    queue: &mut EgressQueue,
+    sink: &mut SinkHandle,
     watermark: u64,
     batch_max: usize,
     sw: &Stopwatch,
     latencies: &mut Vec<u64>,
-) {
-    let Lane {
-        queue, sink, gone, ..
-    } = lane;
-    let alive = queue.flush(watermark, batch_max, |item| {
+) -> bool {
+    queue.flush(watermark, batch_max, |item| {
         let (bytes, stamps): (std::borrow::Cow<'_, [u8]>, Vec<u64>) = match &item {
             FlushItem::Single(e) => (
                 std::borrow::Cow::Borrowed(e.encoded.as_slice()),
@@ -812,10 +1468,7 @@ fn flush_lane(
             SinkStatus::Busy => FlushVerdict::Blocked,
             SinkStatus::Gone => FlushVerdict::Lost,
         }
-    });
-    if !alive {
-        *gone = true;
-    }
+    })
 }
 
 /// Timeliness class as a trace field value.
@@ -963,37 +1616,40 @@ mod tests {
         let mut lane = Lane {
             client: 0,
             queue: EgressQueue::new(4),
-            sink: SinkHandle::Own(Box::new(Rec(Arc::clone(&msgs)))),
+            sink: Some(SinkHandle::Own(Box::new(Rec(Arc::clone(&msgs))))),
             policy: SlowConsumerPolicy::ShedNrtFirst,
             gone: false,
+            incarnation: 0,
         };
-        let before = shed_counts(&lane.queue.stats);
         lane.queue.stats.shed_nrt += 3;
         lane.queue.stats.shed_srt_cap += 2;
         lane.queue.stats.shed_srt_stale += 1;
         let sink = SharedTraceSink::disabled();
         let src = sink.intern("test");
-        notify_sheds(&mut lane, before, 0, false, &sink, src);
+        notify_sheds(&mut lane, 0, false, &sink, src);
         let got = msgs.lock().unwrap_or_else(|e| e.into_inner()).clone();
         assert_eq!(
             got,
             vec![
                 ToClient::Shed {
                     class: ChannelClass::Nrt,
-                    reason: REASON_SLOW,
+                    reason: Reason::Slow,
                     count: 3
                 },
                 ToClient::Shed {
                     class: ChannelClass::Srt,
-                    reason: REASON_SLOW,
+                    reason: Reason::Slow,
                     count: 2
                 },
                 ToClient::Shed {
                     class: ChannelClass::Srt,
-                    reason: REASON_STALE,
+                    reason: Reason::Stale,
                     count: 1
                 },
             ]
         );
+        // A second round with no new sheds is silent.
+        notify_sheds(&mut lane, 0, false, &sink, src);
+        assert_eq!(msgs.lock().unwrap_or_else(|e| e.into_inner()).len(), 3);
     }
 }

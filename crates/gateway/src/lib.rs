@@ -33,9 +33,17 @@ pub mod egress;
 pub mod gateway;
 pub mod meter;
 pub mod net;
+pub mod reconnect;
+pub mod session;
 pub mod wire;
 
 pub use client::{ClientSink, ClientSinkSpec, SimClientSink, SinkDigest, SinkStatus};
 pub use egress::{EgressQueue, LaneStats, SlowConsumerPolicy};
-pub use gateway::{Gateway, GatewayConfig, GatewayReport, GatewayStats, LaneReport, ShardStats};
+pub use gateway::{
+    Gateway, GatewayConfig, GatewayReport, GatewayStats, LaneReport, ResumePending, ShardStats,
+    WmSource,
+};
 pub use net::{Acceptor, GatewayClient};
+pub use reconnect::{ReconnectPolicy, ReconnectStats, ReconnectingClient, Target};
+pub use session::SessionStats;
+pub use wire::{ClassWatermarks, Reason, ResumeReq, ResumeVerdict, SessionInfo};

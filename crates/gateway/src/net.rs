@@ -4,14 +4,23 @@
 //! handshaken inline (read `Hello`, then that many `Subscribe` frames,
 //! under a read timeout so a stalled half-open connection cannot wedge
 //! accepting), answered with `Welcome`, and only then registered with
-//! the gateway behind a [`ClientSinkSpec::Shared`] stream sink — so
-//! `Welcome` is always the first frame on the wire. Fanout workers
-//! then write frames through the shared sink; a write timeout before
-//! any byte of a frame goes out maps to [`SinkStatus::Busy`] so a
-//! stalled client builds backpressure into its bounded lane queue —
-//! where the shedding policies, not the socket, decide what gives —
-//! while a frame caught mid-write is buffered and finished on the next
-//! offer, keeping the client's length-prefixed framing intact.
+//! the gateway behind a shared stream sink — so `Welcome` is always
+//! the first frame on the wire. Fanout workers then write frames
+//! through the shared sink; a write timeout before any byte of a frame
+//! goes out maps to [`SinkStatus::Busy`] so a stalled client builds
+//! backpressure into its bounded lane queue — where the shedding
+//! policies, not the socket, decide what gives — while a frame caught
+//! mid-write is buffered and finished on the next offer, keeping the
+//! client's length-prefixed framing intact.
+//!
+//! A v2 `Hello` may carry a session token and per-class delivery
+//! watermarks: the gateway then *resumes* the session — `Welcome`
+//! answers with the verdict, and the missing frame suffix replays
+//! right behind it (see `session.rs`). A v1 `Hello` gets the legacy
+//! sessionless path. Each admitted connection also gets a reader
+//! thread watching for `Bye` (clean close: lanes flush and the session
+//! token is spent) versus EOF or an error (sever: lanes park and the
+//! session stays resumable for the TTL).
 //!
 //! Shutdown never sleeps or polls: `stop()` raises a flag and then
 //! *connects* to the listener once, so the blocking `accept()` returns
@@ -21,12 +30,14 @@
 use crate::client::{ClientSink, ClientSinkSpec, SinkStatus};
 use crate::egress::SlowConsumerPolicy;
 use crate::gateway::Gateway;
-use crate::wire::{self, ToClient, ToGateway};
-use rtec_core::Subject;
+use crate::wire::{
+    self, ClassWatermarks, ResumeReq, ResumeVerdict, SessionInfo, ToClient, ToGateway,
+};
+use rtec_core::{ChannelClass, Subject};
 use rtec_live::sync::atomic::{AtomicBool, Ordering};
 use rtec_live::sync::{thread, Arc, Mutex};
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
@@ -37,6 +48,11 @@ use std::time::Duration as StdDuration;
 const HANDSHAKE_TIMEOUT: StdDuration = StdDuration::from_secs(2);
 /// Write timeout after which a client counts as busy (not gone).
 const WRITE_TIMEOUT: StdDuration = StdDuration::from_millis(20);
+/// How long a departing client waits for the gateway to close the
+/// stream after its `Bye`.
+const BYE_DRAIN_TIMEOUT: StdDuration = StdDuration::from_secs(1);
+/// Most in-flight frames a departing client will drain after `Bye`.
+const BYE_DRAIN_FRAMES: usize = 1024;
 
 /// A [`ClientSink`] writing length-prefixed frames to a stream.
 ///
@@ -143,6 +159,9 @@ trait Stream: io::Read + Write + Send + Sized + 'static {
     fn configure(&self) -> io::Result<()>;
     /// A second handle onto the same connection (reader/writer split).
     fn try_clone_stream(&self) -> io::Result<Self>;
+    /// Lift the handshake read timeout: the post-handshake reader
+    /// blocks until the client sends `Bye` or the connection dies.
+    fn clear_read_timeout(&self) -> io::Result<()>;
 }
 
 impl Stream for TcpStream {
@@ -154,6 +173,9 @@ impl Stream for TcpStream {
     fn try_clone_stream(&self) -> io::Result<Self> {
         self.try_clone()
     }
+    fn clear_read_timeout(&self) -> io::Result<()> {
+        self.set_read_timeout(None)
+    }
 }
 
 #[cfg(unix)]
@@ -164,6 +186,9 @@ impl Stream for UnixStream {
     }
     fn try_clone_stream(&self) -> io::Result<Self> {
         self.try_clone()
+    }
+    fn clear_read_timeout(&self) -> io::Result<()> {
+        self.set_read_timeout(None)
     }
 }
 
@@ -285,11 +310,21 @@ impl Acceptor {
 }
 
 /// Handshake one accepted connection and register it as a client.
+///
+/// A v2 `Hello` with a resume token first tries to resume the session;
+/// on refusal (unknown token, ended, TTL elapsed) the connection falls
+/// back to a fresh session and the `Welcome` verdict says `Expired` so
+/// the client knows its watermarks are void. A resume `Hello` still
+/// lists its subscriptions — they are used only on that fresh-session
+/// fallback; a resumed session keeps the set it was opened with.
 fn admit<S: Stream>(gateway: &Gateway, stream: S, policy: SlowConsumerPolicy) -> io::Result<()> {
     stream.configure()?;
     let mut reader = stream.try_clone_stream()?;
-    let subs = match next_msg(&mut reader)? {
-        Some(ToGateway::Hello { subs }) => subs,
+    let first = wire::read_frame(&mut reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no Hello"))?;
+    let v2 = wire::frame_version(&first).is_some_and(|v| v >= 2);
+    let (subs, resume) = match decode_msg(&first)? {
+        ToGateway::Hello { subs, resume } => (subs, resume),
         _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "expected Hello")),
     };
     let mut subjects = Vec::with_capacity(usize::from(subs));
@@ -305,20 +340,110 @@ fn admit<S: Stream>(gateway: &Gateway, stream: S, policy: SlowConsumerPolicy) ->
         }
     }
     let sink: Box<dyn ClientSink> = Box::new(StreamSink::new(stream.try_clone_stream()?));
-    let spec = ClientSinkSpec::Shared(Arc::new(Mutex::new(sink)));
     // Welcome must be the first frame on the stream, wholly written
     // before any fanout worker can address this client's sink — so the
-    // id is reserved up front and registration (which is what lets
-    // workers start writing Event frames) happens only after the
-    // handshake reply is out.
-    let client = gateway.reserve_client();
+    // id is reserved (or the resume claimed) up front, and the step
+    // that lets workers write (attach/commit/register) happens only
+    // after the handshake reply is out.
     let mut out = stream;
-    wire::write_frame(
+    let resume_attempted = resume.is_some();
+    if let Some(req) = resume {
+        if let Ok(pending) = gateway.begin_resume(req.token, req.wm) {
+            let (client, incarnation) = (pending.client(), pending.incarnation());
+            let welcome = ToClient::Welcome {
+                client,
+                now_ns: 0,
+                session: Some(SessionInfo {
+                    token: pending.token(),
+                    verdict: pending.verdict(),
+                }),
+            };
+            if let Err(e) = wire::write_frame(&mut out, &wire::encode_to_client(&welcome)) {
+                gateway.abort_resume(pending);
+                return Err(e);
+            }
+            gateway.commit_resume(pending, sink);
+            out.clear_read_timeout()?;
+            spawn_reader(gateway.clone(), reader, client, Some(incarnation));
+            return Ok(());
+        }
+        // Token refused: fall through to a fresh session.
+    }
+    let client = gateway.reserve_client();
+    let session = if v2 {
+        let token = gateway.open_session(client, &subjects, Some(policy));
+        Some(SessionInfo {
+            token,
+            verdict: if resume_attempted {
+                ResumeVerdict::Expired
+            } else {
+                ResumeVerdict::Fresh
+            },
+        })
+    } else {
+        None
+    };
+    if let Err(e) = wire::write_frame(
         &mut out,
-        &wire::encode_to_client(&ToClient::Welcome { client, now_ns: 0 }),
-    )?;
-    gateway.register_client(client, &subjects, &spec, Some(policy));
+        &wire::encode_to_client(&ToClient::Welcome {
+            client,
+            now_ns: 0,
+            session,
+        }),
+    ) {
+        if v2 {
+            // The token never reached the client; spend it.
+            gateway.close_session(client);
+        }
+        return Err(e);
+    }
+    if v2 {
+        gateway.attach_session(client, sink);
+    } else {
+        let spec = ClientSinkSpec::Shared(Arc::new(Mutex::new(sink)));
+        gateway.register_client(client, &subjects, &spec, Some(policy));
+    }
+    out.clear_read_timeout()?;
+    spawn_reader(
+        gateway.clone(),
+        reader,
+        client,
+        if v2 { Some(0) } else { None },
+    );
     Ok(())
+}
+
+/// Watch one admitted connection for its close: `Bye` ends the client
+/// cleanly (lanes flush, session token spent), EOF or an error parks a
+/// session's lanes for resume — a sessionless (v1) client just ends.
+fn spawn_reader<R: io::Read + Send + 'static>(
+    gateway: Gateway,
+    mut reader: R,
+    client: u32,
+    session_incarnation: Option<u32>,
+) {
+    let _ = thread::Builder::new()
+        .name(format!("gw-client-{client}"))
+        .spawn(move || loop {
+            match wire::read_frame(&mut reader) {
+                Ok(Some(frame)) => {
+                    if matches!(wire::decode_to_gateway(&frame), Ok(ToGateway::Bye)) {
+                        gateway.close_session(client);
+                        return;
+                    }
+                    // Anything else post-handshake is ignored.
+                }
+                Ok(None) | Err(_) => {
+                    // Severed (or half-closed without Bye): park the
+                    // session if there is one, end the lane otherwise.
+                    match session_incarnation {
+                        Some(inc) => gateway.detach_session(client, inc),
+                        None => gateway.close_session(client),
+                    }
+                    return;
+                }
+            }
+        });
 }
 
 /// Read and decode the next client → gateway frame.
@@ -326,20 +451,54 @@ fn next_msg<R: io::Read>(r: &mut R) -> io::Result<Option<ToGateway>> {
     let Some(frame) = wire::read_frame(r)? else {
         return Ok(None);
     };
-    wire::decode_to_gateway(&frame)
-        .map(Some)
+    decode_msg(&frame).map(Some)
+}
+
+/// Decode one client → gateway frame.
+fn decode_msg(frame: &[u8]) -> io::Result<ToGateway> {
+    wire::decode_to_gateway(frame)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
 }
 
 /// The client side of either stream family, as one trait object.
-trait ClientStream: io::Read + Write + Send {}
-impl<T: io::Read + Write + Send> ClientStream for T {}
+trait ClientStream: io::Read + Write + Send {
+    /// Half-close: no more writes; reads still drain what the gateway
+    /// has in flight.
+    fn shutdown_write(&mut self) -> io::Result<()>;
+    /// Bound blocking reads (`None` blocks forever).
+    fn set_read_timeout_opt(&self, dur: Option<StdDuration>) -> io::Result<()>;
+}
+
+impl ClientStream for TcpStream {
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+    fn set_read_timeout_opt(&self, dur: Option<StdDuration>) -> io::Result<()> {
+        self.set_read_timeout(dur)
+    }
+}
+
+#[cfg(unix)]
+impl ClientStream for UnixStream {
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+    fn set_read_timeout_opt(&self, dur: Option<StdDuration>) -> io::Result<()> {
+        self.set_read_timeout(dur)
+    }
+}
 
 /// A minimal blocking client for tests and demos.
 pub struct GatewayClient {
     stream: Box<dyn ClientStream>,
     /// Client id assigned by the gateway's `Welcome`.
     pub client: u32,
+    /// Session granted by the gateway (`None` against a v1 gateway).
+    pub session: Option<SessionInfo>,
+    /// Per-class count of data frames received — what a resume `Hello`
+    /// reports back so the gateway can replay exactly the in-flight
+    /// suffix.
+    wm: ClassWatermarks,
 }
 
 impl GatewayClient {
@@ -347,7 +506,19 @@ impl GatewayClient {
     pub fn connect(addr: SocketAddr, subjects: &[Subject]) -> io::Result<GatewayClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Self::handshake(Box::new(stream), subjects)
+        Self::handshake(Box::new(stream), subjects, None)
+    }
+
+    /// Connect over TCP presenting a resume request (token + the
+    /// watermarks of a previous [`GatewayClient::resume_req`]).
+    pub fn connect_resume(
+        addr: SocketAddr,
+        subjects: &[Subject],
+        resume: ResumeReq,
+    ) -> io::Result<GatewayClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::handshake(Box::new(stream), subjects, Some(resume))
     }
 
     /// Connect over a Unix-domain socket file, subscribe to
@@ -358,17 +529,30 @@ impl GatewayClient {
         subjects: &[Subject],
     ) -> io::Result<GatewayClient> {
         let stream = UnixStream::connect(path)?;
-        Self::handshake(Box::new(stream), subjects)
+        Self::handshake(Box::new(stream), subjects, None)
+    }
+
+    /// Connect over a Unix-domain socket presenting a resume request.
+    #[cfg(unix)]
+    pub fn connect_unix_resume(
+        path: impl AsRef<std::path::Path>,
+        subjects: &[Subject],
+        resume: ResumeReq,
+    ) -> io::Result<GatewayClient> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(Box::new(stream), subjects, Some(resume))
     }
 
     fn handshake(
         mut stream: Box<dyn ClientStream>,
         subjects: &[Subject],
+        resume: Option<ResumeReq>,
     ) -> io::Result<GatewayClient> {
         wire::write_frame(
             &mut stream,
             &wire::encode_to_gateway(&ToGateway::Hello {
                 subs: subjects.len() as u16,
+                resume,
             }),
         )?;
         for s in subjects {
@@ -379,8 +563,10 @@ impl GatewayClient {
         }
         let frame = wire::read_frame(&mut stream)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no Welcome"))?;
-        let client = match wire::decode_to_client(&frame) {
-            Ok(ToClient::Welcome { client, .. }) => client,
+        let (client, session) = match wire::decode_to_client(&frame) {
+            Ok(ToClient::Welcome {
+                client, session, ..
+            }) => (client, session),
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -388,29 +574,102 @@ impl GatewayClient {
                 ))
             }
         };
-        Ok(GatewayClient { stream, client })
+        // A resumed session keeps its watermarks (the replay continues
+        // the old count); any fresh session starts from zero.
+        let wm = match (&resume, &session) {
+            (Some(req), Some(info))
+                if matches!(info.verdict, ResumeVerdict::Resumed | ResumeVerdict::Gap) =>
+            {
+                req.wm
+            }
+            _ => ClassWatermarks::default(),
+        };
+        Ok(GatewayClient {
+            stream,
+            client,
+            session,
+            wm,
+        })
     }
 
-    /// Receive the next gateway → client message (`None` on clean EOF).
+    /// Receive the next gateway → client message (`None` on clean EOF),
+    /// keeping the delivery watermarks current: every data frame bumps
+    /// its class, and a `Gap` notice accounts for frames the gateway
+    /// reported it will never resend.
     pub fn recv(&mut self) -> io::Result<Option<ToClient>> {
         let Some(frame) = wire::read_frame(&mut self.stream)? else {
             return Ok(None);
         };
-        wire::decode_to_client(&frame)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+        let msg = wire::decode_to_client(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        match &msg {
+            ToClient::Event(ev) => self.wm.bump(ev.class),
+            ToClient::Batch { .. } | ToClient::Frag(_) => self.wm.bump(ChannelClass::Nrt),
+            ToClient::Gap { class, count } => match class {
+                ChannelClass::Hrt => self.wm.hrt += u64::from(*count),
+                ChannelClass::Srt => self.wm.srt += u64::from(*count),
+                ChannelClass::Nrt => self.wm.nrt += u64::from(*count),
+            },
+            _ => {}
+        }
+        Ok(Some(msg))
     }
 
-    /// Tell the gateway we are leaving (best-effort).
-    pub fn bye(&mut self) {
-        let _ = wire::write_frame(&mut self.stream, &wire::encode_to_gateway(&ToGateway::Bye));
+    /// The per-class data-frame counts received so far.
+    pub fn watermarks(&self) -> ClassWatermarks {
+        self.wm
+    }
+
+    /// What a reconnect should present to resume this session — the
+    /// token plus the current watermarks. `None` without a session.
+    pub fn resume_req(&self) -> Option<ResumeReq> {
+        self.session.as_ref().map(|s| ResumeReq {
+            token: s.token,
+            wm: self.wm,
+        })
+    }
+
+    /// Bound how long [`GatewayClient::recv`] blocks (`None` blocks
+    /// forever). A timed-out read returns an error of kind
+    /// `WouldBlock`/`TimedOut` — the reconnect loop's half-open
+    /// detection.
+    pub fn set_read_timeout(&self, dur: Option<StdDuration>) -> io::Result<()> {
+        self.stream.set_read_timeout_opt(dur)
+    }
+
+    /// Leave cleanly. Sends `Bye` (checked, not fire-and-forget), then
+    /// half-closes the write side — so the gateway's reader sees an
+    /// explicit goodbye followed by a clean write-side EOF, never a
+    /// race between the farewell and the teardown — and finally drains
+    /// (bounded) whatever egress frames were still in flight until the
+    /// gateway closes the stream.
+    pub fn bye(mut self) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, &wire::encode_to_gateway(&ToGateway::Bye))?;
+        self.stream.flush()?;
+        self.stream.shutdown_write()?;
+        self.stream.set_read_timeout_opt(Some(BYE_DRAIN_TIMEOUT))?;
+        for _ in 0..BYE_DRAIN_FRAMES {
+            match wire::read_frame(&mut self.stream) {
+                Ok(Some(_)) => continue, // in-flight egress drains
+                Ok(None) => return Ok(()),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // The gateway is slow closing; our side is done.
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::read_frame;
+    use crate::wire::{read_frame, Reason};
 
     /// A writer that accepts at most `caps[i]` bytes on its i-th call
     /// (0 = time out), unlimited once the script runs out; records
@@ -461,10 +720,13 @@ mod tests {
     /// and no byte is ever sent twice.
     #[test]
     fn partial_write_resumes_without_duplicating_bytes() {
-        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 9 });
+        let a = wire::encode_to_client(&ToClient::Disconnect {
+            reason: Reason::Unknown(9),
+        });
         let b = wire::encode_to_client(&ToClient::Welcome {
             client: 7,
             now_ns: 1,
+            session: None,
         });
         // Two bytes of A's length prefix go out, then the timeout hits.
         let mut sink = StreamSink::new(Throttle::new(&[2, 0]));
@@ -477,7 +739,9 @@ mod tests {
     /// Busy, and the lane's verbatim retry produces exactly one frame.
     #[test]
     fn timeout_before_first_byte_is_busy_and_retry_safe() {
-        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 1 });
+        let a = wire::encode_to_client(&ToClient::Disconnect {
+            reason: Reason::Slow,
+        });
         let mut sink = StreamSink::new(Throttle::new(&[0]));
         assert_eq!(sink.offer(&a), SinkStatus::Busy);
         assert_eq!(sink.offer(&a), SinkStatus::Accepted);
@@ -488,10 +752,12 @@ mod tests {
     /// are Busy (retryable) — never interleaved into the stream.
     #[test]
     fn busy_while_committed_tail_is_pending() {
-        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 2 });
+        let a = wire::encode_to_client(&ToClient::Disconnect {
+            reason: Reason::Stale,
+        });
         let b = wire::encode_to_client(&ToClient::Shed {
             class: rtec_core::ChannelClass::Srt,
-            reason: wire::REASON_STALE,
+            reason: Reason::Stale,
             count: 3,
         });
         // A is cut after 3 bytes; the next two write attempts block.
@@ -514,7 +780,9 @@ mod tests {
                 Ok(())
             }
         }
-        let a = wire::encode_to_client(&ToClient::Disconnect { reason: 3 });
+        let a = wire::encode_to_client(&ToClient::Disconnect {
+            reason: Reason::Shutdown,
+        });
         let mut sink = StreamSink::new(Dead);
         assert_eq!(sink.offer(&a), SinkStatus::Gone);
         let mut sink = StreamSink::new(Throttle::new(&[]));

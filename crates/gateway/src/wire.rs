@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! bytes 0..2   magic "RG"
-//! byte  2      protocol version (currently 1)
+//! byte  2      protocol version (currently 2)
 //! byte  3      message kind
 //! bytes 4..    kind-specific body
 //! ```
@@ -24,12 +24,23 @@
 //!
 //! # Version tolerance
 //!
-//! Version 1 bodies are strictly length-checked. A message stamped
-//! with a *higher* version byte is decoded with version 1's layout but
-//! may carry extra trailing bytes — the additive-fields-at-the-tail
-//! compatibility scheme — so a newer gateway can extend messages
-//! without cutting off older clients. Version 0 does not exist and is
-//! rejected.
+//! Additive fields go at the *tail* of a body. A decoder checks bodies
+//! of its own version strictly, decodes older versions with the older
+//! (shorter) layout, and tolerates trailing bytes from newer versions
+//! — so a v1 client keeps working against a v2 gateway (it simply
+//! never resumes), and a v2 client's `Hello` decodes on a v1 gateway
+//! as a plain session open. Version 0 does not exist and is rejected.
+//!
+//! # Version 2: session resume
+//!
+//! Version 2 extends the handshake for crash-tolerant sessions:
+//! `Hello` gains a session token plus per-class delivery watermarks
+//! (how many frames of each class the client has received — the
+//! client-side truth the gateway filters replay against), `Welcome`
+//! gains the minted token and a [`ResumeVerdict`], and the new
+//! [`ToClient::Gap`] notice reports NRT frames that fell out of the
+//! bounded replay buffer while the client was away (§2.2.3: NRT may
+//! gap, it must not lie).
 
 use rtec_core::ChannelClass;
 use std::io::{self, Read, Write};
@@ -37,7 +48,9 @@ use std::io::{self, Read, Write};
 /// Magic prefix of every gateway-protocol message.
 pub const MAGIC: [u8; 2] = *b"RG";
 /// Current protocol version (byte 2 of every message).
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
+/// Oldest protocol version this decoder still accepts.
+pub const MIN_VERSION: u8 = 1;
 /// Hard cap on a framed message (length prefix included payload), so a
 /// corrupt length prefix cannot make a reader allocate gigabytes.
 pub const MAX_FRAME_LEN: usize = 1 << 16;
@@ -48,20 +61,153 @@ pub const MAX_FRAME_LEN: usize = 1 << 16;
 /// [`encode_to_client`] panics rather than truncate.
 pub const MAX_PAYLOAD: usize = MAX_FRAME_LEN - 64;
 
-/// Disconnect / shed reason: the client fell behind its bounded queue.
-pub const REASON_SLOW: u8 = 1;
-/// Shed reason: an SRT event outlived its validity window.
-pub const REASON_STALE: u8 = 2;
-/// Disconnect reason: the gateway is shutting down.
-pub const REASON_SHUTDOWN: u8 = 3;
+/// Why events were shed or a session was closed, as a closed enum: the
+/// wire carries one byte, and an unassigned byte from a newer peer
+/// lands in [`Reason::Unknown`] instead of silently aliasing a known
+/// reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// The client fell behind its bounded queue.
+    Slow,
+    /// An SRT event outlived its validity window (§2.2.2).
+    Stale,
+    /// The gateway is shutting down.
+    Shutdown,
+    /// A reason byte this decoder does not know (a newer peer).
+    Unknown(u8),
+}
+
+impl Reason {
+    /// The wire byte for this reason.
+    pub fn code(self) -> u8 {
+        match self {
+            Reason::Slow => 1,
+            Reason::Stale => 2,
+            Reason::Shutdown => 3,
+            Reason::Unknown(c) => c,
+        }
+    }
+
+    /// Decode a wire byte; unassigned values become
+    /// [`Reason::Unknown`], never an error.
+    pub fn from_code(code: u8) -> Reason {
+        match code {
+            1 => Reason::Slow,
+            2 => Reason::Stale,
+            3 => Reason::Shutdown,
+            c => Reason::Unknown(c),
+        }
+    }
+}
+
+/// The gateway's answer to a resume attempt, carried in the v2
+/// `Welcome` tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeVerdict {
+    /// A new session was opened (no token offered, or v1 peer).
+    Fresh,
+    /// The session resumed; every missing HRT frame is replayed
+    /// exactly once (§3.2 off-bus).
+    Resumed,
+    /// The token was unknown or its bus-time TTL elapsed; a fresh
+    /// session replaces it.
+    Expired,
+    /// The session resumed but part of the backlog fell out of the
+    /// bounded replay buffer; `Gap`/`Shed` notices follow.
+    Gap,
+    /// A verdict byte this decoder does not know (a newer peer).
+    Unknown(u8),
+}
+
+impl ResumeVerdict {
+    /// The wire byte for this verdict.
+    pub fn code(self) -> u8 {
+        match self {
+            ResumeVerdict::Fresh => 0,
+            ResumeVerdict::Resumed => 1,
+            ResumeVerdict::Expired => 2,
+            ResumeVerdict::Gap => 3,
+            ResumeVerdict::Unknown(c) => c,
+        }
+    }
+
+    /// Decode a wire byte; unassigned values become
+    /// [`ResumeVerdict::Unknown`], never an error.
+    pub fn from_code(code: u8) -> ResumeVerdict {
+        match code {
+            0 => ResumeVerdict::Fresh,
+            1 => ResumeVerdict::Resumed,
+            2 => ResumeVerdict::Expired,
+            3 => ResumeVerdict::Gap,
+            c => ResumeVerdict::Unknown(c),
+        }
+    }
+}
+
+/// Per-class delivery watermarks: how many gateway → client frames of
+/// each class the client has received on its session so far. The
+/// shared stream totally orders a session's frames, so a count per
+/// class identifies exactly which suffix of the sent sequence was
+/// still in flight when the link died.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassWatermarks {
+    /// HRT `Event` frames received.
+    pub hrt: u64,
+    /// SRT `Event` frames received.
+    pub srt: u64,
+    /// NRT `Event`/`Batch`/`Frag` frames received.
+    pub nrt: u64,
+}
+
+impl ClassWatermarks {
+    /// The watermark for one class.
+    pub fn of(&self, class: ChannelClass) -> u64 {
+        match class {
+            ChannelClass::Hrt => self.hrt,
+            ChannelClass::Srt => self.srt,
+            ChannelClass::Nrt => self.nrt,
+        }
+    }
+
+    /// Bump the watermark for one class.
+    pub fn bump(&mut self, class: ChannelClass) {
+        match class {
+            ChannelClass::Hrt => self.hrt += 1,
+            ChannelClass::Srt => self.srt += 1,
+            ChannelClass::Nrt => self.nrt += 1,
+        }
+    }
+}
+
+/// The resume request a v2 `Hello` may carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeReq {
+    /// Session token from the previous `Welcome` (never 0).
+    pub token: u64,
+    /// What the client received before the link died.
+    pub wm: ClassWatermarks,
+}
+
+/// The session description a v2 `Welcome` carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Token to present in a future resume (never 0).
+    pub token: u64,
+    /// How the gateway answered the handshake.
+    pub verdict: ResumeVerdict,
+}
 
 /// Messages a client sends to the gateway (the subscription handshake).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ToGateway {
-    /// Open a session: `subs` [`ToGateway::Subscribe`] messages follow.
+    /// Open (or resume) a session: `subs` [`ToGateway::Subscribe`]
+    /// messages follow.
     Hello {
         /// Number of subscription messages that follow.
         subs: u16,
+        /// v2 tail: present to resume an earlier session. A v1 peer's
+        /// `Hello` decodes with `None`.
+        resume: Option<ResumeReq>,
     },
     /// Subscribe to one subject by its 64-bit uid.
     Subscribe {
@@ -129,12 +275,15 @@ pub struct FragMsg {
 /// Messages the gateway sends to a client.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ToClient {
-    /// Handshake reply: the session is open.
+    /// Handshake reply: the session is open (or resumed).
     Welcome {
         /// Gateway-assigned client id.
         client: u32,
         /// Gateway bus time at session open.
         now_ns: u64,
+        /// v2 tail: the session token and resume verdict. A v1 peer's
+        /// `Welcome` decodes with `None`.
+        session: Option<SessionInfo>,
     },
     /// A single HRT/SRT/NRT event.
     Event(EventMsg),
@@ -150,15 +299,25 @@ pub enum ToClient {
     Shed {
         /// Class of the shed events.
         class: ChannelClass,
-        /// Why ([`REASON_SLOW`] / [`REASON_STALE`]).
-        reason: u8,
+        /// Why.
+        reason: Reason,
         /// How many events this notice covers.
+        count: u32,
+    },
+    /// NRT frames fell out of the bounded replay buffer across a
+    /// reconnect and cannot be replayed (§2.2.3 — the gap is reported,
+    /// never papered over). v2-only; a session that never resumes
+    /// never sees it.
+    Gap {
+        /// Class of the lost frames (always NRT today).
+        class: ChannelClass,
+        /// How many frames are missing.
         count: u32,
     },
     /// The gateway is closing this session.
     Disconnect {
-        /// Why ([`REASON_SLOW`] / [`REASON_SHUTDOWN`]).
-        reason: u8,
+        /// Why.
+        reason: Reason,
     },
 }
 
@@ -192,7 +351,7 @@ impl core::fmt::Display for WireError {
             WireError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (oldest is {WIRE_VERSION})"
+                    "unsupported protocol version {v} (oldest is {MIN_VERSION})"
                 )
             }
             WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
@@ -217,6 +376,7 @@ const K_BATCH: u8 = 18;
 const K_FRAG: u8 = 19;
 const K_SHED: u8 = 20;
 const K_DISCONNECT: u8 = 21;
+const K_GAP: u8 = 22;
 
 /// Encode a timeliness class as its wire byte.
 const fn class_code(class: ChannelClass) -> u8 {
@@ -244,11 +404,22 @@ fn header(kind: u8, out: &mut Vec<u8>) {
 
 /// Encode a client → gateway message.
 pub fn encode_to_gateway(msg: &ToGateway) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16);
+    let mut out = Vec::with_capacity(48);
     match msg {
-        ToGateway::Hello { subs } => {
+        ToGateway::Hello { subs, resume } => {
             header(K_HELLO, &mut out);
             out.extend_from_slice(&subs.to_le_bytes());
+            // v2 tail: token 0 means "no session to resume" — a v1
+            // decoder never reads past the subs count, so the tail is
+            // always written and always compatible.
+            let (token, wm) = match resume {
+                Some(r) => (r.token, r.wm),
+                None => (0, ClassWatermarks::default()),
+            };
+            out.extend_from_slice(&token.to_le_bytes());
+            out.extend_from_slice(&wm.hrt.to_le_bytes());
+            out.extend_from_slice(&wm.srt.to_le_bytes());
+            out.extend_from_slice(&wm.nrt.to_le_bytes());
         }
         ToGateway::Subscribe { uid } => {
             header(K_SUBSCRIBE, &mut out);
@@ -263,10 +434,21 @@ pub fn encode_to_gateway(msg: &ToGateway) -> Vec<u8> {
 pub fn encode_to_client(msg: &ToClient) -> Vec<u8> {
     let mut out = Vec::with_capacity(48);
     match msg {
-        ToClient::Welcome { client, now_ns } => {
+        ToClient::Welcome {
+            client,
+            now_ns,
+            session,
+        } => {
             header(K_WELCOME, &mut out);
             out.extend_from_slice(&client.to_le_bytes());
             out.extend_from_slice(&now_ns.to_le_bytes());
+            // v2 tail: token 0 means "no session" (in-process client).
+            let (token, verdict) = match session {
+                Some(s) => (s.token, s.verdict),
+                None => (0, ResumeVerdict::Fresh),
+            };
+            out.extend_from_slice(&token.to_le_bytes());
+            out.push(verdict.code());
         }
         ToClient::Event(ev) => {
             header(K_EVENT, &mut out);
@@ -306,12 +488,17 @@ pub fn encode_to_client(msg: &ToClient) -> Vec<u8> {
         } => {
             header(K_SHED, &mut out);
             out.push(class_code(*class));
-            out.push(*reason);
+            out.push(reason.code());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        ToClient::Gap { class, count } => {
+            header(K_GAP, &mut out);
+            out.push(class_code(*class));
             out.extend_from_slice(&count.to_le_bytes());
         }
         ToClient::Disconnect { reason } => {
             header(K_DISCONNECT, &mut out);
-            out.push(*reason);
+            out.push(reason.code());
         }
     }
     out
@@ -334,22 +521,51 @@ fn push_payload(bytes: &[u8], out: &mut Vec<u8>) {
 }
 
 /// Header check shared by both decoders: returns the kind, the body,
-/// and whether the sender's version allows trailing extension bytes.
-fn check_header(buf: &[u8]) -> Result<(u8, &[u8], bool), WireError> {
+/// and the sender's version byte.
+fn check_header(buf: &[u8]) -> Result<(u8, &[u8], u8), WireError> {
     if buf.len() < 4 {
         return Err(WireError::Truncated(buf.len()));
     }
     if buf[..2] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if buf[2] < WIRE_VERSION {
+    if buf[2] < MIN_VERSION {
         return Err(WireError::BadVersion(buf[2]));
     }
-    Ok((buf[3], &buf[4..], buf[2] > WIRE_VERSION))
+    Ok((buf[3], &buf[4..], buf[2]))
+}
+
+/// Just the protocol version byte of a (framed) message, if the buffer
+/// is long enough to carry one. Lets a transport pick the v1 or v2
+/// handshake path without a full decode.
+pub fn frame_version(buf: &[u8]) -> Option<u8> {
+    (buf.len() >= 4 && buf[..2] == MAGIC).then(|| buf[2])
+}
+
+/// Session-accounting peek: if `frame` is an encoded *data* frame
+/// (`Event`/`Batch`/`Frag` — the kinds a client's per-class watermark
+/// counts), return `(class, uid, release_ns)` without a full decode.
+/// Control frames (`Welcome`/`Shed`/`Gap`/`Disconnect`) and anything
+/// unrecognizable return `None`. `Batch`/`Frag` frames are NRT by
+/// construction; their uid/release fields are reported as 0 because
+/// only SRT staleness filtering consumes them.
+pub fn data_frame_meta(frame: &[u8]) -> Option<(ChannelClass, u64, u64)> {
+    if frame.len() < 4 || frame[..2] != MAGIC {
+        return None;
+    }
+    match frame[3] {
+        K_EVENT if frame.len() >= 34 => {
+            let class = class_from(frame[4]).ok()?;
+            Some((class, le_u64(&frame[6..]), le_u64(&frame[26..])))
+        }
+        K_BATCH | K_FRAG => Some((ChannelClass::Nrt, 0, 0)),
+        _ => None,
+    }
 }
 
 /// `body` must be exactly `want` bytes — or at least `want` when the
-/// sender speaks a newer version (trailing extension bytes tolerated).
+/// sender speaks a newer version than ours (trailing extension bytes
+/// tolerated).
 fn fixed(kind: u8, body: &[u8], want: usize, tolerant: bool) -> Result<(), WireError> {
     let ok = if tolerant {
         body.len() >= want
@@ -363,6 +579,23 @@ fn fixed(kind: u8, body: &[u8], want: usize, tolerant: bool) -> Result<(), WireE
             kind,
             got: body.len(),
         })
+    }
+}
+
+/// Length check for a body whose layout grew in v2: an exactly-v1 body
+/// uses the v1 length, anything newer uses the v2 length (with
+/// trailing tolerance above our own version).
+fn fixed_grown(
+    kind: u8,
+    body: &[u8],
+    version: u8,
+    v1_want: usize,
+    v2_want: usize,
+) -> Result<(), WireError> {
+    if version == 1 {
+        fixed(kind, body, v1_want, false)
+    } else {
+        fixed(kind, body, v2_want, version > WIRE_VERSION)
     }
 }
 
@@ -396,11 +629,26 @@ fn take_payload(kind: u8, body: &[u8], at: usize) -> Result<(Vec<u8>, usize), Wi
 
 /// Decode a client → gateway message.
 pub fn decode_to_gateway(buf: &[u8]) -> Result<ToGateway, WireError> {
-    let (kind, body, tolerant) = check_header(buf)?;
+    let (kind, body, version) = check_header(buf)?;
+    let tolerant = version > WIRE_VERSION;
     match kind {
         K_HELLO => {
-            fixed(kind, body, 2, tolerant)?;
-            Ok(ToGateway::Hello { subs: le_u16(body) })
+            fixed_grown(kind, body, version, 2, 34)?;
+            let subs = le_u16(body);
+            let resume = if version >= 2 {
+                let token = le_u64(&body[2..]);
+                (token != 0).then(|| ResumeReq {
+                    token,
+                    wm: ClassWatermarks {
+                        hrt: le_u64(&body[10..]),
+                        srt: le_u64(&body[18..]),
+                        nrt: le_u64(&body[26..]),
+                    },
+                })
+            } else {
+                None
+            };
+            Ok(ToGateway::Hello { subs, resume })
         }
         K_SUBSCRIBE => {
             fixed(kind, body, 8, tolerant)?;
@@ -416,13 +664,24 @@ pub fn decode_to_gateway(buf: &[u8]) -> Result<ToGateway, WireError> {
 
 /// Decode a gateway → client message.
 pub fn decode_to_client(buf: &[u8]) -> Result<ToClient, WireError> {
-    let (kind, body, tolerant) = check_header(buf)?;
+    let (kind, body, version) = check_header(buf)?;
+    let tolerant = version > WIRE_VERSION;
     match kind {
         K_WELCOME => {
-            fixed(kind, body, 12, tolerant)?;
+            fixed_grown(kind, body, version, 12, 21)?;
+            let session = if version >= 2 {
+                let token = le_u64(&body[12..]);
+                (token != 0).then(|| SessionInfo {
+                    token,
+                    verdict: ResumeVerdict::from_code(body[20]),
+                })
+            } else {
+                None
+            };
             Ok(ToClient::Welcome {
                 client: le_u32(body),
                 now_ns: le_u64(&body[4..]),
+                session,
             })
         }
         K_EVENT => {
@@ -499,13 +758,22 @@ pub fn decode_to_client(buf: &[u8]) -> Result<ToClient, WireError> {
             fixed(kind, body, 6, tolerant)?;
             Ok(ToClient::Shed {
                 class: class_from(body[0])?,
-                reason: body[1],
+                reason: Reason::from_code(body[1]),
                 count: le_u32(&body[2..]),
+            })
+        }
+        K_GAP => {
+            fixed(kind, body, 5, tolerant)?;
+            Ok(ToClient::Gap {
+                class: class_from(body[0])?,
+                count: le_u32(&body[1..]),
             })
         }
         K_DISCONNECT => {
             fixed(kind, body, 1, tolerant)?;
-            Ok(ToClient::Disconnect { reason: body[0] })
+            Ok(ToClient::Disconnect {
+                reason: Reason::from_code(body[0]),
+            })
         }
         k => Err(WireError::BadKind(k)),
     }
@@ -559,7 +827,7 @@ mod tests {
     #[test]
     fn framing_round_trips_and_rejects_oversize() {
         let msg = encode_to_client(&ToClient::Disconnect {
-            reason: REASON_SHUTDOWN,
+            reason: Reason::Shutdown,
         });
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
@@ -618,15 +886,156 @@ mod tests {
     }
 
     #[test]
-    fn version_zero_is_rejected_version_two_tolerates_tail() {
+    fn version_zero_is_rejected_newer_versions_tolerate_tail() {
         let mut bytes = encode_to_gateway(&ToGateway::Subscribe { uid: 7 });
         bytes[2] = 0;
         assert_eq!(decode_to_gateway(&bytes), Err(WireError::BadVersion(0)));
-        bytes[2] = 2;
+        bytes[2] = WIRE_VERSION + 1;
         bytes.extend_from_slice(&[0xaa; 5]);
         assert_eq!(
             decode_to_gateway(&bytes),
             Ok(ToGateway::Subscribe { uid: 7 })
         );
+    }
+
+    /// A v1 `Hello`/`Welcome` (short body, version byte 1) decodes on
+    /// the v2 codec with the resume tail absent — the legacy layouts
+    /// stay strict, so a truncated v2 body cannot masquerade as v1.
+    #[test]
+    fn v1_handshake_bodies_decode_without_resume() {
+        let hello_v1 = [b'R', b'G', 1, 1, 3, 0];
+        assert_eq!(
+            decode_to_gateway(&hello_v1),
+            Ok(ToGateway::Hello {
+                subs: 3,
+                resume: None
+            })
+        );
+        let mut welcome_v1 = vec![b'R', b'G', 1, 16];
+        welcome_v1.extend_from_slice(&9u32.to_le_bytes());
+        welcome_v1.extend_from_slice(&77u64.to_le_bytes());
+        assert_eq!(
+            decode_to_client(&welcome_v1),
+            Ok(ToClient::Welcome {
+                client: 9,
+                now_ns: 77,
+                session: None
+            })
+        );
+        // A version-2 body of v1 length is malformed, not legacy.
+        let mut stamped = hello_v1;
+        stamped[2] = 2;
+        assert_eq!(
+            decode_to_gateway(&stamped),
+            Err(WireError::BadLength { kind: 1, got: 2 })
+        );
+    }
+
+    /// The v2 resume tail round-trips, and token 0 means "no session"
+    /// on both sides of the handshake.
+    #[test]
+    fn resume_tail_round_trips_and_zero_token_is_none() {
+        let hello = ToGateway::Hello {
+            subs: 2,
+            resume: Some(ResumeReq {
+                token: 0xDEAD_BEEF,
+                wm: ClassWatermarks {
+                    hrt: 10,
+                    srt: 20,
+                    nrt: 30,
+                },
+            }),
+        };
+        assert_eq!(decode_to_gateway(&encode_to_gateway(&hello)), Ok(hello));
+        let fresh = ToGateway::Hello {
+            subs: 2,
+            resume: None,
+        };
+        assert_eq!(decode_to_gateway(&encode_to_gateway(&fresh)), Ok(fresh));
+
+        let welcome = ToClient::Welcome {
+            client: 4,
+            now_ns: 5,
+            session: Some(SessionInfo {
+                token: 6,
+                verdict: ResumeVerdict::Gap,
+            }),
+        };
+        assert_eq!(decode_to_client(&encode_to_client(&welcome)), Ok(welcome));
+    }
+
+    /// Unassigned reason / verdict bytes land in the Unknown variants
+    /// instead of aliasing a known meaning or failing the decode.
+    #[test]
+    fn unknown_reason_and_verdict_bytes_are_preserved() {
+        let shed = ToClient::Shed {
+            class: ChannelClass::Nrt,
+            reason: Reason::Unknown(99),
+            count: 1,
+        };
+        assert_eq!(decode_to_client(&encode_to_client(&shed)), Ok(shed));
+        assert_eq!(Reason::from_code(250), Reason::Unknown(250));
+        assert_eq!(ResumeVerdict::from_code(250), ResumeVerdict::Unknown(250));
+        assert_eq!(Reason::from_code(Reason::Slow.code()), Reason::Slow);
+    }
+
+    /// `data_frame_meta` classifies exactly the frames a watermark
+    /// counts: events by their class byte, batches and fragments as
+    /// NRT, control frames not at all.
+    #[test]
+    fn data_frame_meta_matches_watermark_counting() {
+        let ev = encode_to_client(&ToClient::Event(EventMsg {
+            class: ChannelClass::Srt,
+            origin: 1,
+            uid: 42,
+            seq: 0,
+            wire_ns: 7,
+            release_ns: 99,
+            payload: vec![1, 2],
+        }));
+        assert_eq!(data_frame_meta(&ev), Some((ChannelClass::Srt, 42, 99)));
+        let batch = encode_to_client(&ToClient::Batch { entries: vec![] });
+        assert_eq!(data_frame_meta(&batch), Some((ChannelClass::Nrt, 0, 0)));
+        let frag = encode_to_client(&ToClient::Frag(FragMsg {
+            origin: 0,
+            uid: 1,
+            seq: 0,
+            wire_ns: 0,
+            offset: 0,
+            total: 4,
+            chunk: vec![0; 4],
+        }));
+        assert_eq!(data_frame_meta(&frag), Some((ChannelClass::Nrt, 0, 0)));
+        for control in [
+            encode_to_client(&ToClient::Welcome {
+                client: 1,
+                now_ns: 2,
+                session: None,
+            }),
+            encode_to_client(&ToClient::Shed {
+                class: ChannelClass::Nrt,
+                reason: Reason::Slow,
+                count: 1,
+            }),
+            encode_to_client(&ToClient::Gap {
+                class: ChannelClass::Nrt,
+                count: 1,
+            }),
+            encode_to_client(&ToClient::Disconnect {
+                reason: Reason::Shutdown,
+            }),
+        ] {
+            assert_eq!(data_frame_meta(&control), None);
+        }
+    }
+
+    /// The Gap notice round-trips.
+    #[test]
+    fn gap_notice_round_trips() {
+        let gap = ToClient::Gap {
+            class: ChannelClass::Nrt,
+            count: 17,
+        };
+        assert_eq!(decode_to_client(&encode_to_client(&gap)), Ok(gap));
     }
 }

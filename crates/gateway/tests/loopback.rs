@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 use rtec_conformance::audit::{audit, AuditContext};
 use rtec_core::channel::{ChannelClass, ChannelSpec, HrtSpec, NrtSpec, SrtSpec};
 use rtec_core::event::{Event, Subject};
-use rtec_gateway::wire::{ToClient, REASON_SHUTDOWN};
+use rtec_gateway::wire::{Reason, ToClient};
 use rtec_gateway::{
     Acceptor, ClientSink, ClientSinkSpec, Gateway, GatewayClient, GatewayConfig, GatewayReport,
     SinkStatus, SlowConsumerPolicy,
@@ -211,7 +211,7 @@ fn hrt_beats_nrt_bulk_under_client_contention() {
         matches!(
             msgs.last(),
             Some(ToClient::Disconnect {
-                reason: REASON_SHUTDOWN
+                reason: Reason::Shutdown
             })
         ),
         "session should end with a shutdown notice"
@@ -438,7 +438,7 @@ fn tcp_client_receives_republished_events() {
                 events += 1;
             }
             ToClient::Disconnect {
-                reason: REASON_SHUTDOWN,
+                reason: Reason::Shutdown,
             } => {
                 shutdown = true;
                 break;
@@ -446,7 +446,7 @@ fn tcp_client_receives_republished_events() {
             _ => {}
         }
     }
-    client.bye();
+    client.bye().unwrap();
     assert!(events > 0, "no events reached the TCP client");
     assert_eq!(gw.stats.delivered_msgs, events);
     assert!(shutdown, "missing shutdown notice");
@@ -494,7 +494,7 @@ fn unix_client_receives_republished_events() {
                 events += 1;
             }
             ToClient::Disconnect {
-                reason: REASON_SHUTDOWN,
+                reason: Reason::Shutdown,
             } => {
                 shutdown = true;
                 break;
@@ -502,9 +502,254 @@ fn unix_client_receives_republished_events() {
             _ => {}
         }
     }
-    client.bye();
+    client.bye().unwrap();
     assert!(events > 0, "no events reached the Unix-domain client");
     assert_eq!(gw.stats.delivered_msgs, events);
     assert!(shutdown, "missing shutdown notice");
     assert!(!path.exists(), "socket file must be removed on stop()");
+}
+
+/// An unupgraded v1 client — raw version-1 frames, no resume tail, no
+/// session — still speaks to the v2 gateway: the handshake completes,
+/// events flow, and the shutdown notice arrives. (The v2 `Welcome` is
+/// longer than v1's; the v1 decoder tolerates the trailing bytes.)
+#[test]
+fn legacy_v1_client_speaks_to_a_v2_gateway() {
+    use std::io::Write as _;
+
+    fn v1_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut msg = vec![b'R', b'G', 1, kind];
+        msg.extend_from_slice(body);
+        let mut framed = (msg.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&msg);
+        framed
+    }
+
+    let srt_subject = Subject::new(0x2002);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(SrtSource {
+        subject: srt_subject,
+        every: Duration::from_ms(3),
+        counter: 0,
+    }));
+    let srt = ChannelSpec::Srt(SrtSpec::default());
+    cluster.publish(n0, srt_subject, srt);
+
+    let gateway = Gateway::new(GatewayConfig::default());
+    gateway.bind(srt_subject, &srt);
+    let acceptor = Acceptor::tcp(
+        gateway.clone(),
+        "127.0.0.1:0",
+        SlowConsumerPolicy::ShedNrtFirst,
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(acceptor.addr()).unwrap();
+    stream.write_all(&v1_frame(1, &1u16.to_le_bytes())).unwrap();
+    stream
+        .write_all(&v1_frame(2, &srt_subject.uid().to_le_bytes()))
+        .unwrap();
+    let welcome = rtec_gateway::wire::read_frame(&mut stream)
+        .unwrap()
+        .unwrap();
+    match rtec_gateway::wire::decode_to_client(&welcome).unwrap() {
+        ToClient::Welcome { session, .. } => {
+            assert!(session.is_none(), "a v1 Hello must not open a session");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, srt_subject, srt);
+    cluster.run_for(Duration::from_ms(30)).unwrap();
+    let gw = gateway.finish();
+    acceptor.stop();
+
+    let mut events = 0u64;
+    let mut shutdown = false;
+    while let Some(frame) = rtec_gateway::wire::read_frame(&mut stream).unwrap() {
+        match rtec_gateway::wire::decode_to_client(&frame).unwrap() {
+            ToClient::Event(e) => {
+                assert_eq!(e.uid, srt_subject.uid());
+                events += 1;
+            }
+            ToClient::Disconnect {
+                reason: Reason::Shutdown,
+            } => {
+                shutdown = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(events > 0, "no events reached the v1 client");
+    assert_eq!(gw.stats.delivered_msgs, events);
+    assert!(shutdown, "missing shutdown notice");
+}
+
+/// A TCP client severed mid-stream resumes its session and receives
+/// exactly the missing HRT suffix: across both connections every HRT
+/// sequence number appears exactly once — no duplicates, no holes
+/// (§3.2's exactly-once contract carried over a reconnect).
+#[test]
+fn severed_tcp_client_resumes_with_exact_hrt_replay() {
+    use rtec_gateway::wire::ResumeVerdict;
+
+    let hrt_subject = Subject::new(0x1001);
+    let cfg = ClusterConfig {
+        pace: Pace::Virtual,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg);
+    let n0 = cluster.add_node(Box::new(HrtSource {
+        subject: hrt_subject,
+        counter: 0,
+        period: Duration::from_ms(10),
+    }));
+    let hrt = ChannelSpec::Hrt(HrtSpec::periodic_10ms());
+    cluster.publish(n0, hrt_subject, hrt);
+
+    let gateway = Gateway::new(GatewayConfig::default());
+    gateway.bind(hrt_subject, &hrt);
+    let acceptor = Acceptor::tcp(
+        gateway.clone(),
+        "127.0.0.1:0",
+        SlowConsumerPolicy::ShedNrtFirst,
+    )
+    .unwrap();
+    let mut first = GatewayClient::connect(acceptor.addr(), &[hrt_subject]).unwrap();
+    assert!(
+        matches!(
+            first.session,
+            Some(rtec_gateway::wire::SessionInfo {
+                verdict: ResumeVerdict::Fresh,
+                ..
+            })
+        ),
+        "a v2 connect should open a fresh session"
+    );
+
+    let gw_node = cluster.add_node(gateway.behavior());
+    cluster.subscribe(gw_node, hrt_subject, hrt);
+    cluster.run_for(Duration::from_ms(45)).unwrap();
+
+    // Read a strict prefix of the delivered events, then sever the
+    // connection with the rest still in flight.
+    first
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    let mut seqs = Vec::new();
+    while seqs.len() < 2 {
+        match first.recv() {
+            Ok(Some(ToClient::Event(e))) => seqs.push(e.seq),
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+    assert_eq!(seqs.len(), 2, "expected at least two HRT deliveries");
+    let resume = first.resume_req().expect("v2 sessions carry a token");
+    drop(first); // sever: no Bye
+
+    let mut second =
+        GatewayClient::connect_resume(acceptor.addr(), &[hrt_subject], resume).unwrap();
+    let verdict = second.session.expect("resumed session").verdict;
+    assert_eq!(
+        verdict,
+        ResumeVerdict::Resumed,
+        "replay ring should cover the gap"
+    );
+
+    // Drain the replay (bounded by a read timeout), then shut down and
+    // collect the shutdown notice.
+    second
+        .set_read_timeout(Some(std::time::Duration::from_millis(300)))
+        .unwrap();
+    loop {
+        match second.recv() {
+            Ok(Some(ToClient::Event(e))) => seqs.push(e.seq),
+            Ok(Some(_)) => {}
+            _ => break,
+        }
+    }
+    let gw = gateway.finish();
+    acceptor.stop();
+    second
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    let mut shutdown = false;
+    loop {
+        match second.recv() {
+            Ok(Some(ToClient::Event(e))) => seqs.push(e.seq),
+            Ok(Some(ToClient::Disconnect {
+                reason: Reason::Shutdown,
+            })) => {
+                shutdown = true;
+                break;
+            }
+            Ok(Some(_)) => {}
+            _ => break,
+        }
+    }
+    assert!(shutdown, "missing shutdown notice after resume");
+    assert!(seqs.len() > 2, "the replay delivered nothing");
+
+    // Exactly-once across the reconnect: every sequence number 0..n
+    // appears exactly once, in order.
+    let expected: Vec<u32> = (0..seqs.len() as u32).collect();
+    assert_eq!(seqs, expected, "HRT replay duplicated or lost events");
+    assert_eq!(gw.sessions.resumed, 1);
+    assert_eq!(gw.sessions.gapped, 0);
+    assert_eq!(gw.sessions.gap_frames, 0);
+}
+
+/// `Bye` and an abrupt drop end differently: a clean goodbye spends
+/// the session token (a later resume is refused), while a sever parks
+/// the session and its token resumes within the TTL.
+#[test]
+fn bye_spends_the_session_but_a_sever_keeps_it_resumable() {
+    use rtec_gateway::wire::ResumeVerdict;
+
+    let subject = Subject::new(0x2002);
+    let gateway = Gateway::new(GatewayConfig::default());
+    gateway.bind(subject, &ChannelSpec::Srt(SrtSpec::default()));
+    let acceptor = Acceptor::tcp(
+        gateway.clone(),
+        "127.0.0.1:0",
+        SlowConsumerPolicy::ShedNrtFirst,
+    )
+    .unwrap();
+
+    // Clean exit: Bye + half-close, observed as a drained stream.
+    let polite = GatewayClient::connect(acceptor.addr(), &[subject]).unwrap();
+    let polite_req = polite.resume_req().unwrap();
+    polite.bye().unwrap();
+    let after_bye = GatewayClient::connect_resume(acceptor.addr(), &[subject], polite_req).unwrap();
+    assert_eq!(
+        after_bye.session.unwrap().verdict,
+        ResumeVerdict::Expired,
+        "a Bye must spend the token; the fallback is a fresh session"
+    );
+
+    // Abrupt drop: the reader sees the sever and parks the session.
+    let abrupt = GatewayClient::connect(acceptor.addr(), &[subject]).unwrap();
+    let abrupt_req = abrupt.resume_req().unwrap();
+    drop(abrupt);
+    let after_drop =
+        GatewayClient::connect_resume(acceptor.addr(), &[subject], abrupt_req).unwrap();
+    assert_eq!(
+        after_drop.session.unwrap().verdict,
+        ResumeVerdict::Resumed,
+        "a severed session must stay resumable within the TTL"
+    );
+
+    let gw = gateway.finish();
+    acceptor.stop();
+    assert_eq!(gw.sessions.ended_clean, 1, "one polite goodbye");
+    assert_eq!(gw.sessions.refused, 1, "one refused (spent) token");
+    assert_eq!(gw.sessions.resumed, 1, "one successful resume");
 }

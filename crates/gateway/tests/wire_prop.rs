@@ -2,14 +2,19 @@
 //! same mold as the broker codec's (`crates/live/tests/wire_prop.rs`):
 //! every message round-trips, and arbitrary / mutated / truncated byte
 //! strings are rejected without panicking. On top of those, the
-//! version-tolerance contract: higher version bytes may carry trailing
-//! extension bytes, version 0 never decodes.
+//! version-tolerance contract — version 0 never decodes, higher
+//! version bytes may carry trailing extension bytes — and the v2
+//! compatibility oracle: a faithful reimplementation of the version 1
+//! handshake decoder must accept every v2 `Hello`/`Welcome`, because
+//! that is exactly what an unupgraded peer will run against a v2
+//! sender.
 
 use proptest::prelude::*;
 use rtec_core::ChannelClass;
 use rtec_gateway::wire::{
-    decode_to_client, decode_to_gateway, encode_to_client, encode_to_gateway, BatchEntry, EventMsg,
-    FragMsg, ToClient, ToGateway, WireError, MAGIC, WIRE_VERSION,
+    decode_to_client, decode_to_gateway, encode_to_client, encode_to_gateway, BatchEntry,
+    ClassWatermarks, EventMsg, FragMsg, Reason, ResumeReq, ResumeVerdict, SessionInfo, ToClient,
+    ToGateway, WireError, MAGIC, WIRE_VERSION,
 };
 
 fn arb_class() -> impl Strategy<Value = ChannelClass> {
@@ -22,6 +27,56 @@ fn arb_class() -> impl Strategy<Value = ChannelClass> {
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..48)
+}
+
+/// Reasons that survive a round trip: the named variants, or Unknown
+/// with a byte the decoder does not map back to a name.
+fn arb_reason() -> impl Strategy<Value = Reason> {
+    prop_oneof![
+        Just(Reason::Slow),
+        Just(Reason::Stale),
+        Just(Reason::Shutdown),
+        any::<u8>()
+            .prop_filter("assigned reason codes decode to names", |c| !(1..=3)
+                .contains(c))
+            .prop_map(Reason::Unknown),
+    ]
+}
+
+/// Verdicts that survive a round trip (same rule as [`arb_reason`]).
+fn arb_verdict() -> impl Strategy<Value = ResumeVerdict> {
+    prop_oneof![
+        Just(ResumeVerdict::Fresh),
+        Just(ResumeVerdict::Resumed),
+        Just(ResumeVerdict::Expired),
+        Just(ResumeVerdict::Gap),
+        (4u8..=255).prop_map(ResumeVerdict::Unknown),
+    ]
+}
+
+fn arb_wm() -> impl Strategy<Value = ClassWatermarks> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(hrt, srt, nrt)| ClassWatermarks {
+        hrt,
+        srt,
+        nrt,
+    })
+}
+
+/// Token 0 is the wire encoding of "no session", so a present resume
+/// request always carries a nonzero token.
+fn arb_resume() -> impl Strategy<Value = Option<ResumeReq>> {
+    prop_oneof![
+        Just(None),
+        (1u64..=u64::MAX, arb_wm()).prop_map(|(token, wm)| Some(ResumeReq { token, wm })),
+    ]
+}
+
+fn arb_session() -> impl Strategy<Value = Option<SessionInfo>> {
+    prop_oneof![
+        Just(None),
+        (1u64..=u64::MAX, arb_verdict())
+            .prop_map(|(token, verdict)| Some(SessionInfo { token, verdict })),
+    ]
 }
 
 fn arb_event() -> impl Strategy<Value = EventMsg> {
@@ -89,7 +144,7 @@ fn arb_frag() -> impl Strategy<Value = FragMsg> {
 
 fn arb_to_gateway() -> impl Strategy<Value = ToGateway> {
     prop_oneof![
-        any::<u16>().prop_map(|subs| ToGateway::Hello { subs }),
+        (any::<u16>(), arb_resume()).prop_map(|(subs, resume)| ToGateway::Hello { subs, resume }),
         any::<u64>().prop_map(|uid| ToGateway::Subscribe { uid }),
         Just(ToGateway::Bye),
     ]
@@ -97,21 +152,67 @@ fn arb_to_gateway() -> impl Strategy<Value = ToGateway> {
 
 fn arb_to_client() -> impl Strategy<Value = ToClient> {
     prop_oneof![
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(client, now_ns)| ToClient::Welcome { client, now_ns }),
+        (any::<u32>(), any::<u64>(), arb_session()).prop_map(|(client, now_ns, session)| {
+            ToClient::Welcome {
+                client,
+                now_ns,
+                session,
+            }
+        }),
         arb_event().prop_map(ToClient::Event),
         prop::collection::vec(arb_batch_entry(), 1..6)
             .prop_map(|entries| ToClient::Batch { entries }),
         arb_frag().prop_map(ToClient::Frag),
-        (arb_class(), any::<u8>(), any::<u32>()).prop_map(|(class, reason, count)| {
+        (arb_class(), arb_reason(), any::<u32>()).prop_map(|(class, reason, count)| {
             ToClient::Shed {
                 class,
                 reason,
                 count,
             }
         }),
-        any::<u8>().prop_map(|reason| ToClient::Disconnect { reason }),
+        (arb_class(), any::<u32>()).prop_map(|(class, count)| ToClient::Gap { class, count }),
+        arb_reason().prop_map(|reason| ToClient::Disconnect { reason }),
     ]
+}
+
+/// A faithful reimplementation of the version 1 handshake decoder
+/// (what PR 9 shipped): strict v1 body lengths, trailing-byte
+/// tolerance for any *newer* version byte. This is the compatibility
+/// oracle — an unupgraded v1 peer runs exactly this logic against a v2
+/// sender, so every v2 `Hello`/`Welcome` must decode here.
+mod v1 {
+    const V1_WIRE_VERSION: u8 = 1;
+
+    fn header(buf: &[u8]) -> Option<(u8, &[u8], u8)> {
+        (buf.len() >= 4 && buf[..2] == *b"RG" && buf[2] >= 1).then(|| (buf[3], &buf[4..], buf[2]))
+    }
+
+    fn body_ok(body: &[u8], want: usize, version: u8) -> bool {
+        if version > V1_WIRE_VERSION {
+            body.len() >= want
+        } else {
+            body.len() == want
+        }
+    }
+
+    /// Decode a `Hello` under the v1 layout: just the subs count.
+    pub fn decode_hello(buf: &[u8]) -> Option<u16> {
+        let (kind, body, version) = header(buf)?;
+        (kind == 1 && body_ok(body, 2, version)).then(|| u16::from_le_bytes([body[0], body[1]]))
+    }
+
+    /// Decode a `Welcome` under the v1 layout: client id and bus time.
+    pub fn decode_welcome(buf: &[u8]) -> Option<(u32, u64)> {
+        let (kind, body, version) = header(buf)?;
+        (kind == 16 && body_ok(body, 12, version)).then(|| {
+            (
+                u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+                u64::from_le_bytes([
+                    body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+                ]),
+            )
+        })
+    }
 }
 
 proptest! {
@@ -152,6 +253,21 @@ proptest! {
         let _ = decode_to_gateway(&bytes);
     }
 
+    /// The same for the handshake direction — resume tokens and
+    /// watermarks included.
+    #[test]
+    fn mutated_handshakes_never_panic(
+        msg in arb_to_gateway(),
+        pos_frac in 0.0f64..1.0,
+        delta in 1u8..=255,
+    ) {
+        let mut bytes = encode_to_gateway(&msg);
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        let _ = decode_to_gateway(&bytes);
+        let _ = decode_to_client(&bytes);
+    }
+
     /// Truncating a valid message at any point short of its full
     /// length is rejected — never a panic.
     #[test]
@@ -161,8 +277,18 @@ proptest! {
         prop_assert!(decode_to_client(&bytes[..keep]).is_err() || keep == bytes.len());
     }
 
-    /// A message stamped with a higher version byte decodes under
-    /// version 1's layout, with or without trailing extension bytes.
+    /// Truncated resume handshakes are rejected too — a v2 `Hello` cut
+    /// anywhere inside its token or watermark tail must fail, never
+    /// silently lose the resume request.
+    #[test]
+    fn truncated_handshakes_are_rejected(msg in arb_to_gateway(), keep_frac in 0.0f64..1.0) {
+        let bytes = encode_to_gateway(&msg);
+        let keep = ((bytes.len() as f64) * keep_frac) as usize;
+        prop_assert!(decode_to_gateway(&bytes[..keep]).is_err() || keep == bytes.len());
+    }
+
+    /// A message stamped with a higher version byte decodes under our
+    /// layout, with or without trailing extension bytes.
     #[test]
     fn higher_versions_tolerate_trailing_bytes(
         msg in arb_to_client(),
@@ -183,8 +309,8 @@ proptest! {
         prop_assert_eq!(decode_to_client(&bytes), Err(WireError::BadVersion(0)));
     }
 
-    /// Version 1 bodies are strictly length-checked: any appended tail
-    /// turns a valid message into `BadLength`.
+    /// Current-version bodies are strictly length-checked: any
+    /// appended tail turns a valid message into `BadLength`.
     #[test]
     fn current_version_rejects_trailing_bytes(
         msg in arb_to_gateway(),
@@ -194,6 +320,26 @@ proptest! {
         bytes.extend_from_slice(&tail);
         let bad_length = matches!(decode_to_gateway(&bytes), Err(WireError::BadLength { .. }));
         prop_assert!(bad_length);
+    }
+
+    /// Every v2 `Hello` — resume tail or not — decodes on the v1
+    /// reference decoder to the same subs count.
+    #[test]
+    fn v1_decoder_accepts_every_v2_hello(subs in any::<u16>(), resume in arb_resume()) {
+        let bytes = encode_to_gateway(&ToGateway::Hello { subs, resume });
+        prop_assert_eq!(v1::decode_hello(&bytes), Some(subs));
+    }
+
+    /// Every v2 `Welcome` — session tail or not — decodes on the v1
+    /// reference decoder to the same client id and bus time.
+    #[test]
+    fn v1_decoder_accepts_every_v2_welcome(
+        client in any::<u32>(),
+        now_ns in any::<u64>(),
+        session in arb_session(),
+    ) {
+        let bytes = encode_to_client(&ToClient::Welcome { client, now_ns, session });
+        prop_assert_eq!(v1::decode_welcome(&bytes), Some((client, now_ns)));
     }
 }
 

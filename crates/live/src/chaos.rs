@@ -26,6 +26,19 @@
 //!   the dead peer on the next exchange and schedules a supervised
 //!   restart.
 
+//!
+//! # Gateway faults
+//!
+//! The same plan kills a *gateway* node (it is an ordinary cluster
+//! node, so a `kills` entry for its id exercises the supervised
+//! restart path including off-bus session resume), and [`LinkPlan`] /
+//! [`LinkChaos`] script faults on the gateway → client links: bounded
+//! frame budgets per connection incarnation (sever), an in-flight tail
+//! that the gateway counts as sent but the client never receives
+//! (drop — what a dying TCP buffer does), and seeded wall-clock
+//! delays. The gateway chaos harness in `rtec-bench` drives these
+//! through simulated client sinks.
+
 use crate::sync::{thread, Arc, Mutex, MutexGuard};
 use crate::transport::{BrokerTransport, NodeTransport, Relink, TransportError};
 use crate::wire::{ToBroker, ToNode};
@@ -134,6 +147,155 @@ pub fn verdict(report: &crate::LiveReport) -> ChaosVerdict {
         deliveries: report.log.len(),
         unresolved_downs: pending.len(),
         restarts: report.supervision.restarts,
+    }
+}
+
+/// A seeded fault plan for one gateway → client link.
+///
+/// The link lives through a sequence of connection *incarnations*:
+/// incarnation `k` carries `severs[k]` frames, loses the last
+/// `lose_tail` of them in flight, and then severs. A link with no
+/// budget left (or an empty plan) lives forever. Every decision is a
+/// pure function of the plan and the frame sequence, so two same-seed
+/// runs fault identically.
+#[derive(Clone, Debug)]
+pub struct LinkPlan {
+    /// Seed of the per-link delay decision stream.
+    pub seed: u64,
+    /// Frame budgets per connection incarnation: incarnation `k`
+    /// accepts `severs[k]` frames, then the link is severed. Entries
+    /// apply in order; once exhausted the link lives forever.
+    pub severs: Vec<u64>,
+    /// How many of each incarnation's final frames are *lost in
+    /// flight*: the gateway's write succeeded (they count as sent and
+    /// enter the replay accounting) but the client never receives
+    /// them — what a dying TCP buffer does to unread bytes.
+    pub lose_tail: u64,
+    /// Probability a delivered frame is delayed (wall clock; under
+    /// `Pace::Virtual` this perturbs thread interleavings without
+    /// moving bus time).
+    pub delay_rate: f64,
+    /// Upper bound on one injected delay.
+    pub max_delay: Duration,
+}
+
+impl Default for LinkPlan {
+    fn default() -> Self {
+        LinkPlan {
+            seed: 0x11A1,
+            severs: Vec::new(),
+            lose_tail: 0,
+            delay_rate: 0.0,
+            max_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+/// What happens to one gateway → client frame on a chaotic link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The frame reaches the client.
+    Deliver,
+    /// The frame reaches the client after a bounded wall-clock delay.
+    DeliverDelayed(Duration),
+    /// The write succeeds (the frame counts as sent) but the frame
+    /// dies in flight — the client must not account for it.
+    Lose,
+    /// The link is severed: the write fails and the gateway should
+    /// observe the sink as gone (parking the session for resume).
+    Severed,
+}
+
+/// Counters of what one [`LinkChaos`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames delivered (delayed ones included).
+    pub delivered: u64,
+    /// Frames lost in flight.
+    pub lost: u64,
+    /// Frames delayed.
+    pub delayed: u64,
+    /// Severs executed.
+    pub severs: u64,
+}
+
+/// The per-connection fault state machine of one chaotic client link.
+#[derive(Debug)]
+pub struct LinkChaos {
+    rng: Rng,
+    budgets: VecDeque<u64>,
+    /// Frames left in this incarnation; `None` = the link lives forever.
+    remaining: Option<u64>,
+    lose_tail: u64,
+    delay_rate: f64,
+    max_delay: Duration,
+    stats: LinkStats,
+}
+
+impl LinkChaos {
+    /// Start the link's first incarnation under `plan`.
+    pub fn new(plan: LinkPlan) -> Self {
+        let mut budgets: VecDeque<u64> = plan.severs.into();
+        let remaining = budgets.pop_front();
+        LinkChaos {
+            rng: Rng::seed_from_u64(plan.seed),
+            budgets,
+            remaining,
+            lose_tail: plan.lose_tail,
+            delay_rate: plan.delay_rate,
+            max_delay: plan.max_delay,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The fate of the next frame written to this link. The caller
+    /// applies it: deliver (after sleeping any delay), silently lose,
+    /// or fail the write. `Severed` repeats until
+    /// [`LinkChaos::reconnected`] starts the next incarnation.
+    pub fn on_frame(&mut self) -> LinkFault {
+        match self.remaining {
+            Some(0) => LinkFault::Severed,
+            Some(left) => {
+                self.remaining = Some(left - 1);
+                if left == 1 {
+                    self.stats.severs += 1;
+                }
+                if left <= self.lose_tail {
+                    self.stats.lost += 1;
+                    LinkFault::Lose
+                } else {
+                    self.deliver()
+                }
+            }
+            None => self.deliver(),
+        }
+    }
+
+    fn deliver(&mut self) -> LinkFault {
+        self.stats.delivered += 1;
+        if self.delay_rate > 0.0 && self.rng.gen_bool(self.delay_rate) {
+            self.stats.delayed += 1;
+            let max = self.max_delay.as_nanos().max(1) as u64;
+            LinkFault::DeliverDelayed(Duration::from_nanos(self.rng.gen_range_u64(max) + 1))
+        } else {
+            LinkFault::Deliver
+        }
+    }
+
+    /// Whether the current incarnation has severed.
+    pub fn severed(&self) -> bool {
+        self.remaining == Some(0)
+    }
+
+    /// The client reconnected: the next incarnation's budget applies
+    /// (or the link lives forever if the plan is exhausted).
+    pub fn reconnected(&mut self) {
+        self.remaining = self.budgets.pop_front();
+    }
+
+    /// What this link injected so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
     }
 }
 
@@ -526,5 +688,69 @@ mod tests {
         for _ in 0..100 {
             assert!(third.recv(Duration::ZERO).is_ok());
         }
+    }
+
+    /// A scripted link delivers its budget minus the lost tail, loses
+    /// the tail, severs, and stays severed until the reconnect pops
+    /// the next incarnation's budget.
+    #[test]
+    fn link_budget_delivers_loses_the_tail_then_severs() {
+        let mut link = LinkChaos::new(LinkPlan {
+            severs: vec![4, 2],
+            lose_tail: 2,
+            ..LinkPlan::default()
+        });
+        assert_eq!(link.on_frame(), LinkFault::Deliver);
+        assert_eq!(link.on_frame(), LinkFault::Deliver);
+        assert_eq!(link.on_frame(), LinkFault::Lose);
+        assert_eq!(link.on_frame(), LinkFault::Lose);
+        assert!(link.severed());
+        assert_eq!(link.on_frame(), LinkFault::Severed);
+        assert_eq!(link.on_frame(), LinkFault::Severed, "severed is sticky");
+
+        link.reconnected();
+        assert!(!link.severed());
+        assert_eq!(link.on_frame(), LinkFault::Lose, "budget 2 is all tail");
+        assert_eq!(link.on_frame(), LinkFault::Lose);
+        assert!(link.severed());
+
+        // Plan exhausted: the third incarnation lives forever.
+        link.reconnected();
+        for _ in 0..100 {
+            assert_eq!(link.on_frame(), LinkFault::Deliver);
+        }
+        let stats = link.stats();
+        assert_eq!(stats.delivered, 102);
+        assert_eq!(stats.lost, 4);
+        assert_eq!(stats.severs, 2);
+        assert_eq!(stats.delayed, 0);
+    }
+
+    /// Same seed ⇒ the same delay decisions; a nonzero rate actually
+    /// delays within the bound.
+    #[test]
+    fn link_delays_are_seeded_and_bounded() {
+        let plan = LinkPlan {
+            seed: 7,
+            delay_rate: 0.5,
+            max_delay: Duration::from_micros(50),
+            ..LinkPlan::default()
+        };
+        let run = |plan: LinkPlan| {
+            let mut link = LinkChaos::new(plan);
+            (0..64).map(|_| link.on_frame()).collect::<Vec<_>>()
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "same-seed links must fault identically");
+        let delayed: Vec<Duration> = a
+            .iter()
+            .filter_map(|f| match f {
+                LinkFault::DeliverDelayed(d) => Some(*d),
+                _ => None,
+            })
+            .collect();
+        assert!(!delayed.is_empty(), "a 50% rate over 64 frames never hit");
+        assert!(delayed.iter().all(|d| *d <= Duration::from_micros(50)));
     }
 }

@@ -33,7 +33,7 @@ pub mod udp;
 pub mod wire;
 
 pub use broker::{Broker, BrokerConfig, FaultPlan, NodeSupervisor, SupEvent, SupKind};
-pub use chaos::{ChaosPlan, ChaosReport, ChaosVerdict};
+pub use chaos::{ChaosPlan, ChaosReport, ChaosVerdict, LinkChaos, LinkFault, LinkPlan, LinkStats};
 pub use clock::{BitClock, Pace};
 pub use cluster::{Cluster, ClusterConfig, LiveReport, SupervisionReport};
 pub use node::{
